@@ -1,0 +1,364 @@
+//! ARIMA(p, d, q): the paper's "most popular traditional" comparator.
+//!
+//! Estimation uses the **Hannan–Rissanen** two-stage procedure:
+//!
+//! 1. difference the series `d` times;
+//! 2. fit a long autoregression by Yule–Walker (Levinson–Durbin on the
+//!    sample ACF) and take its residuals as innovation estimates;
+//! 3. regress `x_t` on `p` lags of `x` and `q` lags of the estimated
+//!    innovations (ordinary least squares with intercept).
+//!
+//! Forecasting iterates the ARMA recursion with future innovations set to
+//! zero, then integrates `d` times through the stored tails. Automatic
+//! order selection ([`auto_arima`]) greedily differences while the series
+//! variance keeps dropping, then grid-searches `(p, q)` under AIC — the
+//! "no expert knowledge" configuration used by the benchmark harness.
+
+use mc_tslib::error::{invalid_param, Result, TsError};
+use mc_tslib::forecast::UnivariateForecaster;
+use mc_tslib::stats::{acf, levinson_durbin, variance};
+use mc_tslib::transform::{difference, integration_tail, undifference_forecast};
+
+use crate::linalg::least_squares;
+
+/// ARIMA order specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArimaConfig {
+    /// Autoregressive order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// Moving-average order.
+    pub q: usize,
+}
+
+impl ArimaConfig {
+    /// Convenience constructor.
+    pub fn new(p: usize, d: usize, q: usize) -> Self {
+        Self { p, d, q }
+    }
+}
+
+/// A fitted ARIMA model.
+///
+/// ```
+/// use mc_baselines::{ArimaConfig, ArimaModel};
+/// use mc_datasets::generators::ar;
+///
+/// let series = ar(&[0.7], 2000, 1.0, 42);       // AR(1), phi = 0.7
+/// let model = ArimaModel::fit(&series, ArimaConfig::new(1, 0, 0)).unwrap();
+/// assert!((model.phi[0] - 0.7).abs() < 0.1);
+/// let forecast = model.forecast(12);
+/// assert_eq!(forecast.len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArimaModel {
+    /// The order it was fitted with.
+    pub config: ArimaConfig,
+    /// Intercept of the ARMA regression (on the differenced scale).
+    pub intercept: f64,
+    /// AR coefficients (`phi[0]` multiplies lag 1).
+    pub phi: Vec<f64>,
+    /// MA coefficients (`theta[0]` multiplies the lag-1 innovation).
+    pub theta: Vec<f64>,
+    /// Innovation variance estimate.
+    pub sigma2: f64,
+    /// Differenced training series (needed to seed forecasts).
+    diffed: Vec<f64>,
+    /// Estimated innovations aligned with `diffed`.
+    innovations: Vec<f64>,
+    /// Integration tails for undifferencing forecasts.
+    tails: Vec<Vec<f64>>,
+}
+
+impl ArimaModel {
+    /// Fits an ARIMA(p, d, q) model to `xs` by Hannan–Rissanen.
+    ///
+    /// # Errors
+    /// If the series is too short for the requested order or the
+    /// regression is degenerate.
+    pub fn fit(xs: &[f64], config: ArimaConfig) -> Result<Self> {
+        let ArimaConfig { p, d, q } = config;
+        let min_len = d + p.max(q) + p + q + 5;
+        if xs.len() < min_len {
+            return Err(invalid_param(
+                "series",
+                format!("length {} too short for ARIMA({p},{d},{q})", xs.len()),
+            ));
+        }
+        let (w, _) = difference(xs, d)?;
+        let tails = integration_tail(xs, d)?;
+
+        // Stage 1: long AR for innovation estimates.
+        let long_order = ((w.len() as f64).ln().ceil() as usize + p + q).clamp(1, w.len() / 4);
+        let innovations = long_ar_residuals(&w, long_order)?;
+
+        // Stage 2: OLS of w_t on lags of w and lagged innovations.
+        let start = p.max(q).max(long_order);
+        let rows = w.len() - start;
+        if rows < p + q + 2 {
+            return Err(invalid_param("series", "not enough rows for the HR regression"));
+        }
+        let cols = 1 + p + q;
+        let mut x = Vec::with_capacity(rows * cols);
+        let mut y = Vec::with_capacity(rows);
+        for t in start..w.len() {
+            x.push(1.0);
+            for i in 1..=p {
+                x.push(w[t - i]);
+            }
+            for j in 1..=q {
+                x.push(innovations[t - j]);
+            }
+            y.push(w[t]);
+        }
+        let beta = least_squares(&x, &y, cols)
+            .ok_or_else(|| invalid_param("series", "singular Hannan–Rissanen regression"))?;
+        let intercept = beta[0];
+        let phi = beta[1..1 + p].to_vec();
+        let theta = beta[1 + p..].to_vec();
+
+        // Recompute innovations under the fitted ARMA for forecasting and
+        // the variance estimate.
+        let mut eps = vec![0.0; w.len()];
+        for t in 0..w.len() {
+            let mut pred = intercept;
+            for (i, &ph) in phi.iter().enumerate() {
+                if t > i {
+                    pred += ph * w[t - 1 - i];
+                }
+            }
+            for (j, &th) in theta.iter().enumerate() {
+                if t > j {
+                    pred += th * eps[t - 1 - j];
+                }
+            }
+            eps[t] = w[t] - pred;
+        }
+        let used = &eps[start..];
+        let sigma2 = used.iter().map(|e| e * e).sum::<f64>() / used.len() as f64;
+
+        Ok(Self {
+            config,
+            intercept,
+            phi,
+            theta,
+            sigma2,
+            diffed: w,
+            innovations: eps,
+            tails,
+        })
+    }
+
+    /// Akaike information criterion of the fit.
+    pub fn aic(&self) -> f64 {
+        let n = self.diffed.len() as f64;
+        let k = (self.config.p + self.config.q + 1) as f64;
+        n * self.sigma2.max(1e-12).ln() + 2.0 * k
+    }
+
+    /// Multi-step forecast of `horizon` values on the *original* scale.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        // Work on extended (history + forecast) buffers in the differenced
+        // domain; future innovations are zero by construction.
+        let mut w = self.diffed.clone();
+        let mut eps = self.innovations.clone();
+        let base = w.len();
+        for h in 0..horizon {
+            let t = base + h;
+            let mut pred = self.intercept;
+            for (i, &ph) in self.phi.iter().enumerate() {
+                if t > i {
+                    pred += ph * w[t - 1 - i];
+                }
+            }
+            for (j, &th) in self.theta.iter().enumerate() {
+                if t > j {
+                    pred += th * eps[t - 1 - j];
+                }
+            }
+            w.push(pred);
+            eps.push(0.0);
+        }
+        let fc_diffed = &w[base..];
+        undifference_forecast(fc_diffed, &self.tails)
+    }
+}
+
+/// Residuals of a Yule–Walker AR(`order`) fit, aligned with `w`
+/// (the first `order` entries are zero).
+fn long_ar_residuals(w: &[f64], order: usize) -> Result<Vec<f64>> {
+    if order >= w.len() {
+        return Err(TsError::LengthMismatch { expected: order + 1, actual: w.len() });
+    }
+    let rho = acf(w, order)?;
+    let (phi, _) = levinson_durbin(&rho, order)?;
+    let mean = w.iter().sum::<f64>() / w.len() as f64;
+    let mut eps = vec![0.0; w.len()];
+    for t in order..w.len() {
+        let mut pred = mean;
+        for (i, &ph) in phi.iter().enumerate() {
+            pred += ph * (w[t - 1 - i] - mean);
+        }
+        eps[t] = w[t] - pred;
+    }
+    Ok(eps)
+}
+
+/// Chooses `d` by greedy variance reduction (difference while it shrinks
+/// the variance, up to `max_d`), then grid-searches `(p, q)` under AIC.
+pub fn auto_arima(xs: &[f64], max_p: usize, max_d: usize, max_q: usize) -> Result<ArimaModel> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    // Pick d.
+    let mut d = 0;
+    let mut best_var = variance(xs)?;
+    for cand in 1..=max_d {
+        if xs.len() <= cand + 8 {
+            break;
+        }
+        let (w, _) = difference(xs, cand)?;
+        let v = variance(&w)?;
+        if v < best_var * 0.95 {
+            best_var = v;
+            d = cand;
+        } else {
+            break;
+        }
+    }
+    // Grid over (p, q).
+    let mut best: Option<ArimaModel> = None;
+    for p in 0..=max_p {
+        for q in 0..=max_q {
+            if p == 0 && q == 0 {
+                continue;
+            }
+            if let Ok(m) = ArimaModel::fit(xs, ArimaConfig::new(p, d, q)) {
+                if best.as_ref().is_none_or(|b| m.aic() < b.aic()) {
+                    best = Some(m);
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| invalid_param("series", "no ARIMA order could be fitted"))
+}
+
+/// [`UnivariateForecaster`] wrapper: auto-order ARIMA per dimension, the
+/// configuration the benchmark tables use.
+#[derive(Debug, Clone)]
+pub struct ArimaForecaster {
+    /// Maximum AR order searched.
+    pub max_p: usize,
+    /// Maximum differencing searched.
+    pub max_d: usize,
+    /// Maximum MA order searched.
+    pub max_q: usize,
+}
+
+impl Default for ArimaForecaster {
+    fn default() -> Self {
+        Self { max_p: 3, max_d: 2, max_q: 2 }
+    }
+}
+
+impl UnivariateForecaster for ArimaForecaster {
+    fn name(&self) -> String {
+        "ARIMA".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        let model = auto_arima(train, self.max_p, self.max_d, self.max_q)?;
+        Ok(model.forecast(horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::{ar, linear_trend, white_noise};
+
+    #[test]
+    fn recovers_ar2_coefficients() {
+        let xs = ar(&[0.6, -0.3], 4000, 1.0, 42);
+        let m = ArimaModel::fit(&xs, ArimaConfig::new(2, 0, 0)).unwrap();
+        assert!((m.phi[0] - 0.6).abs() < 0.06, "phi1 = {}", m.phi[0]);
+        assert!((m.phi[1] + 0.3).abs() < 0.06, "phi2 = {}", m.phi[1]);
+        assert!((m.sigma2 - 1.0).abs() < 0.15, "sigma2 = {}", m.sigma2);
+    }
+
+    #[test]
+    fn recovers_ma1_coefficient() {
+        let xs = mc_datasets::generators::ma(&[0.7], 6000, 1.0, 7);
+        let m = ArimaModel::fit(&xs, ArimaConfig::new(0, 0, 1)).unwrap();
+        assert!((m.theta[0] - 0.7).abs() < 0.08, "theta1 = {}", m.theta[0]);
+    }
+
+    #[test]
+    fn differencing_captures_linear_trend() {
+        // Deterministic trend + small noise: ARIMA(1,1,0) forecasts should
+        // keep climbing at roughly the trend slope.
+        let trend = linear_trend(200, 5.0, 0.5);
+        let noise = white_noise(200, 0.05, 3);
+        let xs: Vec<f64> = trend.iter().zip(&noise).map(|(a, b)| a + b).collect();
+        let m = ArimaModel::fit(&xs, ArimaConfig::new(1, 1, 0)).unwrap();
+        let fc = m.forecast(10);
+        assert_eq!(fc.len(), 10);
+        let last = xs[199];
+        assert!((fc[0] - (last + 0.5)).abs() < 0.5, "first step {} vs {}", fc[0], last + 0.5);
+        assert!((fc[9] - (last + 5.0)).abs() < 1.5, "tenth step {}", fc[9]);
+    }
+
+    #[test]
+    fn ar1_forecast_decays_toward_mean() {
+        let xs = ar(&[0.8], 3000, 1.0, 11);
+        let m = ArimaModel::fit(&xs, ArimaConfig::new(1, 0, 0)).unwrap();
+        let fc = m.forecast(50);
+        // Long-horizon AR(1) forecast converges to the model's unconditional
+        // mean c / (1 - phi), which for this process is near 0.
+        let limit = m.intercept / (1.0 - m.phi[0]);
+        assert!(limit.abs() < 0.5, "unconditional mean should be near 0, got {limit}");
+        assert!((fc[49] - limit).abs() < 1e-3, "fc[49]={} vs limit {limit}", fc[49]);
+    }
+
+    #[test]
+    fn aic_prefers_true_order() {
+        let xs = ar(&[0.6, -0.3], 3000, 1.0, 5);
+        let right = ArimaModel::fit(&xs, ArimaConfig::new(2, 0, 0)).unwrap();
+        let over = ArimaModel::fit(&xs, ArimaConfig::new(3, 0, 2)).unwrap();
+        assert!(right.aic() <= over.aic() + 4.0, "AIC should not favour heavy overfit");
+    }
+
+    #[test]
+    fn auto_arima_picks_differencing_for_trend() {
+        let trend = linear_trend(300, 0.0, 1.0);
+        let noise = white_noise(300, 0.1, 9);
+        let xs: Vec<f64> = trend.iter().zip(&noise).map(|(a, b)| a + b).collect();
+        let m = auto_arima(&xs, 3, 2, 2).unwrap();
+        assert!(m.config.d >= 1, "trend requires differencing, chose {:?}", m.config);
+        let fc = m.forecast(5);
+        assert!(fc[4] > xs[299], "forecast should continue the climb");
+    }
+
+    #[test]
+    fn auto_arima_stationary_needs_no_differencing() {
+        let xs = ar(&[0.5], 2000, 1.0, 13);
+        let m = auto_arima(&xs, 3, 2, 2).unwrap();
+        assert_eq!(m.config.d, 0, "stationary AR(1) should not be differenced");
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        assert!(ArimaModel::fit(&[1.0, 2.0, 3.0], ArimaConfig::new(2, 1, 2)).is_err());
+    }
+
+    #[test]
+    fn forecaster_trait_wrapper() {
+        let mut f = ArimaForecaster::default();
+        assert_eq!(mc_tslib::forecast::UnivariateForecaster::name(&f), "ARIMA");
+        let xs = ar(&[0.7], 500, 1.0, 21);
+        let fc = f.forecast_univariate(&xs, 12).unwrap();
+        assert_eq!(fc.len(), 12);
+        assert!(fc.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,264 @@
+//! Exponential-smoothing family: SES, Holt's linear trend, and additive
+//! Holt–Winters.
+//!
+//! Classical workhorses that complement ARIMA in the extended comparison
+//! grid. All three share the interface convention of this crate: fit on a
+//! slice, forecast a horizon, parameters selected by in-sample SSE grid
+//! search when not provided (the "no expert knowledge" configuration).
+
+use mc_tslib::error::{invalid_param, Result};
+use mc_tslib::forecast::UnivariateForecaster;
+
+/// Simple exponential smoothing: level only.
+#[derive(Debug, Clone, Copy)]
+pub struct Ses {
+    /// Smoothing factor in (0, 1]; `None` = grid-search in-sample.
+    pub alpha: Option<f64>,
+}
+
+/// One SES pass; returns `(final level, in-sample SSE)`.
+fn ses_pass(xs: &[f64], alpha: f64) -> (f64, f64) {
+    let mut level = xs[0];
+    let mut sse = 0.0;
+    for &x in &xs[1..] {
+        let err = x - level;
+        sse += err * err;
+        level += alpha * err;
+    }
+    (level, sse)
+}
+
+impl UnivariateForecaster for Ses {
+    fn name(&self) -> String {
+        "SES".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if train.len() < 3 {
+            return Err(invalid_param("series", "SES needs at least 3 observations"));
+        }
+        let alpha = match self.alpha {
+            Some(a) if (0.0..=1.0).contains(&a) && a > 0.0 => a,
+            Some(a) => return Err(invalid_param("alpha", format!("{a} not in (0, 1]"))),
+            None => {
+                let mut best = (0.1, f64::MAX);
+                for i in 1..=19 {
+                    let a = i as f64 / 20.0;
+                    let (_, sse) = ses_pass(train, a);
+                    if sse < best.1 {
+                        best = (a, sse);
+                    }
+                }
+                best.0
+            }
+        };
+        let (level, _) = ses_pass(train, alpha);
+        Ok(vec![level; horizon])
+    }
+}
+
+/// Holt's linear-trend method (double exponential smoothing).
+#[derive(Debug, Clone, Copy)]
+pub struct Holt {
+    /// Level smoothing; `None` = grid search.
+    pub alpha: Option<f64>,
+    /// Trend smoothing; `None` = grid search.
+    pub beta: Option<f64>,
+}
+
+/// One Holt pass; returns `(level, trend, SSE)`.
+fn holt_pass(xs: &[f64], alpha: f64, beta: f64) -> (f64, f64, f64) {
+    let mut level = xs[0];
+    let mut trend = xs[1] - xs[0];
+    let mut sse = 0.0;
+    for &x in &xs[1..] {
+        let pred = level + trend;
+        let err = x - pred;
+        sse += err * err;
+        let new_level = pred + alpha * err;
+        trend += alpha * beta * err;
+        level = new_level;
+    }
+    (level, trend, sse)
+}
+
+impl UnivariateForecaster for Holt {
+    fn name(&self) -> String {
+        "Holt".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if train.len() < 4 {
+            return Err(invalid_param("series", "Holt needs at least 4 observations"));
+        }
+        let (alpha, beta) = match (self.alpha, self.beta) {
+            (Some(a), Some(b)) => {
+                if !(0.0 < a && a <= 1.0 && 0.0 < b && b <= 1.0) {
+                    return Err(invalid_param("alpha/beta", "must be in (0, 1]"));
+                }
+                (a, b)
+            }
+            _ => {
+                let mut best = (0.2, 0.1, f64::MAX);
+                for i in 1..=9 {
+                    for j in 1..=9 {
+                        let a = i as f64 / 10.0;
+                        let b = j as f64 / 10.0;
+                        let (_, _, sse) = holt_pass(train, a, b);
+                        if sse < best.2 {
+                            best = (a, b, sse);
+                        }
+                    }
+                }
+                (best.0, best.1)
+            }
+        };
+        let (level, trend, _) = holt_pass(train, alpha, beta);
+        Ok((1..=horizon).map(|h| level + trend * h as f64).collect())
+    }
+}
+
+/// Additive Holt–Winters (level + trend + seasonal).
+#[derive(Debug, Clone, Copy)]
+pub struct HoltWinters {
+    /// Season length (must be ≥ 2 and fit twice in the training data).
+    pub period: usize,
+    /// Level smoothing.
+    pub alpha: f64,
+    /// Trend smoothing.
+    pub beta: f64,
+    /// Seasonal smoothing.
+    pub gamma: f64,
+}
+
+impl HoltWinters {
+    /// Sensible defaults for a given period.
+    pub fn with_period(period: usize) -> Self {
+        Self { period, alpha: 0.3, beta: 0.05, gamma: 0.3 }
+    }
+}
+
+impl UnivariateForecaster for HoltWinters {
+    fn name(&self) -> String {
+        format!("HoltWinters(m={})", self.period)
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        let m = self.period;
+        if m < 2 {
+            return Err(invalid_param("period", "must be >= 2"));
+        }
+        if train.len() < 2 * m {
+            return Err(invalid_param(
+                "series",
+                format!("need at least two seasons ({} points), have {}", 2 * m, train.len()),
+            ));
+        }
+        for (name, v) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
+            if !(0.0 < v && v <= 1.0) {
+                return Err(invalid_param("smoothing", format!("{name} = {v} not in (0, 1]")));
+            }
+        }
+        // Initialization: first-season mean level, season-over-season
+        // trend, first-season seasonal offsets.
+        let season1_mean = train[..m].iter().sum::<f64>() / m as f64;
+        let season2_mean = train[m..2 * m].iter().sum::<f64>() / m as f64;
+        let mut level = season1_mean;
+        let mut trend = (season2_mean - season1_mean) / m as f64;
+        let mut seasonal: Vec<f64> = (0..m).map(|i| train[i] - season1_mean).collect();
+
+        for (t, &x) in train.iter().enumerate().skip(m) {
+            let s = seasonal[t % m];
+            let pred = level + trend + s;
+            let err = x - pred;
+            let new_level = level + trend + self.alpha * err;
+            trend += self.alpha * self.beta * err;
+            seasonal[t % m] = s + self.gamma * (1.0 - self.alpha) * err;
+            level = new_level;
+        }
+        let n = train.len();
+        Ok((1..=horizon)
+            .map(|h| level + trend * h as f64 + seasonal[(n + h - 1) % m])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::{linear_trend, sinusoids, white_noise};
+
+    #[test]
+    fn ses_forecast_is_flat_near_recent_level() {
+        let mut xs = white_noise(100, 0.5, 1);
+        for v in &mut xs {
+            *v += 10.0;
+        }
+        let mut f = Ses { alpha: None };
+        let fc = f.forecast_univariate(&xs, 5).unwrap();
+        assert!(fc.windows(2).all(|w| w[0] == w[1]), "SES forecasts are constant");
+        assert!((fc[0] - 10.0).abs() < 1.0, "level should be near 10: {}", fc[0]);
+    }
+
+    #[test]
+    fn ses_alpha_validation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(Ses { alpha: Some(1.5) }.forecast_univariate(&xs, 2).is_err());
+        assert!(Ses { alpha: Some(0.5) }.forecast_univariate(&xs, 2).is_ok());
+        assert!(Ses { alpha: None }.forecast_univariate(&[1.0], 2).is_err());
+    }
+
+    #[test]
+    fn holt_follows_linear_trend() {
+        let xs = linear_trend(80, 3.0, 0.7);
+        let mut f = Holt { alpha: None, beta: None };
+        let fc = f.forecast_univariate(&xs, 10).unwrap();
+        let last = xs[79];
+        for (h, &v) in fc.iter().enumerate() {
+            let expected = last + 0.7 * (h + 1) as f64;
+            assert!((v - expected).abs() < 0.3, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn holt_winters_tracks_seasonal_pattern() {
+        let m = 12;
+        let season = sinusoids(12 * 10, &[(5.0, m as f64, 0.0)]);
+        let trend = linear_trend(120, 20.0, 0.1);
+        let xs: Vec<f64> = season.iter().zip(&trend).map(|(a, b)| a + b).collect();
+        let mut f = HoltWinters::with_period(m);
+        let fc = f.forecast_univariate(&xs[..108], 12).unwrap();
+        // Compare against the true continuation.
+        let mut err = 0.0;
+        for h in 0..12 {
+            err += (fc[h] - xs[108 + h]).powi(2);
+        }
+        let rmse = (err / 12.0).sqrt();
+        assert!(rmse < 1.0, "Holt-Winters should nail a clean seasonal+trend: {rmse}");
+        // And it must beat trendless SES by a wide margin.
+        let mut ses = Ses { alpha: None };
+        let flat = ses.forecast_univariate(&xs[..108], 12).unwrap();
+        let mut err_flat = 0.0;
+        for h in 0..12 {
+            err_flat += (flat[h] - xs[108 + h]).powi(2);
+        }
+        assert!(err < err_flat, "HW {err:.2} vs SES {err_flat:.2}");
+    }
+
+    #[test]
+    fn holt_winters_validation() {
+        let xs = sinusoids(30, &[(1.0, 10.0, 0.0)]);
+        assert!(HoltWinters::with_period(1).forecast_univariate(&xs, 2).is_err());
+        assert!(HoltWinters::with_period(20).forecast_univariate(&xs, 2).is_err());
+        let mut bad = HoltWinters::with_period(10);
+        bad.alpha = 0.0;
+        assert!(bad.forecast_univariate(&xs, 2).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Ses { alpha: None }.name(), "SES");
+        assert_eq!(Holt { alpha: None, beta: None }.name(), "Holt");
+        assert_eq!(HoltWinters::with_period(7).name(), "HoltWinters(m=7)");
+    }
+}

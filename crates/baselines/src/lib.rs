@@ -1,0 +1,40 @@
+//! # mc-baselines — comparator forecasting methods
+//!
+//! From-scratch implementations of every non-LLM method the paper
+//! evaluates against MultiCast (§IV-A3):
+//!
+//! - [`arima`] — ARIMA(p, d, q) with Hannan–Rissanen estimation, AIC-based
+//!   automatic order selection, and multi-step forecasting through the
+//!   integration chain;
+//! - [`lstm`] — a complete LSTM network (cell, BPTT, Adam, dropout) built
+//!   on the in-tree [`nn`] micro-framework, configured exactly as the
+//!   paper's grid search concluded: one hidden layer of 128 units, dropout
+//!   0.2, 30 epochs, Adam, squared-error loss;
+//! - [`naive`] — naive / seasonal-naive / drift reference methods used by
+//!   tests and the ablation harness;
+//! - [`var`] — VAR(p), the classical *multivariate* comparator (extended
+//!   comparison grid);
+//! - [`expsmooth`] — SES / Holt / additive Holt–Winters;
+//! - [`kalman`] — local-linear-trend structural model with exact Kalman
+//!   filtering and likelihood-based variance selection.
+//!
+//! All methods implement the [`mc_tslib::forecast`] traits so the benchmark
+//! harness can sweep them interchangeably with the LLM-based methods.
+
+pub mod arima;
+pub mod expsmooth;
+pub mod kalman;
+pub mod linalg;
+pub mod lstm;
+pub mod naive;
+pub mod theta;
+pub mod var;
+pub mod nn;
+
+pub use arima::{auto_arima, ArimaConfig, ArimaForecaster, ArimaModel};
+pub use lstm::{LstmConfig, LstmForecaster};
+pub use expsmooth::{Holt, HoltWinters, Ses};
+pub use kalman::{kalman_filter, KalmanConfig, KalmanForecaster};
+pub use naive::{DriftForecaster, NaiveForecaster, SeasonalNaiveForecaster};
+pub use theta::Theta;
+pub use var::{VarForecaster, VarModel};

@@ -1,0 +1,173 @@
+//! Small dense linear-algebra helpers for the estimators.
+//!
+//! ARIMA's Hannan–Rissanen step is an ordinary least-squares regression;
+//! all it needs is a numerically careful solver for small symmetric
+//! systems. Gaussian elimination with partial pivoting is plenty at the
+//! sizes involved (design matrices of a dozen columns).
+
+/// Solves `A x = b` for square `A` (row-major, `n × n`) via Gaussian
+/// elimination with partial pivoting. Returns `None` if `A` is singular to
+/// working precision.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "A must be n*n");
+    assert_eq!(b.len(), n, "b must be length n");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[row * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = m[row * n + col] / m[col * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= f * m[col * n + k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `||X beta - y||²` by
+/// solving the normal equations `XᵀX beta = Xᵀy`. `x` is row-major with
+/// `cols` columns. Returns `None` if the normal matrix is singular.
+pub fn least_squares(x: &[f64], y: &[f64], cols: usize) -> Option<Vec<f64>> {
+    assert!(cols > 0, "at least one column required");
+    assert_eq!(x.len() % cols, 0, "design matrix shape");
+    let rows = x.len() / cols;
+    assert_eq!(rows, y.len(), "row count must match y");
+    // Normal matrix XᵀX (cols × cols) and XᵀY.
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+    }
+    // Tiny ridge for numerical robustness on near-collinear designs.
+    for i in 0..cols {
+        xtx[i * cols + i] += 1e-10;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], eps: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < eps)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = solve(&a, &[3.0, -2.0], 2).unwrap();
+        assert!(close(&x, &[3.0, -2.0], 1e-12));
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = [2.0, 1.0, 1.0, 3.0];
+        let x = solve(&a, &[5.0, 10.0], 2).unwrap();
+        assert!(close(&x, &[1.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot is zero; partial pivoting must swap rows.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[2.0, 3.0], 2).unwrap();
+        assert!(close(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_fit() {
+        // y = 2a + 3b, overdetermined but consistent.
+        let x = [
+            1.0, 0.0, //
+            0.0, 1.0, //
+            1.0, 1.0, //
+            2.0, 1.0,
+        ];
+        let y = [2.0, 3.0, 5.0, 7.0];
+        let beta = least_squares(&x, &y, 2).unwrap();
+        assert!(close(&beta, &[2.0, 3.0], 1e-6));
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Regress y = 1 + 2t with noise-free data and an intercept column.
+        let n = 20;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..n {
+            x.push(1.0);
+            x.push(t as f64);
+            y.push(1.0 + 2.0 * t as f64);
+        }
+        let beta = least_squares(&x, &y, 2).unwrap();
+        assert!(close(&beta, &[1.0, 2.0], 1e-6));
+    }
+
+    #[test]
+    fn larger_system_round_trip() {
+        // Random-ish 5x5 SPD-ish system solved then verified by multiplication.
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = ((i * 3 + j * 7) % 11) as f64 + if i == j { 20.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = solve(&a, &b, n).unwrap();
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Reference naive forecasters.
+//!
+//! Not evaluated in the paper's tables, but indispensable as sanity floors:
+//! any method that can't beat "repeat the last value" on a trending series
+//! has a bug, and the ablation harness reports them alongside the real
+//! methods.
+
+use mc_tslib::error::{invalid_param, Result, TsError};
+use mc_tslib::forecast::UnivariateForecaster;
+
+/// Repeats the last observed value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveForecaster;
+
+impl UnivariateForecaster for NaiveForecaster {
+    fn name(&self) -> String {
+        "Naive".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        let last = *train.last().ok_or(TsError::Empty)?;
+        Ok(vec![last; horizon])
+    }
+}
+
+/// Repeats the last observed seasonal cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalNaiveForecaster {
+    /// Season length in timestamps.
+    pub period: usize,
+}
+
+impl UnivariateForecaster for SeasonalNaiveForecaster {
+    fn name(&self) -> String {
+        format!("SeasonalNaive(m={})", self.period)
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if self.period == 0 {
+            return Err(invalid_param("period", "must be >= 1"));
+        }
+        if train.len() < self.period {
+            return Err(invalid_param(
+                "period",
+                format!("{} exceeds series length {}", self.period, train.len()),
+            ));
+        }
+        let cycle = &train[train.len() - self.period..];
+        Ok((0..horizon).map(|h| cycle[h % self.period]).collect())
+    }
+}
+
+/// Extends the straight line between the first and last observation
+/// (the classic "drift" method).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriftForecaster;
+
+impl UnivariateForecaster for DriftForecaster {
+    fn name(&self) -> String {
+        "Drift".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if train.len() < 2 {
+            return Err(invalid_param("series", "drift needs at least 2 observations"));
+        }
+        let last = train[train.len() - 1];
+        let slope = (last - train[0]) / (train.len() - 1) as f64;
+        Ok((1..=horizon).map(|h| last + slope * h as f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_repeats_last() {
+        let mut f = NaiveForecaster;
+        assert_eq!(f.forecast_univariate(&[1.0, 2.0, 7.0], 3).unwrap(), vec![7.0, 7.0, 7.0]);
+        assert!(f.forecast_univariate(&[], 2).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        let mut f = SeasonalNaiveForecaster { period: 3 };
+        let train = [9.0, 9.0, 9.0, 1.0, 2.0, 3.0];
+        assert_eq!(
+            f.forecast_univariate(&train, 5).unwrap(),
+            vec![1.0, 2.0, 3.0, 1.0, 2.0]
+        );
+        assert!(f.forecast_univariate(&[1.0], 2).is_err());
+        let mut bad = SeasonalNaiveForecaster { period: 0 };
+        assert!(bad.forecast_univariate(&train, 2).is_err());
+    }
+
+    #[test]
+    fn drift_extends_line() {
+        let mut f = DriftForecaster;
+        // Line from 0 to 10 over 11 points → slope 1.
+        let train: Vec<f64> = (0..=10).map(|t| t as f64).collect();
+        assert_eq!(f.forecast_univariate(&train, 3).unwrap(), vec![11.0, 12.0, 13.0]);
+        assert!(f.forecast_univariate(&[5.0], 1).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(NaiveForecaster.name(), "Naive");
+        assert_eq!(SeasonalNaiveForecaster { period: 4 }.name(), "SeasonalNaive(m=4)");
+        assert_eq!(DriftForecaster.name(), "Drift");
+    }
+}

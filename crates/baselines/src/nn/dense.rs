@@ -1,0 +1,120 @@
+//! Fully connected output layer (`y = W·x + b`).
+
+use rand::rngs::StdRng;
+
+use super::matrix::Mat;
+
+/// Dense linear layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, `out × in`.
+    pub w: Mat,
+    /// Bias, length `out`.
+    pub b: Vec<f64>,
+}
+
+/// Gradients for a dense layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// d/dW.
+    pub w: Mat,
+    /// d/db.
+    pub b: Vec<f64>,
+}
+
+impl DenseGrads {
+    /// Zero gradients matching a layer's shapes.
+    pub fn zeros(layer: &Dense) -> Self {
+        Self { w: Mat::zeros(layer.w.rows, layer.w.cols), b: vec![0.0; layer.b.len()] }
+    }
+
+    /// Clears all gradients.
+    pub fn fill_zero(&mut self) {
+        self.w.fill_zero();
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl Dense {
+    /// Xavier-initialized layer.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        Self { w: Mat::xavier(output, input, rng), b: vec![0.0; output] }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.b.clone();
+        self.w.matvec_acc(x, &mut y);
+        y
+    }
+
+    /// Backward pass: given `dy`, accumulates parameter gradients and
+    /// returns `dx`.
+    pub fn backward(&self, x: &[f64], dy: &[f64], grads: &mut DenseGrads) -> Vec<f64> {
+        grads.w.add_outer(dy, x);
+        for (gb, &d) in grads.b.iter_mut().zip(dy) {
+            *gb += d;
+        }
+        let mut dx = vec![0.0; self.w.cols];
+        self.w.matvec_t_acc(dy, &mut dx);
+        dx
+    }
+
+    /// Flattened parameter/gradient pairs for the optimizer.
+    pub fn params_and_grads<'a>(
+        &'a mut self,
+        grads: &'a DenseGrads,
+    ) -> Vec<(&'a mut [f64], &'a [f64])> {
+        vec![
+            (self.w.data.as_mut_slice(), grads.w.data.as_slice()),
+            (self.b.as_mut_slice(), grads.b.as_slice()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_is_affine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Dense::new(2, 2, &mut rng);
+        l.w.data = vec![1.0, 2.0, 3.0, 4.0];
+        l.b = vec![10.0, 20.0];
+        assert_eq!(l.forward(&[1.0, 1.0]), vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Dense::new(3, 2, &mut rng);
+        let x = [0.5, -1.0, 2.0];
+        // Loss = sum(y) → dy = [1, 1].
+        let loss = |l: &Dense, x: &[f64]| -> f64 { l.forward(x).iter().sum() };
+        let mut grads = DenseGrads::zeros(&l);
+        let dx = l.backward(&x, &[1.0, 1.0], &mut grads);
+        let eps = 1e-6;
+        let mut lp = l.clone();
+        for idx in 0..6 {
+            let orig = lp.w.data[idx];
+            lp.w.data[idx] = orig + eps;
+            let up = loss(&lp, &x);
+            lp.w.data[idx] = orig - eps;
+            let down = loss(&lp, &x);
+            lp.w.data[idx] = orig;
+            assert!(((up - down) / (2.0 * eps) - grads.w.data[idx]).abs() < 1e-6);
+        }
+        let mut xp = x;
+        for idx in 0..3 {
+            let orig = xp[idx];
+            xp[idx] = orig + eps;
+            let up = loss(&l, &xp);
+            xp[idx] = orig - eps;
+            let down = loss(&l, &xp);
+            xp[idx] = orig;
+            assert!(((up - down) / (2.0 * eps) - dx[idx]).abs() < 1e-6);
+        }
+    }
+}

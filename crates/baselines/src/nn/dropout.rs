@@ -1,0 +1,105 @@
+//! Inverted dropout.
+//!
+//! The paper's LSTM grid search settled on a dropout rate of 0.2; dropout
+//! here is applied to the final hidden state before the dense head.
+//! Inverted scaling (`kept / (1 - rate)`) keeps expectations unchanged, so
+//! inference simply skips the layer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Dropout layer with a fixed rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Probability of zeroing each unit, in `[0, 1)`.
+    pub rate: f64,
+}
+
+impl Dropout {
+    /// Creates the layer.
+    ///
+    /// # Panics
+    /// If `rate` is not in `[0, 1)`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Self { rate }
+    }
+
+    /// Samples a mask for a vector of `n` units. Mask entries are either
+    /// `0` (dropped) or `1 / (1 - rate)` (kept, inverted scaling).
+    pub fn sample_mask(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        if self.rate == 0.0 {
+            return vec![1.0; n];
+        }
+        let keep = 1.0 - self.rate;
+        (0..n)
+            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+            .collect()
+    }
+
+    /// Applies a mask in place (training-time forward).
+    pub fn apply(xs: &mut [f64], mask: &[f64]) {
+        debug_assert_eq!(xs.len(), mask.len());
+        for (x, &m) in xs.iter_mut().zip(mask) {
+            *x *= m;
+        }
+    }
+
+    /// Backward: the gradient passes through the same mask.
+    pub fn backward(dxs: &mut [f64], mask: &[f64]) {
+        Self::apply(dxs, mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dropout::new(0.0);
+        let mask = d.sample_mask(5, &mut rng);
+        assert_eq!(mask, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn mask_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dropout::new(0.2);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for m in d.sample_mask(n, &mut rng) {
+            sum += m;
+        }
+        // E[mask] = keep * 1/keep = 1.
+        assert!((sum / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn mask_entries_are_zero_or_scaled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dropout::new(0.5);
+        for m in d.sample_mask(1000, &mut rng) {
+            assert!(m == 0.0 || (m - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_and_backward_share_mask() {
+        let mask = [0.0, 2.0, 2.0];
+        let mut x = [1.0, 1.0, 3.0];
+        Dropout::apply(&mut x, &mask);
+        assert_eq!(x, [0.0, 2.0, 6.0]);
+        let mut dx = [5.0, 5.0, 5.0];
+        Dropout::backward(&mut dx, &mask);
+        assert_eq!(dx, [0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rate_one_rejected() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal dense matrix for the LSTM's weight tensors.
+//!
+//! Row-major `Vec<f64>` storage with exactly the operations BPTT needs:
+//! matrix–vector products (forward), transposed products (backward), and
+//! rank-1 accumulation (weight gradients). No allocation happens inside
+//! the hot paths; callers pass output buffers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `data[r * cols + c]`.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (rows + cols))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Element accessor (for tests; hot code indexes `data` directly).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// `out += A · x` (`out` has `rows` entries, `x` has `cols`).
+    pub fn matvec_acc(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *o += acc;
+        }
+    }
+
+    /// `out += Aᵀ · v` (`v` has `rows` entries, `out` has `cols`).
+    pub fn matvec_t_acc(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += vr * a;
+            }
+        }
+    }
+
+    /// Rank-1 update `A += v ⊗ x` (gradient accumulation).
+    pub fn add_outer(&mut self, v: &[f64], x: &[f64]) {
+        debug_assert_eq!(v.len(), self.rows);
+        debug_assert_eq!(x.len(), self.cols);
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter_mut().zip(x) {
+                *a += vr * b;
+            }
+        }
+    }
+
+    /// Sets every element to zero (gradient buffers between batches).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_acc_computes_product() {
+        let a = Mat { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        let mut out = vec![10.0, 20.0];
+        a.matvec_acc(&[1.0, 0.0, -1.0], &mut out);
+        // Row products: 1-3 = -2; 4-6 = -2. Accumulated onto 10, 20.
+        assert_eq!(out, vec![8.0, 18.0]);
+    }
+
+    #[test]
+    fn matvec_t_acc_is_transpose() {
+        let a = Mat { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        let mut out = vec![0.0; 3];
+        a.matvec_t_acc(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_outer_rank_one() {
+        let mut a = Mat::zeros(2, 2);
+        a.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(a.data, vec![3.0, 4.0, 6.0, 8.0]);
+        a.add_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(a.data, vec![4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mat::xavier(30, 20, &mut rng);
+        let bound = (6.0 / 50.0_f64).sqrt();
+        assert!(m.data.iter().all(|v| v.abs() < bound));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(m, Mat::xavier(30, 20, &mut rng2));
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut a = Mat { rows: 1, cols: 2, data: vec![1.0, 2.0] };
+        a.fill_zero();
+        assert_eq!(a.data, vec![0.0, 0.0]);
+    }
+}

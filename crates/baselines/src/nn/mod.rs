@@ -1,0 +1,40 @@
+//! In-tree neural-network micro-framework.
+//!
+//! Just enough machinery for the paper's LSTM baseline, written from
+//! scratch: a dense matrix type ([`Mat`]), Xavier initialization, the LSTM
+//! cell with full backpropagation-through-time support, a dense output
+//! layer, inverted dropout, and the Adam optimizer. Every gradient path is
+//! validated against numerical differentiation in the tests — the only way
+//! to trust a hand-written BPTT.
+
+pub mod adam;
+pub mod dense;
+pub mod dropout;
+pub mod lstm_cell;
+pub mod matrix;
+
+pub use adam::Adam;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use lstm_cell::{LstmCell, LstmState, LstmStepCache};
+pub use matrix::Mat;
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sigmoid;
+
+    #[test]
+    fn sigmoid_reference_points() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // Symmetry: σ(-x) = 1 - σ(x).
+        assert!((sigmoid(-1.3) + sigmoid(1.3) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! The Theta method (Assimakopoulos & Nikolopoulos, 2000) — winner of the
+//! M3 forecasting competition in its simplified form.
+//!
+//! The classical decomposition: the series is split into two "theta
+//! lines", `θ = 0` (the linear regression on time, pure long-run trend)
+//! and `θ = 2` (curvature doubled: `2·x - line0`). The θ=2 line is
+//! forecast with simple exponential smoothing and the two forecasts are
+//! averaged — which works out to SES plus half the trend slope per step.
+//! Despite its simplicity it is a famously strong univariate baseline,
+//! included here to round out the extended comparison grid.
+
+use mc_tslib::error::{invalid_param, Result};
+use mc_tslib::forecast::UnivariateForecaster;
+
+/// Simplified Theta(0, 2) forecaster with grid-searched SES smoothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Theta;
+
+/// Ordinary least squares of `xs` on `t = 0..n`: returns `(intercept, slope)`.
+fn linear_fit(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let t_mean = (n - 1.0) / 2.0;
+    let x_mean = xs.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, &x) in xs.iter().enumerate() {
+        let dt = t as f64 - t_mean;
+        num += dt * (x - x_mean);
+        den += dt * dt;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    (x_mean - slope * t_mean, slope)
+}
+
+/// SES level after one pass, plus in-sample SSE (for alpha selection).
+fn ses_level(xs: &[f64], alpha: f64) -> (f64, f64) {
+    let mut level = xs[0];
+    let mut sse = 0.0;
+    for &x in &xs[1..] {
+        let err = x - level;
+        sse += err * err;
+        level += alpha * err;
+    }
+    (level, sse)
+}
+
+impl UnivariateForecaster for Theta {
+    fn name(&self) -> String {
+        "Theta".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if train.len() < 5 {
+            return Err(invalid_param("series", "Theta needs at least 5 observations"));
+        }
+        let n = train.len();
+        let (intercept, slope) = linear_fit(train);
+        // θ=2 line: double the deviation from the trend line.
+        let theta2: Vec<f64> = train
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| 2.0 * x - (intercept + slope * t as f64))
+            .collect();
+        // Grid-search the SES alpha on the θ=2 line.
+        let mut best = (0.1, f64::MAX);
+        for i in 1..=19 {
+            let a = i as f64 / 20.0;
+            let (_, sse) = ses_level(&theta2, a);
+            if sse < best.1 {
+                best = (a, sse);
+            }
+        }
+        let (level, _) = ses_level(&theta2, best.0);
+        // Combine: ½·θ0 extrapolation + ½·θ2 SES (flat) per step.
+        Ok((1..=horizon)
+            .map(|h| {
+                let line0 = intercept + slope * (n - 1 + h) as f64;
+                0.5 * line0 + 0.5 * level
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::{add, linear_trend, sinusoids, white_noise};
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..30).map(|t| 4.0 + 0.5 * t as f64).collect();
+        let (a, b) = linear_fit(&xs);
+        assert!((a - 4.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn follows_trend_at_half_strength_plus_level() {
+        // On a clean trend, theta forecasts continue climbing (half the
+        // slope comes from the θ0 line, the rest is absorbed into the
+        // θ2 SES level at the end of the training window).
+        let xs = linear_trend(100, 10.0, 1.0);
+        let fc = Theta.forecast_univariate(&xs, 5).unwrap();
+        let last = xs[99];
+        for (h, &v) in fc.iter().enumerate() {
+            assert!(v > last, "h={h}: {v} should exceed {last}");
+        }
+        // The first step is within a couple of units of the true line.
+        assert!((fc[0] - (last + 1.0)).abs() < 2.0, "fc0 {}", fc[0]);
+    }
+
+    #[test]
+    fn competitive_with_ses_on_noisy_trend() {
+        let xs = add(&linear_trend(160, 0.0, 0.4), &white_noise(160, 1.0, 7));
+        let (train, test) = xs.split_at(140);
+        let mut theta_err = 0.0;
+        let mut ses_err = 0.0;
+        let theta_fc = Theta.forecast_univariate(train, 20).unwrap();
+        let ses_fc = crate::expsmooth::Ses { alpha: None }
+            .forecast_univariate(train, 20)
+            .unwrap();
+        for h in 0..20 {
+            theta_err += (theta_fc[h] - test[h]).powi(2);
+            ses_err += (ses_fc[h] - test[h]).powi(2);
+        }
+        assert!(
+            theta_err < ses_err,
+            "theta must beat flat SES on trending data: {theta_err:.1} vs {ses_err:.1}"
+        );
+    }
+
+    #[test]
+    fn stable_on_periodic_data() {
+        let xs = sinusoids(120, &[(5.0, 24.0, 0.3)]);
+        let fc = Theta.forecast_univariate(&xs, 10).unwrap();
+        assert_eq!(fc.len(), 10);
+        assert!(fc.iter().all(|v| v.is_finite() && v.abs() < 20.0));
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(Theta.forecast_univariate(&[1.0, 2.0], 3).is_err());
+    }
+}

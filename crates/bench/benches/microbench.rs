@@ -1,0 +1,155 @@
+//! Criterion microbenchmarks for the hot components of the pipeline:
+//! tokenization, SAX encode/decode, multiplex/demultiplex, backend
+//! prediction and end-to-end single-sample forecasts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mc_datasets::PaperDataset;
+use mc_lm::model::{observe_all, LanguageModel as _};
+use mc_lm::ppm::PpmLm;
+use mc_lm::presets::{build_model, ModelPreset};
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
+use mc_lm::vocab::Vocab;
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::{SaxConfig, SaxEncoder};
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::split::holdout_split;
+use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let t = CharTokenizer::numeric();
+    let text = "123,456,789,".repeat(200);
+    c.bench_function("tokenizer/encode_2400_chars", |b| {
+        b.iter(|| t.encode(std::hint::black_box(&text)).unwrap())
+    });
+    let ids = t.encode(&text).unwrap();
+    c.bench_function("tokenizer/decode_2400_tokens", |b| {
+        b.iter(|| t.decode(std::hint::black_box(&ids)).unwrap())
+    });
+}
+
+fn bench_sax(c: &mut Criterion) {
+    let series = PaperDataset::GasRate.load();
+    let xs = series.column(1).unwrap().to_vec();
+    for seg in [3usize, 6, 9] {
+        let enc = SaxEncoder::new(SaxConfig {
+            segment_len: seg,
+            alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
+        });
+        c.bench_with_input(BenchmarkId::new("sax/encode_296pts_seg", seg), &xs, |b, xs| {
+            b.iter(|| enc.encode(std::hint::black_box(xs)))
+        });
+        let e = enc.encode(&xs);
+        c.bench_with_input(BenchmarkId::new("sax/decode_seg", seg), &e, |b, e| {
+            b.iter(|| enc.decode_expanded(&e.symbols, e.znorm, xs.len()))
+        });
+    }
+}
+
+fn bench_mux(c: &mut Criterion) {
+    let codes: Vec<Vec<u64>> = (0..4)
+        .map(|d| (0..300).map(|t| ((t * 37 + d * 11) % 1000) as u64).collect())
+        .collect();
+    for method in MuxMethod::ALL {
+        let m = method.build();
+        c.bench_with_input(
+            BenchmarkId::new("mux/serialize_4x300", method.tag()),
+            &codes,
+            |b, codes| b.iter(|| m.mux(std::hint::black_box(codes), 3)),
+        );
+        let text = m.mux(&codes, 3);
+        c.bench_with_input(
+            BenchmarkId::new("mux/demux_4x300", method.tag()),
+            &text,
+            |b, text| b.iter(|| m.demux(std::hint::black_box(text), 4, 3, 300)),
+        );
+    }
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let vocab = Vocab::numeric();
+    let tok = CharTokenizer::new(vocab.clone());
+    let prompt = tok.encode(&"123,456,789,".repeat(80)).unwrap();
+    for preset in [ModelPreset::Large, ModelPreset::Small, ModelPreset::Suffix] {
+        c.bench_function(&format!("lm/observe_960_tokens/{preset:?}"), |b| {
+            b.iter(|| {
+                let mut m = build_model(preset, vocab.len());
+                observe_all(m.as_mut(), std::hint::black_box(&prompt));
+                m
+            })
+        });
+        let mut model = build_model(preset, vocab.len());
+        observe_all(model.as_mut(), &prompt);
+        let mut dist = vec![0.0; vocab.len()];
+        c.bench_function(&format!("lm/next_distribution/{preset:?}"), |b| {
+            b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)))
+        });
+    }
+}
+
+fn bench_ppm(c: &mut Criterion) {
+    let vocab = Vocab::numeric();
+    let tok = CharTokenizer::new(vocab.clone());
+    let prompt = tok.encode(&"123,456,789,".repeat(80)).unwrap();
+    c.bench_function("lm/observe_960_tokens/Ppm", |b| {
+        b.iter(|| {
+            let mut m = PpmLm::new(vocab.len(), 8, "ppm");
+            observe_all(&mut m, std::hint::black_box(&prompt));
+            m
+        })
+    });
+    let mut model = PpmLm::new(vocab.len(), 8, "ppm");
+    observe_all(&mut model, &prompt);
+    let mut dist = vec![0.0; vocab.len()];
+    c.bench_function("lm/next_distribution/Ppm", |b| {
+        b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)))
+    });
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    use mc_tasks::surprisal::{surprisal_profile, SurprisalConfig};
+    let xs: Vec<f64> =
+        (0..128).map(|t| 50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin()).collect();
+    let mut group = c.benchmark_group("tasks");
+    group.sample_size(20);
+    group.bench_function("surprisal_profile_128pts", |b| {
+        b.iter(|| surprisal_profile(std::hint::black_box(&xs), SurprisalConfig::default()).unwrap())
+    });
+    let mut gappy = xs.clone();
+    for v in &mut gappy[60..72] {
+        *v = f64::NAN;
+    }
+    group.bench_function("impute_12pt_gap", |b| {
+        b.iter(|| mc_tasks::Imputer::default().impute(std::hint::black_box(&gappy)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, 0.15).unwrap();
+    let mut group = c.benchmark_group("forecast/gasrate_single_sample");
+    group.sample_size(10);
+    for method in MuxMethod::ALL {
+        group.bench_function(method.tag(), |b| {
+            b.iter(|| {
+                let cfg = ForecastConfig { samples: 1, ..Default::default() };
+                let mut f = MultiCastForecaster::new(method, cfg);
+                f.forecast(std::hint::black_box(&train), test.len()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenizer,
+    bench_sax,
+    bench_mux,
+    bench_lm,
+    bench_ppm,
+    bench_tasks,
+    bench_end_to_end
+);
+criterion_main!(benches);

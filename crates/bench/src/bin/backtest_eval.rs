@@ -1,0 +1,76 @@
+//! Rolling-origin robustness study (beyond the paper's single split).
+//!
+//! Tables IV–VI evaluate one train/test cut; this binary refits every
+//! method at several cut points (`mc_tslib::backtest`) and reports
+//! mean ± std RMSE per dataset, showing how stable each ranking is.
+//! LSTM is excluded (training per fold dominates runtime without changing
+//! the story); the classical and LLM methods all run.
+//!
+//! Writes `results/backtest.md`.
+
+use mc_baselines::{ArimaForecaster, KalmanForecaster, Ses, Theta, VarForecaster};
+use mc_bench::report::{fmt_metric, Table};
+use mc_bench::RESULTS_DIR;
+use mc_datasets::PaperDataset;
+use mc_tslib::backtest::{backtest, BacktestConfig};
+use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
+use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let samples = if fast { 1 } else { 5 };
+    let mut t = Table::new(
+        "Backtest — rolling-origin mean ± std RMSE (averaged over dimensions, 4 folds)",
+        &["Method", "Gas Rate", "Electricity", "Weather"],
+    );
+    type Make = Box<dyn Fn() -> Box<dyn MultivariateForecaster>>;
+    let entries: Vec<(&str, Make)> = vec![
+        (
+            "MultiCast (VI)",
+            Box::new(move || {
+                Box::new(MultiCastForecaster::new(
+                    MuxMethod::ValueInterleave,
+                    ForecastConfig { samples, ..Default::default() },
+                ))
+            }),
+        ),
+        (
+            "LLMTIME",
+            Box::new(move || {
+                Box::new(LlmTimeForecaster::new(ForecastConfig {
+                    samples,
+                    ..Default::default()
+                }))
+            }),
+        ),
+        ("ARIMA", Box::new(|| Box::new(PerDimension(ArimaForecaster::default())))),
+        ("VAR", Box::new(|| Box::new(VarForecaster::default()))),
+        ("Theta", Box::new(|| Box::new(PerDimension(Theta)))),
+        ("Kalman (LLT)", Box::new(|| Box::new(PerDimension(KalmanForecaster)))),
+        ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
+    ];
+    for (name, make) in &entries {
+        let mut row = vec![name.to_string()];
+        for ds in PaperDataset::ALL {
+            let series = ds.load();
+            // 4 folds: start at 60 % of the series, horizon 10 % of it.
+            let initial = (series.len() as f64 * 0.6) as usize;
+            let horizon = (series.len() as f64 * 0.1) as usize;
+            let step = (series.len() - initial - horizon) / 3;
+            let config = BacktestConfig { initial_train: initial, horizon, step };
+            let mut f = make();
+            let cell = match backtest(f.as_mut(), &series, config) {
+                Ok(report) => {
+                    let mean = report.grand_mean();
+                    let spread = report.std_rmse.iter().sum::<f64>()
+                        / report.std_rmse.len() as f64;
+                    format!("{} ± {}", fmt_metric(mean), fmt_metric(spread))
+                }
+                Err(e) => format!("err: {e}"),
+            };
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t.emit(RESULTS_DIR, "backtest.md").expect("write");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I (datasets) and Table II (parameters).
+
+fn main() {
+    mc_bench::tables::table1_datasets()
+        .emit(mc_bench::RESULTS_DIR, "table1.md")
+        .expect("write results");
+    mc_bench::tables::table2_parameters()
+        .emit(mc_bench::RESULTS_DIR, "table2.md")
+        .expect("write results");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table III — LLM model comparison (LLaMA2-7B vs Phi-2
+//! stand-ins) on Gas Rate with MultiCast (VI).
+
+fn main() {
+    mc_bench::tables::table3_model_comparison(5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table3.md")
+        .expect("write results");
+}

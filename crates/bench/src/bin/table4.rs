@@ -1,0 +1,8 @@
+//! Regenerates Table IV — forecasting RMSE for the Gas Rate dataset.
+
+fn main() {
+    mc_bench::tables::table4_gas_rate(5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table4.md")
+        .expect("write results");
+}

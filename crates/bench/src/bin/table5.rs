@@ -1,0 +1,8 @@
+//! Regenerates Table V — forecasting RMSE for the Electricity dataset.
+
+fn main() {
+    mc_bench::tables::table5_electricity(5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table5.md")
+        .expect("write results");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table VI — forecasting RMSE for the Weather dataset.
+
+fn main() {
+    mc_bench::tables::table6_weather(5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table6.md")
+        .expect("write results");
+}

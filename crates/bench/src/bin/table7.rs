@@ -1,0 +1,9 @@
+//! Regenerates Table VII — RMSE and execution time for an increasing
+//! number of samples (5, 10, 20) on Gas Rate.
+
+fn main() {
+    mc_bench::tables::table7_samples_sweep(&[5, 10, 20])
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table7.md")
+        .expect("write results");
+}

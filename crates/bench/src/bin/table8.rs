@@ -1,0 +1,9 @@
+//! Regenerates Table VIII — increasing SAX segment length (3, 6, 9) on
+//! the Gas Rate CO2 dimension.
+
+fn main() {
+    mc_bench::tables::table8_segment_sweep(&[3, 6, 9], 5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table8.md")
+        .expect("write results");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IX — increasing SAX alphabet size (5, 10, 20; the
+//! digital alphabet caps at 10, reproducing the paper's N/A cell).
+
+fn main() {
+    mc_bench::tables::table9_alphabet_sweep(&[5, 10, 20], 5)
+        .expect("experiment")
+        .emit(mc_bench::RESULTS_DIR, "table9.md")
+        .expect("write results");
+}

@@ -1,0 +1,242 @@
+//! Figure reproductions (paper Figures 2–8): forecast-vs-actual
+//! trajectory SVGs written under `results/`.
+//!
+//! Every figure shows the tail of the observed series plus one or more
+//! forecasts over the held-out horizon, matching the paper's layouts:
+//!
+//! - **Fig. 2** — Large vs Small backend on Gas Rate dim 1 (the paper's
+//!   LLaMA2 vs Phi-2 comparison);
+//! - **Fig. 3** — MultiCast (DI) vs ARIMA, Gas Rate dim 1;
+//! - **Fig. 4** — MultiCast (VC) vs LSTM, Electricity HUFL;
+//! - **Fig. 5** — MultiCast (VI) vs ARIMA, Weather Tlog;
+//! - **Fig. 6** — SAX segment lengths 3/6/9, Gas Rate CO2;
+//! - **Fig. 7** — SAX alphabet sizes 5/10/20, Gas Rate CO2;
+//! - **Fig. 8** — digital-alphabet SAX forecast, Gas Rate CO2.
+
+use std::path::{Path, PathBuf};
+
+use mc_baselines::{ArimaForecaster, LstmConfig, LstmForecaster};
+use mc_datasets::PaperDataset;
+use mc_lm::presets::ModelPreset;
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::SaxConfig;
+use mc_tslib::error::Result;
+use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
+use mc_tslib::series::MultivariateSeries;
+use mc_tslib::split::holdout_split;
+use multicast_core::{
+    ForecastConfig, MultiCastForecaster, MuxMethod, SaxForecastConfig, SaxMultiCastForecaster,
+};
+
+use crate::plot::LinePlot;
+use crate::TEST_FRACTION;
+
+/// How many trailing history points each figure shows before the horizon.
+const HISTORY_SHOWN: usize = 60;
+
+fn config(samples: usize) -> ForecastConfig {
+    ForecastConfig { samples, ..ForecastConfig::default() }
+}
+
+/// Renders one figure: the actual tail (history + test) and each
+/// forecaster's prediction for the test window, on dimension `dim`.
+fn render(
+    title: &str,
+    series: &MultivariateSeries,
+    dim: usize,
+    forecasters: Vec<(String, Box<dyn MultivariateForecaster>)>,
+    path: &Path,
+) -> Result<PathBuf> {
+    let (train, test) = holdout_split(series, TEST_FRACTION)?;
+    let shown_start = train.len().saturating_sub(HISTORY_SHOWN);
+    let mut actual = train.column(dim)?[shown_start..].to_vec();
+    actual.extend_from_slice(test.column(dim)?);
+    let mut plot = LinePlot::new(title.to_string());
+    plot.add_indexed("actual", shown_start, &actual, false);
+    for (label, mut f) in forecasters {
+        let fc = f.forecast(&train, test.len())?;
+        plot.add_indexed(label, train.len(), fc.column(dim)?, true);
+    }
+    plot.save(path).map_err(mc_tslib::TsError::from)?;
+    Ok(path.to_path_buf())
+}
+
+/// Generates every figure; returns the written paths.
+pub fn all_figures(results_dir: impl AsRef<Path>, samples: usize) -> Result<Vec<PathBuf>> {
+    let dir = results_dir.as_ref();
+    let mut written = Vec::new();
+    written.extend(fig2(dir, samples)?);
+    written.push(fig3(dir, samples)?);
+    written.push(fig4(dir, samples)?);
+    written.push(fig5(dir, samples)?);
+    written.push(fig6(dir, samples)?);
+    written.push(fig7(dir, samples)?);
+    written.push(fig8(dir, samples)?);
+    Ok(written)
+}
+
+/// Figure 2 — backend comparison on Gas Rate dim 1 (two panels).
+pub fn fig2(dir: &Path, samples: usize) -> Result<Vec<PathBuf>> {
+    let series = PaperDataset::GasRate.load();
+    let mut out = Vec::new();
+    for (panel, preset) in [("a", ModelPreset::Large), ("b", ModelPreset::Small)] {
+        let cfg = ForecastConfig { preset, ..config(samples) };
+        let f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+        out.push(render(
+            &format!("Fig. 2{panel} — MultiCast VI, {} (GasRate dim)", preset.display_name()),
+            &series,
+            0,
+            vec![(preset.display_name().to_string(), Box::new(f))],
+            &dir.join(format!("fig2{panel}_backend.svg")),
+        )?);
+    }
+    Ok(out)
+}
+
+/// Figure 3 — MultiCast (DI) vs ARIMA on Gas Rate dim 1.
+pub fn fig3(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::GasRate.load();
+    render(
+        "Fig. 3 — MultiCast (DI) vs ARIMA (GasRate dim)",
+        &series,
+        0,
+        vec![
+            (
+                "MultiCast (DI)".into(),
+                Box::new(MultiCastForecaster::new(MuxMethod::DigitInterleave, config(samples))),
+            ),
+            ("ARIMA".into(), Box::new(PerDimension(ArimaForecaster::default()))),
+        ],
+        &dir.join("fig3_di_vs_arima.svg"),
+    )
+}
+
+/// Figure 4 — MultiCast (VC) vs LSTM on Electricity HUFL.
+pub fn fig4(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::Electricity.load();
+    render(
+        "Fig. 4 — MultiCast (VC) vs LSTM (HUFL dim)",
+        &series,
+        0,
+        vec![
+            (
+                "MultiCast (VC)".into(),
+                Box::new(MultiCastForecaster::new(MuxMethod::ValueConcat, config(samples))),
+            ),
+            ("LSTM".into(), Box::new(LstmForecaster::new(LstmConfig::default()))),
+        ],
+        &dir.join("fig4_vc_vs_lstm.svg"),
+    )
+}
+
+/// Figure 5 — MultiCast (VI) vs ARIMA on Weather Tlog.
+pub fn fig5(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::Weather.load();
+    render(
+        "Fig. 5 — MultiCast (VI) vs ARIMA (Tlog dim)",
+        &series,
+        0,
+        vec![
+            (
+                "MultiCast (VI)".into(),
+                Box::new(MultiCastForecaster::new(MuxMethod::ValueInterleave, config(samples))),
+            ),
+            ("ARIMA".into(), Box::new(PerDimension(ArimaForecaster::default()))),
+        ],
+        &dir.join("fig5_vi_vs_arima.svg"),
+    )
+}
+
+fn sax_forecaster(kind: SaxAlphabetKind, segment_len: usize, size: usize, samples: usize) -> SaxMultiCastForecaster {
+    SaxMultiCastForecaster::new(SaxForecastConfig {
+        sax: SaxConfig {
+            segment_len,
+            alphabet: SaxAlphabet::new(kind, size).expect("valid alphabet"),
+        },
+        base: config(samples),
+    })
+}
+
+/// Figure 6 — SAX segment lengths 3/6/9 on Gas Rate CO2.
+pub fn fig6(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::GasRate.load();
+    let forecasters: Vec<(String, Box<dyn MultivariateForecaster>)> = [3usize, 6, 9]
+        .iter()
+        .map(|&seg| {
+            (
+                format!("SAX seg={seg}"),
+                Box::new(sax_forecaster(SaxAlphabetKind::Alphabetic, seg, 5, samples))
+                    as Box<dyn MultivariateForecaster>,
+            )
+        })
+        .collect();
+    render(
+        "Fig. 6 — Forecasting for various SAX segments (CO2%)",
+        &series,
+        1,
+        forecasters,
+        &dir.join("fig6_sax_segments.svg"),
+    )
+}
+
+/// Figure 7 — SAX alphabet sizes 5/10/20 on Gas Rate CO2.
+pub fn fig7(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::GasRate.load();
+    let forecasters: Vec<(String, Box<dyn MultivariateForecaster>)> = [5usize, 10, 20]
+        .iter()
+        .map(|&size| {
+            (
+                format!("SAX a={size}"),
+                Box::new(sax_forecaster(SaxAlphabetKind::Alphabetic, 6, size, samples))
+                    as Box<dyn MultivariateForecaster>,
+            )
+        })
+        .collect();
+    render(
+        "Fig. 7 — Forecasting for different SAX alphabet sizes (CO2%)",
+        &series,
+        1,
+        forecasters,
+        &dir.join("fig7_sax_alphabets.svg"),
+    )
+}
+
+/// Figure 8 — digital-alphabet SAX forecast on Gas Rate CO2.
+pub fn fig8(dir: &Path, samples: usize) -> Result<PathBuf> {
+    let series = PaperDataset::GasRate.load();
+    render(
+        "Fig. 8 — Forecasting using digits instead of letters as symbols (CO2%)",
+        &series,
+        1,
+        vec![(
+            "SAX digital (a=5, seg=6)".into(),
+            Box::new(sax_forecaster(SaxAlphabetKind::Digital, 6, 5, samples)),
+        )],
+        &dir.join("fig8_sax_digital.svg"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_renders_svg() {
+        let dir = std::env::temp_dir().join("mc_bench_figs_test");
+        let path = fig3(&dir, 1).unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.contains("MultiCast (DI)"));
+        assert!(svg.contains("ARIMA"));
+        assert!(svg.contains("actual"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fig8_uses_digital_alphabet() {
+        let dir = std::env::temp_dir().join("mc_bench_figs_test8");
+        let path = fig8(&dir, 1).unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.contains("digital"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,35 @@
+//! # mc-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§IV).
+//! One binary per artifact plus an umbrella `repro` binary:
+//!
+//! | Binary    | Paper artifact |
+//! |-----------|----------------|
+//! | `table1`  | Table I (datasets) + Table II (parameters) |
+//! | `table3`  | Table III (LLaMA2 vs Phi-2 stand-ins) |
+//! | `table4`  | Table IV (Gas Rate RMSE, 6 methods) |
+//! | `table5`  | Table V (Electricity RMSE) |
+//! | `table6`  | Table VI (Weather RMSE) |
+//! | `table7`  | Table VII (sample-count sweep, RMSE + time) |
+//! | `table8`  | Table VIII (SAX segment sweep, RMSE + time) |
+//! | `table9`  | Table IX (SAX alphabet sweep, RMSE + time) |
+//! | `figures` | Figures 2–8 (forecast trajectory SVGs) |
+//! | `ablation`| extra: mux × backend × dataset grid, aggregation rules |
+//! | `repro`   | everything above, writing `results/` |
+//!
+//! Shared machinery lives here: the method roster ([`runner`]), timing,
+//! markdown [`report`]ing, and a dependency-free SVG [`plot`]ter.
+
+pub mod figs;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod tables;
+pub mod timing;
+
+/// Holdout fraction used across all experiments (the final 15 % of each
+/// series is forecast, mirroring the paper's tail-forecast setup).
+pub const TEST_FRACTION: f64 = 0.15;
+
+/// Root directory for generated artifacts (created on demand).
+pub const RESULTS_DIR: &str = "results";

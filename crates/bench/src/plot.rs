@@ -1,0 +1,292 @@
+//! Dependency-free SVG line charts (and ASCII sparklines) for the figure
+//! reproductions.
+//!
+//! Each of the paper's Figures 2–8 is a forecast-vs-actual trajectory
+//! plot; [`LinePlot`] renders the same content as a standalone SVG file
+//! with axes, tick labels and a legend. A terminal [`sparkline`] is
+//! provided for quick looks in CI logs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One named series in a plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X coordinates (timestamps).
+    pub xs: Vec<f64>,
+    /// Y values; must match `xs` in length.
+    pub ys: Vec<f64>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+    /// Dashed stroke (used for forecasts).
+    pub dashed: bool,
+}
+
+/// A simple multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    series: Vec<Series>,
+}
+
+/// Default categorical palette (colorblind-safe-ish).
+pub const PALETTE: [&str; 6] = ["#3B6FB6", "#D1495B", "#3C8D53", "#EDAE49", "#7768AE", "#5E6572"];
+
+impl LinePlot {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), width: 860, height: 420, series: Vec::new() }
+    }
+
+    /// Adds a series with an automatic palette color.
+    pub fn add(&mut self, label: impl Into<String>, xs: Vec<f64>, ys: Vec<f64>, dashed: bool) -> &mut Self {
+        assert_eq!(xs.len(), ys.len(), "series coordinates must pair up");
+        let color = PALETTE[self.series.len() % PALETTE.len()].to_string();
+        self.series.push(Series { label: label.into(), xs, ys, color, dashed });
+        self
+    }
+
+    /// Adds a y-series indexed 0.. with an x offset (convenience for
+    /// "history then forecast" layouts).
+    pub fn add_indexed(
+        &mut self,
+        label: impl Into<String>,
+        offset: usize,
+        ys: &[f64],
+        dashed: bool,
+    ) -> &mut Self {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| (offset + i) as f64).collect();
+        self.add(label, xs, ys.to_vec(), dashed)
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let (mut found, mut x0, mut x1, mut y0, mut y1) = (false, 0.0f64, 1.0f64, 0.0f64, 1.0f64);
+        for s in &self.series {
+            for (&x, &y) in s.xs.iter().zip(&s.ys) {
+                if !y.is_finite() || !x.is_finite() {
+                    continue;
+                }
+                if !found {
+                    (x0, x1, y0, y1) = (x, x, y, y);
+                    found = true;
+                } else {
+                    x0 = x0.min(x);
+                    x1 = x1.max(x);
+                    y0 = y0.min(y);
+                    y1 = y1.max(y);
+                }
+            }
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        (x0, x1, y0, y1)
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (ml, mr, mt, mb) = (62.0, 18.0, 42.0, 44.0); // margins
+        let (x0, x1, y0p, y1p) = self.bounds();
+        // Pad the y range 5 % so lines don't hug the frame.
+        let pad = (y1p - y0p) * 0.05;
+        let (y0, y1) = (y0p - pad, y1p + pad);
+        let sx = |x: f64| ml + (x - x0) / (x1 - x0) * (w - ml - mr);
+        let sy = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"##
+        );
+        let _ = write!(svg, r##"<rect width="{w}" height="{h}" fill="white"/>"##);
+        let _ = write!(
+            svg,
+            r##"<text x="{}" y="24" font-size="16" text-anchor="middle" fill="#222">{}</text>"##,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+        // Axes frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{ml}" y="{mt}" width="{}" height="{}" fill="none" stroke="#999"/>"##,
+            w - ml - mr,
+            h - mt - mb
+        );
+        // Ticks: 5 on each axis.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{0}" y1="{1}" x2="{0}" y2="{2}" stroke="#ddd"/>"##,
+                sx(fx),
+                mt,
+                h - mb
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{}" y="{}" font-size="11" text-anchor="middle" fill="#555">{:.0}</text>"##,
+                sx(fx),
+                h - mb + 16.0,
+                fx
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{0}" y1="{1}" x2="{2}" y2="{1}" stroke="#ddd"/>"##,
+                ml,
+                sy(fy),
+                w - mr
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{}" y="{}" font-size="11" text-anchor="end" fill="#555">{:.2}</text>"##,
+                ml - 6.0,
+                sy(fy) + 4.0,
+                fy
+            );
+        }
+        // Series.
+        for s in &self.series {
+            if s.xs.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            for (i, (&x, &y)) in s.xs.iter().zip(&s.ys).enumerate() {
+                let _ = write!(d, "{}{:.2},{:.2} ", if i == 0 { "M" } else { "L" }, sx(x), sy(y));
+            }
+            let dash = if s.dashed { r##" stroke-dasharray="6 3""## } else { "" };
+            let _ = write!(
+                svg,
+                r##"<path d="{}" fill="none" stroke="{}" stroke-width="1.8"{dash}/>"##,
+                d.trim_end(),
+                s.color
+            );
+        }
+        // Legend (top-left inside the frame).
+        for (i, s) in self.series.iter().enumerate() {
+            let ly = mt + 16.0 + 18.0 * i as f64;
+            let dash = if s.dashed { r##" stroke-dasharray="6 3""## } else { "" };
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{}" stroke-width="2"{dash}/>"##,
+                ml + 8.0,
+                ml + 34.0,
+                s.color
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{}" y="{}" font-size="12" fill="#333">{}</text>"##,
+                ml + 40.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Writes the SVG to `path` (creating parent directories).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_svg())
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Unicode sparkline of a series (`▁▂▃▄▅▆▇█`), for terminal output.
+pub fn sparkline(ys: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if ys.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    for &y in ys {
+        if y.is_finite() {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if !lo.is_finite() || (hi - lo).abs() < 1e-12 {
+        return BARS[0].to_string().repeat(ys.len());
+    }
+    ys.iter()
+        .map(|&y| {
+            let f = ((y - lo) / (hi - lo) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[f]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_all_series_and_title() {
+        let mut p = LinePlot::new("Test <plot>");
+        p.add("actual", vec![0.0, 1.0, 2.0], vec![1.0, 3.0, 2.0], false);
+        p.add_indexed("forecast", 2, &[2.0, 4.0], true);
+        let svg = p.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Test &lt;plot&gt;"));
+        assert!(svg.contains("actual"));
+        assert!(svg.contains("forecast"));
+        assert!(svg.contains("stroke-dasharray"));
+        // Two path elements, one per series.
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("mc_bench_plot_test/nested");
+        let file = dir.join("p.svg");
+        let mut p = LinePlot::new("t");
+        p.add("s", vec![0.0, 1.0], vec![0.0, 1.0], false);
+        p.save(&file).unwrap();
+        assert!(file.exists());
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut p = LinePlot::new("flat");
+        p.add("c", vec![0.0, 1.0], vec![5.0, 5.0], false);
+        let svg = p.to_svg();
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[2.0, 2.0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_series_rejected() {
+        LinePlot::new("t").add("s", vec![0.0], vec![0.0, 1.0], false);
+    }
+}

@@ -1,0 +1,138 @@
+//! Markdown table emission and results-directory management.
+//!
+//! Every experiment binary prints its table to stdout *and* writes it under
+//! `results/`, so `cargo run -p mc-bench --bin repro` leaves a complete,
+//! diffable record of a run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as markdown with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `results/<file>`.
+    pub fn emit(&self, results_dir: impl AsRef<Path>, file: &str) -> std::io::Result<PathBuf> {
+        let md = self.to_markdown();
+        println!("{md}");
+        let dir = results_dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(file);
+        fs::write(&path, &md)?;
+        Ok(path)
+    }
+}
+
+/// Formats an f64 the way the paper's tables do (3 decimals, trailing
+/// zeros trimmed to match e.g. `2.71`).
+pub fn fmt_metric(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Demo", &["Method", "RMSE"]);
+        t.row(vec!["ARIMA".into(), "2.63".into()]);
+        t.row(vec!["LSTM".into(), "3.89".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("## Demo"));
+        assert_eq!(md.matches('\n').count(), 6); // title, blank, header, sep, 2 rows
+        assert!(md.contains("| ARIMA  | 2.63 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn metric_formatting_matches_paper_style() {
+        assert_eq!(fmt_metric(2.71), "2.71");
+        assert_eq!(fmt_metric(0.703), "0.703");
+        assert_eq!(fmt_metric(13.752), "13.752");
+        assert_eq!(fmt_metric(3.0), "3");
+        assert_eq!(fmt_metric(0.0), "0");
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join("mc_bench_report_test");
+        let mut t = Table::new("T", &["x"]);
+        t.row(vec!["1".into()]);
+        let path = t.emit(&dir, "t.md").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("## T"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

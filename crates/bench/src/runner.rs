@@ -1,0 +1,183 @@
+//! Shared experiment machinery: the method roster, evaluation protocol and
+//! result records.
+//!
+//! Protocol (identical for every table): split the dataset, hand the train
+//! segment to each forecaster, forecast exactly the test horizon, score
+//! per-dimension RMSE, and record wall-clock seconds plus (for LLM-based
+//! methods) token counts.
+
+use mc_baselines::{ArimaForecaster, LstmConfig, LstmForecaster};
+use mc_lm::cost::InferenceCost;
+use mc_tslib::error::Result;
+use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
+use mc_tslib::metrics::rmse;
+use mc_tslib::series::MultivariateSeries;
+use mc_tslib::split::holdout_split;
+use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
+
+use crate::timing::timed;
+
+/// Outcome of evaluating one method on one dataset.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name (paper style).
+    pub method: String,
+    /// RMSE per dimension, in dataset order.
+    pub per_dim_rmse: Vec<f64>,
+    /// Wall-clock seconds of the forecast call (training included for
+    /// the LSTM, order search included for ARIMA).
+    pub seconds: f64,
+    /// LLM token counters, when the method has them.
+    pub cost: Option<InferenceCost>,
+    /// The forecast itself (kept for figure rendering).
+    pub forecast: MultivariateSeries,
+}
+
+/// A boxed method under its paper display name.
+///
+/// Token-cost reporting (Tables VII–IX) bypasses this wrapper and reads
+/// `last_cost` on the concrete forecaster types directly; the roster path
+/// only needs names, forecasts and timings.
+pub struct Method {
+    /// Display name.
+    pub name: String,
+    forecaster: Box<dyn MultivariateForecaster>,
+}
+
+impl Method {
+    /// Wraps a forecaster under a display name.
+    pub fn plain(name: impl Into<String>, forecaster: Box<dyn MultivariateForecaster>) -> Self {
+        Self { name: name.into(), forecaster }
+    }
+
+    /// Evaluates this method on a pre-split dataset.
+    pub fn evaluate(
+        &mut self,
+        train: &MultivariateSeries,
+        test: &MultivariateSeries,
+    ) -> Result<MethodResult> {
+        let horizon = test.len();
+        let (forecast, seconds) = timed(|| self.forecaster.forecast(train, horizon));
+        let forecast = forecast?;
+        let mut per_dim_rmse = Vec::with_capacity(test.dims());
+        for d in 0..test.dims() {
+            per_dim_rmse.push(rmse(test.column(d)?, forecast.column(d)?)?);
+        }
+        Ok(MethodResult {
+            method: self.name.clone(),
+            per_dim_rmse,
+            seconds,
+            cost: None,
+            forecast,
+        })
+    }
+}
+
+/// Builds the paper's six-method roster (§IV-A3) with the given LLM
+/// pipeline configuration: MultiCast (DI/VI/VC), LLMTIME, ARIMA, LSTM.
+pub fn standard_roster(config: ForecastConfig) -> Vec<Method> {
+    let mut methods = Vec::new();
+    for mux in MuxMethod::ALL {
+        methods.push(Method::plain(
+            mux.display_name(),
+            Box::new(MultiCastForecaster::new(mux, config)),
+        ));
+    }
+    methods.push(Method::plain("LLMTIME", Box::new(LlmTimeForecaster::new(config))));
+    methods.push(Method::plain(
+        "ARIMA",
+        Box::new(PerDimension(ArimaForecaster::default())),
+    ));
+    methods.push(Method::plain(
+        "LSTM",
+        Box::new(LstmForecaster::new(LstmConfig { seed: config.seed, ..LstmConfig::default() })),
+    ));
+    methods
+}
+
+/// Evaluates the whole roster on a dataset; returns one result per method.
+pub fn evaluate_roster(
+    methods: &mut [Method],
+    series: &MultivariateSeries,
+    test_fraction: f64,
+) -> Result<Vec<MethodResult>> {
+    let (train, test) = holdout_split(series, test_fraction)?;
+    methods.iter_mut().map(|m| m.evaluate(&train, &test)).collect()
+}
+
+/// Marks the best (bold) and second-best (italic) value per column, the
+/// way the paper's tables annotate winners. Returns formatted strings.
+pub fn mark_winners(values: &[f64], formatted: &[String]) -> Vec<String> {
+    assert_eq!(values.len(), formatted.len());
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    formatted
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if Some(&i) == idx.first() {
+                format!("**{s}**")
+            } else if Some(&i) == idx.get(1) {
+                format!("*{s}*")
+            } else {
+                s.clone()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::sinusoids;
+
+    fn small_series() -> MultivariateSeries {
+        let a = sinusoids(80, &[(1.0, 10.0, 0.0)]);
+        let b = sinusoids(80, &[(2.0, 10.0, 0.7)]);
+        MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+    }
+
+    fn fast_config() -> ForecastConfig {
+        ForecastConfig { samples: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn roster_has_papers_six_methods() {
+        let methods = standard_roster(fast_config());
+        let names: Vec<&str> = methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "MultiCast (DI)",
+                "MultiCast (VI)",
+                "MultiCast (VC)",
+                "LLMTIME",
+                "ARIMA",
+                "LSTM"
+            ]
+        );
+    }
+
+    #[test]
+    fn evaluate_produces_finite_rmse_for_llm_methods() {
+        // Keep the test fast: only the three MultiCast variants + LLMTIME.
+        let mut methods = standard_roster(fast_config());
+        methods.truncate(4);
+        let results = evaluate_roster(&mut methods, &small_series(), 0.1).unwrap();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.per_dim_rmse.len(), 2);
+            assert!(r.per_dim_rmse.iter().all(|v| v.is_finite() && *v >= 0.0), "{r:?}");
+            assert!(r.seconds >= 0.0);
+            assert_eq!(r.forecast.len(), 8);
+        }
+    }
+
+    #[test]
+    fn winner_marking_matches_paper_convention() {
+        let values = [2.0, 1.0, 3.0];
+        let formatted: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+        let marked = mark_winners(&values, &formatted);
+        assert_eq!(marked, vec!["*2*".to_string(), "**1**".to_string(), "3".to_string()]);
+    }
+}

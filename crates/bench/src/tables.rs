@@ -1,0 +1,290 @@
+//! One function per paper table; the table binaries and the `repro`
+//! umbrella are thin wrappers around these.
+//!
+//! Each function runs the complete experiment and returns a
+//! [`Table`] ready to print/save. A `samples_override` lets tests run the
+//! sweeps with one sample instead of the paper defaults.
+
+use mc_datasets::PaperDataset;
+use mc_lm::presets::ModelPreset;
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::SaxConfig;
+use mc_tslib::error::Result;
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::metrics::rmse;
+use mc_tslib::split::holdout_split;
+use multicast_core::{
+    ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod, SaxForecastConfig,
+    SaxMultiCastForecaster,
+};
+
+use crate::report::{fmt_metric, Table};
+use crate::runner::{evaluate_roster, mark_winners, standard_roster};
+use crate::timing::{format_seconds, timed};
+use crate::TEST_FRACTION;
+
+fn config_with(samples: usize, preset: ModelPreset) -> ForecastConfig {
+    ForecastConfig { samples, preset, ..ForecastConfig::default() }
+}
+
+/// Table I — dataset inventory.
+pub fn table1_datasets() -> Table {
+    let mut t = Table::new("Table I — Datasets", &["Dataset", "Dimensions", "Length"]);
+    for ds in PaperDataset::ALL {
+        let info = ds.info();
+        t.row(vec![info.name.to_string(), info.dims.to_string(), info.length.to_string()]);
+    }
+    t
+}
+
+/// Table II — parameter space with defaults.
+pub fn table2_parameters() -> Table {
+    let mut t = Table::new("Table II — Parameters (defaults in bold)", &["Parameter", "Range"]);
+    t.row(vec!["Dimensions".into(), "**2**, 3, 4".into()]);
+    t.row(vec!["Number of samples".into(), "**5**, 10, 20".into()]);
+    t.row(vec!["SAX segment length".into(), "3, **6**, 9".into()]);
+    t.row(vec!["SAX alphabet size".into(), "**5**, 10, 20".into()]);
+    t
+}
+
+/// Table III — backend comparison (LLaMA2-7B vs Phi-2 stand-ins) on
+/// Gas Rate with MultiCast (VI).
+pub fn table3_model_comparison(samples: usize) -> Result<Table> {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let mut t = Table::new(
+        "Table III — LLM model comparison (Gas Rate, MultiCast VI)",
+        &["Model", "GasRate", "CO2"],
+    );
+    for preset in [ModelPreset::Large, ModelPreset::Small] {
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config_with(samples, preset));
+        let fc = f.forecast(&train, test.len())?;
+        let mut cells = vec![format!("MultiCast ({})", preset.display_name())];
+        for d in 0..2 {
+            cells.push(fmt_metric(rmse(test.column(d)?, fc.column(d)?)?));
+        }
+        t.row(cells);
+    }
+    Ok(t)
+}
+
+/// Tables IV–VI — full six-method RMSE sweep on one dataset, winners
+/// marked bold (best) / italic (second), matching the paper's convention.
+pub fn table_rmse_sweep(dataset: PaperDataset, samples: usize, title: &str) -> Result<Table> {
+    let series = dataset.load();
+    let info = dataset.info();
+    let mut header: Vec<&str> = vec!["Model"];
+    header.extend(info.dimension_names);
+    let mut t = Table::new(title, &header);
+    let mut methods = standard_roster(config_with(samples, ModelPreset::Large));
+    let results = evaluate_roster(&mut methods, &series, TEST_FRACTION)?;
+    // Column-wise winner marking.
+    let mut marked: Vec<Vec<String>> = vec![Vec::new(); results.len()];
+    for d in 0..info.dims {
+        let column: Vec<f64> = results.iter().map(|r| r.per_dim_rmse[d]).collect();
+        let formatted: Vec<String> = column.iter().map(|&v| fmt_metric(v)).collect();
+        for (row, cell) in marked.iter_mut().zip(mark_winners(&column, &formatted)) {
+            row.push(cell);
+        }
+    }
+    for (r, cells) in results.iter().zip(marked) {
+        let mut row = vec![r.method.clone()];
+        row.extend(cells);
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Table IV — Gas Rate.
+pub fn table4_gas_rate(samples: usize) -> Result<Table> {
+    table_rmse_sweep(
+        PaperDataset::GasRate,
+        samples,
+        "Table IV — Forecasting RMSE for the Gas Rate dataset",
+    )
+}
+
+/// Table V — Electricity.
+pub fn table5_electricity(samples: usize) -> Result<Table> {
+    table_rmse_sweep(
+        PaperDataset::Electricity,
+        samples,
+        "Table V — Forecasting RMSE for the Electricity dataset",
+    )
+}
+
+/// Table VI — Weather.
+pub fn table6_weather(samples: usize) -> Result<Table> {
+    table_rmse_sweep(
+        PaperDataset::Weather,
+        samples,
+        "Table VI — Forecasting RMSE for the Weather dataset",
+    )
+}
+
+/// Table VII — RMSE (first Gas Rate dimension) and execution time for an
+/// increasing number of samples. `sample_counts` defaults to the paper's
+/// {5, 10, 20}.
+pub fn table7_samples_sweep(sample_counts: &[usize]) -> Result<Table> {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let header: Vec<String> =
+        std::iter::once("Method".to_string())
+            .chain(sample_counts.iter().map(|s| format!("S = {s}")))
+            .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table VII — Performance for an increasing number of samples (Gas Rate dim 1: RMSE / time / tokens)",
+        &header_refs,
+    );
+    for mux in MuxMethod::ALL {
+        let mut row = vec![mux.display_name().to_string()];
+        for &s in sample_counts {
+            let mut f = MultiCastForecaster::new(mux, config_with(s, ModelPreset::Large));
+            let (fc, secs) = timed(|| f.forecast(&train, test.len()));
+            let fc = fc?;
+            let err = rmse(test.column(0)?, fc.column(0)?)?;
+            let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
+            row.push(format!("{} / {} / {}tok", fmt_metric(err), format_seconds(secs), tokens));
+        }
+        t.row(row);
+    }
+    // LLMTIME row.
+    let mut row = vec!["LLMTIME".to_string()];
+    for &s in sample_counts {
+        let mut f = LlmTimeForecaster::new(config_with(s, ModelPreset::Large));
+        let (fc, secs) = timed(|| MultivariateForecaster::forecast(&mut f, &train, test.len()));
+        let fc = fc?;
+        let err = rmse(test.column(0)?, fc.column(0)?)?;
+        let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
+        row.push(format!("{} / {} / {}tok", fmt_metric(err), format_seconds(secs), tokens));
+    }
+    t.row(row);
+    Ok(t)
+}
+
+/// Shared runner for the two SAX sweeps: evaluates the SAX forecaster on
+/// Gas Rate and reports the CO2-dimension RMSE, time and tokens.
+fn sax_cell(
+    kind: SaxAlphabetKind,
+    segment_len: usize,
+    alphabet_size: usize,
+    samples: usize,
+) -> Result<Option<String>> {
+    let Some(alphabet) = SaxAlphabet::new(kind, alphabet_size) else {
+        return Ok(None); // e.g. digital size 20 — the paper's N/A cell
+    };
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let cfg = SaxForecastConfig {
+        sax: SaxConfig { segment_len, alphabet },
+        base: config_with(samples, ModelPreset::Large),
+    };
+    let mut f = SaxMultiCastForecaster::new(cfg);
+    let (fc, secs) = timed(|| f.forecast(&train, test.len()));
+    let fc = fc?;
+    let err = rmse(test.column(1)?, fc.column(1)?)?;
+    let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
+    Ok(Some(format!("{} / {} / {}tok", fmt_metric(err), format_seconds(secs), tokens)))
+}
+
+/// The non-quantized MultiCast reference row used by Tables VIII and IX.
+fn raw_multicast_reference(samples: usize) -> Result<String> {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let mut f = MultiCastForecaster::new(
+        MuxMethod::DigitInterleave,
+        config_with(samples, ModelPreset::Large),
+    );
+    let (fc, secs) = timed(|| f.forecast(&train, test.len()));
+    let fc = fc?;
+    let err = rmse(test.column(1)?, fc.column(1)?)?;
+    let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
+    Ok(format!("{} / {} / {}tok", fmt_metric(err), format_seconds(secs), tokens))
+}
+
+/// Table VIII — increasing SAX segment length (alphabet fixed at 5).
+pub fn table8_segment_sweep(segments: &[usize], samples: usize) -> Result<Table> {
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(segments.iter().map(|s| format!("seg = {s}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table VIII — Increasing SAX segment length (Gas Rate CO2: RMSE / time / tokens)",
+        &header_refs,
+    );
+    for kind in [SaxAlphabetKind::Alphabetic, SaxAlphabetKind::Digital] {
+        let mut row = vec![format!("MultiCast SAX ({})", kind.display_name())];
+        for &seg in segments {
+            row.push(sax_cell(kind, seg, 5, samples)?.expect("size 5 valid for both kinds"));
+        }
+        t.row(row);
+    }
+    let mut reference = vec!["MultiCast (no quantization)".to_string()];
+    reference.push(raw_multicast_reference(samples)?);
+    reference.extend(std::iter::repeat_n(String::from("—"), segments.len() - 1));
+    t.row(reference);
+    Ok(t)
+}
+
+/// Table IX — increasing SAX alphabet size (segment fixed at 6); the
+/// digital alphabet cannot reach size 20 (`N/A`, as in the paper).
+pub fn table9_alphabet_sweep(sizes: &[usize], samples: usize) -> Result<Table> {
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(sizes.iter().map(|s| format!("a = {s}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table IX — Increasing SAX alphabet size (Gas Rate CO2: RMSE / time / tokens)",
+        &header_refs,
+    );
+    for kind in [SaxAlphabetKind::Alphabetic, SaxAlphabetKind::Digital] {
+        let mut row = vec![format!("MultiCast SAX ({})", kind.display_name())];
+        for &size in sizes {
+            row.push(sax_cell(kind, 6, size, samples)?.unwrap_or_else(|| "N/A".into()));
+        }
+        t.row(row);
+    }
+    let mut reference = vec!["MultiCast (no quantization)".to_string()];
+    reference.push(raw_multicast_reference(samples)?);
+    reference.extend(std::iter::repeat_n(String::from("—"), sizes.len() - 1));
+    t.row(reference);
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_and_2_are_static() {
+        let t1 = table1_datasets();
+        assert_eq!(t1.len(), 3);
+        assert!(t1.to_markdown().contains("Gas Rate"));
+        let t2 = table2_parameters();
+        assert_eq!(t2.len(), 4);
+    }
+
+    #[test]
+    fn table3_runs_with_one_sample() {
+        let t = table3_model_comparison(1).unwrap();
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("LLaMA2"), "{md}");
+        assert!(md.contains("Phi-2"), "{md}");
+    }
+
+    #[test]
+    fn table7_has_all_llm_methods() {
+        let t = table7_samples_sweep(&[1]).unwrap();
+        assert_eq!(t.len(), 4); // DI, VI, VC, LLMTIME
+        assert!(t.to_markdown().contains("tok"));
+    }
+
+    #[test]
+    fn table9_digital_20_is_na() {
+        let t = table9_alphabet_sweep(&[5, 20], 1).unwrap();
+        let md = t.to_markdown();
+        assert!(md.contains("N/A"), "{md}");
+    }
+}

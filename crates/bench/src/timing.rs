@@ -1,0 +1,52 @@
+//! Wall-clock measurement helpers.
+//!
+//! The paper reports execution times next to RMSE in Tables VII–IX; the
+//! harness measures real elapsed time around each forecast call. Absolute
+//! values are hardware-bound (see `DESIGN.md` §2) — the *ratios* are what
+//! the reproduction checks.
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats seconds the way the paper prints them (`"1036 sec"` style for
+/// large values, millisecond precision for sub-second values).
+pub fn format_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} sec")
+    } else if s >= 1.0 {
+        format!("{s:.2} sec")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_positive_duration() {
+        let (v, secs) = timed(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(v, (0..10_000u64).map(|i| i.wrapping_mul(i)).fold(0u64, u64::wrapping_add));
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn seconds_formatting_bands() {
+        assert_eq!(format_seconds(1036.4), "1036 sec");
+        assert_eq!(format_seconds(52.25), "52.25 sec");
+        assert_eq!(format_seconds(0.0345), "34.5 ms");
+    }
+}

@@ -1,0 +1,90 @@
+//! Forecast configuration — the paper's Table II parameter space.
+//!
+//! | Parameter          | Range (paper)   | Default (bold in Table II) |
+//! |--------------------|-----------------|----------------------------|
+//! | Number of samples  | 5, 10, 20       | **5**                      |
+//! | SAX segment length | 3, 6, 9         | 6 (used throughout §IV-E)  |
+//! | SAX alphabet size  | 5, 10, 20       | **5**                      |
+//!
+//! Plus the serialization knobs LLMTime-style pipelines need: digits per
+//! value, rescaling headroom, backend preset and sampler settings.
+
+use mc_lm::presets::ModelPreset;
+use mc_lm::sampler::SamplerConfig;
+
+/// Configuration shared by all LLM-based forecasters in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastConfig {
+    /// Continuations drawn per forecast; the pointwise median is reported
+    /// (paper default: 5).
+    pub samples: usize,
+    /// Digits per rescaled value (`b` in formulas (1)–(3)).
+    pub digits: u32,
+    /// Rescaling headroom fraction (see [`crate::scaling::FixedDigitScaler`]).
+    pub headroom: f64,
+    /// LLM backend preset (default: the LLaMA2-7B stand-in, the paper's
+    /// choice after Table III).
+    pub preset: ModelPreset,
+    /// Sampling temperature / truncation; per-sample seeds are derived from
+    /// `seed`, so `SamplerConfig::seed` here acts as a base offset.
+    pub sampler: SamplerConfig,
+    /// Base seed for the whole forecast (sample `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            samples: 5,
+            digits: 3,
+            headroom: 0.15,
+            preset: ModelPreset::Large,
+            sampler: SamplerConfig {  temperature: 0.7, top_k: None, top_p: Some(0.95), seed: 0, epsilon: 0.0 },
+            seed: 0,
+        }
+    }
+}
+
+impl ForecastConfig {
+    /// Sampler configuration for sample index `i` (deterministic per-sample
+    /// seeds so runs replay exactly).
+    pub fn sampler_for(&self, i: usize) -> SamplerConfig {
+        SamplerConfig { seed: self.seed.wrapping_add(i as u64), ..self.sampler }
+    }
+
+    /// Generation token budget for a continuation expected to contain
+    /// `separators` commas delimiting `payload`-character groups: three
+    /// times the exact need, a generous guard against degenerate loops.
+    pub fn max_tokens(&self, separators: usize, payload: usize) -> usize {
+        (separators * (payload + 1)).saturating_mul(3).max(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_two() {
+        let c = ForecastConfig::default();
+        assert_eq!(c.samples, 5);
+        assert_eq!(c.preset, ModelPreset::Large);
+        assert_eq!(c.digits, 3);
+    }
+
+    #[test]
+    fn per_sample_seeds_differ_deterministically() {
+        let c = ForecastConfig { seed: 100, ..Default::default() };
+        assert_eq!(c.sampler_for(0).seed, 100);
+        assert_eq!(c.sampler_for(3).seed, 103);
+        assert_eq!(c.sampler_for(3), c.sampler_for(3));
+    }
+
+    #[test]
+    fn token_budget_covers_exact_need() {
+        let c = ForecastConfig::default();
+        // 10 separators, 6-char groups → exact need 70, budget 210.
+        assert_eq!(c.max_tokens(10, 6), 210);
+        assert!(c.max_tokens(0, 0) >= 16);
+    }
+}

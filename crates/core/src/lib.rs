@@ -1,0 +1,51 @@
+//! # multicast-core — zero-shot multivariate forecasting with LLMs
+//!
+//! The paper's primary contribution, end to end:
+//!
+//! 1. **Rescaling** ([`scaling`]) — every dimension is mapped to
+//!    fixed-width non-negative integers ("rescaled to avoid decimals",
+//!    §III-A) so each timestamp serializes to exactly `b` digit tokens;
+//! 2. **Dimensional multiplexing** ([`mux`]) — the three token-multiplexing
+//!    schemes of Figure 1: digit-interleaving (DI), value-interleaving
+//!    (VI) and value-concatenation (VC), each with an exact inverse;
+//! 3. **The zero-shot pipeline** ([`pipeline`]) — serialize the history,
+//!    prompt the LLM backend, sample `S` constrained continuations, decode/
+//!    demultiplex/descale each and take the pointwise median (§IV-D);
+//! 4. **Forecasters** — [`MultiCastForecaster`] (the paper's method),
+//!    [`LlmTimeForecaster`] (the LLMTime baseline, applied per dimension),
+//!    and [`SaxMultiCastForecaster`] (the SAX-quantized variant of §III-B
+//!    driving Tables VIII–IX);
+//! 5. **Configuration** ([`config`]) — Table II's parameter space with the
+//!    paper's bold defaults.
+//!
+//! ```
+//! use mc_datasets::gas_rate;
+//! use mc_tslib::{forecast::MultivariateForecaster, split::holdout_split};
+//! use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
+//!
+//! let (train, test) = holdout_split(&gas_rate(), 0.1).unwrap();
+//! let config = ForecastConfig { samples: 2, ..ForecastConfig::default() };
+//! let mut forecaster = MultiCastForecaster::new(MuxMethod::ValueInterleave, config);
+//! let forecast = forecaster.forecast(&train, test.len()).unwrap();
+//! assert_eq!(forecast.len(), test.len());
+//! assert_eq!(forecast.dims(), 2);
+//! ```
+
+pub mod config;
+pub mod intervals;
+pub mod llmtime;
+pub mod multicast;
+pub mod mux;
+pub mod pipeline;
+pub mod sax_pipeline;
+pub mod scaling;
+pub mod streaming;
+
+pub use config::ForecastConfig;
+pub use intervals::{bands_for, forecast_with_bands, ForecastBands};
+pub use llmtime::LlmTimeForecaster;
+pub use multicast::MultiCastForecaster;
+pub use mux::{DigitInterleave, Multiplexer, MuxMethod, ValueConcat, ValueInterleave};
+pub use sax_pipeline::{SaxForecastConfig, SaxMultiCastForecaster};
+pub use scaling::FixedDigitScaler;
+pub use streaming::StreamingMultiCast;

@@ -1,0 +1,156 @@
+//! LLMTime baseline (Gruver et al. 2023 — the paper's ref [15]).
+//!
+//! The state of the art the paper compares against: zero-shot *univariate*
+//! forecasting, "applied in each dimension separately" (§IV-A3). The
+//! pipeline is identical to MultiCast's minus the multiplexing — one
+//! prompt, one continuation stream, one dimension at a time — so any
+//! accuracy difference between the two isolates the effect of dimensional
+//! multiplexing, exactly the comparison Tables IV–VI make.
+
+use mc_tslib::error::Result;
+use mc_tslib::forecast::{MultivariateForecaster, UnivariateForecaster};
+use mc_tslib::series::MultivariateSeries;
+
+use mc_lm::cost::InferenceCost;
+use mc_lm::vocab::Vocab;
+
+use crate::config::ForecastConfig;
+use crate::mux::{Multiplexer, ValueInterleave};
+use crate::pipeline::{median_aggregate, run_samples, ContinuationSpec};
+use crate::scaling::FixedDigitScaler;
+
+/// Zero-shot univariate LLM forecaster, applied per dimension.
+#[derive(Debug, Clone)]
+pub struct LlmTimeForecaster {
+    /// Pipeline configuration (shared with MultiCast for fair comparison).
+    pub config: ForecastConfig,
+    /// Cost of the most recent forecast call (summed over dimensions and
+    /// samples).
+    pub last_cost: Option<InferenceCost>,
+}
+
+impl LlmTimeForecaster {
+    /// Creates the baseline forecaster.
+    pub fn new(config: ForecastConfig) -> Self {
+        Self { config, last_cost: None }
+    }
+
+    fn forecast_column(&self, column: &[f64], horizon: usize) -> Result<(Vec<f64>, InferenceCost)> {
+        let cfg = self.config;
+        let scaler = FixedDigitScaler::fit(&[column.to_vec()], cfg.digits, cfg.headroom)?;
+        let codes = scaler.scale_column(0, column)?;
+        // With one dimension, value-interleaving is the plain LLMTime
+        // serialization: "017,042,..." — one value per separator.
+        let mux = ValueInterleave;
+        let prompt = mux.mux(&[codes], cfg.digits);
+        let separators = mux.separators_for(1, horizon);
+        let spec = ContinuationSpec {
+            prompt,
+            vocab: Vocab::numeric(),
+            allowed_chars: "0123456789,".into(),
+            preset: cfg.preset,
+            separators,
+            max_tokens: cfg.max_tokens(separators, cfg.digits as usize),
+        };
+        let scaler_ref = &scaler;
+        let decode = move |text: &str| -> Vec<Vec<f64>> {
+            let codes = mux.demux(text, 1, cfg.digits, horizon);
+            vec![scaler_ref.descale_column(0, &codes[0]).expect("dimension 0 exists")]
+        };
+        let (decoded, cost) =
+            run_samples(&spec, cfg.samples.max(1), |i| cfg.sampler_for(i), decode);
+        let median = median_aggregate(&decoded);
+        Ok((median.into_iter().next().expect("one dimension"), cost))
+    }
+}
+
+impl UnivariateForecaster for LlmTimeForecaster {
+    fn name(&self) -> String {
+        "LLMTIME".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        let (fc, cost) = self.forecast_column(train, horizon)?;
+        let mut total = self.last_cost.take().unwrap_or_default();
+        total.absorb(cost);
+        self.last_cost = Some(total);
+        Ok(fc)
+    }
+}
+
+impl MultivariateForecaster for LlmTimeForecaster {
+    fn name(&self) -> String {
+        "LLMTIME".into()
+    }
+
+    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+        self.last_cost = None;
+        let mut columns = Vec::with_capacity(train.dims());
+        let mut total = InferenceCost::default();
+        for d in 0..train.dims() {
+            let (fc, cost) = self.forecast_column(train.column(d)?, horizon)?;
+            total.absorb(cost);
+            columns.push(fc);
+        }
+        self.last_cost = Some(total);
+        MultivariateSeries::from_columns(train.names().to_vec(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::sinusoids;
+    use mc_tslib::metrics::rmse;
+    use mc_tslib::split::holdout_split;
+
+    fn config(samples: usize, seed: u64) -> ForecastConfig {
+        ForecastConfig { samples, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn forecasts_every_dimension_independently() {
+        let a = sinusoids(80, &[(1.0, 10.0, 0.0)]);
+        let b: Vec<f64> = (0..80).map(|t| t as f64).collect();
+        let series =
+            MultivariateSeries::from_columns(vec!["s".into(), "ramp".into()], vec![a, b]).unwrap();
+        let mut f = LlmTimeForecaster::new(config(2, 1));
+        let fc = MultivariateForecaster::forecast(&mut f, &series, 6).unwrap();
+        assert_eq!(fc.dims(), 2);
+        assert_eq!(fc.len(), 6);
+        assert!(f.last_cost.unwrap().generated_tokens > 0);
+    }
+
+    #[test]
+    fn tracks_periodic_univariate_series() {
+        let xs = sinusoids(160, &[(1.0, 16.0, 0.0)]);
+        let series = MultivariateSeries::from_columns(vec!["x".into()], vec![xs]).unwrap();
+        let (train, test) = holdout_split(&series, 0.1).unwrap();
+        let mut f = LlmTimeForecaster::new(config(5, 2));
+        let fc = f.forecast_univariate(train.column(0).unwrap(), test.len()).unwrap();
+        let err = rmse(test.column(0).unwrap(), &fc).unwrap();
+        let mean_err = rmse(test.column(0).unwrap(), &vec![0.0; test.len()]).unwrap();
+        assert!(err < mean_err, "llmtime {err:.3} vs mean predictor {mean_err:.3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs = sinusoids(60, &[(1.0, 12.0, 0.5)]);
+        let mut f1 = LlmTimeForecaster::new(config(3, 5));
+        let mut f2 = LlmTimeForecaster::new(config(3, 5));
+        assert_eq!(
+            f1.forecast_univariate(&xs, 5).unwrap(),
+            f2.forecast_univariate(&xs, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn univariate_cost_accumulates_across_calls() {
+        let xs = sinusoids(40, &[(1.0, 8.0, 0.0)]);
+        let mut f = LlmTimeForecaster::new(config(1, 3));
+        f.forecast_univariate(&xs, 3).unwrap();
+        let first = f.last_cost.unwrap().total_tokens();
+        f.forecast_univariate(&xs, 3).unwrap();
+        assert!(f.last_cost.unwrap().total_tokens() > first);
+    }
+}

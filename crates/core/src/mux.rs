@@ -1,0 +1,370 @@
+//! Dimensional multiplexing: the paper's three token-multiplexing schemes
+//! (§III-A, Figure 1) with exact inverses.
+//!
+//! All three serialize a `d`-dimensional series of fixed-width integer
+//! codes into one comma-separated token stream:
+//!
+//! - **DI** ([`DigitInterleave`], formula 1): within a timestamp, digit
+//!   positions rotate across dimensions — `d1=17, d2=23 → "1273"`. The
+//!   most significant digits of *all* dimensions come first, which the
+//!   paper argues helps the model infer scale for similarly-scaled series.
+//! - **VI** ([`ValueInterleave`], formula 2): whole values back-to-back —
+//!   `→ "1723"`. Suited to dimensions on different scales.
+//! - **VC** ([`ValueConcat`], formula 3): each dimension's value is its own
+//!   comma-separated entry — `→ "17,23"` per timestamp.
+//!
+//! Demultiplexing is exact on well-formed streams (property-tested) and
+//! *lenient* on malformed ones: an LLM continuation with a wrong group
+//! width is repaired (left-pad/truncate) rather than rejected, because a
+//! sampling pipeline must never abort on one bad sample.
+
+use crate::scaling::format_code;
+
+/// Which multiplexing scheme a forecaster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MuxMethod {
+    /// Digit-interleaving (DI).
+    DigitInterleave,
+    /// Value-interleaving (VI).
+    ValueInterleave,
+    /// Value-concatenation (VC).
+    ValueConcat,
+}
+
+impl MuxMethod {
+    /// All methods, in paper order.
+    pub const ALL: [MuxMethod; 3] =
+        [MuxMethod::DigitInterleave, MuxMethod::ValueInterleave, MuxMethod::ValueConcat];
+
+    /// Paper-style display name.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            MuxMethod::DigitInterleave => "MultiCast (DI)",
+            MuxMethod::ValueInterleave => "MultiCast (VI)",
+            MuxMethod::ValueConcat => "MultiCast (VC)",
+        }
+    }
+
+    /// Short tag used in file names and plots.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MuxMethod::DigitInterleave => "DI",
+            MuxMethod::ValueInterleave => "VI",
+            MuxMethod::ValueConcat => "VC",
+        }
+    }
+
+    /// Builds the corresponding multiplexer.
+    pub fn build(self) -> Box<dyn Multiplexer> {
+        match self {
+            MuxMethod::DigitInterleave => Box::new(DigitInterleave),
+            MuxMethod::ValueInterleave => Box::new(ValueInterleave),
+            MuxMethod::ValueConcat => Box::new(ValueConcat),
+        }
+    }
+}
+
+/// A dimensional multiplexing scheme.
+pub trait Multiplexer: Send + Sync {
+    /// The scheme's identity.
+    fn method(&self) -> MuxMethod;
+
+    /// Serializes `codes[d][t]` (all dimensions equal length) into the
+    /// comma-separated token stream, `digits` characters per value.
+    /// The stream ends **with** a trailing comma so a generation appended
+    /// to it starts a fresh group.
+    fn mux(&self, codes: &[Vec<u64>], digits: u32) -> String;
+
+    /// Parses a continuation back into per-dimension codes, recovering at
+    /// most `horizon` timestamps. Lenient: malformed groups are repaired,
+    /// missing tail timestamps are filled by repeating the last parsed
+    /// (or mid-range) code.
+    fn demux(&self, text: &str, dims: usize, digits: u32, horizon: usize) -> Vec<Vec<u64>>;
+
+    /// Comma count after which a `horizon`-timestamp continuation is
+    /// complete (the generation stop rule).
+    fn separators_for(&self, dims: usize, horizon: usize) -> usize;
+}
+
+/// Repairs a digit group to exactly `want` characters: truncates extras,
+/// left-pads shortfalls with `'0'`.
+fn normalize_group(group: &str, want: usize) -> String {
+    let digits: String = group.chars().filter(|c| c.is_ascii_digit()).collect();
+    match digits.len().cmp(&want) {
+        std::cmp::Ordering::Equal => digits,
+        std::cmp::Ordering::Greater => digits[..want].to_string(),
+        std::cmp::Ordering::Less => format!("{digits:0>want$}"),
+    }
+}
+
+fn parse_code(digits: &str) -> u64 {
+    digits.parse().unwrap_or(0)
+}
+
+/// Splits a stream into non-empty comma-separated groups.
+fn groups(text: &str) -> impl Iterator<Item = &str> {
+    text.split(',').map(str::trim).filter(|g| !g.is_empty())
+}
+
+/// Fills `out` up to `horizon` by repeating each dimension's last code
+/// (or the mid-range code when nothing was parsed).
+fn pad_to_horizon(out: &mut [Vec<u64>], horizon: usize, digits: u32) {
+    let mid = (10u64.pow(digits) - 1) / 2;
+    for col in out.iter_mut() {
+        let fill = col.last().copied().unwrap_or(mid);
+        while col.len() < horizon {
+            col.push(fill);
+        }
+        col.truncate(horizon);
+    }
+}
+
+/// Digit-interleaving (DI) — formula (1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DigitInterleave;
+
+impl Multiplexer for DigitInterleave {
+    fn method(&self) -> MuxMethod {
+        MuxMethod::DigitInterleave
+    }
+
+    fn mux(&self, codes: &[Vec<u64>], digits: u32) -> String {
+        let d = codes.len();
+        let n = codes.first().map_or(0, Vec::len);
+        let b = digits as usize;
+        let mut out = String::with_capacity(n * (d * b + 1));
+        let mut rendered: Vec<String> = Vec::with_capacity(d);
+        for t in 0..n {
+            rendered.clear();
+            rendered.extend(codes.iter().map(|col| format_code(col[t], digits)));
+            for j in 0..b {
+                for r in &rendered {
+                    out.push(r.as_bytes()[j] as char);
+                }
+            }
+            out.push(',');
+        }
+        out
+    }
+
+    fn demux(&self, text: &str, dims: usize, digits: u32, horizon: usize) -> Vec<Vec<u64>> {
+        let b = digits as usize;
+        let mut out = vec![Vec::with_capacity(horizon); dims];
+        for group in groups(text).take(horizon) {
+            let g = normalize_group(group, dims * b);
+            let bytes = g.as_bytes();
+            for (i, col) in out.iter_mut().enumerate() {
+                let val: String = (0..b).map(|j| bytes[j * dims + i] as char).collect();
+                col.push(parse_code(&val));
+            }
+        }
+        pad_to_horizon(&mut out, horizon, digits);
+        out
+    }
+
+    fn separators_for(&self, _dims: usize, horizon: usize) -> usize {
+        horizon
+    }
+}
+
+/// Value-interleaving (VI) — formula (2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueInterleave;
+
+impl Multiplexer for ValueInterleave {
+    fn method(&self) -> MuxMethod {
+        MuxMethod::ValueInterleave
+    }
+
+    fn mux(&self, codes: &[Vec<u64>], digits: u32) -> String {
+        let d = codes.len();
+        let n = codes.first().map_or(0, Vec::len);
+        let b = digits as usize;
+        let mut out = String::with_capacity(n * (d * b + 1));
+        for t in 0..n {
+            for col in codes {
+                out.push_str(&format_code(col[t], digits));
+            }
+            out.push(',');
+        }
+        out
+    }
+
+    fn demux(&self, text: &str, dims: usize, digits: u32, horizon: usize) -> Vec<Vec<u64>> {
+        let b = digits as usize;
+        let mut out = vec![Vec::with_capacity(horizon); dims];
+        for group in groups(text).take(horizon) {
+            let g = normalize_group(group, dims * b);
+            for (i, col) in out.iter_mut().enumerate() {
+                col.push(parse_code(&g[i * b..(i + 1) * b]));
+            }
+        }
+        pad_to_horizon(&mut out, horizon, digits);
+        out
+    }
+
+    fn separators_for(&self, _dims: usize, horizon: usize) -> usize {
+        horizon
+    }
+}
+
+/// Value-concatenation (VC) — formula (3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueConcat;
+
+impl Multiplexer for ValueConcat {
+    fn method(&self) -> MuxMethod {
+        MuxMethod::ValueConcat
+    }
+
+    fn mux(&self, codes: &[Vec<u64>], digits: u32) -> String {
+        let d = codes.len();
+        let n = codes.first().map_or(0, Vec::len);
+        let b = digits as usize;
+        let mut out = String::with_capacity(n * d * (b + 1));
+        for t in 0..n {
+            for col in codes {
+                out.push_str(&format_code(col[t], digits));
+                out.push(',');
+            }
+        }
+        out
+    }
+
+    fn demux(&self, text: &str, dims: usize, digits: u32, horizon: usize) -> Vec<Vec<u64>> {
+        let b = digits as usize;
+        let mut out = vec![Vec::with_capacity(horizon); dims];
+        let mut dim = 0usize;
+        for group in groups(text) {
+            if out[dim].len() >= horizon {
+                break;
+            }
+            let g = normalize_group(group, b);
+            out[dim].push(parse_code(&g));
+            dim = (dim + 1) % dims;
+        }
+        pad_to_horizon(&mut out, horizon, digits);
+        out
+    }
+
+    fn separators_for(&self, dims: usize, horizon: usize) -> usize {
+        dims * horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact worked example of the paper's Figure 1:
+    /// `d1 = [1.7, 2.6]`, `d2 = [2.3, 3.1]` rescaled to `[17, 26]` and
+    /// `[23, 31]` with `b = 2`.
+    fn figure1_codes() -> Vec<Vec<u64>> {
+        vec![vec![17, 26], vec![23, 31]]
+    }
+
+    #[test]
+    fn figure1_digit_interleaving() {
+        let s = DigitInterleave.mux(&figure1_codes(), 2);
+        assert_eq!(s, "1273,2361,");
+    }
+
+    #[test]
+    fn figure1_value_interleaving() {
+        let s = ValueInterleave.mux(&figure1_codes(), 2);
+        assert_eq!(s, "1723,2631,");
+    }
+
+    #[test]
+    fn figure1_value_concatenation() {
+        let s = ValueConcat.mux(&figure1_codes(), 2);
+        assert_eq!(s, "17,23,26,31,");
+    }
+
+    #[test]
+    fn round_trip_all_methods() {
+        let codes = vec![vec![17, 26, 999, 0], vec![23, 31, 7, 850]];
+        for method in MuxMethod::ALL {
+            let m = method.build();
+            let s = m.mux(&codes, 3);
+            let back = m.demux(&s, 2, 3, 4);
+            assert_eq!(back, codes, "{method:?} failed to round-trip");
+        }
+    }
+
+    #[test]
+    fn round_trip_single_dimension() {
+        // With d = 1 all three schemes degenerate to the same stream.
+        let codes = vec![vec![5, 42, 127]];
+        let di = DigitInterleave.mux(&codes, 3);
+        let vi = ValueInterleave.mux(&codes, 3);
+        let vc = ValueConcat.mux(&codes, 3);
+        assert_eq!(di, vi);
+        assert_eq!(vi, vc);
+        assert_eq!(di, "005,042,127,");
+        for method in MuxMethod::ALL {
+            assert_eq!(method.build().demux(&di, 1, 3, 3), codes);
+        }
+    }
+
+    #[test]
+    fn lenient_demux_repairs_short_group() {
+        // Second group lost a digit: "12" instead of 4 chars.
+        let back = ValueInterleave.demux("1723,12,", 2, 2, 2);
+        assert_eq!(back[0][0], 17);
+        assert_eq!(back[1][0], 23);
+        // "12" left-padded to "0012" → dims (0, 12).
+        assert_eq!(back[0][1], 0);
+        assert_eq!(back[1][1], 12);
+    }
+
+    #[test]
+    fn lenient_demux_truncates_long_group() {
+        let back = ValueInterleave.demux("172345,", 2, 2, 1);
+        assert_eq!(back[0][0], 17);
+        assert_eq!(back[1][0], 23);
+    }
+
+    #[test]
+    fn lenient_demux_pads_missing_timestamps() {
+        let back = DigitInterleave.demux("1273,", 2, 2, 3);
+        assert_eq!(back[0], vec![17, 17, 17]);
+        assert_eq!(back[1], vec![23, 23, 23]);
+    }
+
+    #[test]
+    fn empty_continuation_yields_midrange() {
+        let back = ValueConcat.demux("", 2, 2, 2);
+        assert_eq!(back[0], vec![49, 49]);
+        assert_eq!(back[1], vec![49, 49]);
+    }
+
+    #[test]
+    fn separator_budgets() {
+        assert_eq!(DigitInterleave.separators_for(3, 10), 10);
+        assert_eq!(ValueInterleave.separators_for(3, 10), 10);
+        assert_eq!(ValueConcat.separators_for(3, 10), 30);
+    }
+
+    #[test]
+    fn vc_interleaves_dimensions_in_order() {
+        let back = ValueConcat.demux("11,22,33,44,", 2, 2, 2);
+        assert_eq!(back[0], vec![11, 33]);
+        assert_eq!(back[1], vec![22, 44]);
+    }
+
+    #[test]
+    fn display_names_match_paper_tables() {
+        assert_eq!(MuxMethod::DigitInterleave.display_name(), "MultiCast (DI)");
+        assert_eq!(MuxMethod::ValueInterleave.display_name(), "MultiCast (VI)");
+        assert_eq!(MuxMethod::ValueConcat.display_name(), "MultiCast (VC)");
+    }
+
+    #[test]
+    fn di_places_significant_digits_first() {
+        // One timestamp, 3 digits, 2 dims: codes 123 and 456 must serialize
+        // as 1-4-2-5-3-6 — all most-significant digits leading.
+        let s = DigitInterleave.mux(&[vec![123], vec![456]], 3);
+        assert_eq!(s, "142536,");
+    }
+}

@@ -1,0 +1,212 @@
+//! The zero-shot sampling pipeline shared by every LLM-based forecaster.
+//!
+//! One forecast = `S` independent constrained continuations of the
+//! serialized history, each decoded back to numbers, aggregated pointwise
+//! by the median (LLMTime's recipe, inherited by MultiCast — §IV-D).
+//! Samples are embarrassingly parallel and run on scoped threads; each
+//! sample gets its own backend instance and a deterministic seed, so
+//! parallelism never changes results.
+
+use mc_lm::cost::InferenceCost;
+use mc_lm::generate::{generate, GenerateOptions};
+use mc_lm::model::observe_all;
+use mc_lm::presets::{build_model, ModelPreset};
+use mc_lm::sampler::{Sampler, SamplerConfig};
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
+use mc_lm::vocab::{TokenId, Vocab};
+
+/// Everything one sampled continuation needs to run.
+#[derive(Debug, Clone)]
+pub struct ContinuationSpec {
+    /// Serialized history (must end with a separator).
+    pub prompt: String,
+    /// Vocabulary the backend speaks.
+    pub vocab: Vocab,
+    /// Characters the continuation may contain (the paper's `[0-9,]`-style
+    /// output restriction).
+    pub allowed_chars: String,
+    /// Backend preset.
+    pub preset: ModelPreset,
+    /// Stop after this many separator emissions.
+    pub separators: usize,
+    /// Hard token cap.
+    pub max_tokens: usize,
+}
+
+/// Runs one constrained continuation; returns the generated text and the
+/// backend's cost counters.
+pub fn run_continuation(
+    spec: &ContinuationSpec,
+    sampler_config: SamplerConfig,
+) -> (String, InferenceCost) {
+    let tokenizer = CharTokenizer::new(spec.vocab.clone());
+    let prompt_tokens = tokenizer
+        .encode(&spec.prompt)
+        .expect("prompt must be encodable by the chosen vocabulary");
+    let sep = spec.vocab.id(',').expect("vocabulary must contain the separator");
+    let allowed: Vec<bool> = {
+        let mut mask = vec![false; spec.vocab.len()];
+        for id in spec.vocab.ids_of(&spec.allowed_chars) {
+            mask[id as usize] = true;
+        }
+        mask
+    };
+    let mut model = build_model(spec.preset, spec.vocab.len());
+    observe_all(model.as_mut(), &prompt_tokens);
+    let mut sampler = Sampler::new(sampler_config);
+    let options = GenerateOptions::until_separators(sep, spec.separators, spec.max_tokens);
+    let out = generate(
+        model.as_mut(),
+        &mut sampler,
+        |t: TokenId| allowed[t as usize],
+        &options,
+    );
+    let text = tokenizer.decode(&out).expect("generated tokens are in-vocabulary");
+    (text, model.cost())
+}
+
+/// Runs `samples` continuations (scoped threads, deterministic seeds) and
+/// decodes each with `decode`; returns the per-sample decodings
+/// (`sample → dimension → horizon`) and the summed cost.
+pub fn run_samples<D>(
+    spec: &ContinuationSpec,
+    samples: usize,
+    sampler_for: impl Fn(usize) -> SamplerConfig + Sync,
+    decode: D,
+) -> (Vec<Vec<Vec<f64>>>, InferenceCost)
+where
+    D: Fn(&str) -> Vec<Vec<f64>> + Sync,
+{
+    assert!(samples > 0, "at least one sample required");
+    let mut per_sample: Vec<Option<(Vec<Vec<f64>>, InferenceCost)>> = vec![None; samples];
+    std::thread::scope(|scope| {
+        for (i, slot) in per_sample.iter_mut().enumerate() {
+            let spec = &*spec;
+            let sampler_for = &sampler_for;
+            let decode = &decode;
+            scope.spawn(move || {
+                let (text, cost) = run_continuation(spec, sampler_for(i));
+                *slot = Some((decode(&text), cost));
+            });
+        }
+    });
+    let mut decoded = Vec::with_capacity(samples);
+    let mut total = InferenceCost::default();
+    for slot in per_sample {
+        let (d, cost) = slot.expect("sample thread completed");
+        decoded.push(d);
+        total.absorb(cost);
+    }
+    (decoded, total)
+}
+
+/// Pointwise median across samples: `samples[s][d][t]` → `out[d][t]`.
+///
+/// # Panics
+/// If samples disagree in shape or are empty.
+pub fn median_aggregate(samples: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
+    assert!(!samples.is_empty(), "median of zero samples");
+    let dims = samples[0].len();
+    let horizon = samples[0].first().map_or(0, Vec::len);
+    let mut out = vec![vec![0.0; horizon]; dims];
+    let mut buf = Vec::with_capacity(samples.len());
+    for d in 0..dims {
+        for t in 0..horizon {
+            buf.clear();
+            for s in samples {
+                assert_eq!(s.len(), dims, "sample dimension mismatch");
+                buf.push(s[d][t]);
+            }
+            buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mid = buf.len() / 2;
+            out[d][t] = if buf.len() % 2 == 1 {
+                buf[mid]
+            } else {
+                0.5 * (buf[mid - 1] + buf[mid])
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(prompt: &str, separators: usize) -> ContinuationSpec {
+        ContinuationSpec {
+            prompt: prompt.into(),
+            vocab: Vocab::numeric(),
+            allowed_chars: "0123456789,".into(),
+            preset: ModelPreset::Large,
+            separators,
+            max_tokens: 200,
+        }
+    }
+
+    #[test]
+    fn continuation_respects_constraint_and_stop() {
+        let s = spec("123,123,123,123,123,123,123,123,", 3);
+        let cfg = SamplerConfig { temperature: 0.2, seed: 1, ..Default::default() };
+        let (text, cost) = run_continuation(&s, cfg);
+        assert!(text.chars().all(|c| c.is_ascii_digit() || c == ','), "{text}");
+        assert_eq!(text.matches(',').count(), 3);
+        assert!(cost.prompt_tokens > 0 && cost.generated_tokens > 0);
+    }
+
+    #[test]
+    fn strongly_periodic_prompt_is_continued() {
+        // A constant history must be continued (nearly) constantly at low
+        // temperature by the in-context backend.
+        let s = spec(&"042,".repeat(40), 4);
+        let cfg = SamplerConfig {  temperature: 0.05, top_k: None, top_p: None, seed: 2, epsilon: 0.0 };
+        let (text, _) = run_continuation(&s, cfg);
+        assert_eq!(text, "042,042,042,042,", "got {text}");
+    }
+
+    #[test]
+    fn run_samples_is_deterministic_and_parallel_safe() {
+        let s = spec(&"017,023,".repeat(20), 2);
+        let decode = |text: &str| -> Vec<Vec<f64>> {
+            vec![text.split(',').filter(|g| !g.is_empty()).map(|g| g.len() as f64).collect()]
+        };
+        let sampler_for =
+            |i: usize| SamplerConfig { seed: 10 + i as u64, ..SamplerConfig::default() };
+        let (a, cost_a) = run_samples(&s, 4, sampler_for, decode);
+        let (b, cost_b) = run_samples(&s, 4, sampler_for, decode);
+        assert_eq!(a, b, "parallel sampling must be deterministic");
+        assert_eq!(cost_a, cost_b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let samples = vec![
+            vec![vec![1.0, 10.0]],
+            vec![vec![3.0, 30.0]],
+            vec![vec![2.0, 20.0]],
+        ];
+        assert_eq!(median_aggregate(&samples), vec![vec![2.0, 20.0]]);
+        let even = vec![vec![vec![1.0]], vec![vec![2.0]], vec![vec![3.0]], vec![vec![10.0]]];
+        assert_eq!(median_aggregate(&even), vec![vec![2.5]]);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_wild_sample() {
+        let samples = vec![
+            vec![vec![5.0]],
+            vec![vec![5.1]],
+            vec![vec![4.9]],
+            vec![vec![999.0]], // degenerate continuation
+            vec![vec![5.05]],
+        ];
+        let m = median_aggregate(&samples);
+        assert!((m[0][0] - 5.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn median_requires_samples() {
+        median_aggregate(&[]);
+    }
+}

@@ -1,0 +1,273 @@
+//! SAX-quantized MultiCast (paper §III-B, Tables VIII–IX).
+//!
+//! Instead of serializing rescaled digits, every dimension is SAX-encoded
+//! (z-normalize → PAA → Gaussian-breakpoint symbols) and the per-segment
+//! symbols of all dimensions are interleaved into one comma-separated
+//! stream: `d1="ab…"`, `d2="bc…"` → `"ab,bc,…"` becomes `"ab" per segment`
+//! — one character per dimension per segment. The LLM now emits one token
+//! per (dimension, segment) instead of `b` digits per (dimension,
+//! timestamp), which is where the order-of-magnitude speedups of
+//! Table VIII come from: both axes are compressed (segment length on x,
+//! single symbol on y).
+//!
+//! Decoding expands each generated symbol back through the cell
+//! representative, the training z-norm state, and the PAA staircase.
+
+use mc_tslib::error::{invalid_param, Result};
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::series::MultivariateSeries;
+use mc_tslib::transform::ZNormState;
+
+use mc_lm::cost::InferenceCost;
+use mc_lm::vocab::Vocab;
+
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::{SaxConfig, SaxEncoder};
+
+use crate::config::ForecastConfig;
+use crate::pipeline::{median_aggregate, run_samples, ContinuationSpec};
+
+/// Configuration of the SAX-quantized forecaster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaxForecastConfig {
+    /// SAX knobs (segment length, alphabet kind and size).
+    pub sax: SaxConfig,
+    /// Shared LLM pipeline knobs.
+    pub base: ForecastConfig,
+}
+
+impl SaxForecastConfig {
+    /// The paper's §IV-E default: segment length 6, alphabet size 5.
+    pub fn paper_default(kind: SaxAlphabetKind) -> Self {
+        Self {
+            sax: SaxConfig {
+                segment_len: 6,
+                alphabet: SaxAlphabet::new(kind, 5).expect("size 5 is valid for both kinds"),
+            },
+            base: ForecastConfig::default(),
+        }
+    }
+}
+
+/// MultiCast over SAX symbols.
+#[derive(Debug, Clone)]
+pub struct SaxMultiCastForecaster {
+    /// Configuration.
+    pub config: SaxForecastConfig,
+    /// Cost of the most recent forecast.
+    pub last_cost: Option<InferenceCost>,
+}
+
+impl SaxMultiCastForecaster {
+    /// Creates the forecaster.
+    pub fn new(config: SaxForecastConfig) -> Self {
+        Self { config, last_cost: None }
+    }
+
+    /// Paper-style display name (e.g. `"MultiCast SAX (alphabetical)"`).
+    pub fn display_name(&self) -> String {
+        format!("MultiCast SAX ({})", self.config.sax.alphabet.kind().display_name())
+    }
+}
+
+/// Serializes per-dimension SAX words, segment-major:
+/// segment `s` contributes the symbols of every dimension, then a comma.
+fn mux_symbols(words: &[Vec<usize>], alphabet: SaxAlphabet) -> String {
+    let n = words.first().map_or(0, Vec::len);
+    let mut out = String::with_capacity(n * (words.len() + 1));
+    for s in 0..n {
+        for w in words {
+            out.push(alphabet.symbol(w[s]));
+        }
+        out.push(',');
+    }
+    out
+}
+
+/// Parses a generated continuation into per-dimension symbol indices,
+/// leniently (wrong-width groups repaired, missing segments repeated).
+fn demux_symbols(
+    text: &str,
+    dims: usize,
+    alphabet: SaxAlphabet,
+    segments: usize,
+) -> Vec<Vec<usize>> {
+    let mid = alphabet.size() / 2;
+    let mut out = vec![Vec::with_capacity(segments); dims];
+    for group in text.split(',').map(str::trim).filter(|g| !g.is_empty()).take(segments) {
+        let symbols: Vec<usize> = group.chars().filter_map(|c| alphabet.index(c)).collect();
+        for (d, col) in out.iter_mut().enumerate() {
+            let sym = symbols.get(d).copied().or_else(|| col.last().copied()).unwrap_or(mid);
+            col.push(sym);
+        }
+    }
+    for col in &mut out {
+        let fill = col.last().copied().unwrap_or(mid);
+        while col.len() < segments {
+            col.push(fill);
+        }
+        col.truncate(segments);
+    }
+    out
+}
+
+impl MultivariateForecaster for SaxMultiCastForecaster {
+    fn name(&self) -> String {
+        self.display_name()
+    }
+
+    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+        let cfg = self.config;
+        if horizon == 0 {
+            return Err(invalid_param("horizon", "must be >= 1"));
+        }
+        let dims = train.dims();
+        let encoder = SaxEncoder::new(cfg.sax);
+        // Encode every dimension; remember its z-norm state for decoding.
+        let mut words = Vec::with_capacity(dims);
+        let mut states: Vec<ZNormState> = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let enc = encoder.encode(train.column(d)?);
+            states.push(enc.znorm);
+            words.push(enc.symbols);
+        }
+        let prompt = mux_symbols(&words, cfg.sax.alphabet);
+        let segments = horizon.div_ceil(cfg.sax.segment_len);
+        let vocab = match cfg.sax.alphabet.kind() {
+            SaxAlphabetKind::Alphabetic => Vocab::sax_alphabetic(cfg.sax.alphabet.size()),
+            SaxAlphabetKind::Digital => Vocab::sax_digital(cfg.sax.alphabet.size()),
+        };
+        let allowed: String = cfg.sax.alphabet.chars().chain([',']).collect();
+        let spec = ContinuationSpec {
+            prompt,
+            vocab,
+            allowed_chars: allowed,
+            preset: cfg.base.preset,
+            separators: segments,
+            max_tokens: cfg.base.max_tokens(segments, dims),
+        };
+        let states_ref = &states;
+        let encoder_ref = &encoder;
+        let alphabet = cfg.sax.alphabet;
+        let decode = move |text: &str| -> Vec<Vec<f64>> {
+            let words = demux_symbols(text, dims, alphabet, segments);
+            words
+                .iter()
+                .zip(states_ref)
+                .map(|(w, &st)| {
+                    let mut expanded =
+                        encoder_ref.decode_expanded(w, st, segments * cfg.sax.segment_len);
+                    expanded.truncate(horizon);
+                    expanded
+                })
+                .collect()
+        };
+        let (decoded, cost) =
+            run_samples(&spec, cfg.base.samples.max(1), |i| cfg.base.sampler_for(i), decode);
+        self.last_cost = Some(cost);
+        let columns = median_aggregate(&decoded);
+        MultivariateSeries::from_columns(train.names().to_vec(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::sinusoids;
+    use mc_tslib::split::holdout_split;
+
+    fn config(kind: SaxAlphabetKind, segment_len: usize, size: usize, samples: usize) -> SaxForecastConfig {
+        SaxForecastConfig {
+            sax: SaxConfig { segment_len, alphabet: SaxAlphabet::new(kind, size).unwrap() },
+            base: ForecastConfig { samples, ..Default::default() },
+        }
+    }
+
+    fn series(n: usize) -> MultivariateSeries {
+        let a = sinusoids(n, &[(1.0, 24.0, 0.0)]);
+        let b: Vec<f64> = a.iter().map(|&v| 10.0 - 3.0 * v).collect();
+        MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn mux_symbols_format() {
+        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
+        let s = mux_symbols(&[vec![0, 1], vec![1, 2]], alphabet);
+        assert_eq!(s, "ab,bc,");
+    }
+
+    #[test]
+    fn demux_symbols_round_trip() {
+        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
+        let words = vec![vec![0, 1, 4], vec![2, 2, 0]];
+        let text = mux_symbols(&words, alphabet);
+        assert_eq!(demux_symbols(&text, 2, alphabet, 3), words);
+    }
+
+    #[test]
+    fn demux_symbols_repairs_malformed() {
+        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
+        // Second group is short one dimension, third is missing entirely.
+        let words = demux_symbols("ab,c,", 2, alphabet, 3);
+        assert_eq!(words[0], vec![0, 2, 2]);
+        // Dim 1 falls back to its previous symbol (b), then repeats.
+        assert_eq!(words[1], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn forecast_shapes_for_both_alphabets() {
+        let s = series(96);
+        let (train, test) = holdout_split(&s, 0.15).unwrap();
+        for kind in [SaxAlphabetKind::Alphabetic, SaxAlphabetKind::Digital] {
+            let mut f = SaxMultiCastForecaster::new(config(kind, 3, 5, 2));
+            let fc = f.forecast(&train, test.len()).unwrap();
+            assert_eq!(fc.len(), test.len());
+            assert_eq!(fc.dims(), 2);
+            assert!(f.last_cost.unwrap().generated_tokens > 0);
+        }
+    }
+
+    #[test]
+    fn sax_uses_far_fewer_tokens_than_raw_multicast() {
+        // The central claim of §III-B: quantization slashes token use.
+        let s = series(120);
+        let (train, _) = holdout_split(&s, 0.1).unwrap();
+        let horizon = 12;
+        let mut raw = crate::MultiCastForecaster::new(
+            crate::MuxMethod::ValueInterleave,
+            ForecastConfig { samples: 2, ..Default::default() },
+        );
+        raw.forecast(&train, horizon).unwrap();
+        let mut sax = SaxMultiCastForecaster::new(config(SaxAlphabetKind::Alphabetic, 6, 5, 2));
+        sax.forecast(&train, horizon).unwrap();
+        let raw_tokens = raw.last_cost.unwrap().total_tokens();
+        let sax_tokens = sax.last_cost.unwrap().total_tokens();
+        assert!(
+            sax_tokens * 5 < raw_tokens,
+            "SAX should use >5x fewer tokens: raw {raw_tokens} vs sax {sax_tokens}"
+        );
+    }
+
+    #[test]
+    fn horizon_not_multiple_of_segment_is_truncated() {
+        let s = series(90);
+        let mut f = SaxMultiCastForecaster::new(config(SaxAlphabetKind::Alphabetic, 6, 5, 2));
+        let fc = f.forecast(&s, 10).unwrap(); // 10 = 2 segments of 6, truncated
+        assert_eq!(fc.len(), 10);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        let f = SaxMultiCastForecaster::new(config(SaxAlphabetKind::Alphabetic, 6, 5, 1));
+        assert_eq!(f.display_name(), "MultiCast SAX (alphabetical)");
+        let g = SaxMultiCastForecaster::new(config(SaxAlphabetKind::Digital, 6, 5, 1));
+        assert_eq!(g.display_name(), "MultiCast SAX (digital)");
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let s = series(60);
+        let mut f = SaxMultiCastForecaster::new(config(SaxAlphabetKind::Alphabetic, 3, 5, 1));
+        assert!(f.forecast(&s, 0).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Dataset catalog: one entry per paper dataset, with the metadata needed
+//! to regenerate Table I and to drive the benchmark harness generically.
+
+use mc_tslib::MultivariateSeries;
+
+/// The three datasets of the paper's evaluation (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Box–Jenkins gas furnace: 2 dims × 296.
+    GasRate,
+    /// ETDataset electricity, 3-day resample: 3 dims × 242.
+    Electricity,
+    /// MPI Jena weather subset: 4 dims × 217.
+    Weather,
+}
+
+/// Static metadata describing a dataset, as printed in Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Display name used in the paper.
+    pub name: &'static str,
+    /// Number of dimensions.
+    pub dims: usize,
+    /// Number of timestamps.
+    pub length: usize,
+    /// Dimension names, in order.
+    pub dimension_names: &'static [&'static str],
+}
+
+impl PaperDataset {
+    /// All datasets, in paper order.
+    pub const ALL: [PaperDataset; 3] =
+        [PaperDataset::GasRate, PaperDataset::Electricity, PaperDataset::Weather];
+
+    /// Table I metadata for this dataset.
+    pub fn info(self) -> DatasetInfo {
+        match self {
+            PaperDataset::GasRate => DatasetInfo {
+                name: "Gas Rate",
+                dims: 2,
+                length: crate::gas_rate::LENGTH,
+                dimension_names: &crate::gas_rate::NAMES,
+            },
+            PaperDataset::Electricity => DatasetInfo {
+                name: "Electricity",
+                dims: 3,
+                length: crate::electricity::LENGTH,
+                dimension_names: &crate::electricity::NAMES,
+            },
+            PaperDataset::Weather => DatasetInfo {
+                name: "Weather",
+                dims: 4,
+                length: crate::weather::LENGTH,
+                dimension_names: &crate::weather::NAMES,
+            },
+        }
+    }
+
+    /// Loads (generates) the dataset with the crate default seed.
+    pub fn load(self) -> MultivariateSeries {
+        self.load_with_seed(crate::DEFAULT_SEED)
+    }
+
+    /// Loads (generates) the dataset with an explicit seed.
+    pub fn load_with_seed(self, seed: u64) -> MultivariateSeries {
+        match self {
+            PaperDataset::GasRate => crate::gas_rate::gas_rate_with_seed(seed),
+            PaperDataset::Electricity => crate::electricity::electricity_with_seed(seed),
+            PaperDataset::Weather => crate::weather::weather_with_seed(seed),
+        }
+    }
+}
+
+impl std::fmt::Display for PaperDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_one() {
+        let expected = [("Gas Rate", 2, 296), ("Electricity", 3, 242), ("Weather", 4, 217)];
+        for (ds, (name, dims, len)) in PaperDataset::ALL.iter().zip(expected) {
+            let info = ds.info();
+            assert_eq!(info.name, name);
+            assert_eq!(info.dims, dims);
+            assert_eq!(info.length, len);
+            assert_eq!(info.dimension_names.len(), dims);
+        }
+    }
+
+    #[test]
+    fn load_agrees_with_info() {
+        for ds in PaperDataset::ALL {
+            let m = ds.load();
+            let info = ds.info();
+            assert_eq!(m.dims(), info.dims);
+            assert_eq!(m.len(), info.length);
+            for (a, b) in m.names().iter().zip(info.dimension_names) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(PaperDataset::GasRate.to_string(), "Gas Rate");
+        assert_eq!(PaperDataset::Weather.to_string(), "Weather");
+    }
+}

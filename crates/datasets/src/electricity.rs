@@ -1,0 +1,114 @@
+//! Synthetic replica of the **Electricity** dataset (ETDataset / ETTh,
+//! resampled to a 3-day cadence).
+//!
+//! The paper extracts three dimensions over 242 timestamps:
+//!
+//! - **HUFL** — High UseFul Load, the large-scale load signal;
+//! - **HULL** — High UseLess Load, a much smaller load component;
+//! - **OT** — Oil Temperature, the regression target of the original
+//!   dataset, thermally driven by the loads.
+//!
+//! The experiments depend on (i) three correlated dimensions on *different
+//! scales* (HUFL ≫ HULL), which is the scenario the VI/VC multiplexers
+//! target, and (ii) OT being a smoothed function of load. The replica
+//! builds a shared seasonal demand factor and derives the three dimensions
+//! from it with scale-separated affine maps, independent disturbances, and
+//! a thermal low-pass for OT.
+
+use mc_tslib::MultivariateSeries;
+
+use crate::generators::{add, affine, ar, ema_smooth, linear_trend, sinusoids, white_noise};
+
+/// Length of the Electricity dataset (matches Table I).
+pub const LENGTH: usize = 242;
+/// Dimension names used by the paper.
+pub const NAMES: [&str; 3] = ["HUFL", "HULL", "OT"];
+
+/// Generates the Electricity replica with the given seed.
+pub fn electricity_with_seed(seed: u64) -> MultivariateSeries {
+    let n = LENGTH;
+    // Shared demand factor: annual-scale swing + multi-week cycle + slow drift.
+    let season = sinusoids(n, &[(1.0, 121.0, 0.3), (0.45, 27.0, 1.7), (0.2, 9.0, 0.9)]);
+    let drift = linear_trend(n, 0.0, -0.002);
+    let demand = add(&season, &drift);
+
+    // HUFL: demand scaled to the 2..14 band with its own disturbance.
+    let hufl_noise = ar(&[0.4], n, 0.45, seed);
+    let hufl = add(&affine(&demand, 3.4, 8.2), &hufl_noise);
+
+    // HULL: same demand at roughly 1/5 scale plus small noise.
+    let hull_noise = ar(&[0.3], n, 0.12, seed.wrapping_add(1));
+    let hull = add(&affine(&demand, 0.55, 2.1), &hull_noise);
+
+    // OT: thermal response — low-passed demand, wide swing, its own noise.
+    let thermal = ema_smooth(&demand, 0.18);
+    let ot_noise = white_noise(n, 0.8, seed.wrapping_add(2));
+    let ot = add(&affine(&thermal, 9.5, 28.0), &ot_noise);
+
+    MultivariateSeries::from_columns(
+        NAMES.iter().map(|s| s.to_string()).collect(),
+        vec![hufl, hull, ot],
+    )
+    .expect("generator produces well-formed columns")
+}
+
+/// Generates the Electricity replica with the crate default seed.
+pub fn electricity() -> MultivariateSeries {
+    electricity_with_seed(crate::DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tslib::stats;
+
+    #[test]
+    fn shape_matches_table_one() {
+        let m = electricity();
+        assert_eq!(m.len(), 242);
+        assert_eq!(m.dims(), 3);
+        assert_eq!(m.names(), &["HUFL".to_string(), "HULL".to_string(), "OT".to_string()]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(electricity_with_seed(5), electricity_with_seed(5));
+        assert_ne!(electricity_with_seed(5), electricity_with_seed(6));
+    }
+
+    #[test]
+    fn scales_are_separated() {
+        let m = electricity();
+        let hufl = stats::mean(m.column_by_name("HUFL").unwrap()).unwrap();
+        let hull = stats::mean(m.column_by_name("HULL").unwrap()).unwrap();
+        let ot = stats::mean(m.column_by_name("OT").unwrap()).unwrap();
+        assert!(hufl > 3.0 * hull, "HUFL mean {hufl} should dwarf HULL mean {hull}");
+        assert!(ot > hufl, "OT mean {ot} should exceed HUFL mean {hufl}");
+        let hull_col = m.column_by_name("HULL").unwrap();
+        assert!(stats::min(hull_col).unwrap() > 0.0, "HULL stays positive");
+    }
+
+    #[test]
+    fn loads_are_strongly_correlated() {
+        let m = electricity();
+        let c = stats::pearson(
+            m.column_by_name("HUFL").unwrap(),
+            m.column_by_name("HULL").unwrap(),
+        )
+        .unwrap();
+        assert!(c > 0.6, "HUFL/HULL correlation {c}");
+    }
+
+    #[test]
+    fn ot_follows_load_thermally() {
+        let m = electricity();
+        let hufl = m.column_by_name("HUFL").unwrap();
+        let ot = m.column_by_name("OT").unwrap();
+        let c = stats::pearson(hufl, ot).unwrap();
+        assert!(c > 0.5, "OT should track load, correlation {c}");
+        // OT is smoother: higher lag-1 autocorrelation than HUFL.
+        let a_ot = stats::acf(ot, 1).unwrap()[1];
+        let a_hufl = stats::acf(hufl, 1).unwrap()[1];
+        assert!(a_ot > a_hufl, "OT acf {a_ot} <= HUFL acf {a_hufl}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic replica of the **Gas Rate** dataset (Box–Jenkins gas furnace).
+//!
+//! The original (distributed with the `darts` library) is a 2-dimensional
+//! series of 296 observations: the input gas feed rate into a furnace
+//! (ft³/min, roughly in `[-2.7, 2.8]` around 0) and the output CO₂
+//! concentration (%, roughly in `[45, 61]`). The defining property the
+//! paper's experiments rely on is the strong *lagged negative coupling*:
+//! more input gas now → lower CO₂ percentage a few steps later.
+//!
+//! The replica drives the input rate with a slow sum-of-sinusoids plus an
+//! AR(2) disturbance, and produces CO₂ as a negatively-scaled, delayed,
+//! smoothed response of the input plus measurement noise — the same
+//! structure identified for the original data in Box & Jenkins' textbook
+//! treatment (their transfer-function model has a ~5-step delay).
+
+use mc_tslib::MultivariateSeries;
+
+use crate::generators::{add, affine, ar, delay, ema_smooth, sinusoids, white_noise};
+
+/// Length of the Gas Rate dataset (matches Table I).
+pub const LENGTH: usize = 296;
+/// Dimension names: input gas feed rate and output CO₂ percentage.
+pub const NAMES: [&str; 2] = ["GasRate", "CO2"];
+/// Transfer delay between input rate and CO₂ response, in timestamps.
+pub const RESPONSE_DELAY: usize = 5;
+
+/// Generates the Gas Rate replica with the given seed.
+///
+/// Deterministic: equal seeds produce identical series.
+pub fn gas_rate_with_seed(seed: u64) -> MultivariateSeries {
+    let n = LENGTH;
+    // Input rate: slow drifting oscillation + stationary AR(2) disturbance.
+    let base = sinusoids(
+        n,
+        &[(1.3, 67.0, 0.4), (0.8, 23.0, 2.1), (0.45, 11.0, 5.0)],
+    );
+    let disturbance = ar(&[0.55, -0.25], n, 0.35, seed);
+    let rate = add(&base, &disturbance);
+
+    // CO₂: delayed, smoothed, negatively scaled response around 53 %.
+    let delayed = delay(&rate, RESPONSE_DELAY);
+    let smoothed = ema_smooth(&delayed, 0.35);
+    let response = affine(&smoothed, -2.6, 53.2);
+    let noise = white_noise(n, 0.25, seed.wrapping_add(1));
+    let co2 = add(&response, &noise);
+
+    MultivariateSeries::from_columns(
+        NAMES.iter().map(|s| s.to_string()).collect(),
+        vec![rate, co2],
+    )
+    .expect("generator produces well-formed columns")
+}
+
+/// Generates the Gas Rate replica with the crate default seed.
+pub fn gas_rate() -> MultivariateSeries {
+    gas_rate_with_seed(crate::DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tslib::stats;
+
+    #[test]
+    fn shape_matches_table_one() {
+        let m = gas_rate();
+        assert_eq!(m.len(), 296);
+        assert_eq!(m.dims(), 2);
+        assert_eq!(m.names(), &["GasRate".to_string(), "CO2".to_string()]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gas_rate_with_seed(1), gas_rate_with_seed(1));
+        assert_ne!(gas_rate_with_seed(1), gas_rate_with_seed(2));
+    }
+
+    #[test]
+    fn scales_match_original() {
+        let m = gas_rate();
+        let rate = m.column(0).unwrap();
+        let co2 = m.column(1).unwrap();
+        // Input rate oscillates around 0 within a few units.
+        assert!(stats::mean(rate).unwrap().abs() < 1.0);
+        assert!(stats::min(rate).unwrap() > -6.0 && stats::max(rate).unwrap() < 6.0);
+        // CO₂ stays in a plausible percentage band.
+        assert!(stats::min(co2).unwrap() > 40.0, "min {}", stats::min(co2).unwrap());
+        assert!(stats::max(co2).unwrap() < 65.0, "max {}", stats::max(co2).unwrap());
+    }
+
+    #[test]
+    fn dimensions_are_negatively_coupled_at_the_delay() {
+        let m = gas_rate();
+        let rate = m.column(0).unwrap();
+        let co2 = m.column(1).unwrap();
+        let c = stats::cross_correlation(rate, co2, -(RESPONSE_DELAY as i64)).unwrap();
+        assert!(c < -0.5, "expected strong negative lagged coupling, got {c}");
+        // And the coupling at the delay is stronger than instantaneous.
+        let c0 = stats::cross_correlation(rate, co2, 0).unwrap();
+        assert!(c.abs() > c0.abs(), "lagged {c} vs instantaneous {c0}");
+    }
+
+    #[test]
+    fn co2_is_smoother_than_rate() {
+        let m = gas_rate();
+        // Lag-1 autocorrelation of the response should exceed the input's,
+        // because of the EMA in the transfer path.
+        let r_rate = stats::acf(m.column(0).unwrap(), 1).unwrap()[1];
+        let r_co2 = stats::acf(m.column(1).unwrap(), 1).unwrap()[1];
+        assert!(r_co2 > r_rate, "co2 acf {r_co2} <= rate acf {r_rate}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Generic stochastic-process generators.
+//!
+//! These are the building blocks of the paper-dataset replicas and are also
+//! exported for tests (e.g. the ARIMA estimator is validated on [`ar`]
+//! processes with known coefficients) and ablation workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one standard-normal variate via Box–Muller.
+///
+/// `rand_distr` is intentionally not a dependency; two uniforms are enough
+/// and keep the crate's dependency set minimal.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Gaussian white noise of length `n` with the given standard deviation.
+pub fn white_noise(n: usize, sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sigma * standard_normal(&mut rng)).collect()
+}
+
+/// AR(p) process `x_t = Σ phi_i x_{t-i} + e_t`, `e ~ N(0, sigma²)`.
+///
+/// A burn-in of `10 * p + 50` steps is discarded so the returned samples are
+/// from (approximately) the stationary distribution.
+pub fn ar(phi: &[f64], n: usize, sigma: f64, seed: u64) -> Vec<f64> {
+    let p = phi.len();
+    let burn = 10 * p + 50;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = vec![0.0; p.max(1)];
+    let mut out = Vec::with_capacity(n);
+    for t in 0..burn + n {
+        let mut x = sigma * standard_normal(&mut rng);
+        for (i, &coef) in phi.iter().enumerate() {
+            x += coef * hist[i];
+        }
+        // Shift history: hist[0] is x_{t-1}.
+        for i in (1..p).rev() {
+            hist[i] = hist[i - 1];
+        }
+        if p > 0 {
+            hist[0] = x;
+        }
+        if t >= burn {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// MA(q) process `x_t = e_t + Σ theta_i e_{t-i}`.
+pub fn ma(theta: &[f64], n: usize, sigma: f64, seed: u64) -> Vec<f64> {
+    let q = theta.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errs = vec![0.0; q.max(1)];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = sigma * standard_normal(&mut rng);
+        let mut x = e;
+        for (i, &coef) in theta.iter().enumerate() {
+            x += coef * errs[i];
+        }
+        for i in (1..q).rev() {
+            errs[i] = errs[i - 1];
+        }
+        if q > 0 {
+            errs[0] = e;
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// Deterministic sum of sinusoids: `Σ amp_i * sin(2π t / period_i + phase_i)`.
+pub fn sinusoids(n: usize, components: &[(f64, f64, f64)]) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            components
+                .iter()
+                .map(|&(amp, period, phase)| {
+                    amp * (2.0 * std::f64::consts::PI * t as f64 / period + phase).sin()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Linear trend `intercept + slope * t`.
+pub fn linear_trend(n: usize, intercept: f64, slope: f64) -> Vec<f64> {
+    (0..n).map(|t| intercept + slope * t as f64).collect()
+}
+
+/// Gaussian random walk starting at `start`.
+pub fn random_walk(n: usize, start: f64, sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = start;
+    (0..n)
+        .map(|_| {
+            x += sigma * standard_normal(&mut rng);
+            x
+        })
+        .collect()
+}
+
+/// Exponential moving average smoother with factor `alpha` in `(0, 1]`
+/// (1.0 = no smoothing).
+pub fn ema_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = match xs.first() {
+        Some(&x) => x,
+        None => return out,
+    };
+    for &x in xs {
+        acc = alpha * x + (1.0 - alpha) * acc;
+        out.push(acc);
+    }
+    out
+}
+
+/// Shifts a series right by `lag` (prepends the first value `lag` times and
+/// truncates the tail), preserving length. Used to build lead/lag coupled
+/// dimensions.
+pub fn delay(xs: &[f64], lag: usize) -> Vec<f64> {
+    if xs.is_empty() || lag == 0 {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    for t in 0..xs.len() {
+        out.push(if t < lag { xs[0] } else { xs[t - lag] });
+    }
+    out
+}
+
+/// Pointwise affine map `a * x + b`.
+pub fn affine(xs: &[f64], a: f64, b: f64) -> Vec<f64> {
+    xs.iter().map(|&x| a * x + b).collect()
+}
+
+/// Adds two equal-length series.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tslib::stats;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(white_noise(50, 1.0, 7), white_noise(50, 1.0, 7));
+        assert_eq!(ar(&[0.5], 50, 1.0, 7), ar(&[0.5], 50, 1.0, 7));
+        assert_eq!(random_walk(50, 0.0, 1.0, 7), random_walk(50, 0.0, 1.0, 7));
+        assert_ne!(white_noise(50, 1.0, 7), white_noise(50, 1.0, 8));
+    }
+
+    #[test]
+    fn white_noise_moments() {
+        let xs = white_noise(20000, 2.0, 42);
+        assert!(stats::mean(&xs).unwrap().abs() < 0.06);
+        assert!((stats::std_dev(&xs).unwrap() - 2.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_phi() {
+        let xs = ar(&[0.75], 30000, 1.0, 11);
+        let rho = stats::acf(&xs, 1).unwrap();
+        assert!((rho[1] - 0.75).abs() < 0.03, "rho1 = {}", rho[1]);
+    }
+
+    #[test]
+    fn ar0_is_white_noise() {
+        let xs = ar(&[], 1000, 1.0, 3);
+        let rho = stats::acf(&xs, 1).unwrap();
+        assert!(rho[1].abs() < 0.1);
+    }
+
+    #[test]
+    fn ma1_acf_theory() {
+        // MA(1): rho1 = theta / (1 + theta^2), rho2 = 0.
+        let theta = 0.6;
+        let xs = ma(&[theta], 40000, 1.0, 5);
+        let rho = stats::acf(&xs, 2).unwrap();
+        let expected = theta / (1.0 + theta * theta);
+        assert!((rho[1] - expected).abs() < 0.02, "rho1 = {}", rho[1]);
+        assert!(rho[2].abs() < 0.02, "rho2 = {}", rho[2]);
+    }
+
+    #[test]
+    fn sinusoids_period() {
+        let xs = sinusoids(100, &[(2.0, 10.0, 0.0)]);
+        // Period-10 sine: x[t] == x[t+10] and amplitude 2.
+        for t in 0..90 {
+            assert!((xs[t] - xs[t + 10]).abs() < 1e-9);
+        }
+        // Period 10 is sampled at integer t, so the peak sample is
+        // 2·sin(2π·2/10) ≈ 1.902, not the continuous amplitude 2.
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 2.0 * (0.4 * std::f64::consts::PI).sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_and_affine() {
+        assert_eq!(linear_trend(3, 1.0, 2.0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(affine(&[1.0, 2.0], 3.0, 1.0), vec![4.0, 7.0]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn delay_preserves_length_and_shifts() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(delay(&xs, 2), vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(delay(&xs, 0), xs.to_vec());
+        assert!(delay(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn ema_smooth_reduces_variance() {
+        let xs = white_noise(5000, 1.0, 9);
+        let sm = ema_smooth(&xs, 0.2);
+        assert_eq!(sm.len(), xs.len());
+        assert!(stats::variance(&sm).unwrap() < stats::variance(&xs).unwrap());
+    }
+
+    #[test]
+    fn ema_smooth_identity_at_alpha_one() {
+        let xs = [5.0, -1.0, 2.5];
+        assert_eq!(ema_smooth(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn random_walk_starts_near_start() {
+        let xs = random_walk(10, 100.0, 0.001, 1);
+        assert!((xs[0] - 100.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic replica of the **Weather** dataset (MPI Jena weather station).
+//!
+//! The paper keeps 4 of the original 21 variables over 217 timestamps:
+//!
+//! - **Tlog** — air temperature in °C;
+//! - **H2OC** — water vapor concentration in mmol/mol;
+//! - **VPmax** — saturation water vapor pressure in mbar;
+//! - **Tpot** — potential temperature in K.
+//!
+//! All four are functions of one physical latent (air temperature), which
+//! is exactly why the paper calls them "all correlated". The replica makes
+//! that explicit: a latent temperature process is generated once and the
+//! four observed dimensions are derived with the *actual* meteorological
+//! transforms — the Magnus formula for saturation vapor pressure, a
+//! pressure-scaled vapor concentration, and the Kelvin/pressure offset for
+//! potential temperature — plus per-sensor noise.
+
+use mc_tslib::MultivariateSeries;
+
+use crate::generators::{add, ar, ema_smooth, linear_trend, sinusoids, white_noise};
+
+/// Length of the Weather dataset (matches Table I).
+pub const LENGTH: usize = 217;
+/// Dimension names used by the paper.
+pub const NAMES: [&str; 4] = ["Tlog", "H2OC", "VPmax", "Tpot"];
+/// Assumed station pressure in mbar (Jena is ~155 m above sea level).
+pub const STATION_PRESSURE_MBAR: f64 = 989.0;
+
+/// Magnus formula: saturation vapor pressure (mbar) at temperature `t` °C.
+pub fn magnus_vpmax(t_celsius: f64) -> f64 {
+    6.1094 * (17.625 * t_celsius / (t_celsius + 243.04)).exp()
+}
+
+/// Water vapor concentration (mmol/mol) at saturation for pressure `p` mbar.
+pub fn vapor_concentration(vp_mbar: f64, pressure_mbar: f64) -> f64 {
+    1000.0 * vp_mbar / pressure_mbar
+}
+
+/// Potential temperature (K) from temperature (°C) at station pressure,
+/// using the dry-adiabatic exponent against the 1000 mbar reference.
+pub fn potential_temperature(t_celsius: f64, pressure_mbar: f64) -> f64 {
+    (t_celsius + 273.15) * (1000.0 / pressure_mbar).powf(0.2854)
+}
+
+/// Generates the Weather replica with the given seed.
+pub fn weather_with_seed(seed: u64) -> MultivariateSeries {
+    let n = LENGTH;
+    // Latent air temperature: seasonal swing around 9 °C with warm spells.
+    let season = sinusoids(n, &[(7.5, 180.0, -1.1), (2.2, 31.0, 0.8), (0.9, 11.0, 2.0)]);
+    let warm_drift = linear_trend(n, 9.0, 0.012);
+    let weather_noise = ar(&[0.6], n, 0.7, seed);
+    let latent_t = ema_smooth(&add(&add(&season, &warm_drift), &weather_noise), 0.6);
+
+    // Observed dimensions = physical transforms of the latent + sensor noise.
+    let tlog = add(&latent_t, &white_noise(n, 0.20, seed.wrapping_add(1)));
+    let vpmax: Vec<f64> = latent_t.iter().map(|&t| magnus_vpmax(t)).collect();
+    let vpmax = add(&vpmax, &white_noise(n, 0.15, seed.wrapping_add(2)));
+    let h2oc: Vec<f64> = vpmax
+        .iter()
+        .map(|&vp| vapor_concentration(vp.max(0.1), STATION_PRESSURE_MBAR) * 0.72)
+        .collect();
+    let h2oc = add(&h2oc, &white_noise(n, 0.10, seed.wrapping_add(3)));
+    let tpot: Vec<f64> = latent_t
+        .iter()
+        .map(|&t| potential_temperature(t, STATION_PRESSURE_MBAR))
+        .collect();
+    let tpot = add(&tpot, &white_noise(n, 0.18, seed.wrapping_add(4)));
+
+    MultivariateSeries::from_columns(
+        NAMES.iter().map(|s| s.to_string()).collect(),
+        vec![tlog, h2oc, vpmax, tpot],
+    )
+    .expect("generator produces well-formed columns")
+}
+
+/// Generates the Weather replica with the crate default seed.
+pub fn weather() -> MultivariateSeries {
+    weather_with_seed(crate::DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tslib::stats;
+
+    #[test]
+    fn shape_matches_table_one() {
+        let m = weather();
+        assert_eq!(m.len(), 217);
+        assert_eq!(m.dims(), 4);
+        assert_eq!(
+            m.names(),
+            &["Tlog".to_string(), "H2OC".to_string(), "VPmax".to_string(), "Tpot".to_string()]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(weather_with_seed(9), weather_with_seed(9));
+        assert_ne!(weather_with_seed(9), weather_with_seed(10));
+    }
+
+    #[test]
+    fn magnus_formula_reference_points() {
+        // Known values: ~6.11 mbar at 0 °C, ~23.4 mbar at 20 °C.
+        assert!((magnus_vpmax(0.0) - 6.1094).abs() < 1e-6);
+        assert!((magnus_vpmax(20.0) - 23.4).abs() < 0.3, "{}", magnus_vpmax(20.0));
+        // Monotone in temperature.
+        assert!(magnus_vpmax(25.0) > magnus_vpmax(15.0));
+    }
+
+    #[test]
+    fn potential_temperature_exceeds_kelvin_at_station() {
+        // Below the 1000 mbar reference, theta > T in Kelvin.
+        let t = 10.0;
+        assert!(potential_temperature(t, STATION_PRESSURE_MBAR) > t + 273.15);
+    }
+
+    #[test]
+    fn all_dimensions_driven_by_latent_temperature() {
+        let m = weather();
+        let tlog = m.column_by_name("Tlog").unwrap();
+        for other in ["H2OC", "VPmax", "Tpot"] {
+            let c = stats::pearson(tlog, m.column_by_name(other).unwrap()).unwrap();
+            assert!(c > 0.8, "Tlog vs {other} correlation {c}");
+        }
+    }
+
+    #[test]
+    fn units_are_plausible() {
+        let m = weather();
+        let tlog = m.column_by_name("Tlog").unwrap();
+        let tpot = m.column_by_name("Tpot").unwrap();
+        let vpmax = m.column_by_name("VPmax").unwrap();
+        let h2oc = m.column_by_name("H2OC").unwrap();
+        assert!(stats::min(tlog).unwrap() > -25.0 && stats::max(tlog).unwrap() < 45.0);
+        // Kelvin potential temperature sits ~274+ above Celsius.
+        assert!(stats::mean(tpot).unwrap() - stats::mean(tlog).unwrap() > 270.0);
+        assert!(stats::min(vpmax).unwrap() > 0.0);
+        assert!(stats::min(h2oc).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Byte-pair encoding tokenizer — the *counterexample* tokenizer.
+//!
+//! LLMTime's core serialization insight (inherited by MultiCast, §III-A:
+//! "depending on the LLM used, its tokenizer must be adapted") is that
+//! subword tokenizers chunk numbers inconsistently — `1234` may become
+//! `12|34` in one context and `1|234` in another — which destroys the
+//! positional alignment digit-level forecasting relies on. This module
+//! implements a small BPE trainer/encoder so the ablation harness can
+//! *measure* that effect instead of asserting it: the same backend is run
+//! over char-level and BPE-level token streams and the forecast quality
+//! compared (`cargo run -p mc-bench --bin tokenization`).
+
+use std::collections::HashMap;
+
+use crate::tokenizer::{TokenizeError, Tokenizer};
+use crate::vocab::{TokenId, Vocab};
+
+/// A trained byte-pair encoder over a character base vocabulary.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Base character vocabulary (ids `0..base_len`).
+    base: Vocab,
+    /// Merge rules in application order: `(left, right) -> new id`.
+    merges: Vec<(TokenId, TokenId, TokenId)>,
+    /// String spelled by each token id (base chars + merged strings).
+    spellings: Vec<String>,
+}
+
+impl BpeTokenizer {
+    /// Trains BPE on `corpus`: repeatedly merges the most frequent
+    /// adjacent pair until `num_merges` merges have been learned or no
+    /// pair repeats.
+    ///
+    /// # Panics
+    /// If the corpus contains characters outside `base`.
+    pub fn train(base: Vocab, corpus: &str, num_merges: usize) -> Self {
+        let mut spellings: Vec<String> =
+            base.chars().iter().map(|c| c.to_string()).collect();
+        let mut seq: Vec<TokenId> = corpus
+            .chars()
+            .map(|c| base.id(c).expect("corpus character outside base vocabulary"))
+            .collect();
+        let mut merges = Vec::with_capacity(num_merges);
+        for _ in 0..num_merges {
+            // Count adjacent pairs.
+            let mut counts: HashMap<(TokenId, TokenId), usize> = HashMap::new();
+            for w in seq.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            // Deterministic winner: highest count, ties by smallest pair.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by_key(|(&(a, b), &c)| (c, std::cmp::Reverse(a), std::cmp::Reverse(b)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = spellings.len() as TokenId;
+            let mut spelling = spellings[pair.0 as usize].clone();
+            spelling.push_str(&spellings[pair.1 as usize]);
+            spellings.push(spelling);
+            merges.push((pair.0, pair.1, new_id));
+            seq = apply_merge(&seq, pair, new_id);
+        }
+        Self { base, merges, spellings }
+    }
+
+    /// Total vocabulary size (base + merges).
+    pub fn vocab_size(&self) -> usize {
+        self.spellings.len()
+    }
+
+    /// Number of learned merges.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// The string a token id spells, if valid.
+    pub fn spelling(&self, id: TokenId) -> Option<&str> {
+        self.spellings.get(id as usize).map(String::as_str)
+    }
+}
+
+fn apply_merge(seq: &[TokenId], pair: (TokenId, TokenId), new_id: TokenId) -> Vec<TokenId> {
+    let mut out = Vec::with_capacity(seq.len());
+    let mut i = 0;
+    while i < seq.len() {
+        if i + 1 < seq.len() && seq[i] == pair.0 && seq[i + 1] == pair.1 {
+            out.push(new_id);
+            i += 2;
+        } else {
+            out.push(seq[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+impl Tokenizer for BpeTokenizer {
+    fn vocab(&self) -> &Vocab {
+        &self.base
+    }
+
+    fn encode(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut seq = Vec::with_capacity(text.len());
+        for (at, c) in text.char_indices() {
+            match self.base.id(c) {
+                Some(id) => seq.push(id),
+                None => return Err(TokenizeError::UnknownChar { c, at }),
+            }
+        }
+        for &(a, b, new_id) in &self.merges {
+            seq = apply_merge(&seq, (a, b), new_id);
+        }
+        Ok(seq)
+    }
+
+    fn decode(&self, ids: &[TokenId]) -> Result<String, TokenizeError> {
+        let mut out = String::new();
+        for &id in ids {
+            match self.spellings.get(id as usize) {
+                Some(s) => out.push_str(s),
+                None => return Err(TokenizeError::UnknownId(id)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(corpus: &str, merges: usize) -> BpeTokenizer {
+        BpeTokenizer::train(Vocab::numeric(), corpus, merges)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let corpus = "123,456,123,456,789,123,";
+        let bpe = trained(corpus, 10);
+        for text in [corpus, "321,", "9,9,9,"] {
+            let ids = bpe.encode(text).unwrap();
+            assert_eq!(bpe.decode(&ids).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn merges_compress_the_training_corpus() {
+        let corpus = "123,123,123,123,123,123,";
+        let bpe = trained(corpus, 8);
+        let ids = bpe.encode(corpus).unwrap();
+        assert!(
+            ids.len() < corpus.chars().count() / 2,
+            "repetitive corpus should compress: {} tokens for {} chars",
+            ids.len(),
+            corpus.len()
+        );
+        assert!(bpe.merge_count() > 0);
+        assert_eq!(bpe.vocab_size(), Vocab::numeric().len() + bpe.merge_count());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = "12,34,12,34,56,12,";
+        let a = trained(corpus, 6);
+        let b = trained(corpus, 6);
+        assert_eq!(a.encode(corpus).unwrap(), b.encode(corpus).unwrap());
+    }
+
+    #[test]
+    fn chunking_is_value_dependent() {
+        // The LLMTime pathology, demonstrated: the same digit can fuse
+        // with its neighbour or the separator depending on frequency, so
+        // equal-width values stop producing equal-length token runs.
+        let corpus = "111,222,111,222,111,222,119,".repeat(4);
+        let bpe = trained(&corpus, 12);
+        let a = bpe.encode("111,").unwrap();
+        let b = bpe.encode("119,").unwrap();
+        assert_ne!(
+            a.len(),
+            b.len(),
+            "same-width values should tokenize to different lengths under BPE"
+        );
+    }
+
+    #[test]
+    fn no_repeats_means_no_merges() {
+        let bpe = trained("0123456789", 5);
+        assert_eq!(bpe.merge_count(), 0);
+        let ids = bpe.encode("0123456789").unwrap();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn unknown_chars_rejected() {
+        let bpe = trained("123,", 2);
+        assert!(bpe.encode("abc").is_err());
+        assert!(bpe.decode(&[9999]).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Clonable concrete backends.
+//!
+//! `Box<dyn LanguageModel>` cannot be cloned, but two use cases need a
+//! *snapshot* of an in-context model's state: lookahead decoding (score a
+//! hypothetical continuation without polluting the real context — used by
+//! `mc-tasks`' surprise profiler) and streaming prediction (draw forecast
+//! samples from a live stream without retaining them). [`ConcreteLm`]
+//! wraps each preset's concrete types so `Clone` is available, while still
+//! implementing [`LanguageModel`] for uniform use.
+
+use crate::cost::InferenceCost;
+use crate::model::LanguageModel;
+use crate::ngram::NGramLm;
+use crate::ppm::PpmLm;
+use crate::presets::ModelPreset;
+use crate::suffix::SuffixLm;
+use crate::vocab::TokenId;
+
+/// A preset backend with value semantics (clonable snapshots).
+#[derive(Debug, Clone)]
+pub enum ConcreteLm {
+    /// Interpolated n-gram (the `Large`/`Small` presets).
+    NGram(NGramLm),
+    /// Suffix matcher (the `Suffix` preset).
+    Suffix(SuffixLm),
+    /// Equal-weight product of experts over both families
+    /// (the `Ensemble` preset).
+    Pair(NGramLm, SuffixLm),
+    /// PPM-C (the `Ppm` preset).
+    Ppm(PpmLm),
+}
+
+impl ConcreteLm {
+    /// Builds the concrete model for a preset; parameters mirror
+    /// [`crate::presets::build_model`] exactly.
+    pub fn build(preset: ModelPreset, vocab_size: usize) -> Self {
+        match preset {
+            ModelPreset::Large => {
+                ConcreteLm::NGram(NGramLm::new(vocab_size, 10, 0.25, preset.display_name()))
+            }
+            ModelPreset::Small => {
+                ConcreteLm::NGram(NGramLm::new(vocab_size, 2, 2.0, preset.display_name()))
+            }
+            ModelPreset::Suffix => {
+                ConcreteLm::Suffix(SuffixLm::new(vocab_size, 24, 1.8, 0.5, preset.display_name()))
+            }
+            ModelPreset::Ensemble => ConcreteLm::Pair(
+                NGramLm::new(vocab_size, 10, 0.25, "member:ngram"),
+                SuffixLm::new(vocab_size, 24, 1.8, 0.5, "member:suffix"),
+            ),
+            ModelPreset::Ppm => {
+                ConcreteLm::Ppm(PpmLm::new(vocab_size, 8, preset.display_name()))
+            }
+        }
+    }
+}
+
+impl LanguageModel for ConcreteLm {
+    fn vocab_size(&self) -> usize {
+        match self {
+            ConcreteLm::NGram(m) => m.vocab_size(),
+            ConcreteLm::Suffix(m) => m.vocab_size(),
+            ConcreteLm::Pair(a, _) => a.vocab_size(),
+            ConcreteLm::Ppm(m) => m.vocab_size(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ConcreteLm::NGram(m) => m.reset(),
+            ConcreteLm::Suffix(m) => m.reset(),
+            ConcreteLm::Pair(a, b) => {
+                a.reset();
+                b.reset();
+            }
+            ConcreteLm::Ppm(m) => m.reset(),
+        }
+    }
+
+    fn observe(&mut self, token: TokenId, generated: bool) {
+        match self {
+            ConcreteLm::NGram(m) => m.observe(token, generated),
+            ConcreteLm::Suffix(m) => m.observe(token, generated),
+            ConcreteLm::Pair(a, b) => {
+                a.observe(token, generated);
+                b.observe(token, generated);
+            }
+            ConcreteLm::Ppm(m) => m.observe(token, generated),
+        }
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        match self {
+            ConcreteLm::NGram(m) => m.next_distribution(out),
+            ConcreteLm::Suffix(m) => m.next_distribution(out),
+            ConcreteLm::Pair(a, b) => {
+                // Equal-weight product of experts (matches `EnsembleLm`).
+                let mut pa = vec![0.0; out.len()];
+                let mut pb = vec![0.0; out.len()];
+                a.next_distribution(&mut pa);
+                b.next_distribution(&mut pb);
+                let mut norm = 0.0;
+                for ((o, &x), &y) in out.iter_mut().zip(&pa).zip(&pb) {
+                    *o = (0.5 * x.max(1e-12).ln() + 0.5 * y.max(1e-12).ln()).exp();
+                    norm += *o;
+                }
+                for o in out.iter_mut() {
+                    *o /= norm;
+                }
+            }
+            ConcreteLm::Ppm(m) => m.next_distribution(out),
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        match self {
+            ConcreteLm::NGram(m) => m.cost(),
+            ConcreteLm::Suffix(m) => m.cost(),
+            ConcreteLm::Pair(a, b) => {
+                let mut c = a.cost();
+                c.work_units += b.cost().work_units;
+                c
+            }
+            ConcreteLm::Ppm(m) => m.cost(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            ConcreteLm::NGram(m) => m.name(),
+            ConcreteLm::Suffix(m) => m.name(),
+            ConcreteLm::Pair(a, _) => a.name(),
+            ConcreteLm::Ppm(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{is_distribution, observe_all};
+
+    #[test]
+    fn builds_every_preset_with_matching_vocab() {
+        for preset in ModelPreset::ALL {
+            let m = ConcreteLm::build(preset, 13);
+            assert_eq!(m.vocab_size(), 13, "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let mut m = ConcreteLm::build(ModelPreset::Large, 4);
+        observe_all(&mut m, &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        let mut snapshot = m.clone();
+        // Feed divergent continuations.
+        snapshot.observe(3, true);
+        snapshot.observe(3, true);
+        let mut p_orig = vec![0.0; 4];
+        let mut p_snap = vec![0.0; 4];
+        m.next_distribution(&mut p_orig);
+        snapshot.next_distribution(&mut p_snap);
+        assert!(is_distribution(&p_orig) && is_distribution(&p_snap));
+        assert_ne!(p_orig, p_snap, "snapshot must evolve independently");
+        // The original still predicts the cycle continuation (token 2).
+        assert!(p_orig[2] > 0.5, "{p_orig:?}");
+    }
+
+    #[test]
+    fn pair_matches_ensemble_semantics() {
+        // ConcreteLm::Pair and the boxed EnsembleLm preset must produce
+        // the same distribution for the same context.
+        let tokens = [0u32, 1, 2, 0, 1, 2, 0, 1];
+        let mut pair = ConcreteLm::build(ModelPreset::Ensemble, 3);
+        let mut boxed = crate::presets::build_model(ModelPreset::Ensemble, 3);
+        observe_all(&mut pair, &tokens);
+        observe_all(boxed.as_mut(), &tokens);
+        let mut p1 = vec![0.0; 3];
+        let mut p2 = vec![0.0; 3];
+        pair.next_distribution(&mut p1);
+        boxed.next_distribution(&mut p2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-12, "{p1:?} vs {p2:?}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Log-linear ensemble of in-context backends.
+//!
+//! Mixes the predictions of several [`LanguageModel`]s by weighted
+//! geometric averaging (product-of-experts). The combination is stronger
+//! than either family alone: the bounded-order n-gram generalizes across
+//! near-repeats, the unbounded suffix matcher nails long exact
+//! repetitions; their product is sharp only where *both* agree — a cheap
+//! analogue of how larger transformers subsume both behaviours, used by
+//! the ablation harness as a fourth backend tier.
+
+use crate::cost::InferenceCost;
+use crate::model::LanguageModel;
+use crate::vocab::TokenId;
+
+/// Product-of-experts over member models.
+pub struct EnsembleLm {
+    members: Vec<(Box<dyn LanguageModel>, f64)>,
+    vocab_size: usize,
+    name: String,
+    scratch: Vec<f64>,
+}
+
+impl EnsembleLm {
+    /// Creates an ensemble from weighted members.
+    ///
+    /// # Panics
+    /// If `members` is empty, weights are non-positive, or vocabulary
+    /// sizes disagree.
+    pub fn new(members: Vec<(Box<dyn LanguageModel>, f64)>, name: impl Into<String>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let vocab_size = members[0].0.vocab_size();
+        for (m, w) in &members {
+            assert_eq!(m.vocab_size(), vocab_size, "member vocabulary mismatch");
+            assert!(*w > 0.0, "member weights must be positive");
+        }
+        Self { members, vocab_size, name: name.into(), scratch: vec![0.0; vocab_size] }
+    }
+
+    /// Number of member models.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl LanguageModel for EnsembleLm {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn reset(&mut self) {
+        for (m, _) in &mut self.members {
+            m.reset();
+        }
+    }
+
+    fn observe(&mut self, token: TokenId, generated: bool) {
+        for (m, _) in &mut self.members {
+            m.observe(token, generated);
+        }
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.vocab_size, "distribution buffer size");
+        // Weighted geometric mean in log space, tiny floor against -inf.
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let total_weight: f64 = self.members.iter().map(|(_, w)| w).sum();
+        for (m, w) in &mut self.members {
+            m.next_distribution(&mut self.scratch);
+            for (acc, &p) in out.iter_mut().zip(&self.scratch) {
+                *acc += *w / total_weight * p.max(1e-12).ln();
+            }
+        }
+        let mut norm = 0.0;
+        for v in out.iter_mut() {
+            *v = v.exp();
+            norm += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= norm;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        // Token counts are identical across members (they see the same
+        // stream); report the first member's counts with summed work.
+        let mut cost = self.members[0].0.cost();
+        cost.work_units = self.members.iter().map(|(m, _)| m.cost().work_units).sum();
+        cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{is_distribution, observe_all};
+    use crate::ngram::NGramLm;
+    use crate::suffix::SuffixLm;
+
+    fn ensemble() -> EnsembleLm {
+        EnsembleLm::new(
+            vec![
+                (Box::new(NGramLm::new(4, 6, 0.3, "ng")) as Box<dyn LanguageModel>, 1.0),
+                (Box::new(SuffixLm::new(4, 16, 1.8, 0.5, "sx")) as Box<dyn LanguageModel>, 1.0),
+            ],
+            "poe",
+        )
+    }
+
+    #[test]
+    fn produces_valid_distributions() {
+        let mut e = ensemble();
+        let mut p = vec![0.0; 4];
+        e.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        observe_all(&mut e, &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        e.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        assert!(p[2] > 0.5, "pattern continuation expected: {p:?}");
+    }
+
+    #[test]
+    fn sharper_than_weakest_member_on_patterns() {
+        let pattern: Vec<TokenId> = [0u32, 1, 2, 3].iter().cycle().take(60).copied().collect();
+        let mut ng = NGramLm::new(4, 6, 0.3, "ng");
+        let mut e = ensemble();
+        observe_all(&mut ng, &pattern);
+        observe_all(&mut e, &pattern);
+        let mut p_ng = vec![0.0; 4];
+        let mut p_e = vec![0.0; 4];
+        ng.next_distribution(&mut p_ng);
+        e.next_distribution(&mut p_e);
+        // Both should predict token 0; the ensemble at least as confident
+        // as the weaker member within a small tolerance.
+        assert_eq!(
+            p_e.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0,
+            0
+        );
+        assert!(p_e[0] > 0.5);
+    }
+
+    #[test]
+    fn reset_and_cost_propagate() {
+        let mut e = ensemble();
+        observe_all(&mut e, &[0, 1, 2]);
+        assert_eq!(e.cost().prompt_tokens, 3);
+        assert!(e.cost().work_units > 0);
+        e.reset();
+        assert_eq!(e.cost(), InferenceCost::default());
+        assert_eq!(e.member_count(), 2);
+        assert_eq!(e.name(), "poe");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        EnsembleLm::new(vec![], "empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn bad_weight_rejected() {
+        EnsembleLm::new(
+            vec![(Box::new(NGramLm::new(4, 2, 0.5, "ng")) as Box<dyn LanguageModel>, 0.0)],
+            "bad",
+        );
+    }
+}

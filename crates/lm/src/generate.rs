@@ -1,0 +1,132 @@
+//! Autoregressive generation: prompt → constrained continuation.
+//!
+//! Mirrors how LLMTime/MultiCast query the backend: feed the serialized
+//! series as the prompt, then decode token-by-token under the output
+//! constraint until the continuation contains enough separators to cover
+//! the forecast horizon (each separator delimits one timestamp's value).
+
+use crate::model::{observe_all, LanguageModel};
+use crate::sampler::Sampler;
+use crate::vocab::TokenId;
+
+/// Stopping rule and budget for one continuation.
+#[derive(Debug, Clone)]
+pub struct GenerateOptions {
+    /// Hard cap on generated tokens (guards against degenerate loops).
+    pub max_tokens: usize,
+    /// Stop once this token has been emitted `stop_count` times.
+    /// In the forecasting pipeline this is the separator (`,`): emitting
+    /// `horizon` separators means `horizon` values have been produced.
+    pub stop_token: Option<TokenId>,
+    /// Number of `stop_token` occurrences to wait for.
+    pub stop_count: usize,
+}
+
+impl GenerateOptions {
+    /// Stop after `count` occurrences of `separator`, with a sane token cap.
+    pub fn until_separators(separator: TokenId, count: usize, max_tokens: usize) -> Self {
+        Self { max_tokens, stop_token: Some(separator), stop_count: count }
+    }
+}
+
+/// Generates a constrained continuation.
+///
+/// The model must already have consumed the prompt (via
+/// [`observe_all`] or incremental [`LanguageModel::observe`] calls).
+/// Returns the generated token ids, *excluding* nothing — the final
+/// separator (if the stop rule fired) is included so the decoder sees
+/// complete values.
+pub fn generate(
+    model: &mut dyn LanguageModel,
+    sampler: &mut Sampler,
+    allowed: impl Fn(TokenId) -> bool,
+    options: &GenerateOptions,
+) -> Vec<TokenId> {
+    let mut out = Vec::new();
+    let mut dist = vec![0.0; model.vocab_size()];
+    let mut seen_stops = 0usize;
+    for _ in 0..options.max_tokens {
+        model.next_distribution(&mut dist);
+        let token = sampler.sample(&dist, &allowed);
+        model.observe(token, true);
+        out.push(token);
+        if Some(token) == options.stop_token {
+            seen_stops += 1;
+            if seen_stops >= options.stop_count {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: feed `prompt`, then generate under `allowed`.
+pub fn prompt_and_generate(
+    model: &mut dyn LanguageModel,
+    prompt: &[TokenId],
+    sampler: &mut Sampler,
+    allowed: impl Fn(TokenId) -> bool,
+    options: &GenerateOptions,
+) -> Vec<TokenId> {
+    model.reset();
+    observe_all(model, prompt);
+    generate(model, sampler, allowed, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::NGramLm;
+    use crate::sampler::SamplerConfig;
+
+    #[test]
+    fn stops_on_separator_count() {
+        // Prompt: "01,01,01," as token ids over a 3-token vocab {0,1,sep=2}.
+        let mut m = NGramLm::new(3, 4, 0.3, "t");
+        let prompt: Vec<TokenId> = [0u32, 1, 2].iter().cycle().take(30).copied().collect();
+        let mut s = Sampler::new(SamplerConfig { temperature: 0.2, seed: 1, ..Default::default() });
+        let opts = GenerateOptions::until_separators(2, 3, 100);
+        let out = prompt_and_generate(&mut m, &prompt, &mut s, |_| true, &opts);
+        let seps = out.iter().filter(|&&t| t == 2).count();
+        assert_eq!(seps, 3, "must stop exactly at the 3rd separator: {out:?}");
+        assert_eq!(*out.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn max_tokens_caps_runaway() {
+        let mut m = NGramLm::new(3, 2, 0.5, "t");
+        let mut s = Sampler::new(SamplerConfig { seed: 2, ..Default::default() });
+        // Stop token never allowed → generation runs to the cap.
+        let opts = GenerateOptions::until_separators(2, 1, 17);
+        let out = prompt_and_generate(&mut m, &[0, 1, 0, 1], &mut s, |t| t != 2, &opts);
+        assert_eq!(out.len(), 17);
+        assert!(out.iter().all(|&t| t != 2));
+    }
+
+    #[test]
+    fn learned_pattern_continues() {
+        // Strongly periodic prompt: generation at low temperature should
+        // reproduce the period.
+        let mut m = NGramLm::new(4, 6, 0.2, "t");
+        let prompt: Vec<TokenId> = [0u32, 1, 2, 3].iter().cycle().take(80).copied().collect();
+        let mut s = Sampler::new(SamplerConfig { 
+            temperature: 0.05,
+            top_k: None,
+            top_p: None,
+            seed: 3, epsilon: 0.0 });
+        let opts = GenerateOptions { max_tokens: 8, stop_token: None, stop_count: 0 };
+        let out = prompt_and_generate(&mut m, &prompt, &mut s, |_| true, &opts);
+        assert_eq!(out, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn generated_tokens_counted_in_cost() {
+        let mut m = NGramLm::new(3, 2, 0.5, "t");
+        let mut s = Sampler::new(SamplerConfig { seed: 4, ..Default::default() });
+        let opts = GenerateOptions { max_tokens: 10, stop_token: None, stop_count: 0 };
+        prompt_and_generate(&mut m, &[0, 1, 2], &mut s, |_| true, &opts);
+        let c = m.cost();
+        assert_eq!(c.prompt_tokens, 3);
+        assert_eq!(c.generated_tokens, 10);
+    }
+}

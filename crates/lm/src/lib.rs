@@ -1,0 +1,52 @@
+//! # mc-lm — language-model substrate for the MultiCast reproduction
+//!
+//! The paper runs MultiCast on LLaMA2-7B and Phi-2 through the HuggingFace
+//! API. Neither model can be shipped inside this repository, so this crate
+//! provides the substitution documented in `DESIGN.md` §2: **in-context
+//! sequence models** over the same character-level token alphabet, with the
+//! same interface contract a frozen LLM offers the MultiCast pipeline:
+//!
+//! 1. a [`Tokenizer`] mapping text to corpus ids and back
+//!    ([`CharTokenizer`] implements the digit-level scheme LLMTime forces);
+//! 2. a [`LanguageModel`] that consumes a prompt token-by-token and yields
+//!    a next-token distribution — pattern learning happens *in context*,
+//!    exactly like zero-shot prompting (no training phase, no labels);
+//! 3. a constrained, temperature-controlled [`sampler`] reproducing the
+//!    paper's restriction of the output alphabet to digits and commas;
+//! 4. autoregressive [`generate`] with per-token cost accounting, so the
+//!    wall-clock/token-budget experiments (Tables VII–IX) are meaningful.
+//!
+//! Two model families are provided: [`NGramLm`] (interpolated back-off
+//! context mixing, cheap per token) and [`SuffixLm`] (longest-suffix
+//! matching over the whole context, O(context) per token — the same
+//! asymptotic cost shape as transformer decoding). The [`presets`] module
+//! maps the paper's backends to capacity tiers: `Large` ↔ LLaMA2-7B,
+//! `Small` ↔ Phi-2.
+
+pub mod bpe;
+pub mod concrete;
+pub mod cost;
+pub mod ensemble;
+pub mod generate;
+pub mod model;
+pub mod ngram;
+pub mod ppm;
+pub mod presets;
+pub mod sampler;
+pub mod suffix;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use bpe::BpeTokenizer;
+pub use concrete::ConcreteLm;
+pub use cost::InferenceCost;
+pub use ensemble::EnsembleLm;
+pub use generate::{generate, GenerateOptions};
+pub use model::LanguageModel;
+pub use ngram::NGramLm;
+pub use ppm::PpmLm;
+pub use presets::{build_model, ModelPreset};
+pub use sampler::{Sampler, SamplerConfig};
+pub use suffix::SuffixLm;
+pub use tokenizer::{CharTokenizer, Tokenizer};
+pub use vocab::{TokenId, Vocab};

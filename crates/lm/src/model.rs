@@ -1,0 +1,64 @@
+//! The [`LanguageModel`] trait: the contract MultiCast needs from a
+//! frozen LLM backend.
+//!
+//! Zero-shot prompting means the model never sees gradient updates; all
+//! adaptation happens by *conditioning on the prompt*. The trait mirrors
+//! that: [`LanguageModel::observe`] feeds one prompt (or freshly generated)
+//! token, [`LanguageModel::next_distribution`] reads the conditional
+//! next-token distribution, and [`LanguageModel::reset`] clears the context
+//! between independent queries.
+
+use crate::cost::InferenceCost;
+use crate::vocab::TokenId;
+
+/// An autoregressive sequence model over a fixed vocabulary.
+pub trait LanguageModel {
+    /// Size of the vocabulary this model emits distributions over.
+    fn vocab_size(&self) -> usize;
+
+    /// Clears all context (and cost counters start a fresh session).
+    fn reset(&mut self);
+
+    /// Consumes one token of context.
+    ///
+    /// Call with `generated = false` for prompt tokens and `true` for
+    /// tokens the model itself produced (they still extend the context —
+    /// LLM decoding conditions on everything emitted so far).
+    fn observe(&mut self, token: TokenId, generated: bool);
+
+    /// Writes `P(next token | context)` into `out`
+    /// (`out.len() == vocab_size()`, entries sum to 1).
+    fn next_distribution(&mut self, out: &mut [f64]);
+
+    /// Cumulative cost of the current session.
+    fn cost(&self) -> InferenceCost;
+
+    /// A short human-readable identifier (used in reports).
+    fn name(&self) -> &str;
+}
+
+/// Feeds a whole prompt into the model.
+pub fn observe_all(model: &mut dyn LanguageModel, prompt: &[TokenId]) {
+    for &t in prompt {
+        model.observe(t, false);
+    }
+}
+
+/// Validates that a distribution is well-formed (used by tests and debug
+/// assertions): finite, non-negative, summing to ~1.
+pub fn is_distribution(p: &[f64]) -> bool {
+    p.iter().all(|&x| x.is_finite() && x >= 0.0) && (p.iter().sum::<f64>() - 1.0).abs() < 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_distribution_checks() {
+        assert!(is_distribution(&[0.25, 0.75]));
+        assert!(!is_distribution(&[0.5, 0.6]));
+        assert!(!is_distribution(&[-0.1, 1.1]));
+        assert!(!is_distribution(&[f64::NAN, 1.0]));
+    }
+}

@@ -1,0 +1,256 @@
+//! PPM-C: prediction by partial matching with escape probabilities.
+//!
+//! A third in-context model family, classically distinct from the
+//! Jelinek–Mercer interpolation of [`crate::ngram::NGramLm`]: instead of
+//! *blending* all context orders, PPM commits to the longest seen context
+//! and pays an explicit **escape** probability to fall back one order,
+//! excluding symbols already accounted for at higher orders (the
+//! "exclusion" rule). Method C sets the escape mass to
+//! `distinct / (total + distinct)`.
+//!
+//! PPM variants drive the best adaptive text compressors; here the model
+//! serves as an ablation backend — same interface, different inductive
+//! bias (hard back-off vs soft mixing).
+
+use std::collections::HashMap;
+
+use crate::cost::InferenceCost;
+use crate::model::LanguageModel;
+use crate::vocab::TokenId;
+
+/// PPM-C language model. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PpmLm {
+    vocab_size: usize,
+    max_order: usize,
+    /// `counts[k]` maps a radix-encoded `k`-token context to next-token
+    /// count vectors (same layout as `NGramLm`).
+    counts: Vec<HashMap<u64, Vec<u32>>>,
+    history: Vec<TokenId>,
+    cost: InferenceCost,
+    name: String,
+}
+
+impl PpmLm {
+    /// Creates a PPM-C model with contexts up to `max_order`.
+    ///
+    /// # Panics
+    /// If `vocab_size == 0` or the radix key would overflow 64 bits.
+    pub fn new(vocab_size: usize, max_order: usize, name: impl Into<String>) -> Self {
+        assert!(vocab_size > 0, "vocab_size must be positive");
+        let bits = (vocab_size as f64).log2().ceil().max(1.0) * max_order as f64;
+        assert!(bits <= 63.0, "max_order {max_order} too deep for vocab {vocab_size}");
+        Self {
+            vocab_size,
+            max_order,
+            counts: vec![HashMap::new(); max_order + 1],
+            history: Vec::with_capacity(max_order),
+            cost: InferenceCost::default(),
+            name: name.into(),
+        }
+    }
+
+    fn key(&self, k: usize) -> u64 {
+        let mut key = 0u64;
+        for &t in &self.history[self.history.len() - k..] {
+            key = key * self.vocab_size as u64 + t as u64;
+        }
+        key
+    }
+}
+
+impl LanguageModel for PpmLm {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.counts {
+            m.clear();
+        }
+        self.history.clear();
+        self.cost = InferenceCost::default();
+    }
+
+    fn observe(&mut self, token: TokenId, generated: bool) {
+        assert!((token as usize) < self.vocab_size, "token {token} out of range");
+        for k in 0..=self.max_order.min(self.history.len()) {
+            let key = self.key(k);
+            let slot =
+                self.counts[k].entry(key).or_insert_with(|| vec![0u32; self.vocab_size]);
+            slot[token as usize] += 1;
+            self.cost.work_units += 1;
+        }
+        self.history.push(token);
+        if self.history.len() > self.max_order {
+            self.history.remove(0);
+        }
+        if generated {
+            self.cost.generated_tokens += 1;
+        } else {
+            self.cost.prompt_tokens += 1;
+        }
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.vocab_size, "distribution buffer size");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let mut excluded = vec![false; self.vocab_size];
+        // Mass still to distribute (product of escapes so far).
+        let mut remaining = 1.0f64;
+        let deepest = self.max_order.min(self.history.len());
+        for k in (0..=deepest).rev() {
+            let key = self.key(k);
+            self.cost.work_units += 1;
+            let Some(c) = self.counts[k].get(&key) else {
+                continue; // unseen context: free escape to the next order
+            };
+            // Counts over non-excluded symbols only (PPM exclusion).
+            let mut total = 0u64;
+            let mut distinct = 0u64;
+            for (i, &cnt) in c.iter().enumerate() {
+                if cnt > 0 && !excluded[i] {
+                    total += cnt as u64;
+                    distinct += 1;
+                }
+            }
+            if total == 0 {
+                continue;
+            }
+            // Method C: escape mass = distinct / (total + distinct).
+            let denom = (total + distinct) as f64;
+            for (i, &cnt) in c.iter().enumerate() {
+                if cnt > 0 && !excluded[i] {
+                    out[i] += remaining * cnt as f64 / denom;
+                    excluded[i] = true;
+                }
+            }
+            remaining *= distinct as f64 / denom;
+            if remaining < 1e-15 {
+                break;
+            }
+        }
+        // Order -1: uniform over still-excluded-free symbols.
+        let free = excluded.iter().filter(|&&e| !e).count();
+        if free > 0 {
+            let share = remaining / free as f64;
+            for (o, &e) in out.iter_mut().zip(&excluded) {
+                if !e {
+                    *o += share;
+                }
+            }
+        } else {
+            // All symbols seen: renormalize (remaining mass is tiny).
+            let total: f64 = out.iter().sum();
+            for o in out.iter_mut() {
+                *o /= total;
+            }
+            return;
+        }
+        // Normalize defensively against rounding drift.
+        let total: f64 = out.iter().sum();
+        for o in out.iter_mut() {
+            *o /= total;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        self.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{is_distribution, observe_all};
+    use crate::ngram::NGramLm;
+
+    #[test]
+    fn uniform_before_any_context() {
+        let mut m = PpmLm::new(4, 3, "ppm");
+        let mut p = vec![0.0; 4];
+        m.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn learns_deterministic_cycle_sharply() {
+        let mut m = PpmLm::new(3, 4, "ppm");
+        let cycle: Vec<TokenId> = (0..60).map(|i| (i % 3) as TokenId).collect();
+        observe_all(&mut m, &cycle);
+        let mut p = vec![0.0; 3];
+        m.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        assert!(p[0] > 0.9, "PPM commits hard to the longest match: {p:?}");
+    }
+
+    #[test]
+    fn distribution_valid_under_random_feed() {
+        let mut m = PpmLm::new(6, 4, "ppm");
+        let mut state = 3u64;
+        let mut p = vec![0.0; 6];
+        for _ in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.observe(((state >> 33) % 6) as TokenId, false);
+            m.next_distribution(&mut p);
+            assert!(is_distribution(&p));
+        }
+    }
+
+    #[test]
+    fn escape_reaches_unseen_symbols() {
+        // Feed only tokens 0 and 1; token 2 must still get positive mass
+        // (through escapes down to the uniform base).
+        let mut m = PpmLm::new(3, 3, "ppm");
+        observe_all(&mut m, &[0, 1, 0, 1, 0, 1, 0, 1]);
+        let mut p = vec![0.0; 3];
+        m.next_distribution(&mut p);
+        assert!(p[2] > 0.0, "unseen symbol needs escape mass: {p:?}");
+        assert!(p[2] < 0.2, "but far less than seen symbols: {p:?}");
+    }
+
+    #[test]
+    fn escape_mass_never_collapses_unlike_interpolation() {
+        // The structural difference between the families: chained
+        // Jelinek–Mercer interpolation compounds agreement across levels
+        // and collapses to ~1 on a deterministic pattern; PPM-C always
+        // reserves explicit escape mass, keeping the distribution proper
+        // but never degenerate.
+        let pattern: Vec<TokenId> = [0u32, 1, 2, 3, 2, 1].iter().cycle().take(90).copied().collect();
+        let mut ppm = PpmLm::new(4, 6, "ppm");
+        let mut ngram = NGramLm::new(4, 6, 0.25, "ng");
+        observe_all(&mut ppm, &pattern);
+        observe_all(&mut ngram, &pattern);
+        let mut p1 = vec![0.0; 4];
+        let mut p2 = vec![0.0; 4];
+        ppm.next_distribution(&mut p1);
+        ngram.next_distribution(&mut p2);
+        // Both commit to the cycle restart (token 0)...
+        assert!(p1[0] > 0.9, "ppm: {p1:?}");
+        assert!(p2[0] > 0.9, "ngram: {p2:?}");
+        // ...but PPM keeps meaningfully more reserve mass on alternatives.
+        let ppm_reserve = 1.0 - p1[0];
+        let ngram_reserve = 1.0 - p2[0];
+        assert!(
+            ppm_reserve > 10.0 * ngram_reserve,
+            "escape mass {ppm_reserve:.2e} vs interpolation residue {ngram_reserve:.2e}"
+        );
+    }
+
+    #[test]
+    fn reset_and_cost() {
+        let mut m = PpmLm::new(3, 2, "ppm");
+        observe_all(&mut m, &[0, 1, 2]);
+        assert_eq!(m.cost().prompt_tokens, 3);
+        m.reset();
+        assert_eq!(m.cost(), InferenceCost::default());
+        assert_eq!(m.name(), "ppm");
+    }
+}

@@ -1,0 +1,207 @@
+//! Suffix-matching language model ("attention-lite").
+//!
+//! The second LLM stand-in: instead of bounded-order counts, it keeps the
+//! *entire* context and, for each prediction, scores every context position
+//! by the length of the common suffix between that position's left context
+//! and the current one — then votes for the token that followed, weighted
+//! exponentially in match length. This is an unbounded-order PPM*-style
+//! predictor and also a deliberately transformer-shaped cost model: every
+//! generated token scans the whole context (O(context) per token,
+//! O(context²) per continuation), which is what makes the SAX token-count
+//! reductions in Tables VIII–IX translate to the order-of-magnitude
+//! wall-clock wins the paper reports.
+
+use crate::cost::InferenceCost;
+use crate::model::LanguageModel;
+use crate::vocab::TokenId;
+
+/// Longest-suffix-match LM. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SuffixLm {
+    vocab_size: usize,
+    /// Cap on counted match length (keeps weights finite).
+    max_match: usize,
+    /// Exponential base for match-length weighting (> 1).
+    decay: f64,
+    /// Uniform smoothing mass.
+    smoothing: f64,
+    context: Vec<TokenId>,
+    cost: InferenceCost,
+    name: String,
+}
+
+impl SuffixLm {
+    /// Creates a suffix-matching model.
+    ///
+    /// # Panics
+    /// If `vocab_size == 0`, `max_match == 0`, `decay <= 1`, or
+    /// `smoothing <= 0`.
+    pub fn new(
+        vocab_size: usize,
+        max_match: usize,
+        decay: f64,
+        smoothing: f64,
+        name: impl Into<String>,
+    ) -> Self {
+        assert!(vocab_size > 0, "vocab_size must be positive");
+        assert!(max_match > 0, "max_match must be positive");
+        assert!(decay > 1.0, "decay must exceed 1");
+        assert!(smoothing > 0.0, "smoothing must be positive");
+        Self {
+            vocab_size,
+            max_match,
+            decay,
+            smoothing,
+            context: Vec::new(),
+            cost: InferenceCost::default(),
+            name: name.into(),
+        }
+    }
+
+    /// Current context length.
+    pub fn context_len(&self) -> usize {
+        self.context.len()
+    }
+}
+
+impl LanguageModel for SuffixLm {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn reset(&mut self) {
+        self.context.clear();
+        self.cost = InferenceCost::default();
+    }
+
+    fn observe(&mut self, token: TokenId, generated: bool) {
+        assert!((token as usize) < self.vocab_size, "token {token} out of range");
+        self.context.push(token);
+        if generated {
+            self.cost.generated_tokens += 1;
+        } else {
+            self.cost.prompt_tokens += 1;
+        }
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.vocab_size, "distribution buffer size");
+        let n = self.context.len();
+        let mut scores = vec![self.smoothing / self.vocab_size as f64; self.vocab_size];
+        // Score every position i (a candidate "what came next after a
+        // context like ours"): match length of context[..i] against
+        // context[..n], both read backwards.
+        for i in 0..n {
+            self.cost.work_units += 1;
+            let mut l = 0usize;
+            while l < self.max_match && l < i && self.context[i - 1 - l] == self.context[n - 1 - l]
+            {
+                l += 1;
+            }
+            if l > 0 {
+                scores[self.context[i] as usize] += self.decay.powi(l as i32) - 1.0;
+            }
+        }
+        let total: f64 = scores.iter().sum();
+        for (o, s) in out.iter_mut().zip(&scores) {
+            *o = s / total;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        self.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{is_distribution, observe_all};
+
+    #[test]
+    fn uniform_before_any_context() {
+        let mut m = SuffixLm::new(4, 16, 1.8, 1.0, "t");
+        let mut p = vec![0.0; 4];
+        m.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn completes_long_periodic_pattern() {
+        let mut m = SuffixLm::new(4, 16, 1.8, 0.5, "t");
+        let pattern: Vec<TokenId> =
+            [0u32, 1, 2, 3, 2, 1].iter().cycle().take(120).copied().collect();
+        observe_all(&mut m, &pattern);
+        // 120 = 20 full cycles; the next token restarts the cycle at 0.
+        let mut p = vec![0.0; 4];
+        m.next_distribution(&mut p);
+        assert!(is_distribution(&p));
+        assert!(p[0] > 0.8, "expected cycle restart, got {p:?}");
+    }
+
+    #[test]
+    fn longer_matches_outvote_frequency() {
+        // Token 1 follows 0 twice as often overall, but the *long* context
+        // "2 2 2 0" is always followed by 3. Suffix matching must prefer 3.
+        let mut m = SuffixLm::new(4, 16, 2.0, 0.1, "t");
+        let mut seq: Vec<TokenId> = Vec::new();
+        for _ in 0..10 {
+            seq.extend_from_slice(&[0, 1, 0, 1]);
+        }
+        for _ in 0..5 {
+            seq.extend_from_slice(&[2, 2, 2, 0, 3]);
+        }
+        seq.extend_from_slice(&[2, 2, 2, 0]);
+        observe_all(&mut m, &seq);
+        let mut p = vec![0.0; 4];
+        m.next_distribution(&mut p);
+        assert!(p[3] > p[1], "long-context match should win: {p:?}");
+    }
+
+    #[test]
+    fn work_scales_linearly_with_context() {
+        let mut m = SuffixLm::new(3, 8, 1.5, 1.0, "t");
+        observe_all(&mut m, &vec![0; 100]);
+        let mut p = vec![0.0; 3];
+        m.next_distribution(&mut p);
+        let w1 = m.cost().work_units;
+        m.next_distribution(&mut p);
+        let w2 = m.cost().work_units;
+        assert_eq!(w2 - w1, 100, "each prediction scans the whole context");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut m = SuffixLm::new(3, 8, 1.5, 1.0, "t");
+        observe_all(&mut m, &[0, 1, 2]);
+        m.reset();
+        assert_eq!(m.context_len(), 0);
+        assert_eq!(m.cost(), InferenceCost::default());
+    }
+
+    #[test]
+    fn distribution_valid_under_random_feed() {
+        let mut m = SuffixLm::new(6, 12, 1.7, 0.5, "t");
+        let mut state = 7u64;
+        let mut p = vec![0.0; 6];
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.observe(((state >> 33) % 6) as TokenId, false);
+            m.next_distribution(&mut p);
+            assert!(is_distribution(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must exceed 1")]
+    fn rejects_non_amplifying_decay() {
+        SuffixLm::new(4, 8, 1.0, 1.0, "t");
+    }
+}

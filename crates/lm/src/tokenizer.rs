@@ -1,0 +1,138 @@
+//! Character-level tokenization against a [`Vocab`].
+//!
+//! LLMTime showed that LLM forecasting only works when numbers are broken
+//! into *individual digit tokens*; MultiCast inherits that requirement
+//! ("each digit is treated separately... tokens are replaced with their
+//! corresponding corpus id"). [`CharTokenizer`] is exactly that scheme.
+
+use crate::vocab::{TokenId, Vocab};
+
+/// Errors from tokenization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenizeError {
+    /// The input contained a character outside the vocabulary.
+    UnknownChar {
+        /// The offending character.
+        c: char,
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// A token id outside the vocabulary was passed to `decode`.
+    UnknownId(TokenId),
+}
+
+impl std::fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenizeError::UnknownChar { c, at } => {
+                write!(f, "character `{c}` at byte {at} is not in the vocabulary")
+            }
+            TokenizeError::UnknownId(id) => write!(f, "token id {id} is not in the vocabulary"),
+        }
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+/// Maps text to corpus-id sequences and back.
+pub trait Tokenizer {
+    /// The vocabulary this tokenizer speaks.
+    fn vocab(&self) -> &Vocab;
+
+    /// Encodes text to token ids. Fails on out-of-vocabulary characters.
+    fn encode(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError>;
+
+    /// Decodes token ids back to text. Fails on out-of-range ids.
+    fn decode(&self, ids: &[TokenId]) -> Result<String, TokenizeError>;
+}
+
+/// One character = one token.
+#[derive(Debug, Clone)]
+pub struct CharTokenizer {
+    vocab: Vocab,
+}
+
+impl CharTokenizer {
+    /// Wraps a vocabulary as a character-level tokenizer.
+    pub fn new(vocab: Vocab) -> Self {
+        Self { vocab }
+    }
+
+    /// Tokenizer over the numeric vocabulary (digits, comma, space, minus).
+    pub fn numeric() -> Self {
+        Self::new(Vocab::numeric())
+    }
+}
+
+impl Tokenizer for CharTokenizer {
+    fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn encode(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut out = Vec::with_capacity(text.len());
+        for (at, c) in text.char_indices() {
+            match self.vocab.id(c) {
+                Some(id) => out.push(id),
+                None => return Err(TokenizeError::UnknownChar { c, at }),
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, ids: &[TokenId]) -> Result<String, TokenizeError> {
+        let mut out = String::with_capacity(ids.len());
+        for &id in ids {
+            match self.vocab.char(id) {
+                Some(c) => out.push(c),
+                None => return Err(TokenizeError::UnknownId(id)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = CharTokenizer::numeric();
+        let text = "12,34, -5";
+        let ids = t.encode(text).unwrap();
+        assert_eq!(ids.len(), text.chars().count());
+        assert_eq!(t.decode(&ids).unwrap(), text);
+    }
+
+    #[test]
+    fn unknown_char_position_reported() {
+        let t = CharTokenizer::numeric();
+        let err = t.encode("12x").unwrap_err();
+        assert_eq!(err, TokenizeError::UnknownChar { c: 'x', at: 2 });
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        let t = CharTokenizer::numeric();
+        let err = t.decode(&[9999]).unwrap_err();
+        assert_eq!(err, TokenizeError::UnknownId(9999));
+    }
+
+    #[test]
+    fn digits_are_separate_tokens() {
+        // The LLMTime requirement: "17" is two tokens, never one.
+        let t = CharTokenizer::numeric();
+        let ids = t.encode("17").unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn sax_tokenizer_round_trip() {
+        let t = CharTokenizer::new(crate::vocab::Vocab::sax_alphabetic(5));
+        let ids = t.encode("ab,ce").unwrap();
+        assert_eq!(t.decode(&ids).unwrap(), "ab,ce");
+        assert!(t.encode("z").is_err());
+    }
+}

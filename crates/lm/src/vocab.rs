@@ -1,0 +1,165 @@
+//! Token vocabulary: character ↔ corpus-id mapping.
+//!
+//! The paper (following LLMTime) tokenizes series text at the character
+//! level: every digit, comma, space and SAX symbol is one token, "assigned
+//! with the corresponding corpus id" before inference. [`Vocab`] is that
+//! corpus-id table.
+
+use std::collections::HashMap;
+
+/// A token's corpus id. Kept at 32 bits: vocabularies here are tiny
+/// (digits + separators + SAX letters), but ids are used as array indices
+/// throughout, so a dedicated type documents intent.
+pub type TokenId = u32;
+
+/// Character-level vocabulary with stable, dense ids `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocab {
+    id_to_char: Vec<char>,
+    char_to_id: HashMap<char, TokenId>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from a set of characters. Duplicates are
+    /// ignored; ids follow first-occurrence order.
+    pub fn new(chars: impl IntoIterator<Item = char>) -> Self {
+        let mut id_to_char = Vec::new();
+        let mut char_to_id = HashMap::new();
+        for c in chars {
+            if let std::collections::hash_map::Entry::Vacant(e) = char_to_id.entry(c) {
+                e.insert(id_to_char.len() as TokenId);
+                id_to_char.push(c);
+            }
+        }
+        Self { id_to_char, char_to_id }
+    }
+
+    /// The vocabulary used for numeric (non-SAX) series text:
+    /// digits, comma, space and minus sign.
+    ///
+    /// This matches the paper's note that "the model's output is limited to
+    /// producing only digits and commas (i.e., `[0-9,]`)"; space and minus
+    /// appear only on the input side (separators, negative rescaled values).
+    pub fn numeric() -> Self {
+        Self::new("0123456789, -".chars().filter(|c| *c != ' ').chain([' ']))
+    }
+
+    /// Vocabulary for SAX-quantized series with an alphabetical alphabet of
+    /// the given size (≤ 26): `a..`, comma and space.
+    pub fn sax_alphabetic(alphabet_size: usize) -> Self {
+        assert!(
+            (2..=26).contains(&alphabet_size),
+            "alphabetical SAX alphabet must have 2..=26 symbols, got {alphabet_size}"
+        );
+        let letters = (0..alphabet_size).map(|i| (b'a' + i as u8) as char);
+        Self::new(letters.chain([',', ' ']))
+    }
+
+    /// Vocabulary for SAX-quantized series with a digital alphabet of the
+    /// given size (≤ 10): `0..`, comma and space.
+    ///
+    /// The paper notes "for digits we can only go up to an alphabet of
+    /// size 10" (Table IX's `N/A` cell) — enforced here by the assert.
+    pub fn sax_digital(alphabet_size: usize) -> Self {
+        assert!(
+            (2..=10).contains(&alphabet_size),
+            "digital SAX alphabet must have 2..=10 symbols, got {alphabet_size}"
+        );
+        let digits = (0..alphabet_size).map(|i| (b'0' + i as u8) as char);
+        Self::new(digits.chain([',', ' ']))
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_char.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_char.is_empty()
+    }
+
+    /// Corpus id of a character, if present.
+    pub fn id(&self, c: char) -> Option<TokenId> {
+        self.char_to_id.get(&c).copied()
+    }
+
+    /// Character of a corpus id, if valid.
+    pub fn char(&self, id: TokenId) -> Option<char> {
+        self.id_to_char.get(id as usize).copied()
+    }
+
+    /// Ids of every character in `set`, skipping absentees.
+    pub fn ids_of(&self, set: &str) -> Vec<TokenId> {
+        set.chars().filter_map(|c| self.id(c)).collect()
+    }
+
+    /// All characters in id order.
+    pub fn chars(&self) -> &[char] {
+        &self.id_to_char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let v = Vocab::new("abca".chars());
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.id('a'), Some(0));
+        assert_eq!(v.id('b'), Some(1));
+        assert_eq!(v.id('c'), Some(2));
+        assert_eq!(v.char(1), Some('b'));
+        assert_eq!(v.char(3), None);
+        assert_eq!(v.id('z'), None);
+    }
+
+    #[test]
+    fn numeric_vocab_covers_series_text() {
+        let v = Vocab::numeric();
+        for c in "0123456789, -".chars() {
+            assert!(v.id(c).is_some(), "missing `{c}`");
+        }
+        assert_eq!(v.len(), 13);
+    }
+
+    #[test]
+    fn sax_alphabetic_sizes() {
+        let v = Vocab::sax_alphabetic(5);
+        assert_eq!(v.len(), 7); // a-e + comma + space
+        assert!(v.id('e').is_some());
+        assert!(v.id('f').is_none());
+        let v20 = Vocab::sax_alphabetic(20);
+        assert!(v20.id('t').is_some());
+        assert!(v20.id('u').is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=26")]
+    fn sax_alphabetic_rejects_oversize() {
+        Vocab::sax_alphabetic(27);
+    }
+
+    #[test]
+    fn sax_digital_sizes() {
+        let v = Vocab::sax_digital(10);
+        assert_eq!(v.len(), 12);
+        assert!(v.id('9').is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=10")]
+    fn sax_digital_rejects_oversize() {
+        // This is the paper's Table IX `N/A` cell: no 20-symbol digital SAX.
+        Vocab::sax_digital(20);
+    }
+
+    #[test]
+    fn ids_of_filters_unknown() {
+        let v = Vocab::numeric();
+        let ids = v.ids_of("0,x");
+        assert_eq!(ids.len(), 2);
+    }
+}

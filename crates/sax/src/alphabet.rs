@@ -1,0 +1,137 @@
+//! SAX symbol alphabets.
+//!
+//! The paper evaluates two encodings (§III-B, Tables VIII–IX): alphabetical
+//! characters (`a`, `b`, …) and digits (`0`–`9`). Digits cap the alphabet
+//! at 10 symbols — the `N/A` cell in Table IX — while letters go to 26.
+
+/// Which character set encodes SAX symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SaxAlphabetKind {
+    /// `a`, `b`, `c`, … (up to 26 symbols).
+    Alphabetic,
+    /// `0`, `1`, `2`, … (up to 10 symbols).
+    Digital,
+}
+
+impl SaxAlphabetKind {
+    /// Maximum supported alphabet size for this encoding.
+    pub fn max_size(self) -> usize {
+        match self {
+            SaxAlphabetKind::Alphabetic => 26,
+            SaxAlphabetKind::Digital => 10,
+        }
+    }
+
+    /// Name used in reports ("alphabetical" / "digital", as in the paper).
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SaxAlphabetKind::Alphabetic => "alphabetical",
+            SaxAlphabetKind::Digital => "digital",
+        }
+    }
+}
+
+/// A sized SAX alphabet: bijection between cell indices `0..size` and
+/// characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaxAlphabet {
+    kind: SaxAlphabetKind,
+    size: usize,
+}
+
+impl SaxAlphabet {
+    /// Creates an alphabet; fails (returns `None`) if `size` is below 2 or
+    /// exceeds the encoding's capacity — e.g. `Digital` with size 20, which
+    /// is exactly the combination the paper marks `N/A`.
+    pub fn new(kind: SaxAlphabetKind, size: usize) -> Option<Self> {
+        if size >= 2 && size <= kind.max_size() {
+            Some(Self { kind, size })
+        } else {
+            None
+        }
+    }
+
+    /// The encoding kind.
+    pub fn kind(self) -> SaxAlphabetKind {
+        self.kind
+    }
+
+    /// Number of symbols.
+    pub fn size(self) -> usize {
+        self.size
+    }
+
+    /// Character of symbol index `i`.
+    ///
+    /// # Panics
+    /// If `i >= size`.
+    pub fn symbol(self, i: usize) -> char {
+        assert!(i < self.size, "symbol index {i} out of range for alphabet size {}", self.size);
+        match self.kind {
+            SaxAlphabetKind::Alphabetic => (b'a' + i as u8) as char,
+            SaxAlphabetKind::Digital => (b'0' + i as u8) as char,
+        }
+    }
+
+    /// Symbol index of character `c`, if it belongs to this alphabet.
+    pub fn index(self, c: char) -> Option<usize> {
+        let i = match self.kind {
+            SaxAlphabetKind::Alphabetic => (c as u32).checked_sub('a' as u32)? as usize,
+            SaxAlphabetKind::Digital => (c as u32).checked_sub('0' as u32)? as usize,
+        };
+        (i < self.size).then_some(i)
+    }
+
+    /// All characters of the alphabet in index order.
+    pub fn chars(self) -> impl Iterator<Item = char> {
+        (0..self.size).map(move |i| self.symbol(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabetic_round_trip() {
+        let a = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
+        for i in 0..5 {
+            assert_eq!(a.index(a.symbol(i)), Some(i));
+        }
+        assert_eq!(a.symbol(0), 'a');
+        assert_eq!(a.symbol(4), 'e');
+        assert_eq!(a.index('f'), None);
+        assert_eq!(a.index('0'), None);
+    }
+
+    #[test]
+    fn digital_round_trip() {
+        let a = SaxAlphabet::new(SaxAlphabetKind::Digital, 10).unwrap();
+        assert_eq!(a.symbol(0), '0');
+        assert_eq!(a.symbol(9), '9');
+        assert_eq!(a.index('7'), Some(7));
+        assert_eq!(a.index('a'), None);
+    }
+
+    #[test]
+    fn digital_caps_at_ten() {
+        // Table IX's N/A cell: no 20-symbol digital alphabet.
+        assert!(SaxAlphabet::new(SaxAlphabetKind::Digital, 20).is_none());
+        assert!(SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 20).is_some());
+        assert!(SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 27).is_none());
+        assert!(SaxAlphabet::new(SaxAlphabetKind::Digital, 1).is_none());
+    }
+
+    #[test]
+    fn chars_enumerates_in_order() {
+        let a = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 3).unwrap();
+        let cs: String = a.chars().collect();
+        assert_eq!(cs, "abc");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SaxAlphabetKind::Alphabetic.display_name(), "alphabetical");
+        assert_eq!(SaxAlphabetKind::Digital.display_name(), "digital");
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end SAX encoding/decoding for the forecasting pipeline.
+//!
+//! Encoding (paper §III-B): z-normalize the series, compress the x-axis
+//! with PAA, discretize each coefficient against the Gaussian breakpoints,
+//! and emit one symbol character per segment. The returned
+//! [`SaxEncoding`] keeps the normalization state so that symbols the LLM
+//! *generates* can be decoded back to values on the original scale —
+//! each symbol maps to its cell's probability-midpoint representative,
+//! un-normalized, and (optionally) expanded back to `segment_len` points.
+
+use mc_tslib::transform::{znorm, znorm_inverse, ZNormState};
+
+use crate::alphabet::SaxAlphabet;
+use crate::gaussian::{breakpoints, cell_of, cell_representative};
+use crate::paa::{inverse_paa, paa};
+
+/// SAX configuration: the paper's two knobs plus the symbol encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaxConfig {
+    /// Points per PAA segment (Table II: 3, 6, 9; "SAX segment length").
+    pub segment_len: usize,
+    /// Symbol alphabet (kind + size; Table II sizes: 5, 10, 20).
+    pub alphabet: SaxAlphabet,
+}
+
+/// The result of encoding a series: the symbol word plus everything needed
+/// to decode generated symbols back to the original scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaxEncoding {
+    /// Symbol indices, one per PAA segment.
+    pub symbols: Vec<usize>,
+    /// Normalization state of the *training* series (reused for decoding).
+    pub znorm: ZNormState,
+    /// Original series length the encoding covers.
+    pub original_len: usize,
+    /// The configuration used.
+    pub config: SaxConfig,
+}
+
+/// Stateless SAX encoder for a fixed configuration.
+///
+/// ```
+/// use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+/// use mc_sax::encoder::{SaxConfig, SaxEncoder};
+///
+/// let encoder = SaxEncoder::new(SaxConfig {
+///     segment_len: 3,
+///     alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
+/// });
+/// let series: Vec<f64> = (0..30).map(|t| t as f64).collect();
+/// let encoding = encoder.encode(&series);
+/// let word = encoder.to_string(&encoding.symbols);
+/// assert_eq!(word.len(), 10);                    // 30 points / segment 3
+/// assert!(word.starts_with('a') && word.ends_with('e')); // rising ramp
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaxEncoder {
+    config: SaxConfig,
+    breaks: Vec<f64>,
+}
+
+impl SaxEncoder {
+    /// Creates an encoder; precomputes the Gaussian breakpoints.
+    ///
+    /// # Panics
+    /// If `segment_len == 0`.
+    pub fn new(config: SaxConfig) -> Self {
+        assert!(config.segment_len > 0, "segment_len must be positive");
+        Self { breaks: breakpoints(config.alphabet.size()), config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SaxConfig {
+        self.config
+    }
+
+    /// Encodes a raw series into a SAX word.
+    pub fn encode(&self, xs: &[f64]) -> SaxEncoding {
+        let (z, state) = znorm(xs).expect("encode requires a non-empty series");
+        let coeffs = paa(&z, self.config.segment_len);
+        let symbols = coeffs.iter().map(|&c| cell_of(c, &self.breaks)).collect();
+        SaxEncoding {
+            symbols,
+            znorm: state,
+            original_len: xs.len(),
+            config: self.config,
+        }
+    }
+
+    /// Renders a SAX word as its character string (e.g. `"abba"`), the text
+    /// that gets tokenized and fed to the LLM.
+    pub fn to_string(&self, symbols: &[usize]) -> String {
+        symbols.iter().map(|&s| self.config.alphabet.symbol(s)).collect()
+    }
+
+    /// Parses a character string back to symbol indices; `None` if any
+    /// character is outside the alphabet.
+    pub fn parse(&self, text: &str) -> Option<Vec<usize>> {
+        text.chars().map(|c| self.config.alphabet.index(c)).collect()
+    }
+
+    /// Decodes symbols to values on the original scale, one value per
+    /// *segment* (no expansion).
+    pub fn decode_segments(&self, symbols: &[usize], state: ZNormState) -> Vec<f64> {
+        let a = self.config.alphabet.size();
+        let z: Vec<f64> = symbols.iter().map(|&s| cell_representative(s, a)).collect();
+        znorm_inverse(&z, state)
+    }
+
+    /// Decodes symbols and expands each back to `segment_len` points,
+    /// yielding `target_len` values on the original scale. This is the
+    /// inverse used after the LLM forecasts in symbol space.
+    pub fn decode_expanded(
+        &self,
+        symbols: &[usize],
+        state: ZNormState,
+        target_len: usize,
+    ) -> Vec<f64> {
+        let per_segment = self.decode_segments(symbols, state);
+        // Normalize in the segment domain, expand as a staircase.
+        inverse_paa(&per_segment, self.config.segment_len, target_len)
+    }
+
+    /// Number of segments (symbols) an `n`-point series compresses to.
+    pub fn segments_for(&self, n: usize) -> usize {
+        n.div_ceil(self.config.segment_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::SaxAlphabetKind;
+
+    fn encoder(segment_len: usize, size: usize, kind: SaxAlphabetKind) -> SaxEncoder {
+        SaxEncoder::new(SaxConfig {
+            segment_len,
+            alphabet: SaxAlphabet::new(kind, size).unwrap(),
+        })
+    }
+
+    #[test]
+    fn encode_produces_expected_word_shape() {
+        let e = encoder(3, 5, SaxAlphabetKind::Alphabetic);
+        let xs: Vec<f64> = (0..30).map(|t| t as f64).collect();
+        let enc = e.encode(&xs);
+        assert_eq!(enc.symbols.len(), 10);
+        assert_eq!(enc.original_len, 30);
+        // Monotone ramp → non-decreasing symbols from low to high cells.
+        for w in enc.symbols.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(enc.symbols[0], 0);
+        assert_eq!(*enc.symbols.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let e = encoder(2, 5, SaxAlphabetKind::Alphabetic);
+        let xs: Vec<f64> = (0..20).map(|t| ((t as f64) * 0.9).sin()).collect();
+        let enc = e.encode(&xs);
+        let s = e.to_string(&enc.symbols);
+        assert_eq!(s.len(), enc.symbols.len());
+        assert_eq!(e.parse(&s).unwrap(), enc.symbols);
+        assert!(e.parse("xyz!").is_none());
+    }
+
+    #[test]
+    fn digital_alphabet_word() {
+        let e = encoder(2, 10, SaxAlphabetKind::Digital);
+        let xs: Vec<f64> = (0..20).map(|t| t as f64).collect();
+        let s = e.to_string(&e.encode(&xs).symbols);
+        assert!(s.chars().all(|c| c.is_ascii_digit()), "digital word: {s}");
+        assert!(s.starts_with('0'));
+        assert!(s.ends_with('9'));
+    }
+
+    #[test]
+    fn decode_stays_within_value_range() {
+        let e = encoder(3, 8, SaxAlphabetKind::Alphabetic);
+        let xs: Vec<f64> = (0..60).map(|t| 50.0 + 10.0 * ((t as f64) * 0.4).sin()).collect();
+        let enc = e.encode(&xs);
+        let dec = e.decode_expanded(&enc.symbols, enc.znorm, xs.len());
+        assert_eq!(dec.len(), xs.len());
+        // Decoded staircase stays within a reasonable band of the original.
+        let (min, max) = xs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        for &v in &dec {
+            assert!(v > min - 10.0 && v < max + 10.0, "decoded {v} far out of band");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_shrinks_with_alphabet() {
+        let xs: Vec<f64> = (0..120).map(|t| ((t as f64) * 0.23).sin() + 0.3 * ((t as f64) * 0.61).cos()).collect();
+        let mut errs = Vec::new();
+        for size in [2usize, 5, 10, 20] {
+            let e = encoder(1, size, SaxAlphabetKind::Alphabetic);
+            let enc = e.encode(&xs);
+            let dec = e.decode_expanded(&enc.symbols, enc.znorm, xs.len());
+            let mse: f64 =
+                xs.iter().zip(&dec).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / xs.len() as f64;
+            errs.push(mse);
+        }
+        for w in errs.windows(2) {
+            assert!(w[1] < w[0], "finer alphabets must reconstruct better: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn segments_for_matches_encode() {
+        let e = encoder(3, 5, SaxAlphabetKind::Alphabetic);
+        for n in [1usize, 3, 7, 30, 31] {
+            let xs: Vec<f64> = (0..n).map(|t| (t as f64 * 0.7).sin() + t as f64 * 0.01).collect();
+            assert_eq!(e.encode(&xs).symbols.len(), e.segments_for(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn one_symbol_per_timestamp_claim() {
+        // The paper: "each value per timestamp is consisted of only one
+        // token instead of multiple" — with segment_len 1 the word length
+        // equals the series length.
+        let e = encoder(1, 5, SaxAlphabetKind::Alphabetic);
+        let xs: Vec<f64> = (0..17).map(|t| (t as f64).cos()).collect();
+        assert_eq!(e.encode(&xs).symbols.len(), 17);
+    }
+}

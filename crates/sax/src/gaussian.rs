@@ -1,0 +1,225 @@
+//! Gaussian quantile machinery for SAX discretization.
+//!
+//! SAX assumes z-normalized series values are ≈ N(0,1) distributed and
+//! places breakpoints at the standard-normal quantiles `Φ⁻¹(i/a)` so all
+//! `a` symbols are equiprobable. Decoding a symbol back to a value (needed
+//! when the LLM forecasts in symbol space) uses the *probability-midpoint*
+//! representative `Φ⁻¹((i + ½)/a)`, the median of the cell.
+
+/// Inverse standard-normal CDF (quantile function) via Acklam's rational
+/// approximation; relative error < 1.2e-9 over (0, 1) — far below the
+/// quantization granularity SAX ever needs.
+///
+/// # Panics
+/// If `p` is outside the open interval (0, 1).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard-normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26-style polynomial, |error| < 7.5e-8, plus the
+/// symmetric reflection for accuracy on both tails).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (W. J. Cody–style rational approximation;
+/// sufficient here because [`inverse_normal_cdf`] only uses it inside a
+/// contraction step).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// The `a - 1` SAX breakpoints for an alphabet of size `a`:
+/// `beta_i = Φ⁻¹((i+1)/a)` for `i` in `0..a-1`, strictly increasing.
+///
+/// # Panics
+/// If `a < 2`.
+pub fn breakpoints(a: usize) -> Vec<f64> {
+    assert!(a >= 2, "alphabet size must be at least 2, got {a}");
+    (1..a).map(|i| inverse_normal_cdf(i as f64 / a as f64)).collect()
+}
+
+/// Maps a z-normalized value to its SAX cell index in `0..a` given the
+/// breakpoints from [`breakpoints`]. Cell `i` is `(beta_{i-1}, beta_i]`
+/// with open ends at ±∞; a binary search keeps this O(log a).
+pub fn cell_of(value: f64, breaks: &[f64]) -> usize {
+    breaks.partition_point(|&b| b < value)
+}
+
+/// Probability-midpoint representative of cell `i` (its conditional median
+/// under N(0,1)): `Φ⁻¹((i + 0.5) / a)`.
+///
+/// # Panics
+/// If `i >= a` or `a < 2`.
+pub fn cell_representative(i: usize, a: usize) -> f64 {
+    assert!(a >= 2, "alphabet size must be at least 2");
+    assert!(i < a, "cell {i} out of range for alphabet {a}");
+    inverse_normal_cdf((i as f64 + 0.5) / a as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_cdf_reference_values() {
+        // Classic table values.
+        assert!((inverse_normal_cdf(0.5) - 0.0).abs() < 1e-12);
+        assert!((inverse_normal_cdf(0.975) - 1.959963984540054).abs() < 1e-8);
+        assert!((inverse_normal_cdf(0.025) + 1.959963984540054).abs() < 1e-8);
+        assert!((inverse_normal_cdf(0.8413447460685429) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inverse_cdf_symmetry() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.49] {
+            let a = inverse_normal_cdf(p);
+            let b = inverse_normal_cdf(1.0 - p);
+            assert!((a + b).abs() < 1e-8, "asymmetry at p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cdf_round_trip() {
+        for &x in &[-3.0, -1.5, -0.2, 0.0, 0.7, 2.5] {
+            let p = normal_cdf(x);
+            assert!((inverse_normal_cdf(p) - x).abs() < 1e-6, "round trip at {x}");
+        }
+    }
+
+    #[test]
+    fn breakpoints_match_sax_literature() {
+        // Published SAX breakpoint table for a = 3: (-0.43, 0.43);
+        // a = 4: (-0.67, 0, 0.67); a = 5: (-0.84, -0.25, 0.25, 0.84).
+        let b3 = breakpoints(3);
+        assert!((b3[0] + 0.4307).abs() < 1e-3 && (b3[1] - 0.4307).abs() < 1e-3, "{b3:?}");
+        let b4 = breakpoints(4);
+        assert!((b4[0] + 0.6745).abs() < 1e-3 && b4[1].abs() < 1e-12 && (b4[2] - 0.6745).abs() < 1e-3);
+        let b5 = breakpoints(5);
+        assert!((b5[0] + 0.8416).abs() < 1e-3 && (b5[3] - 0.8416).abs() < 1e-3);
+    }
+
+    #[test]
+    fn breakpoints_strictly_increasing() {
+        for a in [2usize, 5, 10, 20, 26] {
+            let b = breakpoints(a);
+            assert_eq!(b.len(), a - 1);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_partition_the_line() {
+        let breaks = breakpoints(5);
+        assert_eq!(cell_of(-10.0, &breaks), 0);
+        assert_eq!(cell_of(10.0, &breaks), 4);
+        assert_eq!(cell_of(0.0, &breaks), 2);
+        // Just below/above a breakpoint.
+        assert_eq!(cell_of(breaks[0] - 1e-9, &breaks), 0);
+        assert_eq!(cell_of(breaks[0] + 1e-9, &breaks), 1);
+    }
+
+    #[test]
+    fn representative_lies_inside_its_cell() {
+        for a in [2usize, 5, 10, 20] {
+            let breaks = breakpoints(a);
+            for i in 0..a {
+                let r = cell_representative(i, a);
+                assert_eq!(cell_of(r, &breaks), i, "representative of cell {i}/{a} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_equiprobable() {
+        // Probability mass between consecutive breakpoints must be 1/a.
+        let a = 8;
+        let breaks = breakpoints(a);
+        let mut prev = 0.0;
+        for &b in &breaks {
+            let p = normal_cdf(b);
+            assert!((p - prev - 1.0 / a as f64).abs() < 1e-6);
+            prev = p;
+        }
+        assert!((1.0 - prev - 1.0 / a as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_alphabet_rejected() {
+        breakpoints(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn inverse_cdf_domain_checked() {
+        inverse_normal_cdf(1.0);
+    }
+}

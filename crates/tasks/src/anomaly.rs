@@ -1,0 +1,163 @@
+//! Zero-shot point-anomaly detection.
+//!
+//! A timestamp is anomalous when the in-context model — having absorbed
+//! the series so far — finds its tokens much harder to predict than
+//! usual. Scores come from [`crate::surprisal`]; the threshold is robust
+//! (median + k·MAD over the post-warm-up profile), so a handful of true
+//! anomalies cannot drag the threshold up after themselves.
+
+use mc_tslib::error::Result;
+use mc_tslib::series::MultivariateSeries;
+
+use crate::surprisal::{robust_stats, surprisal_profile, SurprisalConfig};
+
+/// Anomaly-detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// Surprisal scorer settings.
+    pub surprisal: SurprisalConfig,
+    /// Threshold in robust sigmas: flag if `score > median + k * MAD`.
+    pub k: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self { surprisal: SurprisalConfig::default(), k: 4.0 }
+    }
+}
+
+/// Result of scanning one dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyReport {
+    /// Per-timestamp surprisal scores (nats/token).
+    pub scores: Vec<f64>,
+    /// Indices flagged as anomalous (post-warm-up only).
+    pub anomalies: Vec<usize>,
+    /// The threshold that was applied.
+    pub threshold: f64,
+}
+
+/// Zero-shot anomaly detector.
+///
+/// ```
+/// use mc_tasks::AnomalyDetector;
+///
+/// let mut feed: Vec<f64> = (0..96)
+///     .map(|t| 50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin())
+///     .collect();
+/// feed[70] += 35.0;                             // transient fault
+/// let report = AnomalyDetector::default().detect(&feed).unwrap();
+/// assert!(report.anomalies.contains(&70));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AnomalyDetector {
+    /// Configuration.
+    pub config: AnomalyConfig,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector.
+    pub fn new(config: AnomalyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Scans one dimension and reports anomalies.
+    pub fn detect(&self, values: &[f64]) -> Result<AnomalyReport> {
+        let scores = surprisal_profile(values, self.config.surprisal)?;
+        let start = self.config.surprisal.warmup.min(scores.len().saturating_sub(1));
+        let body = &scores[start..];
+        let (median, mad) = robust_stats(body);
+        // Scores are range-fractions in [0, 1]; a well-learned series has
+        // MAD near zero, so the scale is floored at 1.5 % of the range —
+        // only genuine value departures can clear k floored sigmas.
+        let scale = mad.max(0.015);
+        let threshold = median + self.config.k * scale;
+        let anomalies = scores
+            .iter()
+            .enumerate()
+            .skip(start)
+            .filter(|(_, &s)| s > threshold)
+            .map(|(i, _)| i)
+            .collect();
+        Ok(AnomalyReport { scores, anomalies, threshold })
+    }
+
+    /// Scans every dimension of a multivariate series independently.
+    pub fn detect_multivariate(&self, series: &MultivariateSeries) -> Result<Vec<AnomalyReport>> {
+        (0..series.dims()).map(|d| self.detect(series.column(d)?)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_spikes(n: usize, spikes: &[usize]) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let base = (t as f64 * std::f64::consts::PI / 8.0).sin() * 10.0 + 50.0;
+                if spikes.contains(&t) {
+                    base + 35.0
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_injected_spikes() {
+        let xs = series_with_spikes(128, &[60, 100]);
+        let report = AnomalyDetector::default().detect(&xs).unwrap();
+        assert!(report.anomalies.contains(&60), "anomalies: {:?}", report.anomalies);
+        assert!(report.anomalies.contains(&100), "anomalies: {:?}", report.anomalies);
+    }
+
+    #[test]
+    fn few_false_positives_on_clean_series() {
+        let xs = series_with_spikes(128, &[]);
+        let report = AnomalyDetector::default().detect(&xs).unwrap();
+        // The stand-in backend occasionally misdecodes near sine extrema
+        // (phase ambiguity), so a handful of isolated flags is acceptable;
+        // what matters is that the series is not blanket-flagged.
+        assert!(
+            report.anomalies.len() <= 4,
+            "clean series should barely fire: {:?}",
+            report.anomalies
+        );
+    }
+
+    #[test]
+    fn warmup_is_never_flagged() {
+        let xs = series_with_spikes(96, &[2, 50]);
+        let det = AnomalyDetector::default();
+        let report = det.detect(&xs).unwrap();
+        assert!(report.anomalies.iter().all(|&i| i >= det.config.surprisal.warmup));
+        assert!(report.anomalies.contains(&50));
+    }
+
+    #[test]
+    fn multivariate_scans_each_dimension() {
+        let a = series_with_spikes(96, &[40]);
+        let b = series_with_spikes(96, &[70]);
+        let m = MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap();
+        let reports = AnomalyDetector::default().detect_multivariate(&m).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].anomalies.contains(&40));
+        assert!(reports[1].anomalies.contains(&70));
+        assert!(!reports[0].anomalies.contains(&70));
+    }
+
+    #[test]
+    fn higher_k_is_stricter() {
+        let xs = series_with_spikes(128, &[64]);
+        let loose = AnomalyDetector::new(AnomalyConfig { k: 2.0, ..Default::default() })
+            .detect(&xs)
+            .unwrap();
+        let strict = AnomalyDetector::new(AnomalyConfig { k: 10.0, ..Default::default() })
+            .detect(&xs)
+            .unwrap();
+        assert!(strict.anomalies.len() <= loose.anomalies.len());
+        assert!(strict.threshold > loose.threshold);
+    }
+}

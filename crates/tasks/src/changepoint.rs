@@ -1,0 +1,190 @@
+//! Zero-shot change-point detection.
+//!
+//! A change point differs from a point anomaly: surprisal does not spike
+//! once and return to baseline, it *stays* elevated while the in-context
+//! model relearns the new regime. A one-sided CUSUM over the surprisal
+//! stream accumulates evidence of that sustained shift; when the
+//! accumulated excess crosses a threshold, the change is dated back to
+//! where the accumulation started, the statistic resets, and scanning
+//! continues (so multiple change points are found in one pass).
+
+use mc_tslib::error::Result;
+
+use crate::surprisal::{robust_stats, surprisal_profile, SurprisalConfig};
+
+/// Change-point detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePointConfig {
+    /// Surprisal scorer settings.
+    pub surprisal: SurprisalConfig,
+    /// Allowance (drift) in robust sigmas: surprisal must exceed
+    /// `median + drift * MAD` to accumulate evidence.
+    pub drift: f64,
+    /// Decision threshold in accumulated robust sigmas.
+    pub threshold: f64,
+    /// Minimum distance between reported change points.
+    pub min_gap: usize,
+}
+
+impl Default for ChangePointConfig {
+    fn default() -> Self {
+        Self {
+            surprisal: SurprisalConfig::default(),
+            drift: 1.0,
+            threshold: 12.0,
+            min_gap: 8,
+        }
+    }
+}
+
+/// Zero-shot change-point detector.
+#[derive(Debug, Clone, Default)]
+pub struct ChangePointDetector {
+    /// Configuration.
+    pub config: ChangePointConfig,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector.
+    pub fn new(config: ChangePointConfig) -> Self {
+        Self { config }
+    }
+
+    /// Returns estimated change-point indices, ascending.
+    pub fn detect(&self, values: &[f64]) -> Result<Vec<usize>> {
+        let scores = surprisal_profile(values, self.config.surprisal)?;
+        Ok(self.detect_from_scores(&scores))
+    }
+
+    /// CUSUM pass over precomputed surprisal scores (exposed so callers
+    /// can reuse one profile for anomaly *and* change-point scanning).
+    pub fn detect_from_scores(&self, scores: &[f64]) -> Vec<usize> {
+        let cfg = &self.config;
+        let start = cfg.surprisal.warmup.min(scores.len().saturating_sub(1));
+        let body = &scores[start..];
+        if body.is_empty() {
+            return Vec::new();
+        }
+        let (median, mad) = robust_stats(body);
+        // Same flooring rationale as the anomaly detector: scores are
+        // range-fractions, and a learned series has near-zero MAD.
+        let scale = mad.max(0.015);
+        let allowance = median + cfg.drift * scale;
+
+        let mut out: Vec<usize> = Vec::new();
+        let mut cusum = 0.0;
+        let mut run_start: Option<usize> = None;
+        for (i, &s) in scores.iter().enumerate().skip(start) {
+            // Winsorize the positive contribution: no single timestamp may
+            // carry more than a quarter of the decision threshold, so a
+            // change verdict always requires *sustained* surprise (>= 4
+            // consecutive surprising points). A lone point anomaly
+            // perturbs its own prediction plus the 2-3 predictions that
+            // condition on it; four sustained points is past that shadow.
+            let excess = ((s - allowance) / scale).min(cfg.threshold / 4.0);
+            if excess > 0.0 {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+                cusum += excess;
+                if cusum >= cfg.threshold {
+                    let cp = run_start.expect("run started before threshold crossing");
+                    if out.last().is_none_or(|&prev| cp >= prev + cfg.min_gap) {
+                        out.push(cp);
+                    }
+                    cusum = 0.0;
+                    run_start = None;
+                }
+            } else {
+                // Evidence decays; a brief dip doesn't erase a strong run.
+                cusum = (cusum + excess).max(0.0);
+                if cusum == 0.0 {
+                    run_start = None;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Period change at `at`: the model must relearn the new rhythm.
+    fn regime_shift(n: usize, at: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                if t < at {
+                    50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin()
+                } else {
+                    20.0 + 4.0 * (t as f64 * std::f64::consts::PI / 3.0).sin()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_single_regime_shift_near_true_location() {
+        let xs = regime_shift(160, 90);
+        let cps = ChangePointDetector::default().detect(&xs).unwrap();
+        assert!(!cps.is_empty(), "no change point found");
+        let nearest = cps.iter().map(|&c| (c as i64 - 90).abs()).min().unwrap();
+        assert!(nearest <= 6, "change points {cps:?} not near 90");
+    }
+
+    #[test]
+    fn clean_series_has_no_change_points() {
+        let xs: Vec<f64> =
+            (0..160).map(|t| 50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin()).collect();
+        let cps = ChangePointDetector::default().detect(&xs).unwrap();
+        assert!(cps.is_empty(), "spurious change points: {cps:?}");
+    }
+
+    #[test]
+    fn point_anomaly_does_not_trigger_change_point() {
+        // A single spike produces a one-sample surprisal burst — below the
+        // sustained-evidence threshold.
+        let mut xs: Vec<f64> =
+            (0..160).map(|t| 50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin()).collect();
+        xs[80] += 35.0;
+        let cps = ChangePointDetector::default().detect(&xs).unwrap();
+        assert!(
+            cps.iter().all(|&c| (c as i64 - 80).abs() > 4) || cps.is_empty(),
+            "a lone spike must not be dated as a regime change: {cps:?}"
+        );
+    }
+
+    #[test]
+    fn min_gap_deduplicates() {
+        // Two detectors on the same synthetic scores: tiny min_gap may
+        // report clustered points, a large one must not.
+        let mut scores = vec![0.1; 200];
+        for s in scores[100..130].iter_mut() {
+            *s = 5.0;
+        }
+        let tight = ChangePointDetector::new(ChangePointConfig {
+            min_gap: 1,
+            ..Default::default()
+        })
+        .detect_from_scores(&scores);
+        let wide = ChangePointDetector::new(ChangePointConfig {
+            min_gap: 50,
+            ..Default::default()
+        })
+        .detect_from_scores(&scores);
+        assert!(wide.len() <= tight.len());
+        assert_eq!(wide.len(), 1);
+        assert_eq!(wide[0], 100);
+    }
+
+    #[test]
+    fn detect_from_scores_respects_warmup() {
+        let mut scores = vec![0.1; 60];
+        for s in scores[..8].iter_mut() {
+            *s = 9.0; // warm-up turbulence
+        }
+        let cps = ChangePointDetector::default().detect_from_scores(&scores);
+        assert!(cps.is_empty(), "warm-up must be ignored: {cps:?}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # mc-tasks — zero-shot time-series tasks beyond forecasting
+//!
+//! The paper closes (§V) by naming the next targets for its zero-shot
+//! LLM machinery: *"other similar time series-related tasks, such as
+//! imputation, anomaly detection, and change point detection"*. This
+//! crate implements all three on the same substrate the forecaster uses —
+//! fixed-digit serialization, in-context backends, constrained sampling —
+//! so they inherit the zero-shot property: no training, no labels, the
+//! series itself is the model.
+//!
+//! - [`surprisal`] — the shared primitive: per-timestamp negative
+//!   log-likelihood of the observed tokens under the in-context backend
+//!   *before* it sees them. A timestamp the model finds surprising is a
+//!   timestamp that breaks the pattern established so far.
+//! - [`anomaly`] — robust thresholding (median + k·MAD) of surprisal
+//!   scores into point-anomaly flags.
+//! - [`changepoint`] — CUSUM over the surprisal stream: sustained (not
+//!   one-off) surprisal shifts mark regime changes.
+//! - [`imputation`] — gap filling: serialize the observed prefix, sample
+//!   the gap with the constrained generator, keep conditioning on the
+//!   observed suffix; run the same thing on the reversed series and blend
+//!   the two estimates (bidirectional imputation).
+
+pub mod anomaly;
+pub mod changepoint;
+pub mod imputation;
+pub mod surprisal;
+
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyReport};
+pub use changepoint::{ChangePointConfig, ChangePointDetector};
+pub use imputation::{ImputationConfig, Imputer};
+pub use surprisal::{surprisal_profile, SurprisalConfig};

@@ -1,0 +1,219 @@
+//! Per-timestamp zero-shot surprise scores.
+//!
+//! The primitive behind anomaly and change-point detection. For every
+//! timestamp the in-context backend — conditioned on everything before it
+//! — produces its best guess of the next value (greedy constrained
+//! decoding on a *cloned* model, so the hypothetical tokens never pollute
+//! the real context); the score is the absolute difference between the
+//! guess and the actual value, as a fraction of the rescaled range.
+//!
+//! Why value-space residuals instead of raw token NLL: a digit-level
+//! model is pathologically confident once it locks onto a pattern, so a
+//! harmless quantization flip (`499` one period, `500` the next) explodes
+//! the token likelihood while the *value* error is 0.1 %. Conversely, a
+//! genuine anomaly moves the value itself. Scoring in value space keeps
+//! exactly the signal the tasks need.
+
+use mc_lm::concrete::ConcreteLm;
+use mc_lm::model::LanguageModel;
+use mc_lm::presets::ModelPreset;
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
+use mc_lm::vocab::{TokenId, Vocab};
+use mc_tslib::error::{invalid_param, Result};
+
+use multicast_core::scaling::{format_code, FixedDigitScaler};
+
+/// Configuration of the surprise scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurprisalConfig {
+    /// Digits per rescaled value.
+    pub digits: u32,
+    /// Rescaling headroom (matches the forecaster's scaler).
+    pub headroom: f64,
+    /// Backend preset.
+    pub preset: ModelPreset,
+    /// Timestamps excluded from downstream statistics while the model
+    /// warms up (scores are still computed and reported for them).
+    pub warmup: usize,
+}
+
+impl Default for SurprisalConfig {
+    fn default() -> Self {
+        Self { digits: 3, headroom: 0.15, preset: ModelPreset::Large, warmup: 16 }
+    }
+}
+
+/// Greedy constrained decode of one `digits`-wide value on a clone of the
+/// current model state; the caller's model is untouched.
+fn greedy_next_code(backend: &ConcreteLm, digit_ids: &[TokenId], digits: u32) -> u64 {
+    let mut lookahead = backend.clone();
+    let mut dist = vec![0.0; lookahead.vocab_size()];
+    let mut code = 0u64;
+    for _ in 0..digits {
+        lookahead.next_distribution(&mut dist);
+        let (best_digit, _) = digit_ids
+            .iter()
+            .enumerate()
+            .map(|(d, &id)| (d, dist[id as usize]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("ten digit tokens");
+        code = code * 10 + best_digit as u64;
+        lookahead.observe(digit_ids[best_digit], true);
+    }
+    code
+}
+
+/// Per-timestamp surprise: `|actual - predicted| / (10^digits - 1)`,
+/// i.e. the one-step-ahead zero-shot prediction error as a fraction of
+/// the rescaled range, in `[0, 1]`.
+///
+/// Deterministic: greedy decoding, no sampling.
+pub fn surprisal_profile(values: &[f64], config: SurprisalConfig) -> Result<Vec<f64>> {
+    if values.len() < 2 {
+        return Err(invalid_param("values", "need at least 2 observations"));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(invalid_param("values", "values must be finite"));
+    }
+    let scaler = FixedDigitScaler::fit(&[values.to_vec()], config.digits, config.headroom)?;
+    let codes = scaler.scale_column(0, values)?;
+    let vocab = Vocab::numeric();
+    let tokenizer = CharTokenizer::new(vocab.clone());
+    let digit_ids: Vec<TokenId> =
+        ('0'..='9').map(|c| vocab.id(c).expect("digit in vocabulary")).collect();
+    let max_int = (10u64.pow(config.digits) - 1) as f64;
+
+    let mut backend = ConcreteLm::build(config.preset, vocab.len());
+    let mut out = Vec::with_capacity(values.len());
+    for &code in &codes {
+        let predicted = greedy_next_code(&backend, &digit_ids, config.digits);
+        out.push((code as f64 - predicted as f64).abs() / max_int);
+        // Feed the actual tokens (value + separator) into the real model.
+        let mut text = format_code(code, config.digits);
+        text.push(',');
+        for &t in &tokenizer.encode(&text).expect("numeric text encodes") {
+            backend.observe(t, false);
+        }
+    }
+    Ok(out)
+}
+
+/// Robust location/scale of a score slice: `(median, MAD)`.
+/// MAD is scaled by 1.4826 so it estimates sigma under normality.
+pub fn robust_stats(scores: &[f64]) -> (f64, f64) {
+    assert!(!scores.is_empty(), "robust stats of an empty slice");
+    let median = {
+        let mut v = scores.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[v.len() / 2]
+    };
+    let mut deviations: Vec<f64> = scores.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mad = deviations[deviations.len() / 2] * 1.4826;
+    (median, mad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_with_spike(n: usize, spike_at: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let base = (t as f64 * std::f64::consts::PI / 8.0).sin() * 10.0 + 50.0;
+                if t == spike_at {
+                    base + 40.0
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profile_has_one_score_per_timestamp_in_unit_range() {
+        let xs: Vec<f64> = (0..50).map(|t| (t as f64 * 0.4).sin()).collect();
+        let p = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        assert_eq!(p.len(), 50);
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn surprisal_decays_as_pattern_is_learned() {
+        let xs: Vec<f64> =
+            (0..96).map(|t| (t as f64 * std::f64::consts::PI / 8.0).sin() * 10.0 + 50.0).collect();
+        let p = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        let early: f64 = p[2..10].iter().sum::<f64>() / 8.0;
+        let late: f64 = p[64..96].iter().sum::<f64>() / 32.0;
+        assert!(late < early * 0.2, "late {late:.4} vs early {early:.4}");
+        // Once learned, residuals are essentially quantization-level.
+        assert!(late < 0.02, "late surprise should be tiny, got {late:.4}");
+    }
+
+    #[test]
+    fn spike_is_most_surprising_late_timestamp() {
+        let xs = periodic_with_spike(96, 70);
+        let p = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        let (argmax, peak) = p
+            .iter()
+            .enumerate()
+            .skip(20)
+            .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        assert_eq!(argmax, 70, "profile: {:?}", &p[60..80]);
+        assert!(peak > 0.2, "spike residual should be large: {peak}");
+    }
+
+    #[test]
+    fn boundary_quantization_flips_are_not_surprising() {
+        // The motivating case: a clean sine whose zero crossings land on
+        // the 499/500 code boundary. Value-space residuals stay tiny at
+        // every post-learning timestamp.
+        let xs: Vec<f64> =
+            (0..128).map(|t| (t as f64 * std::f64::consts::PI / 8.0).sin() * 10.0 + 50.0).collect();
+        let p = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        // Typical residual is quantization-level; a couple of isolated
+        // phase-ambiguity misdecodes are tolerated (the sine passes the
+        // same value band twice per period, so a short context cannot
+        // always tell the rising branch from the falling one).
+        let late = &p[40..];
+        let big = late.iter().filter(|&&v| v > 0.05).count();
+        assert!(big <= 2, "at most 2 isolated misdecodes, got {big}");
+        let (median, _) = robust_stats(late);
+        assert!(median < 0.01, "typical residual must be tiny: {median}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs = periodic_with_spike(60, 30);
+        let a = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        let b = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suffix_backend_also_works() {
+        let xs = periodic_with_spike(80, 50);
+        let cfg = SurprisalConfig { preset: ModelPreset::Suffix, ..Default::default() };
+        let p = surprisal_profile(&xs, cfg).unwrap();
+        let (argmax, _) = p
+            .iter()
+            .enumerate()
+            .skip(20)
+            .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        assert_eq!(argmax, 50);
+    }
+
+    #[test]
+    fn robust_stats_ignore_outliers() {
+        let scores = [1.0, 1.1, 0.9, 1.0, 100.0];
+        let (median, mad) = robust_stats(&scores);
+        assert!((median - 1.0).abs() < 0.11);
+        assert!(mad < 1.0, "MAD must not be inflated by the outlier: {mad}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(surprisal_profile(&[1.0], SurprisalConfig::default()).is_err());
+        assert!(surprisal_profile(&[1.0, f64::NAN, 2.0], SurprisalConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Residual diagnostics: the Ljung–Box portmanteau test.
+//!
+//! A fitted forecaster's one-step residuals should be white noise; left-
+//! over autocorrelation means structure the model missed. The Ljung–Box
+//! statistic aggregates the first `m` residual autocorrelations:
+//!
+//! ```text
+//! Q = n (n + 2) Σ_{k=1..m} ρ_k² / (n − k)   ~  χ²(m − fitted_params)
+//! ```
+//!
+//! The chi-squared survival function is computed from the regularized
+//! incomplete gamma function (series + continued-fraction evaluation), so
+//! the module reports an actual p-value without external tables.
+
+use crate::error::{invalid_param, Result};
+use crate::stats::acf;
+
+/// Outcome of a Ljung–Box test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub df: usize,
+    /// `P(χ²(df) >= Q)` — small values reject whiteness.
+    pub p_value: f64,
+}
+
+/// Runs the Ljung–Box test on residuals with `lags` autocorrelations,
+/// adjusting degrees of freedom for `fitted_params` estimated parameters.
+///
+/// # Errors
+/// If inputs are too short or the degrees of freedom are non-positive.
+pub fn ljung_box(residuals: &[f64], lags: usize, fitted_params: usize) -> Result<LjungBox> {
+    let n = residuals.len();
+    if lags == 0 || lags >= n {
+        return Err(invalid_param("lags", format!("{lags} not in 1..{n}")));
+    }
+    if fitted_params >= lags {
+        return Err(invalid_param(
+            "fitted_params",
+            format!("{fitted_params} >= lags {lags} leaves no degrees of freedom"),
+        ));
+    }
+    let rho = acf(residuals, lags)?;
+    let nf = n as f64;
+    let mut q = 0.0;
+    for (k, &r) in rho.iter().enumerate().skip(1) {
+        q += r * r / (nf - k as f64);
+    }
+    q *= nf * (nf + 2.0);
+    let df = lags - fitted_params;
+    Ok(LjungBox { statistic: q, df, p_value: chi_squared_sf(q, df as f64) })
+}
+
+/// Survival function of the chi-squared distribution:
+/// `P(X >= x) = 1 - P(df/2, x/2)` via the regularized incomplete gamma.
+pub fn chi_squared_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - lower_regularized_gamma(df / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`, by series expansion for
+/// `x < a + 1` and Lentz's continued fraction otherwise (Numerical Recipes
+/// style; |error| well below 1e-10 for the ranges used here).
+fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma domain");
+    if x == 0.0 {
+        return 0.0;
+    }
+    let log_gamma_a = ln_gamma(a);
+    if x < a + 1.0 {
+        // Series: P(a,x) = x^a e^-x / Γ(a) Σ x^n / (a (a+1) … (a+n)).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (a * x.ln() - x - log_gamma_a).exp()
+    } else {
+        // Continued fraction for Q(a,x); P = 1 − Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1e300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - h * (a * x.ln() - x - log_gamma_a).exp()
+    }
+}
+
+/// Lanczos approximation of `ln Γ(z)` (g = 7, 9 coefficients).
+#[allow(clippy::excessive_precision)] // published Lanczos constants, kept verbatim
+fn ln_gamma(z: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if z < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * z).sin()).ln() - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut x = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        x += c / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_squared_reference_values() {
+        // Classic table entries: P(χ²(1) >= 3.841) = 0.05,
+        // P(χ²(5) >= 11.070) = 0.05, P(χ²(10) >= 15.987) = 0.10.
+        assert!((chi_squared_sf(3.841, 1.0) - 0.05).abs() < 2e-4);
+        assert!((chi_squared_sf(11.070, 5.0) - 0.05).abs() < 2e-4);
+        assert!((chi_squared_sf(15.987, 10.0) - 0.10).abs() < 2e-4);
+        assert_eq!(chi_squared_sf(0.0, 3.0), 1.0);
+        assert!(chi_squared_sf(1000.0, 3.0) < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_passes_ljung_box() {
+        // Deterministic pseudo-noise must not be rejected at 1 %.
+        let mut state = 17u64;
+        let xs: Vec<f64> = (0..600)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        let lb = ljung_box(&xs, 10, 0).unwrap();
+        assert!(lb.p_value > 0.01, "white noise rejected: {lb:?}");
+        assert_eq!(lb.df, 10);
+    }
+
+    #[test]
+    fn autocorrelated_residuals_are_rejected() {
+        // A strong AR(1) signal has huge residual autocorrelation.
+        let mut x = 0.0;
+        let mut state = 23u64;
+        let xs: Vec<f64> = (0..400)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                x = 0.9 * x + e;
+                x
+            })
+            .collect();
+        let lb = ljung_box(&xs, 10, 0).unwrap();
+        assert!(lb.p_value < 1e-6, "AR(1) must be flagged: {lb:?}");
+        assert!(lb.statistic > 100.0);
+    }
+
+    #[test]
+    fn arima_residuals_are_whiter_than_raw_series() {
+        // End-to-end diagnostic: fitting an AR(1) should whiten an AR(1).
+        let mut x = 0.0;
+        let mut state = 31u64;
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                x = 0.8 * x + e;
+                x
+            })
+            .collect();
+        let raw = ljung_box(&xs, 10, 0).unwrap();
+        // Residuals from the true model.
+        let resid: Vec<f64> =
+            xs.windows(2).map(|w| w[1] - 0.8 * w[0]).collect();
+        let fitted = ljung_box(&resid, 10, 1).unwrap();
+        assert!(raw.p_value < 1e-9, "raw AR(1) series is autocorrelated");
+        assert!(
+            fitted.p_value > 0.01,
+            "true-model residuals should be white: {fitted:?}"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let xs = vec![1.0; 20];
+        assert!(ljung_box(&xs, 0, 0).is_err());
+        assert!(ljung_box(&xs, 25, 0).is_err());
+        assert!(ljung_box(&xs, 5, 5).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by all `mc-tslib` operations.
+
+use std::fmt;
+
+/// Errors produced by time-series operations.
+///
+/// The substrate is deliberately strict: empty inputs, length mismatches and
+/// out-of-range parameters are surfaced as errors instead of being silently
+/// coerced, because every downstream consumer (tokenizers, quantizers,
+/// forecasters) depends on shape invariants established here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// The operation requires a non-empty series.
+    Empty,
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Expected length (from the first operand).
+        expected: usize,
+        /// Actual length (from the second operand).
+        actual: usize,
+    },
+    /// A dimension index was out of bounds.
+    DimensionOutOfBounds {
+        /// Requested dimension.
+        dim: usize,
+        /// Number of available dimensions.
+        dims: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A CSV file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred (message-only so the error stays `Clone + Eq`).
+    Io(String),
+    /// The rows of a multivariate construction were ragged.
+    RaggedRows {
+        /// 0-based index of the first offending row.
+        row: usize,
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::Empty => write!(f, "operation requires a non-empty series"),
+            TsError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            TsError::DimensionOutOfBounds { dim, dims } => {
+                write!(f, "dimension {dim} out of bounds for {dims}-dimensional series")
+            }
+            TsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            TsError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            TsError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TsError::RaggedRows { row, expected, actual } => {
+                write!(f, "ragged rows: row {row} has {actual} values, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Builds an [`TsError::InvalidParameter`] with a formatted message.
+pub fn invalid_param(name: &'static str, message: impl Into<String>) -> TsError {
+    TsError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(TsError::Empty.to_string(), "operation requires a non-empty series");
+        assert_eq!(
+            TsError::LengthMismatch { expected: 3, actual: 2 }.to_string(),
+            "length mismatch: expected 3, got 2"
+        );
+        assert_eq!(
+            TsError::DimensionOutOfBounds { dim: 5, dims: 2 }.to_string(),
+            "dimension 5 out of bounds for 2-dimensional series"
+        );
+        assert_eq!(
+            invalid_param("alpha", "must be positive").to_string(),
+            "invalid parameter `alpha`: must be positive"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let ts: TsError = io.into();
+        assert!(matches!(ts, TsError::Io(_)));
+        assert!(ts.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TsError::Empty, TsError::Empty);
+        assert_ne!(TsError::Empty, TsError::Io("x".into()));
+    }
+}

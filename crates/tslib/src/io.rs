@@ -1,0 +1,160 @@
+//! Minimal CSV reader/writer for multivariate series.
+//!
+//! A deliberate subset of CSV: comma-separated numeric columns with a
+//! header row of dimension names, no quoting (series data never needs it).
+//! Keeping the parser in-tree avoids a dependency and makes error positions
+//! precise.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{Result, TsError};
+use crate::series::MultivariateSeries;
+
+/// Parses a multivariate series from CSV text with a header row.
+pub fn read_csv_str(text: &str) -> Result<MultivariateSeries> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TsError::Empty)?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.is_empty() || names.iter().any(|n| n.is_empty()) {
+        return Err(TsError::Parse { line: 1, message: "empty header field".into() });
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != names.len() {
+            return Err(TsError::Parse {
+                line: line_no,
+                message: format!("expected {} fields, got {}", names.len(), fields.len()),
+            });
+        }
+        for (d, f) in fields.iter().enumerate() {
+            let v: f64 = f.trim().parse().map_err(|_| TsError::Parse {
+                line: line_no,
+                message: format!("`{}` is not a number", f.trim()),
+            })?;
+            columns[d].push(v);
+        }
+    }
+    MultivariateSeries::from_columns(names, columns)
+}
+
+/// Reads a multivariate series from a CSV file with a header row.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<MultivariateSeries> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    read_csv_str(&text)
+}
+
+/// Serializes a multivariate series to CSV text (header + one row per
+/// timestamp). Values are written with full round-trip precision.
+pub fn write_csv_str(series: &MultivariateSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&series.names().join(","));
+    out.push('\n');
+    for row in series.rows() {
+        let fields: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a multivariate series to a CSV file.
+pub fn write_csv(series: &MultivariateSeries, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(write_csv_str(series).as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads whitespace- or comma-separated bare numbers (no header) as a single
+/// dimension. Handy for pasting reference series into tests.
+pub fn read_values(text: &str) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        for tok in line.split(|c: char| c == ',' || c.is_whitespace()) {
+            if tok.is_empty() {
+                continue;
+            }
+            out.push(tok.parse().map_err(|_| TsError::Parse {
+                line: idx + 1,
+                message: format!("`{tok}` is not a number"),
+            })?);
+        }
+    }
+    if out.is_empty() {
+        return Err(TsError::Empty);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_via_string() {
+        let m = MultivariateSeries::from_rows(
+            vec!["x".into(), "y".into()],
+            &[[1.5, -2.0], [3.25, 4.0]],
+        )
+        .unwrap();
+        let text = write_csv_str(&m);
+        let back = read_csv_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn csv_round_trip_via_file() {
+        let m = MultivariateSeries::from_rows(vec!["a".into()], &[[1.0], [2.0], [3.0]]).unwrap();
+        let path = std::env::temp_dir().join("mc_tslib_io_test.csv");
+        write_csv(&m, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = read_csv_str("a,b\n1,2\n3,oops\n").unwrap_err();
+        assert_eq!(
+            err,
+            TsError::Parse { line: 3, message: "`oops` is not a number".into() }
+        );
+    }
+
+    #[test]
+    fn field_count_mismatch_detected() {
+        let err = read_csv_str("a,b\n1,2\n3\n").unwrap_err();
+        assert!(matches!(err, TsError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let m = read_csv_str("a\n1\n\n2\n").unwrap();
+        assert_eq!(m.column(0).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(read_csv_str("").unwrap_err(), TsError::Empty);
+        assert!(read_csv_str("a,\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn read_values_mixed_separators() {
+        let v = read_values("1 2, 3\n4,5").unwrap();
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(read_values(" \n ").is_err());
+        assert!(read_values("1 x").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mc-tslib — time-series substrate for the MultiCast reproduction
+//!
+//! Foundation crate providing the data model ([`UnivariateSeries`],
+//! [`MultivariateSeries`]), descriptive statistics, transforms
+//! (normalization, differencing, resampling, windowing), forecast accuracy
+//! metrics, train/test splitting, and CSV I/O.
+//!
+//! Everything downstream — the SAX quantizer, the LLM tokenizer pipeline,
+//! the ARIMA/LSTM baselines, and the MultiCast forecaster itself — is built
+//! on these types.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mc_tslib::{MultivariateSeries, metrics::rmse, split::holdout_split};
+//!
+//! let m = MultivariateSeries::from_rows(
+//!     vec!["a".into(), "b".into()],
+//!     &[[1.0, 10.0], [2.0, 20.0], [3.0, 30.0], [4.0, 40.0]],
+//! ).unwrap();
+//! let (train, test) = holdout_split(&m, 0.25).unwrap();
+//! assert_eq!(train.len(), 3);
+//! assert_eq!(test.len(), 1);
+//! assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+//! ```
+
+pub mod backtest;
+pub mod diagnostics;
+pub mod error;
+pub mod forecast;
+pub mod io;
+pub mod metrics;
+pub mod rolling;
+pub mod series;
+pub mod spectral;
+pub mod split;
+pub mod stats;
+pub mod transform;
+
+pub use error::TsError;
+pub use series::{MultivariateSeries, UnivariateSeries};

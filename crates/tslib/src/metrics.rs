@@ -1,0 +1,176 @@
+//! Forecast accuracy metrics.
+//!
+//! The paper evaluates exclusively with RMSE; MAE, MAPE, sMAPE and MASE are
+//! provided as well because the benchmark harness reports them alongside
+//! (they are standard in the forecasting literature and cheap to compute).
+
+use crate::error::{invalid_param, Result, TsError};
+
+fn check(actual: &[f64], predicted: &[f64]) -> Result<()> {
+    if actual.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if actual.len() != predicted.len() {
+        return Err(TsError::LengthMismatch { expected: actual.len(), actual: predicted.len() });
+    }
+    Ok(())
+}
+
+/// Root Mean Squared Error: `sqrt(mean((y - ŷ)^2))`.
+///
+/// This is the paper's sole accuracy metric (Section IV-A5).
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    let mse = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, yhat)| (y - yhat) * (y - yhat))
+        .sum::<f64>()
+        / actual.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean Absolute Error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    Ok(actual.iter().zip(predicted).map(|(y, yhat)| (y - yhat).abs()).sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Mean Absolute Percentage Error (in percent).
+/// Errors if any actual value is zero (undefined).
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    if actual.contains(&0.0) {
+        return Err(invalid_param("actual", "MAPE undefined when an actual value is 0"));
+    }
+    Ok(100.0
+        * actual.iter().zip(predicted).map(|(y, yhat)| ((y - yhat) / y).abs()).sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Symmetric MAPE (in percent, 0–200 range). Terms with both values zero
+/// contribute 0.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    let acc: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, yhat)| {
+            let denom = y.abs() + yhat.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                2.0 * (y - yhat).abs() / denom
+            }
+        })
+        .sum();
+    Ok(100.0 * acc / actual.len() as f64)
+}
+
+/// Mean Absolute Scaled Error: MAE of the forecast divided by the MAE of the
+/// in-sample naive (lag-1) forecast on `train`.
+pub fn mase(train: &[f64], actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    if train.len() < 2 {
+        return Err(invalid_param("train", "needs at least 2 values for the naive scale"));
+    }
+    let scale = train.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (train.len() - 1) as f64;
+    if scale == 0.0 {
+        return Err(invalid_param("train", "constant training series gives zero MASE scale"));
+    }
+    Ok(mae(actual, predicted)? / scale)
+}
+
+/// All metrics bundled, as emitted by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricReport {
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Symmetric MAPE (percent).
+    pub smape: f64,
+}
+
+/// Computes the full [`MetricReport`] in one pass over the inputs.
+pub fn report(actual: &[f64], predicted: &[f64]) -> Result<MetricReport> {
+    Ok(MetricReport {
+        rmse: rmse(actual, predicted)?,
+        mae: mae(actual, predicted)?,
+        smape: smape(actual, predicted)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // errors: 1, -1, 2 → mse = 2 → rmse = sqrt(2)
+        let actual = [1.0, 2.0, 3.0];
+        let predicted = [0.0, 3.0, 1.0];
+        assert!((rmse(&actual, &predicted).unwrap() - 2.0_f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let xs = [1.5, -2.0, 0.0, 7.25];
+        assert_eq!(rmse(&xs, &xs).unwrap(), 0.0);
+        assert_eq!(mae(&xs, &xs).unwrap(), 0.0);
+        assert_eq!(smape(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        // RMSE >= MAE always (Jensen).
+        let actual = [0.0, 0.0, 0.0, 0.0];
+        let predicted = [1.0, -3.0, 2.0, 0.5];
+        let r = rmse(&actual, &predicted).unwrap();
+        let m = mae(&actual, &predicted).unwrap();
+        assert!(r >= m);
+    }
+
+    #[test]
+    fn mape_and_guards() {
+        let actual = [10.0, 20.0];
+        let predicted = [11.0, 18.0];
+        // |1/10| + |2/20| = 0.1 + 0.1 → mean 0.1 → 10 %
+        assert!((mape(&actual, &predicted).unwrap() - 10.0).abs() < EPS);
+        assert!(mape(&[0.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn smape_is_bounded() {
+        let actual = [1.0, 2.0];
+        let predicted = [-1.0, -2.0];
+        // Fully opposite signs → 200 %.
+        assert!((smape(&actual, &predicted).unwrap() - 200.0).abs() < EPS);
+        assert_eq!(smape(&[0.0], &[0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mase_scales_by_naive() {
+        let train = [1.0, 2.0, 3.0, 4.0]; // naive MAE = 1
+        let actual = [5.0, 6.0];
+        let predicted = [5.5, 6.5];
+        assert!((mase(&train, &actual, &predicted).unwrap() - 0.5).abs() < EPS);
+        assert!(mase(&[2.0, 2.0], &actual, &predicted).is_err());
+        assert!(mase(&[1.0], &actual, &predicted).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn report_bundles_all() {
+        let r = report(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(r, MetricReport { rmse: 0.0, mae: 0.0, smape: 0.0 });
+    }
+}

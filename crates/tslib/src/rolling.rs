@@ -1,0 +1,234 @@
+//! Rolling-window statistics and classical seasonal decomposition.
+//!
+//! Supporting analysis tools: centered moving averages, rolling mean/std,
+//! and an additive trend/seasonal/residual decomposition (the classical
+//! moving-average method). The benchmark harness uses these to
+//! characterize the replica datasets; the task detectors use rolling
+//! baselines in their evaluation harness.
+
+use crate::error::{invalid_param, Result, TsError};
+
+/// Centered moving average of odd window `w` (edges use the available
+/// partial window, so the output has the input's length).
+pub fn moving_average(xs: &[f64], w: usize) -> Result<Vec<f64>> {
+    if w == 0 || w.is_multiple_of(2) {
+        return Err(invalid_param("w", format!("window must be odd and positive, got {w}")));
+    }
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let half = w / 2;
+    let mut out = Vec::with_capacity(xs.len());
+    for i in 0..xs.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(xs.len());
+        out.push(xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64);
+    }
+    Ok(out)
+}
+
+/// Trailing rolling mean over windows of `w` (first `w-1` entries use the
+/// partial prefix).
+pub fn rolling_mean(xs: &[f64], w: usize) -> Result<Vec<f64>> {
+    if w == 0 {
+        return Err(invalid_param("w", "window must be positive"));
+    }
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+        if i >= w {
+            acc -= xs[i - w];
+        }
+        out.push(acc / w.min(i + 1) as f64);
+    }
+    Ok(out)
+}
+
+/// Trailing rolling standard deviation (population, partial prefixes as in
+/// [`rolling_mean`]).
+pub fn rolling_std(xs: &[f64], w: usize) -> Result<Vec<f64>> {
+    if w == 0 {
+        return Err(invalid_param("w", "window must be positive"));
+    }
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    for i in 0..xs.len() {
+        let lo = (i + 1).saturating_sub(w);
+        let win = &xs[lo..=i];
+        let m = win.iter().sum::<f64>() / win.len() as f64;
+        let v = win.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / win.len() as f64;
+        out.push(v.sqrt());
+    }
+    Ok(out)
+}
+
+/// Result of an additive classical decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Smooth trend component.
+    pub trend: Vec<f64>,
+    /// Seasonal component (periodic with the given period, zero mean).
+    pub seasonal: Vec<f64>,
+    /// Residual: `x - trend - seasonal`.
+    pub residual: Vec<f64>,
+}
+
+/// Classical additive decomposition with known `period`:
+/// trend = centered moving average over one period (odd-extended),
+/// seasonal = per-phase mean of the detrended series (re-centered),
+/// residual = remainder.
+pub fn decompose_additive(xs: &[f64], period: usize) -> Result<Decomposition> {
+    if period < 2 {
+        return Err(invalid_param("period", "must be at least 2"));
+    }
+    if xs.len() < 2 * period {
+        return Err(invalid_param(
+            "period",
+            format!("need at least two periods ({} points), have {}", 2 * period, xs.len()),
+        ));
+    }
+    let w = if period % 2 == 1 { period } else { period + 1 };
+    let trend = moving_average(xs, w)?;
+    let detrended: Vec<f64> = xs.iter().zip(&trend).map(|(x, t)| x - t).collect();
+    // Per-phase means.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_count = vec![0usize; period];
+    for (i, &d) in detrended.iter().enumerate() {
+        phase_sum[i % period] += d;
+        phase_count[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> =
+        phase_sum.iter().zip(&phase_count).map(|(s, &c)| s / c as f64).collect();
+    // Re-center so the seasonal component has zero mean.
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for p in &mut phase_mean {
+        *p -= grand;
+    }
+    let seasonal: Vec<f64> = (0..xs.len()).map(|i| phase_mean[i % period]).collect();
+    let residual: Vec<f64> = xs
+        .iter()
+        .zip(&trend)
+        .zip(&seasonal)
+        .map(|((x, t), s)| x - t - s)
+        .collect();
+    Ok(Decomposition { trend, seasonal, residual })
+}
+
+/// Estimates the dominant period via the autocorrelation function: the
+/// lag in `2..=max_lag` with the highest ACF that is also a local
+/// maximum. `None` when nothing periodic stands out (peak ACF < 0.1).
+pub fn estimate_period(xs: &[f64], max_lag: usize) -> Result<Option<usize>> {
+    let max_lag = max_lag.min(xs.len().saturating_sub(2));
+    if max_lag < 3 {
+        return Err(invalid_param("max_lag", "series too short for period estimation"));
+    }
+    let rho = crate::stats::acf(xs, max_lag)?;
+    let mut best: Option<(usize, f64)> = None;
+    for lag in 2..max_lag {
+        let is_peak = rho[lag] > rho[lag - 1] && rho[lag] >= rho[lag + 1];
+        if is_peak && best.is_none_or(|(_, v)| rho[lag] > v) {
+            best = Some((lag, rho[lag]));
+        }
+    }
+    Ok(best.filter(|&(_, v)| v >= 0.1).map(|(lag, _)| lag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn moving_average_smooths_and_keeps_length() {
+        let xs = [1.0, 5.0, 1.0, 5.0, 1.0];
+        let ma = moving_average(&xs, 3).unwrap();
+        assert_eq!(ma.len(), 5);
+        assert!((ma[1] - 7.0 / 3.0).abs() < EPS);
+        assert!((ma[0] - 3.0).abs() < EPS); // partial edge window
+        assert!(moving_average(&xs, 2).is_err());
+        assert!(moving_average(&[], 3).is_err());
+    }
+
+    #[test]
+    fn rolling_mean_trailing_window() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        let rm = rolling_mean(&xs, 2).unwrap();
+        assert_eq!(rm, vec![2.0, 3.0, 5.0, 7.0]);
+        assert!(rolling_mean(&xs, 0).is_err());
+    }
+
+    #[test]
+    fn rolling_std_on_constant_is_zero() {
+        let rs = rolling_std(&[3.0; 6], 3).unwrap();
+        assert!(rs.iter().all(|&v| v.abs() < EPS));
+        let rs = rolling_std(&[0.0, 2.0, 0.0, 2.0], 2).unwrap();
+        assert!((rs[1] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn decomposition_recovers_known_components() {
+        let period = 8;
+        let n = 96;
+        let xs: Vec<f64> = (0..n)
+            .map(|t| {
+                0.25 * t as f64 // trend
+                    + 5.0 * (t as f64 * 2.0 * std::f64::consts::PI / period as f64).sin()
+            })
+            .collect();
+        let d = decompose_additive(&xs, period).unwrap();
+        // Interior trend slope ≈ 0.25 (edges are biased by partial windows).
+        let slope = (d.trend[70] - d.trend[30]) / 40.0;
+        assert!((slope - 0.25).abs() < 0.02, "slope {slope}");
+        // Seasonal is periodic and roughly ±5 amplitude.
+        for t in 0..n - period {
+            assert!((d.seasonal[t] - d.seasonal[t + period]).abs() < EPS);
+        }
+        let amp = d.seasonal.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((amp - 5.0).abs() < 0.5, "amplitude {amp}");
+        // Residuals small away from the edges.
+        let mid_res: f64 =
+            d.residual[20..76].iter().map(|r| r.abs()).sum::<f64>() / 56.0;
+        assert!(mid_res < 0.6, "mean residual {mid_res}");
+    }
+
+    #[test]
+    fn decomposition_components_sum_back() {
+        let xs: Vec<f64> = (0..40).map(|t| (t as f64 * 0.7).sin() + 0.1 * t as f64).collect();
+        let d = decompose_additive(&xs, 9).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            let sum = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((sum - x).abs() < EPS);
+        }
+        assert!(decompose_additive(&xs, 1).is_err());
+        assert!(decompose_additive(&xs, 30).is_err());
+    }
+
+    #[test]
+    fn period_estimation_finds_sine_period() {
+        let xs: Vec<f64> =
+            (0..200).map(|t| (t as f64 * 2.0 * std::f64::consts::PI / 16.0).sin()).collect();
+        let p = estimate_period(&xs, 40).unwrap();
+        assert_eq!(p, Some(16));
+    }
+
+    #[test]
+    fn period_estimation_rejects_noise() {
+        // Deterministic pseudo-noise.
+        let mut state = 5u64;
+        let xs: Vec<f64> = (0..3000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        let p = estimate_period(&xs, 50).unwrap();
+        assert_eq!(p, None, "white noise has no dominant period");
+    }
+}

@@ -1,0 +1,360 @@
+//! Core data model: univariate and multivariate time series.
+//!
+//! A [`MultivariateSeries`] is stored column-major (one contiguous `Vec<f64>`
+//! per dimension) because every consumer in this workspace — rescaling,
+//! SAX quantization, per-dimension metrics — operates on whole dimensions.
+//! Row-major access is provided through [`MultivariateSeries::row`] and the
+//! [`MultivariateSeries::rows`] iterator for the multiplexers, which walk
+//! timestamps.
+
+use crate::error::{invalid_param, Result, TsError};
+
+/// A single-dimension time series: equally spaced observations plus a name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnivariateSeries {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl UnivariateSeries {
+    /// Creates a named series from raw values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { name: name.into(), values }
+    }
+
+    /// The series name (e.g. `"CO2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Borrow the observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the observations.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Consumes the series, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Returns the sub-series `[start, end)` with the same name.
+    pub fn slice(&self, start: usize, end: usize) -> Result<Self> {
+        if start > end || end > self.values.len() {
+            return Err(invalid_param(
+                "range",
+                format!("[{start}, {end}) out of bounds for length {}", self.values.len()),
+            ));
+        }
+        Ok(Self { name: self.name.clone(), values: self.values[start..end].to_vec() })
+    }
+}
+
+/// An equally spaced multivariate time series.
+///
+/// Invariants (enforced by every constructor):
+/// - at least one dimension;
+/// - all dimensions have the same length;
+/// - dimension names are unique and as many as dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultivariateSeries {
+    names: Vec<String>,
+    /// Column-major storage: `columns[d][t]`.
+    columns: Vec<Vec<f64>>,
+}
+
+impl MultivariateSeries {
+    /// Builds a series from named columns.
+    ///
+    /// # Errors
+    /// [`TsError::Empty`] if no columns are given, [`TsError::LengthMismatch`]
+    /// if the columns are ragged or names don't match column count.
+    pub fn from_columns(names: Vec<String>, columns: Vec<Vec<f64>>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(TsError::Empty);
+        }
+        if names.len() != columns.len() {
+            return Err(TsError::LengthMismatch { expected: columns.len(), actual: names.len() });
+        }
+        let n = columns[0].len();
+        for (d, col) in columns.iter().enumerate() {
+            if col.len() != n {
+                return Err(TsError::RaggedRows { row: d, expected: n, actual: col.len() });
+            }
+        }
+        for (i, a) in names.iter().enumerate() {
+            if names[..i].contains(a) {
+                return Err(invalid_param("names", format!("duplicate dimension name `{a}`")));
+            }
+        }
+        Ok(Self { names, columns })
+    }
+
+    /// Builds a series from timestamp rows (`rows[t][d]`).
+    pub fn from_rows<R: AsRef<[f64]>>(names: Vec<String>, rows: &[R]) -> Result<Self> {
+        if names.is_empty() {
+            return Err(TsError::Empty);
+        }
+        let d = names.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); d];
+        for (t, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            if row.len() != d {
+                return Err(TsError::RaggedRows { row: t, expected: d, actual: row.len() });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                columns[j].push(v);
+            }
+        }
+        Self::from_columns(names, columns)
+    }
+
+    /// Wraps a set of univariate series as one multivariate series.
+    pub fn from_univariate(series: Vec<UnivariateSeries>) -> Result<Self> {
+        let names = series.iter().map(|s| s.name.clone()).collect();
+        let columns = series.into_iter().map(|s| s.values).collect();
+        Self::from_columns(names, columns)
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// Whether the series has no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Dimension names, in storage order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Borrow dimension `d`.
+    pub fn column(&self, d: usize) -> Result<&[f64]> {
+        self.columns
+            .get(d)
+            .map(|c| c.as_slice())
+            .ok_or(TsError::DimensionOutOfBounds { dim: d, dims: self.columns.len() })
+    }
+
+    /// Mutable access to dimension `d`.
+    pub fn column_mut(&mut self, d: usize) -> Result<&mut [f64]> {
+        let dims = self.columns.len();
+        self.columns
+            .get_mut(d)
+            .map(|c| c.as_mut_slice())
+            .ok_or(TsError::DimensionOutOfBounds { dim: d, dims })
+    }
+
+    /// Borrow all columns.
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Finds a dimension by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&[f64]> {
+        self.names.iter().position(|n| n == name).map(|d| self.columns[d].as_slice())
+    }
+
+    /// The values of timestamp `t` across dimensions (allocates a row).
+    pub fn row(&self, t: usize) -> Result<Vec<f64>> {
+        if t >= self.len() {
+            return Err(invalid_param("t", format!("{t} out of bounds for length {}", self.len())));
+        }
+        Ok(self.columns.iter().map(|c| c[t]).collect())
+    }
+
+    /// Iterator over timestamp rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<f64>> + '_ {
+        (0..self.len()).map(move |t| self.columns.iter().map(|c| c[t]).collect())
+    }
+
+    /// Extracts dimension `d` as a [`UnivariateSeries`].
+    pub fn dimension(&self, d: usize) -> Result<UnivariateSeries> {
+        let col = self.column(d)?;
+        Ok(UnivariateSeries::new(self.names[d].clone(), col.to_vec()))
+    }
+
+    /// Returns the sub-series `[start, end)` of timestamps.
+    pub fn slice(&self, start: usize, end: usize) -> Result<Self> {
+        if start > end || end > self.len() {
+            return Err(invalid_param(
+                "range",
+                format!("[{start}, {end}) out of bounds for length {}", self.len()),
+            ));
+        }
+        Ok(Self {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c[start..end].to_vec()).collect(),
+        })
+    }
+
+    /// Keeps only the named dimensions, in the given order.
+    pub fn select(&self, keep: &[&str]) -> Result<Self> {
+        let mut names = Vec::with_capacity(keep.len());
+        let mut columns = Vec::with_capacity(keep.len());
+        for &k in keep {
+            match self.names.iter().position(|n| n == k) {
+                Some(d) => {
+                    names.push(self.names[d].clone());
+                    columns.push(self.columns[d].clone());
+                }
+                None => return Err(invalid_param("keep", format!("unknown dimension `{k}`"))),
+            }
+        }
+        Self::from_columns(names, columns)
+    }
+
+    /// Appends a timestamp row.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.dims() {
+            return Err(TsError::LengthMismatch { expected: self.dims(), actual: row.len() });
+        }
+        for (c, &v) in self.columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultivariateSeries {
+        MultivariateSeries::from_rows(
+            vec!["x".into(), "y".into()],
+            &[[1.0, 4.0], [2.0, 5.0], [3.0, 6.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_transposes_correctly() {
+        let m = sample();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dims(), 2);
+        assert_eq!(m.column(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.column(1).unwrap(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let m = sample();
+        let rows: Vec<Vec<f64>> = m.rows().collect();
+        assert_eq!(rows, vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]]);
+        let back = MultivariateSeries::from_rows(m.names().to_vec(), &rows).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = MultivariateSeries::from_rows(
+            vec!["x".into(), "y".into()],
+            &[vec![1.0, 2.0], vec![3.0]],
+        )
+        .unwrap_err();
+        assert_eq!(err, TsError::RaggedRows { row: 1, expected: 2, actual: 1 });
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = MultivariateSeries::from_columns(
+            vec!["x".into(), "y".into()],
+            vec![vec![1.0, 2.0], vec![3.0]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TsError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = MultivariateSeries::from_columns(
+            vec!["x".into(), "x".into()],
+            vec![vec![1.0], vec![2.0]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TsError::InvalidParameter { name: "names", .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            MultivariateSeries::from_columns(vec![], vec![]).unwrap_err(),
+            TsError::Empty
+        );
+    }
+
+    #[test]
+    fn select_reorders_dimensions() {
+        let m = sample();
+        let s = m.select(&["y", "x"]).unwrap();
+        assert_eq!(s.names(), &["y".to_string(), "x".to_string()]);
+        assert_eq!(s.column(0).unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(m.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let m = sample();
+        let s = m.slice(1, 3).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0).unwrap(), &[2.0, 3.0]);
+        assert!(m.slice(2, 1).is_err());
+        assert!(m.slice(0, 4).is_err());
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut m = sample();
+        m.push_row(&[7.0, 8.0]).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.row(3).unwrap(), vec![7.0, 8.0]);
+        assert!(m.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_extracts_named_univariate() {
+        let m = sample();
+        let u = m.dimension(1).unwrap();
+        assert_eq!(u.name(), "y");
+        assert_eq!(u.values(), &[4.0, 5.0, 6.0]);
+        assert!(m.dimension(2).is_err());
+    }
+
+    #[test]
+    fn column_by_name_works() {
+        let m = sample();
+        assert_eq!(m.column_by_name("y").unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(m.column_by_name("z").is_none());
+    }
+
+    #[test]
+    fn univariate_slice() {
+        let u = UnivariateSeries::new("u", vec![1.0, 2.0, 3.0]);
+        let s = u.slice(0, 2).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert!(u.slice(1, 4).is_err());
+    }
+}

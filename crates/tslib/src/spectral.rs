@@ -1,0 +1,243 @@
+//! Spectral analysis: radix-2 FFT, periodogram, dominant-period detection.
+//!
+//! A more principled period detector than the ACF heuristic in
+//! [`crate::rolling`]: the periodogram concentrates a periodic component's
+//! energy in one frequency bin regardless of phase. Used by the ablation
+//! harness to characterize the replica datasets and available to library
+//! users for seasonal-model configuration (e.g. picking the Holt–Winters
+//! period).
+
+use crate::error::{invalid_param, Result, TsError};
+
+/// A complex number (minimal, local — no dependency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// If the length is not a power of two (callers zero-pad; see [`fft_real`]).
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = w.mul(*b);
+                *b = a.sub(t);
+                *a = a.add(t);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real series, zero-padded to the next power of two after mean
+/// removal. Returns the padded length alongside the spectrum.
+pub fn fft_real(xs: &[f64]) -> Result<(Vec<Complex>, usize)> {
+    if xs.len() < 4 {
+        return Err(invalid_param("series", "need at least 4 points for a spectrum"));
+    }
+    if xs.iter().any(|v| !v.is_finite()) {
+        return Err(invalid_param("series", "values must be finite"));
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let n = xs.len().next_power_of_two();
+    let mut data: Vec<Complex> = xs
+        .iter()
+        .map(|&x| Complex::new(x - mean, 0.0))
+        .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
+        .take(n)
+        .collect();
+    fft(&mut data);
+    Ok((data, n))
+}
+
+/// One periodogram bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumBin {
+    /// Frequency in cycles per sample, in `(0, 0.5]`.
+    pub frequency: f64,
+    /// Corresponding period in samples (`1 / frequency`).
+    pub period: f64,
+    /// Power (squared magnitude, normalized by series length).
+    pub power: f64,
+}
+
+/// Periodogram of a real series: one bin per positive frequency up to
+/// Nyquist, mean removed, zero-padded to a power of two.
+pub fn periodogram(xs: &[f64]) -> Result<Vec<SpectrumBin>> {
+    let (spec, n) = fft_real(xs)?;
+    let m = xs.len() as f64;
+    Ok((1..=n / 2)
+        .map(|k| {
+            let frequency = k as f64 / n as f64;
+            SpectrumBin { frequency, period: 1.0 / frequency, power: spec[k].norm_sq() / m }
+        })
+        .collect())
+}
+
+/// The dominant period of a series, by peak periodogram power.
+///
+/// Returns `None` when no bin dominates (peak power below `min_share` of
+/// total power — white noise spreads energy across all bins).
+pub fn dominant_period(xs: &[f64], min_share: f64) -> Result<Option<f64>> {
+    if !(0.0..1.0).contains(&min_share) {
+        return Err(invalid_param("min_share", format!("{min_share} not in [0, 1)")));
+    }
+    let bins = periodogram(xs)?;
+    if bins.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let total: f64 = bins.iter().map(|b| b.power).sum();
+    if total <= 0.0 {
+        return Ok(None); // constant series
+    }
+    let peak = bins
+        .iter()
+        .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty bins");
+    Ok((peak.power / total >= min_share).then_some(peak.period))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_dft_on_small_input() {
+        // Compare against a naive DFT for n = 8.
+        let xs: Vec<f64> = vec![1.0, 2.0, -1.0, 0.5, 0.0, -2.0, 3.0, 1.5];
+        let mut data: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft(&mut data);
+        for (k, got) in data.iter().enumerate() {
+            let mut want = Complex::new(0.0, 0.0);
+            for (t, &x) in xs.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / 8.0;
+                want = want.add(Complex::new(x * angle.cos(), x * angle.sin()));
+            }
+            assert!((got.re - want.re).abs() < 1e-9, "bin {k} re");
+            assert!((got.im - want.im).abs() < 1e-9, "bin {k} im");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::new(0.0, 0.0); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let xs: Vec<f64> = (0..64).map(|t| ((t * 7 % 13) as f64) - 6.0).collect();
+        let mut data: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let time_energy: f64 = xs.iter().map(|x| x * x).sum();
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn periodogram_peaks_at_sine_frequency() {
+        // Period 16 = frequency 1/16; with n = 128 (power of two) the bin
+        // lands exactly on k = 8.
+        let xs: Vec<f64> =
+            (0..128).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin()).collect();
+        let bins = periodogram(&xs).unwrap();
+        let peak = bins
+            .iter()
+            .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap())
+            .unwrap();
+        assert!((peak.period - 16.0).abs() < 1e-9, "peak period {}", peak.period);
+    }
+
+    #[test]
+    fn dominant_period_detects_and_rejects() {
+        let sine: Vec<f64> =
+            (0..200).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect();
+        let p = dominant_period(&sine, 0.2).unwrap().expect("sine has a period");
+        // Zero-padding to 256 shifts bins slightly; accept ±2 samples.
+        assert!((p - 20.0).abs() < 2.0, "period {p}");
+
+        // Deterministic pseudo-noise: no single bin should dominate.
+        let mut state = 11u64;
+        let noise: Vec<f64> = (0..512)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        assert_eq!(dominant_period(&noise, 0.2).unwrap(), None);
+
+        // Constant series has zero AC power.
+        assert_eq!(dominant_period(&[5.0; 32], 0.2).unwrap(), None);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(periodogram(&[1.0, 2.0]).is_err());
+        assert!(periodogram(&[1.0, f64::NAN, 2.0, 3.0]).is_err());
+        assert!(dominant_period(&[1.0; 32], 1.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::new(0.0, 0.0); 12];
+        fft(&mut data);
+    }
+}

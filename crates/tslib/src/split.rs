@@ -1,0 +1,148 @@
+//! Train/test splitting for forecasting experiments.
+//!
+//! Forecasting splits are *temporal*: the test set is always the final
+//! segment of the series (never shuffled), matching how the paper holds out
+//! the tail of each dataset for evaluation.
+
+use crate::error::{invalid_param, Result};
+use crate::series::{MultivariateSeries, UnivariateSeries};
+
+/// Splits a multivariate series into `(train, test)` where the test set is
+/// the final `test_fraction` of timestamps (rounded down, at least 1).
+///
+/// # Errors
+/// If `test_fraction` is outside `(0, 1)` or either side would be empty.
+pub fn holdout_split(
+    series: &MultivariateSeries,
+    test_fraction: f64,
+) -> Result<(MultivariateSeries, MultivariateSeries)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(invalid_param("test_fraction", format!("{test_fraction} not in (0, 1)")));
+    }
+    let n = series.len();
+    let test_len = ((n as f64 * test_fraction).floor() as usize).max(1);
+    if test_len >= n {
+        return Err(invalid_param("test_fraction", "train side would be empty"));
+    }
+    Ok((series.slice(0, n - test_len)?, series.slice(n - test_len, n)?))
+}
+
+/// Splits a multivariate series at an absolute index: train is `[0, at)`,
+/// test is `[at, n)`.
+pub fn split_at(
+    series: &MultivariateSeries,
+    at: usize,
+) -> Result<(MultivariateSeries, MultivariateSeries)> {
+    let n = series.len();
+    if at == 0 || at >= n {
+        return Err(invalid_param("at", format!("{at} must be in (0, {n})")));
+    }
+    Ok((series.slice(0, at)?, series.slice(at, n)?))
+}
+
+/// Univariate variant of [`holdout_split`].
+pub fn holdout_split_univariate(
+    series: &UnivariateSeries,
+    test_fraction: f64,
+) -> Result<(UnivariateSeries, UnivariateSeries)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(invalid_param("test_fraction", format!("{test_fraction} not in (0, 1)")));
+    }
+    let n = series.len();
+    let test_len = ((n as f64 * test_fraction).floor() as usize).max(1);
+    if test_len >= n {
+        return Err(invalid_param("test_fraction", "train side would be empty"));
+    }
+    Ok((series.slice(0, n - test_len)?, series.slice(n - test_len, n)?))
+}
+
+/// Expanding-window cross-validation folds: for each fold the train set
+/// grows by `step` and the test set is the next `horizon` points.
+///
+/// Returns `(train_end, test_end)` index pairs; callers slice the series
+/// themselves so no data is copied here.
+pub fn expanding_folds(
+    n: usize,
+    initial_train: usize,
+    horizon: usize,
+    step: usize,
+) -> Result<Vec<(usize, usize)>> {
+    if initial_train == 0 || horizon == 0 || step == 0 {
+        return Err(invalid_param("fold", "initial_train, horizon and step must be >= 1"));
+    }
+    if initial_train + horizon > n {
+        return Err(invalid_param("fold", format!("first fold needs {} points, series has {n}", initial_train + horizon)));
+    }
+    let mut folds = Vec::new();
+    let mut train_end = initial_train;
+    while train_end + horizon <= n {
+        folds.push((train_end, train_end + horizon));
+        train_end += step;
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> MultivariateSeries {
+        MultivariateSeries::from_columns(
+            vec!["a".into()],
+            vec![(0..n).map(|i| i as f64).collect()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn holdout_takes_tail() {
+        let m = series(10);
+        let (train, test) = holdout_split(&m, 0.2).unwrap();
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(test.column(0).unwrap(), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn holdout_minimum_one_test_point() {
+        let m = series(10);
+        let (train, test) = holdout_split(&m, 0.01).unwrap();
+        assert_eq!(train.len(), 9);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn holdout_rejects_bad_fractions() {
+        let m = series(10);
+        assert!(holdout_split(&m, 0.0).is_err());
+        assert!(holdout_split(&m, 1.0).is_err());
+        assert!(holdout_split(&m, -0.5).is_err());
+    }
+
+    #[test]
+    fn split_at_index() {
+        let m = series(5);
+        let (train, test) = split_at(&m, 3).unwrap();
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.column(0).unwrap(), &[3.0, 4.0]);
+        assert!(split_at(&m, 0).is_err());
+        assert!(split_at(&m, 5).is_err());
+    }
+
+    #[test]
+    fn univariate_holdout() {
+        let u = UnivariateSeries::new("u", (0..8).map(|i| i as f64).collect());
+        let (train, test) = holdout_split_univariate(&u, 0.25).unwrap();
+        assert_eq!(train.len(), 6);
+        assert_eq!(test.values(), &[6.0, 7.0]);
+        assert!(holdout_split_univariate(&u, 1.5).is_err());
+    }
+
+    #[test]
+    fn expanding_folds_cover_series() {
+        let folds = expanding_folds(20, 10, 2, 4).unwrap();
+        assert_eq!(folds, vec![(10, 12), (14, 16), (18, 20)]);
+        assert!(expanding_folds(5, 10, 2, 1).is_err());
+        assert!(expanding_folds(5, 0, 1, 1).is_err());
+    }
+}

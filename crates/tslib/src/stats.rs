@@ -1,0 +1,319 @@
+//! Descriptive statistics: moments, quantiles, autocorrelation,
+//! partial autocorrelation and cross-correlation.
+//!
+//! The ACF/PACF implementations here back the ARIMA estimator in
+//! `mc-baselines` (Yule–Walker equations are solved with the same
+//! Levinson–Durbin recursion exposed as [`levinson_durbin`]).
+
+use crate::error::{invalid_param, Result, TsError};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`). Errors on empty input.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Minimum value. Errors on empty input; NaNs are ignored unless all-NaN.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc: Option<f64>, x| {
+        Some(acc.map_or(x, |a| a.min(x)))
+    })
+    .ok_or(TsError::Empty)
+}
+
+/// Maximum value. Errors on empty input; NaNs are ignored unless all-NaN.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc: Option<f64>, x| {
+        Some(acc.map_or(x, |a| a.max(x)))
+    })
+    .ok_or(TsError::Empty)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// Matches the "linear" method of NumPy's `quantile`: the sorted sample is
+/// indexed at `q * (n - 1)` with fractional positions interpolated.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(invalid_param("q", format!("{q} not in [0, 1]")));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (50 % quantile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Sample autocovariance at lag `k` (biased, divides by `n`).
+pub fn autocovariance(xs: &[f64], k: usize) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if k >= xs.len() {
+        return Err(invalid_param("k", format!("lag {k} >= length {}", xs.len())));
+    }
+    let m = mean(xs)?;
+    let n = xs.len();
+    let mut acc = 0.0;
+    for t in 0..n - k {
+        acc += (xs[t] - m) * (xs[t + k] - m);
+    }
+    Ok(acc / n as f64)
+}
+
+/// Autocorrelation function for lags `0..=max_lag`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    let c0 = autocovariance(xs, 0)?;
+    if c0 == 0.0 {
+        // Constant series: ACF is 1 at lag 0 and (by convention) 0 elsewhere.
+        let mut out = vec![0.0; max_lag + 1];
+        out[0] = 1.0;
+        return Ok(out);
+    }
+    (0..=max_lag).map(|k| Ok(autocovariance(xs, k)? / c0)).collect()
+}
+
+/// Solves the Yule–Walker system for an AR(`order`) model via
+/// Levinson–Durbin, given autocorrelations `rho[0..=order]` (`rho[0] == 1`).
+///
+/// Returns `(phi, reflection)` where `phi[j]` is the coefficient of lag
+/// `j + 1` and `reflection[k]` is the lag-(k+1) partial autocorrelation.
+pub fn levinson_durbin(rho: &[f64], order: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    if rho.len() <= order {
+        return Err(TsError::LengthMismatch { expected: order + 1, actual: rho.len() });
+    }
+    let mut phi = vec![0.0; order];
+    let mut prev = vec![0.0; order];
+    let mut reflection = Vec::with_capacity(order);
+    let mut err = 1.0_f64;
+    for k in 0..order {
+        let mut acc = rho[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * rho[k - j];
+        }
+        let kappa = if err.abs() < 1e-12 { 0.0 } else { acc / err };
+        reflection.push(kappa);
+        phi[..k].copy_from_slice(&prev[..k]);
+        for j in 0..k {
+            phi[j] = prev[j] - kappa * prev[k - 1 - j];
+        }
+        phi[k] = kappa;
+        err *= 1.0 - kappa * kappa;
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Ok((phi, reflection))
+}
+
+/// Partial autocorrelation function for lags `1..=max_lag`
+/// (Levinson–Durbin on the sample ACF).
+pub fn pacf(xs: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    if max_lag == 0 {
+        return Ok(vec![]);
+    }
+    if max_lag >= xs.len() {
+        return Err(invalid_param("max_lag", format!("{max_lag} >= length {}", xs.len())));
+    }
+    let rho = acf(xs, max_lag)?;
+    let (_, reflection) = levinson_durbin(&rho, max_lag)?;
+    Ok(reflection)
+}
+
+/// Pearson correlation between two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(TsError::LengthMismatch { expected: xs.len(), actual: ys.len() });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(invalid_param("input", "zero variance"));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Cross-correlation of `xs` against `ys` shifted by `lag`
+/// (`lag > 0` means `ys` lags behind `xs`).
+pub fn cross_correlation(xs: &[f64], ys: &[f64], lag: i64) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(TsError::LengthMismatch { expected: xs.len(), actual: ys.len() });
+    }
+    let n = xs.len() as i64;
+    if lag.abs() >= n {
+        return Err(invalid_param("lag", format!("|{lag}| >= length {n}")));
+    }
+    let (a, b): (&[f64], &[f64]) = if lag >= 0 {
+        (&xs[lag as usize..], &ys[..(n - lag) as usize])
+    } else {
+        (&xs[..(n + lag) as usize], &ys[(-lag) as usize..])
+    };
+    pearson(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < EPS);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < EPS);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < EPS);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn min_max_skip_nans() {
+        let xs = [3.0, f64::NAN, -1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+        assert!(min(&[f64::NAN]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0).unwrap() - 1.0).abs() < EPS);
+        assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < EPS);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < EPS);
+        assert!((median(&[5.0, 1.0, 3.0]).unwrap() - 3.0).abs() < EPS);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_small() {
+        // Deterministic pseudo-noise via an LCG so the test is stable.
+        let mut state = 12345u64;
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        let rho = acf(&xs, 5).unwrap();
+        assert!((rho[0] - 1.0).abs() < EPS);
+        for &r in &rho[1..] {
+            assert!(r.abs() < 0.1, "white-noise ACF too large: {r}");
+        }
+    }
+
+    #[test]
+    fn acf_of_constant_series() {
+        let rho = acf(&[3.0; 10], 3).unwrap();
+        assert_eq!(rho, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ar1_acf_decays_geometrically() {
+        // x_t = 0.8 x_{t-1} + e_t → rho_k ≈ 0.8^k.
+        let mut state = 7u64;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..20000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                x = 0.8 * x + e;
+                x
+            })
+            .collect();
+        let rho = acf(&xs, 3).unwrap();
+        assert!((rho[1] - 0.8).abs() < 0.05, "rho1={}", rho[1]);
+        assert!((rho[2] - 0.64).abs() < 0.07, "rho2={}", rho[2]);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        let mut state = 99u64;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..20000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                x = 0.7 * x + e;
+                x
+            })
+            .collect();
+        let p = pacf(&xs, 4).unwrap();
+        assert!((p[0] - 0.7).abs() < 0.05, "pacf1={}", p[0]);
+        for &v in &p[1..] {
+            assert!(v.abs() < 0.06, "AR(1) PACF should cut off, got {v}");
+        }
+    }
+
+    #[test]
+    fn levinson_durbin_recovers_ar2() {
+        // Theoretical ACF of AR(2) with phi1=0.5, phi2=0.3:
+        // rho1 = phi1/(1-phi2), rho2 = phi1*rho1 + phi2.
+        let rho1 = 0.5 / (1.0 - 0.3);
+        let rho2 = 0.5 * rho1 + 0.3;
+        let rho3 = 0.5 * rho2 + 0.3 * rho1;
+        let (phi, _) = levinson_durbin(&[1.0, rho1, rho2, rho3], 2).unwrap();
+        assert!((phi[0] - 0.5).abs() < 1e-9, "phi1={}", phi[0]);
+        assert!((phi[1] - 0.3).abs() < 1e-9, "phi2={}", phi[1]);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < EPS);
+        assert!((pearson(&xs, &[-1.0, -2.0, -3.0]).unwrap() + 1.0).abs() < EPS);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0]).is_err());
+        assert!(pearson(&xs, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_finds_lag() {
+        let xs: Vec<f64> = (0..100).map(|t| (t as f64 * 0.3).sin()).collect();
+        let ys: Vec<f64> = (0..100).map(|t| ((t as f64 - 5.0) * 0.3).sin()).collect();
+        // ys is xs delayed by 5 → correlation at lag -5 of xs vs ys is max.
+        let at_lag = cross_correlation(&xs, &ys, -5).unwrap();
+        let at_zero = cross_correlation(&xs, &ys, 0).unwrap();
+        assert!(at_lag > 0.99, "lagged correlation {at_lag}");
+        assert!(at_lag > at_zero);
+        assert!(cross_correlation(&xs, &ys, 100).is_err());
+    }
+
+    #[test]
+    fn autocovariance_bounds() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(autocovariance(&xs, 4).is_err());
+        assert!(autocovariance(&[], 0).is_err());
+        let c0 = autocovariance(&xs, 0).unwrap();
+        let c1 = autocovariance(&xs, 1).unwrap();
+        assert!(c0 >= c1.abs());
+    }
+}

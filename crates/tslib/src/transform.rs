@@ -1,0 +1,303 @@
+//! Reversible transforms: z-normalization, differencing, block resampling
+//! and sliding windows.
+//!
+//! Each forward transform that loses information required for inversion
+//! returns a small state struct ([`ZNormState`], initial values for
+//! differencing) so forecasts produced in the transformed domain can be
+//! mapped back — exactly what the MultiCast pipeline does after the LLM
+//! emits scaled tokens.
+
+use crate::error::{invalid_param, Result, TsError};
+use crate::series::MultivariateSeries;
+use crate::stats::{mean, std_dev};
+
+/// Parameters of a z-normalization, kept so it can be inverted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZNormState {
+    /// Mean subtracted from the series.
+    pub mean: f64,
+    /// Standard deviation divided out (1.0 for constant series).
+    pub std: f64,
+}
+
+/// Z-normalizes a slice; returns the transformed values and the state
+/// needed to invert. Constant series map to all-zeros with `std = 1`.
+pub fn znorm(xs: &[f64]) -> Result<(Vec<f64>, ZNormState)> {
+    let m = mean(xs)?;
+    let mut s = std_dev(xs)?;
+    if s == 0.0 {
+        s = 1.0;
+    }
+    let out = xs.iter().map(|x| (x - m) / s).collect();
+    Ok((out, ZNormState { mean: m, std: s }))
+}
+
+/// Inverts [`znorm`].
+pub fn znorm_inverse(xs: &[f64], state: ZNormState) -> Vec<f64> {
+    xs.iter().map(|x| x * state.std + state.mean).collect()
+}
+
+/// First-order differencing applied `d` times.
+///
+/// Returns the differenced series plus the `d` dropped leading values
+/// (one per differencing round, in application order) needed by
+/// [`undifference`].
+pub fn difference(xs: &[f64], d: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    if xs.len() <= d {
+        return Err(invalid_param("d", format!("cannot difference length {} series {d} times", xs.len())));
+    }
+    let mut cur = xs.to_vec();
+    let mut heads = Vec::with_capacity(d);
+    for _ in 0..d {
+        heads.push(cur[0]);
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    Ok((cur, heads))
+}
+
+/// Inverts [`difference`]: integrates `d` times using the stored heads.
+pub fn undifference(xs: &[f64], heads: &[f64]) -> Vec<f64> {
+    let mut cur = xs.to_vec();
+    for &h in heads.iter().rev() {
+        let mut acc = h;
+        let mut out = Vec::with_capacity(cur.len() + 1);
+        out.push(acc);
+        for &v in &cur {
+            acc += v;
+            out.push(acc);
+        }
+        cur = out;
+    }
+    cur
+}
+
+/// Continues an integration given the last value(s) of the original series:
+/// maps a forecast made in the `d`-times-differenced domain back to levels.
+///
+/// `tail` must hold the last `d` values of each integration level of the
+/// observed series, ordered from most-differenced to raw — as produced by
+/// [`integration_tail`].
+pub fn undifference_forecast(forecast: &[f64], tail: &[Vec<f64>]) -> Vec<f64> {
+    let mut cur = forecast.to_vec();
+    for level in tail.iter().rev() {
+        let mut acc = *level.last().expect("non-empty tail level");
+        for v in cur.iter_mut() {
+            acc += *v;
+            *v = acc;
+        }
+    }
+    cur
+}
+
+/// Computes the per-level tails needed by [`undifference_forecast`]:
+/// element `i` is the raw series differenced `i` times (only its last value
+/// is used, but the full level is kept for diagnostics).
+pub fn integration_tail(xs: &[f64], d: usize) -> Result<Vec<Vec<f64>>> {
+    if xs.len() <= d {
+        return Err(invalid_param("d", format!("series of length {} too short for d={d}", xs.len())));
+    }
+    let mut levels = Vec::with_capacity(d);
+    let mut cur = xs.to_vec();
+    for _ in 0..d {
+        levels.push(cur.clone());
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    Ok(levels)
+}
+
+/// Block-mean resampling: averages consecutive `block` values.
+/// A trailing partial block (if any) is averaged over its actual length.
+///
+/// This mirrors the paper's "resampled on a 3-day basis" preprocessing of
+/// the Electricity dataset.
+pub fn resample_mean(xs: &[f64], block: usize) -> Result<Vec<f64>> {
+    if block == 0 {
+        return Err(invalid_param("block", "must be >= 1"));
+    }
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    Ok(xs.chunks(block).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect())
+}
+
+/// Sliding windows of length `width` with the given `stride`;
+/// returns starting indices plus window slices materialized as vectors.
+pub fn sliding_windows(xs: &[f64], width: usize, stride: usize) -> Result<Vec<Vec<f64>>> {
+    if width == 0 || stride == 0 {
+        return Err(invalid_param("width/stride", "must be >= 1"));
+    }
+    if xs.len() < width {
+        return Err(invalid_param("width", format!("{width} > length {}", xs.len())));
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + width <= xs.len() {
+        out.push(xs[start..start + width].to_vec());
+        start += stride;
+    }
+    Ok(out)
+}
+
+/// A supervised sample: a lookback window of rows plus the next row.
+pub type SupervisedSample = (Vec<Vec<f64>>, Vec<f64>);
+
+/// Supervised windowing for sequence models: `(inputs, targets)` pairs where
+/// each input is `lookback` consecutive rows of the multivariate series and
+/// the target is the row right after the window.
+///
+/// This is the exact setup used by the LSTM baseline.
+pub fn supervised_windows(
+    series: &MultivariateSeries,
+    lookback: usize,
+) -> Result<Vec<SupervisedSample>> {
+    if lookback == 0 {
+        return Err(invalid_param("lookback", "must be >= 1"));
+    }
+    if series.len() <= lookback {
+        return Err(invalid_param(
+            "lookback",
+            format!("{} too large for series of length {}", lookback, series.len()),
+        ));
+    }
+    let mut out = Vec::with_capacity(series.len() - lookback);
+    for t in 0..series.len() - lookback {
+        let input: Vec<Vec<f64>> = (t..t + lookback).map(|i| series.row(i).unwrap()).collect();
+        let target = series.row(t + lookback).unwrap();
+        out.push((input, target));
+    }
+    Ok(out)
+}
+
+/// Z-normalizes every dimension of a multivariate series independently.
+pub fn znorm_multivariate(series: &MultivariateSeries) -> Result<(MultivariateSeries, Vec<ZNormState>)> {
+    let mut cols = Vec::with_capacity(series.dims());
+    let mut states = Vec::with_capacity(series.dims());
+    for d in 0..series.dims() {
+        let (column, state) = znorm(series.column(d)?)?;
+        cols.push(column);
+        states.push(state);
+    }
+    Ok((MultivariateSeries::from_columns(series.names().to_vec(), cols)?, states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn close(a: &[f64], b: &[f64], eps: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < eps)
+    }
+
+    #[test]
+    fn znorm_round_trip() {
+        let xs = [3.0, 7.0, 1.0, 9.0, 5.0];
+        let (z, st) = znorm(&xs).unwrap();
+        assert!((mean(&z).unwrap()).abs() < EPS);
+        assert!((std_dev(&z).unwrap() - 1.0).abs() < EPS);
+        assert!(close(&znorm_inverse(&z, st), &xs, EPS));
+    }
+
+    #[test]
+    fn znorm_constant_series() {
+        let (z, st) = znorm(&[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+        assert_eq!(st.std, 1.0);
+        assert!(close(&znorm_inverse(&z, st), &[4.0, 4.0, 4.0], EPS));
+    }
+
+    #[test]
+    fn difference_round_trip_single() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let (d, heads) = difference(&xs, 1).unwrap();
+        assert_eq!(d, vec![3.0, 5.0, 7.0, 9.0]);
+        assert!(close(&undifference(&d, &heads), &xs, EPS));
+    }
+
+    #[test]
+    fn difference_round_trip_double() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0, 36.0];
+        let (d, heads) = difference(&xs, 2).unwrap();
+        assert_eq!(d, vec![2.0, 2.0, 2.0, 2.0]); // second difference of squares
+        assert!(close(&undifference(&d, &heads), &xs, EPS));
+    }
+
+    #[test]
+    fn difference_rejects_short_series() {
+        assert!(difference(&[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn undifference_forecast_extends_levels() {
+        // Linear series: first difference constant at 2. Forecasting 2s in the
+        // differenced domain must extend the line.
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        let tail = integration_tail(&xs, 1).unwrap();
+        let fc = undifference_forecast(&[2.0, 2.0, 2.0], &tail);
+        assert!(close(&fc, &[9.0, 11.0, 13.0], EPS));
+    }
+
+    #[test]
+    fn undifference_forecast_second_order() {
+        // Quadratic t^2: second difference is constant 2.
+        let xs: Vec<f64> = (0..6).map(|t| (t * t) as f64).collect();
+        let tail = integration_tail(&xs, 2).unwrap();
+        let fc = undifference_forecast(&[2.0, 2.0], &tail);
+        assert!(close(&fc, &[36.0, 49.0], EPS));
+    }
+
+    #[test]
+    fn resample_mean_blocks() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(resample_mean(&xs, 2).unwrap(), vec![1.5, 3.5, 5.0]);
+        assert_eq!(resample_mean(&xs, 5).unwrap(), vec![3.0]);
+        assert!(resample_mean(&xs, 0).is_err());
+        assert!(resample_mean(&[], 2).is_err());
+    }
+
+    #[test]
+    fn sliding_windows_stride() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let w = sliding_windows(&xs, 3, 1).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(w[2], vec![3.0, 4.0, 5.0]);
+        let w2 = sliding_windows(&xs, 2, 3).unwrap();
+        assert_eq!(w2, vec![vec![1.0, 2.0], vec![4.0, 5.0]]);
+        assert!(sliding_windows(&xs, 6, 1).is_err());
+        assert!(sliding_windows(&xs, 0, 1).is_err());
+    }
+
+    #[test]
+    fn supervised_windows_shapes() {
+        let m = MultivariateSeries::from_rows(
+            vec!["a".into(), "b".into()],
+            &[[0.0, 10.0], [1.0, 11.0], [2.0, 12.0], [3.0, 13.0]],
+        )
+        .unwrap();
+        let pairs = supervised_windows(&m, 2).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, vec![vec![0.0, 10.0], vec![1.0, 11.0]]);
+        assert_eq!(pairs[0].1, vec![2.0, 12.0]);
+        assert_eq!(pairs[1].1, vec![3.0, 13.0]);
+        assert!(supervised_windows(&m, 4).is_err());
+        assert!(supervised_windows(&m, 0).is_err());
+    }
+
+    #[test]
+    fn znorm_multivariate_per_dimension() {
+        let m = MultivariateSeries::from_rows(
+            vec!["a".into(), "b".into()],
+            &[[0.0, 100.0], [10.0, 300.0], [20.0, 200.0]],
+        )
+        .unwrap();
+        let (z, states) = znorm_multivariate(&m).unwrap();
+        for (d, &state) in states.iter().enumerate() {
+            let col = z.column(d).unwrap();
+            assert!(mean(col).unwrap().abs() < EPS);
+            let back = znorm_inverse(col, state);
+            assert!(close(&back, m.column(d).unwrap(), EPS));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Live-stream scenario: online forecasting with incremental context.
+//!
+//! A "production" loop over the Electricity dataset: seed the streaming
+//! forecaster with the first 60 % of the series, then replay the rest one
+//! row at a time — at each step the forecaster predicts the next row
+//! *before* seeing it, and its one-step-ahead error is accumulated. Each
+//! new observation costs only the new row's tokens (printed at the end),
+//! not a re-read of the whole history. Prediction-interval bands for the
+//! final horizon close the loop.
+//!
+//! ```sh
+//! cargo run --release --example live_stream
+//! ```
+
+use multicast_suite::core::{forecast_with_bands, StreamingMultiCast};
+use multicast_suite::prelude::*;
+
+fn main() {
+    let series = electricity();
+    let seed_len = (series.len() as f64 * 0.6) as usize;
+    let seed = series.slice(0, seed_len).expect("seed slice");
+    let config = ForecastConfig { samples: 3, ..ForecastConfig::default() };
+    let mut stream = StreamingMultiCast::new(MuxMethod::ValueInterleave, config, &seed)
+        .expect("seedable stream");
+    println!(
+        "seeded with {} rows ({} prompt tokens); replaying {} live rows\n",
+        seed.len(),
+        stream.cost().prompt_tokens,
+        series.len() - seed_len
+    );
+
+    let mut sq_err = vec![0.0; series.dims()];
+    let mut steps = 0usize;
+    for t in seed_len..series.len() {
+        let prediction = stream.predict(1).expect("one-step prediction");
+        let actual = series.row(t).expect("row");
+        for (d, acc) in sq_err.iter_mut().enumerate() {
+            let e = prediction.column(d).unwrap()[0] - actual[d];
+            *acc += e * e;
+        }
+        steps += 1;
+        stream.observe_row(&actual).expect("observe");
+    }
+    println!("{:<8} {:>22}", "dim", "one-step-ahead RMSE");
+    for (name, &acc) in series.names().iter().zip(&sq_err) {
+        println!("{:<8} {:>22.3}", name, (acc / steps as f64).sqrt());
+    }
+    println!(
+        "\ntotal stream cost: {} prompt tokens over {} rows (~{} per new row)",
+        stream.cost().prompt_tokens,
+        stream.observed(),
+        stream.cost().prompt_tokens / stream.observed() as u64
+    );
+
+    // Close with an 80 % interval forecast of the next 12 steps.
+    let bands = forecast_with_bands(
+        MuxMethod::ValueInterleave,
+        ForecastConfig { samples: 15, ..ForecastConfig::default() },
+        &series,
+        12,
+        0.8,
+    )
+    .expect("bands");
+    println!("\nnext 12 steps of {} with an 80% band:", series.names()[0]);
+    for t in 0..12 {
+        println!(
+            "  t+{:<3} {:>8.2}  [{:.2}, {:.2}]",
+            t + 1,
+            bands.median[0][t],
+            bands.lower[0][t],
+            bands.upper[0][t]
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Token-budget scenario: SAX quantization as a cost lever.
+//!
+//! Hosted LLMs charge per token; §III-B of the paper proposes SAX
+//! quantization to shrink prompts and continuations. This example
+//! forecasts the Gas Rate CO₂ dimension with raw MultiCast and with SAX
+//! at several segment lengths, reporting RMSE, token counts and the
+//! dollar cost under a representative per-token price sheet — the
+//! accuracy/cost trade-off in one table.
+//!
+//! ```sh
+//! cargo run --release --example sax_budget
+//! ```
+
+use multicast_suite::lm::cost::Pricing;
+use multicast_suite::prelude::*;
+use multicast_suite::sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use multicast_suite::sax::encoder::SaxConfig;
+
+fn main() {
+    let series = gas_rate();
+    let (train, test) = holdout_split(&series, 0.15).expect("split");
+    let pricing = Pricing::default();
+    println!(
+        "Gas Rate CO2 dimension, horizon {} | price sheet: ${:.2}/M prompt, ${:.2}/M generated\n",
+        test.len(),
+        pricing.per_prompt_token * 1e6,
+        pricing.per_generated_token * 1e6
+    );
+    println!(
+        "{:<34} {:>8} {:>10} {:>10} {:>12}",
+        "method", "RMSE", "prompt", "generated", "cost"
+    );
+
+    // Raw MultiCast reference.
+    let mut raw = MultiCastForecaster::new(MuxMethod::DigitInterleave, ForecastConfig::default());
+    let fc = raw.forecast(&train, test.len()).expect("forecast");
+    let err = rmse(test.column(1).unwrap(), fc.column(1).unwrap()).unwrap();
+    let cost = raw.last_cost.expect("cost recorded");
+    println!(
+        "{:<34} {:>8.3} {:>10} {:>10} {:>11.6}$",
+        "MultiCast (DI), no quantization",
+        err,
+        cost.prompt_tokens,
+        cost.generated_tokens,
+        cost.price(pricing)
+    );
+
+    for segment_len in [3usize, 6, 9] {
+        let cfg = SaxForecastConfig {
+            sax: SaxConfig {
+                segment_len,
+                alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
+            },
+            base: ForecastConfig::default(),
+        };
+        let mut f = SaxMultiCastForecaster::new(cfg);
+        let fc = f.forecast(&train, test.len()).expect("forecast");
+        let err = rmse(test.column(1).unwrap(), fc.column(1).unwrap()).unwrap();
+        let cost = f.last_cost.expect("cost recorded");
+        println!(
+            "{:<34} {:>8.3} {:>10} {:>10} {:>11.6}$",
+            format!("MultiCast SAX (seg={segment_len}, a=5)"),
+            err,
+            cost.prompt_tokens,
+            cost.generated_tokens,
+            cost.price(pricing)
+        );
+    }
+    println!("\nCoarser segments trade accuracy for an order of magnitude fewer tokens.");
+}

@@ -1,0 +1,57 @@
+//! Sensor-monitoring scenario: the paper's future-work tasks in action.
+//!
+//! A simulated sensor feed suffers (i) two transient spikes, (ii) a
+//! permanent regime change, and (iii) a dropout window with missing
+//! values. The zero-shot machinery handles all three with no training:
+//! anomaly detection and change-point detection run on the in-context
+//! surprise profile; the dropout is filled by bidirectional constrained
+//! generation and compared against linear interpolation.
+//!
+//! ```sh
+//! cargo run --release --example sensor_monitoring
+//! ```
+
+use mc_tasks::imputation::linear_interpolate;
+use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
+
+fn main() {
+    let n = 220;
+    // Healthy rhythm, then a new regime from t = 150.
+    let mut feed: Vec<f64> = (0..n)
+        .map(|t| {
+            if t < 150 {
+                50.0 + 10.0 * (t as f64 * std::f64::consts::PI / 8.0).sin()
+            } else {
+                30.0 + 3.0 * (t as f64 * std::f64::consts::PI / 3.0).sin()
+            }
+        })
+        .collect();
+    feed[60] += 30.0; // transient fault
+    feed[110] -= 28.0; // transient fault
+
+    // 1. Point anomalies.
+    let anomaly_report = AnomalyDetector::default().detect(&feed).expect("detect");
+    println!("anomaly threshold: {:.4} (range fraction)", anomaly_report.threshold);
+    println!("flagged timestamps: {:?}", anomaly_report.anomalies);
+
+    // 2. Regime change.
+    let change_points = ChangePointDetector::default().detect(&feed).expect("detect");
+    println!("change points: {change_points:?} (true change at 150)");
+
+    // 3. Dropout imputation: mask a window of the healthy segment.
+    let truth = feed.clone();
+    for v in &mut feed[80..92] {
+        *v = f64::NAN;
+    }
+    let imputed = Imputer::default().impute(&feed).expect("impute");
+    let linear = linear_interpolate(&feed);
+    let score = |candidate: &[f64]| -> f64 {
+        (80..92).map(|t| (candidate[t] - truth[t]).powi(2)).sum::<f64>().sqrt()
+    };
+    println!(
+        "dropout 80..92 — zero-shot imputation error {:.2}, linear interpolation error {:.2}",
+        score(&imputed),
+        score(&linear)
+    );
+    println!("\nno model was trained at any point: the feed itself was the prompt.");
+}

@@ -1,0 +1,24 @@
+//! `multicast` — the command-line face of the reproduction.
+//!
+//! ```sh
+//! multicast forecast data.csv --horizon 12 --method vi --out forecast.csv
+//! multicast detect   data.csv --column temperature
+//! multicast impute   gappy.csv --out filled.csv
+//! multicast datasets --dir results/datasets
+//! ```
+//!
+//! All logic lives in [`multicast_suite::cli`]; this binary only parses
+//! `argv`, runs the command and sets the exit code.
+
+use multicast_suite::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args).and_then(cli::run) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # multicast-suite — umbrella crate for the MultiCast reproduction
+//!
+//! Re-exports the complete public API of the workspace so applications can
+//! depend on one crate:
+//!
+//! - [`tslib`] — series types, metrics, transforms, splits, CSV I/O;
+//! - [`datasets`] — the paper's three datasets (seeded synthetic replicas)
+//!   and generic process generators;
+//! - [`lm`] — the LLM substrate (tokenizer, in-context backends, sampler);
+//! - [`sax`] — PAA/SAX quantization;
+//! - [`baselines`] — ARIMA, LSTM and naive comparators;
+//! - [`core`] — the MultiCast forecasters themselves;
+//! - [`tasks`] — the paper's future-work tasks, zero-shot: imputation,
+//!   anomaly detection, change-point detection.
+//!
+//! See `examples/` for runnable walkthroughs and `tests/` for the
+//! cross-crate integration suite.
+
+pub mod cli;
+
+pub use mc_baselines as baselines;
+pub use mc_datasets as datasets;
+pub use mc_lm as lm;
+pub use mc_sax as sax;
+pub use mc_tasks as tasks;
+pub use mc_tslib as tslib;
+pub use multicast_core as core;
+
+/// Convenience prelude with the symbols almost every program needs.
+pub mod prelude {
+    pub use mc_baselines::{ArimaForecaster, LstmConfig, LstmForecaster};
+    pub use mc_datasets::{electricity, gas_rate, weather, PaperDataset};
+    pub use mc_lm::presets::ModelPreset;
+    pub use mc_tslib::forecast::{MultivariateForecaster, PerDimension, UnivariateForecaster};
+    pub use mc_tslib::metrics::{mae, rmse, smape};
+    pub use mc_tslib::split::holdout_split;
+    pub use mc_tslib::{MultivariateSeries, UnivariateSeries};
+    pub use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
+    pub use multicast_core::{
+        ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod, SaxForecastConfig,
+        SaxMultiCastForecaster,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_exposes_core_types() {
+        use crate::prelude::*;
+        let cfg = ForecastConfig::default();
+        assert_eq!(cfg.samples, 5);
+        let _ = MuxMethod::ALL;
+        let _ = PaperDataset::ALL;
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the full MultiCast pipeline end to end
+//! on every paper dataset and every method, with fast configurations.
+
+use multicast_suite::prelude::*;
+
+fn fast_config(seed: u64) -> ForecastConfig {
+    ForecastConfig { samples: 2, seed, ..ForecastConfig::default() }
+}
+
+#[test]
+fn every_method_forecasts_every_dataset() {
+    for ds in PaperDataset::ALL {
+        let series = ds.load();
+        let (train, test) = holdout_split(&series, 0.1).unwrap();
+        let horizon = test.len();
+
+        for mux in MuxMethod::ALL {
+            let mut f = MultiCastForecaster::new(mux, fast_config(1));
+            let fc = f.forecast(&train, horizon).unwrap();
+            assert_eq!(fc.len(), horizon, "{ds} {mux:?}");
+            assert_eq!(fc.dims(), series.dims());
+            for d in 0..fc.dims() {
+                assert!(
+                    fc.column(d).unwrap().iter().all(|v| v.is_finite()),
+                    "{ds} {mux:?} dim {d} produced non-finite values"
+                );
+            }
+        }
+
+        let mut llmtime = LlmTimeForecaster::new(fast_config(2));
+        let fc = MultivariateForecaster::forecast(&mut llmtime, &train, horizon).unwrap();
+        assert_eq!(fc.len(), horizon);
+
+        let mut arima = PerDimension(ArimaForecaster::default());
+        let fc = arima.forecast(&train, horizon).unwrap();
+        assert_eq!(fc.len(), horizon);
+        assert!(fc.columns().iter().flatten().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn lstm_forecasts_gas_rate_quickly() {
+    // Small network: integration smoke, the full config runs in benches.
+    let series = gas_rate();
+    let (train, test) = holdout_split(&series, 0.1).unwrap();
+    let mut lstm = LstmForecaster::new(LstmConfig {
+        hidden: 24,
+        epochs: 8,
+        ..LstmConfig::default()
+    });
+    let fc = lstm.forecast(&train, test.len()).unwrap();
+    assert_eq!(fc.len(), test.len());
+    assert_eq!(fc.dims(), 2);
+}
+
+#[test]
+fn sax_variants_forecast_gas_rate() {
+    use multicast_suite::sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+    use multicast_suite::sax::encoder::SaxConfig;
+
+    let series = gas_rate();
+    let (train, test) = holdout_split(&series, 0.1).unwrap();
+    for kind in [SaxAlphabetKind::Alphabetic, SaxAlphabetKind::Digital] {
+        for segment_len in [3usize, 6, 9] {
+            let cfg = SaxForecastConfig {
+                sax: SaxConfig {
+                    segment_len,
+                    alphabet: SaxAlphabet::new(kind, 5).unwrap(),
+                },
+                base: fast_config(3),
+            };
+            let mut f = SaxMultiCastForecaster::new(cfg);
+            let fc = f.forecast(&train, test.len()).unwrap();
+            assert_eq!(fc.len(), test.len(), "{kind:?} seg {segment_len}");
+            assert!(f.last_cost.unwrap().generated_tokens > 0);
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let series = electricity();
+    let (train, test) = holdout_split(&series, 0.1).unwrap();
+    let run = || {
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueConcat, fast_config(42));
+        f.forecast(&train, test.len()).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn forecasts_are_scored_against_reference_floor() {
+    // On every dataset, at least one LLM-based method must beat the
+    // "predict the global mean" floor on at least one dimension — a very
+    // weak bar that catches gross decode/scale bugs.
+    for ds in PaperDataset::ALL {
+        let series = ds.load();
+        let (train, test) = holdout_split(&series, 0.15).unwrap();
+        let mut any_win = false;
+        for mux in MuxMethod::ALL {
+            let mut f = MultiCastForecaster::new(
+                mux,
+                ForecastConfig { samples: 5, ..fast_config(5) },
+            );
+            let fc = f.forecast(&train, test.len()).unwrap();
+            for d in 0..series.dims() {
+                let col = train.column(d).unwrap();
+                let mean = col.iter().sum::<f64>() / col.len() as f64;
+                let err = rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap();
+                let floor = rmse(test.column(d).unwrap(), &vec![mean; test.len()]).unwrap();
+                // 10 % slack: the floor only guards against gross decode or
+                // scaling bugs, not forecasting skill on every dimension.
+                if err < floor * 1.1 {
+                    any_win = true;
+                }
+            }
+        }
+        assert!(any_win, "{ds}: no MultiCast variant came near the mean floor on any dimension");
+    }
+}
+
+#[test]
+fn cost_accounting_scales_with_samples() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let tokens = |samples: usize| {
+        let mut f = MultiCastForecaster::new(
+            MuxMethod::ValueInterleave,
+            ForecastConfig { samples, ..fast_config(7) },
+        );
+        f.forecast(&train, 10).unwrap();
+        f.last_cost.unwrap().total_tokens()
+    };
+    let t1 = tokens(1);
+    let t2 = tokens(2);
+    let t4 = tokens(4);
+    // Tokens grow roughly linearly in the number of samples (each sample
+    // re-reads the prompt and generates its own continuation).
+    assert!(t2 > t1 && t4 > t2, "token counts must grow: {t1} {t2} {t4}");
+    let ratio = t4 as f64 / t1 as f64;
+    assert!((3.0..5.0).contains(&ratio), "4 samples ≈ 4x tokens, got ratio {ratio:.2}");
+}

@@ -1,0 +1,204 @@
+//! Integration tests for the beyond-the-paper extensions: prediction
+//! intervals, the zero-shot task suite, the extended classical baselines
+//! and the ensemble backend — all through the public API.
+
+use multicast_suite::baselines::{Holt, HoltWinters, Ses, VarForecaster};
+use multicast_suite::core::{bands_for, forecast_with_bands};
+use multicast_suite::prelude::*;
+use multicast_suite::tasks::imputation::linear_interpolate;
+
+#[test]
+fn prediction_bands_wrap_the_median_on_every_dataset() {
+    for ds in PaperDataset::ALL {
+        let series = ds.load();
+        let (train, test) = holdout_split(&series, 0.1).unwrap();
+        let config = ForecastConfig { samples: 7, ..ForecastConfig::default() };
+        let bands = forecast_with_bands(
+            MuxMethod::ValueInterleave,
+            config,
+            &train,
+            test.len(),
+            0.8,
+        )
+        .unwrap();
+        assert_eq!(bands.median.len(), series.dims());
+        let mut width = 0.0;
+        for d in 0..series.dims() {
+            for t in 0..test.len() {
+                assert!(bands.lower[d][t] <= bands.median[d][t], "{ds} d{d} t{t}");
+                assert!(bands.median[d][t] <= bands.upper[d][t], "{ds} d{d} t{t}");
+                width += bands.upper[d][t] - bands.lower[d][t];
+            }
+        }
+        assert!(width > 0.0, "{ds}: bands must have positive total width");
+        let cov = bands.empirical_coverage(&test).unwrap();
+        assert!((0.0..=1.0).contains(&cov));
+    }
+}
+
+#[test]
+fn bands_for_shares_forecaster_settings() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let f = MultiCastForecaster::new(
+        MuxMethod::ValueConcat,
+        ForecastConfig { samples: 5, ..ForecastConfig::default() },
+    );
+    let bands = bands_for(&f, &train, 6, 0.5).unwrap();
+    assert_eq!(bands.nominal_coverage, 0.5);
+    assert_eq!(bands.names, train.names());
+}
+
+#[test]
+fn var_beats_univariate_classics_on_coupled_replicas() {
+    // The replica datasets are built around cross-dimensional coupling;
+    // VAR exploits it and must beat per-dimension SES on at least two of
+    // the three datasets (mean RMSE over dimensions).
+    let mut wins = 0;
+    for ds in PaperDataset::ALL {
+        let series = ds.load();
+        let (train, test) = holdout_split(&series, 0.15).unwrap();
+        let mean_rmse = |fc: &MultivariateSeries| -> f64 {
+            (0..series.dims())
+                .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
+                .sum::<f64>()
+                / series.dims() as f64
+        };
+        let var_fc = VarForecaster::default().forecast(&train, test.len()).unwrap();
+        let ses_fc =
+            PerDimension(Ses { alpha: None }).forecast(&train, test.len()).unwrap();
+        if mean_rmse(&var_fc) < mean_rmse(&ses_fc) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "VAR should usually beat SES on coupled data, won {wins}/3");
+}
+
+#[test]
+fn exponential_smoothing_family_runs_on_paper_data() {
+    let series = electricity();
+    let (train, test) = holdout_split(&series, 0.1).unwrap();
+    for mut f in [
+        Box::new(PerDimension(Ses { alpha: None })) as Box<dyn MultivariateForecaster>,
+        Box::new(PerDimension(Holt { alpha: None, beta: None })),
+        Box::new(PerDimension(HoltWinters::with_period(12))),
+    ] {
+        let fc = f.forecast(&train, test.len()).unwrap();
+        assert_eq!(fc.len(), test.len());
+        assert!(fc.columns().iter().flatten().all(|v| v.is_finite()), "{}", f.name());
+    }
+}
+
+#[test]
+fn ensemble_preset_forecasts_end_to_end() {
+    let series = gas_rate();
+    let (train, test) = holdout_split(&series, 0.1).unwrap();
+    let config = ForecastConfig {
+        samples: 2,
+        preset: ModelPreset::Ensemble,
+        ..ForecastConfig::default()
+    };
+    let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config);
+    let fc = f.forecast(&train, test.len()).unwrap();
+    assert_eq!(fc.len(), test.len());
+    assert!(fc.columns().iter().flatten().all(|v| v.is_finite()));
+}
+
+#[test]
+fn task_suite_round_trip_on_paper_data() {
+    // Run all three zero-shot tasks against the Gas Rate CO2 dimension.
+    let series = gas_rate();
+    let co2 = series.column(1).unwrap().to_vec();
+
+    // Anomaly scan of the raw dimension completes and stays bounded.
+    let report = AnomalyDetector::default().detect(&co2).unwrap();
+    assert_eq!(report.scores.len(), co2.len());
+    assert!(report.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+
+    // Change-point scan of the raw dimension completes.
+    let cps = ChangePointDetector::default().detect(&co2).unwrap();
+    assert!(cps.iter().all(|&c| c < co2.len()));
+
+    // Imputation of a masked window restores finite values everywhere and
+    // keeps observations intact.
+    let mut masked = co2.clone();
+    for v in &mut masked[120..130] {
+        *v = f64::NAN;
+    }
+    let imputed = Imputer::default().impute(&masked).unwrap();
+    assert!(imputed.iter().all(|v| v.is_finite()));
+    for (t, (&a, &b)) in co2.iter().zip(&imputed).enumerate() {
+        if !(120..130).contains(&t) {
+            assert_eq!(a, b, "observed value changed at {t}");
+        }
+    }
+    // And the linear reference exists for comparison.
+    let linear = linear_interpolate(&masked);
+    assert!(linear.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn isax_index_on_dataset_windows() {
+    use multicast_suite::sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+    use multicast_suite::sax::encoder::SaxConfig;
+    use multicast_suite::sax::index::ISaxIndex;
+    use multicast_suite::tslib::transform::sliding_windows;
+
+    // Index sliding windows of the CO2 dimension and query with a noisy
+    // copy of one of them: the exact search must return that window.
+    let series = gas_rate();
+    let co2 = series.column(1).unwrap();
+    let windows = sliding_windows(co2, 64, 8).unwrap();
+    let config = SaxConfig {
+        segment_len: 8,
+        alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 8).unwrap(),
+    };
+    let mut index = ISaxIndex::new(config, 64, 4);
+    for (i, w) in windows.iter().enumerate() {
+        index.insert(i, w);
+    }
+    assert_eq!(index.len(), windows.len());
+    let probe: Vec<f64> = windows[10].iter().map(|v| v + 0.001).collect();
+    let (id, dist) = index.exact_search(&probe).unwrap();
+    assert_eq!(id, 10);
+    assert!(dist < 0.1, "distance {dist}");
+}
+
+#[test]
+fn spectral_period_detection_on_paper_data() {
+    use multicast_suite::tslib::spectral::dominant_period;
+    // The electricity replica is built with a 121-sample swing plus a
+    // 27-sample cycle; the dominant period should be the long one.
+    let series = electricity();
+    let p = dominant_period(series.column(0).unwrap(), 0.1)
+        .unwrap()
+        .expect("seasonal dataset has a dominant period");
+    assert!(p > 50.0, "expected the long seasonal component, got {p}");
+}
+
+#[test]
+fn bpe_pipeline_round_trip() {
+    use multicast_suite::lm::bpe::BpeTokenizer;
+    use multicast_suite::lm::tokenizer::Tokenizer;
+    use multicast_suite::lm::vocab::Vocab;
+
+    // Any serialized history must round-trip losslessly through a BPE
+    // trained on it — the precondition for the tokenization ablation.
+    let series = weather();
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let scaler = multicast_suite::core::scaling::FixedDigitScaler::fit(
+        train.columns(),
+        3,
+        0.15,
+    )
+    .unwrap();
+    let codes: Vec<Vec<u64>> = (0..train.dims())
+        .map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap())
+        .collect();
+    use multicast_suite::core::mux::Multiplexer;
+    let prompt = multicast_suite::core::ValueInterleave.mux(&codes, 3);
+    let bpe = BpeTokenizer::train(Vocab::numeric(), &prompt, 64);
+    let ids = bpe.encode(&prompt).unwrap();
+    assert!(ids.len() < prompt.chars().count(), "merges must compress");
+    assert_eq!(bpe.decode(&ids).unwrap(), prompt);
+}

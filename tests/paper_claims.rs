@@ -1,0 +1,144 @@
+//! Shape-level reproduction checks: the paper's *qualitative* claims that
+//! must hold in this implementation regardless of absolute numbers.
+//! Each test names the paper section it validates.
+
+use multicast_suite::prelude::*;
+use multicast_suite::sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use multicast_suite::sax::encoder::SaxConfig;
+
+fn config(samples: usize, seed: u64) -> ForecastConfig {
+    ForecastConfig { samples, seed, ..ForecastConfig::default() }
+}
+
+/// §IV-B / Table III: the larger backend outperforms the smaller one on
+/// Gas Rate (the paper's LLaMA2 ≻ Phi-2 finding).
+#[test]
+fn larger_backend_beats_smaller_on_gas_rate() {
+    let series = gas_rate();
+    let (train, test) = holdout_split(&series, 0.15).unwrap();
+    let score = |preset: ModelPreset| -> f64 {
+        let cfg = ForecastConfig { preset, ..config(5, 11) };
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+        let fc = f.forecast(&train, test.len()).unwrap();
+        (0..2)
+            .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
+            .sum::<f64>()
+    };
+    let large = score(ModelPreset::Large);
+    let small = score(ModelPreset::Small);
+    assert!(
+        large < small,
+        "Large preset must beat Small overall: large {large:.3} vs small {small:.3}"
+    );
+}
+
+/// §III-B / Table VIII: SAX quantization reduces total token usage by a
+/// large factor, and longer segments reduce it further.
+#[test]
+fn sax_token_savings_grow_with_segment_length() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.15).unwrap();
+    let horizon = 12;
+
+    let mut raw = MultiCastForecaster::new(MuxMethod::DigitInterleave, config(2, 3));
+    raw.forecast(&train, horizon).unwrap();
+    let raw_tokens = raw.last_cost.unwrap().total_tokens();
+
+    let mut previous = u64::MAX;
+    for segment_len in [3usize, 6, 9] {
+        let cfg = SaxForecastConfig {
+            sax: SaxConfig {
+                segment_len,
+                alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
+            },
+            base: config(2, 3),
+        };
+        let mut f = SaxMultiCastForecaster::new(cfg);
+        f.forecast(&train, horizon).unwrap();
+        let tokens = f.last_cost.unwrap().total_tokens();
+        assert!(tokens < raw_tokens / 4, "seg {segment_len}: {tokens} vs raw {raw_tokens}");
+        assert!(tokens < previous, "longer segments must shrink tokens");
+        previous = tokens;
+    }
+}
+
+/// §IV-D / Table VII: generated-token counts (the paper's execution-time
+/// proxy) double when the sample count doubles.
+#[test]
+fn generated_tokens_double_with_samples() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.15).unwrap();
+    let generated = |samples: usize| {
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config(samples, 5));
+        f.forecast(&train, 10).unwrap();
+        f.last_cost.unwrap().generated_tokens
+    };
+    let g5 = generated(5);
+    let g10 = generated(10);
+    let ratio = g10 as f64 / g5 as f64;
+    assert!(
+        (1.6..2.4).contains(&ratio),
+        "10 samples should generate ~2x the tokens of 5: ratio {ratio:.2}"
+    );
+}
+
+/// §IV-C: LLMTime and MultiCast consume comparable prompt budgets per
+/// dimension, but LLMTime pays the prompt once *per dimension* while
+/// MultiCast folds everything into one stream. With interleaved schemes
+/// (DI/VI) the multiplexed prompt equals the summed per-dimension
+/// payload, so total tokens are in the same ballpark — the paper's
+/// "slightly less total time" for LLMTime comes from the multiplexing
+/// overhead, reproduced here as the VC scheme's extra separators.
+#[test]
+fn vc_uses_more_separator_tokens_than_vi() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.15).unwrap();
+    let total = |mux: MuxMethod| {
+        let mut f = MultiCastForecaster::new(mux, config(2, 6));
+        f.forecast(&train, 10).unwrap();
+        f.last_cost.unwrap().total_tokens()
+    };
+    let vi = total(MuxMethod::ValueInterleave);
+    let vc = total(MuxMethod::ValueConcat);
+    assert!(vc > vi, "VC carries one separator per (dim, t): vc {vc} vs vi {vi}");
+}
+
+/// Table IX footnote: a digital SAX alphabet cannot have 20 symbols.
+#[test]
+fn digital_alphabet_of_twenty_is_impossible() {
+    assert!(SaxAlphabet::new(SaxAlphabetKind::Digital, 20).is_none());
+    assert!(SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 20).is_some());
+}
+
+/// §IV-E: with SAX, execution cost is insensitive to alphabet size (same
+/// token count, slightly larger vocabulary), mirroring Table IX's flat
+/// timing row.
+#[test]
+fn sax_tokens_insensitive_to_alphabet_size() {
+    let series = gas_rate();
+    let (train, _) = holdout_split(&series, 0.15).unwrap();
+    let tokens = |size: usize| {
+        let cfg = SaxForecastConfig {
+            sax: SaxConfig {
+                segment_len: 6,
+                alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, size).unwrap(),
+            },
+            base: config(2, 8),
+        };
+        let mut f = SaxMultiCastForecaster::new(cfg);
+        f.forecast(&train, 12).unwrap();
+        f.last_cost.unwrap().total_tokens()
+    };
+    let t5 = tokens(5);
+    let t20 = tokens(20);
+    assert_eq!(t5, t20, "token counts depend on segments, not alphabet size");
+}
+
+/// Figure 1's worked example, end to end through the public API.
+#[test]
+fn figure_one_example_reproduced_exactly() {
+    let codes = vec![vec![17u64, 26], vec![23, 31]];
+    assert_eq!(MuxMethod::DigitInterleave.build().mux(&codes, 2), "1273,2361,");
+    assert_eq!(MuxMethod::ValueInterleave.build().mux(&codes, 2), "1723,2631,");
+    assert_eq!(MuxMethod::ValueConcat.build().mux(&codes, 2), "17,23,26,31,");
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) for the invariants the pipeline's
+//! correctness rests on. Each property is documented with the failure it
+//! guards against.
+
+use proptest::prelude::*;
+
+use multicast_suite::core::scaling::FixedDigitScaler;
+use multicast_suite::core::{MultiCastForecaster, MuxMethod};
+use multicast_suite::lm::sampler::{Sampler, SamplerConfig};
+use multicast_suite::prelude::*;
+use multicast_suite::sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use multicast_suite::sax::encoder::{SaxConfig, SaxEncoder};
+use multicast_suite::sax::gaussian::{breakpoints, cell_of};
+use multicast_suite::tslib::transform;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mux → demux is the identity on well-formed streams for every
+    /// scheme, dimension count and digit budget. A violation silently
+    /// corrupts every forecast.
+    #[test]
+    fn mux_demux_identity(
+        dims in 1usize..5,
+        digits in 1u32..5,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let max = 10u64.pow(digits) - 1;
+        let mut state = seed;
+        let codes: Vec<Vec<u64>> = (0..dims)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 33) % (max + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        for method in MuxMethod::ALL {
+            let m = method.build();
+            let text = m.mux(&codes, digits);
+            let back = m.demux(&text, dims, digits, n);
+            prop_assert_eq!(&back, &codes, "{:?}", method);
+        }
+    }
+
+    /// Lenient demux never panics and always returns the requested shape,
+    /// whatever garbage the LLM emits within its constrained alphabet.
+    #[test]
+    fn demux_total_on_arbitrary_constrained_text(
+        text in "[0-9,]{0,120}",
+        dims in 1usize..4,
+        digits in 1u32..4,
+        horizon in 1usize..20,
+    ) {
+        for method in MuxMethod::ALL {
+            let m = method.build();
+            let back = m.demux(&text, dims, digits, horizon);
+            prop_assert_eq!(back.len(), dims);
+            let max = 10u64.pow(digits) - 1;
+            for col in &back {
+                prop_assert_eq!(col.len(), horizon);
+                prop_assert!(col.iter().all(|&c| c <= max));
+            }
+        }
+    }
+
+    /// Scale → descale round-trips within half a quantization step.
+    #[test]
+    fn scaler_round_trip_error_bounded(
+        values in prop::collection::vec(-1e4f64..1e4, 2..60),
+        digits in 2u32..5,
+    ) {
+        let scaler = FixedDigitScaler::fit(std::slice::from_ref(&values), digits, 0.1).unwrap();
+        let step = scaler.step(0).unwrap();
+        for &v in &values {
+            let code = scaler.scale_value(0, v).unwrap();
+            let back = scaler.descale_value(0, code).unwrap();
+            prop_assert!((back - v).abs() <= step / 2.0 + 1e-9);
+        }
+    }
+
+    /// A SAX cell representative always decodes back into its own cell,
+    /// for every alphabet size — otherwise symbol-space forecasts drift.
+    #[test]
+    fn sax_representative_stays_in_cell(a in 2usize..21) {
+        let breaks = breakpoints(a);
+        for i in 0..a {
+            let r = multicast_suite::sax::gaussian::cell_representative(i, a);
+            prop_assert_eq!(cell_of(r, &breaks), i);
+        }
+    }
+
+    /// SAX encode → decode stays within the (normalized) band implied by
+    /// the outermost breakpoints, scaled back to data units.
+    #[test]
+    fn sax_decode_is_bounded(
+        values in prop::collection::vec(-100f64..100.0, 8..80),
+        segment in 1usize..8,
+        a in 3usize..11,
+    ) {
+        let enc = SaxEncoder::new(SaxConfig {
+            segment_len: segment,
+            alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, a).unwrap(),
+        });
+        let e = enc.encode(&values);
+        let dec = enc.decode_expanded(&e.symbols, e.znorm, values.len());
+        prop_assert_eq!(dec.len(), values.len());
+        // All decoded values lie within the most extreme representatives.
+        let lo = multicast_suite::sax::gaussian::cell_representative(0, a);
+        let hi = multicast_suite::sax::gaussian::cell_representative(a - 1, a);
+        for &v in &dec {
+            let z = (v - e.znorm.mean) / e.znorm.std;
+            prop_assert!(z >= lo - 1e-9 && z <= hi + 1e-9, "z = {}", z);
+        }
+    }
+
+    /// The constrained sampler can only emit allowed tokens, whatever the
+    /// distribution looks like.
+    #[test]
+    fn sampler_respects_any_mask(
+        probs in prop::collection::vec(0f64..1.0, 4..12),
+        mask_bits in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        let n = probs.len();
+        // Ensure at least one allowed token.
+        let allowed: Vec<bool> =
+            (0..n).map(|i| mask_bits & (1 << (i % 16)) != 0 || i == (mask_bits as usize % n)).collect();
+        let mut sampler = Sampler::new(SamplerConfig { seed, ..SamplerConfig::default() });
+        for _ in 0..16 {
+            let t = sampler.sample(&probs, |id| allowed[id as usize]);
+            prop_assert!(allowed[t as usize]);
+        }
+    }
+
+    /// Differencing round-trips exactly through integration.
+    #[test]
+    fn difference_integrate_identity(
+        values in prop::collection::vec(-1e3f64..1e3, 4..50),
+        d in 1usize..3,
+    ) {
+        prop_assume!(values.len() > d + 1);
+        let (w, heads) = transform::difference(&values, d).unwrap();
+        let back = transform::undifference(&w, &heads);
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// The pointwise median of forecasts lies within the per-point min/max
+    /// envelope of the samples (aggregation can't extrapolate).
+    #[test]
+    fn median_within_sample_envelope(
+        base in prop::collection::vec(-50f64..50.0, 3..20),
+        jitters in prop::collection::vec(-5f64..5.0, 3..8),
+    ) {
+        let samples: Vec<Vec<Vec<f64>>> = jitters
+            .iter()
+            .map(|j| vec![base.iter().map(|v| v + j).collect::<Vec<f64>>()])
+            .collect();
+        let med = multicast_suite::core::pipeline::median_aggregate(&samples);
+        for (t, m) in med[0].iter().enumerate() {
+            let lo = samples.iter().map(|s| s[0][t]).fold(f64::MAX, f64::min);
+            let hi = samples.iter().map(|s| s[0][t]).fold(f64::MIN, f64::max);
+            prop_assert!(*m >= lo - 1e-12 && *m <= hi + 1e-12);
+        }
+    }
+}
+
+proptest! {
+    // Forecast-level properties are more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: a MultiCast forecast never leaves the scaler's
+    /// headroom-extended band, on arbitrary bounded inputs.
+    #[test]
+    fn forecast_respects_value_band(
+        raw in prop::collection::vec(-100f64..100.0, 30..60),
+        seed in 0u64..1000,
+    ) {
+        let shifted: Vec<f64> = raw.iter().map(|v| v + 200.0).collect();
+        let series = MultivariateSeries::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![raw.clone(), shifted],
+        )
+        .unwrap();
+        let cfg = ForecastConfig { samples: 1, seed, ..ForecastConfig::default() };
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+        let fc = f.forecast(&series, 5).unwrap();
+        for d in 0..2 {
+            let col = series.column(d).unwrap();
+            let (mn, mx) = col.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+            let range = (mx - mn).max(1e-9);
+            for &v in fc.column(d).unwrap() {
+                prop_assert!(v >= mn - 0.151 * range && v <= mx + 0.151 * range);
+            }
+        }
+    }
+}
