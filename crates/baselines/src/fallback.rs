@@ -1,0 +1,125 @@
+//! Graceful-degradation fallback forecaster.
+//!
+//! The LLM sampling pipeline can lose samples to defects (truncated
+//! continuations, garbage groups, panicking backends). When too few valid
+//! samples survive the retry budget, the serving path must still answer —
+//! with a cheap, deterministic classical forecast instead of a crash.
+//! [`FallbackForecaster`] is that answer: seasonal-naive with the period
+//! estimated from the autocorrelation function, degrading further to plain
+//! last-value naive when no seasonal structure is detectable.
+
+use mc_tslib::error::Result;
+use mc_tslib::forecast::UnivariateForecaster;
+use mc_tslib::stats::acf;
+
+use crate::naive::{NaiveForecaster, SeasonalNaiveForecaster};
+
+/// Seasonal-naive fallback with ACF-estimated period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackForecaster {
+    /// Longest seasonal period considered by the ACF scan.
+    pub max_period: usize,
+    /// Minimum autocorrelation a lag must reach to count as a season.
+    pub min_strength_milli: u32,
+}
+
+impl Default for FallbackForecaster {
+    fn default() -> Self {
+        // 0.3 autocorrelation floor: below that, repeating the "cycle"
+        // mostly replays noise and last-value naive is safer.
+        Self { max_period: 48, min_strength_milli: 300 }
+    }
+}
+
+impl FallbackForecaster {
+    /// Dominant seasonal period by autocorrelation peak (lag >= 2), or
+    /// `None` when the series is too short or no lag clears the strength
+    /// floor.
+    pub fn estimate_period(&self, train: &[f64]) -> Option<usize> {
+        if train.len() < 8 {
+            return None;
+        }
+        let max_lag = self.max_period.min(train.len() / 2);
+        if max_lag < 2 {
+            return None;
+        }
+        let rho = acf(train, max_lag).ok()?;
+        let floor = self.min_strength_milli as f64 / 1000.0;
+        let mut best: Option<usize> = None;
+        let mut best_rho = floor;
+        for (lag, &r) in rho.iter().enumerate().skip(2) {
+            if r > best_rho {
+                best = Some(lag);
+                best_rho = r;
+            }
+        }
+        best
+    }
+}
+
+impl UnivariateForecaster for FallbackForecaster {
+    fn name(&self) -> String {
+        "Fallback (seasonal-naive)".into()
+    }
+
+    fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        match self.estimate_period(train) {
+            Some(period) if period <= train.len() => {
+                SeasonalNaiveForecaster { period }.forecast_univariate(train, horizon)
+            }
+            _ => NaiveForecaster.forecast_univariate(train, horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, period: usize) -> Vec<f64> {
+        (0..n).map(|t| (t % period) as f64 + 10.0).collect()
+    }
+
+    #[test]
+    fn detects_clean_period_and_repeats_cycle() {
+        let train = seasonal(64, 8);
+        let f = FallbackForecaster::default();
+        assert_eq!(f.estimate_period(&train), Some(8));
+        let fc = FallbackForecaster::default().forecast_univariate(&train, 12).unwrap();
+        for (h, v) in fc.iter().enumerate() {
+            assert_eq!(*v, train[train.len() - 8 + (h % 8)], "step {h}");
+        }
+    }
+
+    #[test]
+    fn aperiodic_series_degrades_to_last_value() {
+        // A pure ramp has ACF decaying from lag 1 on; with the 0.3 floor it
+        // may still pick a lag, so use white-ish data with no structure.
+        let train: Vec<f64> =
+            (0..40).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 } * ((t * 7919 % 13) as f64)).collect();
+        let mut f = FallbackForecaster::default();
+        let fc = f.forecast_univariate(&train, 3).unwrap();
+        assert_eq!(fc.len(), 3);
+        assert!(fc.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn short_series_still_forecasts() {
+        let mut f = FallbackForecaster::default();
+        let fc = f.forecast_univariate(&[5.0, 6.0], 4).unwrap();
+        assert_eq!(fc, vec![6.0; 4]);
+        assert!(f.forecast_univariate(&[], 2).is_err());
+    }
+
+    #[test]
+    fn constant_series_is_safe() {
+        let mut f = FallbackForecaster::default();
+        let fc = f.forecast_univariate(&[3.0; 30], 5).unwrap();
+        assert_eq!(fc, vec![3.0; 5]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FallbackForecaster::default().name(), "Fallback (seasonal-naive)");
+    }
+}

@@ -12,6 +12,9 @@
 //!   0.2, 30 epochs, Adam, squared-error loss;
 //! - [`naive`] — naive / seasonal-naive / drift reference methods used by
 //!   tests and the ablation harness;
+//! - [`fallback`] — the graceful-degradation forecaster the LLM sampling
+//!   pipeline falls back to when too few valid samples survive (seasonal-
+//!   naive with ACF-estimated period, then last-value naive);
 //! - [`var`] — VAR(p), the classical *multivariate* comparator (extended
 //!   comparison grid);
 //! - [`expsmooth`] — SES / Holt / additive Holt–Winters;
@@ -23,6 +26,7 @@
 
 pub mod arima;
 pub mod expsmooth;
+pub mod fallback;
 pub mod kalman;
 pub mod linalg;
 pub mod lstm;
@@ -32,6 +36,7 @@ pub mod var;
 pub mod nn;
 
 pub use arima::{auto_arima, ArimaConfig, ArimaForecaster, ArimaModel};
+pub use fallback::FallbackForecaster;
 pub use lstm::{LstmConfig, LstmForecaster};
 pub use expsmooth::{Holt, HoltWinters, Ses};
 pub use kalman::{kalman_filter, KalmanConfig, KalmanForecaster};

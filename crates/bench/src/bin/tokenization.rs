@@ -116,7 +116,7 @@ fn run_variant(
         decoded_samples.push(cols);
         total_tokens += model.cost().total_tokens();
     }
-    let median = median_aggregate(&decoded_samples);
+    let median = median_aggregate(&decoded_samples).expect("uniform sample shapes");
     let rmses: Vec<f64> = (0..dims)
         .map(|d| rmse(test.column(d).unwrap(), &median[d]).unwrap())
         .collect();

@@ -12,6 +12,8 @@
 use mc_lm::presets::ModelPreset;
 use mc_lm::sampler::SamplerConfig;
 
+use crate::robust::RobustPolicy;
+
 /// Configuration shared by all LLM-based forecasters in this crate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastConfig {
@@ -30,6 +32,9 @@ pub struct ForecastConfig {
     pub sampler: SamplerConfig,
     /// Base seed for the whole forecast (sample `i` uses `seed + i`).
     pub seed: u64,
+    /// Retry / quorum / fallback policy for defective samples
+    /// (see [`crate::robust`]).
+    pub robust: RobustPolicy,
 }
 
 impl Default for ForecastConfig {
@@ -41,6 +46,7 @@ impl Default for ForecastConfig {
             preset: ModelPreset::Large,
             sampler: SamplerConfig {  temperature: 0.7, top_k: None, top_p: Some(0.95), seed: 0, epsilon: 0.0 },
             seed: 0,
+            robust: RobustPolicy::default(),
         }
     }
 }
@@ -70,6 +76,7 @@ mod tests {
         assert_eq!(c.samples, 5);
         assert_eq!(c.preset, ModelPreset::Large);
         assert_eq!(c.digits, 3);
+        assert_eq!(c.robust, RobustPolicy::default());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! uncertainty for free (no extra model calls — the samples were already
 //! drawn for the median).
 
-use mc_tslib::error::{invalid_param, Result};
+use mc_tslib::error::{invalid_param, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
 
 use crate::config::ForecastConfig;
@@ -61,11 +61,30 @@ impl ForecastBands {
 
 /// Pointwise quantile across samples (`samples[s][d][t]`), linear
 /// interpolation.
-pub fn quantile_aggregate(samples: &[Vec<Vec<f64>>], q: f64) -> Vec<Vec<f64>> {
-    assert!(!samples.is_empty(), "quantile of zero samples");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+///
+/// # Errors
+/// [`TsError::Empty`] with zero samples; [`TsError::InvalidParameter`]
+/// for a quantile outside `[0, 1]`; [`TsError::RaggedRows`] /
+/// [`TsError::LengthMismatch`] when samples disagree in shape.
+pub fn quantile_aggregate(samples: &[Vec<Vec<f64>>], q: f64) -> Result<Vec<Vec<f64>>> {
+    if samples.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(invalid_param("q", format!("quantile {q} not in [0, 1]")));
+    }
     let dims = samples[0].len();
     let horizon = samples[0].first().map_or(0, Vec::len);
+    for (s, sample) in samples.iter().enumerate() {
+        if sample.len() != dims {
+            return Err(TsError::RaggedRows { row: s, expected: dims, actual: sample.len() });
+        }
+        for col in sample {
+            if col.len() != horizon {
+                return Err(TsError::LengthMismatch { expected: horizon, actual: col.len() });
+            }
+        }
+    }
     let mut out = vec![vec![0.0; horizon]; dims];
     let mut buf = Vec::with_capacity(samples.len());
     for d in 0..dims {
@@ -79,7 +98,7 @@ pub fn quantile_aggregate(samples: &[Vec<Vec<f64>>], q: f64) -> Vec<Vec<f64>> {
             out[d][t] = buf[lo] + (buf[hi] - buf[lo]) * (pos - lo as f64);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Runs the MultiCast pipeline and returns quantile bands.
@@ -122,12 +141,12 @@ pub fn forecast_with_bands(
     };
     let scaler_ref = &scaler;
     let mux_ref = &*mux;
-    let decode = move |text: &str| -> Vec<Vec<f64>> {
+    let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
         mux_ref
             .demux(text, dims, config.digits, horizon)
             .iter()
             .enumerate()
-            .map(|(d, col)| scaler_ref.descale_column(d, col).expect("dim in range"))
+            .map(|(d, col)| scaler_ref.descale_column(d, col))
             .collect()
     };
     // Band estimation needs *distributional* samples: nucleus truncation
@@ -146,13 +165,13 @@ pub fn forecast_with_bands(
         s.epsilon = 0.03;
         s
     };
-    let (decoded, _cost) = run_samples(&spec, config.samples.max(2), band_sampler, decode);
+    let (decoded, _cost) = run_samples(&spec, config.samples.max(2), band_sampler, decode)?;
     let alpha = (1.0 - coverage) / 2.0;
     Ok(ForecastBands {
         names: train.names().to_vec(),
-        lower: quantile_aggregate(&decoded, alpha),
-        median: quantile_aggregate(&decoded, 0.5),
-        upper: quantile_aggregate(&decoded, 1.0 - alpha),
+        lower: quantile_aggregate(&decoded, alpha)?,
+        median: quantile_aggregate(&decoded, 0.5)?,
+        upper: quantile_aggregate(&decoded, 1.0 - alpha)?,
         nominal_coverage: coverage,
     })
 }
@@ -183,13 +202,25 @@ mod tests {
     fn quantile_aggregate_orders_bands() {
         let samples: Vec<Vec<Vec<f64>>> =
             (0..9).map(|s| vec![vec![s as f64; 4]]).collect();
-        let q10 = quantile_aggregate(&samples, 0.1);
-        let q50 = quantile_aggregate(&samples, 0.5);
-        let q90 = quantile_aggregate(&samples, 0.9);
+        let q10 = quantile_aggregate(&samples, 0.1).unwrap();
+        let q50 = quantile_aggregate(&samples, 0.5).unwrap();
+        let q90 = quantile_aggregate(&samples, 0.9).unwrap();
         for t in 0..4 {
             assert!(q10[0][t] <= q50[0][t] && q50[0][t] <= q90[0][t]);
         }
         assert_eq!(q50[0][0], 4.0);
+    }
+
+    #[test]
+    fn quantile_aggregate_rejects_bad_inputs() {
+        assert_eq!(quantile_aggregate(&[], 0.5), Err(TsError::Empty));
+        let samples = vec![vec![vec![1.0]]];
+        assert!(matches!(
+            quantile_aggregate(&samples, 1.5),
+            Err(TsError::InvalidParameter { name: "q", .. })
+        ));
+        let ragged = vec![vec![vec![1.0]], vec![vec![1.0], vec![2.0]]];
+        assert!(matches!(quantile_aggregate(&ragged, 0.5), Err(TsError::RaggedRows { .. })));
     }
 
     #[test]

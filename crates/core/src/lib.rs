@@ -16,7 +16,11 @@
 //!    and [`SaxMultiCastForecaster`] (the SAX-quantized variant of §III-B
 //!    driving Tables VIII–IX);
 //! 5. **Configuration** ([`config`]) — Table II's parameter space with the
-//!    paper's bold defaults.
+//!    paper's bold defaults;
+//! 6. **Fault tolerance** ([`robust`]) — per-sample validation against a
+//!    defect taxonomy, bounded retry-with-reseed, panic isolation, a
+//!    quorum policy with graceful fallback to a classical forecaster, and
+//!    a per-forecast [`ForecastReport`] accounting for every defect.
 //!
 //! ```
 //! use mc_datasets::gas_rate;
@@ -37,6 +41,7 @@ pub mod llmtime;
 pub mod multicast;
 pub mod mux;
 pub mod pipeline;
+pub mod robust;
 pub mod sax_pipeline;
 pub mod scaling;
 pub mod streaming;
@@ -46,6 +51,10 @@ pub use intervals::{bands_for, forecast_with_bands, ForecastBands};
 pub use llmtime::LlmTimeForecaster;
 pub use multicast::MultiCastForecaster;
 pub use mux::{DigitInterleave, Multiplexer, MuxMethod, ValueConcat, ValueInterleave};
+pub use robust::{
+    DefectClass, FallbackPolicy, FaultSpec, ForecastOutcome, ForecastReport, RobustPolicy,
+    SampleDefect, SampleSource,
+};
 pub use sax_pipeline::{SaxForecastConfig, SaxMultiCastForecaster};
 pub use scaling::FixedDigitScaler;
 pub use streaming::StreamingMultiCast;

@@ -7,7 +7,8 @@
 //! accuracy difference between the two isolates the effect of dimensional
 //! multiplexing, exactly the comparison Tables IV–VI make.
 
-use mc_tslib::error::Result;
+use mc_baselines::fallback::FallbackForecaster;
+use mc_tslib::error::{Result, TsError};
 use mc_tslib::forecast::{MultivariateForecaster, UnivariateForecaster};
 use mc_tslib::series::MultivariateSeries;
 
@@ -16,7 +17,11 @@ use mc_lm::vocab::Vocab;
 
 use crate::config::ForecastConfig;
 use crate::mux::{Multiplexer, ValueInterleave};
-use crate::pipeline::{median_aggregate, run_samples, ContinuationSpec};
+use crate::pipeline::{median_aggregate, ContinuationSpec};
+use crate::robust::{
+    run_samples_robust, FallbackPolicy, ForecastOutcome, ForecastReport, SampleExpectations,
+    SampleSource,
+};
 use crate::scaling::FixedDigitScaler;
 
 /// Zero-shot univariate LLM forecaster, applied per dimension.
@@ -27,15 +32,37 @@ pub struct LlmTimeForecaster {
     /// Cost of the most recent forecast call (summed over dimensions and
     /// samples).
     pub last_cost: Option<InferenceCost>,
+    /// Where continuations come from (real backend or fault-injected).
+    pub source: SampleSource,
+    /// Sampling-health report of the most recent forecast call, merged
+    /// over every dimension the call touched.
+    pub last_report: Option<ForecastReport>,
 }
 
 impl LlmTimeForecaster {
     /// Creates the baseline forecaster.
     pub fn new(config: ForecastConfig) -> Self {
-        Self { config, last_cost: None }
+        Self { config, last_cost: None, source: SampleSource::Model, last_report: None }
     }
 
-    fn forecast_column(&self, column: &[f64], horizon: usize) -> Result<(Vec<f64>, InferenceCost)> {
+    /// Same forecaster with a different continuation source.
+    pub fn with_source(mut self, source: SampleSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    fn merge_report(&mut self, report: ForecastReport) {
+        match self.last_report.as_mut() {
+            Some(existing) => existing.merge(report),
+            None => self.last_report = Some(report),
+        }
+    }
+
+    fn forecast_column(
+        &self,
+        column: &[f64],
+        horizon: usize,
+    ) -> Result<(Vec<f64>, InferenceCost, ForecastReport)> {
         let cfg = self.config;
         let scaler = FixedDigitScaler::fit(&[column.to_vec()], cfg.digits, cfg.headroom)?;
         let codes = scaler.scale_column(0, column)?;
@@ -53,14 +80,45 @@ impl LlmTimeForecaster {
             max_tokens: cfg.max_tokens(separators, cfg.digits as usize),
         };
         let scaler_ref = &scaler;
-        let decode = move |text: &str| -> Vec<Vec<f64>> {
+        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
             let codes = mux.demux(text, 1, cfg.digits, horizon);
-            vec![scaler_ref.descale_column(0, &codes[0]).expect("dimension 0 exists")]
+            Ok(vec![scaler_ref.descale_column(0, &codes[0])?])
         };
-        let (decoded, cost) =
-            run_samples(&spec, cfg.samples.max(1), |i| cfg.sampler_for(i), decode);
-        let median = median_aggregate(&decoded);
-        Ok((median.into_iter().next().expect("one dimension"), cost))
+        let expect = SampleExpectations {
+            separators,
+            group_width: cfg.digits as usize,
+            alphabet: "0123456789".into(),
+            numeric: true,
+            dims: 1,
+            horizon,
+        };
+        let run = run_samples_robust(
+            &spec,
+            cfg.samples.max(1),
+            cfg.robust,
+            self.source,
+            &expect,
+            |i| cfg.sampler_for(i),
+            decode,
+        )?;
+        let forecast = if run.quorum_met {
+            let median = median_aggregate(&run.samples)?;
+            median.into_iter().next().ok_or(TsError::Empty)?
+        } else {
+            match cfg.robust.fallback {
+                FallbackPolicy::Error => {
+                    let (valid, required) = match run.report.outcome {
+                        ForecastOutcome::Degraded { valid, required } => (valid, required),
+                        ForecastOutcome::Sampled => (run.report.valid_samples, 1),
+                    };
+                    return Err(TsError::SampleQuorum { valid, required });
+                }
+                FallbackPolicy::SeasonalNaive => {
+                    FallbackForecaster::default().forecast_univariate(column, horizon)?
+                }
+            }
+        };
+        Ok((forecast, run.cost, run.report))
     }
 }
 
@@ -70,10 +128,11 @@ impl UnivariateForecaster for LlmTimeForecaster {
     }
 
     fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
-        let (fc, cost) = self.forecast_column(train, horizon)?;
+        let (fc, cost, report) = self.forecast_column(train, horizon)?;
         let mut total = self.last_cost.take().unwrap_or_default();
         total.absorb(cost);
         self.last_cost = Some(total);
+        self.merge_report(report);
         Ok(fc)
     }
 }
@@ -85,11 +144,13 @@ impl MultivariateForecaster for LlmTimeForecaster {
 
     fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
         self.last_cost = None;
+        self.last_report = None;
         let mut columns = Vec::with_capacity(train.dims());
         let mut total = InferenceCost::default();
         for d in 0..train.dims() {
-            let (fc, cost) = self.forecast_column(train.column(d)?, horizon)?;
+            let (fc, cost, report) = self.forecast_column(train.column(d)?, horizon)?;
             total.absorb(cost);
+            self.merge_report(report);
             columns.push(fc);
         }
         self.last_cost = Some(total);
@@ -119,6 +180,9 @@ mod tests {
         assert_eq!(fc.dims(), 2);
         assert_eq!(fc.len(), 6);
         assert!(f.last_cost.unwrap().generated_tokens > 0);
+        let report = f.last_report.as_ref().unwrap();
+        assert_eq!(report.requested_samples, 4, "2 samples x 2 dimensions merged");
+        assert!(!report.degraded());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! the digit/comma output constraint. Each of the `S` continuations is
 //! demultiplexed and descaled independently; the reported forecast is the
 //! pointwise median.
+//!
+//! Sampling runs through the fault-tolerant layer ([`crate::robust`]):
+//! defective continuations are retried under fresh seeds, a failed quorum
+//! degrades to the seasonal-naive fallback per the configured
+//! [`crate::robust::FallbackPolicy`], and every call records a
+//! [`ForecastReport`] in `last_report`.
 
 use mc_tslib::error::Result;
 use mc_tslib::forecast::MultivariateForecaster;
@@ -16,7 +22,10 @@ use mc_lm::vocab::Vocab;
 
 use crate::config::ForecastConfig;
 use crate::mux::MuxMethod;
-use crate::pipeline::{median_aggregate, run_samples, ContinuationSpec};
+use crate::pipeline::{median_aggregate, ContinuationSpec};
+use crate::robust::{
+    resolve_quorum_failure, run_samples_robust, ForecastReport, SampleExpectations, SampleSource,
+};
 use crate::scaling::FixedDigitScaler;
 
 /// Zero-shot multivariate forecaster with dimensional multiplexing.
@@ -29,12 +38,24 @@ pub struct MultiCastForecaster {
     /// Cost counters of the most recent `forecast` call (all samples
     /// summed); `None` before the first call.
     pub last_cost: Option<InferenceCost>,
+    /// Where continuations come from (real backend, or fault-injected for
+    /// chaos drills and the fault-injection benchmark).
+    pub source: SampleSource,
+    /// Sampling-health report of the most recent `forecast` call; `None`
+    /// before the first call.
+    pub last_report: Option<ForecastReport>,
 }
 
 impl MultiCastForecaster {
     /// Creates a forecaster.
     pub fn new(method: MuxMethod, config: ForecastConfig) -> Self {
-        Self { method, config, last_cost: None }
+        Self { method, config, last_cost: None, source: SampleSource::Model, last_report: None }
+    }
+
+    /// Same forecaster with a different continuation source.
+    pub fn with_source(mut self, source: SampleSource) -> Self {
+        self.source = source;
+        self
     }
 }
 
@@ -68,21 +89,40 @@ impl MultivariateForecaster for MultiCastForecaster {
         };
         let scaler_ref = &scaler;
         let mux_ref = &*mux;
-        let decode = move |text: &str| -> Vec<Vec<f64>> {
+        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
             let codes = mux_ref.demux(text, dims, cfg.digits, horizon);
             codes
                 .iter()
                 .enumerate()
-                .map(|(d, col)| {
-                    scaler_ref.descale_column(d, col).expect("dimension index in range")
-                })
+                .map(|(d, col)| scaler_ref.descale_column(d, col))
                 .collect()
         };
-        let (decoded, cost) =
-            run_samples(&spec, cfg.samples.max(1), |i| cfg.sampler_for(i), decode);
-        self.last_cost = Some(cost);
-        let columns = median_aggregate(&decoded);
-        MultivariateSeries::from_columns(train.names().to_vec(), columns)
+        let expect = SampleExpectations {
+            separators,
+            group_width: payload,
+            alphabet: "0123456789".into(),
+            numeric: true,
+            dims,
+            horizon,
+        };
+        let run = run_samples_robust(
+            &spec,
+            cfg.samples.max(1),
+            cfg.robust,
+            self.source,
+            &expect,
+            |i| cfg.sampler_for(i),
+            decode,
+        )?;
+        self.last_cost = Some(run.cost);
+        let result = if run.quorum_met {
+            let columns = median_aggregate(&run.samples)?;
+            MultivariateSeries::from_columns(train.names().to_vec(), columns)
+        } else {
+            resolve_quorum_failure(cfg.robust, &run.report, train, horizon)
+        };
+        self.last_report = Some(run.report);
+        result
     }
 }
 
@@ -115,6 +155,9 @@ mod tests {
             assert_eq!(fc.dims(), 2);
             assert_eq!(fc.names(), train.names());
             assert!(f.last_cost.unwrap().generated_tokens > 0);
+            let report = f.last_report.as_ref().unwrap();
+            assert!(!report.degraded(), "healthy backend must not degrade: {}", report.summary());
+            assert_eq!(report.valid_samples, 2);
         }
     }
 

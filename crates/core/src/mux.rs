@@ -15,8 +15,11 @@
 //!
 //! Demultiplexing is exact on well-formed streams (property-tested) and
 //! *lenient* on malformed ones: an LLM continuation with a wrong group
-//! width is repaired (left-pad/truncate) rather than rejected, because a
-//! sampling pipeline must never abort on one bad sample.
+//! width is repaired (left-pad/truncate), and a garbage group (non-digit
+//! characters) is filled with each dimension's last valid code — never
+//! silently parsed as zero — because a sampling pipeline must never abort
+//! on one bad sample. The [`crate::robust`] layer reports these repairs
+//! as [`crate::robust::SampleDefect`]s and decides whether to retry.
 
 use crate::scaling::format_code;
 
@@ -87,18 +90,31 @@ pub trait Multiplexer: Send + Sync {
 }
 
 /// Repairs a digit group to exactly `want` characters: truncates extras,
-/// left-pads shortfalls with `'0'`.
-fn normalize_group(group: &str, want: usize) -> String {
-    let digits: String = group.chars().filter(|c| c.is_ascii_digit()).collect();
-    match digits.len().cmp(&want) {
-        std::cmp::Ordering::Equal => digits,
-        std::cmp::Ordering::Greater => digits[..want].to_string(),
-        std::cmp::Ordering::Less => format!("{digits:0>want$}"),
+/// left-pads shortfalls with `'0'`. Returns `None` for a garbage group
+/// (any non-digit character): garbage is not silently coerced to zeros —
+/// the caller fills the timestamp with the last valid code instead, the
+/// same convention [`pad_to_horizon`] uses for missing tail timestamps.
+fn normalize_group(group: &str, want: usize) -> Option<String> {
+    if group.chars().any(|c| !c.is_ascii_digit()) {
+        return None;
     }
+    Some(match group.len().cmp(&want) {
+        std::cmp::Ordering::Equal => group.to_string(),
+        std::cmp::Ordering::Greater => group[..want].to_string(),
+        std::cmp::Ordering::Less => format!("{group:0>want$}"),
+    })
 }
 
-fn parse_code(digits: &str) -> u64 {
-    digits.parse().unwrap_or(0)
+/// The fill code for a dimension: its last parsed code, or the mid-range
+/// code when nothing has parsed yet.
+fn last_or_mid(col: &[u64], digits: u32) -> u64 {
+    col.last().copied().unwrap_or((10u64.pow(digits) - 1) / 2)
+}
+
+/// Parses one dimension's digit run, falling back to the fill code if the
+/// run does not fit a `u64` (defensive — widths are capped at 9 digits).
+fn parse_code(run: &str, col: &[u64], digits: u32) -> u64 {
+    run.parse().unwrap_or_else(|_| last_or_mid(col, digits))
 }
 
 /// Splits a stream into non-empty comma-separated groups.
@@ -151,11 +167,21 @@ impl Multiplexer for DigitInterleave {
         let b = digits as usize;
         let mut out = vec![Vec::with_capacity(horizon); dims];
         for group in groups(text).take(horizon) {
-            let g = normalize_group(group, dims * b);
-            let bytes = g.as_bytes();
-            for (i, col) in out.iter_mut().enumerate() {
-                let val: String = (0..b).map(|j| bytes[j * dims + i] as char).collect();
-                col.push(parse_code(&val));
+            match normalize_group(group, dims * b) {
+                Some(g) => {
+                    let bytes = g.as_bytes();
+                    for (i, col) in out.iter_mut().enumerate() {
+                        let val: String = (0..b).map(|j| bytes[j * dims + i] as char).collect();
+                        let code = parse_code(&val, col, digits);
+                        col.push(code);
+                    }
+                }
+                None => {
+                    for col in out.iter_mut() {
+                        let fill = last_or_mid(col, digits);
+                        col.push(fill);
+                    }
+                }
             }
         }
         pad_to_horizon(&mut out, horizon, digits);
@@ -194,9 +220,19 @@ impl Multiplexer for ValueInterleave {
         let b = digits as usize;
         let mut out = vec![Vec::with_capacity(horizon); dims];
         for group in groups(text).take(horizon) {
-            let g = normalize_group(group, dims * b);
-            for (i, col) in out.iter_mut().enumerate() {
-                col.push(parse_code(&g[i * b..(i + 1) * b]));
+            match normalize_group(group, dims * b) {
+                Some(g) => {
+                    for (i, col) in out.iter_mut().enumerate() {
+                        let code = parse_code(&g[i * b..(i + 1) * b], col, digits);
+                        col.push(code);
+                    }
+                }
+                None => {
+                    for col in out.iter_mut() {
+                        let fill = last_or_mid(col, digits);
+                        col.push(fill);
+                    }
+                }
             }
         }
         pad_to_horizon(&mut out, horizon, digits);
@@ -239,8 +275,11 @@ impl Multiplexer for ValueConcat {
             if out[dim].len() >= horizon {
                 break;
             }
-            let g = normalize_group(group, b);
-            out[dim].push(parse_code(&g));
+            let code = match normalize_group(group, b) {
+                Some(g) => parse_code(&g, &out[dim], digits),
+                None => last_or_mid(&out[dim], digits),
+            };
+            out[dim].push(code);
             dim = (dim + 1) % dims;
         }
         pad_to_horizon(&mut out, horizon, digits);
@@ -330,6 +369,28 @@ mod tests {
         let back = DigitInterleave.demux("1273,", 2, 2, 3);
         assert_eq!(back[0], vec![17, 17, 17]);
         assert_eq!(back[1], vec![23, 23, 23]);
+    }
+
+    #[test]
+    fn garbage_group_repeats_last_valid_code() {
+        // Second group is garbage: each dimension repeats its last code
+        // instead of silently becoming 0.
+        let back = ValueInterleave.demux("1723,x?zz,2631,", 2, 2, 3);
+        assert_eq!(back[0], vec![17, 17, 26]);
+        assert_eq!(back[1], vec![23, 23, 31]);
+        let back = ValueConcat.demux("17,??,26,31,", 2, 2, 2);
+        assert_eq!(back[0], vec![17, 26]);
+        assert_eq!(back[1], vec![49, 31], "dim 1 had no valid code yet, so mid-range fills");
+        let back = DigitInterleave.demux("1273,!!,", 2, 2, 2);
+        assert_eq!(back[0], vec![17, 17]);
+        assert_eq!(back[1], vec![23, 23]);
+    }
+
+    #[test]
+    fn leading_garbage_group_fills_midrange() {
+        let back = ValueInterleave.demux("????,1723,", 2, 2, 2);
+        assert_eq!(back[0], vec![49, 17]);
+        assert_eq!(back[1], vec![49, 23]);
     }
 
     #[test]

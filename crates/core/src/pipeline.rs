@@ -7,6 +7,8 @@
 //! sample gets its own backend instance and a deterministic seed, so
 //! parallelism never changes results.
 
+use mc_tslib::error::{pipeline_error, Result, TsError};
+
 use mc_lm::cost::InferenceCost;
 use mc_lm::generate::{generate, GenerateOptions};
 use mc_lm::model::observe_all;
@@ -35,15 +37,23 @@ pub struct ContinuationSpec {
 
 /// Runs one constrained continuation; returns the generated text and the
 /// backend's cost counters.
+///
+/// # Errors
+/// [`TsError::Pipeline`] when the prompt is not encodable by the chosen
+/// vocabulary, the vocabulary lacks the separator, or the backend emits an
+/// out-of-vocabulary token — all infrastructure bugs, not sample defects.
 pub fn run_continuation(
     spec: &ContinuationSpec,
     sampler_config: SamplerConfig,
-) -> (String, InferenceCost) {
+) -> Result<(String, InferenceCost)> {
     let tokenizer = CharTokenizer::new(spec.vocab.clone());
     let prompt_tokens = tokenizer
         .encode(&spec.prompt)
-        .expect("prompt must be encodable by the chosen vocabulary");
-    let sep = spec.vocab.id(',').expect("vocabulary must contain the separator");
+        .map_err(|e| pipeline_error("encode-prompt", e.to_string()))?;
+    let sep = spec
+        .vocab
+        .id(',')
+        .ok_or_else(|| pipeline_error("separator", "vocabulary lacks the ',' separator"))?;
     let allowed: Vec<bool> = {
         let mut mask = vec![false; spec.vocab.len()];
         for id in spec.vocab.ids_of(&spec.allowed_chars) {
@@ -61,60 +71,95 @@ pub fn run_continuation(
         |t: TokenId| allowed[t as usize],
         &options,
     );
-    let text = tokenizer.decode(&out).expect("generated tokens are in-vocabulary");
-    (text, model.cost())
+    let text = tokenizer
+        .decode(&out)
+        .map_err(|e| pipeline_error("decode-continuation", e.to_string()))?;
+    Ok((text, model.cost()))
 }
 
 /// Runs `samples` continuations (scoped threads, deterministic seeds) and
 /// decodes each with `decode`; returns the per-sample decodings
 /// (`sample → dimension → horizon`) and the summed cost.
+///
+/// A panicking sample thread is isolated by `catch_unwind` and surfaced as
+/// a [`TsError::Pipeline`] error rather than aborting the process. For
+/// per-sample retry, quorum and fallback semantics use
+/// [`crate::robust::run_samples_robust`], which builds on this primitive's
+/// seeding scheme.
+///
+/// # Errors
+/// The first error among: an invalid `samples` count, a failed
+/// continuation ([`run_continuation`]), a failed decode, or a panicked
+/// sample thread.
 pub fn run_samples<D>(
     spec: &ContinuationSpec,
     samples: usize,
     sampler_for: impl Fn(usize) -> SamplerConfig + Sync,
     decode: D,
-) -> (Vec<Vec<Vec<f64>>>, InferenceCost)
+) -> Result<(Vec<Vec<Vec<f64>>>, InferenceCost)>
 where
-    D: Fn(&str) -> Vec<Vec<f64>> + Sync,
+    D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
-    assert!(samples > 0, "at least one sample required");
-    let mut per_sample: Vec<Option<(Vec<Vec<f64>>, InferenceCost)>> = vec![None; samples];
+    if samples == 0 {
+        return Err(mc_tslib::error::invalid_param("samples", "at least one sample required"));
+    }
+    type SampleSlot = Option<std::thread::Result<Result<(Vec<Vec<f64>>, InferenceCost)>>>;
+    let mut per_sample: Vec<SampleSlot> = Vec::new();
+    per_sample.resize_with(samples, || None);
     std::thread::scope(|scope| {
         for (i, slot) in per_sample.iter_mut().enumerate() {
             let spec = &*spec;
             let sampler_for = &sampler_for;
             let decode = &decode;
             scope.spawn(move || {
-                let (text, cost) = run_continuation(spec, sampler_for(i));
-                *slot = Some((decode(&text), cost));
+                *slot = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let (text, cost) = run_continuation(spec, sampler_for(i))?;
+                    Ok((decode(&text)?, cost))
+                })));
             });
         }
     });
     let mut decoded = Vec::with_capacity(samples);
     let mut total = InferenceCost::default();
-    for slot in per_sample {
-        let (d, cost) = slot.expect("sample thread completed");
+    for (i, slot) in per_sample.into_iter().enumerate() {
+        let outcome = slot
+            .ok_or_else(|| pipeline_error("sample-thread", format!("sample {i} never ran")))?;
+        let (d, cost) = outcome
+            .map_err(|_| pipeline_error("sample-thread", format!("sample {i} panicked")))??;
         decoded.push(d);
         total.absorb(cost);
     }
-    (decoded, total)
+    Ok((decoded, total))
 }
 
 /// Pointwise median across samples: `samples[s][d][t]` → `out[d][t]`.
 ///
-/// # Panics
-/// If samples disagree in shape or are empty.
-pub fn median_aggregate(samples: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
-    assert!(!samples.is_empty(), "median of zero samples");
+/// # Errors
+/// [`TsError::Empty`] with zero samples; [`TsError::RaggedRows`] when a
+/// sample's dimension count disagrees with the first sample's;
+/// [`TsError::LengthMismatch`] when any column's length disagrees.
+pub fn median_aggregate(samples: &[Vec<Vec<f64>>]) -> Result<Vec<Vec<f64>>> {
+    if samples.is_empty() {
+        return Err(TsError::Empty);
+    }
     let dims = samples[0].len();
     let horizon = samples[0].first().map_or(0, Vec::len);
+    for (s, sample) in samples.iter().enumerate() {
+        if sample.len() != dims {
+            return Err(TsError::RaggedRows { row: s, expected: dims, actual: sample.len() });
+        }
+        for col in sample {
+            if col.len() != horizon {
+                return Err(TsError::LengthMismatch { expected: horizon, actual: col.len() });
+            }
+        }
+    }
     let mut out = vec![vec![0.0; horizon]; dims];
     let mut buf = Vec::with_capacity(samples.len());
     for d in 0..dims {
         for t in 0..horizon {
             buf.clear();
             for s in samples {
-                assert_eq!(s.len(), dims, "sample dimension mismatch");
                 buf.push(s[d][t]);
             }
             buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -126,7 +171,7 @@ pub fn median_aggregate(samples: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
             };
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -148,7 +193,7 @@ mod tests {
     fn continuation_respects_constraint_and_stop() {
         let s = spec("123,123,123,123,123,123,123,123,", 3);
         let cfg = SamplerConfig { temperature: 0.2, seed: 1, ..Default::default() };
-        let (text, cost) = run_continuation(&s, cfg);
+        let (text, cost) = run_continuation(&s, cfg).unwrap();
         assert!(text.chars().all(|c| c.is_ascii_digit() || c == ','), "{text}");
         assert_eq!(text.matches(',').count(), 3);
         assert!(cost.prompt_tokens > 0 && cost.generated_tokens > 0);
@@ -160,23 +205,50 @@ mod tests {
         // temperature by the in-context backend.
         let s = spec(&"042,".repeat(40), 4);
         let cfg = SamplerConfig {  temperature: 0.05, top_k: None, top_p: None, seed: 2, epsilon: 0.0 };
-        let (text, _) = run_continuation(&s, cfg);
+        let (text, _) = run_continuation(&s, cfg).unwrap();
         assert_eq!(text, "042,042,042,042,", "got {text}");
     }
 
     #[test]
     fn run_samples_is_deterministic_and_parallel_safe() {
         let s = spec(&"017,023,".repeat(20), 2);
-        let decode = |text: &str| -> Vec<Vec<f64>> {
-            vec![text.split(',').filter(|g| !g.is_empty()).map(|g| g.len() as f64).collect()]
+        let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+            Ok(vec![text.split(',').filter(|g| !g.is_empty()).map(|g| g.len() as f64).collect()])
         };
         let sampler_for =
             |i: usize| SamplerConfig { seed: 10 + i as u64, ..SamplerConfig::default() };
-        let (a, cost_a) = run_samples(&s, 4, sampler_for, decode);
-        let (b, cost_b) = run_samples(&s, 4, sampler_for, decode);
+        let (a, cost_a) = run_samples(&s, 4, sampler_for, decode).unwrap();
+        let (b, cost_b) = run_samples(&s, 4, sampler_for, decode).unwrap();
         assert_eq!(a, b, "parallel sampling must be deterministic");
         assert_eq!(cost_a, cost_b);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn run_samples_isolates_panicking_decode() {
+        let s = spec(&"042,".repeat(30), 2);
+        let out = run_samples(
+            &s,
+            2,
+            |i| SamplerConfig { seed: i as u64, ..SamplerConfig::default() },
+            |_: &str| -> Result<Vec<Vec<f64>>> { panic!("decoder bug") },
+        );
+        assert!(
+            matches!(out, Err(TsError::Pipeline { stage: "sample-thread", .. })),
+            "panic must surface as a typed error: {out:?}"
+        );
+    }
+
+    #[test]
+    fn run_samples_rejects_zero_samples() {
+        let s = spec("1,", 1);
+        let out = run_samples(
+            &s,
+            0,
+            |_| SamplerConfig::default(),
+            |_: &str| Ok(vec![vec![0.0]]),
+        );
+        assert!(matches!(out, Err(TsError::InvalidParameter { name: "samples", .. })));
     }
 
     #[test]
@@ -186,9 +258,9 @@ mod tests {
             vec![vec![3.0, 30.0]],
             vec![vec![2.0, 20.0]],
         ];
-        assert_eq!(median_aggregate(&samples), vec![vec![2.0, 20.0]]);
+        assert_eq!(median_aggregate(&samples).unwrap(), vec![vec![2.0, 20.0]]);
         let even = vec![vec![vec![1.0]], vec![vec![2.0]], vec![vec![3.0]], vec![vec![10.0]]];
-        assert_eq!(median_aggregate(&even), vec![vec![2.5]]);
+        assert_eq!(median_aggregate(&even).unwrap(), vec![vec![2.5]]);
     }
 
     #[test]
@@ -200,13 +272,28 @@ mod tests {
             vec![vec![999.0]], // degenerate continuation
             vec![vec![5.05]],
         ];
-        let m = median_aggregate(&samples);
+        let m = median_aggregate(&samples).unwrap();
         assert!((m[0][0] - 5.05).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "zero samples")]
     fn median_requires_samples() {
-        median_aggregate(&[]);
+        assert_eq!(median_aggregate(&[]), Err(TsError::Empty));
+    }
+
+    #[test]
+    fn median_rejects_malformed_shapes() {
+        // Second sample has 1 dimension where the first has 2.
+        let ragged = vec![vec![vec![1.0], vec![2.0]], vec![vec![3.0]]];
+        assert_eq!(
+            median_aggregate(&ragged),
+            Err(TsError::RaggedRows { row: 1, expected: 2, actual: 1 })
+        );
+        // Second sample's column is shorter than the first's.
+        let short = vec![vec![vec![1.0, 2.0]], vec![vec![3.0]]];
+        assert_eq!(
+            median_aggregate(&short),
+            Err(TsError::LengthMismatch { expected: 2, actual: 1 })
+        );
     }
 }

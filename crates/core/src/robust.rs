@@ -1,0 +1,877 @@
+//! Sample-quality and fault-tolerance layer for the zero-shot pipeline.
+//!
+//! The paper's recipe (§IV-D, inherited from LLMTime) relies on the
+//! pointwise median to absorb degenerate continuations — but the median
+//! only helps *after* every sample has decoded to the right shape. This
+//! module adds the defenses that belong in front of it:
+//!
+//! 1. **Validation** — every decoded continuation is checked against a
+//!    [`SampleDefect`] taxonomy (truncation, wrong group width, garbage
+//!    characters, non-finite values, panicking sample threads);
+//! 2. **Retry with reseed** — samples with fatal defects are re-drawn
+//!    under fresh deterministic seeds, up to a bounded budget;
+//! 3. **Quorum** — if fewer than `min_valid_samples` survive, the caller
+//!    degrades to a classical fallback (seasonal-naive, `mc-baselines`)
+//!    instead of aggregating garbage or panicking;
+//! 4. **Accounting** — every forecast produces a [`ForecastReport`] that
+//!    records per-sample defects, retries, repairs and whether the
+//!    fallback fired, so the serving layer can alert on decode health.
+//!
+//! Sample threads are isolated with [`std::panic::catch_unwind`]: a panic
+//! in a backend becomes a [`SampleDefect::Panicked`] entry, not a process
+//! abort. [`SampleSource::FaultInjected`] deterministically corrupts
+//! continuations for chaos drills and the fault-injection benchmark.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mc_tslib::error::{invalid_param, Result, TsError};
+use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
+use mc_tslib::series::MultivariateSeries;
+
+use mc_baselines::fallback::FallbackForecaster;
+use mc_lm::cost::InferenceCost;
+use mc_lm::sampler::SamplerConfig;
+
+use crate::pipeline::{run_continuation, ContinuationSpec};
+
+/// One way a sampled continuation can be bad.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleDefect {
+    /// Generation stopped (token budget) before emitting every separator.
+    Truncated {
+        /// Separators a complete continuation contains.
+        expected: usize,
+        /// Separators actually emitted.
+        got: usize,
+    },
+    /// A group's character count differs from the serialization width
+    /// (repaired by the lenient demultiplexer: truncate / left-pad).
+    WrongGroupWidth {
+        /// 0-based group index in the continuation.
+        group: usize,
+        /// Expected characters per group.
+        expected: usize,
+        /// Characters found.
+        got: usize,
+    },
+    /// A group of a digit-serialized stream contains non-digit characters.
+    NonNumericGroup {
+        /// 0-based group index.
+        group: usize,
+    },
+    /// A symbol outside the permitted output alphabet (SAX streams).
+    OutOfBandCode {
+        /// 0-based group index.
+        group: usize,
+        /// The offending character.
+        symbol: char,
+    },
+    /// A decoded value is NaN or infinite after descaling.
+    NonFinite {
+        /// Dimension of the offending value.
+        dim: usize,
+        /// Timestamp index of the offending value.
+        index: usize,
+    },
+    /// The decoded sample does not have the `dims x horizon` shape.
+    ShapeMismatch {
+        /// Expected dimension count.
+        expected_dims: usize,
+        /// Expected horizon.
+        expected_len: usize,
+        /// Dimensions found.
+        dims: usize,
+        /// Shortest column length found.
+        len: usize,
+    },
+    /// The sample thread panicked (message is best-effort).
+    Panicked {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+}
+
+/// Defect kind without payload, for counting and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// See [`SampleDefect::Truncated`].
+    Truncated,
+    /// See [`SampleDefect::WrongGroupWidth`].
+    WrongGroupWidth,
+    /// See [`SampleDefect::NonNumericGroup`].
+    NonNumericGroup,
+    /// See [`SampleDefect::OutOfBandCode`].
+    OutOfBandCode,
+    /// See [`SampleDefect::NonFinite`].
+    NonFinite,
+    /// See [`SampleDefect::ShapeMismatch`].
+    ShapeMismatch,
+    /// See [`SampleDefect::Panicked`].
+    Panicked,
+}
+
+impl DefectClass {
+    /// All classes, in taxonomy order.
+    pub const ALL: [DefectClass; 7] = [
+        DefectClass::Truncated,
+        DefectClass::WrongGroupWidth,
+        DefectClass::NonNumericGroup,
+        DefectClass::OutOfBandCode,
+        DefectClass::NonFinite,
+        DefectClass::ShapeMismatch,
+        DefectClass::Panicked,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectClass::Truncated => "truncated",
+            DefectClass::WrongGroupWidth => "wrong-width",
+            DefectClass::NonNumericGroup => "non-numeric",
+            DefectClass::OutOfBandCode => "out-of-band",
+            DefectClass::NonFinite => "non-finite",
+            DefectClass::ShapeMismatch => "shape",
+            DefectClass::Panicked => "panic",
+        }
+    }
+}
+
+impl SampleDefect {
+    /// The payload-free kind of this defect.
+    pub fn class(&self) -> DefectClass {
+        match self {
+            SampleDefect::Truncated { .. } => DefectClass::Truncated,
+            SampleDefect::WrongGroupWidth { .. } => DefectClass::WrongGroupWidth,
+            SampleDefect::NonNumericGroup { .. } => DefectClass::NonNumericGroup,
+            SampleDefect::OutOfBandCode { .. } => DefectClass::OutOfBandCode,
+            SampleDefect::NonFinite { .. } => DefectClass::NonFinite,
+            SampleDefect::ShapeMismatch { .. } => DefectClass::ShapeMismatch,
+            SampleDefect::Panicked { .. } => DefectClass::Panicked,
+        }
+    }
+
+    /// Whether the defect invalidates the sample (fatal → retry) or the
+    /// lenient decoder repaired it in place (→ counted as a repair).
+    pub fn is_fatal(&self) -> bool {
+        match self {
+            // Losing more than half the continuation leaves the pad-fill
+            // dominating the sample; shorter losses are repaired.
+            SampleDefect::Truncated { expected, got } => got * 2 < *expected,
+            SampleDefect::WrongGroupWidth { .. } => false,
+            SampleDefect::NonNumericGroup { .. }
+            | SampleDefect::OutOfBandCode { .. }
+            | SampleDefect::NonFinite { .. }
+            | SampleDefect::ShapeMismatch { .. }
+            | SampleDefect::Panicked { .. } => true,
+        }
+    }
+}
+
+/// What a well-formed continuation of a given spec looks like, for
+/// validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleExpectations {
+    /// Separators a complete continuation contains.
+    pub separators: usize,
+    /// Characters per comma-separated group.
+    pub group_width: usize,
+    /// Non-separator characters the decode path understands.
+    pub alphabet: String,
+    /// Whether groups must be pure ASCII digits.
+    pub numeric: bool,
+    /// Dimensions the decoded sample must have.
+    pub dims: usize,
+    /// Timestamps per dimension the decoded sample must have.
+    pub horizon: usize,
+}
+
+/// Validates the raw continuation text against the expectations.
+pub fn validate_text(text: &str, expect: &SampleExpectations) -> Vec<SampleDefect> {
+    let mut defects = Vec::new();
+    let seps = text.matches(',').count();
+    if seps < expect.separators {
+        defects.push(SampleDefect::Truncated { expected: expect.separators, got: seps });
+    }
+    for (i, group) in text.split(',').map(str::trim).filter(|g| !g.is_empty()).enumerate() {
+        if expect.numeric {
+            if group.chars().any(|c| !c.is_ascii_digit()) {
+                defects.push(SampleDefect::NonNumericGroup { group: i });
+                continue;
+            }
+        } else if let Some(bad) = group.chars().find(|c| !expect.alphabet.contains(*c)) {
+            defects.push(SampleDefect::OutOfBandCode { group: i, symbol: bad });
+            continue;
+        }
+        let width = group.chars().count();
+        if width != expect.group_width {
+            defects.push(SampleDefect::WrongGroupWidth {
+                group: i,
+                expected: expect.group_width,
+                got: width,
+            });
+        }
+    }
+    defects
+}
+
+/// Validates the decoded (demuxed + descaled) sample values.
+pub fn validate_decoded(values: &[Vec<f64>], expect: &SampleExpectations) -> Vec<SampleDefect> {
+    if values.len() != expect.dims || values.iter().any(|col| col.len() != expect.horizon) {
+        return vec![SampleDefect::ShapeMismatch {
+            expected_dims: expect.dims,
+            expected_len: expect.horizon,
+            dims: values.len(),
+            len: values.iter().map(Vec::len).min().unwrap_or(0),
+        }];
+    }
+    let mut defects = Vec::new();
+    for (d, col) in values.iter().enumerate() {
+        for (t, v) in col.iter().enumerate() {
+            if !v.is_finite() {
+                defects.push(SampleDefect::NonFinite { dim: d, index: t });
+            }
+        }
+    }
+    defects
+}
+
+/// Retry / quorum / fallback policy of the sampling pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustPolicy {
+    /// Retry budget per sample (0 disables retries).
+    pub max_retries: usize,
+    /// Minimum valid samples required to aggregate; clamped to the
+    /// requested sample count.
+    pub min_valid_samples: usize,
+    /// What to do when the quorum fails.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for RobustPolicy {
+    fn default() -> Self {
+        Self { max_retries: 2, min_valid_samples: 1, fallback: FallbackPolicy::SeasonalNaive }
+    }
+}
+
+impl RobustPolicy {
+    /// The quorum actually enforced for a run of `samples` draws.
+    pub fn required_valid(&self, samples: usize) -> usize {
+        self.min_valid_samples.clamp(1, samples.max(1))
+    }
+}
+
+/// What to do when fewer than the quorum of samples survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Surface a typed [`TsError::SampleQuorum`] error.
+    Error,
+    /// Degrade to the seasonal-naive fallback fitted on the history.
+    SeasonalNaive,
+}
+
+/// Where continuations come from: the real backend, or the backend with
+/// deterministic fault injection layered on top (chaos drills, the
+/// fault-injection benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SampleSource {
+    /// The real backend, untouched.
+    #[default]
+    Model,
+    /// Backend output corrupted at a fixed rate.
+    FaultInjected(FaultSpec),
+}
+
+/// Deterministic corruption of sampled continuations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Fraction of continuations corrupted, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed decorrelating corruption decisions from sampling seeds.
+    pub seed: u64,
+    /// Sample index whose first attempt panics (panic-isolation drill).
+    pub panic_sample: Option<usize>,
+}
+
+impl FaultSpec {
+    /// Corruption at `rate`, no injected panic.
+    pub fn with_rate(rate: f64, seed: u64) -> Self {
+        Self { rate, seed, panic_sample: None }
+    }
+
+    fn hash(&self, sample: usize, attempt: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((sample as u64) << 32)
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Whether the (sample, attempt) draw is corrupted.
+    pub fn corrupts(&self, sample: usize, attempt: usize) -> bool {
+        (self.hash(sample, attempt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.rate
+    }
+
+    /// Applies the deterministic corruption for this (sample, attempt).
+    pub fn corrupt(&self, sample: usize, attempt: usize, text: &str) -> String {
+        if !self.corrupts(sample, attempt) {
+            return text.to_string();
+        }
+        match self.hash(sample, attempt) % 3 {
+            // Hard truncation: keep less than half of the separators.
+            0 => {
+                let keep = text.matches(',').count() / 3;
+                let mut out = String::new();
+                for (i, part) in text.split_inclusive(',').enumerate() {
+                    if i >= keep {
+                        break;
+                    }
+                    out.push_str(part);
+                }
+                out
+            }
+            // Garbage: non-alphabet characters replace interior groups.
+            1 => {
+                let groups: Vec<&str> =
+                    text.split(',').filter(|g| !g.is_empty()).collect();
+                let replaced: Vec<String> = groups
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| if i % 2 == 1 { "x?".to_string() } else { (*g).to_string() })
+                    .collect();
+                let mut out = replaced.join(",");
+                out.push(',');
+                out
+            }
+            // Total loss: empty continuation.
+            _ => String::new(),
+        }
+    }
+}
+
+/// Per-sample accounting across all of its attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Sample slot index.
+    pub index: usize,
+    /// Attempts consumed (1 = no retries needed).
+    pub attempts: usize,
+    /// Every defect observed across this sample's attempts.
+    pub defects: Vec<SampleDefect>,
+    /// Whether the final attempt produced a valid sample.
+    pub valid: bool,
+}
+
+/// How the forecast was ultimately produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForecastOutcome {
+    /// Enough valid samples survived; the forecast is their aggregate.
+    Sampled,
+    /// The quorum failed; the fallback forecaster produced the result
+    /// (or, under [`FallbackPolicy::Error`], the call returned an error).
+    Degraded {
+        /// Valid samples that survived.
+        valid: usize,
+        /// Samples the quorum policy required.
+        required: usize,
+    },
+}
+
+/// Full accounting of one forecast's sampling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastReport {
+    /// Samples requested by the configuration.
+    pub requested_samples: usize,
+    /// Samples that survived validation (possibly after retries).
+    pub valid_samples: usize,
+    /// Retries consumed across all samples.
+    pub retries_used: usize,
+    /// Non-fatal defects repaired in place by the lenient decoder.
+    pub repairs_applied: usize,
+    /// Per-sample records, in slot order.
+    pub samples: Vec<SampleRecord>,
+    /// How the forecast was produced.
+    pub outcome: ForecastOutcome,
+}
+
+impl ForecastReport {
+    /// Whether the fallback path produced the forecast.
+    pub fn degraded(&self) -> bool {
+        matches!(self.outcome, ForecastOutcome::Degraded { .. })
+    }
+
+    /// Number of defects of one class across all samples and attempts.
+    pub fn defect_count(&self, class: DefectClass) -> usize {
+        self.samples
+            .iter()
+            .flat_map(|s| &s.defects)
+            .filter(|d| d.class() == class)
+            .count()
+    }
+
+    /// Total defects across all samples and attempts.
+    pub fn total_defects(&self) -> usize {
+        self.samples.iter().map(|s| s.defects.len()).sum()
+    }
+
+    /// Folds another report into this one (per-dimension pipelines such as
+    /// LLMTime run one report per column).
+    pub fn merge(&mut self, other: ForecastReport) {
+        self.requested_samples += other.requested_samples;
+        self.valid_samples += other.valid_samples;
+        self.retries_used += other.retries_used;
+        self.repairs_applied += other.repairs_applied;
+        if other.degraded() && !self.degraded() {
+            self.outcome = other.outcome.clone();
+        }
+        self.samples.extend(other.samples);
+    }
+
+    /// One-line summary for benchmark tables and logs.
+    pub fn summary(&self) -> String {
+        let defects: Vec<String> = DefectClass::ALL
+            .iter()
+            .filter_map(|&c| {
+                let n = self.defect_count(c);
+                (n > 0).then(|| format!("{}x{}", n, c.name()))
+            })
+            .collect();
+        format!(
+            "{}/{} valid, {} retries, {} repairs, defects [{}]{}",
+            self.valid_samples,
+            self.requested_samples,
+            self.retries_used,
+            self.repairs_applied,
+            defects.join(" "),
+            if self.degraded() { ", DEGRADED to fallback" } else { "" },
+        )
+    }
+}
+
+/// Everything a robust sampling run produced.
+#[derive(Debug, Clone)]
+pub struct RobustRun {
+    /// Valid decoded samples (`sample -> dimension -> horizon`), slot order.
+    pub samples: Vec<Vec<Vec<f64>>>,
+    /// Cost summed over every attempt (failed attempts included — they
+    /// were paid for).
+    pub cost: InferenceCost,
+    /// Accounting for `last_report`.
+    pub report: ForecastReport,
+    /// Whether enough valid samples survived to aggregate.
+    pub quorum_met: bool,
+}
+
+/// Outcome of a single (sample, attempt) draw.
+enum Attempt {
+    Done { decoded: Vec<Vec<f64>>, cost: InferenceCost, defects: Vec<SampleDefect> },
+    Infra(TsError),
+    Panicked(String),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs `samples` continuations with validation, bounded retry-with-reseed
+/// and panic isolation; returns the valid decodings, summed cost and the
+/// full [`ForecastReport`].
+///
+/// Sample `i`'s first attempt uses sampler index `i` (identical seeds to
+/// the plain pipeline, so defect-free runs reproduce it exactly); retry
+/// `r` uses index `samples + (r - 1) * samples + i`, which reseeds
+/// deterministically without colliding with any first-attempt seed.
+///
+/// # Errors
+/// On infrastructure failures (unencodable prompt, decode bugs) — never
+/// because of a defective sample; those are retried and reported.
+pub fn run_samples_robust<D>(
+    spec: &ContinuationSpec,
+    samples: usize,
+    policy: RobustPolicy,
+    source: SampleSource,
+    expect: &SampleExpectations,
+    sampler_for: impl Fn(usize) -> SamplerConfig + Sync,
+    decode: D,
+) -> Result<RobustRun>
+where
+    D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
+{
+    if samples == 0 {
+        return Err(invalid_param("samples", "at least one sample required"));
+    }
+    let mut records: Vec<SampleRecord> = (0..samples)
+        .map(|index| SampleRecord { index, attempts: 0, defects: Vec::new(), valid: false })
+        .collect();
+    let mut decoded: Vec<Option<Vec<Vec<f64>>>> = vec![None; samples];
+    let mut cost = InferenceCost::default();
+    let mut pending: Vec<usize> = (0..samples).collect();
+
+    for attempt in 0..=policy.max_retries {
+        if pending.is_empty() {
+            break;
+        }
+        let mut outcomes: Vec<Option<Attempt>> = Vec::new();
+        outcomes.resize_with(pending.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot, &i) in outcomes.iter_mut().zip(&pending) {
+                let spec = &*spec;
+                let sampler_for = &sampler_for;
+                let decode = &decode;
+                let expect = &*expect;
+                scope.spawn(move || {
+                    let virtual_index =
+                        if attempt == 0 { i } else { samples + (attempt - 1) * samples + i };
+                    let cfg = sampler_for(virtual_index);
+                    let result = catch_unwind(AssertUnwindSafe(|| -> Result<Attempt> {
+                        if let SampleSource::FaultInjected(f) = source {
+                            if f.panic_sample == Some(i) && attempt == 0 {
+                                panic!("injected panic (sample {i})");
+                            }
+                        }
+                        let (text, cost) = run_continuation(spec, cfg)?;
+                        let text = match source {
+                            SampleSource::Model => text,
+                            SampleSource::FaultInjected(f) => f.corrupt(i, attempt, &text),
+                        };
+                        let mut defects = validate_text(&text, expect);
+                        let values = decode(&text)?;
+                        defects.extend(validate_decoded(&values, expect));
+                        Ok(Attempt::Done { decoded: values, cost, defects })
+                    }));
+                    *slot = Some(match result {
+                        Ok(Ok(attempt)) => attempt,
+                        Ok(Err(e)) => Attempt::Infra(e),
+                        Err(payload) => Attempt::Panicked(panic_message(payload)),
+                    });
+                });
+            }
+        });
+        let mut still_pending = Vec::new();
+        for (outcome, i) in outcomes.into_iter().zip(pending) {
+            records[i].attempts += 1;
+            match outcome.expect("scoped thread filled its slot") {
+                Attempt::Done { decoded: values, cost: c, defects } => {
+                    cost.absorb(c);
+                    let fatal = defects.iter().any(SampleDefect::is_fatal);
+                    records[i].defects.extend(defects);
+                    if fatal {
+                        still_pending.push(i);
+                    } else {
+                        decoded[i] = Some(values);
+                        records[i].valid = true;
+                    }
+                }
+                Attempt::Infra(e) => return Err(e),
+                Attempt::Panicked(message) => {
+                    records[i].defects.push(SampleDefect::Panicked { message });
+                    still_pending.push(i);
+                }
+            }
+        }
+        pending = still_pending;
+    }
+
+    let valid: Vec<Vec<Vec<f64>>> = decoded.into_iter().flatten().collect();
+    let required = policy.required_valid(samples);
+    let quorum_met = valid.len() >= required;
+    let retries_used = records.iter().map(|r| r.attempts.saturating_sub(1)).sum();
+    let repairs_applied =
+        records.iter().flat_map(|r| &r.defects).filter(|d| !d.is_fatal()).count();
+    let report = ForecastReport {
+        requested_samples: samples,
+        valid_samples: valid.len(),
+        retries_used,
+        repairs_applied,
+        samples: records,
+        outcome: if quorum_met {
+            ForecastOutcome::Sampled
+        } else {
+            ForecastOutcome::Degraded { valid: valid.len(), required }
+        },
+    };
+    Ok(RobustRun { samples: valid, cost, report, quorum_met })
+}
+
+/// The graceful-degradation forecast: seasonal-naive (ACF-estimated
+/// period, last-value fallback) on every dimension of the history.
+pub fn fallback_forecast(train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+    PerDimension(FallbackForecaster::default()).forecast(train, horizon)
+}
+
+/// Resolves a failed quorum per the policy: a typed error, or the
+/// fallback forecast.
+pub fn resolve_quorum_failure(
+    policy: RobustPolicy,
+    report: &ForecastReport,
+    train: &MultivariateSeries,
+    horizon: usize,
+) -> Result<MultivariateSeries> {
+    match policy.fallback {
+        FallbackPolicy::Error => {
+            let (valid, required) = match report.outcome {
+                ForecastOutcome::Degraded { valid, required } => (valid, required),
+                ForecastOutcome::Sampled => (report.valid_samples, policy.min_valid_samples),
+            };
+            Err(TsError::SampleQuorum { valid, required })
+        }
+        FallbackPolicy::SeasonalNaive => fallback_forecast(train, horizon),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_lm::presets::ModelPreset;
+    use mc_lm::vocab::Vocab;
+
+    fn numeric_expect(separators: usize, group_width: usize, dims: usize, horizon: usize) -> SampleExpectations {
+        SampleExpectations {
+            separators,
+            group_width,
+            alphabet: "0123456789".into(),
+            numeric: true,
+            dims,
+            horizon,
+        }
+    }
+
+    fn spec(prompt: &str, separators: usize) -> ContinuationSpec {
+        ContinuationSpec {
+            prompt: prompt.into(),
+            vocab: Vocab::numeric(),
+            allowed_chars: "0123456789,".into(),
+            preset: ModelPreset::Large,
+            separators,
+            max_tokens: 200,
+        }
+    }
+
+    #[test]
+    fn validate_text_catches_each_class() {
+        let expect = numeric_expect(3, 2, 1, 3);
+        assert!(validate_text("12,34,56,", &expect).is_empty());
+        let d = validate_text("12,34,", &expect);
+        assert_eq!(d, vec![SampleDefect::Truncated { expected: 3, got: 2 }]);
+        let d = validate_text("12,345,67,", &expect);
+        assert_eq!(d, vec![SampleDefect::WrongGroupWidth { group: 1, expected: 2, got: 3 }]);
+        let d = validate_text("12,x?,56,", &expect);
+        assert_eq!(d, vec![SampleDefect::NonNumericGroup { group: 1 }]);
+        let sax = SampleExpectations { numeric: false, alphabet: "abcde".into(), ..expect };
+        let d = validate_text("ab,zz,cd,", &sax);
+        assert_eq!(d, vec![SampleDefect::OutOfBandCode { group: 1, symbol: 'z' }]);
+    }
+
+    #[test]
+    fn validate_decoded_catches_shape_and_nan() {
+        let expect = numeric_expect(2, 2, 2, 2);
+        assert!(validate_decoded(&[vec![1.0, 2.0], vec![3.0, 4.0]], &expect).is_empty());
+        let d = validate_decoded(&[vec![1.0, 2.0]], &expect);
+        assert!(matches!(d[0], SampleDefect::ShapeMismatch { .. }));
+        let d = validate_decoded(&[vec![1.0, f64::NAN], vec![3.0, 4.0]], &expect);
+        assert_eq!(d, vec![SampleDefect::NonFinite { dim: 0, index: 1 }]);
+    }
+
+    #[test]
+    fn fatality_split_matches_repair_semantics() {
+        assert!(!SampleDefect::WrongGroupWidth { group: 0, expected: 2, got: 3 }.is_fatal());
+        // Lost 1 of 4 separators: repairable; lost 3 of 4: fatal.
+        assert!(!SampleDefect::Truncated { expected: 4, got: 3 }.is_fatal());
+        assert!(SampleDefect::Truncated { expected: 4, got: 1 }.is_fatal());
+        assert!(SampleDefect::NonNumericGroup { group: 0 }.is_fatal());
+        assert!(SampleDefect::Panicked { message: "x".into() }.is_fatal());
+    }
+
+    #[test]
+    fn fault_spec_is_deterministic_and_rate_bounded() {
+        let f = FaultSpec::with_rate(0.5, 42);
+        let a: Vec<bool> = (0..64).map(|i| f.corrupts(i, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|i| f.corrupts(i, 0)).collect();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(hits > 16 && hits < 48, "rate 0.5 should corrupt roughly half: {hits}");
+        assert!(!FaultSpec::with_rate(0.0, 1).corrupts(3, 0));
+        assert!(FaultSpec::with_rate(1.0, 1).corrupts(3, 0));
+    }
+
+    #[test]
+    fn corruption_produces_detectable_defects() {
+        let f = FaultSpec::with_rate(1.0, 9);
+        let clean = "123,456,789,012,345,678,";
+        let expect = numeric_expect(6, 3, 1, 6);
+        // Whatever kind fires, validation must flag the corrupted text.
+        for sample in 0..6 {
+            let bad = f.corrupt(sample, 0, clean);
+            assert_ne!(bad, clean, "sample {sample} should be corrupted");
+            let defects = validate_text(&bad, &expect);
+            assert!(!defects.is_empty(), "corruption of sample {sample} went undetected: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn robust_run_clean_backend_uses_first_attempt_seeds() {
+        let s = spec(&"017,023,".repeat(20), 2);
+        let expect = numeric_expect(2, 3, 1, 2);
+        let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+            Ok(vec![text
+                .split(',')
+                .filter(|g| !g.is_empty())
+                .map(|g| g.len() as f64)
+                .collect()])
+        };
+        let sampler_for =
+            |i: usize| SamplerConfig { seed: 10 + i as u64, ..SamplerConfig::default() };
+        let run = run_samples_robust(
+            &s,
+            4,
+            RobustPolicy::default(),
+            SampleSource::Model,
+            &expect,
+            sampler_for,
+            decode,
+        )
+        .unwrap();
+        assert_eq!(run.samples.len(), 4);
+        assert!(run.quorum_met);
+        assert_eq!(run.report.retries_used, 0);
+        assert_eq!(run.report.outcome, ForecastOutcome::Sampled);
+        // Identical to the plain pipeline on the same seeds.
+        let (plain, plain_cost) = crate::pipeline::run_samples(&s, 4, sampler_for, |t| {
+            Ok(vec![t.split(',').filter(|g| !g.is_empty()).map(|g| g.len() as f64).collect()])
+        })
+        .unwrap();
+        assert_eq!(run.samples, plain);
+        assert_eq!(run.cost, plain_cost);
+    }
+
+    #[test]
+    fn injected_panic_becomes_defect_and_sample_recovers() {
+        let s = spec(&"042,".repeat(30), 3);
+        let expect = numeric_expect(3, 3, 1, 3);
+        let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+            Ok(vec![text
+                .split(',')
+                .filter(|g| !g.is_empty())
+                .map(|g| g.parse::<f64>().unwrap_or(0.0))
+                .take(3)
+                .collect::<Vec<f64>>()])
+        };
+        // Decode above can yield fewer than 3 values on truncation; shape
+        // validation flags that, which is exactly what we want to exercise.
+        let source = SampleSource::FaultInjected(FaultSpec {
+            rate: 0.0,
+            seed: 0,
+            panic_sample: Some(1),
+        });
+        let run = run_samples_robust(
+            &s,
+            3,
+            RobustPolicy::default(),
+            source,
+            &expect,
+            |i| SamplerConfig { seed: i as u64, ..SamplerConfig::default() },
+            decode,
+        )
+        .unwrap();
+        assert_eq!(run.report.defect_count(DefectClass::Panicked), 1);
+        assert_eq!(run.report.samples[1].attempts, 2, "panicked sample retried once");
+        assert!(run.report.samples[1].valid, "retry must recover the sample");
+        assert_eq!(run.report.retries_used, 1);
+        assert_eq!(run.samples.len(), 3);
+    }
+
+    #[test]
+    fn total_corruption_fails_quorum_without_panicking() {
+        let s = spec(&"042,".repeat(30), 3);
+        let expect = numeric_expect(3, 3, 1, 3);
+        let decode = |_: &str| -> Result<Vec<Vec<f64>>> { Ok(vec![vec![0.0; 3]]) };
+        let source = SampleSource::FaultInjected(FaultSpec::with_rate(1.0, 5));
+        let policy = RobustPolicy { max_retries: 1, min_valid_samples: 2, ..Default::default() };
+        let run =
+            run_samples_robust(&s, 3, policy, source, &expect, |i| SamplerConfig {
+                seed: i as u64,
+                ..SamplerConfig::default()
+            }, decode)
+            .unwrap();
+        assert!(!run.quorum_met);
+        assert!(run.report.degraded());
+        assert_eq!(run.report.retries_used, 3, "every sample used its retry");
+        assert!(run.report.total_defects() >= 6, "every attempt was defective");
+    }
+
+    #[test]
+    fn fallback_forecast_has_correct_shape() {
+        let a: Vec<f64> = (0..48).map(|t| ((t % 8) as f64) + 1.0).collect();
+        let b: Vec<f64> = (0..48).map(|t| t as f64).collect();
+        let train =
+            MultivariateSeries::from_columns(vec!["s".into(), "r".into()], vec![a, b]).unwrap();
+        let fc = fallback_forecast(&train, 10).unwrap();
+        assert_eq!(fc.dims(), 2);
+        assert_eq!(fc.len(), 10);
+        assert!(fc.columns().iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quorum_error_policy_yields_typed_error() {
+        let report = ForecastReport {
+            requested_samples: 3,
+            valid_samples: 1,
+            retries_used: 6,
+            repairs_applied: 0,
+            samples: Vec::new(),
+            outcome: ForecastOutcome::Degraded { valid: 1, required: 3 },
+        };
+        let train = MultivariateSeries::from_columns(
+            vec!["x".into()],
+            vec![(0..16).map(|t| t as f64).collect()],
+        )
+        .unwrap();
+        let policy = RobustPolicy { fallback: FallbackPolicy::Error, ..Default::default() };
+        let err = resolve_quorum_failure(policy, &report, &train, 4).unwrap_err();
+        assert_eq!(err, TsError::SampleQuorum { valid: 1, required: 3 });
+        let policy = RobustPolicy { fallback: FallbackPolicy::SeasonalNaive, ..Default::default() };
+        let fc = resolve_quorum_failure(policy, &report, &train, 4).unwrap();
+        assert_eq!(fc.len(), 4);
+    }
+
+    #[test]
+    fn report_summary_and_merge() {
+        let mut a = ForecastReport {
+            requested_samples: 5,
+            valid_samples: 4,
+            retries_used: 2,
+            repairs_applied: 1,
+            samples: vec![SampleRecord {
+                index: 0,
+                attempts: 2,
+                defects: vec![SampleDefect::NonNumericGroup { group: 0 }],
+                valid: true,
+            }],
+            outcome: ForecastOutcome::Sampled,
+        };
+        let b = ForecastReport {
+            requested_samples: 5,
+            valid_samples: 0,
+            retries_used: 10,
+            repairs_applied: 0,
+            samples: Vec::new(),
+            outcome: ForecastOutcome::Degraded { valid: 0, required: 1 },
+        };
+        a.merge(b);
+        assert_eq!(a.requested_samples, 10);
+        assert_eq!(a.retries_used, 12);
+        assert!(a.degraded());
+        let s = a.summary();
+        assert!(s.contains("4/10 valid"), "{s}");
+        assert!(s.contains("1xnon-numeric"), "{s}");
+        assert!(s.contains("DEGRADED"), "{s}");
+    }
+}

@@ -25,7 +25,10 @@ use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
 use mc_sax::encoder::{SaxConfig, SaxEncoder};
 
 use crate::config::ForecastConfig;
-use crate::pipeline::{median_aggregate, run_samples, ContinuationSpec};
+use crate::pipeline::{median_aggregate, ContinuationSpec};
+use crate::robust::{
+    resolve_quorum_failure, run_samples_robust, ForecastReport, SampleExpectations, SampleSource,
+};
 
 /// Configuration of the SAX-quantized forecaster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,12 +59,22 @@ pub struct SaxMultiCastForecaster {
     pub config: SaxForecastConfig,
     /// Cost of the most recent forecast.
     pub last_cost: Option<InferenceCost>,
+    /// Where continuations come from (real backend or fault-injected).
+    pub source: SampleSource,
+    /// Sampling-health report of the most recent forecast.
+    pub last_report: Option<ForecastReport>,
 }
 
 impl SaxMultiCastForecaster {
     /// Creates the forecaster.
     pub fn new(config: SaxForecastConfig) -> Self {
-        Self { config, last_cost: None }
+        Self { config, last_cost: None, source: SampleSource::Model, last_report: None }
+    }
+
+    /// Same forecaster with a different continuation source.
+    pub fn with_source(mut self, source: SampleSource) -> Self {
+        self.source = source;
+        self
     }
 
     /// Paper-style display name (e.g. `"MultiCast SAX (alphabetical)"`).
@@ -149,9 +162,9 @@ impl MultivariateForecaster for SaxMultiCastForecaster {
         let states_ref = &states;
         let encoder_ref = &encoder;
         let alphabet = cfg.sax.alphabet;
-        let decode = move |text: &str| -> Vec<Vec<f64>> {
+        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
             let words = demux_symbols(text, dims, alphabet, segments);
-            words
+            Ok(words
                 .iter()
                 .zip(states_ref)
                 .map(|(w, &st)| {
@@ -160,13 +173,37 @@ impl MultivariateForecaster for SaxMultiCastForecaster {
                     expanded.truncate(horizon);
                     expanded
                 })
-                .collect()
+                .collect())
         };
-        let (decoded, cost) =
-            run_samples(&spec, cfg.base.samples.max(1), |i| cfg.base.sampler_for(i), decode);
-        self.last_cost = Some(cost);
-        let columns = median_aggregate(&decoded);
-        MultivariateSeries::from_columns(train.names().to_vec(), columns)
+        // SAX streams are validated against the *actual* alphabet (not the
+        // full digit charset), so a digital alphabet of size 5 still flags
+        // '7' as out-of-band.
+        let expect = SampleExpectations {
+            separators: segments,
+            group_width: dims,
+            alphabet: cfg.sax.alphabet.chars().collect(),
+            numeric: false,
+            dims,
+            horizon,
+        };
+        let run = run_samples_robust(
+            &spec,
+            cfg.base.samples.max(1),
+            cfg.base.robust,
+            self.source,
+            &expect,
+            |i| cfg.base.sampler_for(i),
+            decode,
+        )?;
+        self.last_cost = Some(run.cost);
+        let result = if run.quorum_met {
+            let columns = median_aggregate(&run.samples)?;
+            MultivariateSeries::from_columns(train.names().to_vec(), columns)
+        } else {
+            resolve_quorum_failure(cfg.base.robust, &run.report, train, horizon)
+        };
+        self.last_report = Some(run.report);
+        result
     }
 }
 

@@ -19,7 +19,9 @@
 //! exactly like the batch path. Re-seed when the regime shifts — pair
 //! with `mc-tasks`' change-point detector for an auto-reset loop.
 
-use mc_tslib::error::{invalid_param, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mc_tslib::error::{invalid_param, pipeline_error, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::concrete::ConcreteLm;
@@ -33,7 +35,16 @@ use mc_lm::vocab::{TokenId, Vocab};
 use crate::config::ForecastConfig;
 use crate::mux::{Multiplexer, MuxMethod};
 use crate::pipeline::median_aggregate;
+use crate::robust::{
+    fallback_forecast, validate_decoded, validate_text, FallbackPolicy, ForecastOutcome,
+    ForecastReport, SampleDefect, SampleExpectations, SampleRecord, SampleSource,
+};
 use crate::scaling::FixedDigitScaler;
+
+/// Rows of recent history kept for the graceful-degradation fallback
+/// (enough for the fallback's longest considered seasonal period, twice
+/// over, so the ACF scan has something to estimate from).
+const FALLBACK_TAIL_ROWS: usize = 128;
 
 /// An online multivariate forecaster over a live data stream.
 pub struct StreamingMultiCast {
@@ -49,6 +60,12 @@ pub struct StreamingMultiCast {
     names: Vec<String>,
     observed: usize,
     predictions_drawn: u64,
+    /// Rolling buffer of the most recent rows, for the fallback forecaster.
+    tail: Vec<Vec<f64>>,
+    /// Where continuations come from (real backend or fault-injected).
+    pub source: SampleSource,
+    /// Sampling-health report of the most recent `predict` call.
+    pub last_report: Option<ForecastReport>,
 }
 
 impl StreamingMultiCast {
@@ -73,13 +90,20 @@ impl StreamingMultiCast {
         let vocab = Vocab::numeric();
         let tokenizer = CharTokenizer::new(vocab.clone());
         let mut model = ConcreteLm::build(config.preset, vocab.len());
-        let prompt_tokens = tokenizer.encode(&prompt).expect("serialized history encodes");
+        let prompt_tokens = tokenizer
+            .encode(&prompt)
+            .map_err(|e| pipeline_error("encode-prompt", e.to_string()))?;
         observe_all(&mut model, &prompt_tokens);
         let mut allowed = vec![false; vocab.len()];
         for id in vocab.ids_of("0123456789,") {
             allowed[id as usize] = true;
         }
-        let separator = vocab.id(',').expect("comma in vocabulary");
+        let separator = vocab
+            .id(',')
+            .ok_or_else(|| pipeline_error("separator", "vocabulary lacks the ',' separator"))?;
+        let tail_start = seed.len().saturating_sub(FALLBACK_TAIL_ROWS);
+        let tail: Vec<Vec<f64>> =
+            (tail_start..seed.len()).map(|t| seed.row(t)).collect::<Result<_>>()?;
         Ok(Self {
             method,
             config,
@@ -93,7 +117,16 @@ impl StreamingMultiCast {
             names: seed.names().to_vec(),
             observed: seed.len(),
             predictions_drawn: 0,
+            tail,
+            source: SampleSource::Model,
+            last_report: None,
         })
+    }
+
+    /// Same stream with a different continuation source (fault injection).
+    pub fn with_source(mut self, source: SampleSource) -> Self {
+        self.source = source;
+        self
     }
 
     /// Number of rows observed so far (seed included).
@@ -128,11 +161,25 @@ impl StreamingMultiCast {
             .map(|(d, &v)| Ok(vec![self.scaler.scale_value(d, v)?]))
             .collect::<Result<_>>()?;
         let text = self.mux.mux(&codes, self.config.digits);
-        for &t in &self.tokenizer.encode(&text).expect("row serializes") {
+        let tokens = self
+            .tokenizer
+            .encode(&text)
+            .map_err(|e| pipeline_error("encode-row", e.to_string()))?;
+        for &t in &tokens {
             self.model.observe(t, false);
         }
         self.observed += 1;
+        self.tail.push(row.to_vec());
+        if self.tail.len() > FALLBACK_TAIL_ROWS {
+            self.tail.remove(0);
+        }
         Ok(())
+    }
+
+    /// The fallback forecast from the rolling tail buffer.
+    fn tail_fallback(&self, horizon: usize) -> Result<MultivariateSeries> {
+        let recent = MultivariateSeries::from_rows(self.names.clone(), &self.tail)?;
+        fallback_forecast(&recent, horizon)
     }
 
     /// Samples a `horizon`-step forecast from the current context.
@@ -156,33 +203,122 @@ impl StreamingMultiCast {
             separators,
             cfg.max_tokens(separators, payload),
         );
-        let mut samples = Vec::with_capacity(cfg.samples.max(1));
-        for i in 0..cfg.samples.max(1) {
-            let mut speculative = self.model.clone();
-            let mut sampler = Sampler::new({
-                let mut s = cfg.sampler_for(i);
-                s.seed = s.seed.wrapping_add(0x9e37).wrapping_add(self.predictions_drawn);
-                s
-            });
-            let allowed = &self.allowed;
-            let out = generate(
-                &mut speculative,
-                &mut sampler,
-                |t: TokenId| allowed[t as usize],
-                &options,
-            );
-            let text = self.tokenizer.decode(&out).expect("in-vocabulary");
-            let codes = self.mux.demux(&text, self.dims, cfg.digits, horizon);
-            let cols: Vec<Vec<f64>> = codes
-                .iter()
-                .enumerate()
-                .map(|(d, col)| self.scaler.descale_column(d, col).expect("dim in range"))
-                .collect();
-            samples.push(cols);
+        let wanted = cfg.samples.max(1);
+        let expect = SampleExpectations {
+            separators,
+            group_width: payload,
+            alphabet: "0123456789".into(),
+            numeric: true,
+            dims: self.dims,
+            horizon,
+        };
+        let mut samples = Vec::with_capacity(wanted);
+        let mut records = Vec::with_capacity(wanted);
+        for i in 0..wanted {
+            let mut record =
+                SampleRecord { index: i, attempts: 0, defects: Vec::new(), valid: false };
+            for attempt in 0..=cfg.robust.max_retries {
+                record.attempts += 1;
+                // Reseed retries past every first-attempt index, mirroring
+                // the batch pipeline's virtual-index convention.
+                let virtual_index =
+                    if attempt == 0 { i } else { wanted + (attempt - 1) * wanted + i };
+                let drawn = self.predictions_drawn;
+                let source = self.source;
+                let outcome = catch_unwind(AssertUnwindSafe(
+                    || -> Result<(Vec<Vec<f64>>, Vec<SampleDefect>)> {
+                        if let SampleSource::FaultInjected(f) = source {
+                            if f.panic_sample == Some(i) && attempt == 0 {
+                                panic!("injected panic (sample {i})");
+                            }
+                        }
+                        let mut speculative = self.model.clone();
+                        let mut sampler = Sampler::new({
+                            let mut s = cfg.sampler_for(virtual_index);
+                            s.seed = s.seed.wrapping_add(0x9e37).wrapping_add(drawn);
+                            s
+                        });
+                        let allowed = &self.allowed;
+                        let out = generate(
+                            &mut speculative,
+                            &mut sampler,
+                            |t: TokenId| allowed[t as usize],
+                            &options,
+                        );
+                        let text = self
+                            .tokenizer
+                            .decode(&out)
+                            .map_err(|e| pipeline_error("decode-continuation", e.to_string()))?;
+                        let text = match source {
+                            SampleSource::Model => text,
+                            SampleSource::FaultInjected(f) => f.corrupt(i, attempt, &text),
+                        };
+                        let mut defects = validate_text(&text, &expect);
+                        let codes = self.mux.demux(&text, self.dims, cfg.digits, horizon);
+                        let cols: Vec<Vec<f64>> = codes
+                            .iter()
+                            .enumerate()
+                            .map(|(d, col)| self.scaler.descale_column(d, col))
+                            .collect::<Result<_>>()?;
+                        defects.extend(validate_decoded(&cols, &expect));
+                        Ok((cols, defects))
+                    },
+                ));
+                match outcome {
+                    Ok(Ok((cols, defects))) => {
+                        let fatal = defects.iter().any(SampleDefect::is_fatal);
+                        record.defects.extend(defects);
+                        if !fatal {
+                            samples.push(cols);
+                            record.valid = true;
+                            break;
+                        }
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        record.defects.push(SampleDefect::Panicked { message });
+                    }
+                }
+            }
+            records.push(record);
         }
         self.predictions_drawn += 1;
-        let columns = median_aggregate(&samples);
-        MultivariateSeries::from_columns(self.names.clone(), columns)
+        let required = cfg.robust.required_valid(wanted);
+        let quorum_met = samples.len() >= required;
+        let report = ForecastReport {
+            requested_samples: wanted,
+            valid_samples: samples.len(),
+            retries_used: records.iter().map(|r: &SampleRecord| r.attempts - 1).sum(),
+            repairs_applied: records
+                .iter()
+                .flat_map(|r| &r.defects)
+                .filter(|d| !d.is_fatal())
+                .count(),
+            samples: records,
+            outcome: if quorum_met {
+                ForecastOutcome::Sampled
+            } else {
+                ForecastOutcome::Degraded { valid: samples.len(), required }
+            },
+        };
+        let result = if quorum_met {
+            let columns = median_aggregate(&samples)?;
+            MultivariateSeries::from_columns(self.names.clone(), columns)
+        } else {
+            match cfg.robust.fallback {
+                FallbackPolicy::Error => {
+                    Err(TsError::SampleQuorum { valid: samples.len(), required })
+                }
+                FallbackPolicy::SeasonalNaive => self.tail_fallback(horizon),
+            }
+        };
+        self.last_report = Some(report);
+        result
     }
 }
 

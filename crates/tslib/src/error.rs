@@ -51,6 +51,22 @@ pub enum TsError {
         /// Actual width.
         actual: usize,
     },
+    /// Too few valid samples survived validation and retries to aggregate
+    /// a forecast (and no fallback was allowed to absorb the loss).
+    SampleQuorum {
+        /// Valid samples that survived.
+        valid: usize,
+        /// Samples the quorum policy required.
+        required: usize,
+    },
+    /// A pipeline stage failed in a way that indicates an internal bug or
+    /// an unusable backend — not a repairable sample defect.
+    Pipeline {
+        /// Stage that failed (e.g. `"encode-prompt"`).
+        stage: &'static str,
+        /// Description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for TsError {
@@ -70,6 +86,12 @@ impl fmt::Display for TsError {
             TsError::Io(msg) => write!(f, "I/O error: {msg}"),
             TsError::RaggedRows { row, expected, actual } => {
                 write!(f, "ragged rows: row {row} has {actual} values, expected {expected}")
+            }
+            TsError::SampleQuorum { valid, required } => {
+                write!(f, "sample quorum failed: {valid} valid samples, {required} required")
+            }
+            TsError::Pipeline { stage, message } => {
+                write!(f, "pipeline stage `{stage}` failed: {message}")
             }
         }
     }
@@ -91,6 +113,11 @@ pub fn invalid_param(name: &'static str, message: impl Into<String>) -> TsError 
     TsError::InvalidParameter { name, message: message.into() }
 }
 
+/// Builds a [`TsError::Pipeline`] with a formatted message.
+pub fn pipeline_error(stage: &'static str, message: impl Into<String>) -> TsError {
+    TsError::Pipeline { stage, message: message.into() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +136,14 @@ mod tests {
         assert_eq!(
             invalid_param("alpha", "must be positive").to_string(),
             "invalid parameter `alpha`: must be positive"
+        );
+        assert_eq!(
+            TsError::SampleQuorum { valid: 1, required: 3 }.to_string(),
+            "sample quorum failed: 1 valid samples, 3 required"
+        );
+        assert_eq!(
+            pipeline_error("encode-prompt", "char 'x' not in vocabulary").to_string(),
+            "pipeline stage `encode-prompt` failed: char 'x' not in vocabulary"
         );
     }
 

@@ -67,6 +67,29 @@ proptest! {
         }
     }
 
+    /// Demux is total on *completely arbitrary* text — not just the
+    /// constrained `[0-9,]` alphabet. Even under backend bugs or injected
+    /// corruption, demux must never panic and must yield exactly
+    /// `dims x horizon` in-range codes for every scheme.
+    #[test]
+    fn demux_total_on_fully_arbitrary_text(
+        text in any::<String>(),
+        dims in 1usize..4,
+        digits in 1u32..4,
+        horizon in 1usize..16,
+    ) {
+        for method in MuxMethod::ALL {
+            let m = method.build();
+            let back = m.demux(&text, dims, digits, horizon);
+            prop_assert_eq!(back.len(), dims, "{:?}", method);
+            let max = 10u64.pow(digits) - 1;
+            for col in &back {
+                prop_assert_eq!(col.len(), horizon, "{:?}", method);
+                prop_assert!(col.iter().all(|&c| c <= max), "{:?}", method);
+            }
+        }
+    }
+
     /// Scale → descale round-trips within half a quantization step.
     #[test]
     fn scaler_round_trip_error_bounded(
@@ -162,7 +185,7 @@ proptest! {
             .iter()
             .map(|j| vec![base.iter().map(|v| v + j).collect::<Vec<f64>>()])
             .collect();
-        let med = multicast_suite::core::pipeline::median_aggregate(&samples);
+        let med = multicast_suite::core::pipeline::median_aggregate(&samples).unwrap();
         for (t, m) in med[0].iter().enumerate() {
             let lo = samples.iter().map(|s| s[0][t]).fold(f64::MAX, f64::min);
             let hi = samples.iter().map(|s| s[0][t]).fold(f64::MIN, f64::max);
@@ -198,6 +221,49 @@ proptest! {
             for &v in fc.column(d).unwrap() {
                 prop_assert!(v >= mn - 0.151 * range && v <= mx + 0.151 * range);
             }
+        }
+    }
+
+    /// Charset defects are impossible by construction: the constrained
+    /// sampler masks every token outside `[0-9,]`, so an uncorrupted
+    /// continuation can never contain a non-numeric group or out-of-band
+    /// symbol — only truncation/width defects. Validation must agree.
+    #[test]
+    fn sampler_constraint_makes_charset_defects_impossible(
+        seed in any::<u64>(),
+        temperature in 0.1f64..2.0,
+        separators in 1usize..6,
+    ) {
+        use multicast_suite::core::pipeline::{run_continuation, ContinuationSpec};
+        use multicast_suite::core::robust::{validate_text, DefectClass, SampleExpectations};
+        use multicast_suite::lm::presets::ModelPreset;
+        use multicast_suite::lm::vocab::Vocab;
+
+        let spec = ContinuationSpec {
+            prompt: "017,023,042,017,023,042,017,023,042,017,023,042,".into(),
+            vocab: Vocab::numeric(),
+            allowed_chars: "0123456789,".into(),
+            preset: ModelPreset::Large,
+            separators,
+            max_tokens: 120,
+        };
+        let cfg = SamplerConfig { seed, temperature, ..SamplerConfig::default() };
+        let (text, _) = run_continuation(&spec, cfg).unwrap();
+        prop_assert!(text.chars().all(|c| c.is_ascii_digit() || c == ','), "{}", text);
+        let expect = SampleExpectations {
+            separators,
+            group_width: 3,
+            alphabet: "0123456789".into(),
+            numeric: true,
+            dims: 1,
+            horizon: separators,
+        };
+        for defect in validate_text(&text, &expect) {
+            let class = defect.class();
+            prop_assert!(
+                class != DefectClass::NonNumericGroup && class != DefectClass::OutOfBandCode,
+                "constrained sampling emitted a charset defect: {:?} in {:?}", defect, text
+            );
         }
     }
 }
