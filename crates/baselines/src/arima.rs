@@ -138,16 +138,7 @@ impl ArimaModel {
         let used = &eps[start..];
         let sigma2 = used.iter().map(|e| e * e).sum::<f64>() / used.len() as f64;
 
-        Ok(Self {
-            config,
-            intercept,
-            phi,
-            theta,
-            sigma2,
-            diffed: w,
-            innovations: eps,
-            tails,
-        })
+        Ok(Self { config, intercept, phi, theta, sigma2, diffed: w, innovations: eps, tails })
     }
 
     /// Akaike information criterion of the fit.

@@ -177,9 +177,7 @@ impl UnivariateForecaster for HoltWinters {
             level = new_level;
         }
         let n = train.len();
-        Ok((1..=horizon)
-            .map(|h| level + trend * h as f64 + seasonal[(n + h - 1) % m])
-            .collect())
+        Ok((1..=horizon).map(|h| level + trend * h as f64 + seasonal[(n + h - 1) % m]).collect())
     }
 }
 

@@ -95,8 +95,9 @@ mod tests {
     fn aperiodic_series_degrades_to_last_value() {
         // A pure ramp has ACF decaying from lag 1 on; with the 0.3 floor it
         // may still pick a lag, so use white-ish data with no structure.
-        let train: Vec<f64> =
-            (0..40).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 } * ((t * 7919 % 13) as f64)).collect();
+        let train: Vec<f64> = (0..40)
+            .map(|t| if t % 2 == 0 { 1.0 } else { -1.0 } * ((t * 7919 % 13) as f64))
+            .collect();
         let mut f = FallbackForecaster::default();
         let fc = f.forecast_univariate(&train, 3).unwrap();
         assert_eq!(fc.len(), 3);

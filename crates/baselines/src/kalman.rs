@@ -90,12 +90,7 @@ pub fn kalman_filter(xs: &[f64], config: KalmanConfig) -> Result<KalmanFit> {
         let k1 = p10 / f;
         level = pred_level + k0 * innovation;
         slope += k1 * innovation;
-        p = [
-            (1.0 - k0) * p00,
-            (1.0 - k0) * p01,
-            p10 - k1 * p00,
-            p11 - k1 * p01,
-        ];
+        p = [(1.0 - k0) * p00, (1.0 - k0) * p01, p10 - k1 * p00, p11 - k1 * p01];
         innovations.push(innovation);
         sum_sq_scaled += innovation * innovation / f;
         sum_log_f += f.ln();
@@ -127,19 +122,14 @@ impl UnivariateForecaster for KalmanForecaster {
         for &ql in &GRID[1..] {
             for &qs in &GRID {
                 let fit = kalman_filter(train, KalmanConfig { q_level: ql, q_slope: qs })?;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| fit.log_likelihood > b.log_likelihood)
-                {
+                if best.as_ref().is_none_or(|b| fit.log_likelihood > b.log_likelihood) {
                     best = Some(fit);
                 }
             }
         }
         let fit = best.expect("grid is non-empty");
         // Forecast: level grows by slope each step.
-        Ok((1..=horizon)
-            .map(|h| fit.state.level + fit.state.slope * h as f64)
-            .collect())
+        Ok((1..=horizon).map(|h| fit.state.level + fit.state.slope * h as f64).collect())
     }
 }
 
@@ -205,10 +195,7 @@ mod tests {
             KalmanConfig { q_level: 0.1, q_slope: 0.1 }
         )
         .is_err());
-        assert!(kalman_filter(
-            &[1.0, 2.0, 3.0, 4.0],
-            KalmanConfig { q_level: -1.0, q_slope: 0.1 }
-        )
-        .is_err());
+        assert!(kalman_filter(&[1.0, 2.0, 3.0, 4.0], KalmanConfig { q_level: -1.0, q_slope: 0.1 })
+            .is_err());
     }
 }

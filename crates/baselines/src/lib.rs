@@ -31,15 +31,15 @@ pub mod kalman;
 pub mod linalg;
 pub mod lstm;
 pub mod naive;
+pub mod nn;
 pub mod theta;
 pub mod var;
-pub mod nn;
 
 pub use arima::{auto_arima, ArimaConfig, ArimaForecaster, ArimaModel};
-pub use fallback::FallbackForecaster;
-pub use lstm::{LstmConfig, LstmForecaster};
 pub use expsmooth::{Holt, HoltWinters, Ses};
+pub use fallback::FallbackForecaster;
 pub use kalman::{kalman_filter, KalmanConfig, KalmanForecaster};
+pub use lstm::{LstmConfig, LstmForecaster};
 pub use naive::{DriftForecaster, NaiveForecaster, SeasonalNaiveForecaster};
 pub use theta::Theta;
 pub use var::{VarForecaster, VarModel};

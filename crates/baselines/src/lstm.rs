@@ -95,13 +95,8 @@ impl LstmForecaster {
         let dropout = Dropout::new(cfg.dropout);
         let mut cell_grads = LstmGrads::zeros(&cell);
         let mut head_grads = DenseGrads::zeros(&head);
-        let sizes = [
-            cell.wx.data.len(),
-            cell.wh.data.len(),
-            cell.b.len(),
-            head.w.data.len(),
-            head.b.len(),
-        ];
+        let sizes =
+            [cell.wx.data.len(), cell.wh.data.len(), cell.b.len(), head.w.data.len(), head.b.len()];
         let mut opt = Adam::new(cfg.lr, &sizes);
 
         let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -229,7 +224,11 @@ impl MultivariateForecaster for LstmForecaster {
         "LSTM".into()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
         if train.len() <= self.config.lookback + 1 {
             return Err(invalid_param(
                 "train",

@@ -85,10 +85,7 @@ mod tests {
     fn seasonal_naive_repeats_cycle() {
         let mut f = SeasonalNaiveForecaster { period: 3 };
         let train = [9.0, 9.0, 9.0, 1.0, 2.0, 3.0];
-        assert_eq!(
-            f.forecast_univariate(&train, 5).unwrap(),
-            vec![1.0, 2.0, 3.0, 1.0, 2.0]
-        );
+        assert_eq!(f.forecast_univariate(&train, 5).unwrap(), vec![1.0, 2.0, 3.0, 1.0, 2.0]);
         assert!(f.forecast_univariate(&[1.0], 2).is_err());
         let mut bad = SeasonalNaiveForecaster { period: 0 };
         assert!(bad.forecast_univariate(&train, 2).is_err());

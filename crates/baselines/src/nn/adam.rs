@@ -71,11 +71,7 @@ impl Adam {
 /// Clips a set of gradient tensors to a maximum global L2 norm; returns the
 /// pre-clip norm. Standard practice for RNN training stability.
 pub fn clip_global_norm(grads: &mut [&mut [f64]], max_norm: f64) -> f64 {
-    let norm: f64 = grads
-        .iter()
-        .map(|g| g.iter().map(|x| x * x).sum::<f64>())
-        .sum::<f64>()
-        .sqrt();
+    let norm: f64 = grads.iter().map(|g| g.iter().map(|x| x * x).sum::<f64>()).sum::<f64>().sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {
@@ -112,10 +108,7 @@ mod tests {
         for _ in 0..300 {
             let ga: Vec<f64> = a.iter().map(|&x| 2.0 * x).collect();
             let gb: Vec<f64> = b.iter().map(|&x| 2.0 * x).collect();
-            opt.step(&mut [
-                (a.as_mut_slice(), ga.as_slice()),
-                (b.as_mut_slice(), gb.as_slice()),
-            ]);
+            opt.step(&mut [(a.as_mut_slice(), ga.as_slice()), (b.as_mut_slice(), gb.as_slice())]);
         }
         assert!(a.iter().all(|v| v.abs() < 0.05), "{a:?}");
         assert!(b.iter().all(|v| v.abs() < 0.05), "{b:?}");

@@ -32,9 +32,7 @@ impl Dropout {
             return vec![1.0; n];
         }
         let keep = 1.0 - self.rate;
-        (0..n)
-            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
-            .collect()
+        (0..n).map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 }).collect()
     }
 
     /// Applies a mask in place (training-time forward).

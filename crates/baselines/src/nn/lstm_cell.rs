@@ -216,10 +216,7 @@ mod tests {
         let (input, hidden) = (3, 4);
         let cell = LstmCell::new(input, hidden, &mut rng);
         let x = [0.3, -0.7, 0.5];
-        let prev = LstmState {
-            h: vec![0.1, -0.2, 0.05, 0.3],
-            c: vec![-0.4, 0.2, 0.6, -0.1],
-        };
+        let prev = LstmState { h: vec![0.1, -0.2, 0.05, 0.3], c: vec![-0.4, 0.2, 0.6, -0.1] };
         // Scalar loss: sum of h (so dh = 1, dc = 0).
         let loss = |cell: &LstmCell| -> f64 {
             let (s, _) = cell.forward(&x, &prev);

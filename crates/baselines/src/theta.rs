@@ -116,9 +116,7 @@ mod tests {
         let mut theta_err = 0.0;
         let mut ses_err = 0.0;
         let theta_fc = Theta.forecast_univariate(train, 20).unwrap();
-        let ses_fc = crate::expsmooth::Ses { alpha: None }
-            .forecast_univariate(train, 20)
-            .unwrap();
+        let ses_fc = crate::expsmooth::Ses { alpha: None }.forecast_univariate(train, 20).unwrap();
         for h in 0..20 {
             theta_err += (theta_fc[h] - test[h]).powi(2);
             ses_err += (ses_fc[h] - test[h]).powi(2);

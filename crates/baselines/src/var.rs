@@ -71,11 +71,8 @@ impl VarModel {
             // Residual variance.
             let mut rss = 0.0;
             for (r, yt) in y.iter().enumerate() {
-                let pred: f64 = x[r * cols..(r + 1) * cols]
-                    .iter()
-                    .zip(&beta)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let pred: f64 =
+                    x[r * cols..(r + 1) * cols].iter().zip(&beta).map(|(a, b)| a * b).sum();
                 rss += (yt - pred) * (yt - pred);
             }
             sigma2.push(rss / rows as f64);
@@ -137,7 +134,11 @@ impl MultivariateForecaster for VarForecaster {
         "VAR".into()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
         let mut best: Option<VarModel> = None;
         for p in 1..=self.max_p {
             if let Ok(m) = VarModel::fit(train, p) {
@@ -146,8 +147,7 @@ impl MultivariateForecaster for VarForecaster {
                 }
             }
         }
-        let model =
-            best.ok_or_else(|| invalid_param("series", "no VAR order could be fitted"))?;
+        let model = best.ok_or_else(|| invalid_param("series", "no VAR order could be fitted"))?;
         let rows = model.forecast(horizon);
         MultivariateSeries::from_rows(train.names().to_vec(), &rows)
     }
@@ -168,10 +168,7 @@ mod tests {
         for _ in 0..n + 50 {
             let e0 = sigma * standard_normal(&mut rng);
             let e1 = sigma * standard_normal(&mut rng);
-            let nx = [
-                a[0][0] * x[0] + a[0][1] * x[1] + e0,
-                a[1][0] * x[0] + a[1][1] * x[1] + e1,
-            ];
+            let nx = [a[0][0] * x[0] + a[0][1] * x[1] + e0, a[1][0] * x[0] + a[1][1] * x[1] + e1];
             x = nx;
             cols[0].push(x[0]);
             cols[1].push(x[1]);
@@ -250,11 +247,8 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        let tiny = MultivariateSeries::from_columns(
-            vec!["a".into()],
-            vec![white_noise(5, 1.0, 1)],
-        )
-        .unwrap();
+        let tiny = MultivariateSeries::from_columns(vec!["a".into()], vec![white_noise(5, 1.0, 1)])
+            .unwrap();
         assert!(VarModel::fit(&tiny, 2).is_err());
         assert!(VarModel::fit(&tiny, 0).is_err());
     }

@@ -47,9 +47,8 @@ fn bench_sax(c: &mut Criterion) {
 }
 
 fn bench_mux(c: &mut Criterion) {
-    let codes: Vec<Vec<u64>> = (0..4)
-        .map(|d| (0..300).map(|t| ((t * 37 + d * 11) % 1000) as u64).collect())
-        .collect();
+    let codes: Vec<Vec<u64>> =
+        (0..4).map(|d| (0..300).map(|t| ((t * 37 + d * 11) % 1000) as u64).collect()).collect();
     for method in MuxMethod::ALL {
         let m = method.build();
         c.bench_with_input(
@@ -58,11 +57,9 @@ fn bench_mux(c: &mut Criterion) {
             |b, codes| b.iter(|| m.mux(std::hint::black_box(codes), 3)),
         );
         let text = m.mux(&codes, 3);
-        c.bench_with_input(
-            BenchmarkId::new("mux/demux_4x300", method.tag()),
-            &text,
-            |b, text| b.iter(|| m.demux(std::hint::black_box(text), 4, 3, 300)),
-        );
+        c.bench_with_input(BenchmarkId::new("mux/demux_4x300", method.tag()), &text, |b, text| {
+            b.iter(|| m.demux(std::hint::black_box(text), 4, 3, 300))
+        });
     }
 }
 

@@ -1,0 +1,50 @@
+//! Criterion benchmark for the fit-once/sample-many split: draws `S`
+//! continuations with the prompt refit every sample (the pre-refactor
+//! path, [`run_continuation`]) vs fit once and fork a decode session per
+//! sample (the engine path). Companion to the `prompt_reuse` binary,
+//! which writes `results/prompt_reuse.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mc_datasets::PaperDataset;
+use mc_tslib::split::holdout_split;
+use multicast_core::codec::{Codec, DigitCodec};
+use multicast_core::engine::PreparedBackend;
+use multicast_core::pipeline::{run_continuation, ContinuationSpec};
+use multicast_core::{ForecastConfig, ForecastEngine, MuxMethod};
+
+fn gas_rate_spec(config: &ForecastConfig) -> ContinuationSpec {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, 0.15).expect("split");
+    let codec = DigitCodec::from_config(MuxMethod::ValueInterleave, config);
+    let fitted = codec.fit(&train).expect("fit codec");
+    ForecastEngine::new(*config).continuation_spec(fitted.as_ref(), test.len())
+}
+
+fn bench_prompt_reuse(c: &mut Criterion) {
+    let config = ForecastConfig::default();
+    let spec = gas_rate_spec(&config);
+    let mut group = c.benchmark_group("prompt_reuse");
+    for samples in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("refit_per_sample", samples), &spec, |b, spec| {
+            b.iter(|| {
+                for i in 0..samples {
+                    run_continuation(std::hint::black_box(spec), config.sampler_for(i)).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fit_once", samples), &spec, |b, spec| {
+            b.iter(|| {
+                let backend = PreparedBackend::fit(std::hint::black_box(spec)).unwrap();
+                let sampler = backend.sampler(spec.separators, spec.max_tokens);
+                for i in 0..samples {
+                    sampler.draw(config.sampler_for(i)).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prompt_reuse);
+criterion_main!(benches);

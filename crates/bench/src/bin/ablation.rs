@@ -106,17 +106,13 @@ fn main() {
         ("VAR (AIC order)", Box::new(|| Box::new(VarForecaster::default()))),
         ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
         ("Holt", Box::new(|| Box::new(PerDimension(Holt { alpha: None, beta: None })))),
-        (
-            "Holt-Winters (m=12)",
-            Box::new(|| Box::new(PerDimension(HoltWinters::with_period(12)))),
-        ),
+        ("Holt-Winters (m=12)", Box::new(|| Box::new(PerDimension(HoltWinters::with_period(12))))),
     ];
     for (name, make) in &entries {
         let mut row = vec![name.to_string()];
         for ds in PaperDataset::ALL {
             let series = ds.load();
-            let (train, test) =
-                holdout_split(&series, mc_bench::TEST_FRACTION).expect("split");
+            let (train, test) = holdout_split(&series, mc_bench::TEST_FRACTION).expect("split");
             let cell = match make().forecast(&train, test.len()) {
                 Ok(fc) => {
                     let mean_rmse: f64 = (0..series.dims())

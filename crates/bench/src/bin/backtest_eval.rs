@@ -39,11 +39,8 @@ fn fault_injection_study(samples: usize) {
     );
     for rate_pct in [0u32, 20, 40, 60, 80, 100] {
         let rate = rate_pct as f64 / 100.0;
-        let source = SampleSource::FaultInjected(FaultSpec {
-            rate,
-            seed: 0xFA017,
-            panic_sample: Some(0),
-        });
+        let source =
+            SampleSource::FaultInjected(FaultSpec { rate, seed: 0xFA017, panic_sample: Some(0) });
         let config = ForecastConfig { samples, ..Default::default() };
         let mut f =
             MultiCastForecaster::new(MuxMethod::ValueInterleave, config).with_source(source);
@@ -64,7 +61,15 @@ fn fault_injection_study(samples: usize) {
                     if report.degraded() { "fallback".into() } else { "sampled".into() },
                 ]
             }
-            Err(e) => vec![format!("{rate_pct}%"), format!("err: {e}"), String::new(), String::new(), String::new(), String::new(), String::new()],
+            Err(e) => vec![
+                format!("{rate_pct}%"),
+                format!("err: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
         };
         t.row(row);
     }
@@ -96,10 +101,7 @@ fn main() {
         (
             "LLMTIME",
             Box::new(move || {
-                Box::new(LlmTimeForecaster::new(ForecastConfig {
-                    samples,
-                    ..Default::default()
-                }))
+                Box::new(LlmTimeForecaster::new(ForecastConfig { samples, ..Default::default() }))
             }),
         ),
         ("ARIMA", Box::new(|| Box::new(PerDimension(ArimaForecaster::default())))),
@@ -121,8 +123,7 @@ fn main() {
             let cell = match backtest(f.as_mut(), &series, config) {
                 Ok(report) => {
                     let mean = report.grand_mean();
-                    let spread = report.std_rmse.iter().sum::<f64>()
-                        / report.std_rmse.len() as f64;
+                    let spread = report.std_rmse.iter().sum::<f64>() / report.std_rmse.len() as f64;
                     format!("{} ± {}", fmt_metric(mean), fmt_metric(spread))
                 }
                 Err(e) => format!("err: {e}"),

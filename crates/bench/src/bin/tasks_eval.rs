@@ -40,9 +40,7 @@ fn anomaly_eval() {
             xs[at] += sign * scale * amplitude;
         }
         let report = AnomalyDetector::default().detect(&xs).expect("detect");
-        let hit = |at: usize| {
-            report.anomalies.iter().any(|&i| (i as i64 - at as i64).abs() <= 1)
-        };
+        let hit = |at: usize| report.anomalies.iter().any(|&i| (i as i64 - at as i64).abs() <= 1);
         let hits = injections.iter().filter(|&&at| hit(at)).count();
         // A flagged index is a true positive if it is within ±1 of any
         // injection (the point after a spike is legitimately surprising).
@@ -84,15 +82,10 @@ fn imputation_eval() {
         let imputed = Imputer::default().impute(&masked).expect("impute");
         let linear = linear_interpolate(&masked);
         let score = |candidate: &[f64]| -> f64 {
-            let acc: f64 =
-                (start..start + gap).map(|i| (candidate[i] - truth[i]).powi(2)).sum();
+            let acc: f64 = (start..start + gap).map(|i| (candidate[i] - truth[i]).powi(2)).sum();
             (acc / gap as f64).sqrt()
         };
-        t.row(vec![
-            gap.to_string(),
-            fmt_metric(score(&imputed)),
-            fmt_metric(score(&linear)),
-        ]);
+        t.row(vec![gap.to_string(), fmt_metric(score(&imputed)), fmt_metric(score(&linear))]);
     }
     t.emit(RESULTS_DIR, "tasks_eval_imputation.md").expect("write");
 }

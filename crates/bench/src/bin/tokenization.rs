@@ -16,16 +16,16 @@ use mc_datasets::PaperDataset;
 use mc_lm::bpe::BpeTokenizer;
 use mc_lm::generate::{generate, GenerateOptions};
 use mc_lm::model::observe_all;
-use mc_lm::ngram::NGramLm;
 use mc_lm::model::LanguageModel;
+use mc_lm::ngram::NGramLm;
 use mc_lm::sampler::{Sampler, SamplerConfig};
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::Vocab;
 use mc_tslib::metrics::rmse;
 use mc_tslib::split::holdout_split;
 use multicast_core::mux::{Multiplexer, ValueInterleave};
-use multicast_core::scaling::FixedDigitScaler;
 use multicast_core::pipeline::median_aggregate;
+use multicast_core::scaling::FixedDigitScaler;
 
 const DIGITS: u32 = 3;
 const SAMPLES: usize = 5;
@@ -37,9 +37,8 @@ fn main() {
     let dims = train.dims();
 
     let scaler = FixedDigitScaler::fit(train.columns(), DIGITS, 0.15).expect("scaler");
-    let codes: Vec<Vec<u64>> = (0..dims)
-        .map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap())
-        .collect();
+    let codes: Vec<Vec<u64>> =
+        (0..dims).map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap()).collect();
     let mux = ValueInterleave;
     let prompt_text = mux.mux(&codes, DIGITS);
 
@@ -93,11 +92,13 @@ fn run_variant(
     for s in 0..SAMPLES {
         let mut model = NGramLm::new(vocab_size, 10, 0.25, "ablation");
         observe_all(&mut model, &prompt);
-        let mut sampler = Sampler::new(SamplerConfig { 
+        let mut sampler = Sampler::new(SamplerConfig {
             temperature: 0.7,
             top_k: None,
             top_p: Some(0.95),
-            seed: s as u64, epsilon: 0.0 });
+            seed: s as u64,
+            epsilon: 0.0,
+        });
         // Token-count budget: BPE tokens spell multiple chars, so stop by
         // budget and let the lenient demux take the first `horizon` groups.
         let options = GenerateOptions {
@@ -117,9 +118,8 @@ fn run_variant(
         total_tokens += model.cost().total_tokens();
     }
     let median = median_aggregate(&decoded_samples).expect("uniform sample shapes");
-    let rmses: Vec<f64> = (0..dims)
-        .map(|d| rmse(test.column(d).unwrap(), &median[d]).unwrap())
-        .collect();
+    let rmses: Vec<f64> =
+        (0..dims).map(|d| rmse(test.column(d).unwrap(), &median[d]).unwrap()).collect();
     (rmses, total_tokens)
 }
 

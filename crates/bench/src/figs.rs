@@ -147,7 +147,12 @@ pub fn fig5(dir: &Path, samples: usize) -> Result<PathBuf> {
     )
 }
 
-fn sax_forecaster(kind: SaxAlphabetKind, segment_len: usize, size: usize, samples: usize) -> SaxMultiCastForecaster {
+fn sax_forecaster(
+    kind: SaxAlphabetKind,
+    segment_len: usize,
+    size: usize,
+    samples: usize,
+) -> SaxMultiCastForecaster {
     SaxMultiCastForecaster::new(SaxForecastConfig {
         sax: SaxConfig {
             segment_len,

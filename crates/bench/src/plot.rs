@@ -47,7 +47,13 @@ impl LinePlot {
     }
 
     /// Adds a series with an automatic palette color.
-    pub fn add(&mut self, label: impl Into<String>, xs: Vec<f64>, ys: Vec<f64>, dashed: bool) -> &mut Self {
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        dashed: bool,
+    ) -> &mut Self {
         assert_eq!(xs.len(), ys.len(), "series coordinates must pair up");
         let color = PALETTE[self.series.len() % PALETTE.len()].to_string();
         self.series.push(Series { label: label.into(), xs, ys, color, dashed });

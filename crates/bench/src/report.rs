@@ -53,11 +53,8 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("## {}\n\n", self.title));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |\n", padded.join(" | "))
         };
         out.push_str(&fmt_row(&self.header, &widths));

@@ -63,13 +63,7 @@ impl Method {
         for d in 0..test.dims() {
             per_dim_rmse.push(rmse(test.column(d)?, forecast.column(d)?)?);
         }
-        Ok(MethodResult {
-            method: self.name.clone(),
-            per_dim_rmse,
-            seconds,
-            cost: None,
-            forecast,
-        })
+        Ok(MethodResult { method: self.name.clone(), per_dim_rmse, seconds, cost: None, forecast })
     }
 }
 
@@ -84,10 +78,7 @@ pub fn standard_roster(config: ForecastConfig) -> Vec<Method> {
         ));
     }
     methods.push(Method::plain("LLMTIME", Box::new(LlmTimeForecaster::new(config))));
-    methods.push(Method::plain(
-        "ARIMA",
-        Box::new(PerDimension(ArimaForecaster::default())),
-    ));
+    methods.push(Method::plain("ARIMA", Box::new(PerDimension(ArimaForecaster::default()))));
     methods.push(Method::plain(
         "LSTM",
         Box::new(LstmForecaster::new(LstmConfig { seed: config.seed, ..LstmConfig::default() })),
@@ -147,14 +138,7 @@ mod tests {
         let names: Vec<&str> = methods.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(
             names,
-            [
-                "MultiCast (DI)",
-                "MultiCast (VI)",
-                "MultiCast (VC)",
-                "LLMTIME",
-                "ARIMA",
-                "LSTM"
-            ]
+            ["MultiCast (DI)", "MultiCast (VI)", "MultiCast (VC)", "LLMTIME", "ARIMA", "LSTM"]
         );
     }
 

@@ -57,7 +57,8 @@ pub fn table3_model_comparison(samples: usize) -> Result<Table> {
         &["Model", "GasRate", "CO2"],
     );
     for preset in [ModelPreset::Large, ModelPreset::Small] {
-        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config_with(samples, preset));
+        let mut f =
+            MultiCastForecaster::new(MuxMethod::ValueInterleave, config_with(samples, preset));
         let fc = f.forecast(&train, test.len())?;
         let mut cells = vec![format!("MultiCast ({})", preset.display_name())];
         for d in 0..2 {
@@ -128,10 +129,9 @@ pub fn table6_weather(samples: usize) -> Result<Table> {
 pub fn table7_samples_sweep(sample_counts: &[usize]) -> Result<Table> {
     let series = PaperDataset::GasRate.load();
     let (train, test) = holdout_split(&series, TEST_FRACTION)?;
-    let header: Vec<String> =
-        std::iter::once("Method".to_string())
-            .chain(sample_counts.iter().map(|s| format!("S = {s}")))
-            .collect();
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(sample_counts.iter().map(|s| format!("S = {s}")))
+        .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(
         "Table VII — Performance for an increasing number of samples (Gas Rate dim 1: RMSE / time / tokens)",

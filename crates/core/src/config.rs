@@ -44,7 +44,13 @@ impl Default for ForecastConfig {
             digits: 3,
             headroom: 0.15,
             preset: ModelPreset::Large,
-            sampler: SamplerConfig {  temperature: 0.7, top_k: None, top_p: Some(0.95), seed: 0, epsilon: 0.0 },
+            sampler: SamplerConfig {
+                temperature: 0.7,
+                top_k: None,
+                top_p: Some(0.95),
+                seed: 0,
+                epsilon: 0.0,
+            },
             seed: 0,
             robust: RobustPolicy::default(),
         }

@@ -10,13 +10,11 @@
 use mc_tslib::error::{invalid_param, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
 
+use crate::codec::DigitCodec;
 use crate::config::ForecastConfig;
+use crate::engine::ForecastEngine;
 use crate::multicast::MultiCastForecaster;
 use crate::mux::MuxMethod;
-use crate::pipeline::{run_samples, ContinuationSpec};
-use crate::scaling::FixedDigitScaler;
-
-use mc_lm::vocab::Vocab;
 
 /// A forecast with lower/median/upper bands per dimension.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,39 +114,6 @@ pub fn forecast_with_bands(
     if !(0.0 < coverage && coverage < 1.0) {
         return Err(invalid_param("coverage", format!("{coverage} not in (0, 1)")));
     }
-    // Re-run the sampling pipeline capturing all samples (the plain
-    // forecaster discards them after the median).
-    let dims = train.dims();
-    let scaler = FixedDigitScaler::fit(train.columns(), config.digits, config.headroom)?;
-    let mut codes = Vec::with_capacity(dims);
-    for d in 0..dims {
-        codes.push(scaler.scale_column(d, train.column(d)?)?);
-    }
-    let mux = method.build();
-    let prompt = mux.mux(&codes, config.digits);
-    let separators = mux.separators_for(dims, horizon);
-    let payload = match method {
-        MuxMethod::ValueConcat => config.digits as usize,
-        _ => dims * config.digits as usize,
-    };
-    let spec = ContinuationSpec {
-        prompt,
-        vocab: Vocab::numeric(),
-        allowed_chars: "0123456789,".into(),
-        preset: config.preset,
-        separators,
-        max_tokens: config.max_tokens(separators, payload),
-    };
-    let scaler_ref = &scaler;
-    let mux_ref = &*mux;
-    let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
-        mux_ref
-            .demux(text, dims, config.digits, horizon)
-            .iter()
-            .enumerate()
-            .map(|(d, col)| scaler_ref.descale_column(d, col))
-            .collect()
-    };
     // Band estimation needs *distributional* samples: nucleus truncation
     // and sub-unit temperatures collapse a confident backend's ensemble
     // to a single trajectory (zero-width bands). Sample the model's
@@ -165,7 +130,14 @@ pub fn forecast_with_bands(
         s.epsilon = 0.03;
         s
     };
-    let (decoded, _cost) = run_samples(&spec, config.samples.max(2), band_sampler, decode)?;
+    // Re-run the sampling pipeline capturing all raw samples (the plain
+    // forecaster discards them after the median): the engine's non-robust
+    // `draw` path keeps every trajectory, defects included, so the
+    // quantiles reflect the actual predictive distribution.
+    let codec = DigitCodec::from_config(method, &config);
+    let engine = ForecastEngine::new(config);
+    let (decoded, _cost) =
+        engine.draw(&codec, train, horizon, config.samples.max(2), band_sampler)?;
     let alpha = (1.0 - coverage) / 2.0;
     Ok(ForecastBands {
         names: train.names().to_vec(),
@@ -200,8 +172,7 @@ mod tests {
 
     #[test]
     fn quantile_aggregate_orders_bands() {
-        let samples: Vec<Vec<Vec<f64>>> =
-            (0..9).map(|s| vec![vec![s as f64; 4]]).collect();
+        let samples: Vec<Vec<Vec<f64>>> = (0..9).map(|s| vec![vec![s as f64; 4]]).collect();
         let q10 = quantile_aggregate(&samples, 0.1).unwrap();
         let q50 = quantile_aggregate(&samples, 0.5).unwrap();
         let q90 = quantile_aggregate(&samples, 0.9).unwrap();
@@ -249,14 +220,9 @@ mod tests {
         let series = noisy_series(160);
         let (train, test) = holdout_split(&series, 0.1).unwrap();
         let config = ForecastConfig { samples: 15, ..Default::default() };
-        let bands = forecast_with_bands(
-            MuxMethod::ValueInterleave,
-            config,
-            &train,
-            test.len(),
-            0.8,
-        )
-        .unwrap();
+        let bands =
+            forecast_with_bands(MuxMethod::ValueInterleave, config, &train, test.len(), 0.8)
+                .unwrap();
         let cov = bands.empirical_coverage(&test).unwrap();
         // Sampling bands on a stand-in backend aren't perfectly calibrated;
         // require them to be informative (non-degenerate, catching a
@@ -284,11 +250,7 @@ mod tests {
     fn invalid_coverage_rejected() {
         let series = noisy_series(60);
         let config = ForecastConfig { samples: 3, ..Default::default() };
-        assert!(
-            forecast_with_bands(MuxMethod::ValueConcat, config, &series, 4, 1.0).is_err()
-        );
-        assert!(
-            forecast_with_bands(MuxMethod::ValueConcat, config, &series, 4, 0.0).is_err()
-        );
+        assert!(forecast_with_bands(MuxMethod::ValueConcat, config, &series, 4, 1.0).is_err());
+        assert!(forecast_with_bands(MuxMethod::ValueConcat, config, &series, 4, 0.0).is_err());
     }
 }

@@ -8,13 +8,16 @@
 //! 2. **Dimensional multiplexing** ([`mux`]) — the three token-multiplexing
 //!    schemes of Figure 1: digit-interleaving (DI), value-interleaving
 //!    (VI) and value-concatenation (VC), each with an exact inverse;
-//! 3. **The zero-shot pipeline** ([`pipeline`]) — serialize the history,
-//!    prompt the LLM backend, sample `S` constrained continuations, decode/
-//!    demultiplex/descale each and take the pointwise median (§IV-D);
+//! 3. **The zero-shot pipeline** ([`pipeline`], [`engine`]) — serialize
+//!    the history through a composable [`Codec`], condition the backend on
+//!    the prompt once ([`engine::PreparedBackend`]), sample `S` constrained
+//!    continuations through forked decode sessions, decode/demultiplex/
+//!    descale each and take the pointwise median (§IV-D);
 //! 4. **Forecasters** — [`MultiCastForecaster`] (the paper's method),
 //!    [`LlmTimeForecaster`] (the LLMTime baseline, applied per dimension),
 //!    and [`SaxMultiCastForecaster`] (the SAX-quantized variant of §III-B
-//!    driving Tables VIII–IX);
+//!    driving Tables VIII–IX) — all thin configurations of the shared
+//!    [`ForecastEngine`];
 //! 5. **Configuration** ([`config`]) — Table II's parameter space with the
 //!    paper's bold defaults;
 //! 6. **Fault tolerance** ([`robust`]) — per-sample validation against a
@@ -35,7 +38,9 @@
 //! assert_eq!(forecast.dims(), 2);
 //! ```
 
+pub mod codec;
 pub mod config;
+pub mod engine;
 pub mod intervals;
 pub mod llmtime;
 pub mod multicast;
@@ -46,7 +51,12 @@ pub mod sax_pipeline;
 pub mod scaling;
 pub mod streaming;
 
+pub use codec::{
+    Codec, DigitCodec, FittedCodec, FittedDigitCodec, FittedSaxCodec, SaxCodec, DIGIT_ALPHABET,
+    DIGIT_STREAM_CHARS,
+};
 pub use config::ForecastConfig;
+pub use engine::{EngineRun, ForecastEngine, PreparedBackend, SessionSampler};
 pub use intervals::{bands_for, forecast_with_bands, ForecastBands};
 pub use llmtime::LlmTimeForecaster;
 pub use multicast::MultiCastForecaster;

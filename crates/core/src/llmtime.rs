@@ -7,22 +7,17 @@
 //! accuracy difference between the two isolates the effect of dimensional
 //! multiplexing, exactly the comparison Tables IV–VI make.
 
-use mc_baselines::fallback::FallbackForecaster;
 use mc_tslib::error::{Result, TsError};
 use mc_tslib::forecast::{MultivariateForecaster, UnivariateForecaster};
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::cost::InferenceCost;
-use mc_lm::vocab::Vocab;
 
+use crate::codec::DigitCodec;
 use crate::config::ForecastConfig;
-use crate::mux::{Multiplexer, ValueInterleave};
-use crate::pipeline::{median_aggregate, ContinuationSpec};
-use crate::robust::{
-    run_samples_robust, FallbackPolicy, ForecastOutcome, ForecastReport, SampleExpectations,
-    SampleSource,
-};
-use crate::scaling::FixedDigitScaler;
+use crate::engine::ForecastEngine;
+use crate::mux::MuxMethod;
+use crate::robust::{ForecastReport, SampleSource};
 
 /// Zero-shot univariate LLM forecaster, applied per dimension.
 #[derive(Debug, Clone)]
@@ -63,62 +58,15 @@ impl LlmTimeForecaster {
         column: &[f64],
         horizon: usize,
     ) -> Result<(Vec<f64>, InferenceCost, ForecastReport)> {
-        let cfg = self.config;
-        let scaler = FixedDigitScaler::fit(&[column.to_vec()], cfg.digits, cfg.headroom)?;
-        let codes = scaler.scale_column(0, column)?;
         // With one dimension, value-interleaving is the plain LLMTime
         // serialization: "017,042,..." — one value per separator.
-        let mux = ValueInterleave;
-        let prompt = mux.mux(&[codes], cfg.digits);
-        let separators = mux.separators_for(1, horizon);
-        let spec = ContinuationSpec {
-            prompt,
-            vocab: Vocab::numeric(),
-            allowed_chars: "0123456789,".into(),
-            preset: cfg.preset,
-            separators,
-            max_tokens: cfg.max_tokens(separators, cfg.digits as usize),
-        };
-        let scaler_ref = &scaler;
-        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
-            let codes = mux.demux(text, 1, cfg.digits, horizon);
-            Ok(vec![scaler_ref.descale_column(0, &codes[0])?])
-        };
-        let expect = SampleExpectations {
-            separators,
-            group_width: cfg.digits as usize,
-            alphabet: "0123456789".into(),
-            numeric: true,
-            dims: 1,
-            horizon,
-        };
-        let run = run_samples_robust(
-            &spec,
-            cfg.samples.max(1),
-            cfg.robust,
-            self.source,
-            &expect,
-            |i| cfg.sampler_for(i),
-            decode,
-        )?;
-        let forecast = if run.quorum_met {
-            let median = median_aggregate(&run.samples)?;
-            median.into_iter().next().ok_or(TsError::Empty)?
-        } else {
-            match cfg.robust.fallback {
-                FallbackPolicy::Error => {
-                    let (valid, required) = match run.report.outcome {
-                        ForecastOutcome::Degraded { valid, required } => (valid, required),
-                        ForecastOutcome::Sampled => (run.report.valid_samples, 1),
-                    };
-                    return Err(TsError::SampleQuorum { valid, required });
-                }
-                FallbackPolicy::SeasonalNaive => {
-                    FallbackForecaster::default().forecast_univariate(column, horizon)?
-                }
-            }
-        };
-        Ok((forecast, run.cost, run.report))
+        let codec = DigitCodec::from_config(MuxMethod::ValueInterleave, &self.config);
+        let train = MultivariateSeries::from_columns(vec!["value".into()], vec![column.to_vec()])?;
+        let engine = ForecastEngine::with_source(self.config, self.source);
+        let run = engine.run(&codec, &train, horizon)?;
+        let resolved = run.resolve(&train, horizon)?;
+        let forecast = resolved.column(0).map_err(|_| TsError::Empty)?.to_vec();
+        Ok((forecast, run.cost(), run.into_report()))
     }
 }
 
@@ -142,13 +90,34 @@ impl MultivariateForecaster for LlmTimeForecaster {
         "LLMTIME".into()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
         self.last_cost = None;
         self.last_report = None;
-        let mut columns = Vec::with_capacity(train.dims());
+        // Dimensions are forecast independently (the whole point of the
+        // baseline), so they run on scoped threads. Every dimension uses
+        // the same deterministic per-sample seeds the sequential loop
+        // used, and results merge in dimension order below, so outputs,
+        // costs and reports are identical to sequential execution.
+        let dims = train.dims();
+        let mut slots: Vec<Option<Result<(Vec<f64>, InferenceCost, ForecastReport)>>> = Vec::new();
+        slots.resize_with(dims, || None);
+        let this = &*self;
+        std::thread::scope(|scope| {
+            for (d, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot =
+                        Some(train.column(d).and_then(|col| this.forecast_column(col, horizon)));
+                });
+            }
+        });
+        let mut columns = Vec::with_capacity(dims);
         let mut total = InferenceCost::default();
-        for d in 0..train.dims() {
-            let (fc, cost, report) = self.forecast_column(train.column(d)?, horizon)?;
+        for slot in slots {
+            let (fc, cost, report) = slot.expect("scoped thread filled its slot")?;
             total.absorb(cost);
             self.merge_report(report);
             columns.push(fc);

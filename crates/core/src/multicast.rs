@@ -18,15 +18,12 @@ use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::cost::InferenceCost;
-use mc_lm::vocab::Vocab;
 
+use crate::codec::DigitCodec;
 use crate::config::ForecastConfig;
+use crate::engine::ForecastEngine;
 use crate::mux::MuxMethod;
-use crate::pipeline::{median_aggregate, ContinuationSpec};
-use crate::robust::{
-    resolve_quorum_failure, run_samples_robust, ForecastReport, SampleExpectations, SampleSource,
-};
-use crate::scaling::FixedDigitScaler;
+use crate::robust::{ForecastReport, SampleSource};
 
 /// Zero-shot multivariate forecaster with dimensional multiplexing.
 #[derive(Debug, Clone)]
@@ -64,64 +61,17 @@ impl MultivariateForecaster for MultiCastForecaster {
         self.method.display_name().to_string()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
-        let cfg = self.config;
-        let dims = train.dims();
-        let scaler = FixedDigitScaler::fit(train.columns(), cfg.digits, cfg.headroom)?;
-        let mut codes = Vec::with_capacity(dims);
-        for d in 0..dims {
-            codes.push(scaler.scale_column(d, train.column(d)?)?);
-        }
-        let mux = self.method.build();
-        let prompt = mux.mux(&codes, cfg.digits);
-        let separators = mux.separators_for(dims, horizon);
-        let payload = match self.method {
-            MuxMethod::ValueConcat => cfg.digits as usize,
-            _ => dims * cfg.digits as usize,
-        };
-        let spec = ContinuationSpec {
-            prompt,
-            vocab: Vocab::numeric(),
-            allowed_chars: "0123456789,".into(),
-            preset: cfg.preset,
-            separators,
-            max_tokens: cfg.max_tokens(separators, payload),
-        };
-        let scaler_ref = &scaler;
-        let mux_ref = &*mux;
-        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
-            let codes = mux_ref.demux(text, dims, cfg.digits, horizon);
-            codes
-                .iter()
-                .enumerate()
-                .map(|(d, col)| scaler_ref.descale_column(d, col))
-                .collect()
-        };
-        let expect = SampleExpectations {
-            separators,
-            group_width: payload,
-            alphabet: "0123456789".into(),
-            numeric: true,
-            dims,
-            horizon,
-        };
-        let run = run_samples_robust(
-            &spec,
-            cfg.samples.max(1),
-            cfg.robust,
-            self.source,
-            &expect,
-            |i| cfg.sampler_for(i),
-            decode,
-        )?;
-        self.last_cost = Some(run.cost);
-        let result = if run.quorum_met {
-            let columns = median_aggregate(&run.samples)?;
-            MultivariateSeries::from_columns(train.names().to_vec(), columns)
-        } else {
-            resolve_quorum_failure(cfg.robust, &run.report, train, horizon)
-        };
-        self.last_report = Some(run.report);
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
+        let codec = DigitCodec::from_config(self.method, &self.config);
+        let engine = ForecastEngine::with_source(self.config, self.source);
+        let run = engine.run(&codec, train, horizon)?;
+        self.last_cost = Some(run.cost());
+        let result = run.resolve(train, horizon);
+        self.last_report = Some(run.into_report());
         result
     }
 }
@@ -202,8 +152,7 @@ mod tests {
             let col = train.column(d).unwrap();
             let mean = col.iter().sum::<f64>() / col.len() as f64;
             let err = rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap();
-            let mean_err =
-                rmse(test.column(d).unwrap(), &vec![mean; test.len()]).unwrap();
+            let mean_err = rmse(test.column(d).unwrap(), &vec![mean; test.len()]).unwrap();
             assert!(
                 err < mean_err,
                 "dim {d}: multicast {err:.3} should beat mean predictor {mean_err:.3}"

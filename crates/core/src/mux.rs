@@ -57,6 +57,16 @@ impl MuxMethod {
         }
     }
 
+    /// Characters per comma-separated group: value-concatenated streams
+    /// emit one value (`digits` chars) per group, the interleaving
+    /// methods one full row (`dims * digits` chars).
+    pub fn group_width(self, dims: usize, digits: u32) -> usize {
+        match self {
+            MuxMethod::ValueConcat => digits as usize,
+            _ => dims * digits as usize,
+        }
+    }
+
     /// Builds the corresponding multiplexer.
     pub fn build(self) -> Box<dyn Multiplexer> {
         match self {

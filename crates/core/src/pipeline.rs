@@ -65,15 +65,9 @@ pub fn run_continuation(
     observe_all(model.as_mut(), &prompt_tokens);
     let mut sampler = Sampler::new(sampler_config);
     let options = GenerateOptions::until_separators(sep, spec.separators, spec.max_tokens);
-    let out = generate(
-        model.as_mut(),
-        &mut sampler,
-        |t: TokenId| allowed[t as usize],
-        &options,
-    );
-    let text = tokenizer
-        .decode(&out)
-        .map_err(|e| pipeline_error("decode-continuation", e.to_string()))?;
+    let out = generate(model.as_mut(), &mut sampler, |t: TokenId| allowed[t as usize], &options);
+    let text =
+        tokenizer.decode(&out).map_err(|e| pipeline_error("decode-continuation", e.to_string()))?;
     Ok((text, model.cost()))
 }
 
@@ -122,8 +116,8 @@ where
     let mut decoded = Vec::with_capacity(samples);
     let mut total = InferenceCost::default();
     for (i, slot) in per_sample.into_iter().enumerate() {
-        let outcome = slot
-            .ok_or_else(|| pipeline_error("sample-thread", format!("sample {i} never ran")))?;
+        let outcome =
+            slot.ok_or_else(|| pipeline_error("sample-thread", format!("sample {i} never ran")))?;
         let (d, cost) = outcome
             .map_err(|_| pipeline_error("sample-thread", format!("sample {i} panicked")))??;
         decoded.push(d);
@@ -162,12 +156,18 @@ pub fn median_aggregate(samples: &[Vec<Vec<f64>>]) -> Result<Vec<Vec<f64>>> {
             for s in samples {
                 buf.push(s[d][t]);
             }
-            buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // O(n) selection instead of a full sort: the upper-middle
+            // element lands at `mid` and, for even counts, the lower one
+            // is the maximum of the left partition — the same two operands
+            // the sorted version averaged, so results are bit-identical.
             let mid = buf.len() / 2;
+            let cmp = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
             out[d][t] = if buf.len() % 2 == 1 {
-                buf[mid]
+                *buf.select_nth_unstable_by(mid, cmp).1
             } else {
-                0.5 * (buf[mid - 1] + buf[mid])
+                let (left, hi, _) = buf.select_nth_unstable_by(mid, cmp);
+                let lo = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                0.5 * (lo + *hi)
             };
         }
     }
@@ -204,7 +204,8 @@ mod tests {
         // A constant history must be continued (nearly) constantly at low
         // temperature by the in-context backend.
         let s = spec(&"042,".repeat(40), 4);
-        let cfg = SamplerConfig {  temperature: 0.05, top_k: None, top_p: None, seed: 2, epsilon: 0.0 };
+        let cfg =
+            SamplerConfig { temperature: 0.05, top_k: None, top_p: None, seed: 2, epsilon: 0.0 };
         let (text, _) = run_continuation(&s, cfg).unwrap();
         assert_eq!(text, "042,042,042,042,", "got {text}");
     }
@@ -242,22 +243,13 @@ mod tests {
     #[test]
     fn run_samples_rejects_zero_samples() {
         let s = spec("1,", 1);
-        let out = run_samples(
-            &s,
-            0,
-            |_| SamplerConfig::default(),
-            |_: &str| Ok(vec![vec![0.0]]),
-        );
+        let out = run_samples(&s, 0, |_| SamplerConfig::default(), |_: &str| Ok(vec![vec![0.0]]));
         assert!(matches!(out, Err(TsError::InvalidParameter { name: "samples", .. })));
     }
 
     #[test]
     fn median_odd_and_even() {
-        let samples = vec![
-            vec![vec![1.0, 10.0]],
-            vec![vec![3.0, 30.0]],
-            vec![vec![2.0, 20.0]],
-        ];
+        let samples = vec![vec![vec![1.0, 10.0]], vec![vec![3.0, 30.0]], vec![vec![2.0, 20.0]]];
         assert_eq!(median_aggregate(&samples).unwrap(), vec![vec![2.0, 20.0]]);
         let even = vec![vec![vec![1.0]], vec![vec![2.0]], vec![vec![3.0]], vec![vec![10.0]]];
         assert_eq!(median_aggregate(&even).unwrap(), vec![vec![2.5]]);

@@ -334,8 +334,7 @@ impl FaultSpec {
             }
             // Garbage: non-alphabet characters replace interior groups.
             1 => {
-                let groups: Vec<&str> =
-                    text.split(',').filter(|g| !g.is_empty()).collect();
+                let groups: Vec<&str> = text.split(',').filter(|g| !g.is_empty()).collect();
                 let replaced: Vec<String> = groups
                     .iter()
                     .enumerate()
@@ -404,11 +403,7 @@ impl ForecastReport {
 
     /// Number of defects of one class across all samples and attempts.
     pub fn defect_count(&self, class: DefectClass) -> usize {
-        self.samples
-            .iter()
-            .flat_map(|s| &s.defects)
-            .filter(|d| d.class() == class)
-            .count()
+        self.samples.iter().flat_map(|s| &s.defects).filter(|d| d.class() == class).count()
     }
 
     /// Total defects across all samples and attempts.
@@ -505,6 +500,40 @@ pub fn run_samples_robust<D>(
 where
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
+    run_attempts(
+        samples,
+        policy,
+        source,
+        expect,
+        |vi| run_continuation(spec, sampler_for(vi)),
+        decode,
+    )
+}
+
+/// The backend-agnostic core of [`run_samples_robust`]: `draw` maps a
+/// virtual sampler index to one generated continuation (text + cost), and
+/// this function supplies the validation / retry / quorum / panic-isolation
+/// machinery around it. The [`crate::engine::ForecastEngine`] passes a
+/// `draw` that forks sessions off one prompt-conditioned
+/// [`mc_lm::FrozenLm`]; [`run_samples_robust`] passes one that refits per
+/// attempt. Virtual-index semantics are documented on
+/// [`run_samples_robust`].
+///
+/// # Errors
+/// On infrastructure failures surfaced by `draw` or `decode` — never
+/// because of a defective sample; those are retried and reported.
+pub fn run_attempts<Draw, D>(
+    samples: usize,
+    policy: RobustPolicy,
+    source: SampleSource,
+    expect: &SampleExpectations,
+    draw: Draw,
+    decode: D,
+) -> Result<RobustRun>
+where
+    Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
+    D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
+{
     if samples == 0 {
         return Err(invalid_param("samples", "at least one sample required"));
     }
@@ -523,21 +552,19 @@ where
         outcomes.resize_with(pending.len(), || None);
         std::thread::scope(|scope| {
             for (slot, &i) in outcomes.iter_mut().zip(&pending) {
-                let spec = &*spec;
-                let sampler_for = &sampler_for;
+                let draw = &draw;
                 let decode = &decode;
                 let expect = &*expect;
                 scope.spawn(move || {
                     let virtual_index =
                         if attempt == 0 { i } else { samples + (attempt - 1) * samples + i };
-                    let cfg = sampler_for(virtual_index);
                     let result = catch_unwind(AssertUnwindSafe(|| -> Result<Attempt> {
                         if let SampleSource::FaultInjected(f) = source {
                             if f.panic_sample == Some(i) && attempt == 0 {
                                 panic!("injected panic (sample {i})");
                             }
                         }
-                        let (text, cost) = run_continuation(spec, cfg)?;
+                        let (text, cost) = draw(virtual_index)?;
                         let text = match source {
                             SampleSource::Model => text,
                             SampleSource::FaultInjected(f) => f.corrupt(i, attempt, &text),
@@ -584,8 +611,7 @@ where
     let required = policy.required_valid(samples);
     let quorum_met = valid.len() >= required;
     let retries_used = records.iter().map(|r| r.attempts.saturating_sub(1)).sum();
-    let repairs_applied =
-        records.iter().flat_map(|r| &r.defects).filter(|d| !d.is_fatal()).count();
+    let repairs_applied = records.iter().flat_map(|r| &r.defects).filter(|d| !d.is_fatal()).count();
     let report = ForecastReport {
         requested_samples: samples,
         valid_samples: valid.len(),
@@ -633,7 +659,12 @@ mod tests {
     use mc_lm::presets::ModelPreset;
     use mc_lm::vocab::Vocab;
 
-    fn numeric_expect(separators: usize, group_width: usize, dims: usize, horizon: usize) -> SampleExpectations {
+    fn numeric_expect(
+        separators: usize,
+        group_width: usize,
+        dims: usize,
+        horizon: usize,
+    ) -> SampleExpectations {
         SampleExpectations {
             separators,
             group_width,
@@ -721,11 +752,7 @@ mod tests {
         let s = spec(&"017,023,".repeat(20), 2);
         let expect = numeric_expect(2, 3, 1, 2);
         let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
-            Ok(vec![text
-                .split(',')
-                .filter(|g| !g.is_empty())
-                .map(|g| g.len() as f64)
-                .collect()])
+            Ok(vec![text.split(',').filter(|g| !g.is_empty()).map(|g| g.len() as f64).collect()])
         };
         let sampler_for =
             |i: usize| SamplerConfig { seed: 10 + i as u64, ..SamplerConfig::default() };
@@ -766,11 +793,8 @@ mod tests {
         };
         // Decode above can yield fewer than 3 values on truncation; shape
         // validation flags that, which is exactly what we want to exercise.
-        let source = SampleSource::FaultInjected(FaultSpec {
-            rate: 0.0,
-            seed: 0,
-            panic_sample: Some(1),
-        });
+        let source =
+            SampleSource::FaultInjected(FaultSpec { rate: 0.0, seed: 0, panic_sample: Some(1) });
         let run = run_samples_robust(
             &s,
             3,
@@ -795,12 +819,16 @@ mod tests {
         let decode = |_: &str| -> Result<Vec<Vec<f64>>> { Ok(vec![vec![0.0; 3]]) };
         let source = SampleSource::FaultInjected(FaultSpec::with_rate(1.0, 5));
         let policy = RobustPolicy { max_retries: 1, min_valid_samples: 2, ..Default::default() };
-        let run =
-            run_samples_robust(&s, 3, policy, source, &expect, |i| SamplerConfig {
-                seed: i as u64,
-                ..SamplerConfig::default()
-            }, decode)
-            .unwrap();
+        let run = run_samples_robust(
+            &s,
+            3,
+            policy,
+            source,
+            &expect,
+            |i| SamplerConfig { seed: i as u64, ..SamplerConfig::default() },
+            decode,
+        )
+        .unwrap();
         assert!(!run.quorum_met);
         assert!(run.report.degraded());
         assert_eq!(run.report.retries_used, 3, "every sample used its retry");

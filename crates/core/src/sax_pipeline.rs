@@ -16,19 +16,16 @@
 use mc_tslib::error::{invalid_param, Result};
 use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::series::MultivariateSeries;
-use mc_tslib::transform::ZNormState;
 
 use mc_lm::cost::InferenceCost;
-use mc_lm::vocab::Vocab;
 
 use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
-use mc_sax::encoder::{SaxConfig, SaxEncoder};
+use mc_sax::encoder::SaxConfig;
 
+use crate::codec::SaxCodec;
 use crate::config::ForecastConfig;
-use crate::pipeline::{median_aggregate, ContinuationSpec};
-use crate::robust::{
-    resolve_quorum_failure, run_samples_robust, ForecastReport, SampleExpectations, SampleSource,
-};
+use crate::engine::ForecastEngine;
+use crate::robust::{ForecastReport, SampleSource};
 
 /// Configuration of the SAX-quantized forecaster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,126 +80,25 @@ impl SaxMultiCastForecaster {
     }
 }
 
-/// Serializes per-dimension SAX words, segment-major:
-/// segment `s` contributes the symbols of every dimension, then a comma.
-fn mux_symbols(words: &[Vec<usize>], alphabet: SaxAlphabet) -> String {
-    let n = words.first().map_or(0, Vec::len);
-    let mut out = String::with_capacity(n * (words.len() + 1));
-    for s in 0..n {
-        for w in words {
-            out.push(alphabet.symbol(w[s]));
-        }
-        out.push(',');
-    }
-    out
-}
-
-/// Parses a generated continuation into per-dimension symbol indices,
-/// leniently (wrong-width groups repaired, missing segments repeated).
-fn demux_symbols(
-    text: &str,
-    dims: usize,
-    alphabet: SaxAlphabet,
-    segments: usize,
-) -> Vec<Vec<usize>> {
-    let mid = alphabet.size() / 2;
-    let mut out = vec![Vec::with_capacity(segments); dims];
-    for group in text.split(',').map(str::trim).filter(|g| !g.is_empty()).take(segments) {
-        let symbols: Vec<usize> = group.chars().filter_map(|c| alphabet.index(c)).collect();
-        for (d, col) in out.iter_mut().enumerate() {
-            let sym = symbols.get(d).copied().or_else(|| col.last().copied()).unwrap_or(mid);
-            col.push(sym);
-        }
-    }
-    for col in &mut out {
-        let fill = col.last().copied().unwrap_or(mid);
-        while col.len() < segments {
-            col.push(fill);
-        }
-        col.truncate(segments);
-    }
-    out
-}
-
 impl MultivariateForecaster for SaxMultiCastForecaster {
     fn name(&self) -> String {
         self.display_name()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
-        let cfg = self.config;
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
         if horizon == 0 {
             return Err(invalid_param("horizon", "must be >= 1"));
         }
-        let dims = train.dims();
-        let encoder = SaxEncoder::new(cfg.sax);
-        // Encode every dimension; remember its z-norm state for decoding.
-        let mut words = Vec::with_capacity(dims);
-        let mut states: Vec<ZNormState> = Vec::with_capacity(dims);
-        for d in 0..dims {
-            let enc = encoder.encode(train.column(d)?);
-            states.push(enc.znorm);
-            words.push(enc.symbols);
-        }
-        let prompt = mux_symbols(&words, cfg.sax.alphabet);
-        let segments = horizon.div_ceil(cfg.sax.segment_len);
-        let vocab = match cfg.sax.alphabet.kind() {
-            SaxAlphabetKind::Alphabetic => Vocab::sax_alphabetic(cfg.sax.alphabet.size()),
-            SaxAlphabetKind::Digital => Vocab::sax_digital(cfg.sax.alphabet.size()),
-        };
-        let allowed: String = cfg.sax.alphabet.chars().chain([',']).collect();
-        let spec = ContinuationSpec {
-            prompt,
-            vocab,
-            allowed_chars: allowed,
-            preset: cfg.base.preset,
-            separators: segments,
-            max_tokens: cfg.base.max_tokens(segments, dims),
-        };
-        let states_ref = &states;
-        let encoder_ref = &encoder;
-        let alphabet = cfg.sax.alphabet;
-        let decode = move |text: &str| -> Result<Vec<Vec<f64>>> {
-            let words = demux_symbols(text, dims, alphabet, segments);
-            Ok(words
-                .iter()
-                .zip(states_ref)
-                .map(|(w, &st)| {
-                    let mut expanded =
-                        encoder_ref.decode_expanded(w, st, segments * cfg.sax.segment_len);
-                    expanded.truncate(horizon);
-                    expanded
-                })
-                .collect())
-        };
-        // SAX streams are validated against the *actual* alphabet (not the
-        // full digit charset), so a digital alphabet of size 5 still flags
-        // '7' as out-of-band.
-        let expect = SampleExpectations {
-            separators: segments,
-            group_width: dims,
-            alphabet: cfg.sax.alphabet.chars().collect(),
-            numeric: false,
-            dims,
-            horizon,
-        };
-        let run = run_samples_robust(
-            &spec,
-            cfg.base.samples.max(1),
-            cfg.base.robust,
-            self.source,
-            &expect,
-            |i| cfg.base.sampler_for(i),
-            decode,
-        )?;
-        self.last_cost = Some(run.cost);
-        let result = if run.quorum_met {
-            let columns = median_aggregate(&run.samples)?;
-            MultivariateSeries::from_columns(train.names().to_vec(), columns)
-        } else {
-            resolve_quorum_failure(cfg.base.robust, &run.report, train, horizon)
-        };
-        self.last_report = Some(run.report);
+        let codec = SaxCodec { sax: self.config.sax };
+        let engine = ForecastEngine::with_source(self.config.base, self.source);
+        let run = engine.run(&codec, train, horizon)?;
+        self.last_cost = Some(run.cost());
+        let result = run.resolve(train, horizon);
+        self.last_report = Some(run.into_report());
         result
     }
 }
@@ -213,7 +109,12 @@ mod tests {
     use mc_datasets::generators::sinusoids;
     use mc_tslib::split::holdout_split;
 
-    fn config(kind: SaxAlphabetKind, segment_len: usize, size: usize, samples: usize) -> SaxForecastConfig {
+    fn config(
+        kind: SaxAlphabetKind,
+        segment_len: usize,
+        size: usize,
+        samples: usize,
+    ) -> SaxForecastConfig {
         SaxForecastConfig {
             sax: SaxConfig { segment_len, alphabet: SaxAlphabet::new(kind, size).unwrap() },
             base: ForecastConfig { samples, ..Default::default() },
@@ -224,31 +125,6 @@ mod tests {
         let a = sinusoids(n, &[(1.0, 24.0, 0.0)]);
         let b: Vec<f64> = a.iter().map(|&v| 10.0 - 3.0 * v).collect();
         MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
-    }
-
-    #[test]
-    fn mux_symbols_format() {
-        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
-        let s = mux_symbols(&[vec![0, 1], vec![1, 2]], alphabet);
-        assert_eq!(s, "ab,bc,");
-    }
-
-    #[test]
-    fn demux_symbols_round_trip() {
-        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
-        let words = vec![vec![0, 1, 4], vec![2, 2, 0]];
-        let text = mux_symbols(&words, alphabet);
-        assert_eq!(demux_symbols(&text, 2, alphabet, 3), words);
-    }
-
-    #[test]
-    fn demux_symbols_repairs_malformed() {
-        let alphabet = SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap();
-        // Second group is short one dimension, third is missing entirely.
-        let words = demux_symbols("ab,c,", 2, alphabet, 3);
-        assert_eq!(words[0], vec![0, 2, 2]);
-        // Dim 1 falls back to its previous symbol (b), then repeats.
-        assert_eq!(words[1], vec![1, 1, 1]);
     }
 
     #[test]

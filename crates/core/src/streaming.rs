@@ -9,37 +9,32 @@
 //! tokens (O(tokens-per-row), not O(history)), and
 //! [`StreamingMultiCast::predict`] samples a forecast at any moment.
 //!
-//! Prediction draws each sample on a **clone** of the live model
-//! ([`ConcreteLm`] has value semantics), so speculative continuations
-//! never pollute the real context — the true continuation arrives later
-//! through `observe_row`.
+//! Prediction draws each sample through a **forked decode session** of the
+//! live model ([`ConcreteLm`] implements [`mc_lm::FrozenLm`]), so
+//! speculative continuations never pollute the real context — the true
+//! continuation arrives later through `observe_row`. Sampling runs through
+//! the same [`crate::robust::run_attempts`] ladder as the batch engine.
 //!
 //! The rescaler is fitted on the seed history and fixed afterwards (the
 //! headroom band absorbs moderate drift); values outside the band clamp,
 //! exactly like the batch path. Re-seed when the regime shifts — pair
 //! with `mc-tasks`' change-point detector for an auto-reset loop.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-use mc_tslib::error::{invalid_param, pipeline_error, Result, TsError};
+use mc_tslib::error::{invalid_param, pipeline_error, Result};
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::concrete::ConcreteLm;
 use mc_lm::cost::InferenceCost;
-use mc_lm::generate::{generate, GenerateOptions};
+use mc_lm::generate::GenerateOptions;
 use mc_lm::model::{observe_all, LanguageModel};
-use mc_lm::sampler::Sampler;
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::{TokenId, Vocab};
 
+use crate::codec::{DigitCodec, FittedCodec, FittedDigitCodec, DIGIT_STREAM_CHARS};
 use crate::config::ForecastConfig;
-use crate::mux::{Multiplexer, MuxMethod};
-use crate::pipeline::median_aggregate;
-use crate::robust::{
-    fallback_forecast, validate_decoded, validate_text, FallbackPolicy, ForecastOutcome,
-    ForecastReport, SampleDefect, SampleExpectations, SampleRecord, SampleSource,
-};
-use crate::scaling::FixedDigitScaler;
+use crate::engine::{decode_mask, EngineRun, SessionSampler};
+use crate::mux::MuxMethod;
+use crate::robust::{run_attempts, ForecastReport, SampleSource};
 
 /// Rows of recent history kept for the graceful-degradation fallback
 /// (enough for the fallback's longest considered seasonal period, twice
@@ -48,15 +43,12 @@ const FALLBACK_TAIL_ROWS: usize = 128;
 
 /// An online multivariate forecaster over a live data stream.
 pub struct StreamingMultiCast {
-    method: MuxMethod,
     config: ForecastConfig,
-    scaler: FixedDigitScaler,
-    mux: Box<dyn Multiplexer>,
+    codec: FittedDigitCodec,
     tokenizer: CharTokenizer,
     model: ConcreteLm,
     allowed: Vec<bool>,
     separator: TokenId,
-    dims: usize,
     names: Vec<String>,
     observed: usize,
     predictions_drawn: u64,
@@ -69,35 +61,29 @@ pub struct StreamingMultiCast {
 }
 
 impl StreamingMultiCast {
-    /// Seeds the stream with the initial history (fits the rescaler and
+    /// Seeds the stream with the initial history (fits the codec and
     /// feeds the serialized history into the backend once).
     ///
     /// # Errors
     /// If the seed history is shorter than 8 rows (too little context to
     /// fit a meaningful scaler).
-    pub fn new(method: MuxMethod, config: ForecastConfig, seed: &MultivariateSeries) -> Result<Self> {
+    pub fn new(
+        method: MuxMethod,
+        config: ForecastConfig,
+        seed: &MultivariateSeries,
+    ) -> Result<Self> {
         if seed.len() < 8 {
             return Err(invalid_param("seed", "need at least 8 seed rows"));
         }
-        let dims = seed.dims();
-        let scaler = FixedDigitScaler::fit(seed.columns(), config.digits, config.headroom)?;
-        let mut codes = Vec::with_capacity(dims);
-        for d in 0..dims {
-            codes.push(scaler.scale_column(d, seed.column(d)?)?);
-        }
-        let mux = method.build();
-        let prompt = mux.mux(&codes, config.digits);
+        let codec = DigitCodec::from_config(method, &config).fit_digit(seed)?;
         let vocab = Vocab::numeric();
         let tokenizer = CharTokenizer::new(vocab.clone());
         let mut model = ConcreteLm::build(config.preset, vocab.len());
         let prompt_tokens = tokenizer
-            .encode(&prompt)
+            .encode(codec.prompt())
             .map_err(|e| pipeline_error("encode-prompt", e.to_string()))?;
         observe_all(&mut model, &prompt_tokens);
-        let mut allowed = vec![false; vocab.len()];
-        for id in vocab.ids_of("0123456789,") {
-            allowed[id as usize] = true;
-        }
+        let allowed = decode_mask(&vocab, DIGIT_STREAM_CHARS);
         let separator = vocab
             .id(',')
             .ok_or_else(|| pipeline_error("separator", "vocabulary lacks the ',' separator"))?;
@@ -105,15 +91,12 @@ impl StreamingMultiCast {
         let tail: Vec<Vec<f64>> =
             (tail_start..seed.len()).map(|t| seed.row(t)).collect::<Result<_>>()?;
         Ok(Self {
-            method,
             config,
-            scaler,
-            mux,
+            codec,
             tokenizer,
             model,
             allowed,
             separator,
-            dims,
             names: seed.names().to_vec(),
             observed: seed.len(),
             predictions_drawn: 0,
@@ -134,8 +117,8 @@ impl StreamingMultiCast {
         self.observed
     }
 
-    /// Backend cost counters of the live context (prediction clones count
-    /// their own work separately and are dropped with it).
+    /// Backend cost counters of the live context (prediction sessions
+    /// count their own work separately and are dropped with it).
     pub fn cost(&self) -> InferenceCost {
         self.model.cost()
     }
@@ -146,21 +129,16 @@ impl StreamingMultiCast {
     /// If the row width does not match the seed's dimensionality or a
     /// value is non-finite.
     pub fn observe_row(&mut self, row: &[f64]) -> Result<()> {
-        if row.len() != self.dims {
+        if row.len() != self.codec.dims() {
             return Err(invalid_param(
                 "row",
-                format!("width {} does not match {} dimensions", row.len(), self.dims),
+                format!("width {} does not match {} dimensions", row.len(), self.codec.dims()),
             ));
         }
         if row.iter().any(|v| !v.is_finite()) {
             return Err(invalid_param("row", "values must be finite"));
         }
-        let codes: Vec<Vec<u64>> = row
-            .iter()
-            .enumerate()
-            .map(|(d, &v)| Ok(vec![self.scaler.scale_value(d, v)?]))
-            .collect::<Result<_>>()?;
-        let text = self.mux.mux(&codes, self.config.digits);
+        let text = self.codec.encode_row(row)?;
         let tokens = self
             .tokenizer
             .encode(&text)
@@ -176,148 +154,47 @@ impl StreamingMultiCast {
         Ok(())
     }
 
-    /// The fallback forecast from the rolling tail buffer.
-    fn tail_fallback(&self, horizon: usize) -> Result<MultivariateSeries> {
-        let recent = MultivariateSeries::from_rows(self.names.clone(), &self.tail)?;
-        fallback_forecast(&recent, horizon)
-    }
-
     /// Samples a `horizon`-step forecast from the current context.
     ///
     /// Side-effect-free on the live context: every sample generates on a
-    /// clone. Successive calls draw fresh seeds (deterministic in call
-    /// order: the n-th call after m observations always returns the same
-    /// forecast).
+    /// forked decode session. Successive calls draw fresh seeds
+    /// (deterministic in call order: the n-th call after m observations
+    /// always returns the same forecast).
     pub fn predict(&mut self, horizon: usize) -> Result<MultivariateSeries> {
         if horizon == 0 {
             return Err(invalid_param("horizon", "must be >= 1"));
         }
         let cfg = self.config;
-        let separators = self.mux.separators_for(self.dims, horizon);
-        let payload = match self.method {
-            MuxMethod::ValueConcat => cfg.digits as usize,
-            _ => self.dims * cfg.digits as usize,
-        };
+        let separators = self.codec.separators_for(horizon);
         let options = GenerateOptions::until_separators(
             self.separator,
             separators,
-            cfg.max_tokens(separators, payload),
+            cfg.max_tokens(separators, self.codec.group_width()),
         );
-        let wanted = cfg.samples.max(1);
-        let expect = SampleExpectations {
-            separators,
-            group_width: payload,
-            alphabet: "0123456789".into(),
-            numeric: true,
-            dims: self.dims,
-            horizon,
-        };
-        let mut samples = Vec::with_capacity(wanted);
-        let mut records = Vec::with_capacity(wanted);
-        for i in 0..wanted {
-            let mut record =
-                SampleRecord { index: i, attempts: 0, defects: Vec::new(), valid: false };
-            for attempt in 0..=cfg.robust.max_retries {
-                record.attempts += 1;
-                // Reseed retries past every first-attempt index, mirroring
-                // the batch pipeline's virtual-index convention.
-                let virtual_index =
-                    if attempt == 0 { i } else { wanted + (attempt - 1) * wanted + i };
-                let drawn = self.predictions_drawn;
-                let source = self.source;
-                let outcome = catch_unwind(AssertUnwindSafe(
-                    || -> Result<(Vec<Vec<f64>>, Vec<SampleDefect>)> {
-                        if let SampleSource::FaultInjected(f) = source {
-                            if f.panic_sample == Some(i) && attempt == 0 {
-                                panic!("injected panic (sample {i})");
-                            }
-                        }
-                        let mut speculative = self.model.clone();
-                        let mut sampler = Sampler::new({
-                            let mut s = cfg.sampler_for(virtual_index);
-                            s.seed = s.seed.wrapping_add(0x9e37).wrapping_add(drawn);
-                            s
-                        });
-                        let allowed = &self.allowed;
-                        let out = generate(
-                            &mut speculative,
-                            &mut sampler,
-                            |t: TokenId| allowed[t as usize],
-                            &options,
-                        );
-                        let text = self
-                            .tokenizer
-                            .decode(&out)
-                            .map_err(|e| pipeline_error("decode-continuation", e.to_string()))?;
-                        let text = match source {
-                            SampleSource::Model => text,
-                            SampleSource::FaultInjected(f) => f.corrupt(i, attempt, &text),
-                        };
-                        let mut defects = validate_text(&text, &expect);
-                        let codes = self.mux.demux(&text, self.dims, cfg.digits, horizon);
-                        let cols: Vec<Vec<f64>> = codes
-                            .iter()
-                            .enumerate()
-                            .map(|(d, col)| self.scaler.descale_column(d, col))
-                            .collect::<Result<_>>()?;
-                        defects.extend(validate_decoded(&cols, &expect));
-                        Ok((cols, defects))
-                    },
-                ));
-                match outcome {
-                    Ok(Ok((cols, defects))) => {
-                        let fatal = defects.iter().any(SampleDefect::is_fatal);
-                        record.defects.extend(defects);
-                        if !fatal {
-                            samples.push(cols);
-                            record.valid = true;
-                            break;
-                        }
-                    }
-                    Ok(Err(e)) => return Err(e),
-                    Err(payload) => {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "opaque panic payload".to_string());
-                        record.defects.push(SampleDefect::Panicked { message });
-                    }
-                }
-            }
-            records.push(record);
-        }
-        self.predictions_drawn += 1;
-        let required = cfg.robust.required_valid(wanted);
-        let quorum_met = samples.len() >= required;
-        let report = ForecastReport {
-            requested_samples: wanted,
-            valid_samples: samples.len(),
-            retries_used: records.iter().map(|r: &SampleRecord| r.attempts - 1).sum(),
-            repairs_applied: records
-                .iter()
-                .flat_map(|r| &r.defects)
-                .filter(|d| !d.is_fatal())
-                .count(),
-            samples: records,
-            outcome: if quorum_met {
-                ForecastOutcome::Sampled
-            } else {
-                ForecastOutcome::Degraded { valid: samples.len(), required }
+        let expect = self.codec.expectations(horizon);
+        let drawn = self.predictions_drawn;
+        let sampler = SessionSampler::new(&self.model, &self.tokenizer, &self.allowed, options);
+        let run = run_attempts(
+            cfg.samples.max(1),
+            cfg.robust,
+            self.source,
+            &expect,
+            |vi| {
+                // Decorrelate successive predict() calls: each one shifts
+                // every virtual index's seed by a per-call offset.
+                let mut s = cfg.sampler_for(vi);
+                s.seed = s.seed.wrapping_add(0x9e37).wrapping_add(drawn);
+                sampler.draw(s)
             },
-        };
-        let result = if quorum_met {
-            let columns = median_aggregate(&samples)?;
-            MultivariateSeries::from_columns(self.names.clone(), columns)
-        } else {
-            match cfg.robust.fallback {
-                FallbackPolicy::Error => {
-                    Err(TsError::SampleQuorum { valid: samples.len(), required })
-                }
-                FallbackPolicy::SeasonalNaive => self.tail_fallback(horizon),
-            }
-        };
-        self.last_report = Some(report);
+            |text| self.codec.decode(text, horizon),
+        )?;
+        self.predictions_drawn += 1;
+        // The live model is the prompt here and its cost is tracked by
+        // `cost()`, so the run carries no separate prompt cost.
+        let run = EngineRun::new(run, cfg, InferenceCost::default());
+        let recent = MultivariateSeries::from_rows(self.names.clone(), &self.tail)?;
+        let result = run.resolve(&recent, horizon);
+        self.last_report = Some(run.into_report());
         result
     }
 }

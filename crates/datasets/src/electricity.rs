@@ -91,11 +91,9 @@ mod tests {
     #[test]
     fn loads_are_strongly_correlated() {
         let m = electricity();
-        let c = stats::pearson(
-            m.column_by_name("HUFL").unwrap(),
-            m.column_by_name("HULL").unwrap(),
-        )
-        .unwrap();
+        let c =
+            stats::pearson(m.column_by_name("HUFL").unwrap(), m.column_by_name("HULL").unwrap())
+                .unwrap();
         assert!(c > 0.6, "HUFL/HULL correlation {c}");
     }
 

@@ -30,10 +30,7 @@ pub const RESPONSE_DELAY: usize = 5;
 pub fn gas_rate_with_seed(seed: u64) -> MultivariateSeries {
     let n = LENGTH;
     // Input rate: slow drifting oscillation + stationary AR(2) disturbance.
-    let base = sinusoids(
-        n,
-        &[(1.3, 67.0, 0.4), (0.8, 23.0, 2.1), (0.45, 11.0, 5.0)],
-    );
+    let base = sinusoids(n, &[(1.3, 67.0, 0.4), (0.8, 23.0, 2.1), (0.45, 11.0, 5.0)]);
     let disturbance = ar(&[0.55, -0.25], n, 0.35, seed);
     let rate = add(&base, &disturbance);
 
@@ -44,11 +41,8 @@ pub fn gas_rate_with_seed(seed: u64) -> MultivariateSeries {
     let noise = white_noise(n, 0.25, seed.wrapping_add(1));
     let co2 = add(&response, &noise);
 
-    MultivariateSeries::from_columns(
-        NAMES.iter().map(|s| s.to_string()).collect(),
-        vec![rate, co2],
-    )
-    .expect("generator produces well-formed columns")
+    MultivariateSeries::from_columns(NAMES.iter().map(|s| s.to_string()).collect(), vec![rate, co2])
+        .expect("generator produces well-formed columns")
 }
 
 /// Generates the Gas Rate replica with the crate default seed.

@@ -60,10 +60,8 @@ pub fn weather_with_seed(seed: u64) -> MultivariateSeries {
         .map(|&vp| vapor_concentration(vp.max(0.1), STATION_PRESSURE_MBAR) * 0.72)
         .collect();
     let h2oc = add(&h2oc, &white_noise(n, 0.10, seed.wrapping_add(3)));
-    let tpot: Vec<f64> = latent_t
-        .iter()
-        .map(|&t| potential_temperature(t, STATION_PRESSURE_MBAR))
-        .collect();
+    let tpot: Vec<f64> =
+        latent_t.iter().map(|&t| potential_temperature(t, STATION_PRESSURE_MBAR)).collect();
     let tpot = add(&tpot, &white_noise(n, 0.18, seed.wrapping_add(4)));
 
     MultivariateSeries::from_columns(

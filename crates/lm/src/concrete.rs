@@ -9,11 +9,12 @@
 //! implementing [`LanguageModel`] for uniform use.
 
 use crate::cost::InferenceCost;
-use crate::model::LanguageModel;
-use crate::ngram::NGramLm;
-use crate::ppm::PpmLm;
+use crate::ensemble::EnsembleSession;
+use crate::model::{DecodeSession, FrozenLm, LanguageModel};
+use crate::ngram::{NGramLm, NGramSession};
+use crate::ppm::{PpmLm, PpmSession};
 use crate::presets::ModelPreset;
-use crate::suffix::SuffixLm;
+use crate::suffix::{SuffixLm, SuffixSession};
 use crate::vocab::TokenId;
 
 /// A preset backend with value semantics (clonable snapshots).
@@ -48,9 +49,7 @@ impl ConcreteLm {
                 NGramLm::new(vocab_size, 10, 0.25, "member:ngram"),
                 SuffixLm::new(vocab_size, 24, 1.8, 0.5, "member:suffix"),
             ),
-            ModelPreset::Ppm => {
-                ConcreteLm::Ppm(PpmLm::new(vocab_size, 8, preset.display_name()))
-            }
+            ModelPreset::Ppm => ConcreteLm::Ppm(PpmLm::new(vocab_size, 8, preset.display_name())),
         }
     }
 }
@@ -135,6 +134,37 @@ impl LanguageModel for ConcreteLm {
     }
 }
 
+/// A live `ConcreteLm` can also serve as a frozen base: streaming keeps
+/// one model current with the observed stream and forks throwaway decode
+/// sessions from it at prediction time, never mutating the base.
+impl FrozenLm for ConcreteLm {
+    fn vocab_size(&self) -> usize {
+        LanguageModel::vocab_size(self)
+    }
+
+    fn prompt_cost(&self) -> InferenceCost {
+        self.cost()
+    }
+
+    fn name(&self) -> &str {
+        LanguageModel::name(self)
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        match self {
+            ConcreteLm::NGram(m) => Box::new(NGramSession::new(m)),
+            ConcreteLm::Suffix(m) => Box::new(SuffixSession::new(m)),
+            // Equal weights normalize to 0.5 each, reproducing the Pair
+            // product-of-experts arithmetic bit for bit.
+            ConcreteLm::Pair(a, b) => Box::new(EnsembleSession::new(vec![
+                (Box::new(NGramSession::new(a)) as Box<dyn DecodeSession + '_>, 1.0),
+                (Box::new(SuffixSession::new(b)) as Box<dyn DecodeSession + '_>, 1.0),
+            ])),
+            ConcreteLm::Ppm(m) => Box::new(PpmSession::new(m)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +174,7 @@ mod tests {
     fn builds_every_preset_with_matching_vocab() {
         for preset in ModelPreset::ALL {
             let m = ConcreteLm::build(preset, 13);
-            assert_eq!(m.vocab_size(), 13, "{preset:?}");
+            assert_eq!(LanguageModel::vocab_size(&m), 13, "{preset:?}");
         }
     }
 

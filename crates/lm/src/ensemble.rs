@@ -9,7 +9,7 @@
 //! the ablation harness as a fourth backend tier.
 
 use crate::cost::InferenceCost;
-use crate::model::LanguageModel;
+use crate::model::{DecodeSession, FrozenLm, LanguageModel};
 use crate::vocab::TokenId;
 
 /// Product-of-experts over member models.
@@ -39,6 +39,119 @@ impl EnsembleLm {
     /// Number of member models.
     pub fn member_count(&self) -> usize {
         self.members.len()
+    }
+}
+
+/// Product-of-experts over frozen member models.
+///
+/// The frozen analogue of [`EnsembleLm`]: each member has already observed
+/// the prompt; forking produces an [`EnsembleSession`] that combines the
+/// member sessions with exactly the same log-space arithmetic (same
+/// weights, same member order), so distributions are bit-identical.
+pub struct FrozenEnsemble {
+    members: Vec<(Box<dyn FrozenLm>, f64)>,
+    vocab_size: usize,
+    name: String,
+}
+
+impl FrozenEnsemble {
+    /// Creates a frozen ensemble from prompt-conditioned members.
+    ///
+    /// # Panics
+    /// If `members` is empty, weights are non-positive, or vocabulary
+    /// sizes disagree.
+    pub fn new(members: Vec<(Box<dyn FrozenLm>, f64)>, name: impl Into<String>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let vocab_size = members[0].0.vocab_size();
+        for (m, w) in &members {
+            assert_eq!(m.vocab_size(), vocab_size, "member vocabulary mismatch");
+            assert!(*w > 0.0, "member weights must be positive");
+        }
+        Self { members, vocab_size, name: name.into() }
+    }
+}
+
+impl FrozenLm for FrozenEnsemble {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn prompt_cost(&self) -> InferenceCost {
+        // Token counts are identical across members (they saw the same
+        // prompt); report the first member's counts with summed work.
+        let mut cost = self.members[0].0.prompt_cost();
+        cost.work_units = self.members.iter().map(|(m, _)| m.prompt_cost().work_units).sum();
+        cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(EnsembleSession::new(self.members.iter().map(|(m, w)| (m.fork(), *w)).collect()))
+    }
+}
+
+/// One sample's decode cursor combining member [`DecodeSession`]s.
+pub struct EnsembleSession<'a> {
+    members: Vec<(Box<dyn DecodeSession + 'a>, f64)>,
+    vocab_size: usize,
+    scratch: Vec<f64>,
+}
+
+impl<'a> EnsembleSession<'a> {
+    /// Combines member sessions with the given weights.
+    ///
+    /// # Panics
+    /// If `members` is empty, weights are non-positive, or vocabulary
+    /// sizes disagree.
+    pub fn new(members: Vec<(Box<dyn DecodeSession + 'a>, f64)>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let vocab_size = members[0].0.vocab_size();
+        for (m, w) in &members {
+            assert_eq!(m.vocab_size(), vocab_size, "member vocabulary mismatch");
+            assert!(*w > 0.0, "member weights must be positive");
+        }
+        Self { members, vocab_size, scratch: vec![0.0; vocab_size] }
+    }
+}
+
+impl DecodeSession for EnsembleSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn observe(&mut self, token: TokenId) {
+        for (m, _) in &mut self.members {
+            m.observe(token);
+        }
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.vocab_size, "distribution buffer size");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let total_weight: f64 = self.members.iter().map(|(_, w)| w).sum();
+        for (m, w) in &mut self.members {
+            m.next_distribution(&mut self.scratch);
+            for (acc, &p) in out.iter_mut().zip(&self.scratch) {
+                *acc += *w / total_weight * p.max(1e-12).ln();
+            }
+        }
+        let mut norm = 0.0;
+        for v in out.iter_mut() {
+            *v = v.exp();
+            norm += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= norm;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        let mut cost = self.members[0].0.cost();
+        cost.work_units = self.members.iter().map(|(m, _)| m.cost().work_units).sum();
+        cost
     }
 }
 

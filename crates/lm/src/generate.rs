@@ -5,7 +5,7 @@
 //! constraint until the continuation contains enough separators to cover
 //! the forecast horizon (each separator delimits one timestamp's value).
 
-use crate::model::{observe_all, LanguageModel};
+use crate::model::{observe_all, DecodeSession, LanguageModel};
 use crate::sampler::Sampler;
 use crate::vocab::TokenId;
 
@@ -42,13 +42,28 @@ pub fn generate(
     allowed: impl Fn(TokenId) -> bool,
     options: &GenerateOptions,
 ) -> Vec<TokenId> {
+    generate_session(&mut LiveSession(model), sampler, allowed, options)
+}
+
+/// Generates a constrained continuation through a [`DecodeSession`].
+///
+/// The session-cursor analogue of [`generate`]: the prompt lives in the
+/// frozen base the session was forked from, so the loop only reads
+/// distributions, samples, and feeds generated tokens back. The decode
+/// loop is shared with [`generate`], so both paths sample identically.
+pub fn generate_session(
+    session: &mut dyn DecodeSession,
+    sampler: &mut Sampler,
+    allowed: impl Fn(TokenId) -> bool,
+    options: &GenerateOptions,
+) -> Vec<TokenId> {
     let mut out = Vec::new();
-    let mut dist = vec![0.0; model.vocab_size()];
+    let mut dist = vec![0.0; session.vocab_size()];
     let mut seen_stops = 0usize;
     for _ in 0..options.max_tokens {
-        model.next_distribution(&mut dist);
+        session.next_distribution(&mut dist);
         let token = sampler.sample(&dist, &allowed);
-        model.observe(token, true);
+        session.observe(token);
         out.push(token);
         if Some(token) == options.stop_token {
             seen_stops += 1;
@@ -58,6 +73,28 @@ pub fn generate(
         }
     }
     out
+}
+
+/// Adapts a mutable [`LanguageModel`] to the [`DecodeSession`] interface
+/// (every observed token is a generated one).
+struct LiveSession<'a>(&'a mut dyn LanguageModel);
+
+impl DecodeSession for LiveSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.0.vocab_size()
+    }
+
+    fn observe(&mut self, token: TokenId) {
+        self.0.observe(token, true);
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        self.0.next_distribution(out);
+    }
+
+    fn cost(&self) -> crate::cost::InferenceCost {
+        self.0.cost()
+    }
 }
 
 /// Convenience: feed `prompt`, then generate under `allowed`.
@@ -109,11 +146,13 @@ mod tests {
         // reproduce the period.
         let mut m = NGramLm::new(4, 6, 0.2, "t");
         let prompt: Vec<TokenId> = [0u32, 1, 2, 3].iter().cycle().take(80).copied().collect();
-        let mut s = Sampler::new(SamplerConfig { 
+        let mut s = Sampler::new(SamplerConfig {
             temperature: 0.05,
             top_k: None,
             top_p: None,
-            seed: 3, epsilon: 0.0 });
+            seed: 3,
+            epsilon: 0.0,
+        });
         let opts = GenerateOptions { max_tokens: 8, stop_token: None, stop_count: 0 };
         let out = prompt_and_generate(&mut m, &prompt, &mut s, |_| true, &opts);
         assert_eq!(out, vec![0, 1, 2, 3, 0, 1, 2, 3]);

@@ -40,13 +40,13 @@ pub mod vocab;
 pub use bpe::BpeTokenizer;
 pub use concrete::ConcreteLm;
 pub use cost::InferenceCost;
-pub use ensemble::EnsembleLm;
-pub use generate::{generate, GenerateOptions};
-pub use model::LanguageModel;
-pub use ngram::NGramLm;
-pub use ppm::PpmLm;
-pub use presets::{build_model, ModelPreset};
+pub use ensemble::{EnsembleLm, EnsembleSession, FrozenEnsemble};
+pub use generate::{generate, generate_session, GenerateOptions};
+pub use model::{DecodeSession, FrozenLm, LanguageModel};
+pub use ngram::{FrozenNGram, NGramLm, NGramSession};
+pub use ppm::{FrozenPpm, PpmLm, PpmSession};
+pub use presets::{build_model, fit_model, ModelPreset};
 pub use sampler::{Sampler, SamplerConfig};
-pub use suffix::SuffixLm;
+pub use suffix::{FrozenSuffix, SuffixLm, SuffixSession};
 pub use tokenizer::{CharTokenizer, Tokenizer};
 pub use vocab::{TokenId, Vocab};

@@ -37,6 +37,64 @@ pub trait LanguageModel {
     fn name(&self) -> &str;
 }
 
+/// A prompt-conditioned model frozen for sampling.
+///
+/// Zero-shot forecasting treats the LLM as a *frozen conditional sampler*:
+/// the prompt is the only adaptation signal, and every one of the `S`
+/// sampled continuations conditions on exactly the same prompt state. A
+/// `FrozenLm` is that shared state, built once (see
+/// [`crate::presets::fit_model`]) and then shared read-only — typically
+/// behind an `Arc` — across sample threads. Each sample decodes through its
+/// own [`DecodeSession`] cursor obtained from [`FrozenLm::fork`].
+///
+/// # Contract
+///
+/// - `fork()` is cheap relative to re-observing the prompt: a session holds
+///   only per-sample generated-token context layered over the frozen base.
+/// - Sessions are independent: interleaving `observe`/`next_distribution`
+///   calls across two forks must produce exactly what running each fork to
+///   completion alone would (no shared mutable state).
+/// - Decoding through a session is *bit-identical* to mutating a fresh
+///   model that observed the prompt and then the same generated tokens.
+/// - [`FrozenLm::prompt_cost`] accounts the prompt exactly once;
+///   [`DecodeSession::cost`] accounts only the session's own generated
+///   tokens and prediction work. Their sum over all sessions equals the
+///   refit pipeline's cost minus the `(S - 1)` redundant prompt passes.
+pub trait FrozenLm: Send + Sync {
+    /// Size of the vocabulary this model emits distributions over.
+    fn vocab_size(&self) -> usize;
+
+    /// Cost of observing the prompt (paid once, at fit time).
+    fn prompt_cost(&self) -> InferenceCost;
+
+    /// A short human-readable identifier (used in reports).
+    fn name(&self) -> &str;
+
+    /// Starts an independent decode cursor on top of the frozen prompt
+    /// context.
+    fn fork(&self) -> Box<dyn DecodeSession + '_>;
+}
+
+/// One sample's decode cursor over a [`FrozenLm`].
+///
+/// Mirrors the mutable half of [`LanguageModel`], minus the
+/// prompt-vs-generated distinction: every token a session observes is a
+/// generated token (the prompt lives in the frozen base).
+pub trait DecodeSession {
+    /// Size of the vocabulary this session emits distributions over.
+    fn vocab_size(&self) -> usize;
+
+    /// Extends this session's context with one generated token.
+    fn observe(&mut self, token: TokenId);
+
+    /// Writes `P(next token | frozen prompt + session context)` into `out`.
+    fn next_distribution(&mut self, out: &mut [f64]);
+
+    /// Cost of this session alone (generated tokens + prediction work;
+    /// the prompt is accounted by [`FrozenLm::prompt_cost`]).
+    fn cost(&self) -> InferenceCost;
+}
+
 /// Feeds a whole prompt into the model.
 pub fn observe_all(model: &mut dyn LanguageModel, prompt: &[TokenId]) {
     for &t in prompt {

@@ -18,8 +18,20 @@
 use std::collections::HashMap;
 
 use crate::cost::InferenceCost;
-use crate::model::LanguageModel;
+use crate::model::{DecodeSession, FrozenLm, LanguageModel};
 use crate::vocab::TokenId;
+
+/// Radix-encodes the last `k` tokens of `history` into a map key — the
+/// context-key scheme shared by [`NGramLm`] and [`crate::ppm::PpmLm`]
+/// (and their frozen decode sessions, which must reproduce it exactly).
+pub(crate) fn radix_key(history: &[TokenId], k: usize, vocab_size: usize) -> u64 {
+    debug_assert!(k <= history.len());
+    let mut key = 0u64;
+    for &t in &history[history.len() - k..] {
+        key = key * vocab_size as u64 + t as u64;
+    }
+    key
+}
 
 /// Interpolated n-gram LM. See the module docs.
 #[derive(Debug, Clone)]
@@ -66,12 +78,129 @@ impl NGramLm {
 
     /// Radix-encodes the last `k` history tokens into a map key.
     fn key(&self, k: usize) -> u64 {
-        debug_assert!(k <= self.history.len());
-        let mut key = 0u64;
-        for &t in &self.history[self.history.len() - k..] {
-            key = key * self.vocab_size as u64 + t as u64;
+        radix_key(&self.history, k, self.vocab_size)
+    }
+
+    /// Freezes the model after prompt conditioning; decode via
+    /// [`FrozenLm::fork`] sessions.
+    pub fn into_frozen(self) -> FrozenNGram {
+        FrozenNGram { base: self }
+    }
+}
+
+/// A prompt-conditioned [`NGramLm`] frozen for sampling.
+#[derive(Debug)]
+pub struct FrozenNGram {
+    base: NGramLm,
+}
+
+impl FrozenLm for FrozenNGram {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn prompt_cost(&self) -> InferenceCost {
+        self.base.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.base.name
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(NGramSession::new(&self.base))
+    }
+}
+
+/// One sample's decode cursor over a frozen [`NGramLm`].
+///
+/// Count updates for generated tokens go into a copy-on-write overlay (the
+/// affected count vector is copied from the base on first touch), so the
+/// frozen base is shared read-only and the session sees exactly the counts
+/// a mutated clone would — same `u32` counts, same `f64` arithmetic,
+/// bit-identical distributions.
+#[derive(Debug)]
+pub struct NGramSession<'a> {
+    base: &'a NGramLm,
+    overlay: Vec<HashMap<u64, Vec<u32>>>,
+    history: Vec<TokenId>,
+    cost: InferenceCost,
+}
+
+impl<'a> NGramSession<'a> {
+    pub(crate) fn new(base: &'a NGramLm) -> Self {
+        Self {
+            base,
+            overlay: vec![HashMap::new(); base.max_order + 1],
+            history: base.history.clone(),
+            cost: InferenceCost::default(),
         }
-        key
+    }
+
+    fn counts(&self, k: usize, key: u64) -> Option<&Vec<u32>> {
+        self.overlay[k].get(&key).or_else(|| self.base.counts[k].get(&key))
+    }
+}
+
+impl DecodeSession for NGramSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn observe(&mut self, token: TokenId) {
+        let vocab_size = self.base.vocab_size;
+        assert!((token as usize) < vocab_size, "token {token} out of range");
+        for k in 0..=self.base.max_order.min(self.history.len()) {
+            let key = radix_key(&self.history, k, vocab_size);
+            let base_counts = &self.base.counts[k];
+            let slot = self.overlay[k].entry(key).or_insert_with(|| {
+                base_counts.get(&key).cloned().unwrap_or_else(|| vec![0u32; vocab_size])
+            });
+            slot[token as usize] += 1;
+            self.cost.work_units += 1;
+        }
+        self.history.push(token);
+        if self.history.len() > self.base.max_order {
+            self.history.remove(0);
+        }
+        self.cost.generated_tokens += 1;
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.base.vocab_size, "distribution buffer size");
+        let v = self.base.vocab_size as f64;
+        // Order 0 base: unigram with add-one smoothing toward uniform
+        // (mirrors `NGramLm::next_distribution` operation for operation).
+        let mut p: Vec<f64> = {
+            self.cost.work_units += 1;
+            match self.counts(0, 0) {
+                Some(c) => {
+                    let total: f64 = c.iter().map(|&x| x as f64).sum();
+                    c.iter().map(|&x| (x as f64 + 1.0) / (total + v)).collect()
+                }
+                None => vec![1.0 / v; self.base.vocab_size],
+            }
+        };
+        let deepest = self.base.max_order.min(self.history.len());
+        for k in 1..=deepest {
+            let key = radix_key(&self.history, k, self.base.vocab_size);
+            self.cost.work_units += 1;
+            if let Some(c) = self.counts(k, key) {
+                let total: f64 = c.iter().map(|&x| x as f64).sum();
+                if total > 0.0 {
+                    let distinct = c.iter().filter(|&&x| x > 0).count() as f64;
+                    let lambda = total / (total + self.base.gamma * distinct);
+                    for (i, slot) in p.iter_mut().enumerate() {
+                        *slot = lambda * (c[i] as f64 / total) + (1.0 - lambda) * *slot;
+                    }
+                }
+            }
+        }
+        out.copy_from_slice(&p);
+    }
+
+    fn cost(&self) -> InferenceCost {
+        self.cost
     }
 }
 
@@ -93,9 +222,7 @@ impl LanguageModel for NGramLm {
         // Update every order's counts for the transition (context → token).
         for k in 0..=self.max_order.min(self.history.len()) {
             let key = self.key(k);
-            let slot = self.counts[k]
-                .entry(key)
-                .or_insert_with(|| vec![0u32; self.vocab_size]);
+            let slot = self.counts[k].entry(key).or_insert_with(|| vec![0u32; self.vocab_size]);
             slot[token as usize] += 1;
             self.cost.work_units += 1;
         }

@@ -15,7 +15,8 @@
 use std::collections::HashMap;
 
 use crate::cost::InferenceCost;
-use crate::model::LanguageModel;
+use crate::model::{DecodeSession, FrozenLm, LanguageModel};
+use crate::ngram::radix_key;
 use crate::vocab::TokenId;
 
 /// PPM-C language model. See the module docs.
@@ -51,11 +52,151 @@ impl PpmLm {
     }
 
     fn key(&self, k: usize) -> u64 {
-        let mut key = 0u64;
-        for &t in &self.history[self.history.len() - k..] {
-            key = key * self.vocab_size as u64 + t as u64;
+        radix_key(&self.history, k, self.vocab_size)
+    }
+
+    /// Freezes the model after prompt conditioning; decode via
+    /// [`FrozenLm::fork`] sessions.
+    pub fn into_frozen(self) -> FrozenPpm {
+        FrozenPpm { base: self }
+    }
+}
+
+/// A prompt-conditioned [`PpmLm`] frozen for sampling.
+#[derive(Debug)]
+pub struct FrozenPpm {
+    base: PpmLm,
+}
+
+impl FrozenLm for FrozenPpm {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn prompt_cost(&self) -> InferenceCost {
+        self.base.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.base.name
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(PpmSession::new(&self.base))
+    }
+}
+
+/// One sample's decode cursor over a frozen [`PpmLm`].
+///
+/// Copy-on-write: contexts touched by this session's generated tokens get
+/// a private count vector (cloned from the base on first touch); untouched
+/// contexts read the frozen counts directly.
+#[derive(Debug)]
+pub struct PpmSession<'a> {
+    base: &'a PpmLm,
+    overlay: Vec<HashMap<u64, Vec<u32>>>,
+    history: Vec<TokenId>,
+    cost: InferenceCost,
+}
+
+impl<'a> PpmSession<'a> {
+    pub(crate) fn new(base: &'a PpmLm) -> Self {
+        Self {
+            base,
+            overlay: vec![HashMap::new(); base.max_order + 1],
+            history: base.history.clone(),
+            cost: InferenceCost::default(),
         }
-        key
+    }
+
+    fn counts(&self, k: usize, key: u64) -> Option<&Vec<u32>> {
+        self.overlay[k].get(&key).or_else(|| self.base.counts[k].get(&key))
+    }
+}
+
+impl DecodeSession for PpmSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn observe(&mut self, token: TokenId) {
+        assert!((token as usize) < self.base.vocab_size, "token {token} out of range");
+        for k in 0..=self.base.max_order.min(self.history.len()) {
+            let key = radix_key(&self.history, k, self.base.vocab_size);
+            let slot = self.overlay[k].entry(key).or_insert_with(|| {
+                self.base.counts[k]
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0u32; self.base.vocab_size])
+            });
+            slot[token as usize] += 1;
+            self.cost.work_units += 1;
+        }
+        self.history.push(token);
+        if self.history.len() > self.base.max_order {
+            self.history.remove(0);
+        }
+        self.cost.generated_tokens += 1;
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.base.vocab_size, "distribution buffer size");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let mut excluded = vec![false; self.base.vocab_size];
+        let mut remaining = 1.0f64;
+        let deepest = self.base.max_order.min(self.history.len());
+        for k in (0..=deepest).rev() {
+            let key = radix_key(&self.history, k, self.base.vocab_size);
+            self.cost.work_units += 1;
+            let Some(c) = self.counts(k, key) else {
+                continue; // unseen context: free escape to the next order
+            };
+            let mut total = 0u64;
+            let mut distinct = 0u64;
+            for (i, &cnt) in c.iter().enumerate() {
+                if cnt > 0 && !excluded[i] {
+                    total += cnt as u64;
+                    distinct += 1;
+                }
+            }
+            if total == 0 {
+                continue;
+            }
+            let denom = (total + distinct) as f64;
+            for (i, &cnt) in c.iter().enumerate() {
+                if cnt > 0 && !excluded[i] {
+                    out[i] += remaining * cnt as f64 / denom;
+                    excluded[i] = true;
+                }
+            }
+            remaining *= distinct as f64 / denom;
+            if remaining < 1e-15 {
+                break;
+            }
+        }
+        let free = excluded.iter().filter(|&&e| !e).count();
+        if free > 0 {
+            let share = remaining / free as f64;
+            for (o, &e) in out.iter_mut().zip(&excluded) {
+                if !e {
+                    *o += share;
+                }
+            }
+        } else {
+            let total: f64 = out.iter().sum();
+            for o in out.iter_mut() {
+                *o /= total;
+            }
+            return;
+        }
+        let total: f64 = out.iter().sum();
+        for o in out.iter_mut() {
+            *o /= total;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        self.cost
     }
 }
 
@@ -76,8 +217,7 @@ impl LanguageModel for PpmLm {
         assert!((token as usize) < self.vocab_size, "token {token} out of range");
         for k in 0..=self.max_order.min(self.history.len()) {
             let key = self.key(k);
-            let slot =
-                self.counts[k].entry(key).or_insert_with(|| vec![0u32; self.vocab_size]);
+            let slot = self.counts[k].entry(key).or_insert_with(|| vec![0u32; self.vocab_size]);
             slot[token as usize] += 1;
             self.cost.work_units += 1;
         }
@@ -223,7 +363,8 @@ mod tests {
         // and collapses to ~1 on a deterministic pattern; PPM-C always
         // reserves explicit escape mass, keeping the distribution proper
         // but never degenerate.
-        let pattern: Vec<TokenId> = [0u32, 1, 2, 3, 2, 1].iter().cycle().take(90).copied().collect();
+        let pattern: Vec<TokenId> =
+            [0u32, 1, 2, 3, 2, 1].iter().cycle().take(90).copied().collect();
         let mut ppm = PpmLm::new(4, 6, "ppm");
         let mut ngram = NGramLm::new(4, 6, 0.25, "ng");
         observe_all(&mut ppm, &pattern);

@@ -13,11 +13,12 @@
 //! - [`ModelPreset::Suffix`] — the unbounded-order suffix matcher with
 //!   transformer-shaped per-token cost; used in the ablation harness.
 
-use crate::ensemble::EnsembleLm;
-use crate::model::LanguageModel;
+use crate::ensemble::{EnsembleLm, FrozenEnsemble};
+use crate::model::{observe_all, FrozenLm, LanguageModel};
 use crate::ngram::NGramLm;
 use crate::ppm::PpmLm;
 use crate::suffix::SuffixLm;
+use crate::vocab::TokenId;
 
 /// Capacity tiers for the LLM stand-ins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,12 +63,8 @@ impl ModelPreset {
 /// Builds a model for a preset over the given vocabulary size.
 pub fn build_model(preset: ModelPreset, vocab_size: usize) -> Box<dyn LanguageModel> {
     match preset {
-        ModelPreset::Large => {
-            Box::new(NGramLm::new(vocab_size, 10, 0.25, preset.display_name()))
-        }
-        ModelPreset::Small => {
-            Box::new(NGramLm::new(vocab_size, 2, 2.0, preset.display_name()))
-        }
+        ModelPreset::Large => Box::new(NGramLm::new(vocab_size, 10, 0.25, preset.display_name())),
+        ModelPreset::Small => Box::new(NGramLm::new(vocab_size, 2, 2.0, preset.display_name())),
         ModelPreset::Suffix => {
             Box::new(SuffixLm::new(vocab_size, 24, 1.8, 0.5, preset.display_name()))
         }
@@ -87,6 +84,55 @@ pub fn build_model(preset: ModelPreset, vocab_size: usize) -> Box<dyn LanguageMo
             preset.display_name(),
         )),
         ModelPreset::Ppm => Box::new(PpmLm::new(vocab_size, 8, preset.display_name())),
+    }
+}
+
+/// Builds a preset model, conditions it on `prompt` once, and freezes it.
+///
+/// The fit-once half of the fit/sample split: the returned [`FrozenLm`]
+/// holds the fully prompt-conditioned state (its
+/// [`FrozenLm::prompt_cost`] covers exactly one prompt pass) and every
+/// sample decodes through a cheap [`FrozenLm::fork`] session. Parameters
+/// mirror [`build_model`] exactly, so session decoding is bit-identical
+/// to the mutable path.
+pub fn fit_model(preset: ModelPreset, vocab_size: usize, prompt: &[TokenId]) -> Box<dyn FrozenLm> {
+    fn fit<M: LanguageModel>(mut m: M, prompt: &[TokenId]) -> M {
+        observe_all(&mut m, prompt);
+        m
+    }
+    match preset {
+        ModelPreset::Large => Box::new(
+            fit(NGramLm::new(vocab_size, 10, 0.25, preset.display_name()), prompt).into_frozen(),
+        ),
+        ModelPreset::Small => Box::new(
+            fit(NGramLm::new(vocab_size, 2, 2.0, preset.display_name()), prompt).into_frozen(),
+        ),
+        ModelPreset::Suffix => Box::new(
+            fit(SuffixLm::new(vocab_size, 24, 1.8, 0.5, preset.display_name()), prompt)
+                .into_frozen(),
+        ),
+        ModelPreset::Ensemble => Box::new(FrozenEnsemble::new(
+            vec![
+                (
+                    Box::new(
+                        fit(NGramLm::new(vocab_size, 10, 0.25, "member:ngram"), prompt)
+                            .into_frozen(),
+                    ) as Box<dyn FrozenLm>,
+                    1.0,
+                ),
+                (
+                    Box::new(
+                        fit(SuffixLm::new(vocab_size, 24, 1.8, 0.5, "member:suffix"), prompt)
+                            .into_frozen(),
+                    ) as Box<dyn FrozenLm>,
+                    1.0,
+                ),
+            ],
+            preset.display_name(),
+        )),
+        ModelPreset::Ppm => {
+            Box::new(fit(PpmLm::new(vocab_size, 8, preset.display_name()), prompt).into_frozen())
+        }
     }
 }
 
@@ -119,10 +165,7 @@ mod tests {
             }
             scores.push(ll);
         }
-        assert!(
-            scores[0] > scores[1] + 0.1,
-            "Large should dominate Small: {scores:?}"
-        );
+        assert!(scores[0] > scores[1] + 0.1, "Large should dominate Small: {scores:?}");
     }
 
     #[test]
@@ -138,5 +181,112 @@ mod tests {
     fn display_names_mention_paper_backends() {
         assert!(ModelPreset::Large.display_name().contains("LLaMA2"));
         assert!(ModelPreset::Small.display_name().contains("Phi-2"));
+    }
+
+    fn test_prompt(vocab: usize) -> Vec<TokenId> {
+        let mut state = 11u64;
+        (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % vocab as u64) as TokenId
+            })
+            .collect()
+    }
+
+    /// The frozen/session split must be invisible to the math: decoding
+    /// through a fork is bit-identical to mutating a model that observed
+    /// the prompt and then the same generated tokens.
+    #[test]
+    fn session_decoding_is_bit_identical_to_mutable() {
+        let vocab = 11;
+        let prompt = test_prompt(vocab);
+        let generated: Vec<TokenId> = (0..30).map(|i| (i * 7 % vocab) as TokenId).collect();
+        for preset in ModelPreset::ALL {
+            let mut mutable = build_model(preset, vocab);
+            observe_all(mutable.as_mut(), &prompt);
+            let frozen = fit_model(preset, vocab, &prompt);
+            let mut session = frozen.fork();
+            let mut pm = vec![0.0; vocab];
+            let mut ps = vec![0.0; vocab];
+            for &t in &generated {
+                mutable.next_distribution(&mut pm);
+                session.next_distribution(&mut ps);
+                for (a, b) in pm.iter().zip(&ps) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{preset:?}: {pm:?} vs {ps:?}");
+                }
+                mutable.observe(t, true);
+                session.observe(t);
+            }
+        }
+    }
+
+    /// Forked sessions are independent: interleaving two sessions'
+    /// decode steps produces exactly what running each alone would.
+    #[test]
+    fn fork_sessions_are_independent() {
+        let vocab = 11;
+        let prompt = test_prompt(vocab);
+        let gen_a: Vec<TokenId> = (0..24).map(|i| (i * 3 % vocab) as TokenId).collect();
+        let gen_b: Vec<TokenId> =
+            (0..24).map(|i| (i * 5 + 1) as TokenId % vocab as TokenId).collect();
+        for preset in ModelPreset::ALL {
+            let frozen = fit_model(preset, vocab, &prompt);
+            // Sequential references: each session run to completion alone.
+            let run_alone = |tokens: &[TokenId]| -> Vec<Vec<f64>> {
+                let mut s = frozen.fork();
+                let mut p = vec![0.0; vocab];
+                let mut dists = Vec::new();
+                for &t in tokens {
+                    s.next_distribution(&mut p);
+                    dists.push(p.clone());
+                    s.observe(t);
+                }
+                dists
+            };
+            let ref_a = run_alone(&gen_a);
+            let ref_b = run_alone(&gen_b);
+            // Interleaved: alternate steps between two live sessions.
+            let mut sa = frozen.fork();
+            let mut sb = frozen.fork();
+            let mut p = vec![0.0; vocab];
+            for (i, (&ta, &tb)) in gen_a.iter().zip(&gen_b).enumerate() {
+                sa.next_distribution(&mut p);
+                for (x, y) in p.iter().zip(&ref_a[i]) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{preset:?} session A step {i}");
+                }
+                sa.observe(ta);
+                sb.next_distribution(&mut p);
+                for (x, y) in p.iter().zip(&ref_b[i]) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{preset:?} session B step {i}");
+                }
+                sb.observe(tb);
+            }
+        }
+    }
+
+    /// Prompt cost is paid once at fit time; sessions account only their
+    /// own generated tokens.
+    #[test]
+    fn prompt_cost_counted_once_sessions_generated_only() {
+        let vocab = 11;
+        let prompt = test_prompt(vocab);
+        for preset in ModelPreset::ALL {
+            let frozen = fit_model(preset, vocab, &prompt);
+            let fit_cost = frozen.prompt_cost();
+            assert_eq!(fit_cost.prompt_tokens, prompt.len() as u64, "{preset:?}");
+            assert_eq!(fit_cost.generated_tokens, 0, "{preset:?}");
+            let mut s = frozen.fork();
+            let mut p = vec![0.0; vocab];
+            for t in 0..5 {
+                s.next_distribution(&mut p);
+                s.observe(t as TokenId);
+            }
+            let session_cost = s.cost();
+            assert_eq!(session_cost.prompt_tokens, 0, "{preset:?}");
+            assert_eq!(session_cost.generated_tokens, 5, "{preset:?}");
+            // Fitting didn't change: prompt cost is frozen state, not a
+            // counter sessions feed back into.
+            assert_eq!(frozen.prompt_cost(), fit_cost, "{preset:?}");
+        }
     }
 }

@@ -55,10 +55,7 @@ impl Sampler {
         if let Some(k) = config.top_k {
             assert!(k > 0, "top_k must be positive");
         }
-        assert!(
-            (0.0..1.0).contains(&config.epsilon),
-            "epsilon must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&config.epsilon), "epsilon must be in [0, 1)");
         Self { rng: StdRng::seed_from_u64(config.seed), config }
     }
 
@@ -172,11 +169,13 @@ mod tests {
 
     #[test]
     fn falls_back_to_uniform_when_mass_excluded() {
-        let mut s = Sampler::new(SamplerConfig { 
+        let mut s = Sampler::new(SamplerConfig {
             temperature: 1.0,
             top_k: None,
             top_p: None,
-            seed: 2, epsilon: 0.0 });
+            seed: 2,
+            epsilon: 0.0,
+        });
         // All mass on token 0, but only 1 and 2 are allowed.
         let dist = [1.0, 0.0, 0.0];
         let c = counts_with(&mut s, &dist, |id| id != 0, 400);
@@ -201,28 +200,36 @@ mod tests {
     fn seeded_sampling_is_deterministic() {
         let dist = [0.25, 0.25, 0.25, 0.25];
         let cfg = SamplerConfig { seed: 99, ..Default::default() };
-        let a: Vec<TokenId> =
-            { let mut s = Sampler::new(cfg); (0..50).map(|_| s.sample(&dist, |_| true)).collect() };
-        let b: Vec<TokenId> =
-            { let mut s = Sampler::new(cfg); (0..50).map(|_| s.sample(&dist, |_| true)).collect() };
+        let a: Vec<TokenId> = {
+            let mut s = Sampler::new(cfg);
+            (0..50).map(|_| s.sample(&dist, |_| true)).collect()
+        };
+        let b: Vec<TokenId> = {
+            let mut s = Sampler::new(cfg);
+            (0..50).map(|_| s.sample(&dist, |_| true)).collect()
+        };
         assert_eq!(a, b);
     }
 
     #[test]
     fn low_temperature_sharpens() {
         let dist = [0.6, 0.4];
-        let mut cold = Sampler::new(SamplerConfig { 
+        let mut cold = Sampler::new(SamplerConfig {
             temperature: 0.05,
             top_k: None,
             top_p: None,
-            seed: 3, epsilon: 0.0 });
+            seed: 3,
+            epsilon: 0.0,
+        });
         let c = counts(&mut cold, &dist, 300);
         assert!(c[0] > 290, "cold sampling should almost always pick the mode: {c:?}");
-        let mut warm = Sampler::new(SamplerConfig { 
+        let mut warm = Sampler::new(SamplerConfig {
             temperature: 1.0,
             top_k: None,
             top_p: None,
-            seed: 3, epsilon: 0.0 });
+            seed: 3,
+            epsilon: 0.0,
+        });
         let w = counts(&mut warm, &dist, 300);
         assert!(w[1] > 60, "warm sampling keeps diversity: {w:?}");
     }
@@ -230,11 +237,13 @@ mod tests {
     #[test]
     fn top_k_truncates() {
         let dist = [0.5, 0.3, 0.15, 0.05];
-        let mut s = Sampler::new(SamplerConfig { 
+        let mut s = Sampler::new(SamplerConfig {
             temperature: 1.0,
             top_k: Some(2),
             top_p: None,
-            seed: 4, epsilon: 0.0 });
+            seed: 4,
+            epsilon: 0.0,
+        });
         let c = counts(&mut s, &dist, 500);
         assert_eq!(c[2] + c[3], 0, "top-2 must exclude tail tokens: {c:?}");
     }
@@ -242,11 +251,13 @@ mod tests {
     #[test]
     fn top_p_keeps_nucleus() {
         let dist = [0.9, 0.05, 0.03, 0.02];
-        let mut s = Sampler::new(SamplerConfig { 
+        let mut s = Sampler::new(SamplerConfig {
             temperature: 1.0,
             top_k: None,
             top_p: Some(0.5),
-            seed: 5, epsilon: 0.0 });
+            seed: 5,
+            epsilon: 0.0,
+        });
         let c = counts(&mut s, &dist, 300);
         assert_eq!(c[1] + c[2] + c[3], 0, "nucleus of 0.5 is just the mode: {c:?}");
     }
@@ -261,6 +272,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "temperature must be positive")]
     fn zero_temperature_rejected() {
-        Sampler::new(SamplerConfig {  temperature: 0.0, top_k: None, top_p: None, seed: 0, epsilon: 0.0 });
+        Sampler::new(SamplerConfig {
+            temperature: 0.0,
+            top_k: None,
+            top_p: None,
+            seed: 0,
+            epsilon: 0.0,
+        });
     }
 }

@@ -12,7 +12,7 @@
 //! wall-clock wins the paper reports.
 
 use crate::cost::InferenceCost;
-use crate::model::LanguageModel;
+use crate::model::{DecodeSession, FrozenLm, LanguageModel};
 use crate::vocab::TokenId;
 
 /// Longest-suffix-match LM. See the module docs.
@@ -61,6 +61,101 @@ impl SuffixLm {
     /// Current context length.
     pub fn context_len(&self) -> usize {
         self.context.len()
+    }
+
+    /// Freezes the model after prompt conditioning; decode via
+    /// [`FrozenLm::fork`] sessions.
+    pub fn into_frozen(self) -> FrozenSuffix {
+        FrozenSuffix { base: self }
+    }
+}
+
+/// A prompt-conditioned [`SuffixLm`] frozen for sampling.
+#[derive(Debug)]
+pub struct FrozenSuffix {
+    base: SuffixLm,
+}
+
+impl FrozenLm for FrozenSuffix {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn prompt_cost(&self) -> InferenceCost {
+        self.base.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.base.name
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(SuffixSession::new(&self.base))
+    }
+}
+
+/// One sample's decode cursor over a frozen [`SuffixLm`].
+///
+/// The session's logical context is the frozen prompt followed by the
+/// session's own generated tail; scoring iterates positions in the same
+/// order as the mutable model, so distributions are bit-identical to a
+/// clone that observed the same tokens.
+#[derive(Debug)]
+pub struct SuffixSession<'a> {
+    base: &'a SuffixLm,
+    tail: Vec<TokenId>,
+    cost: InferenceCost,
+}
+
+impl<'a> SuffixSession<'a> {
+    pub(crate) fn new(base: &'a SuffixLm) -> Self {
+        Self { base, tail: Vec::new(), cost: InferenceCost::default() }
+    }
+
+    fn at(&self, i: usize) -> TokenId {
+        let prompt_len = self.base.context.len();
+        if i < prompt_len {
+            self.base.context[i]
+        } else {
+            self.tail[i - prompt_len]
+        }
+    }
+}
+
+impl DecodeSession for SuffixSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size
+    }
+
+    fn observe(&mut self, token: TokenId) {
+        assert!((token as usize) < self.base.vocab_size, "token {token} out of range");
+        self.tail.push(token);
+        self.cost.generated_tokens += 1;
+    }
+
+    fn next_distribution(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.base.vocab_size, "distribution buffer size");
+        let n = self.base.context.len() + self.tail.len();
+        let mut scores =
+            vec![self.base.smoothing / self.base.vocab_size as f64; self.base.vocab_size];
+        for i in 0..n {
+            self.cost.work_units += 1;
+            let mut l = 0usize;
+            while l < self.base.max_match && l < i && self.at(i - 1 - l) == self.at(n - 1 - l) {
+                l += 1;
+            }
+            if l > 0 {
+                scores[self.at(i) as usize] += self.base.decay.powi(l as i32) - 1.0;
+            }
+        }
+        let total: f64 = scores.iter().sum();
+        for (o, s) in out.iter_mut().zip(&scores) {
+            *o = s / total;
+        }
+    }
+
+    fn cost(&self) -> InferenceCost {
+        self.cost
     }
 }
 

@@ -79,12 +79,7 @@ impl SaxEncoder {
         let (z, state) = znorm(xs).expect("encode requires a non-empty series");
         let coeffs = paa(&z, self.config.segment_len);
         let symbols = coeffs.iter().map(|&c| cell_of(c, &self.breaks)).collect();
-        SaxEncoding {
-            symbols,
-            znorm: state,
-            original_len: xs.len(),
-            config: self.config,
-        }
+        SaxEncoding { symbols, znorm: state, original_len: xs.len(), config: self.config }
     }
 
     /// Renders a SAX word as its character string (e.g. `"abba"`), the text
@@ -133,10 +128,7 @@ mod tests {
     use crate::alphabet::SaxAlphabetKind;
 
     fn encoder(segment_len: usize, size: usize, kind: SaxAlphabetKind) -> SaxEncoder {
-        SaxEncoder::new(SaxConfig {
-            segment_len,
-            alphabet: SaxAlphabet::new(kind, size).unwrap(),
-        })
+        SaxEncoder::new(SaxConfig { segment_len, alphabet: SaxAlphabet::new(kind, size).unwrap() })
     }
 
     #[test]
@@ -183,7 +175,8 @@ mod tests {
         let dec = e.decode_expanded(&enc.symbols, enc.znorm, xs.len());
         assert_eq!(dec.len(), xs.len());
         // Decoded staircase stays within a reasonable band of the original.
-        let (min, max) = xs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let (min, max) =
+            xs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         for &v in &dec {
             assert!(v > min - 10.0 && v < max + 10.0, "decoded {v} far out of band");
         }
@@ -191,7 +184,8 @@ mod tests {
 
     #[test]
     fn reconstruction_error_shrinks_with_alphabet() {
-        let xs: Vec<f64> = (0..120).map(|t| ((t as f64) * 0.23).sin() + 0.3 * ((t as f64) * 0.61).cos()).collect();
+        let xs: Vec<f64> =
+            (0..120).map(|t| ((t as f64) * 0.23).sin() + 0.3 * ((t as f64) * 0.61).cos()).collect();
         let mut errs = Vec::new();
         for size in [2usize, 5, 10, 20] {
             let e = encoder(1, size, SaxAlphabetKind::Alphabetic);

@@ -84,9 +84,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -159,7 +158,9 @@ mod tests {
         let b3 = breakpoints(3);
         assert!((b3[0] + 0.4307).abs() < 1e-3 && (b3[1] - 0.4307).abs() < 1e-3, "{b3:?}");
         let b4 = breakpoints(4);
-        assert!((b4[0] + 0.6745).abs() < 1e-3 && b4[1].abs() < 1e-12 && (b4[2] - 0.6745).abs() < 1e-3);
+        assert!(
+            (b4[0] + 0.6745).abs() < 1e-3 && b4[1].abs() < 1e-12 && (b4[2] - 0.6745).abs() < 1e-3
+        );
         let b5 = breakpoints(5);
         assert!((b5[0] + 0.8416).abs() < 1e-3 && (b5[3] - 0.8416).abs() < 1e-3);
     }

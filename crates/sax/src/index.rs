@@ -138,10 +138,12 @@ impl ISaxIndex {
                         .map(|e| (e.id, euclidean(&probe.normalized, &e.normalized)))
                         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                 }
-                Node::Internal(children) => match children.iter().find(|(w, _)| w.contains(&full)) {
-                    Some((_, child)) => node = child,
-                    None => return None,
-                },
+                Node::Internal(children) => {
+                    match children.iter().find(|(w, _)| w.contains(&full)) {
+                        Some((_, child)) => node = child,
+                        None => return None,
+                    }
+                }
             }
         }
     }

@@ -16,9 +16,7 @@
 pub fn paa(xs: &[f64], segment_len: usize) -> Vec<f64> {
     assert!(segment_len > 0, "segment_len must be positive");
     assert!(!xs.is_empty(), "PAA of an empty series");
-    xs.chunks(segment_len)
-        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-        .collect()
+    xs.chunks(segment_len).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
 }
 
 /// Expands PAA coefficients back to the original sampling rate by holding

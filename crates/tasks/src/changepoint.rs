@@ -28,12 +28,7 @@ pub struct ChangePointConfig {
 
 impl Default for ChangePointConfig {
     fn default() -> Self {
-        Self {
-            surprisal: SurprisalConfig::default(),
-            drift: 1.0,
-            threshold: 12.0,
-            min_gap: 8,
-        }
+        Self { surprisal: SurprisalConfig::default(), drift: 1.0, threshold: 12.0, min_gap: 8 }
     }
 }
 
@@ -163,16 +158,12 @@ mod tests {
         for s in scores[100..130].iter_mut() {
             *s = 5.0;
         }
-        let tight = ChangePointDetector::new(ChangePointConfig {
-            min_gap: 1,
-            ..Default::default()
-        })
-        .detect_from_scores(&scores);
-        let wide = ChangePointDetector::new(ChangePointConfig {
-            min_gap: 50,
-            ..Default::default()
-        })
-        .detect_from_scores(&scores);
+        let tight =
+            ChangePointDetector::new(ChangePointConfig { min_gap: 1, ..Default::default() })
+                .detect_from_scores(&scores);
+        let wide =
+            ChangePointDetector::new(ChangePointConfig { min_gap: 50, ..Default::default() })
+                .detect_from_scores(&scores);
         assert!(wide.len() <= tight.len());
         assert_eq!(wide.len(), 1);
         assert_eq!(wide[0], 100);

@@ -18,6 +18,7 @@ use mc_lm::vocab::{TokenId, Vocab};
 use mc_tslib::error::{invalid_param, Result};
 use mc_tslib::series::MultivariateSeries;
 
+use multicast_core::codec::DIGIT_STREAM_CHARS;
 use multicast_core::mux::{Multiplexer, ValueInterleave};
 use multicast_core::scaling::{format_code, FixedDigitScaler};
 
@@ -46,7 +47,13 @@ impl Default for ImputationConfig {
             digits: 3,
             headroom: 0.15,
             preset: ModelPreset::Large,
-            sampler: SamplerConfig {  temperature: 0.25, top_k: None, top_p: Some(0.9), seed: 0, epsilon: 0.0 },
+            sampler: SamplerConfig {
+                temperature: 0.25,
+                top_k: None,
+                top_p: Some(0.9),
+                seed: 0,
+                epsilon: 0.0,
+            },
             seed: 0,
             bidirectional: true,
         }
@@ -103,7 +110,10 @@ impl Imputer {
             return Err(invalid_param("values", "need at least 4 observed values"));
         }
         if observed.iter().any(|v| !v.is_finite()) {
-            return Err(invalid_param("values", "observed values must be finite (only NaN marks gaps)"));
+            return Err(invalid_param(
+                "values",
+                "observed values must be finite (only NaN marks gaps)",
+            ));
         }
         let gaps = find_gaps(values);
         if gaps.is_empty() {
@@ -158,7 +168,7 @@ impl Imputer {
         let sep = vocab.id(',').expect("comma in vocabulary");
         let allowed_ids: Vec<bool> = {
             let mut mask = vec![false; vocab.len()];
-            for id in vocab.ids_of("0123456789,") {
+            for id in vocab.ids_of(DIGIT_STREAM_CHARS) {
                 mask[id as usize] = true;
             }
             mask
@@ -310,10 +320,8 @@ mod tests {
     fn leading_gap_needs_bidirectional() {
         let truth = sine(64);
         let masked = mask(&truth, 0..4);
-        let forward_only = Imputer::new(ImputationConfig {
-            bidirectional: false,
-            ..Default::default()
-        });
+        let forward_only =
+            Imputer::new(ImputationConfig { bidirectional: false, ..Default::default() });
         assert!(forward_only.impute(&masked).is_err());
         let imputed = Imputer::default().impute(&masked).unwrap();
         assert!(imputed.iter().all(|v| v.is_finite()));

@@ -154,11 +154,11 @@ mod tests {
     fn spike_is_most_surprising_late_timestamp() {
         let xs = periodic_with_spike(96, 70);
         let p = surprisal_profile(&xs, SurprisalConfig::default()).unwrap();
-        let (argmax, peak) = p
-            .iter()
-            .enumerate()
-            .skip(20)
-            .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        let (argmax, peak) =
+            p.iter()
+                .enumerate()
+                .skip(20)
+                .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
         assert_eq!(argmax, 70, "profile: {:?}", &p[60..80]);
         assert!(peak > 0.2, "spike residual should be large: {peak}");
     }
@@ -195,11 +195,11 @@ mod tests {
         let xs = periodic_with_spike(80, 50);
         let cfg = SurprisalConfig { preset: ModelPreset::Suffix, ..Default::default() };
         let p = surprisal_profile(&xs, cfg).unwrap();
-        let (argmax, _) = p
-            .iter()
-            .enumerate()
-            .skip(20)
-            .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        let (argmax, _) =
+            p.iter()
+                .enumerate()
+                .skip(20)
+                .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
         assert_eq!(argmax, 50);
     }
 

@@ -134,11 +134,8 @@ mod tests {
     }
 
     fn ramp(n: usize) -> MultivariateSeries {
-        MultivariateSeries::from_columns(
-            vec!["a".into()],
-            vec![(0..n).map(|t| t as f64).collect()],
-        )
-        .unwrap()
+        MultivariateSeries::from_columns(vec!["a".into()], vec![(0..n).map(|t| t as f64).collect()])
+            .unwrap()
     }
 
     #[test]
@@ -147,12 +144,9 @@ mod tests {
         // (1, 2) → RMSE sqrt(2.5), identically in every fold.
         let series = ramp(20);
         let mut f = crate::forecast::PerDimension(LastValue);
-        let report = backtest(
-            &mut f,
-            &series,
-            BacktestConfig { initial_train: 10, horizon: 2, step: 4 },
-        )
-        .unwrap();
+        let report =
+            backtest(&mut f, &series, BacktestConfig { initial_train: 10, horizon: 2, step: 4 })
+                .unwrap();
         assert_eq!(report.folds.len(), 3);
         let expected = (2.5f64).sqrt();
         for row in &report.per_fold {
@@ -189,12 +183,9 @@ mod tests {
         )
         .unwrap();
         let mut f = crate::forecast::PerDimension(LastValue);
-        let report = backtest(
-            &mut f,
-            &series,
-            BacktestConfig { initial_train: 8, horizon: 2, step: 3 },
-        )
-        .unwrap();
+        let report =
+            backtest(&mut f, &series, BacktestConfig { initial_train: 8, horizon: 2, step: 3 })
+                .unwrap();
         // The flat dimension is forecast perfectly; the ramp is not.
         assert!(report.mean_rmse[0] < 1e-12);
         assert!(report.mean_rmse[1] > 1.0);

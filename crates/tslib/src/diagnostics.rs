@@ -213,14 +213,10 @@ mod tests {
             .collect();
         let raw = ljung_box(&xs, 10, 0).unwrap();
         // Residuals from the true model.
-        let resid: Vec<f64> =
-            xs.windows(2).map(|w| w[1] - 0.8 * w[0]).collect();
+        let resid: Vec<f64> = xs.windows(2).map(|w| w[1] - 0.8 * w[0]).collect();
         let fitted = ljung_box(&resid, 10, 1).unwrap();
         assert!(raw.p_value < 1e-9, "raw AR(1) series is autocorrelated");
-        assert!(
-            fitted.p_value > 0.01,
-            "true-model residuals should be white: {fitted:?}"
-        );
+        assert!(fitted.p_value > 0.01, "true-model residuals should be white: {fitted:?}");
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub trait MultivariateForecaster {
     fn name(&self) -> String;
 
     /// Produces a forecast of `horizon` rows continuing `train`.
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries>;
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries>;
 }
 
 /// A univariate method applied to one dimension at a time.
@@ -38,7 +42,11 @@ impl<F: UnivariateForecaster> MultivariateForecaster for PerDimension<F> {
         self.0.name()
     }
 
-    fn forecast(&mut self, train: &MultivariateSeries, horizon: usize) -> Result<MultivariateSeries> {
+    fn forecast(
+        &mut self,
+        train: &MultivariateSeries,
+        horizon: usize,
+    ) -> Result<MultivariateSeries> {
         let mut columns = Vec::with_capacity(train.dims());
         for d in 0..train.dims() {
             columns.push(self.0.forecast_univariate(train.column(d)?, horizon)?);

@@ -126,10 +126,7 @@ mod tests {
     #[test]
     fn parse_error_reports_line() {
         let err = read_csv_str("a,b\n1,2\n3,oops\n").unwrap_err();
-        assert_eq!(
-            err,
-            TsError::Parse { line: 3, message: "`oops` is not a number".into() }
-        );
+        assert_eq!(err, TsError::Parse { line: 3, message: "`oops` is not a number".into() });
     }
 
     #[test]

@@ -21,11 +21,7 @@ fn check(actual: &[f64], predicted: &[f64]) -> Result<()> {
 /// This is the paper's sole accuracy metric (Section IV-A5).
 pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
     check(actual, predicted)?;
-    let mse = actual
-        .iter()
-        .zip(predicted)
-        .map(|(y, yhat)| (y - yhat) * (y - yhat))
-        .sum::<f64>()
+    let mse = actual.iter().zip(predicted).map(|(y, yhat)| (y - yhat) * (y - yhat)).sum::<f64>()
         / actual.len() as f64;
     Ok(mse.sqrt())
 }
@@ -44,8 +40,7 @@ pub fn mape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
     if actual.contains(&0.0) {
         return Err(invalid_param("actual", "MAPE undefined when an actual value is 0"));
     }
-    Ok(100.0
-        * actual.iter().zip(predicted).map(|(y, yhat)| ((y - yhat) / y).abs()).sum::<f64>()
+    Ok(100.0 * actual.iter().zip(predicted).map(|(y, yhat)| ((y - yhat) / y).abs()).sum::<f64>()
         / actual.len() as f64)
 }
 
@@ -75,7 +70,8 @@ pub fn mase(train: &[f64], actual: &[f64], predicted: &[f64]) -> Result<f64> {
     if train.len() < 2 {
         return Err(invalid_param("train", "needs at least 2 values for the naive scale"));
     }
-    let scale = train.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (train.len() - 1) as f64;
+    let scale =
+        train.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (train.len() - 1) as f64;
     if scale == 0.0 {
         return Err(invalid_param("train", "constant training series gives zero MASE scale"));
     }

@@ -111,12 +111,8 @@ pub fn decompose_additive(xs: &[f64], period: usize) -> Result<Decomposition> {
         *p -= grand;
     }
     let seasonal: Vec<f64> = (0..xs.len()).map(|i| phase_mean[i % period]).collect();
-    let residual: Vec<f64> = xs
-        .iter()
-        .zip(&trend)
-        .zip(&seasonal)
-        .map(|((x, t), s)| x - t - s)
-        .collect();
+    let residual: Vec<f64> =
+        xs.iter().zip(&trend).zip(&seasonal).map(|((x, t), s)| x - t - s).collect();
     Ok(Decomposition { trend, seasonal, residual })
 }
 
@@ -193,8 +189,7 @@ mod tests {
         let amp = d.seasonal.iter().cloned().fold(f64::MIN, f64::max);
         assert!((amp - 5.0).abs() < 0.5, "amplitude {amp}");
         // Residuals small away from the edges.
-        let mid_res: f64 =
-            d.residual[20..76].iter().map(|r| r.abs()).sum::<f64>() / 56.0;
+        let mid_res: f64 = d.residual[20..76].iter().map(|r| r.abs()).sum::<f64>() / 56.0;
         assert!(mid_res < 0.6, "mean residual {mid_res}");
     }
 

@@ -300,10 +300,7 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(
-            MultivariateSeries::from_columns(vec![], vec![]).unwrap_err(),
-            TsError::Empty
-        );
+        assert_eq!(MultivariateSeries::from_columns(vec![], vec![]).unwrap_err(), TsError::Empty);
     }
 
     #[test]

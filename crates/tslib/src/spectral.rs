@@ -198,10 +198,7 @@ mod tests {
         let xs: Vec<f64> =
             (0..128).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin()).collect();
         let bins = periodogram(&xs).unwrap();
-        let peak = bins
-            .iter()
-            .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap())
-            .unwrap();
+        let peak = bins.iter().max_by(|a, b| a.power.partial_cmp(&b.power).unwrap()).unwrap();
         assert!((peak.period - 16.0).abs() < 1e-9, "peak period {}", peak.period);
     }
 

@@ -71,7 +71,10 @@ pub fn expanding_folds(
         return Err(invalid_param("fold", "initial_train, horizon and step must be >= 1"));
     }
     if initial_train + horizon > n {
-        return Err(invalid_param("fold", format!("first fold needs {} points, series has {n}", initial_train + horizon)));
+        return Err(invalid_param(
+            "fold",
+            format!("first fold needs {} points, series has {n}", initial_train + horizon),
+        ));
     }
     let mut folds = Vec::new();
     let mut train_end = initial_train;
@@ -87,11 +90,8 @@ mod tests {
     use super::*;
 
     fn series(n: usize) -> MultivariateSeries {
-        MultivariateSeries::from_columns(
-            vec!["a".into()],
-            vec![(0..n).map(|i| i as f64).collect()],
-        )
-        .unwrap()
+        MultivariateSeries::from_columns(vec!["a".into()], vec![(0..n).map(|i| i as f64).collect()])
+            .unwrap()
     }
 
     #[test]

@@ -28,18 +28,20 @@ pub fn std_dev(xs: &[f64]) -> Result<f64> {
 
 /// Minimum value. Errors on empty input; NaNs are ignored unless all-NaN.
 pub fn min(xs: &[f64]) -> Result<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc: Option<f64>, x| {
-        Some(acc.map_or(x, |a| a.min(x)))
-    })
-    .ok_or(TsError::Empty)
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+        .ok_or(TsError::Empty)
 }
 
 /// Maximum value. Errors on empty input; NaNs are ignored unless all-NaN.
 pub fn max(xs: &[f64]) -> Result<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc: Option<f64>, x| {
-        Some(acc.map_or(x, |a| a.max(x)))
-    })
-    .ok_or(TsError::Empty)
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .ok_or(TsError::Empty)
 }
 
 /// Linear-interpolation quantile, `q` in `[0, 1]`.

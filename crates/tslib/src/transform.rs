@@ -44,7 +44,10 @@ pub fn znorm_inverse(xs: &[f64], state: ZNormState) -> Vec<f64> {
 /// [`undifference`].
 pub fn difference(xs: &[f64], d: usize) -> Result<(Vec<f64>, Vec<f64>)> {
     if xs.len() <= d {
-        return Err(invalid_param("d", format!("cannot difference length {} series {d} times", xs.len())));
+        return Err(invalid_param(
+            "d",
+            format!("cannot difference length {} series {d} times", xs.len()),
+        ));
     }
     let mut cur = xs.to_vec();
     let mut heads = Vec::with_capacity(d);
@@ -94,7 +97,10 @@ pub fn undifference_forecast(forecast: &[f64], tail: &[Vec<f64>]) -> Vec<f64> {
 /// is used, but the full level is kept for diagnostics).
 pub fn integration_tail(xs: &[f64], d: usize) -> Result<Vec<Vec<f64>>> {
     if xs.len() <= d {
-        return Err(invalid_param("d", format!("series of length {} too short for d={d}", xs.len())));
+        return Err(invalid_param(
+            "d",
+            format!("series of length {} too short for d={d}", xs.len()),
+        ));
     }
     let mut levels = Vec::with_capacity(d);
     let mut cur = xs.to_vec();
@@ -169,7 +175,9 @@ pub fn supervised_windows(
 }
 
 /// Z-normalizes every dimension of a multivariate series independently.
-pub fn znorm_multivariate(series: &MultivariateSeries) -> Result<(MultivariateSeries, Vec<ZNormState>)> {
+pub fn znorm_multivariate(
+    series: &MultivariateSeries,
+) -> Result<(MultivariateSeries, Vec<ZNormState>)> {
     let mut cols = Vec::with_capacity(series.dims());
     let mut states = Vec::with_capacity(series.dims());
     for d in 0..series.dims() {

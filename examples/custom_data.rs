@@ -35,13 +35,17 @@ fn main() {
     io::write_csv(&series, &csv_path).expect("write csv");
     let loaded = io::read_csv(&csv_path).expect("read csv");
     assert_eq!(loaded, series);
-    println!("loaded {} rows x {} columns from {}", loaded.len(), loaded.dims(), csv_path.display());
+    println!(
+        "loaded {} rows x {} columns from {}",
+        loaded.len(),
+        loaded.dims(),
+        csv_path.display()
+    );
 
     // 2. Forecast the last two weeks.
     let (train, test) = holdout_split(&loaded, 14.0 / n as f64).expect("split");
     println!("forecasting {} days\n", test.len());
-    let mut multicast =
-        MultiCastForecaster::new(MuxMethod::ValueConcat, ForecastConfig::default());
+    let mut multicast = MultiCastForecaster::new(MuxMethod::ValueConcat, ForecastConfig::default());
     let mc_fc = multicast.forecast(&train, test.len()).expect("multicast");
     let mut lstm = LstmForecaster::new(LstmConfig { epochs: 15, ..LstmConfig::default() });
     let lstm_fc = lstm.forecast(&train, test.len()).expect("lstm");

@@ -39,9 +39,7 @@ fn main() {
     if let Some(cost) = multicast.last_cost {
         println!(
             "\nLLM cost: {} prompt + {} generated tokens across {} samples",
-            cost.prompt_tokens,
-            cost.generated_tokens,
-            multicast.config.samples
+            cost.prompt_tokens, cost.generated_tokens, multicast.config.samples
         );
     }
 }

@@ -26,10 +26,7 @@ fn main() {
         pricing.per_prompt_token * 1e6,
         pricing.per_generated_token * 1e6
     );
-    println!(
-        "{:<34} {:>8} {:>10} {:>10} {:>12}",
-        "method", "RMSE", "prompt", "generated", "cost"
-    );
+    println!("{:<34} {:>8} {:>10} {:>10} {:>12}", "method", "RMSE", "prompt", "generated", "cost");
 
     // Raw MultiCast reference.
     let mut raw = MultiCastForecaster::new(MuxMethod::DigitInterleave, ForecastConfig::default());

@@ -59,10 +59,8 @@ fn main() {
     // Which method wins each dimension?
     println!();
     for (d, dim_name) in series.names().iter().enumerate() {
-        let best = rows
-            .iter()
-            .min_by(|a, b| a.1[d].partial_cmp(&b.1[d]).unwrap())
-            .expect("non-empty");
+        let best =
+            rows.iter().min_by(|a, b| a.1[d].partial_cmp(&b.1[d]).unwrap()).expect("non-empty");
         println!("best for {dim_name}: {}", best.0);
     }
 }

@@ -129,7 +129,9 @@ pub fn parse(args: &[String]) -> Result<Command> {
             out: flags.get("out").map(PathBuf::from),
         }),
         "detect" => Ok(Command::Detect { input: input(0)?, column: flags.get("column").cloned() }),
-        "impute" => Ok(Command::Impute { input: input(0)?, out: flags.get("out").map(PathBuf::from) }),
+        "impute" => {
+            Ok(Command::Impute { input: input(0)?, out: flags.get("out").map(PathBuf::from) })
+        }
         "datasets" => Ok(Command::Datasets {
             dir: flags.get("dir").map(PathBuf::from).unwrap_or_else(|| "results/datasets".into()),
         }),
@@ -213,10 +215,8 @@ pub fn run(command: Command) -> Result<String> {
             std::fs::create_dir_all(&dir).map_err(TsError::from)?;
             let mut report = String::new();
             for ds in PaperDataset::ALL {
-                let path = dir.join(format!(
-                    "{}.csv",
-                    ds.info().name.to_lowercase().replace(' ', "_")
-                ));
+                let path =
+                    dir.join(format!("{}.csv", ds.info().name.to_lowercase().replace(' ', "_")));
                 io::write_csv(&ds.load(), &path)?;
                 report.push_str(&format!("wrote {}\n", path.display()));
             }
@@ -243,7 +243,14 @@ mod tests {
     #[test]
     fn parse_forecast_with_flags() {
         let cmd = parse(&strings(&[
-            "forecast", "data.csv", "--horizon", "12", "--method", "vc", "--samples", "7",
+            "forecast",
+            "data.csv",
+            "--horizon",
+            "12",
+            "--method",
+            "vc",
+            "--samples",
+            "7",
         ]))
         .unwrap();
         assert_eq!(
@@ -283,8 +290,7 @@ mod tests {
         let csv = dir.join("series.csv");
         let xs: Vec<f64> =
             (0..80).map(|t| 10.0 + (t as f64 * std::f64::consts::PI / 8.0).sin() * 3.0).collect();
-        let series =
-            MultivariateSeries::from_columns(vec!["x".into()], vec![xs]).unwrap();
+        let series = MultivariateSeries::from_columns(vec!["x".into()], vec![xs]).unwrap();
         io::write_csv(&series, &csv).unwrap();
 
         let out = dir.join("fc.csv");

@@ -31,11 +31,11 @@ pub mod prelude {
     pub use mc_baselines::{ArimaForecaster, LstmConfig, LstmForecaster};
     pub use mc_datasets::{electricity, gas_rate, weather, PaperDataset};
     pub use mc_lm::presets::ModelPreset;
+    pub use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
     pub use mc_tslib::forecast::{MultivariateForecaster, PerDimension, UnivariateForecaster};
     pub use mc_tslib::metrics::{mae, rmse, smape};
     pub use mc_tslib::split::holdout_split;
     pub use mc_tslib::{MultivariateSeries, UnivariateSeries};
-    pub use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
     pub use multicast_core::{
         ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod, SaxForecastConfig,
         SaxMultiCastForecaster,

@@ -1,0 +1,374 @@
+//! Refactor-equivalence suite: the `ForecastEngine`/`Codec` rework and the
+//! fit-once/sample-many split must be invisible to the numbers.
+//!
+//! Each test reassembles a forecaster's *pre-refactor* pipeline in-process
+//! from the retained public primitives (`run_samples_robust`,
+//! `run_continuation`, the scaler/mux/SAX pieces) and compares its output
+//! bit-for-bit (`f64::to_bits`) against the refactored forecaster under
+//! identical fixed seeds. References are built in-process rather than from
+//! golden literals so the suite is valid on any `rand` implementation.
+//!
+//! The one *intended* change is cost accounting: the engine conditions the
+//! backend on the prompt once per forecast, so `prompt_tokens` drops from
+//! `S` prompt passes to one. The last test pins that down.
+
+use mc_datasets::{gas_rate, generators::sinusoids};
+use mc_lm::generate::{generate, GenerateOptions};
+use mc_lm::model::observe_all;
+use mc_lm::sampler::Sampler;
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
+use mc_lm::vocab::{TokenId, Vocab};
+use mc_lm::ConcreteLm;
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::{SaxConfig, SaxEncoder};
+use mc_tslib::error::Result;
+use mc_tslib::forecast::{MultivariateForecaster, UnivariateForecaster};
+use mc_tslib::series::MultivariateSeries;
+use mc_tslib::split::holdout_split;
+use multicast_core::pipeline::{median_aggregate, ContinuationSpec};
+use multicast_core::robust::{run_samples_robust, SampleExpectations, SampleSource};
+use multicast_core::scaling::FixedDigitScaler;
+use multicast_core::{
+    ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod, SaxForecastConfig,
+    SaxMultiCastForecaster, StreamingMultiCast,
+};
+
+fn assert_bit_identical(reference: &MultivariateSeries, actual: &MultivariateSeries, tag: &str) {
+    assert_eq!(reference.names(), actual.names(), "{tag}: names");
+    assert_eq!(reference.len(), actual.len(), "{tag}: horizon");
+    for d in 0..reference.dims() {
+        let (r, a) = (reference.column(d).unwrap(), actual.column(d).unwrap());
+        for (t, (x, y)) in r.iter().zip(a).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: dim {d} step {t}: {x} vs {y}");
+        }
+    }
+}
+
+/// The pre-refactor `MultiCastForecaster::forecast` body, reassembled from
+/// the retained primitives. Returns the forecast and the run's cost
+/// counters (which, on this path, re-pay the prompt every sample).
+fn reference_multicast(
+    method: MuxMethod,
+    cfg: ForecastConfig,
+    train: &MultivariateSeries,
+    horizon: usize,
+) -> (MultivariateSeries, u64) {
+    let dims = train.dims();
+    let scaler = FixedDigitScaler::fit(train.columns(), cfg.digits, cfg.headroom).unwrap();
+    let codes: Vec<Vec<u64>> =
+        (0..dims).map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap()).collect();
+    let mux = method.build();
+    let prompt = mux.mux(&codes, cfg.digits);
+    let separators = mux.separators_for(dims, horizon);
+    let payload = match method {
+        MuxMethod::ValueConcat => cfg.digits as usize,
+        _ => dims * cfg.digits as usize,
+    };
+    let spec = ContinuationSpec {
+        prompt,
+        vocab: Vocab::numeric(),
+        allowed_chars: "0123456789,".into(),
+        preset: cfg.preset,
+        separators,
+        max_tokens: cfg.max_tokens(separators, payload),
+    };
+    let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+        mux.demux(text, dims, cfg.digits, horizon)
+            .iter()
+            .enumerate()
+            .map(|(d, col)| scaler.descale_column(d, col))
+            .collect()
+    };
+    let expect = SampleExpectations {
+        separators,
+        group_width: payload,
+        alphabet: "0123456789".into(),
+        numeric: true,
+        dims,
+        horizon,
+    };
+    let run = run_samples_robust(
+        &spec,
+        cfg.samples.max(1),
+        cfg.robust,
+        SampleSource::Model,
+        &expect,
+        |i| cfg.sampler_for(i),
+        decode,
+    )
+    .unwrap();
+    assert!(run.quorum_met, "reference run must be healthy");
+    let columns = median_aggregate(&run.samples).unwrap();
+    let fc = MultivariateSeries::from_columns(train.names().to_vec(), columns).unwrap();
+    (fc, run.cost.prompt_tokens)
+}
+
+fn two_dim_series(n: usize) -> MultivariateSeries {
+    let a = sinusoids(n, &[(1.0, 16.0, 0.0), (0.3, 8.0, 1.0)]);
+    let b: Vec<f64> = a.iter().map(|&v| 100.0 + 20.0 * v).collect();
+    MultivariateSeries::from_columns(vec!["low".into(), "high".into()], vec![a, b]).unwrap()
+}
+
+#[test]
+fn multicast_is_bit_identical_for_every_mux_method() {
+    let series = two_dim_series(96);
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let cfg = ForecastConfig { samples: 3, seed: 11, ..ForecastConfig::default() };
+    for method in MuxMethod::ALL {
+        let (reference, _) = reference_multicast(method, cfg, &train, 8);
+        let mut f = MultiCastForecaster::new(method, cfg);
+        let actual = f.forecast(&train, 8).unwrap();
+        assert_bit_identical(&reference, &actual, method.tag());
+        let report = f.last_report.unwrap();
+        assert_eq!(report.valid_samples, 3, "{}", method.tag());
+    }
+}
+
+#[test]
+fn multicast_matches_on_a_real_dataset() {
+    let (train, test) = holdout_split(&gas_rate(), 0.1).unwrap();
+    let cfg = ForecastConfig { samples: 2, seed: 5, ..ForecastConfig::default() };
+    let (reference, _) = reference_multicast(MuxMethod::ValueInterleave, cfg, &train, test.len());
+    let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+    let actual = f.forecast(&train, test.len()).unwrap();
+    assert_bit_identical(&reference, &actual, "gas-rate");
+}
+
+#[test]
+fn llmtime_univariate_is_bit_identical() {
+    // The pre-refactor LLMTime column pipeline: 1-dim scaler, plain
+    // value-interleaved serialization, digit-width groups.
+    let xs = sinusoids(120, &[(1.0, 12.0, 0.5)]);
+    let cfg = ForecastConfig { samples: 3, seed: 7, ..ForecastConfig::default() };
+    let train = MultivariateSeries::from_columns(vec!["value".into()], vec![xs.clone()]).unwrap();
+    let (reference, _) = reference_multicast(MuxMethod::ValueInterleave, cfg, &train, 6);
+    let mut f = LlmTimeForecaster::new(cfg);
+    let actual = f.forecast_univariate(&xs, 6).unwrap();
+    let reference = reference.column(0).unwrap();
+    assert_eq!(reference.len(), actual.len());
+    for (t, (x, y)) in reference.iter().zip(&actual).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "step {t}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn llmtime_multivariate_parallel_loop_matches_sequential_columns() {
+    // The multivariate baseline now forecasts dimensions on scoped
+    // threads; each column must still equal its own univariate run.
+    let series = two_dim_series(90);
+    let cfg = ForecastConfig { samples: 2, seed: 3, ..ForecastConfig::default() };
+    let mut multi = LlmTimeForecaster::new(cfg);
+    let fc = MultivariateForecaster::forecast(&mut multi, &series, 5).unwrap();
+    let total = multi.last_cost.unwrap();
+    let report = multi.last_report.unwrap();
+    assert_eq!(report.requested_samples, 4, "2 samples x 2 dims merged in order");
+    let mut expected_tokens = 0;
+    for d in 0..2 {
+        let mut uni = LlmTimeForecaster::new(cfg);
+        let col = uni.forecast_univariate(series.column(d).unwrap(), 5).unwrap();
+        expected_tokens += uni.last_cost.unwrap().total_tokens();
+        for (t, (x, y)) in col.iter().zip(fc.column(d).unwrap()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "dim {d} step {t}");
+        }
+    }
+    assert_eq!(total.total_tokens(), expected_tokens, "costs merge losslessly");
+}
+
+/// The pre-refactor SAX serialization (symbols interleaved segment-major)
+/// and its lenient inverse, reassembled locally.
+fn sax_mux_symbols(words: &[Vec<usize>], alphabet: SaxAlphabet) -> String {
+    let n = words.first().map_or(0, Vec::len);
+    let mut out = String::new();
+    for s in 0..n {
+        for w in words {
+            out.push(alphabet.symbol(w[s]));
+        }
+        out.push(',');
+    }
+    out
+}
+
+fn sax_demux_symbols(
+    text: &str,
+    dims: usize,
+    alphabet: SaxAlphabet,
+    segments: usize,
+) -> Vec<Vec<usize>> {
+    let mid = alphabet.size() / 2;
+    let mut out = vec![Vec::new(); dims];
+    for group in text.split(',').map(str::trim).filter(|g| !g.is_empty()).take(segments) {
+        let symbols: Vec<usize> = group.chars().filter_map(|c| alphabet.index(c)).collect();
+        for (d, col) in out.iter_mut().enumerate() {
+            let sym = symbols.get(d).copied().or_else(|| col.last().copied()).unwrap_or(mid);
+            col.push(sym);
+        }
+    }
+    for col in &mut out {
+        let fill = col.last().copied().unwrap_or(mid);
+        while col.len() < segments {
+            col.push(fill);
+        }
+        col.truncate(segments);
+    }
+    out
+}
+
+#[test]
+fn sax_is_bit_identical_for_both_alphabets() {
+    let series = two_dim_series(120);
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let horizon: usize = 10;
+    for kind in [SaxAlphabetKind::Alphabetic, SaxAlphabetKind::Digital] {
+        let config = SaxForecastConfig {
+            sax: SaxConfig { segment_len: 3, alphabet: SaxAlphabet::new(kind, 5).unwrap() },
+            base: ForecastConfig { samples: 2, seed: 13, ..ForecastConfig::default() },
+        };
+        // Pre-refactor assembly.
+        let cfg = config;
+        let dims = train.dims();
+        let encoder = SaxEncoder::new(cfg.sax);
+        let mut words = Vec::new();
+        let mut states = Vec::new();
+        for d in 0..dims {
+            let enc = encoder.encode(train.column(d).unwrap());
+            states.push(enc.znorm);
+            words.push(enc.symbols);
+        }
+        let prompt = sax_mux_symbols(&words, cfg.sax.alphabet);
+        let segments = horizon.div_ceil(cfg.sax.segment_len);
+        let vocab = match kind {
+            SaxAlphabetKind::Alphabetic => Vocab::sax_alphabetic(cfg.sax.alphabet.size()),
+            SaxAlphabetKind::Digital => Vocab::sax_digital(cfg.sax.alphabet.size()),
+        };
+        let spec = ContinuationSpec {
+            prompt,
+            vocab,
+            allowed_chars: cfg.sax.alphabet.chars().chain([',']).collect(),
+            preset: cfg.base.preset,
+            separators: segments,
+            max_tokens: cfg.base.max_tokens(segments, dims),
+        };
+        let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+            let words = sax_demux_symbols(text, dims, cfg.sax.alphabet, segments);
+            Ok(words
+                .iter()
+                .zip(&states)
+                .map(|(w, &st)| {
+                    let mut expanded =
+                        encoder.decode_expanded(w, st, segments * cfg.sax.segment_len);
+                    expanded.truncate(horizon);
+                    expanded
+                })
+                .collect())
+        };
+        let expect = SampleExpectations {
+            separators: segments,
+            group_width: dims,
+            alphabet: cfg.sax.alphabet.chars().collect(),
+            numeric: false,
+            dims,
+            horizon,
+        };
+        let run = run_samples_robust(
+            &spec,
+            cfg.base.samples.max(1),
+            cfg.base.robust,
+            SampleSource::Model,
+            &expect,
+            |i| cfg.base.sampler_for(i),
+            decode,
+        )
+        .unwrap();
+        assert!(run.quorum_met);
+        let columns = median_aggregate(&run.samples).unwrap();
+        let reference = MultivariateSeries::from_columns(train.names().to_vec(), columns).unwrap();
+        // Refactored forecaster.
+        let mut f = SaxMultiCastForecaster::new(config);
+        let actual = f.forecast(&train, horizon).unwrap();
+        assert_bit_identical(&reference, &actual, &format!("sax-{kind:?}"));
+    }
+}
+
+/// The pre-refactor `StreamingMultiCast::predict` loop: one clone of the
+/// live model per sample, generate, decode, demux, descale, median.
+#[test]
+fn streaming_predict_is_bit_identical_to_clone_per_sample_loop() {
+    let series = two_dim_series(100);
+    let (train, _) = holdout_split(&series, 0.2).unwrap();
+    let cfg = ForecastConfig { samples: 3, seed: 21, ..ForecastConfig::default() };
+    let horizon = 6;
+    // Reference: replicate the old predict() from public pieces.
+    let dims = train.dims();
+    let scaler = FixedDigitScaler::fit(train.columns(), cfg.digits, cfg.headroom).unwrap();
+    let codes: Vec<Vec<u64>> =
+        (0..dims).map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap()).collect();
+    let mux = MuxMethod::ValueInterleave.build();
+    let prompt = mux.mux(&codes, cfg.digits);
+    let vocab = Vocab::numeric();
+    let tokenizer = CharTokenizer::new(vocab.clone());
+    let mut model = ConcreteLm::build(cfg.preset, vocab.len());
+    observe_all(&mut model, &tokenizer.encode(&prompt).unwrap());
+    let mut allowed = vec![false; vocab.len()];
+    for id in vocab.ids_of("0123456789,") {
+        allowed[id as usize] = true;
+    }
+    let separator = vocab.id(',').unwrap();
+    let separators = mux.separators_for(dims, horizon);
+    let payload = dims * cfg.digits as usize;
+    let options = GenerateOptions::until_separators(
+        separator,
+        separators,
+        cfg.max_tokens(separators, payload),
+    );
+    let mut samples = Vec::new();
+    for i in 0..cfg.samples {
+        let mut speculative = model.clone();
+        let mut sampler = Sampler::new({
+            let mut s = cfg.sampler_for(i);
+            // First predict() call: predictions_drawn is 0.
+            s.seed = s.seed.wrapping_add(0x9e37);
+            s
+        });
+        let out =
+            generate(&mut speculative, &mut sampler, |t: TokenId| allowed[t as usize], &options);
+        let text = tokenizer.decode(&out).unwrap();
+        let cols: Vec<Vec<f64>> = mux
+            .demux(&text, dims, cfg.digits, horizon)
+            .iter()
+            .enumerate()
+            .map(|(d, col)| scaler.descale_column(d, col).unwrap())
+            .collect();
+        samples.push(cols);
+    }
+    let reference = MultivariateSeries::from_columns(
+        train.names().to_vec(),
+        median_aggregate(&samples).unwrap(),
+    )
+    .unwrap();
+    // Refactored streaming path (fork-based sessions).
+    let mut stream = StreamingMultiCast::new(MuxMethod::ValueInterleave, cfg, &train).unwrap();
+    let actual = stream.predict(horizon).unwrap();
+    assert_bit_identical(&reference, &actual, "streaming");
+    let report = stream.last_report.unwrap();
+    assert_eq!(report.valid_samples, 3);
+}
+
+#[test]
+fn prompt_is_paid_once_not_per_sample() {
+    // The intended cost change: pre-refactor, every sample re-read the
+    // prompt (S prompt passes); the engine now pays it exactly once.
+    let series = two_dim_series(80);
+    let (train, _) = holdout_split(&series, 0.1).unwrap();
+    let cfg = ForecastConfig { samples: 4, seed: 2, ..ForecastConfig::default() };
+    let (_, reference_prompt_tokens) =
+        reference_multicast(MuxMethod::ValueInterleave, cfg, &train, 6);
+    let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+    f.forecast(&train, 6).unwrap();
+    let engine_prompt_tokens = f.last_cost.unwrap().prompt_tokens;
+    assert_eq!(
+        reference_prompt_tokens,
+        engine_prompt_tokens * cfg.samples as u64,
+        "refit path pays the prompt S times, the engine once"
+    );
+    assert!(engine_prompt_tokens > 0);
+}

@@ -13,14 +13,9 @@ fn prediction_bands_wrap_the_median_on_every_dataset() {
         let series = ds.load();
         let (train, test) = holdout_split(&series, 0.1).unwrap();
         let config = ForecastConfig { samples: 7, ..ForecastConfig::default() };
-        let bands = forecast_with_bands(
-            MuxMethod::ValueInterleave,
-            config,
-            &train,
-            test.len(),
-            0.8,
-        )
-        .unwrap();
+        let bands =
+            forecast_with_bands(MuxMethod::ValueInterleave, config, &train, test.len(), 0.8)
+                .unwrap();
         assert_eq!(bands.median.len(), series.dims());
         let mut width = 0.0;
         for d in 0..series.dims() {
@@ -65,8 +60,7 @@ fn var_beats_univariate_classics_on_coupled_replicas() {
                 / series.dims() as f64
         };
         let var_fc = VarForecaster::default().forecast(&train, test.len()).unwrap();
-        let ses_fc =
-            PerDimension(Ses { alpha: None }).forecast(&train, test.len()).unwrap();
+        let ses_fc = PerDimension(Ses { alpha: None }).forecast(&train, test.len()).unwrap();
         if mean_rmse(&var_fc) < mean_rmse(&ses_fc) {
             wins += 1;
         }
@@ -93,11 +87,8 @@ fn exponential_smoothing_family_runs_on_paper_data() {
 fn ensemble_preset_forecasts_end_to_end() {
     let series = gas_rate();
     let (train, test) = holdout_split(&series, 0.1).unwrap();
-    let config = ForecastConfig {
-        samples: 2,
-        preset: ModelPreset::Ensemble,
-        ..ForecastConfig::default()
-    };
+    let config =
+        ForecastConfig { samples: 2, preset: ModelPreset::Ensemble, ..ForecastConfig::default() };
     let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config);
     let fc = f.forecast(&train, test.len()).unwrap();
     assert_eq!(fc.len(), test.len());
@@ -186,12 +177,8 @@ fn bpe_pipeline_round_trip() {
     // trained on it — the precondition for the tokenization ablation.
     let series = weather();
     let (train, _) = holdout_split(&series, 0.1).unwrap();
-    let scaler = multicast_suite::core::scaling::FixedDigitScaler::fit(
-        train.columns(),
-        3,
-        0.15,
-    )
-    .unwrap();
+    let scaler =
+        multicast_suite::core::scaling::FixedDigitScaler::fit(train.columns(), 3, 0.15).unwrap();
     let codes: Vec<Vec<u64>> = (0..train.dims())
         .map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap())
         .collect();

@@ -20,9 +20,7 @@ fn larger_backend_beats_smaller_on_gas_rate() {
         let cfg = ForecastConfig { preset, ..config(5, 11) };
         let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
         let fc = f.forecast(&train, test.len()).unwrap();
-        (0..2)
-            .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-            .sum::<f64>()
+        (0..2).map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap()).sum::<f64>()
     };
     let large = score(ModelPreset::Large);
     let small = score(ModelPreset::Small);

@@ -114,11 +114,7 @@ fn llmtime_survives_heavy_faults_per_dimension() {
     assert_eq!(fc.len(), test.len());
     let report = f.last_report.as_ref().unwrap();
     assert_eq!(report.requested_samples, 8, "4 samples x 2 dimensions merged");
-    assert_eq!(
-        report.defect_count(DefectClass::Panicked),
-        2,
-        "sample 0 panics once per dimension"
-    );
+    assert_eq!(report.defect_count(DefectClass::Panicked), 2, "sample 0 panics once per dimension");
 }
 
 #[test]
