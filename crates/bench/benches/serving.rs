@@ -1,0 +1,58 @@
+//! Criterion benchmark for the serve scheduler: `R` requests against one
+//! history, forecast sequentially with a refit per request (the
+//! [`MultiCastForecaster`] path) vs batched through [`serve_all`] over a
+//! shared frozen context and a worker pool. Companion to the
+//! `concurrent_serving` binary, which writes `results/concurrent_serving.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mc_datasets::PaperDataset;
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::split::holdout_split;
+use mc_tslib::MultivariateSeries;
+use multicast_core::serve::{serve_all, ForecastRequest, ServeConfig};
+use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
+
+fn gas_rate_train() -> (MultivariateSeries, usize) {
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, 0.15).expect("split");
+    let horizon = test.len();
+    (train, horizon)
+}
+
+fn configs(requests: usize) -> Vec<ForecastConfig> {
+    (0..requests)
+        .map(|r| ForecastConfig { samples: 5, seed: 1000 + r as u64, ..ForecastConfig::default() })
+        .collect()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (train, horizon) = gas_rate_train();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    for requests in [2usize, 4, 8] {
+        let cfgs = configs(requests);
+        group.bench_with_input(BenchmarkId::new("sequential_refit", requests), &cfgs, |b, cfgs| {
+            b.iter(|| {
+                for cfg in cfgs {
+                    MultiCastForecaster::new(MuxMethod::ValueInterleave, *cfg)
+                        .forecast(std::hint::black_box(&train), horizon)
+                        .unwrap();
+                }
+            })
+        });
+        let batch: Vec<ForecastRequest> = cfgs
+            .iter()
+            .map(|cfg| {
+                ForecastRequest::digit(train.clone(), horizon, MuxMethod::ValueInterleave, *cfg)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("shared_serve", requests), &batch, |b, batch| {
+            b.iter(|| serve_all(std::hint::black_box(batch), &ServeConfig::with_workers(8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

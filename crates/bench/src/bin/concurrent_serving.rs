@@ -1,0 +1,110 @@
+//! Sequential refit vs shared-frozen concurrent serving.
+//!
+//! `R` independent forecast requests against the same history used to mean
+//! `R` full pipeline runs, each re-conditioning its own backend on the full
+//! prompt ([`MultiCastForecaster`] per request). The serve scheduler
+//! ([`serve_all`]) instead deduplicates the frozen context — one prompt
+//! pass serves all `R` requests — and fans the `R x S` sample draws across
+//! a worker pool of forked decode sessions. Forecasts are bit-identical by
+//! construction (checked below, and in `tests/serving.rs`); this
+//! experiment measures the wall-clock difference on the paper's three
+//! datasets at varying request counts and sampling widths.
+//!
+//! Writes `results/concurrent_serving.md`.
+
+use mc_bench::report::Table;
+use mc_bench::timing::{format_seconds, timed};
+use mc_bench::{RESULTS_DIR, TEST_FRACTION};
+use mc_datasets::PaperDataset;
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::split::holdout_split;
+use multicast_core::serve::{serve_all, ForecastRequest, ServeConfig};
+use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
+
+const WORKERS: usize = 8;
+
+/// Best-of-3 wall clock: one-shot timings of millisecond-scale runs are
+/// dominated by scheduler noise; the minimum is the stable estimate.
+fn best_of<T>(mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
+    let mut best = f();
+    for _ in 0..2 {
+        let next = f();
+        if next.1 < best.1 {
+            best = next;
+        }
+    }
+    best
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Concurrent serving (VI): R sequential refits vs one shared frozen context + 8 workers",
+        &["dataset", "R", "S", "sequential refit", "shared serve", "speedup"],
+    );
+    for dataset in PaperDataset::ALL {
+        let series = dataset.load();
+        let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
+        let horizon = test.len();
+        for requests in [1usize, 2, 4, 8] {
+            for samples in [5usize, 10] {
+                let configs: Vec<ForecastConfig> = (0..requests)
+                    .map(|r| ForecastConfig {
+                        samples,
+                        seed: 1000 + r as u64,
+                        ..ForecastConfig::default()
+                    })
+                    .collect();
+
+                let (sequential, seq_time) = best_of(|| {
+                    timed(|| {
+                        configs
+                            .iter()
+                            .map(|cfg| {
+                                MultiCastForecaster::new(MuxMethod::ValueInterleave, *cfg)
+                                    .forecast(&train, horizon)
+                                    .expect("sequential forecast")
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                });
+
+                let batch: Vec<ForecastRequest> = configs
+                    .iter()
+                    .map(|cfg| {
+                        ForecastRequest::digit(
+                            train.clone(),
+                            horizon,
+                            MuxMethod::ValueInterleave,
+                            *cfg,
+                        )
+                    })
+                    .collect();
+                let (run, serve_time) =
+                    best_of(|| timed(|| serve_all(&batch, &ServeConfig::with_workers(WORKERS))));
+
+                // The scheduler must not change the numbers, only the clock.
+                assert_eq!(run.contexts.len(), 1, "one history, one frozen context");
+                for (solo, outcome) in sequential.iter().zip(&run.outcomes) {
+                    let served = outcome.forecast.as_ref().expect("served forecast");
+                    for d in 0..solo.dims() {
+                        let (a, b) = (solo.column(d).unwrap(), served.column(d).unwrap());
+                        assert!(
+                            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                            "{dataset}: served forecast diverged from sequential"
+                        );
+                    }
+                }
+
+                table.row(vec![
+                    dataset.to_string(),
+                    requests.to_string(),
+                    samples.to_string(),
+                    format_seconds(seq_time),
+                    format_seconds(serve_time),
+                    format!("{:.2}x", seq_time / serve_time),
+                ]);
+            }
+        }
+    }
+    table.emit(RESULTS_DIR, "concurrent_serving.md").expect("write results");
+}

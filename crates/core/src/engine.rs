@@ -23,6 +23,7 @@ use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::cost::InferenceCost;
 use mc_lm::generate::{generate_session, GenerateOptions};
+use mc_lm::metered::{CostLedger, MeteredLm};
 use mc_lm::model::FrozenLm;
 use mc_lm::presets::fit_model;
 use mc_lm::sampler::{Sampler, SamplerConfig};
@@ -187,6 +188,18 @@ impl PreparedBackend {
         let frozen: Arc<dyn FrozenLm> =
             Arc::from(fit_model(spec.preset, spec.vocab.len(), &prompt_tokens));
         Ok(Self { frozen, tokenizer, allowed, separator })
+    }
+
+    /// Like [`PreparedBackend::fit`], but wraps the frozen backend in a
+    /// [`MeteredLm`] recording into `ledger`: the prompt cost lands in the
+    /// ledger immediately, and every session forked from this backend
+    /// records its generated-token cost when it completes. Decoding is
+    /// bit-identical to the unmetered backend — the serving layer uses
+    /// this to audit its per-request cost attribution.
+    pub fn fit_metered(spec: &ContinuationSpec, ledger: Arc<CostLedger>) -> Result<Self> {
+        let mut backend = Self::fit(spec)?;
+        backend.frozen = Arc::new(MeteredLm::new(backend.frozen, ledger));
+        Ok(backend)
     }
 
     /// The one-time prompt-conditioning cost (independent of how many

@@ -23,7 +23,11 @@
 //! 6. **Fault tolerance** ([`robust`]) — per-sample validation against a
 //!    defect taxonomy, bounded retry-with-reseed, panic isolation, a
 //!    quorum policy with graceful fallback to a classical forecaster, and
-//!    a per-forecast [`ForecastReport`] accounting for every defect.
+//!    a per-forecast [`ForecastReport`] accounting for every defect;
+//! 7. **Concurrent serving** ([`serve`]) — a request scheduler fanning
+//!    many forecast requests across a bounded worker pool of forked
+//!    decode sessions over shared, deduplicated frozen contexts, with
+//!    per-request cost attribution and fault isolation.
 //!
 //! ```
 //! use mc_datasets::gas_rate;
@@ -49,6 +53,7 @@ pub mod pipeline;
 pub mod robust;
 pub mod sax_pipeline;
 pub mod scaling;
+pub mod serve;
 pub mod streaming;
 
 pub use codec::{
@@ -67,4 +72,8 @@ pub use robust::{
 };
 pub use sax_pipeline::{SaxForecastConfig, SaxMultiCastForecaster};
 pub use scaling::FixedDigitScaler;
+pub use serve::{
+    serve_all, CodecChoice, ContextStats, ForecastRequest, RequestId, ServeConfig, ServeHandle,
+    ServeOutcome, ServeRun,
+};
 pub use streaming::StreamingMultiCast;

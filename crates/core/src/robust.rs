@@ -460,9 +460,23 @@ pub struct RobustRun {
 }
 
 /// Outcome of a single (sample, attempt) draw.
-enum Attempt {
-    Done { decoded: Vec<Vec<f64>>, cost: InferenceCost, defects: Vec<SampleDefect> },
+#[derive(Debug)]
+pub enum AttemptOutcome {
+    /// The draw and decode completed (possibly with defects — fatal ones
+    /// invalidate the sample, non-fatal ones were repaired in place).
+    Done {
+        /// Decoded values (`dimension -> horizon`).
+        decoded: Vec<Vec<f64>>,
+        /// Generated-token cost of this attempt (failed attempts included —
+        /// they were paid for).
+        cost: InferenceCost,
+        /// Defects observed on this attempt's text and decoded values.
+        defects: Vec<SampleDefect>,
+    },
+    /// An infrastructure failure (unencodable prompt, decode bug) — never
+    /// a sample defect; fails the whole run.
     Infra(TsError),
+    /// The draw or decode panicked (isolated via `catch_unwind`).
     Panicked(String),
 }
 
@@ -473,6 +487,200 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_string()
+    }
+}
+
+/// The virtual sampler index of `(sample, attempt)` in a run of `samples`
+/// draws: attempt 0 uses index `sample` (identical seeds to the plain
+/// pipeline), retry `r` uses `samples + (r - 1) * samples + sample`, which
+/// reseeds deterministically without colliding with any first-attempt seed.
+pub fn virtual_index(samples: usize, sample: usize, attempt: usize) -> usize {
+    if attempt == 0 {
+        sample
+    } else {
+        samples + (attempt - 1) * samples + sample
+    }
+}
+
+/// Runs one `(sample, attempt)` draw with panic isolation: injected-panic
+/// check, `draw`, deterministic corruption, text + decoded validation.
+/// Pure with respect to scheduling — the outcome depends only on the
+/// arguments, never on which thread runs it or what other samples are in
+/// flight, which is what makes round-based retries ([`run_attempts`]) and
+/// work-stealing schedulers ([`crate::serve`]) bit-identical.
+pub fn execute_attempt(
+    source: SampleSource,
+    sample: usize,
+    attempt: usize,
+    expect: &SampleExpectations,
+    draw: impl FnOnce() -> Result<(String, InferenceCost)>,
+    decode: impl FnOnce(&str) -> Result<Vec<Vec<f64>>>,
+) -> AttemptOutcome {
+    let result = catch_unwind(AssertUnwindSafe(move || -> Result<AttemptOutcome> {
+        if let SampleSource::FaultInjected(f) = source {
+            if f.panic_sample == Some(sample) && attempt == 0 {
+                panic!("injected panic (sample {sample})");
+            }
+        }
+        let (text, cost) = draw()?;
+        let text = match source {
+            SampleSource::Model => text,
+            SampleSource::FaultInjected(f) => f.corrupt(sample, attempt, &text),
+        };
+        let mut defects = validate_text(&text, expect);
+        let values = decode(&text)?;
+        defects.extend(validate_decoded(&values, expect));
+        Ok(AttemptOutcome::Done { decoded: values, cost, defects })
+    }));
+    match result {
+        Ok(Ok(done)) => done,
+        Ok(Err(e)) => AttemptOutcome::Infra(e),
+        Err(payload) => AttemptOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// What the caller should do with a sample after applying an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptDisposition {
+    /// The sample is settled (valid, out of retries, or the run failed).
+    Settled,
+    /// Re-draw the sample at the given attempt number.
+    Retry {
+        /// The next attempt number for this sample.
+        attempt: usize,
+    },
+}
+
+/// Incremental bookkeeping of a robust run: one [`AttemptOutcome`] at a
+/// time, in any order, from any scheduler. [`run_attempts`] drives it
+/// round-by-round with scoped threads; [`crate::serve`] drives it from a
+/// shared worker pool interleaved with other requests. Because
+/// [`execute_attempt`] is scheduling-independent and this struct folds
+/// outcomes per-sample, both schedules produce identical final
+/// [`RobustRun`]s.
+#[derive(Debug)]
+pub struct RobustProgress {
+    samples: usize,
+    policy: RobustPolicy,
+    records: Vec<SampleRecord>,
+    decoded: Vec<Option<Vec<Vec<f64>>>>,
+    cost: InferenceCost,
+    outstanding: usize,
+    failed: Option<TsError>,
+}
+
+impl RobustProgress {
+    /// Fresh progress for a run of `samples` draws.
+    ///
+    /// # Errors
+    /// When `samples` is zero.
+    pub fn new(samples: usize, policy: RobustPolicy) -> Result<Self> {
+        if samples == 0 {
+            return Err(invalid_param("samples", "at least one sample required"));
+        }
+        Ok(Self {
+            samples,
+            policy,
+            records: (0..samples)
+                .map(|index| SampleRecord { index, attempts: 0, defects: Vec::new(), valid: false })
+                .collect(),
+            decoded: vec![None; samples],
+            cost: InferenceCost::default(),
+            outstanding: samples,
+            failed: None,
+        })
+    }
+
+    /// Samples this run draws.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Whether every sample has settled (valid, exhausted, or failed).
+    pub fn settled(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Whether an infrastructure error has failed the run.
+    pub fn failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// Generated-token cost absorbed so far across every applied attempt.
+    pub fn cost(&self) -> InferenceCost {
+        self.cost
+    }
+
+    /// Folds one attempt's outcome into the run and says whether the
+    /// sample retries. Cost is absorbed on every completed draw, valid or
+    /// not — failed attempts were paid for.
+    pub fn apply(
+        &mut self,
+        sample: usize,
+        attempt: usize,
+        outcome: AttemptOutcome,
+    ) -> AttemptDisposition {
+        self.records[sample].attempts += 1;
+        match outcome {
+            AttemptOutcome::Done { decoded, cost, defects } => {
+                self.cost.absorb(cost);
+                let fatal = defects.iter().any(SampleDefect::is_fatal);
+                self.records[sample].defects.extend(defects);
+                if !fatal {
+                    self.decoded[sample] = Some(decoded);
+                    self.records[sample].valid = true;
+                    self.outstanding -= 1;
+                    return AttemptDisposition::Settled;
+                }
+            }
+            AttemptOutcome::Infra(e) => {
+                if self.failed.is_none() {
+                    self.failed = Some(e);
+                }
+                self.outstanding -= 1;
+                return AttemptDisposition::Settled;
+            }
+            AttemptOutcome::Panicked(message) => {
+                self.records[sample].defects.push(SampleDefect::Panicked { message });
+            }
+        }
+        if self.failed.is_none() && attempt < self.policy.max_retries {
+            AttemptDisposition::Retry { attempt: attempt + 1 }
+        } else {
+            // Out of retries — or the run already failed on another sample,
+            // in which case further draws would be wasted work.
+            self.outstanding -= 1;
+            AttemptDisposition::Settled
+        }
+    }
+
+    /// Finalizes the run: quorum check, retry/repair accounting, report.
+    ///
+    /// # Errors
+    /// The first infrastructure error applied, if any.
+    pub fn finish(self) -> Result<RobustRun> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let valid: Vec<Vec<Vec<f64>>> = self.decoded.into_iter().flatten().collect();
+        let required = self.policy.required_valid(self.samples);
+        let quorum_met = valid.len() >= required;
+        let retries_used = self.records.iter().map(|r| r.attempts.saturating_sub(1)).sum();
+        let repairs_applied =
+            self.records.iter().flat_map(|r| &r.defects).filter(|d| !d.is_fatal()).count();
+        let report = ForecastReport {
+            requested_samples: self.samples,
+            valid_samples: valid.len(),
+            retries_used,
+            repairs_applied,
+            samples: self.records,
+            outcome: if quorum_met {
+                ForecastOutcome::Sampled
+            } else {
+                ForecastOutcome::Degraded { valid: valid.len(), required }
+            },
+        };
+        Ok(RobustRun { samples: valid, cost: self.cost, report, quorum_met })
     }
 }
 
@@ -534,97 +742,43 @@ where
     Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
-    if samples == 0 {
-        return Err(invalid_param("samples", "at least one sample required"));
-    }
-    let mut records: Vec<SampleRecord> = (0..samples)
-        .map(|index| SampleRecord { index, attempts: 0, defects: Vec::new(), valid: false })
-        .collect();
-    let mut decoded: Vec<Option<Vec<Vec<f64>>>> = vec![None; samples];
-    let mut cost = InferenceCost::default();
-    let mut pending: Vec<usize> = (0..samples).collect();
+    let mut progress = RobustProgress::new(samples, policy)?;
+    let mut pending: Vec<(usize, usize)> = (0..samples).map(|i| (i, 0)).collect();
 
-    for attempt in 0..=policy.max_retries {
-        if pending.is_empty() {
-            break;
-        }
-        let mut outcomes: Vec<Option<Attempt>> = Vec::new();
+    while !pending.is_empty() && !progress.failed() {
+        let mut outcomes: Vec<Option<AttemptOutcome>> = Vec::new();
         outcomes.resize_with(pending.len(), || None);
         std::thread::scope(|scope| {
-            for (slot, &i) in outcomes.iter_mut().zip(&pending) {
+            for (slot, &(i, attempt)) in outcomes.iter_mut().zip(&pending) {
                 let draw = &draw;
                 let decode = &decode;
                 let expect = &*expect;
                 scope.spawn(move || {
-                    let virtual_index =
-                        if attempt == 0 { i } else { samples + (attempt - 1) * samples + i };
-                    let result = catch_unwind(AssertUnwindSafe(|| -> Result<Attempt> {
-                        if let SampleSource::FaultInjected(f) = source {
-                            if f.panic_sample == Some(i) && attempt == 0 {
-                                panic!("injected panic (sample {i})");
-                            }
-                        }
-                        let (text, cost) = draw(virtual_index)?;
-                        let text = match source {
-                            SampleSource::Model => text,
-                            SampleSource::FaultInjected(f) => f.corrupt(i, attempt, &text),
-                        };
-                        let mut defects = validate_text(&text, expect);
-                        let values = decode(&text)?;
-                        defects.extend(validate_decoded(&values, expect));
-                        Ok(Attempt::Done { decoded: values, cost, defects })
-                    }));
-                    *slot = Some(match result {
-                        Ok(Ok(attempt)) => attempt,
-                        Ok(Err(e)) => Attempt::Infra(e),
-                        Err(payload) => Attempt::Panicked(panic_message(payload)),
-                    });
+                    let vi = virtual_index(samples, i, attempt);
+                    *slot = Some(execute_attempt(
+                        source,
+                        i,
+                        attempt,
+                        expect,
+                        || draw(vi),
+                        |text| decode(text),
+                    ));
                 });
             }
         });
-        let mut still_pending = Vec::new();
-        for (outcome, i) in outcomes.into_iter().zip(pending) {
-            records[i].attempts += 1;
-            match outcome.expect("scoped thread filled its slot") {
-                Attempt::Done { decoded: values, cost: c, defects } => {
-                    cost.absorb(c);
-                    let fatal = defects.iter().any(SampleDefect::is_fatal);
-                    records[i].defects.extend(defects);
-                    if fatal {
-                        still_pending.push(i);
-                    } else {
-                        decoded[i] = Some(values);
-                        records[i].valid = true;
-                    }
-                }
-                Attempt::Infra(e) => return Err(e),
-                Attempt::Panicked(message) => {
-                    records[i].defects.push(SampleDefect::Panicked { message });
-                    still_pending.push(i);
-                }
+        let mut next = Vec::new();
+        for (outcome, (i, attempt)) in outcomes.into_iter().zip(pending) {
+            if progress.failed() {
+                break;
+            }
+            let outcome = outcome.expect("scoped thread filled its slot");
+            if let AttemptDisposition::Retry { attempt } = progress.apply(i, attempt, outcome) {
+                next.push((i, attempt));
             }
         }
-        pending = still_pending;
+        pending = next;
     }
-
-    let valid: Vec<Vec<Vec<f64>>> = decoded.into_iter().flatten().collect();
-    let required = policy.required_valid(samples);
-    let quorum_met = valid.len() >= required;
-    let retries_used = records.iter().map(|r| r.attempts.saturating_sub(1)).sum();
-    let repairs_applied = records.iter().flat_map(|r| &r.defects).filter(|d| !d.is_fatal()).count();
-    let report = ForecastReport {
-        requested_samples: samples,
-        valid_samples: valid.len(),
-        retries_used,
-        repairs_applied,
-        samples: records,
-        outcome: if quorum_met {
-            ForecastOutcome::Sampled
-        } else {
-            ForecastOutcome::Degraded { valid: valid.len(), required }
-        },
-    };
-    Ok(RobustRun { samples: valid, cost, report, quorum_met })
+    progress.finish()
 }
 
 /// The graceful-degradation forecast: seasonal-naive (ACF-estimated
@@ -868,6 +1022,102 @@ mod tests {
         let policy = RobustPolicy { fallback: FallbackPolicy::SeasonalNaive, ..Default::default() };
         let fc = resolve_quorum_failure(policy, &report, &train, 4).unwrap();
         assert_eq!(fc.len(), 4);
+    }
+
+    #[test]
+    fn virtual_index_first_attempts_match_plain_pipeline() {
+        // Attempt 0 uses the sample's own index; retries never collide
+        // with any first-attempt index or each other.
+        let samples = 5;
+        let mut seen = std::collections::HashSet::new();
+        for attempt in 0..4 {
+            for i in 0..samples {
+                let vi = virtual_index(samples, i, attempt);
+                if attempt == 0 {
+                    assert_eq!(vi, i);
+                }
+                assert!(seen.insert(vi), "virtual index {vi} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn progress_applies_outcomes_incrementally() {
+        let policy = RobustPolicy { max_retries: 1, ..RobustPolicy::default() };
+        let mut progress = RobustProgress::new(2, policy).unwrap();
+        assert!(RobustProgress::new(0, policy).is_err());
+        assert!(!progress.settled());
+        // Sample 0 panics, retries, then succeeds; sample 1 succeeds flat.
+        let d = progress.apply(0, 0, AttemptOutcome::Panicked("boom".into()));
+        assert_eq!(d, AttemptDisposition::Retry { attempt: 1 });
+        let done = |gen: u64| AttemptOutcome::Done {
+            decoded: vec![vec![1.0, 2.0]],
+            cost: InferenceCost { generated_tokens: gen, ..Default::default() },
+            defects: Vec::new(),
+        };
+        assert_eq!(progress.apply(1, 0, done(10)), AttemptDisposition::Settled);
+        assert!(!progress.settled());
+        assert_eq!(progress.apply(0, 1, done(7)), AttemptDisposition::Settled);
+        assert!(progress.settled());
+        assert_eq!(progress.cost().generated_tokens, 17);
+        let run = progress.finish().unwrap();
+        assert_eq!(run.samples.len(), 2);
+        assert!(run.quorum_met);
+        assert_eq!(run.report.retries_used, 1);
+        assert_eq!(run.report.defect_count(DefectClass::Panicked), 1);
+    }
+
+    #[test]
+    fn progress_stops_retrying_after_infra_failure() {
+        let policy = RobustPolicy { max_retries: 2, ..RobustPolicy::default() };
+        let mut progress = RobustProgress::new(2, policy).unwrap();
+        let err = invalid_param("x", "boom");
+        assert_eq!(progress.apply(0, 0, AttemptOutcome::Infra(err)), AttemptDisposition::Settled);
+        assert!(progress.failed());
+        // A fatally-defective sample would normally retry; after failure it
+        // settles immediately.
+        let bad = AttemptOutcome::Done {
+            decoded: vec![vec![f64::NAN, 1.0]],
+            cost: InferenceCost::default(),
+            defects: vec![SampleDefect::NonFinite { dim: 0, index: 0 }],
+        };
+        assert_eq!(progress.apply(1, 0, bad), AttemptDisposition::Settled);
+        assert!(progress.settled());
+        assert!(progress.finish().is_err());
+    }
+
+    #[test]
+    fn execute_attempt_isolates_draw_panics() {
+        let expect = numeric_expect(2, 2, 1, 2);
+        let outcome = execute_attempt(
+            SampleSource::Model,
+            0,
+            0,
+            &expect,
+            || panic!("draw exploded"),
+            |_| Ok(vec![vec![1.0, 2.0]]),
+        );
+        match outcome {
+            AttemptOutcome::Panicked(msg) => assert!(msg.contains("draw exploded"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Injected panic fires before the draw runs (no cost incurred).
+        let source =
+            SampleSource::FaultInjected(FaultSpec { rate: 0.0, seed: 0, panic_sample: Some(3) });
+        let outcome = execute_attempt(
+            source,
+            3,
+            0,
+            &expect,
+            || {
+                panic!("draw must not run when the injected panic fires first");
+            },
+            |_| Ok(vec![vec![1.0, 2.0]]),
+        );
+        match outcome {
+            AttemptOutcome::Panicked(msg) => assert!(msg.contains("injected panic"), "{msg}"),
+            other => panic!("expected injected Panicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,642 @@
+//! Concurrent forecast serving over shared frozen backends.
+//!
+//! The fit-once / sample-many split ([`crate::engine`], `mc-lm`'s
+//! [`mc_lm::FrozenLm`]) makes a prompt-conditioned backend `Send + Sync`:
+//! one frozen context can serve many forecast requests through forked
+//! decode sessions without refitting. This module is the request scheduler
+//! on top of that split:
+//!
+//! - **Requests** ([`ForecastRequest`]) each carry their own history,
+//!   horizon, codec choice, sample count, seeds, sampler settings and
+//!   fault source — nothing is shared between requests except the frozen
+//!   context they resolve to.
+//! - **Context dedup** — requests whose codec fit produces the same
+//!   (prompt, vocabulary, output restriction, preset) share one
+//!   [`PreparedBackend`], fitted exactly once. Different horizons against
+//!   the same history share a context: the stop rule lives in the sampler,
+//!   not the frozen state.
+//! - **A bounded worker pool** fans `(request, sample, attempt)` tasks
+//!   across `workers` threads. Each task forks a throwaway session off the
+//!   request's context and runs the same
+//!   [`execute_attempt`](crate::robust::execute_attempt) the sequential
+//!   engine runs — outcomes depend only on the frozen state and the
+//!   sampler seed, never on scheduling, so forecasts are bit-identical to
+//!   [`crate::engine::ForecastEngine::run`] regardless of worker count or
+//!   submission order.
+//! - **Per-request fault isolation** — every request folds outcomes into
+//!   its own [`RobustProgress`] and resolves through the engine's
+//!   median/quorum/fallback ladder. A panicking or defective sample in one
+//!   request never poisons another.
+//! - **Cost attribution** — the prompt is charged once per frozen context
+//!   (to the first request that needed it); generated tokens are charged
+//!   to the request whose sample drew them. Each context also carries a
+//!   [`CostLedger`] fed from inside the model boundary, so attribution can
+//!   be audited: summed per-request costs must equal the metered totals.
+//!
+//! Two entry points: [`serve_all`] for a batch, and [`ServeHandle`] for
+//! incremental submit/collect.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use mc_tslib::error::{invalid_param, pipeline_error, Result, TsError};
+use mc_tslib::series::MultivariateSeries;
+
+use mc_lm::cost::InferenceCost;
+use mc_lm::metered::CostLedger;
+use mc_lm::presets::ModelPreset;
+use mc_lm::vocab::Vocab;
+
+use mc_sax::encoder::SaxConfig;
+
+use crate::codec::{Codec, DigitCodec, FittedCodec, SaxCodec};
+use crate::config::ForecastConfig;
+use crate::engine::{EngineRun, ForecastEngine, PreparedBackend};
+use crate::mux::MuxMethod;
+use crate::robust::{
+    execute_attempt, virtual_index, AttemptDisposition, ForecastReport, RobustProgress,
+    SampleExpectations, SampleSource,
+};
+
+/// Which codec a request serializes through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecChoice {
+    /// The digit codec with one of the paper's multiplexing schemes;
+    /// digits/headroom come from the request's [`ForecastConfig`].
+    Digit(MuxMethod),
+    /// The SAX codec with explicit SAX knobs.
+    Sax(SaxConfig),
+}
+
+impl CodecChoice {
+    /// Builds the unfitted codec this choice implies for `config`.
+    pub fn build(&self, config: &ForecastConfig) -> Box<dyn Codec> {
+        match *self {
+            CodecChoice::Digit(method) => Box::new(DigitCodec::from_config(method, config)),
+            CodecChoice::Sax(sax) => Box::new(SaxCodec { sax }),
+        }
+    }
+}
+
+/// One self-contained forecast request.
+#[derive(Debug, Clone)]
+pub struct ForecastRequest {
+    /// Training history the codec fits on.
+    pub train: MultivariateSeries,
+    /// Steps to forecast.
+    pub horizon: usize,
+    /// Serialization codec.
+    pub codec: CodecChoice,
+    /// Samples, seeds, sampler, preset and robustness policy.
+    pub config: ForecastConfig,
+    /// Real backend or fault-injected (per-request chaos drills).
+    pub source: SampleSource,
+}
+
+impl ForecastRequest {
+    /// A model-sourced request with the digit codec.
+    pub fn digit(
+        train: MultivariateSeries,
+        horizon: usize,
+        method: MuxMethod,
+        config: ForecastConfig,
+    ) -> Self {
+        Self {
+            train,
+            horizon,
+            codec: CodecChoice::Digit(method),
+            config,
+            source: SampleSource::Model,
+        }
+    }
+}
+
+/// Identifier [`ServeHandle::submit`] hands back; submission order defines
+/// the id order, and [`ServeRun::outcomes`] is sorted by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub usize);
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the sample-task queue (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: 4 }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the given worker-pool width.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+}
+
+/// Everything one request produced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The id [`ServeHandle::submit`] returned (submission index).
+    pub id: RequestId,
+    /// The resolved forecast, or the request's own infrastructure error.
+    pub forecast: Result<MultivariateSeries>,
+    /// Sampling accounting (absent when the request failed before or
+    /// during sampling).
+    pub report: Option<ForecastReport>,
+    /// Cost attributed to this request: the context's prompt pass if this
+    /// request was first to need the context (zero otherwise), plus every
+    /// generated token its samples drew — failed attempts included.
+    pub cost: InferenceCost,
+    /// Index into [`ServeRun::contexts`] of the frozen context served from.
+    pub context: Option<usize>,
+}
+
+/// Per-context accounting for one batch.
+#[derive(Debug, Clone)]
+pub struct ContextStats {
+    /// Requests served from this context.
+    pub requests: usize,
+    /// The one-time prompt-conditioning cost (charged to the owner).
+    pub prompt_cost: InferenceCost,
+    /// Ground truth metered inside the model boundary: the prompt pass
+    /// plus every session forked off this context.
+    pub metered: InferenceCost,
+    /// Sessions forked (one per completed draw).
+    pub sessions: u64,
+}
+
+/// A completed batch: per-request outcomes (in submission order) plus
+/// per-context metering.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// One outcome per request, sorted by [`RequestId`].
+    pub outcomes: Vec<ServeOutcome>,
+    /// One entry per deduplicated frozen context.
+    pub contexts: Vec<ContextStats>,
+}
+
+impl ServeRun {
+    /// Sum of every request's attributed cost.
+    pub fn attributed_cost(&self) -> InferenceCost {
+        let mut total = InferenceCost::default();
+        for o in &self.outcomes {
+            total.absorb(o.cost);
+        }
+        total
+    }
+
+    /// Sum of every context's metered ground truth.
+    pub fn metered_cost(&self) -> InferenceCost {
+        let mut total = InferenceCost::default();
+        for c in &self.contexts {
+            total.absorb(c.metered);
+        }
+        total
+    }
+}
+
+/// Key deciding whether two requests may share a frozen context. The stop
+/// rule (separators, token budget) is per-sampler, so it is *not* part of
+/// the key — different horizons share a context.
+#[derive(PartialEq)]
+struct ContextKey {
+    prompt: String,
+    preset: ModelPreset,
+    allowed_chars: String,
+    vocab: Vocab,
+}
+
+struct Context {
+    backend: PreparedBackend,
+    ledger: Arc<CostLedger>,
+    /// Request index charged the prompt pass (first to need the context).
+    owner: usize,
+    requests: usize,
+}
+
+/// A request prepared for scheduling: fitted codec, expectations, and the
+/// per-request robust state the workers fold outcomes into.
+struct RequestState {
+    request: ForecastRequest,
+    fitted: Box<dyn FittedCodec>,
+    expect: SampleExpectations,
+    separators: usize,
+    max_tokens: usize,
+    context: usize,
+    samples: usize,
+    progress: Mutex<RobustProgress>,
+}
+
+enum Prepared {
+    Ready(Box<RequestState>),
+    Failed(TsError),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    request: usize,
+    sample: usize,
+    attempt: usize,
+}
+
+struct TaskQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    /// Samples not yet settled across all requests; workers exit when the
+    /// queue is empty *and* this reaches zero (an executing task may still
+    /// push retries, so an empty queue alone is not termination).
+    outstanding: usize,
+}
+
+impl TaskQueue {
+    fn new(tasks: VecDeque<Task>, outstanding: usize) -> Self {
+        Self { state: Mutex::new(QueueState { tasks, outstanding }), cv: Condvar::new() }
+    }
+
+    fn push(&self, task: Task) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.tasks.push_back(task);
+        self.cv.notify_one();
+    }
+
+    fn settle_one(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn next(&self) -> Option<Task> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(task) = st.tasks.pop_front() {
+                return Some(task);
+            }
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("queue lock");
+        }
+    }
+}
+
+/// Fits codecs and contexts for a batch; requests that fail to prepare
+/// (codec or backend fit) become [`Prepared::Failed`] without touching the
+/// others.
+fn prepare(requests: &[ForecastRequest]) -> (Vec<Prepared>, Vec<(ContextKey, Context)>) {
+    let mut contexts: Vec<(ContextKey, Context)> = Vec::new();
+    let mut states = Vec::with_capacity(requests.len());
+    for (i, request) in requests.iter().enumerate() {
+        let prepared = (|| -> Result<Box<RequestState>> {
+            let engine = ForecastEngine::with_source(request.config, request.source);
+            let codec = request.codec.build(&request.config);
+            let fitted = codec.fit(&request.train)?;
+            let spec = engine.continuation_spec(fitted.as_ref(), request.horizon);
+            let key = ContextKey {
+                prompt: spec.prompt.clone(),
+                preset: spec.preset,
+                allowed_chars: spec.allowed_chars.clone(),
+                vocab: spec.vocab.clone(),
+            };
+            let context = match contexts.iter().position(|(k, _)| *k == key) {
+                Some(pos) => pos,
+                None => {
+                    let ledger = Arc::new(CostLedger::new());
+                    let backend = PreparedBackend::fit_metered(&spec, ledger.clone())?;
+                    contexts.push((key, Context { backend, ledger, owner: i, requests: 0 }));
+                    contexts.len() - 1
+                }
+            };
+            contexts[context].1.requests += 1;
+            let samples = request.config.samples.max(1);
+            let progress = RobustProgress::new(samples, request.config.robust)?;
+            Ok(Box::new(RequestState {
+                request: request.clone(),
+                expect: fitted.expectations(request.horizon),
+                fitted,
+                separators: spec.separators,
+                max_tokens: spec.max_tokens,
+                context,
+                samples,
+                progress: Mutex::new(progress),
+            }))
+        })();
+        states.push(match prepared {
+            Ok(state) => Prepared::Ready(state),
+            Err(e) => Prepared::Failed(e),
+        });
+    }
+    (states, contexts)
+}
+
+/// Executes one `(request, sample, attempt)` task and folds its outcome
+/// into the request's progress; pushes the retry task if the sample gets
+/// another attempt, otherwise settles it.
+fn run_task(
+    task: Task,
+    states: &[Prepared],
+    contexts: &[(ContextKey, Context)],
+    queue: &TaskQueue,
+) {
+    let Prepared::Ready(st) = &states[task.request] else {
+        queue.settle_one();
+        return;
+    };
+    let backend = &contexts[st.context].1.backend;
+    let sampler = backend.sampler(st.separators, st.max_tokens);
+    let vi = virtual_index(st.samples, task.sample, task.attempt);
+    let sampler_config = st.request.config.sampler_for(vi);
+    let outcome = execute_attempt(
+        st.request.source,
+        task.sample,
+        task.attempt,
+        &st.expect,
+        || sampler.draw(sampler_config),
+        |text| st.fitted.decode(text, st.request.horizon),
+    );
+    let disposition =
+        st.progress.lock().expect("request lock").apply(task.sample, task.attempt, outcome);
+    match disposition {
+        AttemptDisposition::Retry { attempt } => queue.push(Task { attempt, ..task }),
+        AttemptDisposition::Settled => queue.settle_one(),
+    }
+}
+
+fn run_batch(
+    requests: &[ForecastRequest],
+    config: &ServeConfig,
+    base_id: usize,
+) -> (Vec<ServeOutcome>, Vec<ContextStats>) {
+    let (states, contexts) = prepare(requests);
+
+    let mut initial = VecDeque::new();
+    let mut outstanding = 0;
+    for (i, prep) in states.iter().enumerate() {
+        if let Prepared::Ready(st) = prep {
+            for sample in 0..st.samples {
+                initial.push_back(Task { request: i, sample, attempt: 0 });
+            }
+            outstanding += st.samples;
+        }
+    }
+
+    if outstanding > 0 {
+        let queue = TaskQueue::new(initial, outstanding);
+        let workers = config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let states = &states[..];
+                let contexts = &contexts[..];
+                scope.spawn(move || {
+                    while let Some(task) = queue.next() {
+                        run_task(task, states, contexts, queue);
+                    }
+                });
+            }
+        });
+    }
+
+    let outcomes = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, prep)| finalize(i, base_id, prep, &contexts))
+        .collect();
+    let stats = contexts
+        .into_iter()
+        .map(|(_, c)| ContextStats {
+            requests: c.requests,
+            prompt_cost: c.backend.prompt_cost(),
+            metered: c.ledger.snapshot(),
+            sessions: c.ledger.sessions(),
+        })
+        .collect();
+    (outcomes, stats)
+}
+
+/// Resolves one request's settled progress into its outcome: the engine's
+/// median/quorum/fallback ladder, with the resolve itself panic-isolated so
+/// a pathological request cannot take down the batch.
+fn finalize(
+    index: usize,
+    base_id: usize,
+    prep: Prepared,
+    contexts: &[(ContextKey, Context)],
+) -> ServeOutcome {
+    let id = RequestId(base_id + index);
+    let st = match prep {
+        Prepared::Failed(e) => {
+            return ServeOutcome {
+                id,
+                forecast: Err(e),
+                report: None,
+                cost: InferenceCost::default(),
+                context: None,
+            };
+        }
+        Prepared::Ready(st) => st,
+    };
+    let ctx = &contexts[st.context].1;
+    let mut cost =
+        if ctx.owner == index { ctx.backend.prompt_cost() } else { InferenceCost::default() };
+    let progress = st.progress.into_inner().expect("request lock");
+    let generated = progress.cost();
+    match progress.finish() {
+        Ok(run) => {
+            let engine_run = EngineRun::new(run, st.request.config, cost);
+            let forecast = catch_unwind(AssertUnwindSafe(|| {
+                engine_run.resolve(&st.request.train, st.request.horizon)
+            }))
+            .unwrap_or_else(|_| {
+                Err(pipeline_error("serve-resolve", format!("request {} panicked", id.0)))
+            });
+            let cost = engine_run.cost();
+            ServeOutcome {
+                id,
+                forecast,
+                report: Some(engine_run.into_report()),
+                cost,
+                context: Some(st.context),
+            }
+        }
+        Err(e) => {
+            // The run failed on infrastructure, but its completed draws
+            // were still paid for — keep attribution conserved.
+            cost.absorb(generated);
+            ServeOutcome { id, forecast: Err(e), report: None, cost, context: Some(st.context) }
+        }
+    }
+}
+
+/// Serves a batch of requests over `config.workers` threads and shared,
+/// deduplicated frozen contexts. Per-request failures land in the
+/// request's own [`ServeOutcome::forecast`]; the batch itself always
+/// completes. Outcomes are returned in submission order.
+pub fn serve_all(requests: &[ForecastRequest], config: &ServeConfig) -> ServeRun {
+    let (outcomes, contexts) = run_batch(requests, config, 0);
+    ServeRun { outcomes, contexts }
+}
+
+/// Incremental front-end over [`serve_all`]: submit requests one at a
+/// time, collect results by id. Submitted requests are batched until the
+/// first [`ServeHandle::collect`] (or explicit [`ServeHandle::flush`])
+/// forces execution; context sharing happens within a flush.
+pub struct ServeHandle {
+    config: ServeConfig,
+    pending: Vec<ForecastRequest>,
+    outcomes: Vec<ServeOutcome>,
+    contexts: Vec<ContextStats>,
+}
+
+impl ServeHandle {
+    /// A handle with the given scheduler knobs and no pending requests.
+    pub fn new(config: ServeConfig) -> Self {
+        Self { config, pending: Vec::new(), outcomes: Vec::new(), contexts: Vec::new() }
+    }
+
+    /// Enqueues a request; the returned id is its submission index.
+    pub fn submit(&mut self, request: ForecastRequest) -> RequestId {
+        self.pending.push(request);
+        RequestId(self.outcomes.len() + self.pending.len() - 1)
+    }
+
+    /// Executes every pending request as one batch.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let requests = std::mem::take(&mut self.pending);
+        let (outcomes, contexts) = run_batch(&requests, &self.config, self.outcomes.len());
+        self.outcomes.extend(outcomes);
+        self.contexts.extend(contexts);
+    }
+
+    /// The outcome of a submitted request, flushing pending work if the
+    /// request has not run yet.
+    ///
+    /// # Errors
+    /// When `id` was never returned by [`ServeHandle::submit`].
+    pub fn collect(&mut self, id: RequestId) -> Result<ServeOutcome> {
+        if id.0 >= self.outcomes.len() + self.pending.len() {
+            return Err(invalid_param("request", "unknown request id"));
+        }
+        if id.0 >= self.outcomes.len() {
+            self.flush();
+        }
+        Ok(self.outcomes[id.0].clone())
+    }
+
+    /// Every outcome executed so far (submission order).
+    pub fn outcomes(&self) -> &[ServeOutcome] {
+        &self.outcomes
+    }
+
+    /// Context accounting across every flush so far.
+    pub fn contexts(&self) -> &[ContextStats] {
+        &self.contexts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_datasets::generators::sinusoids;
+
+    fn series(n: usize) -> MultivariateSeries {
+        let a = sinusoids(n, &[(1.0, 12.0, 0.0)]);
+        let b: Vec<f64> = a.iter().map(|&v| 4.0 + 0.5 * v).collect();
+        MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+    }
+
+    fn request(horizon: usize, method: MuxMethod, seed: u64) -> ForecastRequest {
+        let config = ForecastConfig { samples: 2, seed, ..ForecastConfig::default() };
+        ForecastRequest::digit(series(48), horizon, method, config)
+    }
+
+    #[test]
+    fn same_history_and_codec_share_one_context() {
+        // Different horizons and seeds — but one prompt, so one context.
+        let requests = vec![
+            request(4, MuxMethod::ValueInterleave, 1),
+            request(7, MuxMethod::ValueInterleave, 99),
+        ];
+        let run = serve_all(&requests, &ServeConfig::with_workers(2));
+        assert_eq!(run.contexts.len(), 1);
+        assert_eq!(run.contexts[0].requests, 2);
+        assert!(run.outcomes.iter().all(|o| o.context == Some(0)));
+        // Prompt charged exactly once, to exactly one request.
+        let prompt = run.contexts[0].prompt_cost.prompt_tokens;
+        assert!(prompt > 0);
+        let charged: Vec<u64> = run.outcomes.iter().map(|o| o.cost.prompt_tokens).collect();
+        assert_eq!(charged.iter().sum::<u64>(), prompt);
+        assert_eq!(charged.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn different_codecs_get_distinct_contexts() {
+        let requests =
+            vec![request(4, MuxMethod::ValueInterleave, 1), request(4, MuxMethod::ValueConcat, 1)];
+        let run = serve_all(&requests, &ServeConfig::default());
+        assert_eq!(run.contexts.len(), 2);
+        assert_eq!(run.outcomes[0].context, Some(0));
+        assert_eq!(run.outcomes[1].context, Some(1));
+    }
+
+    #[test]
+    fn forecasts_have_requested_shapes() {
+        let requests =
+            vec![request(3, MuxMethod::ValueInterleave, 7), request(9, MuxMethod::ValueConcat, 8)];
+        let run = serve_all(&requests, &ServeConfig::with_workers(3));
+        for (req, outcome) in requests.iter().zip(&run.outcomes) {
+            let fc = outcome.forecast.as_ref().unwrap();
+            assert_eq!(fc.len(), req.horizon);
+            assert_eq!(fc.dims(), 2);
+            assert!(outcome.report.is_some());
+        }
+    }
+
+    #[test]
+    fn handle_collect_flushes_and_rejects_unknown_ids() {
+        let mut handle = ServeHandle::new(ServeConfig::with_workers(2));
+        let a = handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        let b = handle.submit(request(5, MuxMethod::ValueInterleave, 2));
+        assert_eq!(a, RequestId(0));
+        assert_eq!(b, RequestId(1));
+        assert!(handle.collect(RequestId(2)).is_err(), "unsubmitted id must be rejected");
+        let out_b = handle.collect(b).unwrap();
+        assert_eq!(out_b.forecast.unwrap().len(), 5);
+        // Both ran in the flush triggered by the first collect.
+        assert_eq!(handle.outcomes().len(), 2);
+        let out_a = handle.collect(a).unwrap();
+        assert_eq!(out_a.forecast.unwrap().len(), 4);
+        // A later submit starts a new batch with its own context.
+        let c = handle.submit(request(6, MuxMethod::ValueInterleave, 3));
+        assert_eq!(c, RequestId(2));
+        assert_eq!(handle.collect(c).unwrap().forecast.unwrap().len(), 6);
+        assert_eq!(handle.contexts().len(), 2);
+    }
+
+    #[test]
+    fn empty_batch_serves_nothing() {
+        let run = serve_all(&[], &ServeConfig::default());
+        assert!(run.outcomes.is_empty());
+        assert!(run.contexts.is_empty());
+        assert_eq!(run.attributed_cost(), InferenceCost::default());
+    }
+
+    #[test]
+    fn zero_worker_config_is_clamped() {
+        let run =
+            serve_all(&[request(4, MuxMethod::ValueInterleave, 1)], &ServeConfig { workers: 0 });
+        assert!(run.outcomes[0].forecast.is_ok());
+    }
+}

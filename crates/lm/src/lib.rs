@@ -28,6 +28,7 @@ pub mod concrete;
 pub mod cost;
 pub mod ensemble;
 pub mod generate;
+pub mod metered;
 pub mod model;
 pub mod ngram;
 pub mod ppm;
@@ -42,6 +43,7 @@ pub use concrete::ConcreteLm;
 pub use cost::InferenceCost;
 pub use ensemble::{EnsembleLm, EnsembleSession, FrozenEnsemble};
 pub use generate::{generate, generate_session, GenerateOptions};
+pub use metered::{CostLedger, MeteredLm};
 pub use model::{DecodeSession, FrozenLm, LanguageModel};
 pub use ngram::{FrozenNGram, NGramLm, NGramSession};
 pub use ppm::{FrozenPpm, PpmLm, PpmSession};

@@ -14,7 +14,8 @@
 
 use mc_datasets::{gas_rate, generators::sinusoids};
 use mc_lm::generate::{generate, GenerateOptions};
-use mc_lm::model::observe_all;
+use mc_lm::model::{observe_all, FrozenLm};
+use mc_lm::presets::{fit_model, ModelPreset};
 use mc_lm::sampler::Sampler;
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::{TokenId, Vocab};
@@ -351,6 +352,73 @@ fn streaming_predict_is_bit_identical_to_clone_per_sample_loop() {
     assert_bit_identical(&reference, &actual, "streaming");
     let report = stream.last_report.unwrap();
     assert_eq!(report.valid_samples, 3);
+}
+
+/// Runs one decode session to completion alone: the distribution before
+/// every forced token, plus the final one, and the session's cost.
+fn solo_session_trace(
+    frozen: &dyn FrozenLm,
+    tokens: &[TokenId],
+) -> (Vec<Vec<f64>>, mc_lm::InferenceCost) {
+    let mut session = frozen.fork();
+    let mut dist = vec![0.0; frozen.vocab_size()];
+    let mut trace = Vec::with_capacity(tokens.len() + 1);
+    for &t in tokens {
+        session.next_distribution(&mut dist);
+        trace.push(dist.clone());
+        session.observe(t);
+    }
+    session.next_distribution(&mut dist);
+    trace.push(dist.clone());
+    (trace, session.cost())
+}
+
+/// `DecodeSession::fork` isolation, asserted directly: two sessions over
+/// the same `FrozenLm`, stepped in lockstep (interleaved observe /
+/// next_distribution calls), must produce exactly the distributions each
+/// produces when run to completion alone. The fixed-seed equivalence tests
+/// above only cover one-session-at-a-time decoding; this is the contract
+/// concurrent serving leans on.
+#[test]
+fn interleaved_forks_match_sequential_sessions() {
+    let vocab = Vocab::numeric();
+    let tokenizer = CharTokenizer::new(vocab.clone());
+    let prompt = "017,023,042,".repeat(8);
+    let frozen = fit_model(ModelPreset::Large, vocab.len(), &tokenizer.encode(&prompt).unwrap());
+    // Two deliberately different continuations, so the sessions' contexts
+    // diverge immediately — any state leakage shows up in the siblings.
+    let stream_a = tokenizer.encode("017,023,042,0").unwrap();
+    let stream_b = tokenizer.encode("999,000,111,9").unwrap();
+    let (trace_a, cost_a) = solo_session_trace(frozen.as_ref(), &stream_a);
+    let (trace_b, cost_b) = solo_session_trace(frozen.as_ref(), &stream_b);
+    // Interleaved run: alternate single steps between two live sessions.
+    let mut sa = frozen.fork();
+    let mut sb = frozen.fork();
+    let mut dist = vec![0.0; frozen.vocab_size()];
+    for (i, (&ta, &tb)) in stream_a.iter().zip(&stream_b).enumerate() {
+        sa.next_distribution(&mut dist);
+        for (v, (x, y)) in dist.iter().zip(&trace_a[i]).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "session a, step {i}, token {v}");
+        }
+        sb.next_distribution(&mut dist);
+        for (v, (x, y)) in dist.iter().zip(&trace_b[i]).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "session b, step {i}, token {v}");
+        }
+        sa.observe(ta);
+        sb.observe(tb);
+    }
+    let last = stream_a.len();
+    sa.next_distribution(&mut dist);
+    for (v, (x, y)) in dist.iter().zip(&trace_a[last]).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "session a, final step, token {v}");
+    }
+    sb.next_distribution(&mut dist);
+    for (v, (x, y)) in dist.iter().zip(&trace_b[last]).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "session b, final step, token {v}");
+    }
+    assert_eq!(sa.cost(), cost_a, "interleaving must not change session a's cost");
+    assert_eq!(sb.cost(), cost_b, "interleaving must not change session b's cost");
+    assert_eq!(cost_a.prompt_tokens, 0, "sessions never re-pay the prompt");
 }
 
 #[test]

@@ -224,6 +224,108 @@ proptest! {
         }
     }
 
+    /// Serving an arbitrary batch over shared frozen contexts conserves
+    /// cost: the sum of per-request attributed costs equals the metered
+    /// ground truth recorded inside the model boundary, each context's
+    /// prompt pass is charged to exactly one request, and outcomes come
+    /// back in submission order with matching ids.
+    #[test]
+    fn serve_attribution_is_conserved_and_ordered(
+        specs in prop::collection::vec((0usize..3, 2usize..6, 1usize..4, 0u64..1000), 1..6),
+        workers in 1usize..5,
+    ) {
+        use multicast_suite::core::serve::{serve_all, ForecastRequest, RequestId, ServeConfig};
+
+        // Two fixed histories so some requests share a frozen context
+        // while others do not — both attribution paths get exercised.
+        let trains: Vec<MultivariateSeries> = (0..2usize)
+            .map(|t| {
+                let a: Vec<f64> =
+                    (0..40).map(|i| ((i + 7 * t) as f64 * 0.31).sin() * 10.0 + 30.0).collect();
+                let b: Vec<f64> = a.iter().map(|v| 100.0 - v).collect();
+                MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+            })
+            .collect();
+        let requests: Vec<ForecastRequest> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, horizon, samples, seed))| {
+                let method = MuxMethod::ALL[m % MuxMethod::ALL.len()];
+                let config = ForecastConfig { samples, seed, ..ForecastConfig::default() };
+                ForecastRequest::digit(trains[i % trains.len()].clone(), horizon, method, config)
+            })
+            .collect();
+
+        let run = serve_all(&requests, &ServeConfig::with_workers(workers));
+
+        // Ordering: one outcome per request, ids equal to submission indices.
+        prop_assert_eq!(run.outcomes.len(), requests.len());
+        for (i, outcome) in run.outcomes.iter().enumerate() {
+            prop_assert_eq!(outcome.id, RequestId(i));
+            prop_assert!(outcome.forecast.is_ok());
+            prop_assert_eq!(outcome.forecast.as_ref().unwrap().len(), requests[i].horizon);
+        }
+
+        // Conservation: attribution matches the in-boundary meter exactly
+        // — no double-charging, no lost tokens.
+        let attributed = run.attributed_cost();
+        let metered = run.metered_cost();
+        prop_assert_eq!(attributed.prompt_tokens, metered.prompt_tokens);
+        prop_assert_eq!(attributed.generated_tokens, metered.generated_tokens);
+        prop_assert_eq!(attributed.work_units, metered.work_units);
+
+        // Each context's prompt pass is paid by exactly one member request,
+        // and the context's membership count matches the outcomes.
+        for (c, stats) in run.contexts.iter().enumerate() {
+            let members: Vec<_> =
+                run.outcomes.iter().filter(|o| o.context == Some(c)).collect();
+            prop_assert_eq!(members.len(), stats.requests);
+            prop_assert!(stats.prompt_cost.prompt_tokens > 0);
+            let payers = members.iter().filter(|o| o.cost.prompt_tokens > 0).count();
+            prop_assert_eq!(payers, 1, "context {} has {} prompt payers", c, payers);
+        }
+    }
+
+    /// Worker-pool width is invisible: the same batch served
+    /// single-threaded and over several workers yields bit-identical
+    /// forecasts and identical per-request attributed costs.
+    #[test]
+    fn serve_is_invariant_to_worker_count(
+        specs in prop::collection::vec((0usize..3, 2usize..5, 1usize..3, 0u64..1000), 1..4),
+        workers in 2usize..6,
+    ) {
+        use multicast_suite::core::serve::{serve_all, ForecastRequest, ServeConfig};
+
+        let a: Vec<f64> = (0..36).map(|i| (i as f64 * 0.4).cos() * 8.0 + 20.0).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0 + 5.0).collect();
+        let train =
+            MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap();
+        let requests: Vec<ForecastRequest> = specs
+            .iter()
+            .map(|&(m, horizon, samples, seed)| {
+                let method = MuxMethod::ALL[m % MuxMethod::ALL.len()];
+                let config = ForecastConfig { samples, seed, ..ForecastConfig::default() };
+                ForecastRequest::digit(train.clone(), horizon, method, config)
+            })
+            .collect();
+
+        let solo = serve_all(&requests, &ServeConfig::with_workers(1));
+        let pool = serve_all(&requests, &ServeConfig::with_workers(workers));
+
+        prop_assert_eq!(solo.outcomes.len(), pool.outcomes.len());
+        for (s, p) in solo.outcomes.iter().zip(&pool.outcomes) {
+            prop_assert_eq!(s.cost, p.cost);
+            let (sf, pf) = (s.forecast.as_ref().unwrap(), p.forecast.as_ref().unwrap());
+            prop_assert_eq!(sf.dims(), pf.dims());
+            for d in 0..sf.dims() {
+                let (sc, pc) = (sf.column(d).unwrap(), pf.column(d).unwrap());
+                for (x, y) in sc.iter().zip(pc) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
     /// Charset defects are impossible by construction: the constrained
     /// sampler masks every token outside `[0-9,]`, so an uncorrupted
     /// continuation can never contain a non-numeric group or out-of-band

@@ -1,0 +1,354 @@
+//! Determinism, stress and cost-conservation suite for the concurrent
+//! serving layer (`multicast_core::serve`).
+//!
+//! The scheduler's contract is that concurrency is invisible to the
+//! numbers: a request's forecast depends only on its own configuration and
+//! seeds, never on the worker-pool width, the submission order, or what
+//! other requests share its frozen context. These tests pin that down with
+//! `f64::to_bits` comparisons, then stress a 32-request mixed batch (four
+//! codecs, varying horizons/seeds/sample counts, one request rigged to
+//! fail its quorum and one rigged to panic) and audit the per-request cost
+//! attribution against the ledger metered inside the model boundary.
+
+use mc_datasets::generators::sinusoids;
+use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
+use mc_sax::encoder::SaxConfig;
+use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::series::MultivariateSeries;
+use multicast_core::robust::{DefectClass, FaultSpec, RobustPolicy, SampleSource};
+use multicast_core::{
+    serve_all, CodecChoice, ForecastConfig, ForecastRequest, MultiCastForecaster, MuxMethod,
+    RequestId, ServeConfig, ServeRun,
+};
+
+fn series(n: usize, phase: f64, offset: f64) -> MultivariateSeries {
+    let a = sinusoids(n, &[(1.0, 12.0, phase), (0.3, 5.0, 0.4)]);
+    let b: Vec<f64> = a.iter().map(|&v| offset + 2.0 * v).collect();
+    MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+}
+
+fn assert_bit_identical(x: &MultivariateSeries, y: &MultivariateSeries, tag: &str) {
+    assert_eq!(x.len(), y.len(), "{tag}: horizon");
+    assert_eq!(x.dims(), y.dims(), "{tag}: dims");
+    for d in 0..x.dims() {
+        for (t, (a, b)) in x.column(d).unwrap().iter().zip(y.column(d).unwrap()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag}: dim {d} step {t}: {a} vs {b}");
+        }
+    }
+}
+
+/// Deterministic Fisher–Yates over a SplitMix64 stream — no RNG crate
+/// needed, and the permutation is stable across platforms.
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn digit_request(
+    train: MultivariateSeries,
+    horizon: usize,
+    method: MuxMethod,
+    seed: u64,
+    samples: usize,
+) -> ForecastRequest {
+    let config = ForecastConfig { samples, seed, ..ForecastConfig::default() };
+    ForecastRequest::digit(train, horizon, method, config)
+}
+
+/// Satellite: a fixed-seed request is bit-identical whether run alone
+/// (through the sequential engine), through `serve_all` with 1 worker, or
+/// through `serve_all` with 8 workers under a shuffled submission order.
+#[test]
+fn fixed_seed_request_is_bit_identical_across_schedulers() {
+    let train = series(72, 0.0, 10.0);
+    let target = digit_request(train.clone(), 6, MuxMethod::ValueInterleave, 42, 4);
+
+    // Reference: the sequential engine path (MultiCastForecaster).
+    let mut solo = MultiCastForecaster::new(MuxMethod::ValueInterleave, target.config);
+    let reference = solo.forecast(&train, 6).unwrap();
+    let reference_report = solo.last_report.unwrap();
+
+    // A batch with neighbors competing for the worker pool — some sharing
+    // the target's frozen context (same train/codec), some not.
+    let mut requests = vec![target.clone()];
+    for (i, horizon) in [3usize, 9, 5, 7].iter().enumerate() {
+        requests.push(digit_request(
+            train.clone(),
+            *horizon,
+            MuxMethod::ValueInterleave,
+            100 + i as u64,
+            3,
+        ));
+        requests.push(digit_request(
+            series(64, 0.3 * i as f64, 5.0),
+            *horizon,
+            MuxMethod::ValueConcat,
+            200 + i as u64,
+            2,
+        ));
+    }
+
+    let single = serve_all(&requests, &ServeConfig::with_workers(1));
+    let outcome = &single.outcomes[0];
+    assert_bit_identical(&reference, outcome.forecast.as_ref().unwrap(), "1 worker");
+    assert_eq!(outcome.report.as_ref().unwrap(), &reference_report, "1 worker report");
+
+    for shuffle_seed in [1u64, 7, 31] {
+        let order = shuffled(&requests, shuffle_seed);
+        let position = order
+            .iter()
+            .position(|r| {
+                r.horizon == target.horizon
+                    && r.config.seed == target.config.seed
+                    && r.config.samples == target.config.samples
+            })
+            .unwrap();
+        let wide = serve_all(&order, &ServeConfig::with_workers(8));
+        let outcome = &wide.outcomes[position];
+        assert_eq!(outcome.id, RequestId(position));
+        assert_bit_identical(
+            &reference,
+            outcome.forecast.as_ref().unwrap(),
+            &format!("8 workers, shuffle {shuffle_seed}"),
+        );
+        assert_eq!(
+            outcome.report.as_ref().unwrap(),
+            &reference_report,
+            "8 workers, shuffle {shuffle_seed}: report"
+        );
+    }
+}
+
+/// Every neighbor in a batch must also be scheduling-independent — not
+/// just one probe request. Runs the same batch at several pool widths and
+/// compares every forecast pairwise.
+#[test]
+fn whole_batch_is_invariant_to_worker_count() {
+    let mut requests = Vec::new();
+    for i in 0..6u64 {
+        let method = MuxMethod::ALL[i as usize % 3];
+        requests.push(digit_request(
+            series(60 + 4 * i as usize, 0.1 * i as f64, 8.0),
+            4 + (i as usize % 3),
+            method,
+            1000 + i,
+            2 + (i as usize % 2),
+        ));
+    }
+    let runs: Vec<ServeRun> =
+        [1, 2, 8].iter().map(|&w| serve_all(&requests, &ServeConfig::with_workers(w))).collect();
+    for run in &runs[1..] {
+        for (a, b) in runs[0].outcomes.iter().zip(&run.outcomes) {
+            assert_bit_identical(
+                a.forecast.as_ref().unwrap(),
+                b.forecast.as_ref().unwrap(),
+                &format!("request {:?}", a.id),
+            );
+            assert_eq!(a.report, b.report, "request {:?}", a.id);
+            assert_eq!(a.cost, b.cost, "request {:?}", a.id);
+        }
+    }
+}
+
+/// Builds the 32-request mixed stress batch: four distinct histories,
+/// all three digit multiplexers plus SAX, varying horizons, seeds and
+/// sample counts. Request 7 is rigged to fail its quorum (every
+/// continuation corrupted, no retries left); request 19 panics on its
+/// first attempt of sample 0 and recovers on retry.
+fn stress_batch() -> Vec<ForecastRequest> {
+    let trains: Vec<MultivariateSeries> =
+        (0..4).map(|i| series(56 + 8 * i, 0.2 * i as f64, 6.0 + i as f64)).collect();
+    let sax = SaxConfig {
+        segment_len: 3,
+        alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
+    };
+    let mut requests = Vec::with_capacity(32);
+    for i in 0..32usize {
+        let codec = match i % 4 {
+            0 => CodecChoice::Digit(MuxMethod::ValueInterleave),
+            1 => CodecChoice::Digit(MuxMethod::ValueConcat),
+            2 => CodecChoice::Digit(MuxMethod::DigitInterleave),
+            _ => CodecChoice::Sax(sax),
+        };
+        let config = ForecastConfig {
+            samples: 2 + i % 3,
+            seed: 5000 + i as u64,
+            ..ForecastConfig::default()
+        };
+        let mut request = ForecastRequest {
+            train: trains[i / 8].clone(),
+            horizon: 3 + i % 6,
+            codec,
+            config,
+            source: SampleSource::Model,
+        };
+        if i == 7 {
+            // Every attempt of every sample corrupted, one retry: the
+            // quorum fails and the policy degrades to seasonal-naive.
+            request.config.robust =
+                RobustPolicy { max_retries: 1, min_valid_samples: 2, ..RobustPolicy::default() };
+            request.source = SampleSource::FaultInjected(FaultSpec::with_rate(1.0, 77));
+        }
+        if i == 19 {
+            request.source = SampleSource::FaultInjected(FaultSpec {
+                rate: 0.0,
+                seed: 0,
+                panic_sample: Some(0),
+            });
+        }
+        requests.push(request);
+    }
+    requests
+}
+
+/// Satellite: the 32-request stress batch — per-request isolation, every
+/// request resolves, and exact token-cost conservation against the
+/// metered ledgers.
+#[test]
+fn stress_batch_isolates_faults_and_conserves_cost() {
+    let requests = stress_batch();
+    let run = serve_all(&requests, &ServeConfig::with_workers(8));
+    assert_eq!(run.outcomes.len(), 32);
+
+    // Every request resolves to a forecast of its requested shape — the
+    // degraded request through its fallback, the panicked one after retry.
+    for (request, outcome) in requests.iter().zip(&run.outcomes) {
+        let fc = outcome
+            .forecast
+            .as_ref()
+            .unwrap_or_else(|e| panic!("request {:?} failed: {e}", outcome.id));
+        assert_eq!(fc.len(), request.horizon, "request {:?}", outcome.id);
+        assert_eq!(fc.dims(), request.train.dims(), "request {:?}", outcome.id);
+        assert!(fc.columns().iter().flatten().all(|v| v.is_finite()), "request {:?}", outcome.id);
+    }
+
+    // The rigged requests fail/recover exactly as configured...
+    let degraded = run.outcomes[7].report.as_ref().unwrap();
+    assert!(degraded.degraded(), "request 7 must hit the quorum fallback");
+    assert_eq!(degraded.valid_samples, 0);
+    let panicked = run.outcomes[19].report.as_ref().unwrap();
+    assert_eq!(panicked.defect_count(DefectClass::Panicked), 1, "request 19 panics once");
+    assert!(!panicked.degraded(), "request 19 recovers on retry");
+    assert_eq!(panicked.valid_samples, panicked.requested_samples);
+
+    // ...and nobody else even notices: every other request is pristine.
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        if i == 7 || i == 19 {
+            continue;
+        }
+        let report = outcome.report.as_ref().unwrap();
+        assert!(!report.degraded(), "request {i} must not degrade");
+        assert_eq!(report.total_defects(), 0, "request {i} must see no defects");
+        assert_eq!(report.retries_used, 0, "request {i} must not retry");
+        assert_eq!(report.valid_samples, report.requested_samples, "request {i}");
+    }
+
+    // Isolation the strong way: clean requests are bit-identical to
+    // running alone, faulty neighbors or not.
+    for probe in [0usize, 6, 8, 18, 20] {
+        let request = &requests[probe];
+        let CodecChoice::Digit(method) = request.codec else { continue };
+        let mut solo = MultiCastForecaster::new(method, request.config);
+        let reference = solo.forecast(&request.train, request.horizon).unwrap();
+        assert_bit_identical(
+            &reference,
+            run.outcomes[probe].forecast.as_ref().unwrap(),
+            &format!("request {probe} vs solo"),
+        );
+    }
+
+    assert_cost_conserved(&run);
+}
+
+/// Exact token conservation: summed per-request attribution equals the
+/// ledgers metered inside the model boundary — prompt charged exactly once
+/// per context, generated tokens neither lost nor double-charged.
+fn assert_cost_conserved(run: &ServeRun) {
+    let attributed = run.attributed_cost();
+    let metered = run.metered_cost();
+    assert_eq!(attributed.prompt_tokens, metered.prompt_tokens, "prompt tokens conserved");
+    assert_eq!(attributed.generated_tokens, metered.generated_tokens, "generated tokens conserved");
+    assert_eq!(attributed.work_units, metered.work_units, "work units conserved");
+
+    for (c, context) in run.contexts.iter().enumerate() {
+        let members: Vec<_> = run.outcomes.iter().filter(|o| o.context == Some(c)).collect();
+        assert_eq!(members.len(), context.requests, "context {c} membership");
+        // Prompt charged exactly once per context, to exactly one member.
+        let prompt_charges: Vec<u64> = members.iter().map(|o| o.cost.prompt_tokens).collect();
+        assert_eq!(
+            prompt_charges.iter().sum::<u64>(),
+            context.prompt_cost.prompt_tokens,
+            "context {c}: prompt amortized once"
+        );
+        assert_eq!(
+            prompt_charges.iter().filter(|&&p| p > 0).count(),
+            1,
+            "context {c}: exactly one owner pays the prompt"
+        );
+        // Generated tokens attributed to members equal the context ledger.
+        let generated: u64 = members.iter().map(|o| o.cost.generated_tokens).sum();
+        assert_eq!(
+            generated, context.metered.generated_tokens,
+            "context {c}: generated tokens conserved"
+        );
+    }
+}
+
+/// The same conservation audit under heavy (non-panic) fault injection:
+/// corrupted draws are still paid for, retries included, so the invariant
+/// must survive the chaos drill.
+#[test]
+fn cost_conservation_survives_fault_injection() {
+    let train = series(64, 0.0, 9.0);
+    let mut requests = Vec::new();
+    for i in 0..6u64 {
+        let mut request = digit_request(train.clone(), 5, MuxMethod::ValueInterleave, 9000 + i, 3);
+        request.source = SampleSource::FaultInjected(FaultSpec::with_rate(0.5, i));
+        requests.push(request);
+    }
+    let run = serve_all(&requests, &ServeConfig::with_workers(4));
+    for outcome in &run.outcomes {
+        assert!(outcome.forecast.is_ok(), "request {:?} must resolve", outcome.id);
+    }
+    assert_cost_conserved(&run);
+    // The drill actually exercised the retry path somewhere.
+    let retries: usize =
+        run.outcomes.iter().filter_map(|o| o.report.as_ref()).map(|r| r.retries_used).sum();
+    assert!(retries > 0, "rate-0.5 corruption should force retries");
+}
+
+/// Context sharing is what the scheduler exists for: requests with the
+/// same history and codec — regardless of horizon — must share one frozen
+/// context, and requests with different prompts must not.
+#[test]
+fn context_sharing_follows_prompts_not_horizons() {
+    let train_a = series(60, 0.0, 7.0);
+    let train_b = series(60, 0.5, 3.0);
+    let requests = vec![
+        digit_request(train_a.clone(), 4, MuxMethod::ValueInterleave, 1, 2),
+        digit_request(train_a.clone(), 9, MuxMethod::ValueInterleave, 2, 2),
+        digit_request(train_a.clone(), 6, MuxMethod::ValueInterleave, 3, 2),
+        digit_request(train_b, 4, MuxMethod::ValueInterleave, 4, 2),
+        digit_request(train_a, 4, MuxMethod::ValueConcat, 5, 2),
+    ];
+    let run = serve_all(&requests, &ServeConfig::with_workers(4));
+    assert_eq!(run.contexts.len(), 3, "three distinct prompts");
+    assert_eq!(run.outcomes[0].context, run.outcomes[1].context);
+    assert_eq!(run.outcomes[0].context, run.outcomes[2].context);
+    assert_ne!(run.outcomes[0].context, run.outcomes[3].context);
+    assert_ne!(run.outcomes[0].context, run.outcomes[4].context);
+    let shared = run.outcomes[0].context.unwrap();
+    assert_eq!(run.contexts[shared].requests, 3);
+    assert_cost_conserved(&run);
+}
