@@ -48,7 +48,7 @@ impl ArimaConfig {
 /// let series = ar(&[0.7], 2000, 1.0, 42);       // AR(1), phi = 0.7
 /// let model = ArimaModel::fit(&series, ArimaConfig::new(1, 0, 0)).unwrap();
 /// assert!((model.phi[0] - 0.7).abs() < 0.1);
-/// let forecast = model.forecast(12);
+/// let forecast = model.forecast(12).unwrap();
 /// assert_eq!(forecast.len(), 12);
 /// ```
 #[derive(Debug, Clone)]
@@ -149,7 +149,11 @@ impl ArimaModel {
     }
 
     /// Multi-step forecast of `horizon` values on the *original* scale.
-    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// When the stored integration tails are malformed (empty level) —
+    /// impossible for models built by [`ArimaModel::fit`].
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
         // Work on extended (history + forecast) buffers in the differenced
         // domain; future innovations are zero by construction.
         let mut w = self.diffed.clone();
@@ -260,7 +264,7 @@ impl UnivariateForecaster for ArimaForecaster {
 
     fn forecast_univariate(&mut self, train: &[f64], horizon: usize) -> Result<Vec<f64>> {
         let model = auto_arima(train, self.max_p, self.max_d, self.max_q)?;
-        Ok(model.forecast(horizon))
+        model.forecast(horizon)
     }
 }
 
@@ -293,7 +297,7 @@ mod tests {
         let noise = white_noise(200, 0.05, 3);
         let xs: Vec<f64> = trend.iter().zip(&noise).map(|(a, b)| a + b).collect();
         let m = ArimaModel::fit(&xs, ArimaConfig::new(1, 1, 0)).unwrap();
-        let fc = m.forecast(10);
+        let fc = m.forecast(10).unwrap();
         assert_eq!(fc.len(), 10);
         let last = xs[199];
         assert!((fc[0] - (last + 0.5)).abs() < 0.5, "first step {} vs {}", fc[0], last + 0.5);
@@ -304,7 +308,7 @@ mod tests {
     fn ar1_forecast_decays_toward_mean() {
         let xs = ar(&[0.8], 3000, 1.0, 11);
         let m = ArimaModel::fit(&xs, ArimaConfig::new(1, 0, 0)).unwrap();
-        let fc = m.forecast(50);
+        let fc = m.forecast(50).unwrap();
         // Long-horizon AR(1) forecast converges to the model's unconditional
         // mean c / (1 - phi), which for this process is near 0.
         let limit = m.intercept / (1.0 - m.phi[0]);
@@ -327,7 +331,7 @@ mod tests {
         let xs: Vec<f64> = trend.iter().zip(&noise).map(|(a, b)| a + b).collect();
         let m = auto_arima(&xs, 3, 2, 2).unwrap();
         assert!(m.config.d >= 1, "trend requires differencing, chose {:?}", m.config);
-        let fc = m.forecast(5);
+        let fc = m.forecast(5).unwrap();
         assert!(fc[4] > xs[299], "forecast should continue the climb");
     }
 

@@ -53,6 +53,7 @@ pub mod pipeline;
 pub mod robust;
 pub mod sax_pipeline;
 pub mod scaling;
+pub mod sched;
 pub mod serve;
 pub mod streaming;
 

@@ -102,8 +102,9 @@ impl MultivariateForecaster for LlmTimeForecaster {
         // the same deterministic per-sample seeds the sequential loop
         // used, and results merge in dimension order below, so outputs,
         // costs and reports are identical to sequential execution.
+        type ColumnOutcome = Result<(Vec<f64>, InferenceCost, ForecastReport)>;
         let dims = train.dims();
-        let mut slots: Vec<Option<Result<(Vec<f64>, InferenceCost, ForecastReport)>>> = Vec::new();
+        let mut slots: Vec<Option<ColumnOutcome>> = Vec::new();
         slots.resize_with(dims, || None);
         let this = &*self;
         std::thread::scope(|scope| {

@@ -1,0 +1,145 @@
+//! The bounded work queue under the serve scheduler.
+//!
+//! [`TaskQueue`] is the single synchronization object the worker pool in
+//! [`crate::serve`] coordinates through. It is generic and public for one
+//! reason: the `--cfg loom` model-checking suite (`tests/loom_serve.rs`)
+//! drives it directly, exhaustively exploring thread interleavings to
+//! prove the properties the serve layer relies on:
+//!
+//! - **No lost wakeups** — a [`TaskQueue::push`] racing a sleeping
+//!   [`TaskQueue::next`] always wakes it; a retry pushed by the last
+//!   running worker cannot strand a sleeper.
+//! - **Termination** — workers exit exactly when the queue is empty *and*
+//!   every admitted unit of work has settled. An executing task may still
+//!   push follow-up tasks, so an empty queue alone is **not** termination:
+//!   the `outstanding` settlement counter closes that race.
+//! - **No deadlock on pool exhaustion** — any number of workers over any
+//!   number of tasks drains without wedging, including workers that go to
+//!   sleep before the first push.
+//!
+//! The queue is built on the [`mc_sync`] shim, so an ordinary build uses
+//! `std::sync` while the loom build swaps in model-checked primitives.
+
+use std::collections::VecDeque;
+
+use mc_sync::{Condvar, Mutex};
+
+/// A FIFO task queue with settlement-counted termination.
+///
+/// `outstanding` counts admitted units of work that have not yet settled.
+/// Executing a task may [`push`](TaskQueue::push) follow-ups (retries) at
+/// the same settlement unit, or [`settle_one`](TaskQueue::settle_one) to
+/// retire the unit. [`next`](TaskQueue::next) blocks while the queue is
+/// empty but work is still outstanding, and returns `None` once
+/// `outstanding` reaches zero — at which point every worker drains out.
+#[derive(Debug)]
+pub struct TaskQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    tasks: VecDeque<T>,
+    /// Settlement units not yet retired; workers exit when the queue is
+    /// empty *and* this reaches zero (an executing task may still push
+    /// retries, so an empty queue alone is not termination).
+    outstanding: usize,
+}
+
+impl<T> TaskQueue<T> {
+    /// A queue seeded with `tasks`, expecting `outstanding` settlements.
+    ///
+    /// `outstanding` may exceed `tasks.len()` when some units start
+    /// mid-flight, but every unit must eventually settle exactly once or
+    /// [`next`](TaskQueue::next) never returns `None`.
+    pub fn new(tasks: VecDeque<T>, outstanding: usize) -> Self {
+        Self { state: Mutex::new(QueueState { tasks, outstanding }), cv: Condvar::new() }
+    }
+
+    /// Enqueues a task (typically a retry at an existing settlement unit),
+    /// waking one sleeping worker.
+    pub fn push(&self, task: T) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.tasks.push_back(task);
+        self.cv.notify_one();
+    }
+
+    /// Retires one settlement unit; when the last unit settles, every
+    /// sleeping worker is woken so it can observe termination.
+    pub fn settle_one(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// The next task, blocking while the queue is empty but settlements
+    /// are outstanding; `None` once everything has settled.
+    pub fn next(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(task) = st.tasks.pop_front() {
+                return Some(task);
+            }
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("queue lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drains_fifo_then_terminates() {
+        let queue = TaskQueue::new(VecDeque::from([1, 2, 3]), 3);
+        assert_eq!(queue.next(), Some(1));
+        queue.settle_one();
+        assert_eq!(queue.next(), Some(2));
+        queue.settle_one();
+        assert_eq!(queue.next(), Some(3));
+        queue.settle_one();
+        assert_eq!(queue.next(), None);
+        assert_eq!(queue.next(), None, "termination is sticky");
+    }
+
+    #[test]
+    fn retry_extends_a_settlement_unit() {
+        let queue = TaskQueue::new(VecDeque::from(["first"]), 1);
+        assert_eq!(queue.next(), Some("first"));
+        queue.push("retry");
+        assert_eq!(queue.next(), Some("retry"));
+        queue.settle_one();
+        assert_eq!(queue.next(), None);
+    }
+
+    #[test]
+    fn workers_drain_concurrently() {
+        let queue = TaskQueue::new(VecDeque::from_iter(0..64), 64);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(task) = queue.next() {
+                        if task % 8 == 0 {
+                            queue.push(task + 1001);
+                        } else {
+                            done.fetch_add(1, Ordering::Relaxed);
+                            queue.settle_one();
+                        }
+                    }
+                });
+            }
+        });
+        // 64 originals; the 8 multiples of 8 each re-queued one retry that
+        // settled in their place.
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+        assert_eq!(queue.next(), None);
+    }
+}

@@ -38,7 +38,8 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+
+use mc_sync::{Arc, Mutex};
 
 use mc_tslib::error::{invalid_param, pipeline_error, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
@@ -58,6 +59,7 @@ use crate::robust::{
     execute_attempt, virtual_index, AttemptDisposition, ForecastReport, RobustProgress,
     SampleExpectations, SampleSource,
 };
+use crate::sched::TaskQueue;
 
 /// Which codec a request serializes through.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -243,52 +245,6 @@ struct Task {
     attempt: usize,
 }
 
-struct TaskQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
-}
-
-struct QueueState {
-    tasks: VecDeque<Task>,
-    /// Samples not yet settled across all requests; workers exit when the
-    /// queue is empty *and* this reaches zero (an executing task may still
-    /// push retries, so an empty queue alone is not termination).
-    outstanding: usize,
-}
-
-impl TaskQueue {
-    fn new(tasks: VecDeque<Task>, outstanding: usize) -> Self {
-        Self { state: Mutex::new(QueueState { tasks, outstanding }), cv: Condvar::new() }
-    }
-
-    fn push(&self, task: Task) {
-        let mut st = self.state.lock().expect("queue lock");
-        st.tasks.push_back(task);
-        self.cv.notify_one();
-    }
-
-    fn settle_one(&self) {
-        let mut st = self.state.lock().expect("queue lock");
-        st.outstanding -= 1;
-        if st.outstanding == 0 {
-            self.cv.notify_all();
-        }
-    }
-
-    fn next(&self) -> Option<Task> {
-        let mut st = self.state.lock().expect("queue lock");
-        loop {
-            if let Some(task) = st.tasks.pop_front() {
-                return Some(task);
-            }
-            if st.outstanding == 0 {
-                return None;
-            }
-            st = self.cv.wait(st).expect("queue lock");
-        }
-    }
-}
-
 /// Fits codecs and contexts for a batch; requests that fail to prepare
 /// (codec or backend fit) become [`Prepared::Failed`] without touching the
 /// others.
@@ -345,7 +301,7 @@ fn run_task(
     task: Task,
     states: &[Prepared],
     contexts: &[(ContextKey, Context)],
-    queue: &TaskQueue,
+    queue: &TaskQueue<Task>,
 ) {
     let Prepared::Ready(st) = &states[task.request] else {
         queue.settle_one();

@@ -1,0 +1,188 @@
+//! Bounded-exhaustive model checking of the serve scheduler's
+//! concurrency core.
+//!
+//! Runs only under `--cfg loom` (the dedicated CI job):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p multicast-core --test loom_serve --release
+//! ```
+//!
+//! Under that cfg the [`mc_sync`] shim resolves to the [`mc_loom`]
+//! primitives, so the *production* [`TaskQueue`] and [`CostLedger`] —
+//! not copies — are explored across every thread interleaving the
+//! preemption bound admits (`LOOM_MAX_PREEMPTIONS`, default 2). The
+//! properties proved here are exactly the ones `crate::serve::run_batch`
+//! relies on; see DESIGN.md §8.
+#![cfg(loom)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mc_loom::sync::Arc;
+use mc_loom::{explore, model, thread};
+
+use mc_lm::cost::InferenceCost;
+use mc_lm::metered::CostLedger;
+use multicast_core::sched::TaskQueue;
+
+/// Workers racing over a seeded queue: every task is consumed exactly
+/// once, every worker terminates, in every interleaving.
+#[test]
+fn worker_pool_drains_without_lost_tasks_or_deadlock() {
+    let stats = explore(|| {
+        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1, 2]), 3));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(task) = queue.next() {
+                        seen.push(task);
+                        queue.settle_one();
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = Vec::new();
+        for w in workers {
+            all.extend(w.join().expect("worker"));
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "each task settles exactly once");
+        assert_eq!(queue.next(), None, "termination is observable after the drain");
+    });
+    assert!(stats.iterations > 1, "expected schedule exploration, got {stats:?}");
+}
+
+/// The termination race the `outstanding` counter exists for: with the
+/// queue empty but one task mid-execution, a sleeping worker must not
+/// miss the retry that task pushes. A lost `notify` here deadlocks, which
+/// the checker reports.
+#[test]
+fn retry_pushed_while_peer_sleeps_is_not_lost() {
+    model(|| {
+        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize]), 1));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut done = 0usize;
+                    while let Some(task) = queue.next() {
+                        if task == 0 {
+                            // First attempt fails validation: re-queue the
+                            // retry instead of settling, as run_task does.
+                            queue.push(1);
+                        } else {
+                            done += 1;
+                            queue.settle_one();
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        let done: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+        assert_eq!(done, 1, "the retried sample settles exactly once");
+    });
+}
+
+/// Pool exhaustion: more admitted work than workers still drains — a
+/// single worker alone must observe termination after the last settle.
+#[test]
+fn single_worker_drains_backlog() {
+    model(|| {
+        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1, 2, 3]), 4));
+        let q = Arc::clone(&queue);
+        let worker = thread::spawn(move || {
+            let mut done = 0usize;
+            while let Some(_task) = q.next() {
+                done += 1;
+                q.settle_one();
+            }
+            done
+        });
+        assert_eq!(worker.join().expect("worker"), 4);
+    });
+}
+
+/// Panic isolation: a task whose execution panics is caught at the worker
+/// (as `serve::finalize` catches resolve panics) and still settles, so
+/// the failure resolves to an error without wedging the pool — the
+/// sibling worker and the remaining tasks complete in every interleaving.
+#[test]
+fn panicking_task_settles_without_wedging_the_pool() {
+    // The deliberate panics below would otherwise print one backtrace per
+    // explored schedule.
+    std::panic::set_hook(Box::new(|_| {}));
+    model(|| {
+        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1]), 2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut ok = 0usize;
+                    let mut failed = 0usize;
+                    while let Some(task) = queue.next() {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            assert!(task != 0, "task 0 is the poisoned request");
+                        }));
+                        match outcome {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                        // Settled either way: a panic resolves the sample
+                        // as failed, it does not leak the settlement.
+                        queue.settle_one();
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        let (mut ok, mut failed) = (0, 0);
+        for w in workers {
+            let (o, f) = w.join().expect("worker");
+            ok += o;
+            failed += f;
+        }
+        assert_eq!((ok, failed), (1, 1), "both tasks settle, one as a failure");
+        assert_eq!(queue.next(), None);
+    });
+    let _ = std::panic::take_hook();
+}
+
+/// Cost conservation: concurrent `record` calls from racing sessions
+/// never lose tokens — the metered snapshot equals the sum of what each
+/// thread attributed locally, across every interleaving of the atomic
+/// operations.
+#[test]
+fn cost_ledger_conserves_attribution_across_interleavings() {
+    model(|| {
+        let ledger = Arc::new(CostLedger::new());
+        let costs = [
+            InferenceCost { prompt_tokens: 1, generated_tokens: 3, work_units: 5 },
+            InferenceCost { prompt_tokens: 0, generated_tokens: 7, work_units: 11 },
+        ];
+        let workers: Vec<_> = costs
+            .into_iter()
+            .map(|cost| {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || {
+                    // What run_task attributes to the request...
+                    ledger.record(cost);
+                    // ...is exactly what the model boundary metered.
+                    cost
+                })
+            })
+            .collect();
+        let mut attributed = InferenceCost::default();
+        for w in workers {
+            attributed.absorb(w.join().expect("worker"));
+        }
+        assert_eq!(
+            ledger.snapshot(),
+            attributed,
+            "attributed == metered must hold in every interleaving"
+        );
+    });
+}

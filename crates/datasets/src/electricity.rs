@@ -46,7 +46,7 @@ pub fn electricity_with_seed(seed: u64) -> MultivariateSeries {
     let ot = add(&affine(&thermal, 9.5, 28.0), &ot_noise);
 
     MultivariateSeries::from_columns(
-        NAMES.iter().map(|s| s.to_string()).collect(),
+        NAMES.iter().map(ToString::to_string).collect(),
         vec![hufl, hull, ot],
     )
     .expect("generator produces well-formed columns")

@@ -41,8 +41,11 @@ pub fn gas_rate_with_seed(seed: u64) -> MultivariateSeries {
     let noise = white_noise(n, 0.25, seed.wrapping_add(1));
     let co2 = add(&response, &noise);
 
-    MultivariateSeries::from_columns(NAMES.iter().map(|s| s.to_string()).collect(), vec![rate, co2])
-        .expect("generator produces well-formed columns")
+    MultivariateSeries::from_columns(
+        NAMES.iter().map(ToString::to_string).collect(),
+        vec![rate, co2],
+    )
+    .expect("generator produces well-formed columns")
 }
 
 /// Generates the Gas Rate replica with the crate default seed.

@@ -116,10 +116,8 @@ pub fn random_walk(n: usize, start: f64, sigma: f64, seed: u64) -> Vec<f64> {
 pub fn ema_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     let mut out = Vec::with_capacity(xs.len());
-    let mut acc = match xs.first() {
-        Some(&x) => x,
-        None => return out,
-    };
+    let Some(&first) = xs.first() else { return out };
+    let mut acc = first;
     for &x in xs {
         acc = alpha * x + (1.0 - alpha) * acc;
         out.push(acc);

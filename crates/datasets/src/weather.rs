@@ -65,7 +65,7 @@ pub fn weather_with_seed(seed: u64) -> MultivariateSeries {
     let tpot = add(&tpot, &white_noise(n, 0.18, seed.wrapping_add(4)));
 
     MultivariateSeries::from_columns(
-        NAMES.iter().map(|s| s.to_string()).collect(),
+        NAMES.iter().map(ToString::to_string).collect(),
         vec![tlog, h2oc, vpmax, tpot],
     )
     .expect("generator produces well-formed columns")

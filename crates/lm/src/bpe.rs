@@ -34,7 +34,7 @@ impl BpeTokenizer {
     /// # Panics
     /// If the corpus contains characters outside `base`.
     pub fn train(base: Vocab, corpus: &str, num_merges: usize) -> Self {
-        let mut spellings: Vec<String> = base.chars().iter().map(|c| c.to_string()).collect();
+        let mut spellings: Vec<String> = base.chars().iter().map(ToString::to_string).collect();
         let mut seq: Vec<TokenId> = corpus
             .chars()
             .map(|c| base.id(c).expect("corpus character outside base vocabulary"))

@@ -13,8 +13,8 @@
 //! delegation, so decoding through it is bit-identical to decoding through
 //! the wrapped backend.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use mc_sync::atomic::{AtomicU64, Ordering};
+use mc_sync::Arc;
 
 use crate::cost::InferenceCost;
 use crate::model::{DecodeSession, FrozenLm};

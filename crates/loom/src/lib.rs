@@ -1,0 +1,261 @@
+//! mc-loom: in-repo, offline stand-in for the `loom` model checker.
+//!
+//! [`model`] runs a closure under bounded-exhaustive exploration of
+//! thread interleavings: the closure executes once per distinct
+//! schedule, with every [`sync`] / [`thread`] operation acting as a
+//! schedule point. Assertion failures, lost wakeups, and deadlocks that
+//! exist in *any* explored interleaving are reported deterministically.
+//!
+//! Outside a model the same types transparently delegate to `std`, so a
+//! `--cfg loom` build still passes the ordinary test suite.
+//!
+//! Exploration is bounded two ways:
+//! - `LOOM_MAX_PREEMPTIONS` (default 2): maximum involuntary context
+//!   switches per execution. Switches at blocking points are free, so
+//!   every schedule a cooperative scheduler could produce is covered;
+//!   the bound only limits preemptive interleavings. Small bounds find
+//!   the overwhelming majority of real bugs (CHESS observation) while
+//!   keeping state-space size polynomial.
+//! - `LOOM_MAX_ITERATIONS` (default 1,000,000): hard cap on executions;
+//!   exceeding it fails the test rather than silently truncating.
+//!
+//! Semantics modeled: sequentially consistent interleavings of schedule
+//! points (no weak-memory reordering), FIFO condvar wakeups, no
+//! spurious wakeups. See `rt.rs` for the scheduler itself.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::panic::resume_unwind;
+
+/// Exploration statistics returned by [`explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of distinct schedules executed.
+    pub iterations: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs `f` once per distinct schedule, panicking on the first
+/// interleaving that fails (assertion, deadlock, lost wakeup).
+///
+/// Equivalent to [`explore`] with the statistics discarded; this is the
+/// `loom::model` entry point tests are written against.
+pub fn model<F: Fn() + 'static>(f: F) {
+    let _ = explore(f);
+}
+
+/// Runs `f` under bounded-exhaustive schedule exploration and returns
+/// how many schedules were executed.
+///
+/// The search is a depth-first walk over scheduling decision sequences:
+/// each execution follows the current trace, extending it with
+/// default choices (choice 0 = "keep running the current thread") at
+/// fresh schedule points; afterwards the trace is advanced like an
+/// odometer (bump the last decision that has untried alternatives,
+/// truncate the rest) until the space is exhausted.
+pub fn explore<F: Fn() + 'static>(f: F) -> Stats {
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 1_000_000);
+    let mut trace = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "mc-loom: exceeded LOOM_MAX_ITERATIONS ({max_iterations}) schedules; \
+             raise the cap or lower LOOM_MAX_PREEMPTIONS"
+        );
+        let outcome = rt::run_once(&f, trace, max_preemptions);
+        if let Some(payload) = outcome.body_panic {
+            eprintln!(
+                "mc-loom: model failed on schedule {iterations} \
+                 (trace length {})",
+                outcome.trace.len()
+            );
+            resume_unwind(payload);
+        }
+        if let Some(failure) = outcome.failure {
+            panic!("mc-loom: {failure} on schedule {iterations}");
+        }
+        trace = outcome.trace;
+        // Odometer: revisit the deepest decision with untried options.
+        loop {
+            match trace.last_mut() {
+                None => return Stats { iterations },
+                Some(last) if last.chosen + 1 < last.options => {
+                    last.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    trace.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::{explore, model, thread};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Replaces the panic hook for the duration of a test that expects
+    /// the model to fail, so the expected unwinds stay quiet.
+    struct QuietPanics;
+
+    impl QuietPanics {
+        fn new() -> Self {
+            std::panic::set_hook(Box::new(|_| {}));
+            QuietPanics
+        }
+    }
+
+    impl Drop for QuietPanics {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+
+    fn expect_model_failure(f: impl Fn() + Send + 'static) -> String {
+        let _quiet = QuietPanics::new();
+        let err = catch_unwind(AssertUnwindSafe(|| model(f)))
+            .expect_err("model should have found a failing schedule");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+
+    #[test]
+    fn mutex_guarded_counter_is_correct_in_all_interleavings() {
+        let stats = explore(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let c = counter.clone();
+                handles.push(thread::spawn(move || {
+                    let mut g = c.lock().expect("model mutex");
+                    *g += 1;
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+            assert_eq!(*counter.lock().expect("model mutex"), 2);
+        });
+        assert!(stats.iterations > 1, "expected multiple schedules, got {stats:?}");
+    }
+
+    #[test]
+    fn unsynchronized_read_modify_write_is_caught() {
+        let msg = expect_model_failure(|| {
+            let v = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let v = v.clone();
+                handles.push(thread::spawn(move || {
+                    // Deliberate lost-update bug: load + store instead of
+                    // fetch_add.
+                    let cur = v.load(Ordering::SeqCst);
+                    v.store(cur + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+        assert!(msg.contains("assertion"), "unexpected failure message: {msg}");
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlock_is_caught() {
+        let msg = expect_model_failure(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().expect("model mutex");
+                let _gb = b2.lock().expect("model mutex");
+            });
+            let _gb = b.lock().expect("model mutex");
+            let _ga = a.lock().expect("model mutex");
+            drop((_ga, _gb));
+            t.join().expect("worker");
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure message: {msg}");
+    }
+
+    #[test]
+    fn condvar_handshake_never_hangs() {
+        explore(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s = state.clone();
+            let producer = thread::spawn(move || {
+                let (flag, cv) = &*s;
+                *flag.lock().expect("model mutex") = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*state;
+            let mut g = flag.lock().expect("model mutex");
+            while !*g {
+                g = cv.wait(g).expect("model condvar");
+            }
+            drop(g);
+            producer.join().expect("producer");
+        });
+    }
+
+    #[test]
+    fn check_then_wait_race_loses_the_wakeup() {
+        let msg = expect_model_failure(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let (f2, p2) = (flag.clone(), pair.clone());
+            let producer = thread::spawn(move || {
+                f2.store(true, Ordering::SeqCst);
+                let (m, cv) = &*p2;
+                let _g = m.lock().expect("model mutex");
+                cv.notify_one();
+            });
+            // Deliberate bug: the flag check races the notify, so the
+            // wakeup can land before this thread starts waiting.
+            if !flag.load(Ordering::SeqCst) {
+                let (m, cv) = &*pair;
+                let g = m.lock().expect("model mutex");
+                let _g = cv.wait(g).expect("model condvar");
+            }
+            producer.join().expect("producer");
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure message: {msg}");
+    }
+
+    #[test]
+    fn fallback_outside_model_behaves_like_std() {
+        // No model() wrapper: the same types must work as plain std sync.
+        let counter = Arc::new(Mutex::new(0u32));
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (c2, p2) = (counter.clone(), pair.clone());
+        let t = thread::spawn(move || {
+            *c2.lock().expect("mutex") += 1;
+            let (m, cv) = &*p2;
+            *m.lock().expect("mutex") = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock().expect("mutex");
+        while !*g {
+            g = cv.wait(g).expect("condvar");
+        }
+        drop(g);
+        t.join().expect("thread");
+        assert_eq!(*counter.lock().expect("mutex"), 1);
+    }
+}

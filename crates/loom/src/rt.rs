@@ -1,0 +1,446 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One OS thread per model thread, but exactly one runs at a time: a
+//! token is handed from thread to thread at *schedule points* (every
+//! lock/unlock, condvar op, atomic op, spawn, join, yield). At each
+//! point the running thread consults the exploration trace to decide who
+//! runs next; the driver in [`crate::explore`] enumerates all such
+//! decision sequences depth-first, bounded by a preemption budget.
+//!
+//! Because only the token holder executes, plain (SeqCst) semantics are
+//! modeled: every interleaving of the schedule points is explored, but
+//! weak-memory reorderings are not. Condvars wake waiters FIFO and do
+//! not inject spurious wakeups (waiters in the workspace all re-check
+//! their predicate in a loop, so FIFO exploration still covers the
+//! lost-wakeup and deadlock bugs this checker exists to find).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind parked threads when a run aborts
+/// (deadlock or failure elsewhere); never user-visible.
+pub(crate) struct Abort;
+
+/// One scheduling decision: which of `options` runnable threads ran.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub options: usize,
+}
+
+/// How a model thread can be blocked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedCondvar(u64),
+    BlockedJoin(usize),
+    /// The main thread ran to the end of the model body and waits for
+    /// every spawned thread to finish.
+    BlockedExit,
+    Finished,
+}
+
+struct Inner {
+    threads: Vec<State>,
+    /// Virtual lock table: mutex id -> locked?
+    locked: HashMap<u64, bool>,
+    /// Condvar id -> FIFO waiter queue (thread ids).
+    waiters: HashMap<u64, Vec<usize>>,
+    trace: Vec<Choice>,
+    step: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    aborting: bool,
+    failure: Option<String>,
+}
+
+struct Park {
+    go: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Park {
+    fn new() -> Self {
+        Self { go: StdMutex::new(false), cv: StdCondvar::new() }
+    }
+
+    fn give(&self) {
+        let mut go = self.go.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *go = true;
+        self.cv.notify_one();
+    }
+
+    fn take(&self) {
+        let mut go = self.go.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*go {
+            go = self.cv.wait(go).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *go = false;
+    }
+}
+
+pub(crate) struct Runtime {
+    inner: StdMutex<Inner>,
+    parks: StdMutex<Vec<Arc<Park>>>,
+    real: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The ambient runtime and model-thread id, if this OS thread is
+/// executing inside a model.
+pub(crate) fn context() -> Option<(Arc<Runtime>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_context(ctx: Option<(Arc<Runtime>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Global id source for [`crate::sync::Mutex`]/[`crate::sync::Condvar`]
+/// instances, so identity survives across the executions of one model.
+static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_object_id() -> u64 {
+    OBJECT_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Runtime {
+    fn new(trace: Vec<Choice>, max_preemptions: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: StdMutex::new(Inner {
+                threads: vec![State::Runnable],
+                locked: HashMap::new(),
+                waiters: HashMap::new(),
+                trace,
+                step: 0,
+                preemptions: 0,
+                max_preemptions,
+                aborting: false,
+                failure: None,
+            }),
+            parks: StdMutex::new(vec![Arc::new(Park::new())]),
+            real: StdMutex::new(Vec::new()),
+        })
+    }
+
+    fn park(&self, id: usize) -> Arc<Park> {
+        self.parks.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[id].clone()
+    }
+
+    /// Runnable thread ids with the preferred continuation (the current
+    /// thread) first, so choice 0 means "no context switch".
+    fn options(inner: &Inner, me: usize) -> Vec<usize> {
+        let mine_runnable = inner.threads[me] == State::Runnable;
+        if mine_runnable && inner.preemptions >= inner.max_preemptions {
+            return vec![me];
+        }
+        let mut opts: Vec<usize> = Vec::new();
+        if mine_runnable {
+            opts.push(me);
+        }
+        for (i, s) in inner.threads.iter().enumerate() {
+            if i != me && *s == State::Runnable {
+                opts.push(i);
+            }
+        }
+        opts
+    }
+
+    /// The heart of the checker: record `me`'s new state, pick who runs
+    /// next (following/extending the trace), hand the token over and
+    /// park until it comes back. Returns normally once `me` is scheduled
+    /// again.
+    fn reschedule(self: &Arc<Self>, me: usize, new_state: State) {
+        if std::thread::panicking() {
+            // Called from a Drop during unwinding: release-side state was
+            // already updated by the caller; keep the token and let the
+            // unwind reach its catch/finish handler.
+            return;
+        }
+        let next;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if inner.aborting {
+                drop(inner);
+                resume_abort(me);
+            }
+            inner.threads[me] = new_state;
+            let opts = Self::options(&inner, me);
+            if opts.is_empty() {
+                let all_done =
+                    inner.threads.iter().enumerate().all(|(i, s)| i == me || *s == State::Finished);
+                if new_state == State::BlockedExit && all_done {
+                    // Clean end of the model: main may proceed.
+                    inner.threads[me] = State::Runnable;
+                    return;
+                }
+                let dump = format!("{:?}", inner.threads);
+                self.abort_locked(&mut inner, format!("deadlock: all threads blocked {dump}"));
+                drop(inner);
+                resume_abort(me);
+            }
+            let step = inner.step;
+            let chosen = if step < inner.trace.len() {
+                let c = inner.trace[step];
+                debug_assert_eq!(c.options, opts.len(), "non-deterministic model");
+                c.chosen
+            } else {
+                inner.trace.push(Choice { chosen: 0, options: opts.len() });
+                0
+            };
+            inner.step += 1;
+            next = opts[chosen.min(opts.len() - 1)];
+            if next != me && new_state == State::Runnable {
+                inner.preemptions += 1;
+            }
+        }
+        if next != me {
+            self.park(next).give();
+            self.wait_for_token(me);
+        }
+    }
+
+    /// Parks until this thread is handed the token (or the run aborts).
+    fn wait_for_token(self: &Arc<Self>, me: usize) {
+        self.park(me).take();
+        let aborting = {
+            let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.aborting
+        };
+        if aborting {
+            resume_abort(me);
+        }
+    }
+
+    /// Marks the run failed and wakes every parked thread so it can
+    /// unwind. Caller must follow with [`resume_abort`].
+    fn abort_locked(&self, inner: &mut Inner, reason: String) {
+        inner.aborting = true;
+        if inner.failure.is_none() {
+            inner.failure = Some(reason);
+        }
+        for park in self.parks.lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter() {
+            park.give();
+        }
+    }
+
+    // ---- operations invoked by the sync shims --------------------------
+
+    /// Schedule point with no state change (atomics, yields, notifies).
+    pub(crate) fn step_runnable(self: &Arc<Self>, me: usize) {
+        self.reschedule(me, State::Runnable);
+    }
+
+    /// Virtually acquires mutex `mid`, blocking (in model time) while
+    /// another thread holds it. A schedule point precedes the attempt.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: usize, mid: u64) {
+        self.reschedule(me, State::Runnable);
+        loop {
+            {
+                let mut inner =
+                    self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if inner.aborting {
+                    drop(inner);
+                    resume_abort(me);
+                }
+                let locked = inner.locked.entry(mid).or_insert(false);
+                if !*locked {
+                    *locked = true;
+                    return;
+                }
+            }
+            self.reschedule(me, State::BlockedMutex(mid));
+        }
+    }
+
+    /// Virtually releases mutex `mid`, waking its waiters; `schedule`
+    /// controls whether a schedule point follows (guard drops outside a
+    /// panic do; condvar re-lock handoffs do not).
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: usize, mid: u64, schedule: bool) {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.locked.insert(mid, false);
+            for s in inner.threads.iter_mut() {
+                if *s == State::BlockedMutex(mid) {
+                    *s = State::Runnable;
+                }
+            }
+        }
+        if schedule {
+            self.reschedule(me, State::Runnable);
+        }
+    }
+
+    /// Condvar wait: enqueue on `cid`, release `mid`, block until
+    /// notified, then let the caller re-acquire the mutex.
+    pub(crate) fn condvar_wait(self: &Arc<Self>, me: usize, cid: u64, mid: u64) {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.waiters.entry(cid).or_default().push(me);
+        }
+        self.mutex_unlock(me, mid, false);
+        self.reschedule(me, State::BlockedCondvar(cid));
+    }
+
+    /// Wakes up to `n` waiters of condvar `cid` (FIFO), preceded by a
+    /// schedule point.
+    pub(crate) fn condvar_notify(self: &Arc<Self>, me: usize, cid: u64, n: usize) {
+        self.reschedule(me, State::Runnable);
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let queue = inner.waiters.entry(cid).or_default();
+        let woken: Vec<usize> = queue.drain(..n.min(queue.len())).collect();
+        for t in woken {
+            inner.threads[t] = State::Runnable;
+        }
+    }
+
+    /// Registers a new model thread and returns its id. The real OS
+    /// thread must call [`Runtime::thread_main`].
+    pub(crate) fn register_thread(self: &Arc<Self>) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut parks = self.parks.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let id = inner.threads.len();
+        inner.threads.push(State::Runnable);
+        parks.push(Arc::new(Park::new()));
+        id
+    }
+
+    pub(crate) fn add_real_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.real.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(h);
+    }
+
+    /// Body run by each spawned OS thread: wait for the first token,
+    /// run the closure, then finish and hand the token onward.
+    pub(crate) fn thread_main(self: &Arc<Self>, id: usize, body: impl FnOnce()) {
+        set_context(Some((self.clone(), id)));
+        self.wait_for_token(id);
+        let result = catch_unwind(AssertUnwindSafe(body));
+        set_context(None);
+        if let Err(payload) = &result {
+            if payload.is::<Abort>() {
+                return; // aborted run: just let the OS thread exit
+            }
+        }
+        self.finish_thread(id);
+        // Real (non-Abort) panics were stored by the JoinHandle wrapper
+        // before `body` returned; nothing further to do here.
+        drop(result);
+    }
+
+    /// Marks `id` finished, wakes joiners (and main if it is exiting),
+    /// and hands the token to a runnable thread.
+    fn finish_thread(self: &Arc<Self>, id: usize) {
+        let next;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if inner.aborting {
+                return;
+            }
+            inner.threads[id] = State::Finished;
+            for s in inner.threads.iter_mut() {
+                if *s == State::BlockedJoin(id) {
+                    *s = State::Runnable;
+                }
+            }
+            let all_spawned_done = inner.threads.iter().skip(1).all(|s| *s == State::Finished);
+            if all_spawned_done && inner.threads[0] == State::BlockedExit {
+                inner.threads[0] = State::Runnable;
+            }
+            let opts = Self::options(&inner, id);
+            if opts.is_empty() {
+                let dump = format!("{:?}", inner.threads);
+                self.abort_locked(&mut inner, format!("deadlock: all threads blocked {dump}"));
+                return;
+            }
+            // Finishing always context-switches; follow the trace anyway
+            // so replays stay aligned.
+            let step = inner.step;
+            let chosen = if step < inner.trace.len() {
+                inner.trace[step].chosen
+            } else {
+                inner.trace.push(Choice { chosen: 0, options: opts.len() });
+                0
+            };
+            inner.step += 1;
+            next = opts[chosen.min(opts.len() - 1)];
+        }
+        self.park(next).give();
+    }
+
+    /// Blocks (in model time) until thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            {
+                let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if inner.aborting {
+                    drop(inner);
+                    resume_abort(me);
+                }
+                if inner.threads[target] == State::Finished {
+                    return;
+                }
+            }
+            self.reschedule(me, State::BlockedJoin(target));
+        }
+    }
+}
+
+fn resume_abort(_me: usize) -> ! {
+    // Unwind out of the model body; `thread_main` (workers) and
+    // `run_once` (main) recognize the payload and suppress it.
+    std::panic::panic_any(Abort);
+}
+
+/// Outcome of one execution of the model body.
+pub(crate) struct RunOutcome {
+    pub trace: Vec<Choice>,
+    /// A failure detected by the scheduler (deadlock) if any.
+    pub failure: Option<String>,
+    /// A real panic out of the model body (assertion failure) if any.
+    pub body_panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Executes the model body once, following `trace` and extending it with
+/// default choices at new schedule points.
+pub(crate) fn run_once<F: Fn()>(f: &F, trace: Vec<Choice>, max_preemptions: usize) -> RunOutcome {
+    assert!(context().is_none(), "mc-loom models cannot nest");
+    let rt = Runtime::new(trace, max_preemptions);
+    set_context(Some((rt.clone(), 0)));
+    // Main starts with the token; after a clean body it waits for every
+    // spawned thread to finish before the run ends.
+    let body = catch_unwind(AssertUnwindSafe(|| {
+        f();
+        rt.reschedule(0, State::BlockedExit);
+    }));
+    set_context(None);
+    // Whatever happened, make sure every OS thread can exit.
+    {
+        let mut inner = rt.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if body.is_err() && !inner.aborting {
+            rt.abort_locked(&mut inner, "main thread panicked".into());
+        }
+    }
+    let handles: Vec<_> = {
+        let mut real = rt.real.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        real.drain(..).collect()
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut inner = rt.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let failure = inner.failure.take();
+    let trace = std::mem::take(&mut inner.trace);
+    drop(inner);
+    let body_panic = match body {
+        Err(payload) if !payload.is::<Abort>() => Some(payload),
+        _ => None,
+    };
+    RunOutcome { trace, failure, body_panic }
+}

@@ -1,0 +1,283 @@
+//! Model-aware drop-ins for `std::sync` primitives.
+//!
+//! Inside [`crate::model`] every operation is a schedule point explored
+//! by the checker; outside a model the types transparently delegate to
+//! their `std::sync` counterparts, so a `--cfg loom` build still runs
+//! ordinary tests correctly.
+
+use std::sync::{LockResult, PoisonError};
+
+use crate::rt;
+
+/// Plain `std::sync::Arc`: reference counting is already deterministic
+/// with respect to the invariants this checker explores.
+pub use std::sync::Arc;
+
+/// A mutex whose lock/unlock are schedule points inside a model.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releasing is a schedule point inside a model.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    /// Acquired through the model scheduler (vs plain std fallback).
+    model: bool,
+    /// Cleared when a condvar wait disassembles the guard by hand.
+    armed: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Self { id: rt::next_object_id(), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the mutex (a schedule point inside a model).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::context() {
+            Some((rt, me)) => {
+                rt.mutex_lock(me, self.id);
+                let std = self
+                    .inner
+                    .try_lock()
+                    .unwrap_or_else(|_| panic!("mc-loom: virtual lock must serialize access"));
+                Ok(MutexGuard { lock: self, std: Some(std), model: true, armed: true })
+            }
+            None => match self.inner.lock() {
+                Ok(std) => Ok(MutexGuard { lock: self, std: Some(std), model: false, armed: true }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    std: Some(poison.into_inner()),
+                    model: false,
+                    armed: true,
+                })),
+            },
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner().map_err(|poison| PoisonError::new(poison.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard disassembled")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard disassembled")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        drop(self.std.take());
+        if self.model {
+            if let Some((rt, me)) = rt::context() {
+                rt.mutex_unlock(me, self.lock.id, true);
+            }
+        }
+    }
+}
+
+/// A condition variable whose wait/notify are schedule points inside a
+/// model. Model-mode waiters wake FIFO and never spuriously.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: u64,
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condvar with no waiters.
+    pub fn new() -> Self {
+        Self { id: rt::next_object_id(), std: std::sync::Condvar::new() }
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified, then
+    /// re-acquires the mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.model {
+            let (rt, me) = rt::context().expect("model guard outside model");
+            let lock = guard.lock;
+            guard.armed = false;
+            drop(guard.std.take());
+            rt.condvar_wait(me, self.id, lock.id);
+            // Woken: race to take the mutex back like any other waiter.
+            rt.mutex_lock(me, lock.id);
+            let std = lock
+                .inner
+                .try_lock()
+                .unwrap_or_else(|_| panic!("mc-loom: virtual lock must serialize access"));
+            Ok(MutexGuard { lock, std: Some(std), model: true, armed: true })
+        } else {
+            let lock = guard.lock;
+            guard.armed = false;
+            let std = guard.std.take().expect("guard disassembled");
+            drop(guard);
+            match self.std.wait(std) {
+                Ok(std) => Ok(MutexGuard { lock, std: Some(std), model: false, armed: true }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    std: Some(poison.into_inner()),
+                    model: false,
+                    armed: true,
+                })),
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO inside a model).
+    pub fn notify_one(&self) {
+        match rt::context() {
+            Some((rt, me)) => rt.condvar_notify(me, self.id, 1),
+            None => self.std.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match rt::context() {
+            Some((rt, me)) => rt.condvar_notify(me, self.id, usize::MAX),
+            None => self.std.notify_all(),
+        }
+    }
+}
+
+/// Atomics whose every access is a schedule point inside a model.
+///
+/// The model executes with sequentially consistent semantics regardless
+/// of the `Ordering` passed: interleavings of operations are explored
+/// exhaustively, weak-memory reorderings are not.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    fn schedule_point() {
+        if let Some((rt, me)) = rt::context() {
+            rt.step_runnable(me);
+        }
+    }
+
+    macro_rules! model_atomic_int {
+        ($(#[$meta:meta])* $name:ident, $std:ident, $t:ty) => {
+            $(#[$meta])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// A new atomic with the given initial value.
+                pub const fn new(v: $t) -> Self {
+                    Self { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Loads the value (a schedule point inside a model).
+                pub fn load(&self, _order: Ordering) -> $t {
+                    schedule_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (a schedule point inside a model).
+                pub fn store(&self, v: $t, _order: Ordering) {
+                    schedule_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Adds to the value, returning the previous value.
+                pub fn fetch_add(&self, v: $t, _order: Ordering) -> $t {
+                    schedule_point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous value.
+                pub fn fetch_sub(&self, v: $t, _order: Ordering) -> $t {
+                    schedule_point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Replaces the value, returning the previous value.
+                pub fn swap(&self, v: $t, _order: Ordering) -> $t {
+                    schedule_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange with SeqCst model semantics.
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$t, $t> {
+                    schedule_point();
+                    self.inner.compare_exchange(
+                        current,
+                        new,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64, AtomicU64, u64
+    );
+    model_atomic_int!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32, AtomicU32, u32
+    );
+    model_atomic_int!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize
+    );
+
+    /// Model-aware `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// A new atomic with the given initial value.
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Loads the value (a schedule point inside a model).
+        pub fn load(&self, _order: Ordering) -> bool {
+            schedule_point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Stores a value (a schedule point inside a model).
+        pub fn store(&self, v: bool, _order: Ordering) {
+            schedule_point();
+            self.inner.store(v, Ordering::SeqCst);
+        }
+
+        /// Replaces the value, returning the previous value.
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            schedule_point();
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+    }
+}

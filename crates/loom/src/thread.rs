@@ -1,0 +1,85 @@
+//! Model-aware thread spawn/join.
+//!
+//! Inside a model, spawned closures become model threads scheduled by
+//! the checker; outside, everything delegates to `std::thread`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { id: usize, slot: Slot<T> },
+}
+
+/// Owned permission to join a spawned thread.
+pub struct JoinHandle<T> {
+    inner: Handle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (or the
+    /// panic payload it died with, like `std::thread::JoinHandle`).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Handle::Std(h) => h.join(),
+            Handle::Model { id, slot } => {
+                let (rt, me) = rt::context().expect("model JoinHandle joined outside its model");
+                rt.join_thread(me, id);
+                slot.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("finished model thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the closure becomes a model thread
+/// whose interleavings the checker explores.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::context() {
+        Some((rt, me)) => {
+            let id = rt.register_thread();
+            let slot: Slot<T> = Arc::new(StdMutex::new(None));
+            let slot_in = slot.clone();
+            let rt_in = rt.clone();
+            let real = std::thread::spawn(move || {
+                rt_in.thread_main(id, move || match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *slot_in.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(Ok(v));
+                    }
+                    Err(payload) if payload.is::<rt::Abort>() => resume_unwind(payload),
+                    Err(payload) => {
+                        *slot_in.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(Err(payload));
+                    }
+                });
+            });
+            rt.add_real_handle(real);
+            // The child is runnable: let the checker decide whether it
+            // preempts the parent right here.
+            rt.step_runnable(me);
+            JoinHandle { inner: Handle::Model { id, slot } }
+        }
+        None => JoinHandle { inner: Handle::Std(std::thread::spawn(f)) },
+    }
+}
+
+/// An explicit schedule point (no-op outside a model, like
+/// `std::thread::yield_now`).
+pub fn yield_now() {
+    if let Some((rt, me)) = rt::context() {
+        rt.step_runnable(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -17,7 +17,7 @@ pub fn read_csv_str(text: &str) -> Result<MultivariateSeries> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(TsError::Empty)?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
-    if names.is_empty() || names.iter().any(|n| n.is_empty()) {
+    if names.is_empty() || names.iter().any(String::is_empty) {
         return Err(TsError::Parse { line: 1, message: "empty header field".into() });
     }
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];

@@ -154,7 +154,7 @@ impl MultivariateSeries {
     pub fn column(&self, d: usize) -> Result<&[f64]> {
         self.columns
             .get(d)
-            .map(|c| c.as_slice())
+            .map(Vec::as_slice)
             .ok_or(TsError::DimensionOutOfBounds { dim: d, dims: self.columns.len() })
     }
 
@@ -163,7 +163,7 @@ impl MultivariateSeries {
         let dims = self.columns.len();
         self.columns
             .get_mut(d)
-            .map(|c| c.as_mut_slice())
+            .map(Vec::as_mut_slice)
             .ok_or(TsError::DimensionOutOfBounds { dim: d, dims })
     }
 

@@ -143,10 +143,12 @@ pub fn dominant_period(xs: &[f64], min_share: f64) -> Result<Option<f64>> {
     if total <= 0.0 {
         return Ok(None); // constant series
     }
-    let peak = bins
-        .iter()
-        .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("non-empty bins");
+    let mut peak = &bins[0];
+    for bin in &bins[1..] {
+        if bin.power > peak.power {
+            peak = bin;
+        }
+    }
     Ok((peak.power / total >= min_share).then_some(peak.period))
 }
 

@@ -80,16 +80,23 @@ pub fn undifference(xs: &[f64], heads: &[f64]) -> Vec<f64> {
 /// `tail` must hold the last `d` values of each integration level of the
 /// observed series, ordered from most-differenced to raw — as produced by
 /// [`integration_tail`].
-pub fn undifference_forecast(forecast: &[f64], tail: &[Vec<f64>]) -> Vec<f64> {
+///
+/// # Errors
+/// [`TsError::Empty`] when a tail level holds no values, so the
+/// integration constant is undefined.
+pub fn undifference_forecast(forecast: &[f64], tail: &[Vec<f64>]) -> Result<Vec<f64>> {
     let mut cur = forecast.to_vec();
     for level in tail.iter().rev() {
-        let mut acc = *level.last().expect("non-empty tail level");
+        let Some(&last) = level.last() else {
+            return Err(TsError::Empty);
+        };
+        let mut acc = last;
         for v in cur.iter_mut() {
             acc += *v;
             *v = acc;
         }
     }
-    cur
+    Ok(cur)
 }
 
 /// Computes the per-level tails needed by [`undifference_forecast`]:
@@ -167,8 +174,11 @@ pub fn supervised_windows(
     }
     let mut out = Vec::with_capacity(series.len() - lookback);
     for t in 0..series.len() - lookback {
-        let input: Vec<Vec<f64>> = (t..t + lookback).map(|i| series.row(i).unwrap()).collect();
-        let target = series.row(t + lookback).unwrap();
+        let mut input = Vec::with_capacity(lookback);
+        for i in t..t + lookback {
+            input.push(series.row(i)?);
+        }
+        let target = series.row(t + lookback)?;
         out.push((input, target));
     }
     Ok(out)
@@ -242,7 +252,7 @@ mod tests {
         // differenced domain must extend the line.
         let xs = [1.0, 3.0, 5.0, 7.0];
         let tail = integration_tail(&xs, 1).unwrap();
-        let fc = undifference_forecast(&[2.0, 2.0, 2.0], &tail);
+        let fc = undifference_forecast(&[2.0, 2.0, 2.0], &tail).unwrap();
         assert!(close(&fc, &[9.0, 11.0, 13.0], EPS));
     }
 
@@ -251,7 +261,7 @@ mod tests {
         // Quadratic t^2: second difference is constant 2.
         let xs: Vec<f64> = (0..6).map(|t| (t * t) as f64).collect();
         let tail = integration_tail(&xs, 2).unwrap();
-        let fc = undifference_forecast(&[2.0, 2.0], &tail);
+        let fc = undifference_forecast(&[2.0, 2.0], &tail).unwrap();
         assert!(close(&fc, &[36.0, 49.0], EPS));
     }
 

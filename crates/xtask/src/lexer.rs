@@ -1,0 +1,303 @@
+//! A minimal Rust lexer, sufficient for token-level lint rules.
+//!
+//! Produces identifiers, punctuation, literals and lifetimes with line
+//! numbers; comments (line, nested block, doc) are dropped and string /
+//! char contents are opaque, so downstream rules can never match inside
+//! text. This is deliberately not a full parser: the lint rules in
+//! [`crate::lints`] work on token patterns plus brace matching, which a
+//! hand lexer models faithfully without a syntax-tree dependency.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident,
+    /// A single punctuation character (`.` `:` `{` `!` ...).
+    Punct,
+    /// String, raw-string, byte-string or char literal (content opaque).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// `'lifetime` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token: kind, text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`, dropping comments and whitespace.
+///
+/// Unterminated strings/comments end the token stream at end of input
+/// rather than erroring: lints run on code that already compiles, so
+/// recovery precision is not worth the complexity.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(c) = cur.bump() {
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => skip_block_comment(&mut cur),
+            b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident — strip the prefix.
+                cur.bump();
+                cur.bump();
+                out.push(lex_ident(&mut cur, line));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_string_like(&mut cur);
+                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            }
+            _ if is_ident_start(b) => out.push(lex_ident(&mut cur, line)),
+            b'0'..=b'9' => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c)
+                        || c == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        text.push(cur.bump().unwrap_or(b'0') as char);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: Kind::Number, text, line });
+            }
+            b'"' => {
+                lex_quoted(&mut cur, b'"');
+                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            }
+            b'\'' => {
+                if lex_char_or_lifetime(&mut cur) {
+                    out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                } else {
+                    out.push(Token { kind: Kind::Lifetime, text: String::new(), line });
+                }
+            }
+            _ => {
+                cur.bump();
+                out.push(Token { kind: Kind::Punct, text: (b as char).to_string(), line });
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(cur: &mut Cursor<'_>, line: usize) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(cur.bump().unwrap_or(b'_') as char);
+        } else {
+            break;
+        }
+    }
+    Token { kind: Kind::Ident, text, line }
+}
+
+fn skip_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.starts_with("*/") {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else if cur.bump().is_none() {
+            return;
+        }
+    }
+}
+
+/// Is the cursor at `r"`, `r#`, `b"`, `b'`, `br"` or `br#`?
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let rest = &cur.src[cur.pos..];
+    [&b"r\""[..], b"r#\"", b"r##", b"b\"", b"b'", b"br\"", b"br#"]
+        .iter()
+        .any(|p| rest.starts_with(p))
+}
+
+/// Consumes a raw/byte string (or byte char) starting at `r`/`b`.
+fn lex_string_like(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(c) = cur.peek(0) {
+        if c == b'r' {
+            raw = true;
+            cur.bump();
+        } else if c == b'b' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        let close: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+        while !cur.starts_with(&close) {
+            if cur.bump().is_none() {
+                return;
+            }
+        }
+        for _ in 0..close.len() {
+            cur.bump();
+        }
+    } else if cur.peek(0) == Some(b'\'') {
+        lex_quoted(cur, b'\'');
+    } else {
+        lex_quoted(cur, b'"');
+    }
+}
+
+/// Consumes a `"`- or `'`-delimited literal honoring backslash escapes.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: u8) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        if c == b'\\' {
+            cur.bump();
+        } else if c == quote {
+            return;
+        }
+    }
+}
+
+/// At a `'`: consumes a char literal (true) or lifetime (false).
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> bool {
+    // 'x' or '\n' is a char; 'ident (no closing quote right after the
+    // identifier) is a lifetime. ''' (char of a quote) cannot occur
+    // unescaped, so a quote right after the opener means a char too.
+    let next = cur.peek(1);
+    if next == Some(b'\\') {
+        lex_quoted(cur, b'\'');
+        return true;
+    }
+    if next.is_some_and(is_ident_start) {
+        // Scan the identifier; a closing quote makes it a char literal
+        // like 'a', otherwise it is a lifetime.
+        let mut ahead = 2;
+        while cur.peek(ahead).is_some_and(is_ident_continue) {
+            ahead += 1;
+        }
+        if cur.peek(ahead) == Some(b'\'') {
+            for _ in 0..=ahead {
+                cur.bump();
+            }
+            return true;
+        }
+        cur.bump(); // the opening quote only: leave the ident to the lexer
+        return false;
+    }
+    // Some other single char like '9' or punctuation.
+    lex_quoted(cur, b'\'');
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in /* nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"panic!("x")"#;
+            value.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "unwrap").count(), 1);
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_the_prefix() {
+        assert_eq!(idents("r#type r#fn plain"), vec!["type", "fn", "plain"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Workspace automation library behind the `cargo xtask` binary.
+//!
+//! The only task so far is **mc-lint** ([`run_lint`]): a deny-by-default
+//! invariant linter over the workspace sources. Rules live in [`lints`],
+//! suppression (with mandatory justifications) in [`allow`], and the
+//! token stream both work on comes from [`lexer`]. DESIGN.md §8
+//! describes how this layer fits next to clippy and the loom suite.
+
+pub mod allow;
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allow::Allowlist;
+use lints::{check_construction_counts, construction_sites, lint_file, Site, Violation};
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Files linted.
+    pub files: usize,
+    /// Violations that survived the allowlist, sorted by path then line.
+    pub violations: Vec<Violation>,
+    /// Configuration errors: stale allowlist entries that suppress
+    /// nothing. These fail the run just like violations.
+    pub errors: Vec<String>,
+    /// Allowlist entries that did suppress something (for the summary).
+    pub suppressions_in_use: usize,
+}
+
+impl LintReport {
+    /// Whether the run passed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Collects the workspace-relative paths of every linted source file:
+/// `src/**/*.rs` of the root package and of each crate under `crates/`.
+///
+/// Integration tests (`tests/`), benches, fixtures and the `vendor/`
+/// stand-ins are outside the walk by construction; in-file test spans
+/// are handled by the rules themselves.
+///
+/// # Errors
+/// On filesystem errors walking the tree.
+pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut dirs = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        walk(&dir, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root` against `allowlist_text`.
+///
+/// # Errors
+/// On a malformed allowlist or unreadable sources — configuration
+/// problems, as opposed to the violations reported in the result.
+pub fn run_lint(root: &Path, allowlist_text: &str) -> Result<LintReport, String> {
+    let allowlist = Allowlist::parse(allowlist_text)?;
+    let files = collect_sources(root)?;
+    let mut violations = Vec::new();
+    let mut sites: Vec<Site> = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        violations.extend(lint_file(&rel, &src));
+        sites.extend(construction_sites(&rel, &src));
+    }
+    violations.extend(check_construction_counts(&sites));
+    let (mut kept, errors) = allowlist.apply(violations);
+    kept.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let suppressions_in_use = allowlist.entries.len() - errors.len();
+    Ok(LintReport { files: files.len(), violations: kept, errors, suppressions_in_use })
+}

@@ -1,0 +1,447 @@
+//! mc-lint: deny-by-default workspace invariant lints.
+//!
+//! Four rule families over the lexed token stream (see DESIGN.md §8):
+//!
+//! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
+//!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
+//!   and binary targets (`src/bin/`) are exempt; everything else needs an
+//!   allowlist entry with a written justification.
+//! - **`no-wallclock`** — no `SystemTime`, `Instant::now` or `thread_rng`
+//!   in forecast paths: forecasts are seeded and reproducible, ambient
+//!   time or entropy would silently break bit-identical replay.
+//! - **`no-direct-sync`** — no `std::sync::Mutex` / `std::sync::Condvar`
+//!   outside the `mc-sync` shim: locks taken behind the shim's back are
+//!   invisible to the loom model checker, so the concurrency suite would
+//!   vouch for code it never explored.
+//! - **`single-construction`** — exactly one construction site for
+//!   `SampleExpectations` (a struct literal) and one definition of
+//!   `continuation_spec` in production code, so the validation contract
+//!   and the prompt recipe cannot silently fork.
+//!
+//! Rules report violations; suppression and its justification live in
+//! the allowlist file ([`crate::allow`]), never in the rules.
+
+use std::fmt;
+
+use crate::lexer::{lex, Kind, Token};
+
+/// Rule families, used for reporting and allowlist matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    NoUnwrap,
+    NoWallclock,
+    NoDirectSync,
+    SingleConstruction,
+}
+
+impl Rule {
+    /// The rule's allowlist / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoWallclock => "no-wallclock",
+            Rule::NoDirectSync => "no-direct-sync",
+            Rule::SingleConstruction => "single-construction",
+        }
+    }
+
+    /// Parses an allowlist rule name.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "no-unwrap" => Some(Rule::NoUnwrap),
+            "no-wallclock" => Some(Rule::NoWallclock),
+            "no-direct-sync" => Some(Rule::NoDirectSync),
+            "single-construction" => Some(Rule::SingleConstruction),
+            _ => None,
+        }
+    }
+}
+
+/// One lint hit: where, which rule, and what matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    /// The matched symbol (`unwrap`, `Instant::now`, ...).
+    pub symbol: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.name(), self.message)
+    }
+}
+
+/// Marks tokens covered by `#[cfg(test)]` items or `#[test]`/`#[bench]`
+/// functions so library-only rules can skip them.
+///
+/// Returns one flag per token. The scan is structural, not syntactic: an
+/// exempting attribute skips over any further attributes, then exempts
+/// the next item — either up to its matching close brace or through a
+/// terminating `;` (for `mod tests;` forms).
+fn test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut exempt = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = exempting_attribute(tokens, i) {
+            let end = item_end(tokens, after_attr);
+            for flag in exempt.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    exempt
+}
+
+/// If an exempting attribute (`#[test]`, `#[bench]`, or any `#[cfg(..)]`
+/// mentioning `test`) starts at `i`, returns the index just past it.
+fn exempting_attribute(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let close = matching(tokens, i + 1, '[', ']')?;
+    let body = &tokens[i + 2..close];
+    let exempts = match body.first() {
+        Some(t) if t.is_ident("test") || t.is_ident("bench") => body.len() == 1,
+        // `not(test)` guards production-only code — the opposite of
+        // an exemption — so any negation disables the shortcut.
+        Some(t) if t.is_ident("cfg") => {
+            body.iter().any(|t| t.is_ident("test")) && !body.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    };
+    if exempts {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+/// Index just past the item starting at `i`: skips further attributes,
+/// then runs through the first `{...}` block or terminating `;`.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip any further attributes on the same item.
+    while i < tokens.len() && tokens[i].is_punct('#') {
+        match tokens
+            .get(i + 1)
+            .filter(|t| t.is_punct('['))
+            .and_then(|_| matching(tokens, i + 1, '[', ']'))
+        {
+            Some(close) => i = close + 1,
+            None => break,
+        }
+    }
+    while i < tokens.len() {
+        if tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        if tokens[i].is_punct('{') {
+            return matching(tokens, i, '{', '}').map_or(tokens.len(), |c| c + 1);
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `close` matching the `open` at `start`.
+fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn violation(path: &str, t: &Token, rule: Rule, symbol: &str, message: String) -> Violation {
+    Violation { path: path.to_string(), line: t.line, rule, symbol: symbol.to_string(), message }
+}
+
+/// Runs every file-local rule over one source file.
+///
+/// `path` is the workspace-relative label used in reports and allowlist
+/// matching. Cross-file rules (`single-construction`) are aggregated by
+/// [`construction_sites`] + [`check_construction_counts`].
+pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
+    let tokens = lex(src);
+    let exempt = test_spans(&tokens);
+    let mut out = Vec::new();
+    let in_bin = path.contains("/bin/");
+    for i in 0..tokens.len() {
+        if exempt[i] {
+            continue;
+        }
+        if !in_bin {
+            no_unwrap(path, &tokens, i, &mut out);
+        }
+        no_wallclock(path, &tokens, i, &mut out);
+        no_direct_sync(path, &tokens, i, &mut out);
+    }
+    out
+}
+
+fn prev_is(tokens: &[Token], i: usize, c: char) -> bool {
+    i > 0 && tokens[i - 1].is_punct(c)
+}
+
+fn next_is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+fn no_unwrap(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    if (t.text == "unwrap" || t.text == "expect") && prev_is(tokens, i, '.') {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoUnwrap,
+            &t.text,
+            format!(".{}() in library code: return a typed error instead", t.text),
+        ));
+    } else if t.text == "panic" && next_is_punct(tokens, i, '!') {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoUnwrap,
+            "panic",
+            "panic! in library code: return a typed error instead".to_string(),
+        ));
+    }
+}
+
+fn no_wallclock(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    if t.text == "SystemTime" || t.text == "thread_rng" {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoWallclock,
+            &t.text,
+            format!("{}: forecast paths must stay deterministic and seeded", t.text),
+        ));
+    } else if t.text == "Instant"
+        && next_is_punct(tokens, i, ':')
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+    {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoWallclock,
+            "Instant::now",
+            "Instant::now: forecast paths must stay deterministic and seeded".to_string(),
+        ));
+    }
+}
+
+/// Matches `std::sync::Mutex`/`Condvar` paths and `use std::sync::{..}`
+/// trees that import them.
+fn no_direct_sync(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    if !tokens[i].is_ident("std")
+        || !next_is_punct(tokens, i, ':')
+        || !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        || !tokens.get(i + 3).is_some_and(|t| t.is_ident("sync"))
+        || !next_is_punct(tokens, i + 3, ':')
+        || !tokens.get(i + 5).is_some_and(|t| t.is_punct(':'))
+    {
+        return;
+    }
+    let after = i + 6;
+    let flagged: Vec<&Token> = match tokens.get(after) {
+        Some(t) if t.is_ident("Mutex") || t.is_ident("Condvar") => vec![t],
+        Some(t) if t.is_punct('{') => match matching(tokens, after, '{', '}') {
+            Some(close) => tokens[after..close]
+                .iter()
+                .filter(|t| t.is_ident("Mutex") || t.is_ident("Condvar"))
+                .collect(),
+            None => Vec::new(),
+        },
+        _ => Vec::new(),
+    };
+    for t in flagged {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoDirectSync,
+            &t.text,
+            format!(
+                "std::sync::{} bypasses the mc-sync shim and hides from the loom model checker",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// A cross-file construction site found by [`construction_sites`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    pub path: String,
+    pub line: usize,
+    /// `SampleExpectations` or `continuation_spec`.
+    pub what: String,
+}
+
+/// Finds production construction sites in one file: struct-literal uses
+/// of `SampleExpectations` and `fn continuation_spec` definitions
+/// (test spans excluded; the struct's own `struct`/`impl` headers are
+/// not construction).
+pub fn construction_sites(path: &str, src: &str) -> Vec<Site> {
+    let tokens = lex(src);
+    let exempt = test_spans(&tokens);
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if exempt[i] || t.kind != Kind::Ident {
+            continue;
+        }
+        // Type positions that precede a `{` without constructing: the
+        // struct's own definition, impl headers, and return types whose
+        // fn body brace follows immediately.
+        let type_pos = i > 0
+            && (tokens[i - 1].is_ident("struct")
+                || tokens[i - 1].is_ident("impl")
+                || tokens[i - 1].is_ident("for")
+                || (i > 1 && tokens[i - 1].is_punct('>') && tokens[i - 2].is_punct('-')));
+        if t.text == "SampleExpectations" && next_is_punct(&tokens, i, '{') && !type_pos {
+            out.push(Site { path: path.to_string(), line: t.line, what: t.text.clone() });
+        } else if t.text == "continuation_spec" && i > 0 && tokens[i - 1].is_ident("fn") {
+            out.push(Site { path: path.to_string(), line: t.line, what: t.text.clone() });
+        }
+    }
+    out
+}
+
+/// Enforces the exactly-one rule over the aggregated sites: duplicates
+/// are violations at every extra site, absence is reported against the
+/// workspace itself (line 0).
+pub fn check_construction_counts(sites: &[Site]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for what in ["SampleExpectations", "continuation_spec"] {
+        let of_kind: Vec<&Site> = sites.iter().filter(|s| s.what == what).collect();
+        match of_kind.len() {
+            1 => {}
+            0 => out.push(Violation {
+                path: "<workspace>".to_string(),
+                line: 0,
+                rule: Rule::SingleConstruction,
+                symbol: what.to_string(),
+                message: format!("no production construction site of {what} found"),
+            }),
+            _ => {
+                for s in of_kind {
+                    out.push(Violation {
+                        path: s.path.clone(),
+                        line: s.line,
+                        rule: Rule::SingleConstruction,
+                        symbol: what.to_string(),
+                        message: format!(
+                            "{} constructed in {} places; the contract must have exactly one \
+                             production construction site",
+                            what,
+                            sites.iter().filter(|x| x.what == what).count()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = r#"
+            pub fn lib_path(x: Option<u32>) -> u32 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine here"); }
+            }
+        "#;
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, Rule::NoUnwrap);
+    }
+
+    #[test]
+    fn test_attribute_exempts_only_that_item() {
+        let src = r#"
+            #[test]
+            fn covered() { panic!("ok") }
+            fn exposed() { panic!("flagged") }
+        "#;
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn use_tree_and_path_forms_of_std_sync_are_flagged() {
+        let src =
+            "use std::sync::{Arc, Mutex, Condvar};\nfn f() { let _ = std::sync::Mutex::new(()); }";
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["Mutex", "Condvar", "Mutex"]);
+        assert!(v.iter().all(|v| v.rule == Rule::NoDirectSync));
+    }
+
+    #[test]
+    fn wallclock_sources_are_flagged() {
+        let src = "fn f() { let _ = Instant::now(); let _ = thread_rng(); }\nfn ok() { let _ = Instant::from_nanos; }";
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["Instant::now", "thread_rng"]);
+    }
+
+    #[test]
+    fn construction_counting_distinguishes_definition_from_use() {
+        let a = construction_sites(
+            "a.rs",
+            "pub struct SampleExpectations { x: u32 }\nfn mk() -> SampleExpectations { SampleExpectations { x: 1 } }",
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].line, 2);
+        let ok = check_construction_counts(&[
+            a[0].clone(),
+            Site { path: "b.rs".into(), line: 9, what: "continuation_spec".into() },
+        ]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let dup = check_construction_counts(&[
+            a[0].clone(),
+            a[0].clone(),
+            Site { path: "b.rs".into(), line: 9, what: "continuation_spec".into() },
+        ]);
+        assert_eq!(dup.len(), 2);
+        assert!(dup.iter().all(|v| v.rule == Rule::SingleConstruction));
+    }
+
+    #[test]
+    fn bins_are_exempt_from_unwrap_but_not_determinism() {
+        let src = "fn main() { foo().unwrap(); let _ = thread_rng(); }";
+        let v = lint_file("src/bin/tool.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NoWallclock);
+    }
+}

@@ -1,0 +1,83 @@
+//! `cargo xtask` — workspace automation driver.
+//!
+//! Subcommands:
+//! - `lint` — run mc-lint over the workspace (see `xtask::run_lint`).
+//!   Exits non-zero on any violation or stale allowlist entry.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // When run through cargo (`cargo xtask ...`) the manifest dir is
+    // crates/xtask; the workspace root is two levels up.
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let mut root = PathBuf::from(dir);
+            root.pop();
+            root.pop();
+            root
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow_path = root.join("mc-lint.allow");
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("mc-lint: cannot read {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match xtask::run_lint(&root, &allowlist) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mc-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.errors {
+        println!("{e}");
+    }
+    if report.clean() {
+        println!(
+            "mc-lint: {} files clean ({} allowlist entr{} in use)",
+            report.files,
+            report.suppressions_in_use,
+            if report.suppressions_in_use == 1 { "y" } else { "ies" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "mc-lint: {} violation(s), {} stale allowlist entr{} — fix the code or add a \
+             justified entry to mc-lint.allow",
+            report.violations.len(),
+            report.errors.len(),
+            if report.errors.len() == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run mc-lint over the workspace"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

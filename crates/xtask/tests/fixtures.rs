@@ -1,0 +1,137 @@
+//! mc-lint end-to-end: every fixture under `tests/fixtures/` is a
+//! known-bad snippet, and these tests pin down exactly what each rule
+//! flags, what the test-span exemption skips, and how the allowlist
+//! suppresses (or goes stale).
+
+use xtask::allow::Allowlist;
+use xtask::lints::{check_construction_counts, construction_sites, lint_file, Rule, Violation};
+
+const UNWRAP_FIXTURE: &str = include_str!("fixtures/unwrap_in_lib.rs");
+const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
+const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
+const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
+
+/// `(rule, symbol, line)` triples, sorted, for compact assertions.
+fn shape(violations: &[Violation]) -> Vec<(&'static str, String, usize)> {
+    let mut out: Vec<_> =
+        violations.iter().map(|v| (v.rule.name(), v.symbol.clone(), v.line)).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn unwrap_fixture_flags_production_but_not_tests() {
+    let got = shape(&lint_file("tests/fixtures/unwrap_in_lib.rs", UNWRAP_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-unwrap", "expect".to_string(), 9),
+            ("no-unwrap", "panic".to_string(), 13),
+            ("no-unwrap", "unwrap".to_string(), 5),
+            // cfg(not(test)) is production code, so line 35 stays flagged;
+            // the #[test] fn and #[cfg(test)] mod are exempt.
+            ("no-unwrap", "unwrap".to_string(), 35),
+        ]
+    );
+}
+
+#[test]
+fn wallclock_fixture_flags_every_nondeterminism_source() {
+    let got = shape(&lint_file("tests/fixtures/wallclock.rs", WALLCLOCK_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-wallclock", "Instant::now".to_string(), 6),
+            ("no-wallclock", "SystemTime".to_string(), 3),
+            ("no-wallclock", "SystemTime".to_string(), 8),
+            ("no-wallclock", "thread_rng".to_string(), 15),
+        ]
+    );
+}
+
+#[test]
+fn sync_fixture_flags_locks_in_path_and_use_tree_form() {
+    let got = shape(&lint_file("tests/fixtures/direct_sync.rs", SYNC_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-direct-sync", "Condvar".to_string(), 5),
+            ("no-direct-sync", "Mutex".to_string(), 4),
+            ("no-direct-sync", "Mutex".to_string(), 8),
+        ]
+    );
+}
+
+#[test]
+fn dup_fixture_reports_every_extra_construction_site() {
+    let sites = construction_sites("tests/fixtures/dup_construction.rs", DUP_FIXTURE);
+    let got = shape(&check_construction_counts(&sites));
+    assert_eq!(
+        got,
+        vec![
+            ("single-construction", "SampleExpectations".to_string(), 10),
+            ("single-construction", "SampleExpectations".to_string(), 16),
+            ("single-construction", "continuation_spec".to_string(), 19),
+            ("single-construction", "continuation_spec".to_string(), 25),
+        ]
+    );
+}
+
+#[test]
+fn allowlist_suppresses_exactly_what_it_names() {
+    let violations = lint_file("tests/fixtures/unwrap_in_lib.rs", UNWRAP_FIXTURE);
+    assert_eq!(violations.len(), 4);
+
+    // Symbol-specific entries: the two unwraps and the expect are
+    // suppressed, the panic survives.
+    let allow = Allowlist::parse(
+        "no-unwrap tests/fixtures/unwrap_in_lib.rs unwrap -- fixture exercise\n\
+         no-unwrap tests/fixtures/unwrap_in_lib.rs expect -- fixture exercise\n",
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(violations.clone());
+    assert!(stale.is_empty());
+    assert_eq!(shape(&kept), vec![("no-unwrap", "panic".to_string(), 13)]);
+
+    // A wildcard symbol with a path prefix suppresses the whole family.
+    let allow = Allowlist::parse("no-unwrap tests/fixtures * -- fixtures are known-bad\n").unwrap();
+    let (kept, stale) = allow.apply(violations.clone());
+    assert!(kept.is_empty() && stale.is_empty());
+
+    // The rule must match, not just the path: a no-wallclock entry
+    // suppresses nothing here and is reported stale.
+    let allow =
+        Allowlist::parse("no-wallclock tests/fixtures/unwrap_in_lib.rs * -- wrong rule\n").unwrap();
+    let (kept, stale) = allow.apply(violations);
+    assert_eq!(kept.len(), 4);
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].contains("no-wallclock"), "stale message names the entry: {}", stale[0]);
+}
+
+#[test]
+fn stale_entries_fail_even_when_everything_else_is_clean() {
+    let allow =
+        Allowlist::parse("no-direct-sync crates/nonexistent * -- covers nothing at all\n").unwrap();
+    let (kept, stale) = allow.apply(Vec::new());
+    assert!(kept.is_empty());
+    assert_eq!(stale.len(), 1);
+}
+
+#[test]
+fn allowlist_rejects_missing_or_empty_justification() {
+    assert!(Allowlist::parse("no-unwrap crates/foo *\n").is_err());
+    assert!(Allowlist::parse("no-unwrap crates/foo * --\n").is_err());
+    assert!(Allowlist::parse("no-such-rule crates/foo * -- why\n").is_err());
+    // Comments and blank lines are fine.
+    let allow = Allowlist::parse("# header\n\nno-unwrap crates/foo bar -- reason\n").unwrap();
+    let (_, stale) = allow.apply(Vec::new());
+    assert_eq!(stale.len(), 1);
+}
+
+#[test]
+fn every_rule_name_round_trips_through_parse() {
+    for rule in [Rule::NoUnwrap, Rule::NoWallclock, Rule::NoDirectSync, Rule::SingleConstruction] {
+        assert_eq!(Rule::parse(rule.name()), Some(rule));
+    }
+    assert_eq!(Rule::parse("no-such-rule"), None);
+}

@@ -1,0 +1,18 @@
+//! Known-bad fixture: std::sync locking primitives used outside the
+//! mc-sync shim, in both path and use-tree form.
+
+use std::sync::Mutex; // line 4: flagged (Mutex)
+use std::sync::{Arc, Condvar}; // line 5: flagged (Condvar), Arc is fine
+
+pub struct Pool {
+    inner: std::sync::Mutex<Vec<u32>>, // line 8: flagged (Mutex)
+}
+
+pub fn share(v: Vec<u32>) -> Arc<Mutex<Vec<u32>>> {
+    // Bare `Mutex` after the import is not re-flagged — the import was.
+    Arc::new(Mutex::new(v))
+}
+
+// Non-lock std::sync items are allowed:
+use std::sync::atomic::AtomicU64;
+pub static COUNT: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,29 @@
+//! Known-bad fixture: the single-construction contracts violated — two
+//! `SampleExpectations` literals and two `continuation_spec` definitions.
+
+pub struct SampleExpectations {
+    pub digits: usize,
+}
+
+impl SampleExpectations {
+    pub fn one() -> Self {
+        SampleExpectations { digits: 3 } // line 10: site 1
+    }
+}
+
+pub fn elsewhere() -> SampleExpectations {
+    // The `-> SampleExpectations {` return type above is NOT a site.
+    SampleExpectations { digits: 4 } // line 16: site 2
+}
+
+pub fn continuation_spec() -> String {
+    // line 19: site 1
+    String::new()
+}
+
+pub mod dup {
+    pub fn continuation_spec() -> String {
+        // line 25: site 2
+        String::new()
+    }
+}

@@ -1,0 +1,36 @@
+//! Known-bad fixture: every form the no-unwrap rule must flag, plus the
+//! test-span forms it must NOT flag. Never compiled — linted only.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap() // line 5: flagged (unwrap)
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("present") // line 9: flagged (expect)
+}
+
+pub fn third() {
+    panic!("library code must not panic"); // line 13: flagged (panic)
+}
+
+// A doc string mentioning .unwrap() or panic! must not trip the lexer:
+pub const DOC: &str = "call .unwrap() and panic! freely in prose";
+
+#[test]
+fn exempt_test_fn() {
+    Some(1u32).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_module() {
+        Option::<u32>::None.expect("fine in tests");
+        panic!("fine in tests");
+    }
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_production(x: Option<u32>) -> u32 {
+    x.unwrap() // line 35: flagged — cfg(not(test)) is production code
+}

@@ -1,0 +1,31 @@
+//! Known-bad fixture: nondeterminism sources banned from forecast paths.
+
+use std::time::SystemTime; // line 3: flagged (SystemTime)
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now(); // line 6: flagged (Instant::now)
+    let _ = t;
+    SystemTime::now() // line 8: flagged (SystemTime)
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng(); // line 15: flagged (thread_rng)
+    rng.gen()
+}
+
+// `instant.now` as field access and an `Instant` with no `::now` are fine:
+pub fn elapsed(instant: &Timer) -> u64 {
+    let _: Option<std::time::Instant> = None;
+    instant.now
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

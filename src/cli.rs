@@ -133,7 +133,7 @@ pub fn parse(args: &[String]) -> Result<Command> {
             Ok(Command::Impute { input: input(0)?, out: flags.get("out").map(PathBuf::from) })
         }
         "datasets" => Ok(Command::Datasets {
-            dir: flags.get("dir").map(PathBuf::from).unwrap_or_else(|| "results/datasets".into()),
+            dir: flags.get("dir").map_or_else(|| "results/datasets".into(), PathBuf::from),
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(invalid_param("command", format!("unknown command `{other}`"))),
@@ -237,7 +237,7 @@ mod tests {
     use super::*;
 
     fn strings(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(ToString::to_string).collect()
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset `mc-bench`'s benches use — `Criterion`,
+//! `bench_function` / `bench_with_input`, `benchmark_group` (with
+//! `sample_size` and `finish`), `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! runner. Numbers are indicative only; the point is that `cargo bench`
+//! compiles and runs without the registry.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Identifies one parameterized benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over a few samples; each sample runs the closure long
+    /// enough to exceed the clock's resolution.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed().as_micros() < 500 {
+                black_box(f());
+                iters += 1;
+            }
+            self.per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters.max(1) as f64);
+        }
+        self.per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, per_iter_ns: Vec::new() };
+    f(&mut b);
+    let median = b.per_iter_ns.get(b.per_iter_ns.len() / 2).copied().unwrap_or(0.0);
+    println!("bench {name:<48} {median:>12.0} ns/iter");
+}
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 5, |b| f(b));
+        self
+    }
+
+    /// Runs `f` with `input` as the benchmark `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.name, 5, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, prefix: name.into(), samples: 5 }
+    }
+}
+
+/// A named group sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        run_one(&format!("{}/{}", self.prefix, name), self.samples, |b| f(b));
+    }
+
+    /// Runs `f` with `input` as `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.prefix, id.name), self.samples, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,144 @@
+//! Generator for the character-class regex subset used as string
+//! strategies (e.g. `"[0-9,]{0,120}"`).
+//!
+//! Supported syntax: literal characters, escapes (`\d`, `\w`, `\s`,
+//! `\\`-escaped metacharacters), `.`, character classes with ranges
+//! (`[a-z0-9,]`), and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+//! Groups and alternation are not supported and panic with a clear
+//! message — extend this module if a test needs them.
+
+use crate::TestRng;
+
+enum Atom {
+    /// Choose uniformly from this set of characters.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let span = (p.max - p.min + 1) as u64;
+        let n = p.min + rng.below(span) as usize;
+        let Atom::Class(chars) = &p.atom;
+        for _ in 0..n {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+fn escape_class(c: char) -> Vec<char> {
+    match c {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        's' => vec![' ', '\t', '\n'],
+        other => vec![other],
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if chars[j] == '\\' && j + 1 < close {
+                        set.extend(escape_class(chars[j + 1]));
+                        j += 2;
+                    } else if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted range in regex {pattern:?}");
+                        set.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing backslash in regex {pattern:?}");
+                let set = escape_class(chars[i + 1]);
+                i += 2;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(printable_ascii())
+            }
+            '(' | ')' | '|' => {
+                panic!("regex strategy subset does not support groups/alternation: {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => {
+                            let m = m.trim().parse().expect("quantifier min");
+                            let n = n.trim().parse().expect("quantifier max");
+                            (m, n)
+                        }
+                        None => {
+                            let m: usize = body.trim().parse().expect("quantifier count");
+                            (m, m)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
