@@ -20,11 +20,11 @@ fn bench_tokenizer(c: &mut Criterion) {
     let t = CharTokenizer::numeric();
     let text = "123,456,789,".repeat(200);
     c.bench_function("tokenizer/encode_2400_chars", |b| {
-        b.iter(|| t.encode(std::hint::black_box(&text)).unwrap())
+        b.iter(|| t.encode(std::hint::black_box(&text)).unwrap());
     });
     let ids = t.encode(&text).unwrap();
     c.bench_function("tokenizer/decode_2400_tokens", |b| {
-        b.iter(|| t.decode(std::hint::black_box(&ids)).unwrap())
+        b.iter(|| t.decode(std::hint::black_box(&ids)).unwrap());
     });
 }
 
@@ -37,11 +37,11 @@ fn bench_sax(c: &mut Criterion) {
             alphabet: SaxAlphabet::new(SaxAlphabetKind::Alphabetic, 5).unwrap(),
         });
         c.bench_with_input(BenchmarkId::new("sax/encode_296pts_seg", seg), &xs, |b, xs| {
-            b.iter(|| enc.encode(std::hint::black_box(xs)))
+            b.iter(|| enc.encode(std::hint::black_box(xs)));
         });
         let e = enc.encode(&xs);
         c.bench_with_input(BenchmarkId::new("sax/decode_seg", seg), &e, |b, e| {
-            b.iter(|| enc.decode_expanded(&e.symbols, e.znorm, xs.len()))
+            b.iter(|| enc.decode_expanded(&e.symbols, e.znorm, xs.len()));
         });
     }
 }
@@ -58,7 +58,7 @@ fn bench_mux(c: &mut Criterion) {
         );
         let text = m.mux(&codes, 3);
         c.bench_with_input(BenchmarkId::new("mux/demux_4x300", method.tag()), &text, |b, text| {
-            b.iter(|| m.demux(std::hint::black_box(text), 4, 3, 300))
+            b.iter(|| m.demux(std::hint::black_box(text), 4, 3, 300));
         });
     }
 }
@@ -73,13 +73,13 @@ fn bench_lm(c: &mut Criterion) {
                 let mut m = build_model(preset, vocab.len());
                 observe_all(m.as_mut(), std::hint::black_box(&prompt));
                 m
-            })
+            });
         });
         let mut model = build_model(preset, vocab.len());
         observe_all(model.as_mut(), &prompt);
         let mut dist = vec![0.0; vocab.len()];
         c.bench_function(&format!("lm/next_distribution/{preset:?}"), |b| {
-            b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)))
+            b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)));
         });
     }
 }
@@ -93,13 +93,13 @@ fn bench_ppm(c: &mut Criterion) {
             let mut m = PpmLm::new(vocab.len(), 8, "ppm");
             observe_all(&mut m, std::hint::black_box(&prompt));
             m
-        })
+        });
     });
     let mut model = PpmLm::new(vocab.len(), 8, "ppm");
     observe_all(&mut model, &prompt);
     let mut dist = vec![0.0; vocab.len()];
     c.bench_function("lm/next_distribution/Ppm", |b| {
-        b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)))
+        b.iter(|| model.next_distribution(std::hint::black_box(&mut dist)));
     });
 }
 
@@ -110,14 +110,16 @@ fn bench_tasks(c: &mut Criterion) {
     let mut group = c.benchmark_group("tasks");
     group.sample_size(20);
     group.bench_function("surprisal_profile_128pts", |b| {
-        b.iter(|| surprisal_profile(std::hint::black_box(&xs), SurprisalConfig::default()).unwrap())
+        b.iter(|| {
+            surprisal_profile(std::hint::black_box(&xs), SurprisalConfig::default()).unwrap()
+        });
     });
     let mut gappy = xs.clone();
     for v in &mut gappy[60..72] {
         *v = f64::NAN;
     }
     group.bench_function("impute_12pt_gap", |b| {
-        b.iter(|| mc_tasks::Imputer::default().impute(std::hint::black_box(&gappy)).unwrap())
+        b.iter(|| mc_tasks::Imputer::default().impute(std::hint::black_box(&gappy)).unwrap());
     });
     group.finish();
 }
@@ -133,7 +135,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 let cfg = ForecastConfig { samples: 1, ..Default::default() };
                 let mut f = MultiCastForecaster::new(method, cfg);
                 f.forecast(std::hint::black_box(&train), test.len()).unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -31,7 +31,7 @@ fn bench_prompt_reuse(c: &mut Criterion) {
                 for i in 0..samples {
                     run_continuation(std::hint::black_box(spec), config.sampler_for(i)).unwrap();
                 }
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("fit_once", samples), &spec, |b, spec| {
             b.iter(|| {
@@ -40,7 +40,7 @@ fn bench_prompt_reuse(c: &mut Criterion) {
                 for i in 0..samples {
                     sampler.draw(config.sampler_for(i)).unwrap();
                 }
-            })
+            });
         });
     }
     group.finish();

@@ -1,16 +1,23 @@
 //! Criterion benchmark for the serve scheduler: `R` requests against one
 //! history, forecast sequentially with a refit per request (the
 //! [`MultiCastForecaster`] path) vs batched through [`serve_all`] over a
-//! shared frozen context and a worker pool. Companion to the
-//! `concurrent_serving` binary, which writes `results/concurrent_serving.md`.
+//! shared frozen context and a worker pool. A third case runs the batch
+//! through [`serve_all_observed`] with a [`NoopRecorder`]: the recorder
+//! seam is always compiled in, so its disabled cost must stay in the
+//! noise relative to `shared_serve`. Companion to the
+//! `concurrent_serving` binary, which writes `results/concurrent_serving.md`
+//! and (with `--trace`) `results/serving_telemetry.md`.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mc_datasets::PaperDataset;
+use mc_obs::{NoopRecorder, Recorder};
 use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::split::holdout_split;
 use mc_tslib::MultivariateSeries;
-use multicast_core::serve::{serve_all, ForecastRequest, ServeConfig};
+use multicast_core::serve::{serve_all, serve_all_observed, ForecastRequest, ServeConfig};
 use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
 
 fn gas_rate_train() -> (MultivariateSeries, usize) {
@@ -39,7 +46,7 @@ fn bench_serving(c: &mut Criterion) {
                         .forecast(std::hint::black_box(&train), horizon)
                         .unwrap();
                 }
-            })
+            });
         });
         let batch: Vec<ForecastRequest> = cfgs
             .iter()
@@ -48,8 +55,22 @@ fn bench_serving(c: &mut Criterion) {
             })
             .collect();
         group.bench_with_input(BenchmarkId::new("shared_serve", requests), &batch, |b, batch| {
-            b.iter(|| serve_all(std::hint::black_box(batch), &ServeConfig::with_workers(8)))
+            b.iter(|| serve_all(std::hint::black_box(batch), &ServeConfig::with_workers(8)));
         });
+        let noop: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        group.bench_with_input(
+            BenchmarkId::new("shared_serve_noop_obs", requests),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    serve_all_observed(
+                        std::hint::black_box(batch),
+                        &ServeConfig::with_workers(8),
+                        noop.clone(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -13,12 +13,15 @@
 //! deterministically corrupted (plus one guaranteed panicking sample),
 //! measuring how RMSE degrades with the defect rate and how many defects /
 //! retries / fallbacks the robust layer absorbed. Writes
-//! `results/fault_injection.md`.
+//! `results/fault_injection.md`. Adding `--metrics` also folds every
+//! sample report into an [`mc_obs::MetricsRegistry`] and prints the
+//! aggregate snapshot (defect taxonomy included) to stdout.
 
 use mc_baselines::{ArimaForecaster, KalmanForecaster, Ses, Theta, VarForecaster};
 use mc_bench::report::{fmt_metric, Table};
 use mc_bench::{RESULTS_DIR, TEST_FRACTION};
 use mc_datasets::PaperDataset;
+use mc_obs::MetricsRegistry;
 use mc_tslib::backtest::{backtest, BacktestConfig};
 use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
 use mc_tslib::metrics::rmse;
@@ -27,7 +30,7 @@ use multicast_core::robust::{DefectClass, FaultSpec, SampleSource};
 use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
 
 /// RMSE degradation vs injected-defect rate, one forecaster per rate.
-fn fault_injection_study(samples: usize) {
+fn fault_injection_study(samples: usize, metrics: bool) {
     // The study *intends* to panic inside isolated sample threads; the
     // default hook would spam a backtrace per injected panic.
     std::panic::set_hook(Box::new(|_| {}));
@@ -37,6 +40,7 @@ fn fault_injection_study(samples: usize) {
         "Fault injection — MultiCast (VI) on Gas Rate, deterministic corruption + 1 panicking sample",
         &["Defect rate", "RMSE (dim mean)", "Valid/Req", "Retries", "Repairs", "Panics", "Outcome"],
     );
+    let registry = MetricsRegistry::new();
     for rate_pct in [0u32, 20, 40, 60, 80, 100] {
         let rate = rate_pct as f64 / 100.0;
         let source =
@@ -51,6 +55,7 @@ fn fault_injection_study(samples: usize) {
                     .sum::<f64>()
                     / train.dims() as f64;
                 let report = f.last_report.as_ref().expect("forecast records a report");
+                report.record_into(&registry);
                 vec![
                     format!("{rate_pct}%"),
                     fmt_metric(mean_rmse),
@@ -74,13 +79,17 @@ fn fault_injection_study(samples: usize) {
         t.row(row);
     }
     t.emit(RESULTS_DIR, "fault_injection.md").expect("write");
+    if metrics {
+        println!("{}", registry.snapshot().to_markdown());
+    }
 }
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let samples = if fast { 1 } else { 5 };
     if std::env::args().any(|a| a == "--faults") {
-        fault_injection_study(samples.max(3));
+        fault_injection_study(samples.max(3), metrics);
         return;
     }
     let mut t = Table::new(

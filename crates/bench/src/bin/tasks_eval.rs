@@ -111,8 +111,7 @@ fn changepoint_eval() {
             .iter()
             .map(|&c| (c, (c as i64 - at as i64).unsigned_abs() as usize))
             .min_by_key(|&(_, e)| e)
-            .map(|(c, e)| (c.to_string(), e.to_string()))
-            .unwrap_or_else(|| ("—".into(), "missed".into()));
+            .map_or_else(|| ("—".into(), "missed".into()), |(c, e)| (c.to_string(), e.to_string()));
         t.row(vec![at.to_string(), detected, err]);
     }
     t.emit(RESULTS_DIR, "tasks_eval_changepoint.md").expect("write");

@@ -30,12 +30,33 @@ use mc_lm::sampler::{Sampler, SamplerConfig};
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::{TokenId, Vocab};
 
+use mc_obs::{EventKind, Fingerprint, NoopRecorder, Recorder, TraceEvent};
+
 use crate::codec::{Codec, FittedCodec};
 use crate::config::ForecastConfig;
 use crate::pipeline::{median_aggregate, ContinuationSpec};
 use crate::robust::{
-    resolve_quorum_failure, run_attempts, ForecastReport, RobustRun, SampleSource,
+    resolve_quorum_failure, run_attempts_observed, ForecastReport, RobustRun, SampleSource,
+    TraceScope,
 };
+
+/// Content fingerprint of a continuation spec — the trace key (`ctx`)
+/// for the frozen context it fits. Mirrors the serve layer's context
+/// dedup key (prompt, preset, output restriction, vocabulary); the stop
+/// rule is per-sampler and deliberately excluded, so requests that share
+/// a context share a fingerprint.
+pub fn spec_fingerprint(spec: &ContinuationSpec) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_str(&spec.prompt);
+    fp.write_str(&spec.allowed_chars);
+    fp.write_str(&format!("{:?}", spec.preset));
+    // Hash the vocabulary through its id-ordered characters: Debug output
+    // would include a HashMap whose iteration order varies per run.
+    for &c in spec.vocab.chars() {
+        fp.write_u64(c as u64);
+    }
+    fp.finish()
+}
 
 /// Builds the token mask for an output-character restriction.
 pub(crate) fn decode_mask(vocab: &Vocab, chars: &str) -> Vec<bool> {
@@ -93,21 +114,65 @@ impl ForecastEngine {
 
     /// Runs the robust ladder with an already-fitted codec: fit the
     /// backend once, fork one decode session per (sample, attempt),
-    /// validate/retry/quorum via [`run_attempts`].
+    /// validate/retry/quorum via [`crate::robust::run_attempts`].
     pub fn run_fitted(&self, fitted: &dyn FittedCodec, horizon: usize) -> Result<EngineRun> {
+        self.run_fitted_observed(fitted, horizon, &NoopRecorder, 0)
+    }
+
+    /// [`ForecastEngine::run_fitted`] with trace emission: `context_fit`
+    /// and `context_join` around the backend fit, per-attempt events via
+    /// the robust layer, and a `quorum_resolve` once sampling settles.
+    /// `req` is the request content fingerprint events are tagged with;
+    /// the context key is derived from the spec ([`spec_fingerprint`]).
+    /// Results are identical to the unobserved path.
+    ///
+    /// # Errors
+    /// Exactly as [`ForecastEngine::run_fitted`].
+    pub fn run_fitted_observed(
+        &self,
+        fitted: &dyn FittedCodec,
+        horizon: usize,
+        obs: &dyn Recorder,
+        req: u64,
+    ) -> Result<EngineRun> {
         let cfg = self.config;
         let spec = self.continuation_spec(fitted, horizon);
+        let ctx = spec_fingerprint(&spec);
         let backend = PreparedBackend::fit(&spec)?;
+        if obs.enabled() {
+            let prompt = backend.prompt_cost();
+            obs.record(TraceEvent {
+                req: 0,
+                ctx,
+                kind: EventKind::ContextFit {
+                    prompt_tokens: prompt.prompt_tokens,
+                    work_units: prompt.work_units,
+                },
+            });
+            obs.record(TraceEvent { req, ctx, kind: EventKind::ContextJoin });
+        }
         let sampler = backend.sampler(spec.separators, spec.max_tokens);
         let expect = fitted.expectations(horizon);
-        let run = run_attempts(
+        let run = run_attempts_observed(
             cfg.samples.max(1),
             cfg.robust,
             self.source,
             &expect,
             |vi| sampler.draw(cfg.sampler_for(vi)),
             |text| fitted.decode(text, horizon),
+            TraceScope { obs, req, ctx },
         )?;
+        if obs.enabled() {
+            obs.record(TraceEvent {
+                req,
+                ctx,
+                kind: EventKind::QuorumResolve {
+                    valid: run.report.valid_samples as u32,
+                    required: cfg.robust.required_valid(cfg.samples.max(1)) as u32,
+                    met: run.quorum_met,
+                },
+            });
+        }
         Ok(EngineRun::new(run, self.config, backend.prompt_cost()))
     }
 
@@ -197,8 +262,24 @@ impl PreparedBackend {
     /// bit-identical to the unmetered backend — the serving layer uses
     /// this to audit its per-request cost attribution.
     pub fn fit_metered(spec: &ContinuationSpec, ledger: Arc<CostLedger>) -> Result<Self> {
+        Self::fit_metered_observed(spec, ledger, Arc::new(NoopRecorder), 0)
+    }
+
+    /// Like [`PreparedBackend::fit_metered`], but completed sessions also
+    /// emit `session_cost` trace events tagged with the `ctx` context
+    /// fingerprint (scheduler-scoped: they feed metrics and wall-clock
+    /// exports, never the canonical trace).
+    ///
+    /// # Errors
+    /// Exactly as [`PreparedBackend::fit`].
+    pub fn fit_metered_observed(
+        spec: &ContinuationSpec,
+        ledger: Arc<CostLedger>,
+        recorder: Arc<dyn Recorder>,
+        ctx: u64,
+    ) -> Result<Self> {
         let mut backend = Self::fit(spec)?;
-        backend.frozen = Arc::new(MeteredLm::new(backend.frozen, ledger));
+        backend.frozen = Arc::new(MeteredLm::observed(backend.frozen, ledger, recorder, ctx));
         Ok(backend)
     }
 

@@ -62,7 +62,7 @@ pub use codec::{
     DIGIT_STREAM_CHARS,
 };
 pub use config::ForecastConfig;
-pub use engine::{EngineRun, ForecastEngine, PreparedBackend, SessionSampler};
+pub use engine::{spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend, SessionSampler};
 pub use intervals::{bands_for, forecast_with_bands, ForecastBands};
 pub use llmtime::LlmTimeForecaster;
 pub use multicast::MultiCastForecaster;
@@ -74,7 +74,7 @@ pub use robust::{
 pub use sax_pipeline::{SaxForecastConfig, SaxMultiCastForecaster};
 pub use scaling::FixedDigitScaler;
 pub use serve::{
-    serve_all, CodecChoice, ContextStats, ForecastRequest, RequestId, ServeConfig, ServeHandle,
-    ServeOutcome, ServeRun,
+    request_fingerprints, serve_all, serve_all_observed, CodecChoice, ContextStats,
+    ForecastRequest, RequestId, ServeConfig, ServeHandle, ServeOutcome, ServeRun,
 };
 pub use streaming::StreamingMultiCast;

@@ -31,6 +31,9 @@ use mc_tslib::series::MultivariateSeries;
 use mc_baselines::fallback::FallbackForecaster;
 use mc_lm::cost::InferenceCost;
 use mc_lm::sampler::SamplerConfig;
+use mc_obs::{
+    AttemptClass, Counter, EventKind, MetricsRegistry, NoopRecorder, Recorder, TraceEvent,
+};
 
 use crate::pipeline::{run_continuation, ContinuationSpec};
 
@@ -132,6 +135,20 @@ impl DefectClass {
             DefectClass::NonFinite => "non-finite",
             DefectClass::ShapeMismatch => "shape",
             DefectClass::Panicked => "panic",
+        }
+    }
+
+    /// Position in [`DefectClass::ALL`] — the class's slot in
+    /// `mc-obs`'s defect counters and `Defect` trace events.
+    pub fn index(self) -> usize {
+        match self {
+            DefectClass::Truncated => 0,
+            DefectClass::WrongGroupWidth => 1,
+            DefectClass::NonNumericGroup => 2,
+            DefectClass::OutOfBandCode => 3,
+            DefectClass::NonFinite => 4,
+            DefectClass::ShapeMismatch => 5,
+            DefectClass::Panicked => 6,
         }
     }
 }
@@ -424,6 +441,25 @@ impl ForecastReport {
         self.samples.extend(other.samples);
     }
 
+    /// Folds this report's accounting into a metrics registry: per-class
+    /// defect counts, retries, and the fallback counter when degraded.
+    /// This is the sequential pipeline's bridge into `mc-obs` — the serve
+    /// scheduler feeds the registry live through trace events instead.
+    pub fn record_into(&self, metrics: &MetricsRegistry) {
+        for record in &self.samples {
+            for defect in &record.defects {
+                metrics.incr(Counter::Defects);
+                metrics.add_defect(defect.class().index());
+            }
+        }
+        metrics.add(Counter::Retries, self.retries_used as u64);
+        metrics.incr(Counter::QuorumResolves);
+        if self.degraded() {
+            metrics.incr(Counter::QuorumFailures);
+            metrics.incr(Counter::Fallbacks);
+        }
+    }
+
     /// One-line summary for benchmark tables and logs.
     pub fn summary(&self) -> String {
         let defects: Vec<String> = DefectClass::ALL
@@ -536,6 +572,114 @@ pub fn execute_attempt(
         Ok(Ok(done)) => done,
         Ok(Err(e)) => AttemptOutcome::Infra(e),
         Err(payload) => AttemptOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// A recorder plus the request/context trace keys its events are tagged
+/// with — bundled so observed entry points stay at a sane arity.
+#[derive(Clone, Copy)]
+pub struct TraceScope<'a> {
+    /// Event sink (a disabled recorder makes every emission free).
+    pub obs: &'a dyn Recorder,
+    /// Request content fingerprint events carry (0 = unscoped).
+    pub req: u64,
+    /// Context content fingerprint events carry (0 = unscoped).
+    pub ctx: u64,
+}
+
+impl TraceScope<'_> {
+    /// The unobserved default: every emission is dropped.
+    pub fn disabled() -> TraceScope<'static> {
+        TraceScope { obs: &NoopRecorder, req: 0, ctx: 0 }
+    }
+}
+
+/// Emits the trace events one attempt outcome implies: a `defect` event
+/// per observed defect, `panic_isolated` for caught panics, and the
+/// `attempt` event itself (carrying the attempt's cost; zero for panicked
+/// and infra attempts, which never completed a draw). Shared by the
+/// sequential ladder ([`run_attempts_observed`]) and the serve scheduler
+/// so both emit the same canonical trace for the same outcomes. No-op
+/// when `obs` is disabled.
+pub fn record_attempt(
+    obs: &dyn Recorder,
+    req: u64,
+    ctx: u64,
+    sample: usize,
+    attempt: usize,
+    outcome: &AttemptOutcome,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    let (sample, attempt) = (sample as u32, attempt as u32);
+    match outcome {
+        AttemptOutcome::Done { cost, defects, .. } => {
+            for defect in defects {
+                obs.record(TraceEvent {
+                    req,
+                    ctx,
+                    kind: EventKind::Defect {
+                        sample,
+                        attempt,
+                        class: defect.class().index() as u8,
+                        fatal: defect.is_fatal(),
+                    },
+                });
+            }
+            let fatal = defects.iter().any(SampleDefect::is_fatal);
+            obs.record(TraceEvent {
+                req,
+                ctx,
+                kind: EventKind::Attempt {
+                    sample,
+                    attempt,
+                    outcome: if fatal { AttemptClass::Defective } else { AttemptClass::Valid },
+                    defects: defects.len() as u32,
+                    generated_tokens: cost.generated_tokens,
+                    work_units: cost.work_units,
+                },
+            });
+        }
+        AttemptOutcome::Infra(_) => {
+            obs.record(TraceEvent {
+                req,
+                ctx,
+                kind: EventKind::Attempt {
+                    sample,
+                    attempt,
+                    outcome: AttemptClass::Infra,
+                    defects: 0,
+                    generated_tokens: 0,
+                    work_units: 0,
+                },
+            });
+        }
+        AttemptOutcome::Panicked(_) => {
+            obs.record(TraceEvent {
+                req,
+                ctx,
+                kind: EventKind::Defect {
+                    sample,
+                    attempt,
+                    class: DefectClass::Panicked.index() as u8,
+                    fatal: true,
+                },
+            });
+            obs.record(TraceEvent { req, ctx, kind: EventKind::PanicIsolated { sample, attempt } });
+            obs.record(TraceEvent {
+                req,
+                ctx,
+                kind: EventKind::Attempt {
+                    sample,
+                    attempt,
+                    outcome: AttemptClass::Panicked,
+                    defects: 1,
+                    generated_tokens: 0,
+                    work_units: 0,
+                },
+            });
+        }
     }
 }
 
@@ -742,18 +886,41 @@ where
     Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
+    run_attempts_observed(samples, policy, source, expect, draw, decode, TraceScope::disabled())
+}
+
+/// [`run_attempts`] with trace emission: every attempt goes through
+/// [`record_attempt`], and retries emit `retry` events. Semantics and
+/// results are identical to the unobserved path — the recorder only
+/// watches.
+///
+/// # Errors
+/// Exactly as [`run_attempts`].
+pub fn run_attempts_observed<Draw, D>(
+    samples: usize,
+    policy: RobustPolicy,
+    source: SampleSource,
+    expect: &SampleExpectations,
+    draw: Draw,
+    decode: D,
+    scope: TraceScope<'_>,
+) -> Result<RobustRun>
+where
+    Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
+    D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
+{
     let mut progress = RobustProgress::new(samples, policy)?;
     let mut pending: Vec<(usize, usize)> = (0..samples).map(|i| (i, 0)).collect();
 
     while !pending.is_empty() && !progress.failed() {
         let mut outcomes: Vec<Option<AttemptOutcome>> = Vec::new();
         outcomes.resize_with(pending.len(), || None);
-        std::thread::scope(|scope| {
+        std::thread::scope(|s| {
             for (slot, &(i, attempt)) in outcomes.iter_mut().zip(&pending) {
                 let draw = &draw;
                 let decode = &decode;
                 let expect = &*expect;
-                scope.spawn(move || {
+                s.spawn(move || {
                     let vi = virtual_index(samples, i, attempt);
                     *slot = Some(execute_attempt(
                         source,
@@ -772,7 +939,15 @@ where
                 break;
             }
             let outcome = outcome.expect("scoped thread filled its slot");
+            record_attempt(scope.obs, scope.req, scope.ctx, i, attempt, &outcome);
             if let AttemptDisposition::Retry { attempt } = progress.apply(i, attempt, outcome) {
+                if scope.obs.enabled() {
+                    scope.obs.record(TraceEvent {
+                        req: scope.req,
+                        ctx: scope.ctx,
+                        kind: EventKind::Retry { sample: i as u32, attempt: attempt as u32 },
+                    });
+                }
                 next.push((i, attempt));
             }
         }

@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use mc_obs::{EventKind, Recorder, TraceEvent};
 use mc_sync::{Condvar, Mutex};
 
 /// A FIFO task queue with settlement-counted termination.
@@ -88,6 +89,24 @@ impl<T> TaskQueue<T> {
             }
             st = self.cv.wait(st).expect("queue lock");
         }
+    }
+
+    /// [`TaskQueue::next`] with a `queue_wait` trace event per dequeue,
+    /// carrying the clock delta spent inside the blocking call. Queue
+    /// waits are scheduler-scoped — they feed metrics and wall-clock
+    /// exports, never the canonical trace. A disabled recorder makes this
+    /// identical to [`TaskQueue::next`].
+    pub fn next_observed(&self, obs: &dyn Recorder) -> Option<T> {
+        if !obs.enabled() {
+            return self.next();
+        }
+        let start = obs.now();
+        let task = self.next();
+        if task.is_some() {
+            let ticks = obs.now().saturating_sub(start);
+            obs.record(TraceEvent { req: 0, ctx: 0, kind: EventKind::QueueWait { ticks } });
+        }
+        task
     }
 }
 

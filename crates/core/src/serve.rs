@@ -49,15 +49,16 @@ use mc_lm::metered::CostLedger;
 use mc_lm::presets::ModelPreset;
 use mc_lm::vocab::Vocab;
 
+use mc_obs::{mix, EventKind, Fingerprint, NoopRecorder, Recorder, TraceEvent};
 use mc_sax::encoder::SaxConfig;
 
 use crate::codec::{Codec, DigitCodec, FittedCodec, SaxCodec};
 use crate::config::ForecastConfig;
-use crate::engine::{EngineRun, ForecastEngine, PreparedBackend};
+use crate::engine::{spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend};
 use crate::mux::MuxMethod;
 use crate::robust::{
-    execute_attempt, virtual_index, AttemptDisposition, ForecastReport, RobustProgress,
-    SampleExpectations, SampleSource,
+    execute_attempt, record_attempt, virtual_index, AttemptDisposition, FallbackPolicy,
+    ForecastReport, RobustProgress, SampleExpectations, SampleSource,
 };
 use crate::sched::TaskQueue;
 
@@ -112,6 +113,53 @@ impl ForecastRequest {
             source: SampleSource::Model,
         }
     }
+
+    /// Stable content fingerprint — the request's trace key (`req` on
+    /// every event it emits). Derived purely from the request's content
+    /// (history names and value bits, horizon, codec, configuration,
+    /// sample source), never from submission indices or thread ids, so
+    /// canonical traces stay byte-identical across worker counts and
+    /// submission orders.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        for (name, column) in self.train.names().iter().zip(self.train.columns()) {
+            fp.write_str(name);
+            fp.write_u64(column.len() as u64);
+            for &v in column {
+                fp.write_u64(v.to_bits());
+            }
+        }
+        fp.write_u64(self.horizon as u64);
+        fp.write_str(&format!("{:?}|{:?}|{:?}", self.codec, self.config, self.source));
+        fp.finish()
+    }
+}
+
+/// Trace keys for a batch: each request's [content
+/// fingerprint](ForecastRequest::content_fingerprint), with the k-th
+/// duplicate of identical content mixed with `k` so twins stay
+/// distinguishable in the trace. Which physical twin gets which key
+/// depends on submission order, but twins are interchangeable by
+/// construction (same content, same seeds, same outcomes), so the
+/// canonical trace is still invariant under reordering.
+pub fn request_fingerprints(requests: &[ForecastRequest]) -> Vec<u64> {
+    let mut fps = Vec::with_capacity(requests.len());
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    for request in requests {
+        let content = request.content_fingerprint();
+        let occurrence = match seen.iter_mut().find(|(fp, _)| *fp == content) {
+            Some((_, count)) => {
+                *count += 1;
+                *count
+            }
+            None => {
+                seen.push((content, 0));
+                0
+            }
+        };
+        fps.push(if occurrence == 0 { content } else { mix(content, occurrence) });
+    }
+    fps
 }
 
 /// Identifier [`ServeHandle::submit`] hands back; submission order defines
@@ -160,6 +208,9 @@ pub struct ServeOutcome {
 /// Per-context accounting for one batch.
 #[derive(Debug, Clone)]
 pub struct ContextStats {
+    /// Content fingerprint of the context (the `ctx` key its trace
+    /// events carry).
+    pub fingerprint: u64,
     /// Requests served from this context.
     pub requests: usize,
     /// The one-time prompt-conditioning cost (charged to the owner).
@@ -215,6 +266,8 @@ struct ContextKey {
 struct Context {
     backend: PreparedBackend,
     ledger: Arc<CostLedger>,
+    /// Content fingerprint (the `ctx` trace key).
+    fp: u64,
     /// Request index charged the prompt pass (first to need the context).
     owner: usize,
     requests: usize,
@@ -231,6 +284,10 @@ struct RequestState {
     context: usize,
     samples: usize,
     progress: Mutex<RobustProgress>,
+    /// Request trace key (occurrence-mixed content fingerprint).
+    fp: u64,
+    /// Trace key of the context this request joined.
+    ctx_fp: u64,
 }
 
 enum Prepared {
@@ -247,8 +304,13 @@ struct Task {
 
 /// Fits codecs and contexts for a batch; requests that fail to prepare
 /// (codec or backend fit) become [`Prepared::Failed`] without touching the
-/// others.
-fn prepare(requests: &[ForecastRequest]) -> (Vec<Prepared>, Vec<(ContextKey, Context)>) {
+/// others. Emits `context_fit` (first fit), `fit_dedup_hit` (reuse) and
+/// `context_join` (every resolved request) trace events.
+fn prepare(
+    requests: &[ForecastRequest],
+    fps: &[u64],
+    obs: &Arc<dyn Recorder>,
+) -> (Vec<Prepared>, Vec<(ContextKey, Context)>) {
     let mut contexts: Vec<(ContextKey, Context)> = Vec::new();
     let mut states = Vec::with_capacity(requests.len());
     for (i, request) in requests.iter().enumerate() {
@@ -264,15 +326,48 @@ fn prepare(requests: &[ForecastRequest]) -> (Vec<Prepared>, Vec<(ContextKey, Con
                 vocab: spec.vocab.clone(),
             };
             let context = match contexts.iter().position(|(k, _)| *k == key) {
-                Some(pos) => pos,
+                Some(pos) => {
+                    if obs.enabled() {
+                        obs.record(TraceEvent {
+                            req: fps[i],
+                            ctx: contexts[pos].1.fp,
+                            kind: EventKind::FitDedupHit,
+                        });
+                    }
+                    pos
+                }
                 None => {
+                    let ctx_fp = spec_fingerprint(&spec);
                     let ledger = Arc::new(CostLedger::new());
-                    let backend = PreparedBackend::fit_metered(&spec, ledger.clone())?;
-                    contexts.push((key, Context { backend, ledger, owner: i, requests: 0 }));
+                    let backend = PreparedBackend::fit_metered_observed(
+                        &spec,
+                        ledger.clone(),
+                        obs.clone(),
+                        ctx_fp,
+                    )?;
+                    if obs.enabled() {
+                        let prompt = backend.prompt_cost();
+                        obs.record(TraceEvent {
+                            req: 0,
+                            ctx: ctx_fp,
+                            kind: EventKind::ContextFit {
+                                prompt_tokens: prompt.prompt_tokens,
+                                work_units: prompt.work_units,
+                            },
+                        });
+                    }
+                    contexts.push((
+                        key,
+                        Context { backend, ledger, fp: ctx_fp, owner: i, requests: 0 },
+                    ));
                     contexts.len() - 1
                 }
             };
             contexts[context].1.requests += 1;
+            let ctx_fp = contexts[context].1.fp;
+            if obs.enabled() {
+                obs.record(TraceEvent { req: fps[i], ctx: ctx_fp, kind: EventKind::ContextJoin });
+            }
             let samples = request.config.samples.max(1);
             let progress = RobustProgress::new(samples, request.config.robust)?;
             Ok(Box::new(RequestState {
@@ -284,6 +379,8 @@ fn prepare(requests: &[ForecastRequest]) -> (Vec<Prepared>, Vec<(ContextKey, Con
                 context,
                 samples,
                 progress: Mutex::new(progress),
+                fp: fps[i],
+                ctx_fp,
             }))
         })();
         states.push(match prepared {
@@ -296,12 +393,14 @@ fn prepare(requests: &[ForecastRequest]) -> (Vec<Prepared>, Vec<(ContextKey, Con
 
 /// Executes one `(request, sample, attempt)` task and folds its outcome
 /// into the request's progress; pushes the retry task if the sample gets
-/// another attempt, otherwise settles it.
+/// another attempt, otherwise settles it. Emits the attempt's trace
+/// events (defects, panic isolation, the attempt, any retry).
 fn run_task(
     task: Task,
     states: &[Prepared],
     contexts: &[(ContextKey, Context)],
     queue: &TaskQueue<Task>,
+    obs: &dyn Recorder,
 ) {
     let Prepared::Ready(st) = &states[task.request] else {
         queue.settle_one();
@@ -319,10 +418,20 @@ fn run_task(
         || sampler.draw(sampler_config),
         |text| st.fitted.decode(text, st.request.horizon),
     );
+    record_attempt(obs, st.fp, st.ctx_fp, task.sample, task.attempt, &outcome);
     let disposition =
         st.progress.lock().expect("request lock").apply(task.sample, task.attempt, outcome);
     match disposition {
-        AttemptDisposition::Retry { attempt } => queue.push(Task { attempt, ..task }),
+        AttemptDisposition::Retry { attempt } => {
+            if obs.enabled() {
+                obs.record(TraceEvent {
+                    req: st.fp,
+                    ctx: st.ctx_fp,
+                    kind: EventKind::Retry { sample: task.sample as u32, attempt: attempt as u32 },
+                });
+            }
+            queue.push(Task { attempt, ..task });
+        }
         AttemptDisposition::Settled => queue.settle_one(),
     }
 }
@@ -331,8 +440,10 @@ fn run_batch(
     requests: &[ForecastRequest],
     config: &ServeConfig,
     base_id: usize,
+    obs: &Arc<dyn Recorder>,
 ) -> (Vec<ServeOutcome>, Vec<ContextStats>) {
-    let (states, contexts) = prepare(requests);
+    let fps = request_fingerprints(requests);
+    let (states, contexts) = prepare(requests, &fps, obs);
 
     let mut initial = VecDeque::new();
     let mut outstanding = 0;
@@ -353,9 +464,10 @@ fn run_batch(
                 let queue = &queue;
                 let states = &states[..];
                 let contexts = &contexts[..];
+                let obs = obs.as_ref();
                 scope.spawn(move || {
-                    while let Some(task) = queue.next() {
-                        run_task(task, states, contexts, queue);
+                    while let Some(task) = queue.next_observed(obs) {
+                        run_task(task, states, contexts, queue, obs);
                     }
                 });
             }
@@ -365,11 +477,12 @@ fn run_batch(
     let outcomes = states
         .into_iter()
         .enumerate()
-        .map(|(i, prep)| finalize(i, base_id, prep, &contexts))
+        .map(|(i, prep)| finalize(i, base_id, prep, &contexts, obs.as_ref()))
         .collect();
     let stats = contexts
         .into_iter()
         .map(|(_, c)| ContextStats {
+            fingerprint: c.fp,
             requests: c.requests,
             prompt_cost: c.backend.prompt_cost(),
             metered: c.ledger.snapshot(),
@@ -381,12 +494,15 @@ fn run_batch(
 
 /// Resolves one request's settled progress into its outcome: the engine's
 /// median/quorum/fallback ladder, with the resolve itself panic-isolated so
-/// a pathological request cannot take down the batch.
+/// a pathological request cannot take down the batch. Emits the request's
+/// `quorum_resolve` event, plus `fallback` when the classical path
+/// produced the forecast.
 fn finalize(
     index: usize,
     base_id: usize,
     prep: Prepared,
     contexts: &[(ContextKey, Context)],
+    obs: &dyn Recorder,
 ) -> ServeOutcome {
     let id = RequestId(base_id + index);
     let st = match prep {
@@ -408,6 +524,27 @@ fn finalize(
     let generated = progress.cost();
     match progress.finish() {
         Ok(run) => {
+            if obs.enabled() {
+                let required = st.request.config.robust.required_valid(st.samples);
+                obs.record(TraceEvent {
+                    req: st.fp,
+                    ctx: st.ctx_fp,
+                    kind: EventKind::QuorumResolve {
+                        valid: run.report.valid_samples as u32,
+                        required: required as u32,
+                        met: run.quorum_met,
+                    },
+                });
+                if !run.quorum_met
+                    && st.request.config.robust.fallback == FallbackPolicy::SeasonalNaive
+                {
+                    obs.record(TraceEvent {
+                        req: st.fp,
+                        ctx: st.ctx_fp,
+                        kind: EventKind::Fallback,
+                    });
+                }
+            }
             let engine_run = EngineRun::new(run, st.request.config, cost);
             let forecast = catch_unwind(AssertUnwindSafe(|| {
                 engine_run.resolve(&st.request.train, st.request.horizon)
@@ -438,7 +575,23 @@ fn finalize(
 /// request's own [`ServeOutcome::forecast`]; the batch itself always
 /// completes. Outcomes are returned in submission order.
 pub fn serve_all(requests: &[ForecastRequest], config: &ServeConfig) -> ServeRun {
-    let (outcomes, contexts) = run_batch(requests, config, 0);
+    serve_all_observed(requests, config, Arc::new(NoopRecorder))
+}
+
+/// [`serve_all`] with telemetry: every scheduler and sampling step emits
+/// trace events into `obs` (which also folds them into its metrics
+/// registry, when it is an `mc_obs::Observer`). Forecasts and costs are
+/// identical to [`serve_all`] — the recorder only watches. With identical
+/// request content + seeds and a logical-clock observer, the canonical
+/// JSONL export is byte-identical across worker counts and submission
+/// orders (for runs without infrastructure failures, which truncate other
+/// samples' retries schedule-dependently).
+pub fn serve_all_observed(
+    requests: &[ForecastRequest],
+    config: &ServeConfig,
+    obs: Arc<dyn Recorder>,
+) -> ServeRun {
+    let (outcomes, contexts) = run_batch(requests, config, 0, &obs);
     ServeRun { outcomes, contexts }
 }
 
@@ -451,12 +604,19 @@ pub struct ServeHandle {
     pending: Vec<ForecastRequest>,
     outcomes: Vec<ServeOutcome>,
     contexts: Vec<ContextStats>,
+    obs: Arc<dyn Recorder>,
 }
 
 impl ServeHandle {
     /// A handle with the given scheduler knobs and no pending requests.
     pub fn new(config: ServeConfig) -> Self {
-        Self { config, pending: Vec::new(), outcomes: Vec::new(), contexts: Vec::new() }
+        Self::with_recorder(config, Arc::new(NoopRecorder))
+    }
+
+    /// A handle whose flushes emit trace events into `obs` (see
+    /// [`serve_all_observed`]).
+    pub fn with_recorder(config: ServeConfig, obs: Arc<dyn Recorder>) -> Self {
+        Self { config, pending: Vec::new(), outcomes: Vec::new(), contexts: Vec::new(), obs }
     }
 
     /// Enqueues a request; the returned id is its submission index.
@@ -471,7 +631,8 @@ impl ServeHandle {
             return;
         }
         let requests = std::mem::take(&mut self.pending);
-        let (outcomes, contexts) = run_batch(&requests, &self.config, self.outcomes.len());
+        let (outcomes, contexts) =
+            run_batch(&requests, &self.config, self.outcomes.len(), &self.obs);
         self.outcomes.extend(outcomes);
         self.contexts.extend(contexts);
     }

@@ -16,6 +16,8 @@
 use mc_sync::atomic::{AtomicU64, Ordering};
 use mc_sync::Arc;
 
+use mc_obs::{EventKind, NoopRecorder, Recorder, TraceEvent};
+
 use crate::cost::InferenceCost;
 use crate::model::{DecodeSession, FrozenLm};
 use crate::vocab::TokenId;
@@ -76,13 +78,29 @@ impl CostLedger {
 pub struct MeteredLm {
     inner: Arc<dyn FrozenLm>,
     ledger: Arc<CostLedger>,
+    recorder: Arc<dyn Recorder>,
+    ctx: u64,
 }
 
 impl MeteredLm {
     /// Wraps `inner`, immediately recording its prompt cost into `ledger`.
     pub fn new(inner: Arc<dyn FrozenLm>, ledger: Arc<CostLedger>) -> Self {
+        Self::observed(inner, ledger, Arc::new(NoopRecorder), 0)
+    }
+
+    /// Like [`MeteredLm::new`], but every completed session additionally
+    /// emits a `session_cost` trace event tagged with the `ctx` context
+    /// fingerprint. Session-drop order is scheduler-dependent, so these
+    /// events feed metrics and wall-clock exports, never the canonical
+    /// trace.
+    pub fn observed(
+        inner: Arc<dyn FrozenLm>,
+        ledger: Arc<CostLedger>,
+        recorder: Arc<dyn Recorder>,
+        ctx: u64,
+    ) -> Self {
         ledger.record(inner.prompt_cost());
-        Self { inner, ledger }
+        Self { inner, ledger, recorder, ctx }
     }
 
     /// The ledger this wrapper records into.
@@ -105,7 +123,12 @@ impl FrozenLm for MeteredLm {
     }
 
     fn fork(&self) -> Box<dyn DecodeSession + '_> {
-        Box::new(MeteredSession { inner: self.inner.fork(), ledger: &self.ledger })
+        Box::new(MeteredSession {
+            inner: self.inner.fork(),
+            ledger: &self.ledger,
+            recorder: self.recorder.as_ref(),
+            ctx: self.ctx,
+        })
     }
 }
 
@@ -113,6 +136,8 @@ impl FrozenLm for MeteredLm {
 struct MeteredSession<'a> {
     inner: Box<dyn DecodeSession + 'a>,
     ledger: &'a CostLedger,
+    recorder: &'a dyn Recorder,
+    ctx: u64,
 }
 
 impl DecodeSession for MeteredSession<'_> {
@@ -135,7 +160,18 @@ impl DecodeSession for MeteredSession<'_> {
 
 impl Drop for MeteredSession<'_> {
     fn drop(&mut self) {
-        self.ledger.record_session(self.inner.cost());
+        let cost = self.inner.cost();
+        self.ledger.record_session(cost);
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                req: 0,
+                ctx: self.ctx,
+                kind: EventKind::SessionCost {
+                    generated_tokens: cost.generated_tokens,
+                    work_units: cost.work_units,
+                },
+            });
+        }
     }
 }
 

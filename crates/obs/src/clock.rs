@@ -1,0 +1,108 @@
+//! Pluggable time sources for trace timestamps.
+//!
+//! Forecast paths are forbidden from reading ambient time (the
+//! `no-wallclock` invariant), so observability cannot simply call
+//! `Instant::now` wherever it wants a timestamp. Instead, every
+//! timestamp comes from a [`Clock`]:
+//!
+//! - [`LogicalClock`] — a deterministic atomic tick counter. The default
+//!   everywhere tests and reproducibility matter: identical runs produce
+//!   identical tick streams, so traces can be compared byte-for-byte.
+//! - [`WallClock`] — elapsed nanoseconds since construction. For humans
+//!   profiling a live run; explicitly *not* deterministic. This is the
+//!   one sanctioned `Instant::now` outside the bench harness, carried by
+//!   a justified `mc-lint.allow` entry.
+
+use mc_sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone timestamp source.
+pub trait Clock: Send + Sync {
+    /// The next timestamp: logical ticks or elapsed wall nanoseconds.
+    fn now(&self) -> u64;
+}
+
+/// Deterministic ticks: every call returns the next integer.
+///
+/// Built on the [`mc_sync`] atomics, so a `--cfg loom` build explores its
+/// interleavings like any other serve-path state.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    tick: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock starting at tick zero.
+    pub const fn new() -> Self {
+        Self { tick: AtomicU64::new(0) }
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Elapsed wall-clock nanoseconds since the clock was started.
+///
+/// Timestamps from this clock are *not* reproducible across runs; use it
+/// for live profiling, never in tests that compare traces.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is the moment of this call.
+    pub fn start() -> Self {
+        Self { origin: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_ticks_deterministically() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.now(), 1);
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn logical_clock_never_repeats_across_threads() {
+        let clock = LogicalClock::new();
+        let mut all: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| (0..100).map(|_| clock.now()).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("clock thread")).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "every tick is unique");
+        assert_eq!(clock.now(), 400);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::start();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,255 @@
+//! The trace-event vocabulary of the serve path.
+//!
+//! [`TraceEvent`] is `Copy` and carries numeric payloads only — no
+//! strings, no heap — so constructing one for a disabled
+//! [`Recorder`](crate::record::Recorder) is free and the hot path stays
+//! allocation-free when telemetry is off.
+//!
+//! Events split into two determinism classes (see
+//! [`EventKind::deterministic`]):
+//!
+//! - **Request-scoped** events (`context_fit`, `context_join`, `attempt`,
+//!   `retry`, `defect`, `panic_isolated`, `quorum_resolve`, `fallback`)
+//!   depend only on request content and seeds. Their multiset is
+//!   invariant to worker count and submission order, so they form the
+//!   canonical trace.
+//! - **Scheduler-scoped** events (`queue_wait`, `fit_dedup_hit`,
+//!   `session_cost`) depend on which worker ran first or which request
+//!   happened to arrive ahead of its twin. They feed the metrics
+//!   registry and the wall-clock (emission-order) export only.
+
+/// Number of sample-defect classes in `multicast-core`'s taxonomy.
+pub const DEFECT_CLASSES: usize = 7;
+
+/// Stable names of the defect classes, in taxonomy order.
+///
+/// This mirrors `multicast-core`'s `DefectClass::ALL` (`mc-obs` cannot
+/// depend on the core crate — the dependency points the other way); a
+/// test in the core crate pins the two lists together so they cannot
+/// drift.
+pub const DEFECT_CLASS_NAMES: [&str; DEFECT_CLASSES] =
+    ["truncated", "wrong-width", "non-numeric", "out-of-band", "non-finite", "shape", "panic"];
+
+/// How one `(sample, attempt)` draw ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptClass {
+    /// Decoded cleanly (possibly with repaired, non-fatal defects).
+    Valid,
+    /// Completed but fatally defective — the sample retries or settles
+    /// invalid.
+    Defective,
+    /// An infrastructure error failed the whole run.
+    Infra,
+    /// The draw or decode panicked and was isolated.
+    Panicked,
+}
+
+impl AttemptClass {
+    /// Stable name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptClass::Valid => "valid",
+            AttemptClass::Defective => "defective",
+            AttemptClass::Infra => "infra",
+            AttemptClass::Panicked => "panicked",
+        }
+    }
+}
+
+/// One serve-path happening, with its numeric payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A worker dequeued a task after waiting `ticks` clock units
+    /// (scheduler-scoped: wait lengths depend on the schedule).
+    QueueWait {
+        /// Clock delta around the blocking dequeue.
+        ticks: u64,
+    },
+    /// A request's codec fit resolved to an already-fitted frozen context
+    /// (scheduler-scoped: which twin fitted first depends on submission
+    /// order).
+    FitDedupHit,
+    /// A forked decode session completed and recorded its cost inside the
+    /// model boundary (scheduler-scoped: drop order is racy).
+    SessionCost {
+        /// Tokens the session generated.
+        generated_tokens: u64,
+        /// Abstract work units the session consumed.
+        work_units: u64,
+    },
+    /// A frozen context was fitted (prompt conditioned) for the first
+    /// time.
+    ContextFit {
+        /// One-time prompt-conditioning token cost.
+        prompt_tokens: u64,
+        /// One-time prompt-conditioning work.
+        work_units: u64,
+    },
+    /// A request resolved to (joined) a frozen context.
+    ContextJoin,
+    /// One `(sample, attempt)` draw completed.
+    Attempt {
+        /// Sample slot index.
+        sample: u32,
+        /// Attempt number (0 = first try).
+        attempt: u32,
+        /// How the draw ended.
+        outcome: AttemptClass,
+        /// Defects observed on this attempt.
+        defects: u32,
+        /// Generated-token cost (0 for panicked/infra attempts).
+        generated_tokens: u64,
+        /// Work-unit cost (0 for panicked/infra attempts).
+        work_units: u64,
+    },
+    /// A fatally-defective sample was re-queued for another attempt.
+    Retry {
+        /// Sample slot index.
+        sample: u32,
+        /// The attempt number the retry will run as.
+        attempt: u32,
+    },
+    /// One defect observed on an attempt.
+    Defect {
+        /// Sample slot index.
+        sample: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// Index into [`DEFECT_CLASS_NAMES`].
+        class: u8,
+        /// Whether the defect invalidates the sample.
+        fatal: bool,
+    },
+    /// A panicking attempt was caught and converted to a defect.
+    PanicIsolated {
+        /// Sample slot index.
+        sample: u32,
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// A request's quorum was checked at finalization.
+    QuorumResolve {
+        /// Valid samples that survived.
+        valid: u32,
+        /// Samples the policy required.
+        required: u32,
+        /// Whether the quorum was met.
+        met: bool,
+    },
+    /// The quorum failed and the classical fallback produced the
+    /// forecast.
+    Fallback,
+}
+
+impl EventKind {
+    /// Stable snake_case name for exports and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::QueueWait { .. } => "queue_wait",
+            EventKind::FitDedupHit => "fit_dedup_hit",
+            EventKind::SessionCost { .. } => "session_cost",
+            EventKind::ContextFit { .. } => "context_fit",
+            EventKind::ContextJoin => "context_join",
+            EventKind::Attempt { .. } => "attempt",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Defect { .. } => "defect",
+            EventKind::PanicIsolated { .. } => "panic_isolated",
+            EventKind::QuorumResolve { .. } => "quorum_resolve",
+            EventKind::Fallback => "fallback",
+        }
+    }
+
+    /// Whether the event's content is invariant to worker count and
+    /// submission order (given identical seeds and request content).
+    /// Deterministic events form the canonical trace; the rest feed
+    /// metrics and wall-clock exports only.
+    pub fn deterministic(&self) -> bool {
+        !matches!(
+            self,
+            EventKind::QueueWait { .. } | EventKind::FitDedupHit | EventKind::SessionCost { .. }
+        )
+    }
+
+    /// Ordering rank used by the canonical export so a request's events
+    /// read in pipeline order: fit, join, then per-sample attempts.
+    pub fn rank(&self) -> u8 {
+        match self {
+            EventKind::ContextFit { .. } => 0,
+            EventKind::ContextJoin => 1,
+            EventKind::Defect { .. } => 2,
+            EventKind::PanicIsolated { .. } => 3,
+            EventKind::Attempt { .. } => 4,
+            EventKind::Retry { .. } => 5,
+            EventKind::QuorumResolve { .. } => 6,
+            EventKind::Fallback => 7,
+            EventKind::QueueWait { .. }
+            | EventKind::FitDedupHit
+            | EventKind::SessionCost { .. } => u8::MAX,
+        }
+    }
+
+    /// `(sample, attempt)` coordinates, when the event has them.
+    pub fn coords(&self) -> (u32, u32) {
+        match *self {
+            EventKind::Attempt { sample, attempt, .. }
+            | EventKind::Retry { sample, attempt }
+            | EventKind::Defect { sample, attempt, .. }
+            | EventKind::PanicIsolated { sample, attempt } => (sample, attempt),
+            _ => (0, 0),
+        }
+    }
+}
+
+/// One recorded event: which request, which frozen context, what
+/// happened. `req` and `ctx` are content fingerprints
+/// ([`crate::fingerprint`]); zero means "not scoped to one".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Content fingerprint of the request (0 = not request-scoped).
+    pub req: u64,
+    /// Content fingerprint of the frozen context (0 = not context-scoped).
+    pub ctx: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_scoped_kinds_are_not_deterministic() {
+        assert!(!EventKind::QueueWait { ticks: 3 }.deterministic());
+        assert!(!EventKind::FitDedupHit.deterministic());
+        assert!(!EventKind::SessionCost { generated_tokens: 1, work_units: 2 }.deterministic());
+        assert!(EventKind::ContextFit { prompt_tokens: 1, work_units: 2 }.deterministic());
+        assert!(EventKind::Fallback.deterministic());
+        assert!(EventKind::QuorumResolve { valid: 1, required: 1, met: true }.deterministic());
+    }
+
+    #[test]
+    fn ranks_order_the_pipeline_stages() {
+        let fit = EventKind::ContextFit { prompt_tokens: 0, work_units: 0 };
+        let attempt = EventKind::Attempt {
+            sample: 0,
+            attempt: 0,
+            outcome: AttemptClass::Valid,
+            defects: 0,
+            generated_tokens: 0,
+            work_units: 0,
+        };
+        assert!(fit.rank() < EventKind::ContextJoin.rank());
+        assert!(EventKind::ContextJoin.rank() < attempt.rank());
+        assert!(attempt.rank() < EventKind::Fallback.rank());
+    }
+
+    #[test]
+    fn events_are_copy_and_small() {
+        // The no-op hot path builds events unconditionally; keep them
+        // register-sized, not boxed.
+        let e = TraceEvent { req: 1, ctx: 2, kind: EventKind::Fallback };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+    }
+}

@@ -1,0 +1,203 @@
+//! JSONL trace export.
+//!
+//! One event per line, hand-rolled (no `serde` — the workspace is
+//! dependency-free by policy). Two shapes, keyed by the observer's
+//! [`ClockMode`]:
+//!
+//! - **Canonical** ([`ClockMode::Logical`]) — the determinism contract.
+//!   Scheduler-scoped events are dropped (their multiset depends on the
+//!   schedule), the rest are sorted by `(request fingerprint, context
+//!   fingerprint, pipeline rank, sample, attempt)`, and `t` is
+//!   re-stamped as the canonical index. Given identical seeds, the
+//!   result is byte-identical across worker counts and submission
+//!   orders.
+//! - **Emission order** ([`ClockMode::Wall`]) — every event, in the
+//!   order the buffer received them, with real elapsed-nanosecond
+//!   timestamps. For humans profiling a live run.
+
+use std::fmt::Write;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::record::{ClockMode, Stamped};
+
+/// Renders buffered events as JSONL in the given mode.
+pub fn to_jsonl(events: &[Stamped], mode: ClockMode) -> String {
+    match mode {
+        ClockMode::Logical => canonical(events),
+        ClockMode::Wall => emission_order(events),
+    }
+}
+
+fn canonical(events: &[Stamped]) -> String {
+    let mut rows: Vec<(u64, u64, u8, u32, u32, String)> = events
+        .iter()
+        .filter(|s| s.event.kind.deterministic())
+        .map(|s| {
+            let (sample, attempt) = s.event.kind.coords();
+            (s.event.req, s.event.ctx, s.event.kind.rank(), sample, attempt, body(&s.event))
+        })
+        .collect();
+    rows.sort();
+    let mut out = String::new();
+    for (i, (.., line)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "{{\"t\":{i},{line}}}");
+    }
+    out
+}
+
+fn emission_order(events: &[Stamped]) -> String {
+    let mut out = String::new();
+    for s in events {
+        let _ = writeln!(out, "{{\"t\":{},{}}}", s.t, body(&s.event));
+    }
+    out
+}
+
+/// The event's JSON fields after `t` (no surrounding braces).
+fn body(event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "\"req\":\"{:016x}\",\"ctx\":\"{:016x}\",\"kind\":\"{}\"",
+        event.req,
+        event.ctx,
+        event.kind.name()
+    );
+    match event.kind {
+        EventKind::QueueWait { ticks } => {
+            let _ = write!(s, ",\"ticks\":{ticks}");
+        }
+        EventKind::FitDedupHit | EventKind::ContextJoin | EventKind::Fallback => {}
+        EventKind::SessionCost { generated_tokens, work_units } => {
+            let _ =
+                write!(s, ",\"generated_tokens\":{generated_tokens},\"work_units\":{work_units}");
+        }
+        EventKind::ContextFit { prompt_tokens, work_units } => {
+            let _ = write!(s, ",\"prompt_tokens\":{prompt_tokens},\"work_units\":{work_units}");
+        }
+        EventKind::Attempt { sample, attempt, outcome, defects, generated_tokens, work_units } => {
+            let _ = write!(
+                s,
+                ",\"sample\":{sample},\"attempt\":{attempt},\"outcome\":\"{}\",\"defects\":{defects},\"generated_tokens\":{generated_tokens},\"work_units\":{work_units}",
+                outcome.name()
+            );
+        }
+        EventKind::Retry { sample, attempt } => {
+            let _ = write!(s, ",\"sample\":{sample},\"attempt\":{attempt}");
+        }
+        EventKind::Defect { sample, attempt, class, fatal } => {
+            let _ = write!(
+                s,
+                ",\"sample\":{sample},\"attempt\":{attempt},\"class\":{class},\"fatal\":{fatal}"
+            );
+        }
+        EventKind::PanicIsolated { sample, attempt } => {
+            let _ = write!(s, ",\"sample\":{sample},\"attempt\":{attempt}");
+        }
+        EventKind::QuorumResolve { valid, required, met } => {
+            let _ = write!(s, ",\"valid\":{valid},\"required\":{required},\"met\":{met}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AttemptClass;
+
+    fn stamped(t: u64, req: u64, kind: EventKind) -> Stamped {
+        Stamped { t, event: TraceEvent { req, ctx: 7, kind } }
+    }
+
+    #[test]
+    fn canonical_drops_scheduler_scoped_events_and_restamps() {
+        let events = vec![
+            stamped(5, 2, EventKind::QueueWait { ticks: 3 }),
+            stamped(9, 2, EventKind::ContextJoin),
+            stamped(1, 1, EventKind::ContextJoin),
+            stamped(3, 1, EventKind::FitDedupHit),
+        ];
+        let jsonl = to_jsonl(&events, ClockMode::Logical);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2, "queue_wait and dedup hit are excluded");
+        assert!(lines[0].starts_with("{\"t\":0,"));
+        assert!(lines[1].starts_with("{\"t\":1,"));
+        assert!(lines[0].contains("\"req\":\"0000000000000001\""), "sorted by fingerprint");
+        assert!(lines[1].contains("\"req\":\"0000000000000002\""));
+    }
+
+    #[test]
+    fn canonical_is_invariant_to_emission_order() {
+        let attempt = |sample, attempt| EventKind::Attempt {
+            sample,
+            attempt,
+            outcome: AttemptClass::Valid,
+            defects: 0,
+            generated_tokens: 12,
+            work_units: 44,
+        };
+        let a = vec![
+            stamped(0, 1, attempt(0, 0)),
+            stamped(1, 1, attempt(1, 0)),
+            stamped(2, 2, EventKind::QuorumResolve { valid: 2, required: 1, met: true }),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        // Different stamps too — canonical export must not care.
+        for (i, s) in b.iter_mut().enumerate() {
+            s.t = 100 + i as u64;
+        }
+        assert_eq!(to_jsonl(&a, ClockMode::Logical), to_jsonl(&b, ClockMode::Logical));
+    }
+
+    #[test]
+    fn emission_order_keeps_everything_with_real_stamps() {
+        let events = vec![
+            stamped(17, 1, EventKind::QueueWait { ticks: 3 }),
+            stamped(29, 1, EventKind::SessionCost { generated_tokens: 5, work_units: 9 }),
+        ];
+        let jsonl = to_jsonl(&events, ClockMode::Wall);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"t\":17"));
+        assert!(lines[0].contains("\"ticks\":3"));
+        assert!(lines[1].contains("\"t\":29"));
+        assert!(lines[1].contains("\"generated_tokens\":5"));
+    }
+
+    #[test]
+    fn every_kind_renders_its_payload() {
+        let kinds = [
+            EventKind::QueueWait { ticks: 1 },
+            EventKind::FitDedupHit,
+            EventKind::SessionCost { generated_tokens: 2, work_units: 3 },
+            EventKind::ContextFit { prompt_tokens: 4, work_units: 5 },
+            EventKind::ContextJoin,
+            EventKind::Attempt {
+                sample: 1,
+                attempt: 2,
+                outcome: AttemptClass::Defective,
+                defects: 3,
+                generated_tokens: 6,
+                work_units: 7,
+            },
+            EventKind::Retry { sample: 1, attempt: 2 },
+            EventKind::Defect { sample: 1, attempt: 2, class: 4, fatal: true },
+            EventKind::PanicIsolated { sample: 1, attempt: 2 },
+            EventKind::QuorumResolve { valid: 1, required: 2, met: false },
+            EventKind::Fallback,
+        ];
+        for kind in kinds {
+            let line = body(&TraceEvent { req: 0xabc, ctx: 0xdef, kind });
+            assert!(line.contains(&format!("\"kind\":\"{}\"", kind.name())), "{line}");
+            assert!(line.starts_with("\"req\":\"0000000000000abc\""), "{line}");
+        }
+        let defect = body(&TraceEvent {
+            req: 0,
+            ctx: 0,
+            kind: EventKind::Defect { sample: 1, attempt: 2, class: 4, fatal: true },
+        });
+        assert!(defect.contains("\"class\":4,\"fatal\":true"), "{defect}");
+    }
+}

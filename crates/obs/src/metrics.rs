@@ -1,0 +1,500 @@
+//! Atomic counters and fixed-bucket histograms.
+//!
+//! [`MetricsRegistry`] is the aggregate side of observability: where the
+//! trace answers "what happened to request X", the registry answers "how
+//! much of everything happened". It is built exclusively on
+//! [`mc_sync::atomic`], so a `--cfg loom` build model-checks it exactly
+//! like `mc-lm`'s `CostLedger` — lost increments would be found by the
+//! loom suite, not production.
+//!
+//! Counters are a closed set ([`Counter`]) rather than string-keyed: the
+//! registry never allocates, updates are single `fetch_add`s, and the
+//! defect taxonomy gets one fixed slot per class
+//! ([`crate::event::DEFECT_CLASSES`]).
+
+use mc_sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{AttemptClass, EventKind, TraceEvent, DEFECT_CLASSES, DEFECT_CLASS_NAMES};
+
+/// Every counter the registry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Events recorded (any kind).
+    Events,
+    /// Task dequeues observed by the worker pool.
+    QueueWaits,
+    /// Requests that reused an already-fitted frozen context.
+    DedupHits,
+    /// Decode sessions that completed inside the model boundary.
+    Sessions,
+    /// Tokens generated across completed sessions (metered ground truth).
+    SessionTokens,
+    /// Work units across completed sessions (metered ground truth).
+    SessionWork,
+    /// Frozen contexts fitted (prompt conditioned).
+    ContextFits,
+    /// Requests joined to a frozen context.
+    ContextJoins,
+    /// One-time prompt-conditioning tokens across fitted contexts.
+    PromptTokens,
+    /// `(sample, attempt)` draws executed.
+    Attempts,
+    /// Attempts that produced a valid sample.
+    AttemptsValid,
+    /// Attempts that completed but were fatally defective.
+    AttemptsDefective,
+    /// Attempts that failed on infrastructure.
+    AttemptsInfra,
+    /// Attempts that panicked and were isolated.
+    AttemptsPanicked,
+    /// Generated tokens attributed to attempts.
+    GeneratedTokens,
+    /// Work units attributed to attempts.
+    WorkUnits,
+    /// Samples re-queued for another attempt.
+    Retries,
+    /// Defects observed (all classes).
+    Defects,
+    /// Panics caught and converted to defects.
+    PanicsIsolated,
+    /// Requests whose quorum was checked at finalization.
+    QuorumResolves,
+    /// Quorum checks that failed.
+    QuorumFailures,
+    /// Forecasts produced by the classical fallback.
+    Fallbacks,
+}
+
+impl Counter {
+    /// All counters, in display order.
+    pub const ALL: [Counter; 22] = [
+        Counter::Events,
+        Counter::QueueWaits,
+        Counter::DedupHits,
+        Counter::Sessions,
+        Counter::SessionTokens,
+        Counter::SessionWork,
+        Counter::ContextFits,
+        Counter::ContextJoins,
+        Counter::PromptTokens,
+        Counter::Attempts,
+        Counter::AttemptsValid,
+        Counter::AttemptsDefective,
+        Counter::AttemptsInfra,
+        Counter::AttemptsPanicked,
+        Counter::GeneratedTokens,
+        Counter::WorkUnits,
+        Counter::Retries,
+        Counter::Defects,
+        Counter::PanicsIsolated,
+        Counter::QuorumResolves,
+        Counter::QuorumFailures,
+        Counter::Fallbacks,
+    ];
+
+    /// Stable snake_case name for snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Events => "events",
+            Counter::QueueWaits => "queue_waits",
+            Counter::DedupHits => "fit_dedup_hits",
+            Counter::Sessions => "sessions",
+            Counter::SessionTokens => "session_tokens",
+            Counter::SessionWork => "session_work",
+            Counter::ContextFits => "context_fits",
+            Counter::ContextJoins => "context_joins",
+            Counter::PromptTokens => "prompt_tokens",
+            Counter::Attempts => "attempts",
+            Counter::AttemptsValid => "attempts_valid",
+            Counter::AttemptsDefective => "attempts_defective",
+            Counter::AttemptsInfra => "attempts_infra",
+            Counter::AttemptsPanicked => "attempts_panicked",
+            Counter::GeneratedTokens => "generated_tokens",
+            Counter::WorkUnits => "work_units",
+            Counter::Retries => "retries",
+            Counter::Defects => "defects",
+            Counter::PanicsIsolated => "panics_isolated",
+            Counter::QuorumResolves => "quorum_resolves",
+            Counter::QuorumFailures => "quorum_failures",
+            Counter::Fallbacks => "fallbacks",
+        }
+    }
+}
+
+/// Histogram bucket count: 8 finite upper bounds plus one overflow slot.
+const BUCKETS: usize = 9;
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bounds are inclusive upper edges; anything above the last bound lands
+/// in the overflow bucket. Count and sum are tracked alongside, so mean
+/// and totals come for free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: [u64; BUCKETS - 1],
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bucket bounds
+    /// (ascending).
+    pub fn new(bounds: [u64; BUCKETS - 1]) -> Self {
+        Self {
+            bounds,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let slot = self.bounds.iter().position(|&b| value <= b).unwrap_or(BUCKETS - 1);
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (last slot is overflow).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The inclusive upper bounds this histogram was built with.
+    pub fn bounds(&self) -> [u64; BUCKETS - 1] {
+        self.bounds
+    }
+}
+
+/// The serve path's metrics: one atomic slot per [`Counter`], one per
+/// defect class, plus queue-wait and attempt-token histograms.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    defects: [AtomicU64; DEFECT_CLASSES],
+    queue_wait: Histogram,
+    attempt_tokens: Histogram,
+}
+
+impl MetricsRegistry {
+    /// A registry with every counter at zero.
+    pub fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            defects: std::array::from_fn(|_| AtomicU64::new(0)),
+            // Queue waits in clock units (ticks or nanoseconds): decade
+            // buckets cover sub-microsecond dequeues through second-long
+            // stalls.
+            queue_wait: Histogram::new([
+                10,
+                100,
+                1_000,
+                10_000,
+                100_000,
+                1_000_000,
+                10_000_000,
+                1_000_000_000,
+            ]),
+            // Attempt sizes in generated tokens: power-of-4 buckets.
+            attempt_tokens: Histogram::new([4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536]),
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to a counter.
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Adds one defect of the given taxonomy class (out-of-range classes
+    /// are clamped into the last slot rather than dropped).
+    pub fn add_defect(&self, class: usize) {
+        self.defects[class.min(DEFECT_CLASSES - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Defects of one taxonomy class recorded so far.
+    pub fn defect_count(&self, class: usize) -> u64 {
+        self.defects[class.min(DEFECT_CLASSES - 1)].load(Ordering::Relaxed)
+    }
+
+    /// The queue-wait histogram (clock units per dequeue).
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
+    }
+
+    /// The attempt-size histogram (generated tokens per attempt).
+    pub fn attempt_tokens(&self) -> &Histogram {
+        &self.attempt_tokens
+    }
+
+    /// Folds one trace event into the counters and histograms. This is
+    /// the single routing table from the event vocabulary to metrics;
+    /// [`crate::record::Observer`] calls it for every recorded event.
+    pub fn record_event(&self, event: &TraceEvent) {
+        self.incr(Counter::Events);
+        match event.kind {
+            EventKind::QueueWait { ticks } => {
+                self.incr(Counter::QueueWaits);
+                self.queue_wait.observe(ticks);
+            }
+            EventKind::FitDedupHit => self.incr(Counter::DedupHits),
+            EventKind::SessionCost { generated_tokens, work_units } => {
+                self.incr(Counter::Sessions);
+                self.add(Counter::SessionTokens, generated_tokens);
+                self.add(Counter::SessionWork, work_units);
+            }
+            EventKind::ContextFit { prompt_tokens, work_units: _ } => {
+                self.incr(Counter::ContextFits);
+                self.add(Counter::PromptTokens, prompt_tokens);
+            }
+            EventKind::ContextJoin => self.incr(Counter::ContextJoins),
+            EventKind::Attempt { outcome, generated_tokens, work_units, .. } => {
+                self.incr(Counter::Attempts);
+                self.incr(match outcome {
+                    AttemptClass::Valid => Counter::AttemptsValid,
+                    AttemptClass::Defective => Counter::AttemptsDefective,
+                    AttemptClass::Infra => Counter::AttemptsInfra,
+                    AttemptClass::Panicked => Counter::AttemptsPanicked,
+                });
+                self.add(Counter::GeneratedTokens, generated_tokens);
+                self.add(Counter::WorkUnits, work_units);
+                self.attempt_tokens.observe(generated_tokens);
+            }
+            EventKind::Retry { .. } => self.incr(Counter::Retries),
+            EventKind::Defect { class, .. } => {
+                self.incr(Counter::Defects);
+                self.add_defect(class as usize);
+            }
+            EventKind::PanicIsolated { .. } => self.incr(Counter::PanicsIsolated),
+            EventKind::QuorumResolve { met, .. } => {
+                self.incr(Counter::QuorumResolves);
+                if !met {
+                    self.incr(Counter::QuorumFailures);
+                }
+            }
+            EventKind::Fallback => self.incr(Counter::Fallbacks),
+        }
+    }
+
+    /// A plain-data copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).collect(),
+            defects: std::array::from_fn(|i| self.defects[i].load(Ordering::Relaxed)),
+            histograms: vec![
+                HistogramSnapshot::of("queue_wait", &self.queue_wait),
+                HistogramSnapshot::of("attempt_tokens", &self.attempt_tokens),
+            ],
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Inclusive upper bucket bounds.
+    pub bounds: [u64; BUCKETS - 1],
+    /// Per-bucket counts (last slot is overflow).
+    pub buckets: [u64; BUCKETS],
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    fn of(name: &'static str, h: &Histogram) -> Self {
+        Self { name, bounds: h.bounds(), buckets: h.buckets(), count: h.count(), sum: h.sum() }
+    }
+}
+
+/// Plain-data copy of a whole registry, render-able as markdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-class defect counts, in taxonomy order.
+    pub defects: [u64; DEFECT_CLASSES],
+    /// Histogram snapshots.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a named counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Renders the snapshot as markdown tables (for
+    /// `results/serving_telemetry.md` and `--metrics` output).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut md = String::new();
+        md.push_str("| counter | value |\n|---|---:|\n");
+        for &(name, value) in &self.counters {
+            let _ = writeln!(md, "| {name} | {value} |");
+        }
+        md.push_str("\n| defect class | count |\n|---|---:|\n");
+        for (name, count) in DEFECT_CLASS_NAMES.iter().zip(self.defects) {
+            let _ = writeln!(md, "| {name} | {count} |");
+        }
+        for h in &self.histograms {
+            let _ = write!(
+                md,
+                "\n`{}` histogram (count {}, sum {}):\n\n| ≤ bound | count |\n|---:|---:|\n",
+                h.name, h.count, h.sum
+            );
+            for (i, &n) in h.buckets.iter().enumerate() {
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(md, "| {b} | {n} |");
+                    }
+                    None => {
+                        let _ = writeln!(md, "| overflow | {n} |");
+                    }
+                }
+            }
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let reg = MetricsRegistry::new();
+        reg.incr(Counter::Attempts);
+        reg.add(Counter::Attempts, 2);
+        reg.incr(Counter::Retries);
+        assert_eq!(reg.get(Counter::Attempts), 3);
+        assert_eq!(reg.get(Counter::Retries), 1);
+        assert_eq!(reg.get(Counter::Fallbacks), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new([1, 2, 4, 8, 16, 32, 64, 128]);
+        for v in [0, 1, 2, 3, 200] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 206);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 2, "0 and 1 land in the first bucket");
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[2], 1, "3 lands in the ≤4 bucket");
+        assert_eq!(buckets[BUCKETS - 1], 1, "200 overflows");
+    }
+
+    #[test]
+    fn event_routing_covers_every_kind() {
+        let reg = MetricsRegistry::new();
+        let ev = |kind| TraceEvent { req: 1, ctx: 2, kind };
+        reg.record_event(&ev(EventKind::QueueWait { ticks: 5 }));
+        reg.record_event(&ev(EventKind::FitDedupHit));
+        reg.record_event(&ev(EventKind::SessionCost { generated_tokens: 7, work_units: 70 }));
+        reg.record_event(&ev(EventKind::ContextFit { prompt_tokens: 11, work_units: 110 }));
+        reg.record_event(&ev(EventKind::ContextJoin));
+        reg.record_event(&ev(EventKind::Attempt {
+            sample: 0,
+            attempt: 0,
+            outcome: AttemptClass::Valid,
+            defects: 0,
+            generated_tokens: 7,
+            work_units: 70,
+        }));
+        reg.record_event(&ev(EventKind::Retry { sample: 0, attempt: 1 }));
+        reg.record_event(&ev(EventKind::Defect { sample: 0, attempt: 0, class: 6, fatal: true }));
+        reg.record_event(&ev(EventKind::PanicIsolated { sample: 0, attempt: 0 }));
+        reg.record_event(&ev(EventKind::QuorumResolve { valid: 0, required: 1, met: false }));
+        reg.record_event(&ev(EventKind::Fallback));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("events"), 11);
+        assert_eq!(snap.counter("queue_waits"), 1);
+        assert_eq!(snap.counter("fit_dedup_hits"), 1);
+        assert_eq!(snap.counter("sessions"), 1);
+        assert_eq!(snap.counter("session_tokens"), 7);
+        assert_eq!(snap.counter("prompt_tokens"), 11);
+        assert_eq!(snap.counter("attempts"), 1);
+        assert_eq!(snap.counter("attempts_valid"), 1);
+        assert_eq!(snap.counter("generated_tokens"), 7);
+        assert_eq!(snap.counter("retries"), 1);
+        assert_eq!(snap.counter("defects"), 1);
+        assert_eq!(snap.defects[6], 1, "panic defect class");
+        assert_eq!(snap.counter("panics_isolated"), 1);
+        assert_eq!(snap.counter("quorum_resolves"), 1);
+        assert_eq!(snap.counter("quorum_failures"), 1);
+        assert_eq!(snap.counter("fallbacks"), 1);
+        assert_eq!(reg.queue_wait().count(), 1);
+        assert_eq!(reg.attempt_tokens().sum(), 7);
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.incr(Counter::Attempts);
+                        reg.add_defect(3);
+                        reg.queue_wait().observe(42);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.get(Counter::Attempts), 8000);
+        assert_eq!(reg.defect_count(3), 8000);
+        assert_eq!(reg.queue_wait().count(), 8000);
+        assert_eq!(reg.queue_wait().sum(), 8000 * 42);
+    }
+
+    #[test]
+    fn markdown_snapshot_names_every_counter_and_class() {
+        let reg = MetricsRegistry::new();
+        reg.incr(Counter::Fallbacks);
+        let md = reg.snapshot().to_markdown();
+        for c in Counter::ALL {
+            assert!(md.contains(c.name()), "missing counter {}", c.name());
+        }
+        for name in DEFECT_CLASS_NAMES {
+            assert!(md.contains(name), "missing defect class {name}");
+        }
+        assert!(md.contains("| fallbacks | 1 |"));
+        assert!(md.contains("queue_wait"));
+        assert!(md.contains("overflow"));
+    }
+}

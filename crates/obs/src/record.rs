@@ -1,0 +1,214 @@
+//! Recorders: where trace events go.
+//!
+//! The serve path emits [`TraceEvent`]s unconditionally through a
+//! [`Recorder`]; what happens next is the recorder's business:
+//!
+//! - [`NoopRecorder`] — the default. `enabled()` is `false`, `record` is
+//!   an empty body, so an un-instrumented serve pays a virtual call and
+//!   nothing else: no clock reads, no locking, no allocation.
+//! - [`Observer`] — the real sink. Stamps each event with its
+//!   [`Clock`], folds it into a [`MetricsRegistry`] and appends it to an
+//!   in-memory buffer for JSONL export ([`crate::export`]).
+//!
+//! The buffer lock and the registry both live behind [`mc_sync`], so the
+//! `--cfg loom` suite explores a recording observer like any other piece
+//! of serve-path state.
+
+use mc_sync::Mutex;
+
+use crate::clock::{Clock, LogicalClock, WallClock};
+use crate::event::TraceEvent;
+use crate::export;
+use crate::metrics::MetricsRegistry;
+
+/// A sink for trace events. Implementations must be cheap when disabled:
+/// emitters consult [`Recorder::enabled`] before doing any per-event
+/// work beyond constructing the (Copy, allocation-free) event itself.
+pub trait Recorder: Send + Sync {
+    /// Whether events are actually being kept. Emitters may skip
+    /// expensive enumeration (e.g. per-defect events) when `false`.
+    fn enabled(&self) -> bool;
+
+    /// A timestamp from the recorder's clock (0 for disabled recorders).
+    /// Emitters use deltas of this for duration-style events.
+    fn now(&self) -> u64;
+
+    /// Accepts one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The default recorder: drops everything, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn now(&self) -> u64 {
+        0
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// One buffered event with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// Clock reading at record time (logical tick or elapsed nanos).
+    pub t: u64,
+    /// The recorded event.
+    pub event: TraceEvent,
+}
+
+/// Which clock an [`Observer`] stamps with — and therefore which export
+/// shape it produces (canonical vs emission-order; see [`crate::export`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Deterministic ticks; exports are canonical and byte-identical
+    /// across schedules.
+    Logical,
+    /// Elapsed wall nanoseconds; exports keep emission order and real
+    /// timestamps.
+    Wall,
+}
+
+enum ClockSource {
+    Logical(LogicalClock),
+    Wall(WallClock),
+}
+
+/// A recording sink: clock-stamped event buffer plus metrics registry.
+pub struct Observer {
+    clock: ClockSource,
+    buf: Mutex<Vec<Stamped>>,
+    metrics: MetricsRegistry,
+}
+
+impl Observer {
+    /// An observer on a fresh [`LogicalClock`] — the deterministic
+    /// default for tests and trace comparison.
+    pub fn logical() -> Self {
+        Self {
+            clock: ClockSource::Logical(LogicalClock::new()),
+            buf: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// An observer on a [`WallClock`] started now — for live profiling;
+    /// traces are *not* reproducible.
+    pub fn wall() -> Self {
+        Self {
+            clock: ClockSource::Wall(WallClock::start()),
+            buf: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Which clock this observer stamps with.
+    pub fn mode(&self) -> ClockMode {
+        match self.clock {
+            ClockSource::Logical(_) => ClockMode::Logical,
+            ClockSource::Wall(_) => ClockMode::Wall,
+        }
+    }
+
+    /// The metrics registry every recorded event is folded into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A copy of everything recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Stamped> {
+        self.buf.lock().expect("trace buffer lock").clone()
+    }
+
+    /// The JSONL export of everything recorded so far: canonical
+    /// (sorted, re-stamped, deterministic events only) in
+    /// [`ClockMode::Logical`], emission-order with real timestamps in
+    /// [`ClockMode::Wall`]. See [`crate::export`].
+    pub fn to_jsonl(&self) -> String {
+        export::to_jsonl(&self.events(), self.mode())
+    }
+}
+
+impl Recorder for Observer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now(&self) -> u64 {
+        match &self.clock {
+            ClockSource::Logical(c) => c.now(),
+            ClockSource::Wall(c) => c.now(),
+        }
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let t = self.now();
+        self.metrics.record_event(&event);
+        self.buf.lock().expect("trace buffer lock").push(Stamped { t, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::metrics::Counter;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let noop = NoopRecorder;
+        assert!(!noop.enabled());
+        assert_eq!(noop.now(), 0);
+        noop.record(TraceEvent { req: 1, ctx: 2, kind: EventKind::Fallback });
+    }
+
+    #[test]
+    fn observer_stamps_buffers_and_counts() {
+        let obs = Observer::logical();
+        assert!(obs.enabled());
+        assert_eq!(obs.mode(), ClockMode::Logical);
+        obs.record(TraceEvent { req: 1, ctx: 0, kind: EventKind::ContextJoin });
+        obs.record(TraceEvent { req: 2, ctx: 0, kind: EventKind::Fallback });
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].t < events[1].t, "logical stamps are ordered");
+        assert_eq!(obs.metrics().get(Counter::Events), 2);
+        assert_eq!(obs.metrics().get(Counter::ContextJoins), 1);
+        assert_eq!(obs.metrics().get(Counter::Fallbacks), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let obs = Observer::logical();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let obs = &obs;
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        obs.record(TraceEvent { req: i, ctx: 0, kind: EventKind::ContextJoin });
+                    }
+                });
+            }
+        });
+        let events = obs.events();
+        assert_eq!(events.len(), 1000);
+        assert_eq!(obs.metrics().get(Counter::Events), 1000);
+        let mut stamps: Vec<u64> = events.iter().map(|s| s.t).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 1000, "logical stamps never collide");
+    }
+
+    #[test]
+    fn wall_observer_reports_wall_mode() {
+        let obs = Observer::wall();
+        assert_eq!(obs.mode(), ClockMode::Wall);
+        obs.record(TraceEvent { req: 0, ctx: 0, kind: EventKind::Fallback });
+        assert_eq!(obs.events().len(), 1);
+    }
+}

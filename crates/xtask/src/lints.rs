@@ -1,11 +1,15 @@
 //! mc-lint: deny-by-default workspace invariant lints.
 //!
-//! Four rule families over the lexed token stream (see DESIGN.md §8):
+//! Five rule families over the lexed token stream (see DESIGN.md §8):
 //!
 //! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
-//!   and binary targets (`src/bin/`) are exempt; everything else needs an
-//!   allowlist entry with a written justification.
+//!   and binary targets (`src/bin/`, `main.rs`) are exempt; everything
+//!   else needs an allowlist entry with a written justification.
+//! - **`no-println`** — no `println!` / `eprintln!` in library code:
+//!   libraries report through return values and the structured trace
+//!   layer (`mc-obs`), never by writing to the process's stdio behind
+//!   the caller's back. Binary targets and test spans are exempt.
 //! - **`no-wallclock`** — no `SystemTime`, `Instant::now` or `thread_rng`
 //!   in forecast paths: forecasts are seeded and reproducible, ambient
 //!   time or entropy would silently break bit-identical replay.
@@ -29,6 +33,7 @@ use crate::lexer::{lex, Kind, Token};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     NoUnwrap,
+    NoPrintln,
     NoWallclock,
     NoDirectSync,
     SingleConstruction,
@@ -39,6 +44,7 @@ impl Rule {
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "no-unwrap",
+            Rule::NoPrintln => "no-println",
             Rule::NoWallclock => "no-wallclock",
             Rule::NoDirectSync => "no-direct-sync",
             Rule::SingleConstruction => "single-construction",
@@ -49,6 +55,7 @@ impl Rule {
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "no-unwrap" => Some(Rule::NoUnwrap),
+            "no-println" => Some(Rule::NoPrintln),
             "no-wallclock" => Some(Rule::NoWallclock),
             "no-direct-sync" => Some(Rule::NoDirectSync),
             "single-construction" => Some(Rule::SingleConstruction),
@@ -178,13 +185,14 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
     let tokens = lex(src);
     let exempt = test_spans(&tokens);
     let mut out = Vec::new();
-    let in_bin = path.contains("/bin/");
-    for i in 0..tokens.len() {
-        if exempt[i] {
+    let in_bin = path.contains("/bin/") || path.ends_with("/main.rs");
+    for (i, is_exempt) in exempt.iter().enumerate() {
+        if *is_exempt {
             continue;
         }
         if !in_bin {
             no_unwrap(path, &tokens, i, &mut out);
+            no_println(path, &tokens, i, &mut out);
         }
         no_wallclock(path, &tokens, i, &mut out);
         no_direct_sync(path, &tokens, i, &mut out);
@@ -220,6 +228,22 @@ fn no_unwrap(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
             Rule::NoUnwrap,
             "panic",
             "panic! in library code: return a typed error instead".to_string(),
+        ));
+    }
+}
+
+fn no_println(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    if (t.text == "println" || t.text == "eprintln") && next_is_punct(tokens, i, '!') {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoPrintln,
+            &t.text,
+            format!("{}! in library code: report through return values or the trace layer", t.text),
         ));
     }
 }
@@ -319,9 +343,10 @@ pub fn construction_sites(path: &str, src: &str) -> Vec<Site> {
                 || tokens[i - 1].is_ident("impl")
                 || tokens[i - 1].is_ident("for")
                 || (i > 1 && tokens[i - 1].is_punct('>') && tokens[i - 2].is_punct('-')));
-        if t.text == "SampleExpectations" && next_is_punct(&tokens, i, '{') && !type_pos {
-            out.push(Site { path: path.to_string(), line: t.line, what: t.text.clone() });
-        } else if t.text == "continuation_spec" && i > 0 && tokens[i - 1].is_ident("fn") {
+        let struct_ctor =
+            t.text == "SampleExpectations" && next_is_punct(&tokens, i, '{') && !type_pos;
+        let spec_fn = t.text == "continuation_spec" && i > 0 && tokens[i - 1].is_ident("fn");
+        if struct_ctor || spec_fn {
             out.push(Site { path: path.to_string(), line: t.line, what: t.text.clone() });
         }
     }
@@ -439,9 +464,29 @@ mod tests {
 
     #[test]
     fn bins_are_exempt_from_unwrap_but_not_determinism() {
-        let src = "fn main() { foo().unwrap(); let _ = thread_rng(); }";
+        let src = "fn main() { foo().unwrap(); println!(\"x\"); let _ = thread_rng(); }";
         let v = lint_file("src/bin/tool.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::NoWallclock);
+        let v = lint_file("crates/xtask/src/main.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NoWallclock);
+    }
+
+    #[test]
+    fn println_in_library_code_is_flagged_but_tests_are_exempt() {
+        let src = r#"
+            pub fn report() { println!("lib stdout"); }
+            pub fn complain() { eprintln!("lib stderr"); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { println!("fine here"); }
+            }
+        "#;
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["println", "eprintln"]);
+        assert!(v.iter().all(|v| v.rule == Rule::NoPrintln));
     }
 }

@@ -7,6 +7,7 @@ use xtask::allow::Allowlist;
 use xtask::lints::{check_construction_counts, construction_sites, lint_file, Rule, Violation};
 
 const UNWRAP_FIXTURE: &str = include_str!("fixtures/unwrap_in_lib.rs");
+const PRINTLN_FIXTURE: &str = include_str!("fixtures/println_in_lib.rs");
 const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
 const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
 const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
@@ -33,6 +34,18 @@ fn unwrap_fixture_flags_production_but_not_tests() {
             ("no-unwrap", "unwrap".to_string(), 35),
         ]
     );
+}
+
+#[test]
+fn println_fixture_flags_library_stdio_but_not_tests_or_bins() {
+    let got = shape(&lint_file("tests/fixtures/println_in_lib.rs", PRINTLN_FIXTURE));
+    assert_eq!(
+        got,
+        vec![("no-println", "eprintln".to_string(), 8), ("no-println", "println".to_string(), 4),]
+    );
+    // The same source under a binary path raises nothing.
+    assert!(lint_file("src/bin/println_in_lib.rs", PRINTLN_FIXTURE).is_empty());
+    assert!(lint_file("crates/demo/src/main.rs", PRINTLN_FIXTURE).is_empty());
 }
 
 #[test]
@@ -130,7 +143,13 @@ fn allowlist_rejects_missing_or_empty_justification() {
 
 #[test]
 fn every_rule_name_round_trips_through_parse() {
-    for rule in [Rule::NoUnwrap, Rule::NoWallclock, Rule::NoDirectSync, Rule::SingleConstruction] {
+    for rule in [
+        Rule::NoUnwrap,
+        Rule::NoPrintln,
+        Rule::NoWallclock,
+        Rule::NoDirectSync,
+        Rule::SingleConstruction,
+    ] {
         assert_eq!(Rule::parse(rule.name()), Some(rule));
     }
     assert_eq!(Rule::parse("no-such-rule"), None);

@@ -1,0 +1,23 @@
+//! Known-bad fixture: stdio writes from library code.
+
+pub fn chatty() {
+    println!("progress: {}", 42);
+}
+
+pub fn grumbly() {
+    eprintln!("warning: something");
+}
+
+// A `println` path expression without the bang is not the macro.
+pub fn not_the_macro(println: u32) -> u32 {
+    println
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_freely() {
+        println!("tests may narrate");
+        eprintln!("and complain");
+    }
+}

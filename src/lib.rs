@@ -7,6 +7,7 @@
 //! - [`datasets`] — the paper's three datasets (seeded synthetic replicas)
 //!   and generic process generators;
 //! - [`lm`] — the LLM substrate (tokenizer, in-context backends, sampler);
+//! - [`obs`] — structured tracing + metrics for the serve path;
 //! - [`sax`] — PAA/SAX quantization;
 //! - [`baselines`] — ARIMA, LSTM and naive comparators;
 //! - [`core`] — the MultiCast forecasters themselves;
@@ -21,6 +22,7 @@ pub mod cli;
 pub use mc_baselines as baselines;
 pub use mc_datasets as datasets;
 pub use mc_lm as lm;
+pub use mc_obs as obs;
 pub use mc_sax as sax;
 pub use mc_tasks as tasks;
 pub use mc_tslib as tslib;

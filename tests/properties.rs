@@ -326,6 +326,103 @@ proptest! {
         }
     }
 
+    /// Observability is exact accounting, not sampling: for an arbitrary
+    /// served batch, per-request costs reconstructed purely from trace
+    /// events (attempts keyed by request fingerprint, the context-fit
+    /// prompt pass for the owner) equal the scheduler's attributed costs,
+    /// and per-context session events reproduce the metered `CostLedger`
+    /// snapshot exactly.
+    #[test]
+    fn trace_events_reconstruct_costs_exactly(
+        specs in prop::collection::vec((0usize..3, 2usize..5, 1usize..4, 0u64..1000), 1..5),
+        workers in 1usize..5,
+    ) {
+        use std::sync::Arc;
+        use multicast_suite::core::serve::{
+            request_fingerprints, serve_all_observed, ForecastRequest, ServeConfig,
+        };
+        use multicast_suite::obs::{EventKind, Observer};
+
+        let trains: Vec<MultivariateSeries> = (0..2usize)
+            .map(|t| {
+                let a: Vec<f64> =
+                    (0..40).map(|i| ((i + 5 * t) as f64 * 0.27).sin() * 12.0 + 25.0).collect();
+                let b: Vec<f64> = a.iter().map(|v| 90.0 - v).collect();
+                MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b]).unwrap()
+            })
+            .collect();
+        let requests: Vec<ForecastRequest> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, horizon, samples, seed))| {
+                let method = MuxMethod::ALL[m % MuxMethod::ALL.len()];
+                let config = ForecastConfig { samples, seed, ..ForecastConfig::default() };
+                ForecastRequest::digit(trains[i % trains.len()].clone(), horizon, method, config)
+            })
+            .collect();
+
+        let fps = request_fingerprints(&requests);
+        let obs = Arc::new(Observer::logical());
+        let run = serve_all_observed(&requests, &ServeConfig::with_workers(workers), obs.clone());
+        let events = obs.events();
+
+        // One context_fit per context, agreeing with the backend's prompt
+        // cost; session_cost events reproduce the metered ledger.
+        for stats in &run.contexts {
+            let fits: Vec<_> = events
+                .iter()
+                .filter_map(|s| match s.event.kind {
+                    EventKind::ContextFit { prompt_tokens, work_units }
+                        if s.event.ctx == stats.fingerprint =>
+                    {
+                        Some((prompt_tokens, work_units))
+                    }
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(fits.len(), 1, "one fit per context");
+            prop_assert_eq!(fits[0].0, stats.prompt_cost.prompt_tokens);
+            prop_assert_eq!(fits[0].1, stats.prompt_cost.work_units);
+            let (mut sessions, mut gen, mut work) = (0u64, 0u64, 0u64);
+            for s in &events {
+                if let EventKind::SessionCost { generated_tokens, work_units } = s.event.kind {
+                    if s.event.ctx == stats.fingerprint {
+                        sessions += 1;
+                        gen += generated_tokens;
+                        work += work_units;
+                    }
+                }
+            }
+            prop_assert_eq!(sessions, stats.sessions, "session count from events");
+            prop_assert_eq!(gen, stats.metered.generated_tokens, "ledger generated tokens");
+            prop_assert_eq!(
+                work + stats.prompt_cost.work_units,
+                stats.metered.work_units,
+                "ledger work = prompt pass + sessions"
+            );
+        }
+
+        // Per-request: summing attempt events keyed by the request's trace
+        // fingerprint reconstructs its attributed cost exactly; the
+        // context owner additionally carries the one-time prompt pass.
+        for (i, outcome) in run.outcomes.iter().enumerate() {
+            let (mut gen, mut work) = (0u64, 0u64);
+            for s in &events {
+                if s.event.req == fps[i] {
+                    if let EventKind::Attempt { generated_tokens, work_units, .. } = s.event.kind {
+                        gen += generated_tokens;
+                        work += work_units;
+                    }
+                }
+            }
+            prop_assert_eq!(outcome.cost.generated_tokens, gen, "request {} generated", i);
+            let context = &run.contexts[outcome.context.unwrap()];
+            let prompt = if outcome.cost.prompt_tokens > 0 { context.prompt_cost } else { Default::default() };
+            prop_assert_eq!(outcome.cost.prompt_tokens, prompt.prompt_tokens, "request {} prompt", i);
+            prop_assert_eq!(outcome.cost.work_units, work + prompt.work_units, "request {} work", i);
+        }
+    }
+
     /// Charset defects are impossible by construction: the constrained
     /// sampler masks every token outside `[0-9,]`, so an uncorrupted
     /// continuation can never contain a non-numeric group or out-of-band

@@ -2,14 +2,21 @@
 //! truncated, garbage and panicking continuations, degrade gracefully when
 //! the quorum fails, and account for every defect in `last_report`.
 
+use std::sync::Arc;
+
 use multicast_suite::core::robust::{
-    DefectClass, FallbackPolicy, FaultSpec, ForecastOutcome, RobustPolicy, SampleSource,
+    DefectClass, FallbackPolicy, FaultSpec, ForecastOutcome, ForecastReport, RobustPolicy,
+    SampleSource,
 };
 use multicast_suite::core::{
-    ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod, SaxForecastConfig,
-    SaxMultiCastForecaster, StreamingMultiCast,
+    serve_all_observed, CodecChoice, ForecastConfig, ForecastRequest, LlmTimeForecaster,
+    MultiCastForecaster, MuxMethod, SaxForecastConfig, SaxMultiCastForecaster, ServeConfig,
+    StreamingMultiCast,
 };
 use multicast_suite::datasets::generators::sinusoids;
+use multicast_suite::obs::{
+    Counter, MetricsRegistry, Observer, DEFECT_CLASSES, DEFECT_CLASS_NAMES,
+};
 use multicast_suite::prelude::*;
 use multicast_suite::sax::alphabet::SaxAlphabetKind;
 use multicast_suite::tslib::error::TsError;
@@ -162,6 +169,107 @@ fn streaming_survives_heavy_faults_and_degrades_gracefully() {
     assert_eq!(fc.len(), 6);
     assert!(fc.columns().iter().flatten().all(|v| v.is_finite()));
     assert!(dead.last_report.as_ref().unwrap().degraded());
+}
+
+#[test]
+fn defect_taxonomy_is_pinned_across_crates() {
+    // The obs crate mirrors the taxonomy without depending on core; this
+    // pin keeps the two from drifting apart silently.
+    assert_eq!(DefectClass::ALL.len(), DEFECT_CLASSES);
+    for (i, class) in DefectClass::ALL.into_iter().enumerate() {
+        assert_eq!(class.index(), i, "{class:?} is out of slot order");
+        assert_eq!(DEFECT_CLASS_NAMES[i], class.name(), "{class:?} name drifted");
+    }
+}
+
+#[test]
+fn serve_registry_counters_match_rigged_fault_reports() {
+    // Three requests with different fault profiles: 40 % corruption plus a
+    // guaranteed panic, total corruption (quorum failure + fallback), and a
+    // clean model-backed run. The registry fed live by trace events must
+    // agree exactly with the per-request reports' own accounting.
+    let s = series(96);
+    let (train, _) = holdout_split(&s, 0.1).unwrap();
+    let requests = vec![
+        ForecastRequest {
+            train: train.clone(),
+            horizon: 8,
+            codec: CodecChoice::Digit(MuxMethod::ValueInterleave),
+            config: ForecastConfig { samples: 4, ..Default::default() },
+            source: heavy_faults(),
+        },
+        ForecastRequest {
+            train: train.clone(),
+            horizon: 8,
+            codec: CodecChoice::Digit(MuxMethod::DigitInterleave),
+            config: ForecastConfig { samples: 5, ..Default::default() },
+            source: SampleSource::FaultInjected(FaultSpec {
+                rate: 1.0,
+                seed: 3,
+                panic_sample: None,
+            }),
+        },
+        ForecastRequest::digit(
+            train.clone(),
+            8,
+            MuxMethod::ValueConcat,
+            ForecastConfig { samples: 3, ..Default::default() },
+        ),
+    ];
+    let obs = Arc::new(Observer::logical());
+    let run = serve_all_observed(&requests, &ServeConfig::with_workers(3), obs.clone());
+    let reports: Vec<&ForecastReport> =
+        run.outcomes.iter().filter_map(|o| o.report.as_ref()).collect();
+    assert_eq!(reports.len(), 3, "every request carries a report");
+
+    let m = obs.metrics();
+    for class in DefectClass::ALL {
+        let expected: usize = reports.iter().map(|r| r.defect_count(class)).sum();
+        assert_eq!(m.defect_count(class.index()), expected as u64, "{class:?} counter drifted");
+    }
+    assert!(m.defect_count(DefectClass::Panicked.index()) >= 1, "the rigged panic was counted");
+    let total_defects: usize = reports.iter().map(|r| r.total_defects()).sum();
+    assert_eq!(m.get(Counter::Defects), total_defects as u64);
+    let retries: usize = reports.iter().map(|r| r.retries_used).sum();
+    assert_eq!(m.get(Counter::Retries), retries as u64);
+    assert_eq!(
+        m.get(Counter::PanicsIsolated),
+        m.defect_count(DefectClass::Panicked.index()),
+        "every panic defect came through the isolation layer"
+    );
+    let attempts: usize = reports.iter().flat_map(|r| &r.samples).map(|s| s.attempts).sum();
+    assert_eq!(m.get(Counter::Attempts), attempts as u64);
+    let valid: usize = reports.iter().map(|r| r.valid_samples).sum();
+    assert_eq!(m.get(Counter::AttemptsValid), valid as u64);
+    assert_eq!(m.get(Counter::QuorumResolves), 3);
+    let degraded = reports.iter().filter(|r| r.degraded()).count() as u64;
+    assert!(degraded >= 1, "total corruption must fail its quorum");
+    assert_eq!(m.get(Counter::QuorumFailures), degraded);
+    assert_eq!(m.get(Counter::Fallbacks), degraded, "every failed quorum fell back");
+}
+
+#[test]
+fn record_into_mirrors_the_reports_own_accounting() {
+    // The sequential pipeline's bridge into the registry must agree with
+    // the report accessors it summarizes.
+    let s = series(96);
+    let (train, _) = holdout_split(&s, 0.1).unwrap();
+    let config = ForecastConfig { samples: 5, ..Default::default() };
+    let mut f =
+        MultiCastForecaster::new(MuxMethod::ValueInterleave, config).with_source(heavy_faults());
+    f.forecast(&train, 8).unwrap();
+    let report = f.last_report.as_ref().unwrap();
+
+    let reg = MetricsRegistry::new();
+    report.record_into(&reg);
+    for class in DefectClass::ALL {
+        assert_eq!(reg.defect_count(class.index()), report.defect_count(class) as u64);
+    }
+    assert_eq!(reg.get(Counter::Defects), report.total_defects() as u64);
+    assert_eq!(reg.get(Counter::Retries), report.retries_used as u64);
+    assert_eq!(reg.get(Counter::QuorumResolves), 1);
+    assert_eq!(reg.get(Counter::QuorumFailures), u64::from(report.degraded()));
+    assert_eq!(reg.get(Counter::Fallbacks), u64::from(report.degraded()));
 }
 
 #[test]

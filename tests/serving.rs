@@ -10,15 +10,18 @@
 //! fail its quorum and one rigged to panic) and audit the per-request cost
 //! attribution against the ledger metered inside the model boundary.
 
+use std::sync::Arc;
+
 use mc_datasets::generators::sinusoids;
+use mc_obs::{Counter, Observer};
 use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
 use mc_sax::encoder::SaxConfig;
 use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::series::MultivariateSeries;
 use multicast_core::robust::{DefectClass, FaultSpec, RobustPolicy, SampleSource};
 use multicast_core::{
-    serve_all, CodecChoice, ForecastConfig, ForecastRequest, MultiCastForecaster, MuxMethod,
-    RequestId, ServeConfig, ServeRun,
+    serve_all, serve_all_observed, CodecChoice, ForecastConfig, ForecastRequest,
+    MultiCastForecaster, MuxMethod, RequestId, ServeConfig, ServeRun,
 };
 
 fn series(n: usize, phase: f64, offset: f64) -> MultivariateSeries {
@@ -326,6 +329,42 @@ fn cost_conservation_survives_fault_injection() {
     let retries: usize =
         run.outcomes.iter().filter_map(|o| o.report.as_ref()).map(|r| r.retries_used).sum();
     assert!(retries > 0, "rate-0.5 corruption should force retries");
+}
+
+/// Tentpole acceptance: with fixed seeds and the logical clock, the
+/// canonical trace export is *byte-identical* across worker counts and
+/// submission orders — concurrency is invisible to the trace exactly as
+/// it is to the forecasts. Runs the full 32-request stress batch, rigged
+/// faults included.
+#[test]
+fn canonical_trace_is_byte_identical_across_schedules() {
+    let requests = stress_batch();
+    let serve_traced = |order: &[ForecastRequest], workers: usize| {
+        let obs = Arc::new(Observer::logical());
+        serve_all_observed(order, &ServeConfig::with_workers(workers), obs.clone());
+        (obs.to_jsonl(), obs.metrics().get(Counter::Attempts))
+    };
+
+    let (reference, attempts) = serve_traced(&requests, 1);
+    assert!(!reference.is_empty(), "the stress batch must produce a trace");
+    assert!(
+        reference.lines().count() > 32,
+        "more trace rows than requests: attempts, joins, resolves"
+    );
+    for line in reference.lines() {
+        assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "JSONL row: {line}");
+    }
+
+    for workers in [2usize, 4, 8] {
+        let (trace, n) = serve_traced(&requests, workers);
+        assert_eq!(trace, reference, "{workers} workers changed the canonical trace");
+        assert_eq!(n, attempts, "{workers} workers changed the attempt count");
+    }
+    for shuffle_seed in [3u64, 11] {
+        let order = shuffled(&requests, shuffle_seed);
+        let (trace, _) = serve_traced(&order, 8);
+        assert_eq!(trace, reference, "shuffle {shuffle_seed} changed the canonical trace");
+    }
 }
 
 /// Context sharing is what the scheduler exists for: requests with the
