@@ -26,11 +26,14 @@ use mc_tslib::backtest::{backtest, BacktestConfig};
 use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
 use mc_tslib::metrics::rmse;
 use mc_tslib::split::holdout_split;
-use multicast_core::robust::{DefectClass, FaultSpec, SampleSource};
+use multicast_core::robust::{DefectClass, FaultProfile};
 use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
 
 /// RMSE degradation vs injected-defect rate, one forecaster per rate.
-fn fault_injection_study(samples: usize, metrics: bool) {
+/// The `profile` carries every non-rate chaos knob (seed, panic sample,
+/// latency inflation) in the shared [`FaultProfile`] format; the study
+/// sweeps the rate on top of it.
+fn fault_injection_study(samples: usize, metrics: bool, profile: FaultProfile) {
     // The study *intends* to panic inside isolated sample threads; the
     // default hook would spam a backtrace per injected panic.
     std::panic::set_hook(Box::new(|_| {}));
@@ -43,8 +46,7 @@ fn fault_injection_study(samples: usize, metrics: bool) {
     let registry = MetricsRegistry::new();
     for rate_pct in [0u32, 20, 40, 60, 80, 100] {
         let rate = rate_pct as f64 / 100.0;
-        let source =
-            SampleSource::FaultInjected(FaultSpec { rate, seed: 0xFA017, panic_sample: Some(0) });
+        let source = profile.with_rate(rate).source();
         let config = ForecastConfig { samples, ..Default::default() };
         let mut f =
             MultiCastForecaster::new(MuxMethod::ValueInterleave, config).with_source(source);
@@ -89,7 +91,13 @@ fn main() {
     let metrics = std::env::args().any(|a| a == "--metrics");
     let samples = if fast { 1 } else { 5 };
     if std::env::args().any(|a| a == "--faults") {
-        fault_injection_study(samples.max(3), metrics);
+        // `--profile key=value,...` overrides the default chaos knobs
+        // (shared FaultProfile grammar; the swept rate is ignored here).
+        let profile = std::env::args().skip_while(|a| a != "--profile").nth(1).map_or_else(
+            || FaultProfile { seed: 0xFA017, panic_sample: Some(0), ..Default::default() },
+            |spec| FaultProfile::parse(&spec).expect("--profile"),
+        );
+        fault_injection_study(samples.max(3), metrics, profile);
         return;
     }
     let mut t = Table::new(

@@ -22,7 +22,7 @@ use mc_tslib::error::{invalid_param, pipeline_error, Result};
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::cost::InferenceCost;
-use mc_lm::generate::{generate_session, GenerateOptions};
+use mc_lm::generate::{generate_session_budgeted, DecodeBudget, GenerateOptions};
 use mc_lm::metered::{CostLedger, MeteredLm};
 use mc_lm::model::FrozenLm;
 use mc_lm::presets::fit_model;
@@ -158,7 +158,7 @@ impl ForecastEngine {
             cfg.robust,
             self.source,
             &expect,
-            |vi| sampler.draw(cfg.sampler_for(vi)),
+            |vi, budget| sampler.draw_budgeted(cfg.sampler_for(vi), budget),
             |text| fitted.decode(text, horizon),
             TraceScope { obs, req, ctx },
         )?;
@@ -331,13 +331,31 @@ impl<'a> SessionSampler<'a> {
     /// [`mc_tslib::error::TsError::Pipeline`] when the backend emits an
     /// out-of-vocabulary token (an infrastructure bug, not a sample defect).
     pub fn draw(&self, config: SamplerConfig) -> Result<(String, InferenceCost)> {
+        self.draw_budgeted(config, None)
+    }
+
+    /// [`SessionSampler::draw`] under an optional decode deadline: the
+    /// session stops cooperatively once `budget` generated tokens are
+    /// spent, returning whatever (possibly truncated) text exists at that
+    /// point — the robust layer's validation classifies the truncation.
+    /// A `None` budget is exactly [`SessionSampler::draw`].
+    ///
+    /// # Errors
+    /// Exactly as [`SessionSampler::draw`].
+    pub fn draw_budgeted(
+        &self,
+        config: SamplerConfig,
+        budget: Option<u64>,
+    ) -> Result<(String, InferenceCost)> {
         let mut session = self.frozen.fork();
         let mut sampler = Sampler::new(config);
-        let out = generate_session(
+        let budget = budget.map(DecodeBudget::new);
+        let out = generate_session_budgeted(
             session.as_mut(),
             &mut sampler,
             |t: TokenId| self.allowed[t as usize],
             &self.options,
+            budget.as_ref(),
         );
         let text = self
             .tokenizer

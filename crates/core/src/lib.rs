@@ -49,6 +49,7 @@ pub mod intervals;
 pub mod llmtime;
 pub mod multicast;
 pub mod mux;
+pub mod overload;
 pub mod pipeline;
 pub mod robust;
 pub mod sax_pipeline;
@@ -67,9 +68,12 @@ pub use intervals::{bands_for, forecast_with_bands, ForecastBands};
 pub use llmtime::LlmTimeForecaster;
 pub use multicast::MultiCastForecaster;
 pub use mux::{DigitInterleave, Multiplexer, MuxMethod, ValueConcat, ValueInterleave};
+pub use overload::{
+    BreakerPolicy, BreakerState, CircuitBreaker, OverloadState, Priority, QuotaLedger, ServeDefect,
+};
 pub use robust::{
-    DefectClass, FallbackPolicy, FaultSpec, ForecastOutcome, ForecastReport, RobustPolicy,
-    SampleDefect, SampleSource,
+    DefectClass, FallbackPolicy, FaultProfile, FaultSpec, ForecastOutcome, ForecastReport,
+    RobustPolicy, SampleDefect, SampleSource,
 };
 pub use sax_pipeline::{SaxForecastConfig, SaxMultiCastForecaster};
 pub use scaling::FixedDigitScaler;

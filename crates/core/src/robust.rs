@@ -92,6 +92,13 @@ pub enum SampleDefect {
         /// Panic payload rendered to text.
         message: String,
     },
+    /// The sample's deadline budget ran out before a draw could start
+    /// (never retried — the budget cannot grow back).
+    DeadlineExpired {
+        /// Token budget remaining when the attempt was scheduled (0, or
+        /// small enough that latency inflation consumed it).
+        budget: u64,
+    },
 }
 
 /// Defect kind without payload, for counting and reporting.
@@ -111,11 +118,13 @@ pub enum DefectClass {
     ShapeMismatch,
     /// See [`SampleDefect::Panicked`].
     Panicked,
+    /// See [`SampleDefect::DeadlineExpired`].
+    DeadlineExpired,
 }
 
 impl DefectClass {
     /// All classes, in taxonomy order.
-    pub const ALL: [DefectClass; 7] = [
+    pub const ALL: [DefectClass; 8] = [
         DefectClass::Truncated,
         DefectClass::WrongGroupWidth,
         DefectClass::NonNumericGroup,
@@ -123,6 +132,7 @@ impl DefectClass {
         DefectClass::NonFinite,
         DefectClass::ShapeMismatch,
         DefectClass::Panicked,
+        DefectClass::DeadlineExpired,
     ];
 
     /// Short stable name for reports.
@@ -135,6 +145,7 @@ impl DefectClass {
             DefectClass::NonFinite => "non-finite",
             DefectClass::ShapeMismatch => "shape",
             DefectClass::Panicked => "panic",
+            DefectClass::DeadlineExpired => "deadline",
         }
     }
 
@@ -149,6 +160,7 @@ impl DefectClass {
             DefectClass::NonFinite => 4,
             DefectClass::ShapeMismatch => 5,
             DefectClass::Panicked => 6,
+            DefectClass::DeadlineExpired => 7,
         }
     }
 }
@@ -164,6 +176,7 @@ impl SampleDefect {
             SampleDefect::NonFinite { .. } => DefectClass::NonFinite,
             SampleDefect::ShapeMismatch { .. } => DefectClass::ShapeMismatch,
             SampleDefect::Panicked { .. } => DefectClass::Panicked,
+            SampleDefect::DeadlineExpired { .. } => DefectClass::DeadlineExpired,
         }
     }
 
@@ -179,7 +192,8 @@ impl SampleDefect {
             | SampleDefect::OutOfBandCode { .. }
             | SampleDefect::NonFinite { .. }
             | SampleDefect::ShapeMismatch { .. }
-            | SampleDefect::Panicked { .. } => true,
+            | SampleDefect::Panicked { .. }
+            | SampleDefect::DeadlineExpired { .. } => true,
         }
     }
 }
@@ -262,11 +276,27 @@ pub struct RobustPolicy {
     pub min_valid_samples: usize,
     /// What to do when the quorum fails.
     pub fallback: FallbackPolicy,
+    /// Per-request generated-token deadline, split evenly across sample
+    /// slots (`None` disables deadlines). A sample whose slice runs out
+    /// settles with a fatal [`SampleDefect::DeadlineExpired`] instead of
+    /// blocking a worker; quorum then degrades to the fallback as usual.
+    pub deadline_tokens: Option<u64>,
+    /// Base of the bounded exponential retry backoff, in logical dispatch
+    /// slots (0 disables backoff and retries re-queue immediately).
+    /// Backoff only reorders when a retry is dispatched relative to other
+    /// queued work — it never changes what any attempt computes.
+    pub backoff_base: u32,
 }
 
 impl Default for RobustPolicy {
     fn default() -> Self {
-        Self { max_retries: 2, min_valid_samples: 1, fallback: FallbackPolicy::SeasonalNaive }
+        Self {
+            max_retries: 2,
+            min_valid_samples: 1,
+            fallback: FallbackPolicy::SeasonalNaive,
+            deadline_tokens: None,
+            backoff_base: 0,
+        }
     }
 }
 
@@ -274,6 +304,25 @@ impl RobustPolicy {
     /// The quorum actually enforced for a run of `samples` draws.
     pub fn required_valid(&self, samples: usize) -> usize {
         self.min_valid_samples.clamp(1, samples.max(1))
+    }
+
+    /// The per-sample token slice of the deadline, if one is set: the
+    /// total budget divided evenly across sample slots, so exhaustion
+    /// depends only on a sample's own draws (attempt chains are
+    /// per-sample sequential) and stays schedule-independent.
+    pub fn sample_budget(&self, samples: usize) -> Option<u64> {
+        self.deadline_tokens.map(|total| total / samples.max(1) as u64)
+    }
+
+    /// Bounded exponential backoff before retry `attempt`:
+    /// `base << (attempt - 1)` dispatch slots, capped at 1024. Zero when
+    /// backoff is disabled or for first attempts.
+    pub fn backoff_delay(&self, attempt: usize) -> u64 {
+        if self.backoff_base == 0 || attempt == 0 {
+            return 0;
+        }
+        let shift = (attempt - 1).min(10) as u32;
+        (u64::from(self.backoff_base) << shift).min(1024)
     }
 }
 
@@ -307,12 +356,16 @@ pub struct FaultSpec {
     pub seed: u64,
     /// Sample index whose first attempt panics (panic-isolation drill).
     pub panic_sample: Option<usize>,
+    /// Latency inflation: phantom tokens every draw burns from its
+    /// deadline budget before producing output (a rigged slow backend).
+    /// Ignored when no deadline is set; never touches cost accounting.
+    pub latency_tokens: u64,
 }
 
 impl FaultSpec {
-    /// Corruption at `rate`, no injected panic.
+    /// Corruption at `rate`, no injected panic, no latency inflation.
     pub fn with_rate(rate: f64, seed: u64) -> Self {
-        Self { rate, seed, panic_sample: None }
+        Self { rate, seed, panic_sample: None, latency_tokens: 0 }
     }
 
     fn hash(&self, sample: usize, attempt: usize) -> u64 {
@@ -364,6 +417,104 @@ impl FaultSpec {
             // Total loss: empty continuation.
             _ => String::new(),
         }
+    }
+}
+
+/// The declarative fault profile shared by every chaos entry point —
+/// `backtest_eval --faults`, the `serve_chaos` bin, and tests all parse
+/// this one format instead of growing private flag grammars.
+///
+/// Textual form is a comma-separated key=value list; every key optional:
+/// `rate=0.4,seed=7,panic=0,latency=16,quota=4096`. `panic` is a sample
+/// index (omitted = no injected panic); `quota` is a per-client
+/// generated-token allowance for serve-path drills (omitted = unlimited).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Fraction of continuations corrupted, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed decorrelating corruption decisions from sampling seeds.
+    pub seed: u64,
+    /// Sample index whose first attempt panics.
+    pub panic_sample: Option<usize>,
+    /// Phantom tokens each draw burns from its deadline budget.
+    pub latency_tokens: u64,
+    /// Per-client generated-token quota for serve-path chaos drills.
+    pub quota_tokens: Option<u64>,
+}
+
+impl FaultProfile {
+    /// Parses the `key=value,...` form. Unknown keys and malformed
+    /// values are errors — a chaos drill with a silently-dropped knob
+    /// tests the wrong thing.
+    ///
+    /// # Errors
+    /// On unknown keys, malformed numbers, or a rate outside `[0, 1]`.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut profile = FaultProfile::default();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| invalid_param("faults", format!("`{part}` is not key=value")))?;
+            let bad = |what: &str| invalid_param("faults", format!("`{value}` is not a {what}"));
+            match key.trim() {
+                "rate" => {
+                    let rate: f64 = value.parse().map_err(|_| bad("number"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(invalid_param("faults", "rate must be in [0, 1]"));
+                    }
+                    profile.rate = rate;
+                }
+                "seed" => profile.seed = value.parse().map_err(|_| bad("seed"))?,
+                "panic" => profile.panic_sample = Some(value.parse().map_err(|_| bad("index"))?),
+                "latency" => profile.latency_tokens = value.parse().map_err(|_| bad("count"))?,
+                "quota" => profile.quota_tokens = Some(value.parse().map_err(|_| bad("count"))?),
+                other => {
+                    return Err(invalid_param("faults", format!("unknown fault key `{other}`")))
+                }
+            }
+        }
+        Ok(profile)
+    }
+
+    /// The same profile at a different corruption rate (rate sweeps).
+    pub fn with_rate(self, rate: f64) -> Self {
+        Self { rate, ..self }
+    }
+
+    /// The corruption spec this profile injects.
+    pub fn fault_spec(&self) -> FaultSpec {
+        FaultSpec {
+            rate: self.rate,
+            seed: self.seed,
+            panic_sample: self.panic_sample,
+            latency_tokens: self.latency_tokens,
+        }
+    }
+
+    /// The sample source this profile drives: fault-injected when any
+    /// knob that perturbs draws is set, the untouched model otherwise.
+    pub fn source(&self) -> SampleSource {
+        if self.rate > 0.0 || self.panic_sample.is_some() || self.latency_tokens > 0 {
+            SampleSource::FaultInjected(self.fault_spec())
+        } else {
+            SampleSource::Model
+        }
+    }
+}
+
+impl std::fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rate={},seed={}", self.rate, self.seed)?;
+        if let Some(p) = self.panic_sample {
+            write!(f, ",panic={p}")?;
+        }
+        if self.latency_tokens > 0 {
+            write!(f, ",latency={}", self.latency_tokens)?;
+        }
+        if let Some(q) = self.quota_tokens {
+            write!(f, ",quota={q}")?;
+        }
+        Ok(())
     }
 }
 
@@ -538,18 +689,40 @@ pub fn virtual_index(samples: usize, sample: usize, attempt: usize) -> usize {
     }
 }
 
+/// The decode budget an attempt actually receives: the caller's remaining
+/// deadline slice, shrunk by the fault profile's latency inflation (a
+/// rigged slow backend burns budget before emitting a single token).
+/// `None` means no deadline is in force.
+pub fn effective_budget(source: SampleSource, budget: Option<u64>) -> Option<u64> {
+    let remaining = budget?;
+    let latency = match source {
+        SampleSource::Model => 0,
+        SampleSource::FaultInjected(f) => f.latency_tokens,
+    };
+    Some(remaining.saturating_sub(latency))
+}
+
 /// Runs one `(sample, attempt)` draw with panic isolation: injected-panic
-/// check, `draw`, deterministic corruption, text + decoded validation.
-/// Pure with respect to scheduling — the outcome depends only on the
-/// arguments, never on which thread runs it or what other samples are in
-/// flight, which is what makes round-based retries ([`run_attempts`]) and
-/// work-stealing schedulers ([`crate::serve`]) bit-identical.
+/// check, deadline check, `draw`, deterministic corruption, text + decoded
+/// validation. Pure with respect to scheduling — the outcome depends only
+/// on the arguments, never on which thread runs it or what other samples
+/// are in flight, which is what makes round-based retries
+/// ([`run_attempts`]) and work-stealing schedulers ([`crate::serve`])
+/// bit-identical.
+///
+/// `budget` is the sample's remaining deadline slice in generated tokens
+/// (`None` = no deadline). A zero effective budget settles immediately
+/// with a fatal [`SampleDefect::DeadlineExpired`] and zero cost — the
+/// draw never starts. Otherwise the effective budget is handed to `draw`,
+/// which should cancel cooperatively mid-continuation when it runs dry;
+/// the truncated text then flows through ordinary defect validation.
 pub fn execute_attempt(
     source: SampleSource,
     sample: usize,
     attempt: usize,
     expect: &SampleExpectations,
-    draw: impl FnOnce() -> Result<(String, InferenceCost)>,
+    budget: Option<u64>,
+    draw: impl FnOnce(Option<u64>) -> Result<(String, InferenceCost)>,
     decode: impl FnOnce(&str) -> Result<Vec<Vec<f64>>>,
 ) -> AttemptOutcome {
     let result = catch_unwind(AssertUnwindSafe(move || -> Result<AttemptOutcome> {
@@ -558,7 +731,15 @@ pub fn execute_attempt(
                 panic!("injected panic (sample {sample})");
             }
         }
-        let (text, cost) = draw()?;
+        let effective = effective_budget(source, budget);
+        if effective == Some(0) {
+            return Ok(AttemptOutcome::Done {
+                decoded: Vec::new(),
+                cost: InferenceCost::default(),
+                defects: vec![SampleDefect::DeadlineExpired { budget: budget.unwrap_or(0) }],
+            });
+        }
+        let (text, cost) = draw(effective)?;
         let text = match source {
             SampleSource::Model => text,
             SampleSource::FaultInjected(f) => f.corrupt(sample, attempt, &text),
@@ -709,6 +890,7 @@ pub struct RobustProgress {
     records: Vec<SampleRecord>,
     decoded: Vec<Option<Vec<Vec<f64>>>>,
     cost: InferenceCost,
+    spent: Vec<u64>,
     outstanding: usize,
     failed: Option<TsError>,
 }
@@ -730,6 +912,7 @@ impl RobustProgress {
                 .collect(),
             decoded: vec![None; samples],
             cost: InferenceCost::default(),
+            spent: vec![0; samples],
             outstanding: samples,
             failed: None,
         })
@@ -755,6 +938,17 @@ impl RobustProgress {
         self.cost
     }
 
+    /// The deadline budget left for `sample`'s next attempt: its policy
+    /// slice minus the generated tokens its prior attempts consumed.
+    /// `None` when no deadline is in force. A sample's attempt chain is
+    /// strictly sequential under every scheduler, so this depends only on
+    /// the sample's own history — never on interleaving.
+    pub fn remaining_budget(&self, sample: usize) -> Option<u64> {
+        self.policy
+            .sample_budget(self.samples)
+            .map(|slice| slice.saturating_sub(self.spent.get(sample).copied().unwrap_or(slice)))
+    }
+
     /// Folds one attempt's outcome into the run and says whether the
     /// sample retries. Cost is absorbed on every completed draw, valid or
     /// not — failed attempts were paid for.
@@ -768,11 +962,19 @@ impl RobustProgress {
         match outcome {
             AttemptOutcome::Done { decoded, cost, defects } => {
                 self.cost.absorb(cost);
+                self.spent[sample] += cost.generated_tokens;
                 let fatal = defects.iter().any(SampleDefect::is_fatal);
+                let expired = defects.iter().any(|d| d.class() == DefectClass::DeadlineExpired);
                 self.records[sample].defects.extend(defects);
                 if !fatal {
                     self.decoded[sample] = Some(decoded);
                     self.records[sample].valid = true;
+                    self.outstanding -= 1;
+                    return AttemptDisposition::Settled;
+                }
+                if expired {
+                    // The budget cannot grow back — retrying would only
+                    // burn queue slots to reach the same expiry.
                     self.outstanding -= 1;
                     return AttemptDisposition::Settled;
                 }
@@ -852,12 +1054,14 @@ pub fn run_samples_robust<D>(
 where
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
+    // The refit-per-attempt path has no session-level decode budget; the
+    // pre-draw deadline check in `execute_attempt` still applies.
     run_attempts(
         samples,
         policy,
         source,
         expect,
-        |vi| run_continuation(spec, sampler_for(vi)),
+        |vi, _budget| run_continuation(spec, sampler_for(vi)),
         decode,
     )
 }
@@ -883,7 +1087,7 @@ pub fn run_attempts<Draw, D>(
     decode: D,
 ) -> Result<RobustRun>
 where
-    Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
+    Draw: Fn(usize, Option<u64>) -> Result<(String, InferenceCost)> + Sync,
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
     run_attempts_observed(samples, policy, source, expect, draw, decode, TraceScope::disabled())
@@ -906,17 +1110,20 @@ pub fn run_attempts_observed<Draw, D>(
     scope: TraceScope<'_>,
 ) -> Result<RobustRun>
 where
-    Draw: Fn(usize) -> Result<(String, InferenceCost)> + Sync,
+    Draw: Fn(usize, Option<u64>) -> Result<(String, InferenceCost)> + Sync,
     D: Fn(&str) -> Result<Vec<Vec<f64>>> + Sync,
 {
     let mut progress = RobustProgress::new(samples, policy)?;
     let mut pending: Vec<(usize, usize)> = (0..samples).map(|i| (i, 0)).collect();
 
     while !pending.is_empty() && !progress.failed() {
+        let budgets: Vec<Option<u64>> =
+            pending.iter().map(|&(i, _)| progress.remaining_budget(i)).collect();
         let mut outcomes: Vec<Option<AttemptOutcome>> = Vec::new();
         outcomes.resize_with(pending.len(), || None);
         std::thread::scope(|s| {
-            for (slot, &(i, attempt)) in outcomes.iter_mut().zip(&pending) {
+            for ((slot, &(i, attempt)), &budget) in outcomes.iter_mut().zip(&pending).zip(&budgets)
+            {
                 let draw = &draw;
                 let decode = &decode;
                 let expect = &*expect;
@@ -927,7 +1134,8 @@ where
                         i,
                         attempt,
                         expect,
-                        || draw(vi),
+                        budget,
+                        |b| draw(vi, b),
                         |text| decode(text),
                     ));
                 });
@@ -1122,8 +1330,12 @@ mod tests {
         };
         // Decode above can yield fewer than 3 values on truncation; shape
         // validation flags that, which is exactly what we want to exercise.
-        let source =
-            SampleSource::FaultInjected(FaultSpec { rate: 0.0, seed: 0, panic_sample: Some(1) });
+        let source = SampleSource::FaultInjected(FaultSpec {
+            rate: 0.0,
+            seed: 0,
+            panic_sample: Some(1),
+            latency_tokens: 0,
+        });
         let run = run_samples_robust(
             &s,
             3,
@@ -1269,7 +1481,8 @@ mod tests {
             0,
             0,
             &expect,
-            || panic!("draw exploded"),
+            None,
+            |_| panic!("draw exploded"),
             |_| Ok(vec![vec![1.0, 2.0]]),
         );
         match outcome {
@@ -1277,14 +1490,19 @@ mod tests {
             other => panic!("expected Panicked, got {other:?}"),
         }
         // Injected panic fires before the draw runs (no cost incurred).
-        let source =
-            SampleSource::FaultInjected(FaultSpec { rate: 0.0, seed: 0, panic_sample: Some(3) });
+        let source = SampleSource::FaultInjected(FaultSpec {
+            rate: 0.0,
+            seed: 0,
+            panic_sample: Some(3),
+            latency_tokens: 0,
+        });
         let outcome = execute_attempt(
             source,
             3,
             0,
             &expect,
-            || {
+            None,
+            |_| {
                 panic!("draw must not run when the injected panic fires first");
             },
             |_| Ok(vec![vec![1.0, 2.0]]),
@@ -1326,5 +1544,190 @@ mod tests {
         assert!(s.contains("4/10 valid"), "{s}");
         assert!(s.contains("1xnon-numeric"), "{s}");
         assert!(s.contains("DEGRADED"), "{s}");
+    }
+
+    #[test]
+    fn zero_budget_settles_with_deadline_defect_and_zero_cost() {
+        let expect = numeric_expect(2, 2, 1, 2);
+        let outcome = execute_attempt(
+            SampleSource::Model,
+            0,
+            0,
+            &expect,
+            Some(0),
+            |_| panic!("draw must not run on an exhausted budget"),
+            |_| Ok(vec![vec![1.0, 2.0]]),
+        );
+        match outcome {
+            AttemptOutcome::Done { decoded, cost, defects } => {
+                assert!(decoded.is_empty());
+                assert_eq!(cost, InferenceCost::default(), "an expired attempt costs nothing");
+                assert_eq!(defects, vec![SampleDefect::DeadlineExpired { budget: 0 }]);
+                assert!(defects[0].is_fatal());
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_inflation_consumes_budget_before_the_draw() {
+        let expect = numeric_expect(2, 2, 1, 2);
+        let spec = FaultSpec { rate: 0.0, seed: 0, panic_sample: None, latency_tokens: 8 };
+        let source = SampleSource::FaultInjected(spec);
+        assert_eq!(effective_budget(source, Some(20)), Some(12));
+        assert_eq!(effective_budget(source, Some(5)), Some(0), "latency saturates, not wraps");
+        assert_eq!(effective_budget(source, None), None, "no deadline, no inflation");
+        assert_eq!(effective_budget(SampleSource::Model, Some(5)), Some(5));
+        // A budget the latency fully consumes expires without drawing.
+        let outcome = execute_attempt(
+            source,
+            0,
+            0,
+            &expect,
+            Some(8),
+            |_| panic!("latency ate the whole slice; the draw must not run"),
+            |_| Ok(vec![vec![1.0, 2.0]]),
+        );
+        match outcome {
+            AttemptOutcome::Done { defects, .. } => {
+                assert_eq!(defects, vec![SampleDefect::DeadlineExpired { budget: 8 }]);
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        // With room left, the draw receives the *inflated* remainder.
+        let outcome = execute_attempt(
+            source,
+            0,
+            0,
+            &expect,
+            Some(20),
+            |b| {
+                assert_eq!(b, Some(12));
+                Ok(("12,34,".to_string(), InferenceCost::default()))
+            },
+            |_| Ok(vec![vec![1.0, 2.0]]),
+        );
+        assert!(matches!(outcome, AttemptOutcome::Done { ref defects, .. } if defects.is_empty()));
+    }
+
+    #[test]
+    fn deadline_expiry_never_retries() {
+        let policy =
+            RobustPolicy { max_retries: 3, deadline_tokens: Some(10), ..RobustPolicy::default() };
+        let mut progress = RobustProgress::new(2, policy).unwrap();
+        assert_eq!(progress.remaining_budget(0), Some(5), "10 tokens split over 2 samples");
+        // Sample 0 burns its slice on a fatally-defective attempt...
+        let bad = AttemptOutcome::Done {
+            decoded: Vec::new(),
+            cost: InferenceCost { generated_tokens: 5, ..Default::default() },
+            defects: vec![SampleDefect::NonNumericGroup { group: 0 }],
+        };
+        assert_eq!(progress.apply(0, 0, bad), AttemptDisposition::Retry { attempt: 1 });
+        assert_eq!(progress.remaining_budget(0), Some(0));
+        // ...and the expiry outcome settles despite the retry budget.
+        let expired = AttemptOutcome::Done {
+            decoded: Vec::new(),
+            cost: InferenceCost::default(),
+            defects: vec![SampleDefect::DeadlineExpired { budget: 0 }],
+        };
+        assert_eq!(progress.apply(0, 1, expired), AttemptDisposition::Settled);
+        // Sample 1's slice is untouched by sample 0's spending.
+        assert_eq!(progress.remaining_budget(1), Some(5));
+        let ok = AttemptOutcome::Done {
+            decoded: vec![vec![1.0, 2.0]],
+            cost: InferenceCost { generated_tokens: 3, ..Default::default() },
+            defects: Vec::new(),
+        };
+        assert_eq!(progress.apply(1, 0, ok), AttemptDisposition::Settled);
+        let run = progress.finish().unwrap();
+        assert_eq!(run.report.valid_samples, 1);
+        assert_eq!(run.report.defect_count(DefectClass::DeadlineExpired), 1);
+    }
+
+    #[test]
+    fn deadline_degrades_run_to_quorum_fallback() {
+        let s = spec(&"042,".repeat(30), 3);
+        let expect = numeric_expect(3, 3, 1, 3);
+        let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
+            Ok(vec![text
+                .split(',')
+                .filter(|g| !g.is_empty())
+                .map(|g| g.parse::<f64>().unwrap_or(0.0))
+                .collect::<Vec<f64>>()])
+        };
+        // 0 total tokens: every sample's slice is 0, every attempt expires
+        // pre-draw, and the run degrades without a single retry.
+        let policy = RobustPolicy { deadline_tokens: Some(0), ..RobustPolicy::default() };
+        let run = run_samples_robust(
+            &s,
+            3,
+            policy,
+            SampleSource::Model,
+            &expect,
+            |i| SamplerConfig { seed: i as u64, ..SamplerConfig::default() },
+            decode,
+        )
+        .unwrap();
+        assert!(!run.quorum_met);
+        assert_eq!(run.report.defect_count(DefectClass::DeadlineExpired), 3);
+        assert_eq!(run.report.retries_used, 0, "expired samples never retry");
+        assert_eq!(run.cost, InferenceCost::default(), "expired attempts cost nothing");
+    }
+
+    #[test]
+    fn sample_budget_and_backoff_delay_shapes() {
+        let policy =
+            RobustPolicy { deadline_tokens: Some(100), backoff_base: 4, ..RobustPolicy::default() };
+        assert_eq!(policy.sample_budget(4), Some(25));
+        assert_eq!(policy.sample_budget(0), Some(100), "clamped divisor");
+        assert_eq!(RobustPolicy::default().sample_budget(4), None);
+        assert_eq!(policy.backoff_delay(0), 0, "first attempts never wait");
+        assert_eq!(policy.backoff_delay(1), 4);
+        assert_eq!(policy.backoff_delay(2), 8);
+        assert_eq!(policy.backoff_delay(3), 16);
+        assert_eq!(policy.backoff_delay(60), 1024, "bounded, not unbounded-exponential");
+        assert_eq!(RobustPolicy::default().backoff_delay(3), 0, "base 0 disables backoff");
+    }
+
+    #[test]
+    fn fault_profile_parses_and_roundtrips() {
+        let p = FaultProfile::parse("rate=0.4,seed=7,panic=0,latency=16,quota=4096").unwrap();
+        assert_eq!(
+            p,
+            FaultProfile {
+                rate: 0.4,
+                seed: 7,
+                panic_sample: Some(0),
+                latency_tokens: 16,
+                quota_tokens: Some(4096),
+            }
+        );
+        assert_eq!(FaultProfile::parse(&p.to_string()).unwrap(), p, "Display round-trips");
+        assert_eq!(FaultProfile::parse("").unwrap(), FaultProfile::default());
+        assert_eq!(FaultProfile::parse(" rate=0.1 , seed=3 ").unwrap().seed, 3);
+        assert!(FaultProfile::parse("rate=2.0").is_err(), "rate outside [0,1]");
+        assert!(FaultProfile::parse("bogus=1").is_err(), "unknown keys rejected");
+        assert!(FaultProfile::parse("rate").is_err(), "bare keys rejected");
+        assert!(FaultProfile::parse("seed=x").is_err(), "malformed numbers rejected");
+    }
+
+    #[test]
+    fn fault_profile_source_reflects_active_knobs() {
+        assert_eq!(FaultProfile::default().source(), SampleSource::Model);
+        let p = FaultProfile::parse("rate=0.5,seed=9").unwrap();
+        assert_eq!(p.source(), SampleSource::FaultInjected(FaultSpec::with_rate(0.5, 9)));
+        assert!(matches!(
+            FaultProfile::parse("latency=4").unwrap().source(),
+            SampleSource::FaultInjected(f) if f.latency_tokens == 4
+        ));
+        assert!(matches!(
+            FaultProfile::parse("panic=2").unwrap().source(),
+            SampleSource::FaultInjected(f) if f.panic_sample == Some(2)
+        ));
+        // Quota alone is a serve-path knob; draws stay untouched.
+        assert_eq!(FaultProfile::parse("quota=100").unwrap().source(), SampleSource::Model);
+        let swept = p.with_rate(0.9);
+        assert_eq!(swept.rate, 0.9);
+        assert_eq!(swept.seed, 9, "sweeps keep every other knob");
     }
 }

@@ -32,16 +32,22 @@
 //!   to the request whose sample drew them. Each context also carries a
 //!   [`CostLedger`] fed from inside the model boundary, so attribution can
 //!   be audited: summed per-request costs must equal the metered totals.
+//! - **Overload resilience** ([`crate::overload`], DESIGN.md §10) — a
+//!   hard submission cap and priority-aware admission shedding bound the
+//!   queue; per-client quotas and per-preset circuit breakers reject load
+//!   before it burns workers; per-request deadlines cancel decode loops
+//!   cooperatively; retries back off on the logical dispatch clock.
+//!   Rejection is always a typed outcome ([`TsError::Overloaded`]) with
+//!   zero attributed cost — never a hang, never a lost settlement.
 //!
 //! Two entry points: [`serve_all`] for a batch, and [`ServeHandle`] for
 //! incremental submit/collect.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mc_sync::{Arc, Mutex};
 
-use mc_tslib::error::{invalid_param, pipeline_error, Result, TsError};
+use mc_tslib::error::{pipeline_error, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
 
 use mc_lm::cost::InferenceCost;
@@ -56,9 +62,12 @@ use crate::codec::{Codec, DigitCodec, FittedCodec, SaxCodec};
 use crate::config::ForecastConfig;
 use crate::engine::{spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend};
 use crate::mux::MuxMethod;
+use crate::overload::{
+    BreakerPolicy, BreakerTransition, CircuitBreaker, OverloadState, Priority, ServeDefect,
+};
 use crate::robust::{
-    execute_attempt, record_attempt, virtual_index, AttemptDisposition, FallbackPolicy,
-    ForecastReport, RobustProgress, SampleExpectations, SampleSource,
+    execute_attempt, record_attempt, virtual_index, AttemptDisposition, AttemptOutcome,
+    FallbackPolicy, ForecastReport, RobustProgress, SampleDefect, SampleExpectations, SampleSource,
 };
 use crate::sched::TaskQueue;
 
@@ -95,10 +104,15 @@ pub struct ForecastRequest {
     pub config: ForecastConfig,
     /// Real backend or fault-injected (per-request chaos drills).
     pub source: SampleSource,
+    /// Admission class: under shedding, lower priorities drop first.
+    pub priority: Priority,
+    /// Client the request's cost is attributed to for quota enforcement.
+    pub client: u32,
 }
 
 impl ForecastRequest {
-    /// A model-sourced request with the digit codec.
+    /// A model-sourced request with the digit codec, normal priority,
+    /// client 0.
     pub fn digit(
         train: MultivariateSeries,
         horizon: usize,
@@ -111,6 +125,8 @@ impl ForecastRequest {
             codec: CodecChoice::Digit(method),
             config,
             source: SampleSource::Model,
+            priority: Priority::Normal,
+            client: 0,
         }
     }
 
@@ -131,6 +147,8 @@ impl ForecastRequest {
         }
         fp.write_u64(self.horizon as u64);
         fp.write_str(&format!("{:?}|{:?}|{:?}", self.codec, self.config, self.source));
+        fp.write_u64(u64::from(self.priority.rank()));
+        fp.write_u64(u64::from(self.client));
         fp.finish()
     }
 }
@@ -143,7 +161,11 @@ impl ForecastRequest {
 /// construction (same content, same seeds, same outcomes), so the
 /// canonical trace is still invariant under reordering.
 pub fn request_fingerprints(requests: &[ForecastRequest]) -> Vec<u64> {
-    let mut fps = Vec::with_capacity(requests.len());
+    fingerprints_for(requests.iter())
+}
+
+fn fingerprints_for<'a>(requests: impl Iterator<Item = &'a ForecastRequest>) -> Vec<u64> {
+    let mut fps = Vec::new();
     let mut seen: Vec<(u64, u64)> = Vec::new();
     for request in requests {
         let content = request.content_fingerprint();
@@ -172,18 +194,32 @@ pub struct RequestId(pub usize);
 pub struct ServeConfig {
     /// Worker threads draining the sample-task queue (clamped to ≥ 1).
     pub workers: usize,
+    /// Requests one flush admits; the excess is shed by
+    /// (priority, content fingerprint) — an order-invariant cut, so shed
+    /// and served sets are identical across submission orders. `None`
+    /// disables shedding.
+    pub queue_cap: Option<usize>,
+    /// Hard cap on pending submissions per flush; [`ServeHandle::submit`]
+    /// beyond it materializes a [`ServeDefect::QueueFull`] outcome
+    /// immediately. `None` disables the cap.
+    pub submit_cap: Option<usize>,
+    /// Per-client generated+prompt token allowance enforced at admission
+    /// from attributed costs of earlier flushes. `None` disables quotas.
+    pub quota_tokens: Option<u64>,
+    /// Per-preset circuit-breaker policy. `None` disables breaking.
+    pub breaker: Option<BreakerPolicy>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 4 }
+        Self { workers: 4, queue_cap: None, submit_cap: None, quota_tokens: None, breaker: None }
     }
 }
 
 impl ServeConfig {
-    /// A config with the given worker-pool width.
+    /// A config with the given worker-pool width and no overload limits.
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self { workers: workers.max(1), ..Self::default() }
     }
 }
 
@@ -288,11 +324,122 @@ struct RequestState {
     fp: u64,
     /// Trace key of the context this request joined.
     ctx_fp: u64,
+    /// The preset's circuit breaker, when breaking is enabled — workers
+    /// record every attempt outcome into its flush window.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 enum Prepared {
     Ready(Box<RequestState>),
     Failed(TsError),
+    /// Rejected before preparation by the overload layer (admission
+    /// shed, quota, breaker) or at submit time (queue full).
+    Rejected(ServeDefect),
+}
+
+/// One slot of a flush after admission: a request to run (with its trace
+/// key) or a typed rejection.
+enum Admission {
+    Run(Box<ForecastRequest>, u64),
+    Reject(ServeDefect),
+}
+
+/// A submitted slot entering a flush: the request, or a rejection already
+/// decided at submit time (queue full).
+type Submission = std::result::Result<ForecastRequest, ServeDefect>;
+
+/// Applies the overload ladder to a flush, in the fixed order quota →
+/// breaker → shed (DESIGN.md §10). Single-threaded, before any worker
+/// starts, and order-invariant:
+///
+/// - **Quota** admits or rejects *every* request of a client together —
+///   the ledger only advances at flush boundaries, so the decision can't
+///   depend on intra-flush order.
+/// - **Breaker** state only transitions at flush boundaries, so every
+///   request of a preset sees the same state.
+/// - **Shed** keeps the top `queue_cap` survivors by
+///   (priority desc, occurrence-mixed fingerprint asc) — a value-based
+///   cut; twins are interchangeable by construction.
+///
+/// Quota and shed rejections emit *deterministic* trace events (they
+/// belong to the canonical trace); breaker rejections are
+/// scheduler-scoped, since breaker state depends on flush history.
+fn admit(
+    submissions: Vec<Submission>,
+    config: &ServeConfig,
+    overload: &OverloadState,
+    obs: &dyn Recorder,
+) -> Vec<Admission> {
+    let fps = fingerprints_for(submissions.iter().filter_map(|s| s.as_ref().ok()));
+    let mut fps = fps.into_iter();
+    let mut slots: Vec<Admission> = submissions
+        .into_iter()
+        .map(|submission| {
+            let request = match submission {
+                Ok(request) => request,
+                Err(defect) => return Admission::Reject(defect),
+            };
+            let fp = fps.next().expect("one fingerprint per submitted request");
+            if let Some(quota) = config.quota_tokens {
+                let spent = overload.quota().spent(request.client);
+                if spent >= quota {
+                    if obs.enabled() {
+                        obs.record(TraceEvent {
+                            req: fp,
+                            ctx: 0,
+                            kind: EventKind::QuotaExhausted { client: request.client },
+                        });
+                    }
+                    return Admission::Reject(ServeDefect::QuotaExhausted {
+                        client: request.client,
+                        spent,
+                        quota,
+                    });
+                }
+            }
+            if config.breaker.is_some() {
+                let breaker = overload.breaker(request.config.preset);
+                if breaker.is_open() {
+                    if obs.enabled() {
+                        obs.record(TraceEvent { req: fp, ctx: 0, kind: EventKind::BreakerReject });
+                    }
+                    return Admission::Reject(ServeDefect::BreakerOpen {
+                        preset: request.config.preset,
+                        trips: breaker.trips(),
+                    });
+                }
+            }
+            Admission::Run(Box::new(request), fp)
+        })
+        .collect();
+    if let Some(cap) = config.queue_cap {
+        let mut survivors: Vec<(usize, u8, u64)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Admission::Run(request, fp) => Some((i, request.priority.rank(), *fp)),
+                Admission::Reject(_) => None,
+            })
+            .collect();
+        if survivors.len() > cap {
+            // Value-based order: priority desc, then fingerprint asc —
+            // independent of submission index, so the shed *set* is too.
+            survivors.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+            for &(i, _, fp) in &survivors[cap..] {
+                let Admission::Run(request, _) = &slots[i] else { unreachable!() };
+                let priority = request.priority;
+                if obs.enabled() {
+                    obs.record(TraceEvent {
+                        req: fp,
+                        ctx: 0,
+                        kind: EventKind::Shed { priority: priority.rank() },
+                    });
+                }
+                slots[i] = Admission::Reject(ServeDefect::Shed { priority });
+            }
+        }
+    }
+    slots
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -304,16 +451,27 @@ struct Task {
 
 /// Fits codecs and contexts for a batch; requests that fail to prepare
 /// (codec or backend fit) become [`Prepared::Failed`] without touching the
-/// others. Emits `context_fit` (first fit), `fit_dedup_hit` (reuse) and
-/// `context_join` (every resolved request) trace events.
+/// others, and admission rejections pass through as
+/// [`Prepared::Rejected`]. Emits `context_fit` (first fit),
+/// `fit_dedup_hit` (reuse) and `context_join` (every resolved request)
+/// trace events.
 fn prepare(
-    requests: &[ForecastRequest],
-    fps: &[u64],
+    slots: Vec<Admission>,
+    config: &ServeConfig,
+    overload: &OverloadState,
     obs: &Arc<dyn Recorder>,
 ) -> (Vec<Prepared>, Vec<(ContextKey, Context)>) {
     let mut contexts: Vec<(ContextKey, Context)> = Vec::new();
-    let mut states = Vec::with_capacity(requests.len());
-    for (i, request) in requests.iter().enumerate() {
+    let mut states = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (request, fp) = match slot {
+            Admission::Run(request, fp) => (request, fp),
+            Admission::Reject(defect) => {
+                states.push(Prepared::Rejected(defect));
+                continue;
+            }
+        };
+        let request = &*request;
         let prepared = (|| -> Result<Box<RequestState>> {
             let engine = ForecastEngine::with_source(request.config, request.source);
             let codec = request.codec.build(&request.config);
@@ -329,7 +487,7 @@ fn prepare(
                 Some(pos) => {
                     if obs.enabled() {
                         obs.record(TraceEvent {
-                            req: fps[i],
+                            req: fp,
                             ctx: contexts[pos].1.fp,
                             kind: EventKind::FitDedupHit,
                         });
@@ -366,10 +524,11 @@ fn prepare(
             contexts[context].1.requests += 1;
             let ctx_fp = contexts[context].1.fp;
             if obs.enabled() {
-                obs.record(TraceEvent { req: fps[i], ctx: ctx_fp, kind: EventKind::ContextJoin });
+                obs.record(TraceEvent { req: fp, ctx: ctx_fp, kind: EventKind::ContextJoin });
             }
             let samples = request.config.samples.max(1);
             let progress = RobustProgress::new(samples, request.config.robust)?;
+            let breaker = config.breaker.map(|_| overload.breaker(request.config.preset));
             Ok(Box::new(RequestState {
                 request: request.clone(),
                 expect: fitted.expectations(request.horizon),
@@ -379,8 +538,9 @@ fn prepare(
                 context,
                 samples,
                 progress: Mutex::new(progress),
-                fp: fps[i],
+                fp,
                 ctx_fp,
+                breaker,
             }))
         })();
         states.push(match prepared {
@@ -410,14 +570,21 @@ fn run_task(
     let sampler = backend.sampler(st.separators, st.max_tokens);
     let vi = virtual_index(st.samples, task.sample, task.attempt);
     let sampler_config = st.request.config.sampler_for(vi);
+    let budget = st.progress.lock().expect("request lock").remaining_budget(task.sample);
     let outcome = execute_attempt(
         st.request.source,
         task.sample,
         task.attempt,
         &st.expect,
-        || sampler.draw(sampler_config),
+        budget,
+        |b| sampler.draw_budgeted(sampler_config, b),
         |text| st.fitted.decode(text, st.request.horizon),
     );
+    if let Some(breaker) = &st.breaker {
+        let success = matches!(&outcome, AttemptOutcome::Done { defects, .. }
+            if !defects.iter().any(SampleDefect::is_fatal));
+        breaker.record(success);
+    }
     record_attempt(obs, st.fp, st.ctx_fp, task.sample, task.attempt, &outcome);
     let disposition =
         st.progress.lock().expect("request lock").apply(task.sample, task.attempt, outcome);
@@ -430,27 +597,44 @@ fn run_task(
                     kind: EventKind::Retry { sample: task.sample as u32, attempt: attempt as u32 },
                 });
             }
-            queue.push(Task { attempt, ..task });
+            let delay = st.request.config.robust.backoff_delay(attempt);
+            if delay > 0 {
+                if obs.enabled() {
+                    obs.record(TraceEvent {
+                        req: st.fp,
+                        ctx: st.ctx_fp,
+                        kind: EventKind::Backoff {
+                            sample: task.sample as u32,
+                            attempt: attempt as u32,
+                            delay: delay as u32,
+                        },
+                    });
+                }
+                queue.push_deferred(Task { attempt, ..task }, delay);
+            } else {
+                queue.push(Task { attempt, ..task });
+            }
         }
         AttemptDisposition::Settled => queue.settle_one(),
     }
 }
 
 fn run_batch(
-    requests: &[ForecastRequest],
+    submissions: Vec<Submission>,
     config: &ServeConfig,
+    overload: &OverloadState,
     base_id: usize,
     obs: &Arc<dyn Recorder>,
 ) -> (Vec<ServeOutcome>, Vec<ContextStats>) {
-    let fps = request_fingerprints(requests);
-    let (states, contexts) = prepare(requests, &fps, obs);
+    let slots = admit(submissions, config, overload, obs.as_ref());
+    let (states, contexts) = prepare(slots, config, overload, obs);
 
-    let mut initial = VecDeque::new();
+    let mut initial = Vec::new();
     let mut outstanding = 0;
     for (i, prep) in states.iter().enumerate() {
         if let Prepared::Ready(st) = prep {
             for sample in 0..st.samples {
-                initial.push_back(Task { request: i, sample, attempt: 0 });
+                initial.push(Task { request: i, sample, attempt: 0 });
             }
             outstanding += st.samples;
         }
@@ -474,11 +658,50 @@ fn run_batch(
         });
     }
 
-    let outcomes = states
+    // Quota attribution happens at the flush boundary: admitted requests
+    // are charged their full attributed cost (prompt + generated), so the
+    // *next* flush sees the advance. Intra-flush admission never observes
+    // a moving ledger — that is what keeps it order-invariant.
+    let clients: Vec<Option<u32>> = states
+        .iter()
+        .map(|prep| match prep {
+            Prepared::Ready(st) => Some(st.request.client),
+            Prepared::Failed(_) | Prepared::Rejected(_) => None,
+        })
+        .collect();
+    let outcomes: Vec<ServeOutcome> = states
         .into_iter()
         .enumerate()
         .map(|(i, prep)| finalize(i, base_id, prep, &contexts, obs.as_ref()))
         .collect();
+    if config.quota_tokens.is_some() {
+        for (outcome, client) in outcomes.iter().zip(&clients) {
+            if let Some(client) = *client {
+                let cost = outcome.cost;
+                overload.quota().charge(client, cost.prompt_tokens + cost.generated_tokens);
+            }
+        }
+    }
+
+    // Breaker state transitions only here — single-threaded, from the
+    // flush window's order-invariant success/failure counts.
+    if let Some(policy) = config.breaker {
+        for (_, breaker) in overload.breakers() {
+            let Some(transition) = breaker.settle_flush(policy) else { continue };
+            if obs.enabled() {
+                let kind = match transition {
+                    BreakerTransition::Tripped { trips } => {
+                        EventKind::BreakerTrip { trips: trips as u32 }
+                    }
+                    BreakerTransition::Closed { trips } => {
+                        EventKind::BreakerClose { trips: trips as u32 }
+                    }
+                };
+                obs.record(TraceEvent { req: 0, ctx: 0, kind });
+            }
+        }
+    }
+
     let stats = contexts
         .into_iter()
         .map(|(_, c)| ContextStats {
@@ -510,6 +733,17 @@ fn finalize(
             return ServeOutcome {
                 id,
                 forecast: Err(e),
+                report: None,
+                cost: InferenceCost::default(),
+                context: None,
+            };
+        }
+        // Rejected before any work: typed error, zero attributed cost —
+        // the conservation audit counts rejected requests at exactly zero.
+        Prepared::Rejected(defect) => {
+            return ServeOutcome {
+                id,
+                forecast: Err(defect.to_error()),
                 report: None,
                 cost: InferenceCost::default(),
                 context: None,
@@ -591,7 +825,12 @@ pub fn serve_all_observed(
     config: &ServeConfig,
     obs: Arc<dyn Recorder>,
 ) -> ServeRun {
-    let (outcomes, contexts) = run_batch(requests, config, 0, &obs);
+    // One-shot batches get a fresh overload state: quotas and breakers
+    // accumulate across flushes of a [`ServeHandle`], not across
+    // independent `serve_all` calls.
+    let overload = OverloadState::new();
+    let submissions = requests.iter().cloned().map(Ok).collect();
+    let (outcomes, contexts) = run_batch(submissions, config, &overload, 0, &obs);
     ServeRun { outcomes, contexts }
 }
 
@@ -601,9 +840,13 @@ pub fn serve_all_observed(
 /// forces execution; context sharing happens within a flush.
 pub struct ServeHandle {
     config: ServeConfig,
-    pending: Vec<ForecastRequest>,
+    /// Pending slots: admitted requests, or rejections already decided at
+    /// submit time (queue full). Rejections keep their slot so ids stay
+    /// submission indices.
+    pending: Vec<Submission>,
     outcomes: Vec<ServeOutcome>,
     contexts: Vec<ContextStats>,
+    overload: OverloadState,
     obs: Arc<dyn Recorder>,
 }
 
@@ -616,12 +859,34 @@ impl ServeHandle {
     /// A handle whose flushes emit trace events into `obs` (see
     /// [`serve_all_observed`]).
     pub fn with_recorder(config: ServeConfig, obs: Arc<dyn Recorder>) -> Self {
-        Self { config, pending: Vec::new(), outcomes: Vec::new(), contexts: Vec::new(), obs }
+        Self {
+            config,
+            pending: Vec::new(),
+            outcomes: Vec::new(),
+            contexts: Vec::new(),
+            overload: OverloadState::new(),
+            obs,
+        }
     }
 
     /// Enqueues a request; the returned id is its submission index.
+    ///
+    /// With [`ServeConfig::submit_cap`] set, submissions beyond the cap
+    /// are rejected on the spot: the id is still handed out, but
+    /// collecting it yields [`TsError::Overloaded`] (kind `queue-full`) —
+    /// backpressure is a typed outcome, not unbounded buffering.
     pub fn submit(&mut self, request: ForecastRequest) -> RequestId {
-        self.pending.push(request);
+        let admitted = self.pending.iter().filter(|slot| slot.is_ok()).count();
+        let slot = match self.config.submit_cap {
+            Some(cap) if admitted >= cap => {
+                if self.obs.enabled() {
+                    self.obs.record(TraceEvent { req: 0, ctx: 0, kind: EventKind::QueueFull });
+                }
+                Err(ServeDefect::QueueFull { cap })
+            }
+            _ => Ok(request),
+        };
+        self.pending.push(slot);
         RequestId(self.outcomes.len() + self.pending.len() - 1)
     }
 
@@ -630,9 +895,9 @@ impl ServeHandle {
         if self.pending.is_empty() {
             return;
         }
-        let requests = std::mem::take(&mut self.pending);
+        let submissions = std::mem::take(&mut self.pending);
         let (outcomes, contexts) =
-            run_batch(&requests, &self.config, self.outcomes.len(), &self.obs);
+            run_batch(submissions, &self.config, &self.overload, self.outcomes.len(), &self.obs);
         self.outcomes.extend(outcomes);
         self.contexts.extend(contexts);
     }
@@ -641,15 +906,14 @@ impl ServeHandle {
     /// request has not run yet.
     ///
     /// # Errors
-    /// When `id` was never returned by [`ServeHandle::submit`].
+    /// [`TsError::UnknownRequest`] when `id` was never returned by
+    /// [`ServeHandle::submit`]. The probe still flushes pending work
+    /// first, so a handle is never left half-executed by a bad lookup.
     pub fn collect(&mut self, id: RequestId) -> Result<ServeOutcome> {
-        if id.0 >= self.outcomes.len() + self.pending.len() {
-            return Err(invalid_param("request", "unknown request id"));
-        }
         if id.0 >= self.outcomes.len() {
             self.flush();
         }
-        Ok(self.outcomes[id.0].clone())
+        self.outcomes.get(id.0).cloned().ok_or(TsError::UnknownRequest { id: id.0 })
     }
 
     /// Every outcome executed so far (submission order).
@@ -660,6 +924,12 @@ impl ServeHandle {
     /// Context accounting across every flush so far.
     pub fn contexts(&self) -> &[ContextStats] {
         &self.contexts
+    }
+
+    /// The handle's overload state (quota ledger, circuit breakers) —
+    /// read-only introspection for reports and tests.
+    pub fn overload(&self) -> &OverloadState {
+        &self.overload
     }
 }
 
@@ -752,8 +1022,120 @@ mod tests {
 
     #[test]
     fn zero_worker_config_is_clamped() {
-        let run =
-            serve_all(&[request(4, MuxMethod::ValueInterleave, 1)], &ServeConfig { workers: 0 });
+        let run = serve_all(
+            &[request(4, MuxMethod::ValueInterleave, 1)],
+            &ServeConfig { workers: 0, ..ServeConfig::default() },
+        );
         assert!(run.outcomes[0].forecast.is_ok());
+    }
+
+    #[test]
+    fn queue_cap_sheds_lowest_priority_first() {
+        let mut interactive = request(4, MuxMethod::ValueInterleave, 1);
+        interactive.priority = Priority::Interactive;
+        let mut batch = request(5, MuxMethod::ValueInterleave, 2);
+        batch.priority = Priority::Batch;
+        let normal = request(6, MuxMethod::ValueInterleave, 3);
+        let config = ServeConfig { queue_cap: Some(2), ..ServeConfig::with_workers(2) };
+        let run = serve_all(&[batch.clone(), normal.clone(), interactive.clone()], &config);
+        assert!(run.outcomes[1].forecast.is_ok(), "normal priority survives");
+        assert!(run.outcomes[2].forecast.is_ok(), "interactive survives");
+        match &run.outcomes[0].forecast {
+            Err(TsError::Overloaded { kind, .. }) => assert_eq!(*kind, "shed"),
+            other => panic!("batch priority must be shed, got {other:?}"),
+        }
+        assert_eq!(run.outcomes[0].cost, InferenceCost::default(), "shed requests cost nothing");
+        // The shed *set* is order-invariant: reversed submission, same loser.
+        let run2 = serve_all(&[interactive, normal, batch], &config);
+        match &run2.outcomes[2].forecast {
+            Err(TsError::Overloaded { kind, .. }) => assert_eq!(*kind, "shed"),
+            other => panic!("batch priority must be shed regardless of order, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_cap_rejects_with_queue_full() {
+        let config = ServeConfig { submit_cap: Some(1), ..ServeConfig::with_workers(2) };
+        let mut handle = ServeHandle::new(config);
+        let a = handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        let b = handle.submit(request(5, MuxMethod::ValueInterleave, 2));
+        assert!(handle.collect(a).unwrap().forecast.is_ok());
+        match handle.collect(b).unwrap().forecast {
+            Err(TsError::Overloaded { kind, .. }) => assert_eq!(kind, "queue-full"),
+            other => panic!("expected queue-full rejection, got {other:?}"),
+        }
+        // The cap is per flush: after the flush the handle admits again.
+        let c = handle.submit(request(6, MuxMethod::ValueInterleave, 3));
+        assert!(handle.collect(c).unwrap().forecast.is_ok());
+    }
+
+    #[test]
+    fn quota_exhaustion_rejects_across_flushes() {
+        let config = ServeConfig { quota_tokens: Some(1), ..ServeConfig::with_workers(2) };
+        let mut handle = ServeHandle::new(config);
+        let a = handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        assert!(handle.collect(a).unwrap().forecast.is_ok(), "ledger starts empty: admitted");
+        assert!(handle.overload().quota().spent(0) > 0, "flush charged the client");
+        let b = handle.submit(request(5, MuxMethod::ValueInterleave, 2));
+        match handle.collect(b).unwrap().forecast {
+            Err(TsError::Overloaded { kind, .. }) => assert_eq!(kind, "quota"),
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // A different client is unaffected.
+        let mut other = request(4, MuxMethod::ValueInterleave, 3);
+        other.client = 1;
+        let c = handle.submit(other);
+        assert!(handle.collect(c).unwrap().forecast.is_ok());
+    }
+
+    #[test]
+    fn breaker_trips_on_rigged_failures_and_recovers() {
+        use crate::overload::BreakerState;
+        use crate::robust::FaultSpec;
+        let config = ServeConfig {
+            breaker: Some(BreakerPolicy { trip_failures: 1, cooldown_flushes: 1 }),
+            ..ServeConfig::with_workers(2)
+        };
+        let mut handle = ServeHandle::new(config);
+        let mut rigged = request(4, MuxMethod::ValueInterleave, 1);
+        rigged.source = SampleSource::FaultInjected(FaultSpec {
+            rate: 1.0,
+            seed: 7,
+            panic_sample: None,
+            latency_tokens: 0,
+        });
+        let a = handle.submit(rigged);
+        // The rigged flush fails every attempt; the boundary trips the breaker.
+        assert!(handle.collect(a).is_ok());
+        let preset = ForecastConfig::default().preset;
+        let breaker = handle.overload().breaker(preset);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.trips(), 1);
+        // While open, admission rejects before any work.
+        let b = handle.submit(request(5, MuxMethod::ValueInterleave, 2));
+        match handle.collect(b).unwrap().forecast {
+            Err(TsError::Overloaded { kind, .. }) => assert_eq!(kind, "breaker-open"),
+            other => panic!("expected breaker-open rejection, got {other:?}"),
+        }
+        // That (empty-of-attempts) flush spends the cooldown: half-open.
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // A healthy probe flush closes it again.
+        let c = handle.submit(request(4, MuxMethod::ValueInterleave, 3));
+        assert!(handle.collect(c).unwrap().forecast.is_ok());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.trips(), 1, "trips are monotone and only count real trips");
+    }
+
+    #[test]
+    fn deadline_budget_degrades_to_fallback_not_error() {
+        let mut req = request(4, MuxMethod::ValueInterleave, 1);
+        req.config.robust.deadline_tokens = Some(1);
+        let run = serve_all(&[req], &ServeConfig::with_workers(2));
+        let outcome = &run.outcomes[0];
+        let fc = outcome.forecast.as_ref().expect("deadline degrades, never errors");
+        assert_eq!(fc.len(), 4);
+        let report = outcome.report.as_ref().unwrap();
+        assert_eq!(report.valid_samples, 0, "every sample expired");
+        assert!(report.degraded(), "seasonal-naive fallback produced the forecast");
     }
 }

@@ -179,12 +179,12 @@ impl StreamingMultiCast {
             cfg.robust,
             self.source,
             &expect,
-            |vi| {
+            |vi, budget| {
                 // Decorrelate successive predict() calls: each one shifts
                 // every virtual index's seed by a per-call offset.
                 let mut s = cfg.sampler_for(vi);
                 s.seed = s.seed.wrapping_add(0x9e37).wrapping_add(drawn);
-                sampler.draw(s)
+                sampler.draw_budgeted(s, budget)
             },
             |text| self.codec.decode(text, horizon),
         )?;

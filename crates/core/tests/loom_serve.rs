@@ -15,7 +15,6 @@
 //! relies on; see DESIGN.md §8.
 #![cfg(loom)]
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mc_loom::sync::Arc;
@@ -23,6 +22,7 @@ use mc_loom::{explore, model, thread};
 
 use mc_lm::cost::InferenceCost;
 use mc_lm::metered::CostLedger;
+use multicast_core::overload::{BreakerPolicy, BreakerState, CircuitBreaker};
 use multicast_core::sched::TaskQueue;
 
 /// Workers racing over a seeded queue: every task is consumed exactly
@@ -30,7 +30,7 @@ use multicast_core::sched::TaskQueue;
 #[test]
 fn worker_pool_drains_without_lost_tasks_or_deadlock() {
     let stats = explore(|| {
-        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1, 2]), 3));
+        let queue = Arc::new(TaskQueue::new(vec![0usize, 1, 2], 3));
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let queue = Arc::clone(&queue);
@@ -62,7 +62,7 @@ fn worker_pool_drains_without_lost_tasks_or_deadlock() {
 #[test]
 fn retry_pushed_while_peer_sleeps_is_not_lost() {
     model(|| {
-        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize]), 1));
+        let queue = Arc::new(TaskQueue::new(vec![0usize], 1));
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let queue = Arc::clone(&queue);
@@ -92,7 +92,7 @@ fn retry_pushed_while_peer_sleeps_is_not_lost() {
 #[test]
 fn single_worker_drains_backlog() {
     model(|| {
-        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1, 2, 3]), 4));
+        let queue = Arc::new(TaskQueue::new(vec![0usize, 1, 2, 3], 4));
         let q = Arc::clone(&queue);
         let worker = thread::spawn(move || {
             let mut done = 0usize;
@@ -116,7 +116,7 @@ fn panicking_task_settles_without_wedging_the_pool() {
     // explored schedule.
     std::panic::set_hook(Box::new(|_| {}));
     model(|| {
-        let queue = Arc::new(TaskQueue::new(VecDeque::from([0usize, 1]), 2));
+        let queue = Arc::new(TaskQueue::new(vec![0usize, 1], 2));
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let queue = Arc::clone(&queue);
@@ -149,6 +149,127 @@ fn panicking_task_settles_without_wedging_the_pool() {
         assert_eq!(queue.next(), None);
     });
     let _ = std::panic::take_hook();
+}
+
+/// Shedding must not lose wakeups: when a producer's `offer` races a
+/// sleeping worker on a bounded queue, either the task is admitted (the
+/// worker runs and settles it) or it is rejected and the *producer*
+/// settles — in every interleaving the settlement count reaches the
+/// outstanding total and the worker observes termination. A dropped
+/// rejection (shed without settle) would deadlock here, which the checker
+/// reports as a hang.
+#[test]
+fn shed_offer_never_loses_the_settlement_wakeup() {
+    model(|| {
+        // Capacity 1, one pre-admitted task, two expected settlements.
+        let queue = Arc::new(TaskQueue::bounded(vec![0usize], 2, Some(1)));
+        let worker = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                while let Some(_task) = queue.next() {
+                    seen += 1;
+                    queue.settle_one();
+                }
+                seen
+            })
+        };
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                if queue.offer(1) {
+                    false
+                } else {
+                    // Rejected at capacity: the producer owns the
+                    // settlement, exactly as `ServeHandle::submit` turns a
+                    // full queue into an immediate typed outcome.
+                    queue.settle_one();
+                    true
+                }
+            })
+        };
+        let shed = producer.join().expect("producer");
+        let seen = worker.join().expect("worker");
+        assert_eq!(
+            seen + usize::from(shed),
+            2,
+            "admitted tasks + shed settlements cover every expected settlement"
+        );
+        assert_eq!(queue.next(), None, "termination observable after the drain");
+    });
+}
+
+/// Breaker trips are monotone and failure counts are never lost: two
+/// workers recording failures concurrently, then a single settle at the
+/// flush boundary, must see both failures and trip exactly once — in
+/// every interleaving of the atomic counter updates.
+#[test]
+fn breaker_failure_counts_survive_racing_workers() {
+    model(|| {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let breaker = Arc::clone(&breaker);
+                thread::spawn(move || breaker.record(false))
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        // trip_failures: 2 — a lost increment would keep the breaker
+        // closed and fail the assertion.
+        let policy = BreakerPolicy { trip_failures: 2, cooldown_flushes: 1 };
+        let transition = breaker.settle_flush(policy);
+        assert!(transition.is_some(), "both failures observed: the breaker trips");
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.trips(), 1, "exactly one trip for one window");
+    });
+}
+
+/// Cost conservation including rejected requests: a shed submission
+/// attributes exactly zero cost, an admitted one attributes exactly what
+/// the ledger metered — so attributed == metered holds whichever side of
+/// the capacity race each submission lands on.
+#[test]
+fn rejected_requests_conserve_cost_at_zero() {
+    model(|| {
+        let queue = Arc::new(TaskQueue::bounded(vec![7usize], 2, Some(1)));
+        let ledger = Arc::new(CostLedger::new());
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let ledger = Arc::clone(&ledger);
+            thread::spawn(move || {
+                let mut attributed = InferenceCost::default();
+                while let Some(task) = queue.next() {
+                    let cost = InferenceCost {
+                        prompt_tokens: 0,
+                        generated_tokens: task as u64,
+                        work_units: 1,
+                    };
+                    ledger.record(cost);
+                    attributed.absorb(cost);
+                    queue.settle_one();
+                }
+                attributed
+            })
+        };
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                if !queue.offer(9) {
+                    // Shed: zero cost, immediate settlement.
+                    queue.settle_one();
+                }
+            })
+        };
+        producer.join().expect("producer");
+        let attributed = worker.join().expect("worker");
+        assert_eq!(
+            ledger.snapshot(),
+            attributed,
+            "metered equals attributed; shed submissions contribute exactly zero"
+        );
+    });
 }
 
 /// Cost conservation: concurrent `record` calls from racing sessions

@@ -5,9 +5,61 @@
 //! constraint until the continuation contains enough separators to cover
 //! the forecast horizon (each separator delimits one timestamp's value).
 
+use mc_obs::{Clock, LogicalClock};
+
 use crate::model::{observe_all, DecodeSession, LanguageModel};
 use crate::sampler::Sampler;
 use crate::vocab::TokenId;
+
+/// A cooperative per-attempt decode deadline, measured in tokens.
+///
+/// Built on the `mc-obs` clock seam — each budget owns its *own*
+/// [`LogicalClock`], ticked once per generated token, so exhaustion
+/// depends only on this attempt's output, never on wall time or on what
+/// other workers are doing. The generate loop consults [`try_tick`]
+/// before every draw and stops cleanly when the budget runs dry; the
+/// truncated continuation then flows through the ordinary defect
+/// validation instead of blocking a worker.
+///
+/// [`try_tick`]: DecodeBudget::try_tick
+#[derive(Debug)]
+pub struct DecodeBudget {
+    clock: LogicalClock,
+    limit: u64,
+}
+
+impl DecodeBudget {
+    /// A budget allowing at most `limit` generated tokens.
+    pub fn new(limit: u64) -> Self {
+        Self { clock: LogicalClock::new(), limit }
+    }
+
+    /// Consumes one token of budget. Returns `false` — without
+    /// consuming — once the limit is reached; the decode loop must then
+    /// stop.
+    pub fn try_tick(&self) -> bool {
+        if self.clock.reading() >= self.limit {
+            return false;
+        }
+        self.clock.now();
+        true
+    }
+
+    /// Tokens consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.clock.reading()
+    }
+
+    /// Whether the budget has been fully consumed.
+    pub fn exhausted(&self) -> bool {
+        self.clock.reading() >= self.limit
+    }
+
+    /// The token limit this budget was built with.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
 
 /// Stopping rule and budget for one continuation.
 #[derive(Debug, Clone)]
@@ -57,10 +109,32 @@ pub fn generate_session(
     allowed: impl Fn(TokenId) -> bool,
     options: &GenerateOptions,
 ) -> Vec<TokenId> {
+    generate_session_budgeted(session, sampler, allowed, options, None)
+}
+
+/// [`generate_session`] under an optional cooperative deadline.
+///
+/// When `budget` is given, every token first consumes one unit of it;
+/// the loop stops mid-continuation as soon as the budget runs dry. A
+/// budget-truncated continuation is returned as-is — the robust layer's
+/// validation classifies the truncation, so cancellation degrades to the
+/// ordinary defect/fallback ladder instead of blocking.
+pub fn generate_session_budgeted(
+    session: &mut dyn DecodeSession,
+    sampler: &mut Sampler,
+    allowed: impl Fn(TokenId) -> bool,
+    options: &GenerateOptions,
+    budget: Option<&DecodeBudget>,
+) -> Vec<TokenId> {
     let mut out = Vec::new();
     let mut dist = vec![0.0; session.vocab_size()];
     let mut seen_stops = 0usize;
     for _ in 0..options.max_tokens {
+        if let Some(b) = budget {
+            if !b.try_tick() {
+                break;
+            }
+        }
         session.next_distribution(&mut dist);
         let token = sampler.sample(&dist, &allowed);
         session.observe(token);
@@ -156,6 +230,63 @@ mod tests {
         let opts = GenerateOptions { max_tokens: 8, stop_token: None, stop_count: 0 };
         let out = prompt_and_generate(&mut m, &prompt, &mut s, |_| true, &opts);
         assert_eq!(out, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn budget_cancels_mid_continuation() {
+        let mut m = NGramLm::new(3, 2, 0.5, "t");
+        let mut s = Sampler::new(SamplerConfig { seed: 5, ..Default::default() });
+        let opts = GenerateOptions { max_tokens: 50, stop_token: None, stop_count: 0 };
+        m.reset();
+        observe_all(&mut m, &[0, 1, 2, 0, 1, 2]);
+        let budget = DecodeBudget::new(7);
+        let out = generate_session_budgeted(
+            &mut LiveSession(&mut m),
+            &mut s,
+            |_| true,
+            &opts,
+            Some(&budget),
+        );
+        assert_eq!(out.len(), 7, "the budget, not max_tokens, bounds the draw");
+        assert_eq!(budget.spent(), 7);
+        assert!(budget.exhausted());
+        assert!(!budget.try_tick(), "an exhausted budget refuses further ticks");
+        assert_eq!(budget.spent(), 7, "a refused tick consumes nothing");
+    }
+
+    #[test]
+    fn zero_budget_draws_nothing() {
+        let mut m = NGramLm::new(3, 2, 0.5, "t");
+        let mut s = Sampler::new(SamplerConfig { seed: 6, ..Default::default() });
+        let opts = GenerateOptions { max_tokens: 10, stop_token: None, stop_count: 0 };
+        m.reset();
+        observe_all(&mut m, &[0, 1, 2]);
+        let budget = DecodeBudget::new(0);
+        let out = generate_session_budgeted(
+            &mut LiveSession(&mut m),
+            &mut s,
+            |_| true,
+            &opts,
+            Some(&budget),
+        );
+        assert!(out.is_empty());
+        assert_eq!(budget.limit(), 0);
+    }
+
+    #[test]
+    fn unbudgeted_and_roomy_budget_sample_identically() {
+        let run = |budget: Option<&DecodeBudget>| {
+            let mut m = NGramLm::new(3, 4, 0.3, "t");
+            let mut s =
+                Sampler::new(SamplerConfig { temperature: 0.2, seed: 1, ..Default::default() });
+            let opts = GenerateOptions::until_separators(2, 3, 100);
+            m.reset();
+            let prompt: Vec<TokenId> = [0u32, 1, 2].iter().cycle().take(30).copied().collect();
+            observe_all(&mut m, &prompt);
+            generate_session_budgeted(&mut LiveSession(&mut m), &mut s, |_| true, &opts, budget)
+        };
+        let roomy = DecodeBudget::new(10_000);
+        assert_eq!(run(None), run(Some(&roomy)), "a slack budget must not perturb sampling");
     }
 
     #[test]

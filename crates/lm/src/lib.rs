@@ -42,7 +42,9 @@ pub use bpe::BpeTokenizer;
 pub use concrete::ConcreteLm;
 pub use cost::InferenceCost;
 pub use ensemble::{EnsembleLm, EnsembleSession, FrozenEnsemble};
-pub use generate::{generate, generate_session, GenerateOptions};
+pub use generate::{
+    generate, generate_session, generate_session_budgeted, DecodeBudget, GenerateOptions,
+};
 pub use metered::{CostLedger, MeteredLm};
 pub use model::{DecodeSession, FrozenLm, LanguageModel};
 pub use ngram::{FrozenNGram, NGramLm, NGramSession};

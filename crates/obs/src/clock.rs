@@ -35,6 +35,14 @@ impl LogicalClock {
     pub const fn new() -> Self {
         Self { tick: AtomicU64::new(0) }
     }
+
+    /// The current tick count without advancing the clock — how many
+    /// timestamps have been minted so far. Budget checks (e.g. decode
+    /// deadlines) read this to measure spent ticks without perturbing
+    /// the tick stream.
+    pub fn reading(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
 }
 
 impl Clock for LogicalClock {
@@ -81,6 +89,17 @@ mod tests {
         assert_eq!(clock.now(), 0);
         assert_eq!(clock.now(), 1);
         assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn reading_observes_without_advancing() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.reading(), 0);
+        clock.now();
+        clock.now();
+        assert_eq!(clock.reading(), 2);
+        assert_eq!(clock.reading(), 2, "reading is a pure observation");
+        assert_eq!(clock.now(), 2, "the tick stream is unperturbed");
     }
 
     #[test]

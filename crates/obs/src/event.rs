@@ -8,18 +8,23 @@
 //! Events split into two determinism classes (see
 //! [`EventKind::deterministic`]):
 //!
-//! - **Request-scoped** events (`context_fit`, `context_join`, `attempt`,
-//!   `retry`, `defect`, `panic_isolated`, `quorum_resolve`, `fallback`)
-//!   depend only on request content and seeds. Their multiset is
-//!   invariant to worker count and submission order, so they form the
-//!   canonical trace.
+//! - **Request-scoped** events (`quota_exhausted`, `shed`, `context_fit`,
+//!   `context_join`, `attempt`, `retry`, `defect`, `panic_isolated`,
+//!   `backoff`, `quorum_resolve`, `fallback`) depend only on request
+//!   content and seeds. Their multiset is invariant to worker count and
+//!   submission order, so they form the canonical trace — admission
+//!   decisions (quota, priority shedding) are made in canonical request
+//!   order precisely so these events qualify.
 //! - **Scheduler-scoped** events (`queue_wait`, `fit_dedup_hit`,
-//!   `session_cost`) depend on which worker ran first or which request
-//!   happened to arrive ahead of its twin. They feed the metrics
-//!   registry and the wall-clock (emission-order) export only.
+//!   `session_cost`, `queue_full`, `breaker_trip`, `breaker_close`,
+//!   `breaker_reject`) depend on which worker ran first or which request
+//!   happened to arrive ahead of its twin (queue-full rejection depends
+//!   on submission order; breaker transitions on outcome arrival). They
+//!   feed the metrics registry and the wall-clock (emission-order)
+//!   export only.
 
 /// Number of sample-defect classes in `multicast-core`'s taxonomy.
-pub const DEFECT_CLASSES: usize = 7;
+pub const DEFECT_CLASSES: usize = 8;
 
 /// Stable names of the defect classes, in taxonomy order.
 ///
@@ -27,8 +32,16 @@ pub const DEFECT_CLASSES: usize = 7;
 /// depend on the core crate — the dependency points the other way); a
 /// test in the core crate pins the two lists together so they cannot
 /// drift.
-pub const DEFECT_CLASS_NAMES: [&str; DEFECT_CLASSES] =
-    ["truncated", "wrong-width", "non-numeric", "out-of-band", "non-finite", "shape", "panic"];
+pub const DEFECT_CLASS_NAMES: [&str; DEFECT_CLASSES] = [
+    "truncated",
+    "wrong-width",
+    "non-numeric",
+    "out-of-band",
+    "non-finite",
+    "shape",
+    "panic",
+    "deadline",
+];
 
 /// How one `(sample, attempt)` draw ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +152,48 @@ pub enum EventKind {
     /// The quorum failed and the classical fallback produced the
     /// forecast.
     Fallback,
+    /// A request was rejected at admission because its client's quota
+    /// was already exhausted (deterministic: quotas are settled at batch
+    /// boundaries and checked in canonical request order).
+    QuotaExhausted {
+        /// The client id whose quota ran out.
+        client: u32,
+    },
+    /// A request was shed at admission: the batch exceeded the queue
+    /// capacity and this request lost the (priority, fingerprint)
+    /// ordering (deterministic: the ordering is content-based).
+    Shed {
+        /// The shed request's priority class (0 = highest).
+        priority: u8,
+    },
+    /// A fatally-defective sample's retry was deferred by the bounded
+    /// exponential backoff before re-queueing.
+    Backoff {
+        /// Sample slot index.
+        sample: u32,
+        /// The attempt number the retry will run as.
+        attempt: u32,
+        /// Logical dispatch delay applied (base · 2^(attempt−1), bounded).
+        delay: u32,
+    },
+    /// A submission bounced off the handle's hard submission cap
+    /// (scheduler-scoped: which submission arrives over the cap depends
+    /// on submission order).
+    QueueFull,
+    /// A backend circuit breaker tripped open (scheduler-scoped: the
+    /// trip is settled from racy per-attempt records).
+    BreakerTrip {
+        /// Monotone trip count after this transition.
+        trips: u32,
+    },
+    /// A backend circuit breaker closed again after a clean probe batch.
+    BreakerClose {
+        /// Monotone trip count (unchanged by closing).
+        trips: u32,
+    },
+    /// A request was rejected at admission because its backend's breaker
+    /// was open.
+    BreakerReject,
 }
 
 impl EventKind {
@@ -156,6 +211,13 @@ impl EventKind {
             EventKind::PanicIsolated { .. } => "panic_isolated",
             EventKind::QuorumResolve { .. } => "quorum_resolve",
             EventKind::Fallback => "fallback",
+            EventKind::QuotaExhausted { .. } => "quota_exhausted",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Backoff { .. } => "backoff",
+            EventKind::QueueFull => "queue_full",
+            EventKind::BreakerTrip { .. } => "breaker_trip",
+            EventKind::BreakerClose { .. } => "breaker_close",
+            EventKind::BreakerReject => "breaker_reject",
         }
     }
 
@@ -166,25 +228,39 @@ impl EventKind {
     pub fn deterministic(&self) -> bool {
         !matches!(
             self,
-            EventKind::QueueWait { .. } | EventKind::FitDedupHit | EventKind::SessionCost { .. }
+            EventKind::QueueWait { .. }
+                | EventKind::FitDedupHit
+                | EventKind::SessionCost { .. }
+                | EventKind::QueueFull
+                | EventKind::BreakerTrip { .. }
+                | EventKind::BreakerClose { .. }
+                | EventKind::BreakerReject
         )
     }
 
     /// Ordering rank used by the canonical export so a request's events
-    /// read in pipeline order: fit, join, then per-sample attempts.
+    /// read in pipeline order: admission, fit, join, then per-sample
+    /// attempts.
     pub fn rank(&self) -> u8 {
         match self {
-            EventKind::ContextFit { .. } => 0,
-            EventKind::ContextJoin => 1,
-            EventKind::Defect { .. } => 2,
-            EventKind::PanicIsolated { .. } => 3,
-            EventKind::Attempt { .. } => 4,
-            EventKind::Retry { .. } => 5,
-            EventKind::QuorumResolve { .. } => 6,
-            EventKind::Fallback => 7,
+            EventKind::QuotaExhausted { .. } => 0,
+            EventKind::Shed { .. } => 1,
+            EventKind::ContextFit { .. } => 2,
+            EventKind::ContextJoin => 3,
+            EventKind::Defect { .. } => 4,
+            EventKind::PanicIsolated { .. } => 5,
+            EventKind::Attempt { .. } => 6,
+            EventKind::Retry { .. } => 7,
+            EventKind::Backoff { .. } => 8,
+            EventKind::QuorumResolve { .. } => 9,
+            EventKind::Fallback => 10,
             EventKind::QueueWait { .. }
             | EventKind::FitDedupHit
-            | EventKind::SessionCost { .. } => u8::MAX,
+            | EventKind::SessionCost { .. }
+            | EventKind::QueueFull
+            | EventKind::BreakerTrip { .. }
+            | EventKind::BreakerClose { .. }
+            | EventKind::BreakerReject => u8::MAX,
         }
     }
 
@@ -194,7 +270,8 @@ impl EventKind {
             EventKind::Attempt { sample, attempt, .. }
             | EventKind::Retry { sample, attempt }
             | EventKind::Defect { sample, attempt, .. }
-            | EventKind::PanicIsolated { sample, attempt } => (sample, attempt),
+            | EventKind::PanicIsolated { sample, attempt }
+            | EventKind::Backoff { sample, attempt, .. } => (sample, attempt),
             _ => (0, 0),
         }
     }
@@ -222,9 +299,16 @@ mod tests {
         assert!(!EventKind::QueueWait { ticks: 3 }.deterministic());
         assert!(!EventKind::FitDedupHit.deterministic());
         assert!(!EventKind::SessionCost { generated_tokens: 1, work_units: 2 }.deterministic());
+        assert!(!EventKind::QueueFull.deterministic());
+        assert!(!EventKind::BreakerTrip { trips: 1 }.deterministic());
+        assert!(!EventKind::BreakerClose { trips: 1 }.deterministic());
+        assert!(!EventKind::BreakerReject.deterministic());
         assert!(EventKind::ContextFit { prompt_tokens: 1, work_units: 2 }.deterministic());
         assert!(EventKind::Fallback.deterministic());
         assert!(EventKind::QuorumResolve { valid: 1, required: 1, met: true }.deterministic());
+        assert!(EventKind::QuotaExhausted { client: 3 }.deterministic());
+        assert!(EventKind::Shed { priority: 1 }.deterministic());
+        assert!(EventKind::Backoff { sample: 0, attempt: 1, delay: 2 }.deterministic());
     }
 
     #[test]
@@ -238,9 +322,20 @@ mod tests {
             generated_tokens: 0,
             work_units: 0,
         };
+        assert!(
+            EventKind::QuotaExhausted { client: 0 }.rank() < EventKind::Shed { priority: 0 }.rank()
+        );
+        assert!(EventKind::Shed { priority: 0 }.rank() < fit.rank());
         assert!(fit.rank() < EventKind::ContextJoin.rank());
         assert!(EventKind::ContextJoin.rank() < attempt.rank());
+        assert!(attempt.rank() < EventKind::Backoff { sample: 0, attempt: 1, delay: 1 }.rank());
         assert!(attempt.rank() < EventKind::Fallback.rank());
+    }
+
+    #[test]
+    fn backoff_carries_sample_coordinates() {
+        assert_eq!(EventKind::Backoff { sample: 3, attempt: 2, delay: 4 }.coords(), (3, 2));
+        assert_eq!(EventKind::Shed { priority: 1 }.coords(), (0, 0));
     }
 
     #[test]

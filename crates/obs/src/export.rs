@@ -97,6 +97,19 @@ fn body(event: &TraceEvent) -> String {
         EventKind::QuorumResolve { valid, required, met } => {
             let _ = write!(s, ",\"valid\":{valid},\"required\":{required},\"met\":{met}");
         }
+        EventKind::QuotaExhausted { client } => {
+            let _ = write!(s, ",\"client\":{client}");
+        }
+        EventKind::Shed { priority } => {
+            let _ = write!(s, ",\"priority\":{priority}");
+        }
+        EventKind::Backoff { sample, attempt, delay } => {
+            let _ = write!(s, ",\"sample\":{sample},\"attempt\":{attempt},\"delay\":{delay}");
+        }
+        EventKind::QueueFull | EventKind::BreakerReject => {}
+        EventKind::BreakerTrip { trips } | EventKind::BreakerClose { trips } => {
+            let _ = write!(s, ",\"trips\":{trips}");
+        }
     }
     s
 }
@@ -187,6 +200,13 @@ mod tests {
             EventKind::PanicIsolated { sample: 1, attempt: 2 },
             EventKind::QuorumResolve { valid: 1, required: 2, met: false },
             EventKind::Fallback,
+            EventKind::QuotaExhausted { client: 4 },
+            EventKind::Shed { priority: 1 },
+            EventKind::Backoff { sample: 1, attempt: 2, delay: 4 },
+            EventKind::QueueFull,
+            EventKind::BreakerTrip { trips: 1 },
+            EventKind::BreakerClose { trips: 1 },
+            EventKind::BreakerReject,
         ];
         for kind in kinds {
             let line = body(&TraceEvent { req: 0xabc, ctx: 0xdef, kind });

@@ -63,11 +63,25 @@ pub enum Counter {
     QuorumFailures,
     /// Forecasts produced by the classical fallback.
     Fallbacks,
+    /// Requests rejected at admission on an exhausted client quota.
+    QuotaRejections,
+    /// Requests shed at admission by the queue-capacity ordering.
+    Sheds,
+    /// Retries deferred by the bounded exponential backoff.
+    Backoffs,
+    /// Submissions bounced off the hard submission cap.
+    QueueFullRejections,
+    /// Circuit-breaker open transitions (trips).
+    BreakerTrips,
+    /// Circuit-breaker close transitions.
+    BreakerCloses,
+    /// Requests rejected at admission while a breaker was open.
+    BreakerRejections,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Events,
         Counter::QueueWaits,
         Counter::DedupHits,
@@ -90,6 +104,13 @@ impl Counter {
         Counter::QuorumResolves,
         Counter::QuorumFailures,
         Counter::Fallbacks,
+        Counter::QuotaRejections,
+        Counter::Sheds,
+        Counter::Backoffs,
+        Counter::QueueFullRejections,
+        Counter::BreakerTrips,
+        Counter::BreakerCloses,
+        Counter::BreakerRejections,
     ];
 
     /// Stable snake_case name for snapshots.
@@ -117,6 +138,13 @@ impl Counter {
             Counter::QuorumResolves => "quorum_resolves",
             Counter::QuorumFailures => "quorum_failures",
             Counter::Fallbacks => "fallbacks",
+            Counter::QuotaRejections => "quota_rejections",
+            Counter::Sheds => "sheds",
+            Counter::Backoffs => "backoffs",
+            Counter::QueueFullRejections => "queue_full_rejections",
+            Counter::BreakerTrips => "breaker_trips",
+            Counter::BreakerCloses => "breaker_closes",
+            Counter::BreakerRejections => "breaker_rejections",
         }
     }
 }
@@ -294,6 +322,13 @@ impl MetricsRegistry {
                 }
             }
             EventKind::Fallback => self.incr(Counter::Fallbacks),
+            EventKind::QuotaExhausted { .. } => self.incr(Counter::QuotaRejections),
+            EventKind::Shed { .. } => self.incr(Counter::Sheds),
+            EventKind::Backoff { .. } => self.incr(Counter::Backoffs),
+            EventKind::QueueFull => self.incr(Counter::QueueFullRejections),
+            EventKind::BreakerTrip { .. } => self.incr(Counter::BreakerTrips),
+            EventKind::BreakerClose { .. } => self.incr(Counter::BreakerCloses),
+            EventKind::BreakerReject => self.incr(Counter::BreakerRejections),
         }
     }
 
@@ -440,8 +475,15 @@ mod tests {
         reg.record_event(&ev(EventKind::PanicIsolated { sample: 0, attempt: 0 }));
         reg.record_event(&ev(EventKind::QuorumResolve { valid: 0, required: 1, met: false }));
         reg.record_event(&ev(EventKind::Fallback));
+        reg.record_event(&ev(EventKind::QuotaExhausted { client: 3 }));
+        reg.record_event(&ev(EventKind::Shed { priority: 2 }));
+        reg.record_event(&ev(EventKind::Backoff { sample: 0, attempt: 1, delay: 2 }));
+        reg.record_event(&ev(EventKind::QueueFull));
+        reg.record_event(&ev(EventKind::BreakerTrip { trips: 1 }));
+        reg.record_event(&ev(EventKind::BreakerClose { trips: 1 }));
+        reg.record_event(&ev(EventKind::BreakerReject));
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("events"), 11);
+        assert_eq!(snap.counter("events"), 18);
         assert_eq!(snap.counter("queue_waits"), 1);
         assert_eq!(snap.counter("fit_dedup_hits"), 1);
         assert_eq!(snap.counter("sessions"), 1);
@@ -457,6 +499,13 @@ mod tests {
         assert_eq!(snap.counter("quorum_resolves"), 1);
         assert_eq!(snap.counter("quorum_failures"), 1);
         assert_eq!(snap.counter("fallbacks"), 1);
+        assert_eq!(snap.counter("quota_rejections"), 1);
+        assert_eq!(snap.counter("sheds"), 1);
+        assert_eq!(snap.counter("backoffs"), 1);
+        assert_eq!(snap.counter("queue_full_rejections"), 1);
+        assert_eq!(snap.counter("breaker_trips"), 1);
+        assert_eq!(snap.counter("breaker_closes"), 1);
+        assert_eq!(snap.counter("breaker_rejections"), 1);
         assert_eq!(reg.queue_wait().count(), 1);
         assert_eq!(reg.attempt_tokens().sum(), 7);
     }

@@ -67,6 +67,21 @@ pub enum TsError {
         /// Description of the failure.
         message: String,
     },
+    /// A serve-handle lookup named a request id that was never issued.
+    UnknownRequest {
+        /// The id that failed to resolve.
+        id: usize,
+    },
+    /// A request was rejected by the serve path's overload protection
+    /// (admission control, quotas, or a tripped circuit breaker) rather
+    /// than failing — resubmit later or at lower load.
+    Overloaded {
+        /// Stable rejection kind: `queue-full`, `shed`, `quota`, or
+        /// `breaker-open`.
+        kind: &'static str,
+        /// Human-readable detail (client, priority, capacity...).
+        detail: String,
+    },
 }
 
 impl fmt::Display for TsError {
@@ -92,6 +107,12 @@ impl fmt::Display for TsError {
             }
             TsError::Pipeline { stage, message } => {
                 write!(f, "pipeline stage `{stage}` failed: {message}")
+            }
+            TsError::UnknownRequest { id } => {
+                write!(f, "unknown request id {id}: no such submission on this handle")
+            }
+            TsError::Overloaded { kind, detail } => {
+                write!(f, "request rejected under overload ({kind}): {detail}")
             }
         }
     }
@@ -144,6 +165,14 @@ mod tests {
         assert_eq!(
             pipeline_error("encode-prompt", "char 'x' not in vocabulary").to_string(),
             "pipeline stage `encode-prompt` failed: char 'x' not in vocabulary"
+        );
+        assert_eq!(
+            TsError::UnknownRequest { id: 9 }.to_string(),
+            "unknown request id 9: no such submission on this handle"
+        );
+        assert_eq!(
+            TsError::Overloaded { kind: "queue-full", detail: "cap 4".into() }.to_string(),
+            "request rejected under overload (queue-full): cap 4"
         );
     }
 

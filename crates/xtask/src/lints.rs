@@ -1,6 +1,6 @@
 //! mc-lint: deny-by-default workspace invariant lints.
 //!
-//! Five rule families over the lexed token stream (see DESIGN.md §8):
+//! Six rule families over the lexed token stream (see DESIGN.md §8):
 //!
 //! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
@@ -17,6 +17,11 @@
 //!   outside the `mc-sync` shim: locks taken behind the shim's back are
 //!   invisible to the loom model checker, so the concurrency suite would
 //!   vouch for code it never explored.
+//! - **`no-unbounded-queue`** — no raw `VecDeque` or `std::sync::mpsc`
+//!   channel use outside `sched::TaskQueue`: every work queue must flow
+//!   through the bounded admission path (capacity cap, shed settlement,
+//!   deferred-release backoff), so an ad-hoc queue cannot reintroduce
+//!   the unbounded growth the overload layer exists to prevent.
 //! - **`single-construction`** — exactly one construction site for
 //!   `SampleExpectations` (a struct literal) and one definition of
 //!   `continuation_spec` in production code, so the validation contract
@@ -36,6 +41,7 @@ pub enum Rule {
     NoPrintln,
     NoWallclock,
     NoDirectSync,
+    NoUnboundedQueue,
     SingleConstruction,
 }
 
@@ -47,6 +53,7 @@ impl Rule {
             Rule::NoPrintln => "no-println",
             Rule::NoWallclock => "no-wallclock",
             Rule::NoDirectSync => "no-direct-sync",
+            Rule::NoUnboundedQueue => "no-unbounded-queue",
             Rule::SingleConstruction => "single-construction",
         }
     }
@@ -58,6 +65,7 @@ impl Rule {
             "no-println" => Some(Rule::NoPrintln),
             "no-wallclock" => Some(Rule::NoWallclock),
             "no-direct-sync" => Some(Rule::NoDirectSync),
+            "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
             "single-construction" => Some(Rule::SingleConstruction),
             _ => None,
         }
@@ -196,6 +204,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
         no_wallclock(path, &tokens, i, &mut out);
         no_direct_sync(path, &tokens, i, &mut out);
+        no_unbounded_queue(path, &tokens, i, &mut out);
     }
     out
 }
@@ -310,6 +319,39 @@ fn no_direct_sync(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violatio
                 "std::sync::{} bypasses the mc-sync shim and hides from the loom model checker",
                 t.text
             ),
+        ));
+    }
+}
+
+/// Flags raw queue primitives: any `VecDeque` mention (import, type or
+/// constructor — importing one is how ad-hoc queues start) and any
+/// `std::sync::mpsc` path or import. Queues belong behind
+/// `sched::TaskQueue`, whose bounded admission the overload layer
+/// depends on; the one sanctioned backing store is allowlisted.
+fn no_unbounded_queue(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    if t.text == "VecDeque" {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoUnboundedQueue,
+            "VecDeque",
+            "raw VecDeque: queues must go through sched::TaskQueue so bounded admission \
+             (capacity cap, shed settlement) cannot be bypassed"
+                .to_string(),
+        ));
+    } else if t.text == "mpsc" {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoUnboundedQueue,
+            "mpsc",
+            "std::sync::mpsc channel: queues must go through sched::TaskQueue, which the \
+             admission layer bounds and the loom suite models"
+                .to_string(),
         ));
     }
 }
@@ -438,6 +480,18 @@ mod tests {
         let v = lint_file("crates/demo/src/lib.rs", src);
         let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
         assert_eq!(symbols, vec!["Instant::now", "thread_rng"]);
+    }
+
+    #[test]
+    fn raw_queue_primitives_are_flagged_in_every_form() {
+        let src = "use std::collections::VecDeque;\nfn f() { let q: VecDeque<u32> = VecDeque::new(); let (_t, _r) = std::sync::mpsc::channel::<u8>(); }";
+        let v = lint_file("crates/demo/src/lib.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["VecDeque", "VecDeque", "VecDeque", "mpsc"]);
+        assert!(v.iter().all(|v| v.rule == Rule::NoUnboundedQueue));
+        // Tests may build scratch queues.
+        let test_src = "#[cfg(test)]\nmod tests { use std::collections::VecDeque; }";
+        assert!(lint_file("crates/demo/src/lib.rs", test_src).is_empty());
     }
 
     #[test]

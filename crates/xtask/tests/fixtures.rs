@@ -11,6 +11,7 @@ const PRINTLN_FIXTURE: &str = include_str!("fixtures/println_in_lib.rs");
 const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
 const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
 const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
+const QUEUE_FIXTURE: &str = include_str!("fixtures/unbounded_queue.rs");
 
 /// `(rule, symbol, line)` triples, sorted, for compact assertions.
 fn shape(violations: &[Violation]) -> Vec<(&'static str, String, usize)> {
@@ -73,6 +74,29 @@ fn sync_fixture_flags_locks_in_path_and_use_tree_form() {
             ("no-direct-sync", "Mutex".to_string(), 8),
         ]
     );
+}
+
+#[test]
+fn queue_fixture_flags_imports_types_and_constructors_but_not_tests() {
+    let got = shape(&lint_file("tests/fixtures/unbounded_queue.rs", QUEUE_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-unbounded-queue", "VecDeque".to_string(), 2),
+            ("no-unbounded-queue", "VecDeque".to_string(), 4),
+            ("no-unbounded-queue", "VecDeque".to_string(), 5),
+            ("no-unbounded-queue", "mpsc".to_string(), 9),
+        ]
+    );
+    // The sanctioned backing store is suppressed the same way the real
+    // workspace allowlist suppresses sched.rs — by named symbol.
+    let allow = Allowlist::parse(
+        "no-unbounded-queue tests/fixtures/unbounded_queue.rs VecDeque -- fixture exercise\n\
+         no-unbounded-queue tests/fixtures/unbounded_queue.rs mpsc -- fixture exercise\n",
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(lint_file("tests/fixtures/unbounded_queue.rs", QUEUE_FIXTURE));
+    assert!(kept.is_empty() && stale.is_empty());
 }
 
 #[test]
@@ -148,6 +172,7 @@ fn every_rule_name_round_trips_through_parse() {
         Rule::NoPrintln,
         Rule::NoWallclock,
         Rule::NoDirectSync,
+        Rule::NoUnboundedQueue,
         Rule::SingleConstruction,
     ] {
         assert_eq!(Rule::parse(rule.name()), Some(rule));

@@ -1,0 +1,18 @@
+//! Fixture: raw queue primitives outside the sched admission layer.
+use std::collections::VecDeque;
+
+pub fn backlog() -> VecDeque<u64> {
+    VecDeque::with_capacity(64)
+}
+
+pub fn pipe() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u64>();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_queues_are_fine_here() {
+        let _q: std::collections::VecDeque<u8> = std::collections::VecDeque::new();
+    }
+}

@@ -10,8 +10,8 @@ use multicast_suite::core::robust::{
 };
 use multicast_suite::core::{
     serve_all_observed, CodecChoice, ForecastConfig, ForecastRequest, LlmTimeForecaster,
-    MultiCastForecaster, MuxMethod, SaxForecastConfig, SaxMultiCastForecaster, ServeConfig,
-    StreamingMultiCast,
+    MultiCastForecaster, MuxMethod, Priority, SaxForecastConfig, SaxMultiCastForecaster,
+    ServeConfig, StreamingMultiCast,
 };
 use multicast_suite::datasets::generators::sinusoids;
 use multicast_suite::obs::{
@@ -29,7 +29,12 @@ fn series(n: usize) -> MultivariateSeries {
 
 /// 40 % of continuations corrupted plus one guaranteed panicking sample.
 fn heavy_faults() -> SampleSource {
-    SampleSource::FaultInjected(FaultSpec { rate: 0.4, seed: 7, panic_sample: Some(0) })
+    SampleSource::FaultInjected(FaultSpec {
+        rate: 0.4,
+        seed: 7,
+        panic_sample: Some(0),
+        latency_tokens: 0,
+    })
 }
 
 #[test]
@@ -71,7 +76,12 @@ fn fault_report_accounts_for_each_defect_class() {
     // kinds (hard truncation, garbage groups, total loss), so across
     // 6 samples x 3 attempts both text-level defect classes must appear —
     // and everything observed must be fatal (no silent repairs of garbage).
-    let source = SampleSource::FaultInjected(FaultSpec { rate: 1.0, seed: 3, panic_sample: None });
+    let source = SampleSource::FaultInjected(FaultSpec {
+        rate: 1.0,
+        seed: 3,
+        panic_sample: None,
+        latency_tokens: 0,
+    });
     let config = ForecastConfig { samples: 6, ..Default::default() };
     let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, config).with_source(source);
     let fc = f.forecast(&train, 8).unwrap();
@@ -92,13 +102,19 @@ fn fault_report_accounts_for_each_defect_class() {
 fn error_policy_surfaces_typed_quorum_failure() {
     let s = series(96);
     let (train, _) = holdout_split(&s, 0.1).unwrap();
-    let source = SampleSource::FaultInjected(FaultSpec { rate: 1.0, seed: 4, panic_sample: None });
+    let source = SampleSource::FaultInjected(FaultSpec {
+        rate: 1.0,
+        seed: 4,
+        panic_sample: None,
+        latency_tokens: 0,
+    });
     let config = ForecastConfig {
         samples: 3,
         robust: RobustPolicy {
             max_retries: 1,
             min_valid_samples: 2,
             fallback: FallbackPolicy::Error,
+            ..RobustPolicy::default()
         },
         ..Default::default()
     };
@@ -161,7 +177,12 @@ fn streaming_survives_heavy_faults_and_degrades_gracefully() {
     assert_eq!(report.defect_count(DefectClass::Panicked), 1);
 
     // Total corruption: streaming falls back to its rolling-tail forecast.
-    let source = SampleSource::FaultInjected(FaultSpec { rate: 1.0, seed: 9, panic_sample: None });
+    let source = SampleSource::FaultInjected(FaultSpec {
+        rate: 1.0,
+        seed: 9,
+        panic_sample: None,
+        latency_tokens: 0,
+    });
     let mut dead = StreamingMultiCast::new(MuxMethod::ValueInterleave, config, &train)
         .unwrap()
         .with_source(source);
@@ -197,6 +218,8 @@ fn serve_registry_counters_match_rigged_fault_reports() {
             codec: CodecChoice::Digit(MuxMethod::ValueInterleave),
             config: ForecastConfig { samples: 4, ..Default::default() },
             source: heavy_faults(),
+            priority: Priority::Normal,
+            client: 0,
         },
         ForecastRequest {
             train: train.clone(),
@@ -207,7 +230,10 @@ fn serve_registry_counters_match_rigged_fault_reports() {
                 rate: 1.0,
                 seed: 3,
                 panic_sample: None,
+                latency_tokens: 0,
             }),
+            priority: Priority::Normal,
+            client: 0,
         },
         ForecastRequest::digit(
             train.clone(),

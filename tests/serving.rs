@@ -16,12 +16,14 @@ use mc_datasets::generators::sinusoids;
 use mc_obs::{Counter, Observer};
 use mc_sax::alphabet::{SaxAlphabet, SaxAlphabetKind};
 use mc_sax::encoder::SaxConfig;
+use mc_tslib::error::TsError;
 use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::series::MultivariateSeries;
 use multicast_core::robust::{DefectClass, FaultSpec, RobustPolicy, SampleSource};
+use multicast_core::serve::ServeHandle;
 use multicast_core::{
     serve_all, serve_all_observed, CodecChoice, ForecastConfig, ForecastRequest,
-    MultiCastForecaster, MuxMethod, RequestId, ServeConfig, ServeRun,
+    MultiCastForecaster, MuxMethod, Priority, RequestId, ServeConfig, ServeRun,
 };
 
 fn series(n: usize, phase: f64, offset: f64) -> MultivariateSeries {
@@ -195,6 +197,8 @@ fn stress_batch() -> Vec<ForecastRequest> {
             codec,
             config,
             source: SampleSource::Model,
+            priority: Priority::Normal,
+            client: 0,
         };
         if i == 7 {
             // Every attempt of every sample corrupted, one retry: the
@@ -208,6 +212,7 @@ fn stress_batch() -> Vec<ForecastRequest> {
                 rate: 0.0,
                 seed: 0,
                 panic_sample: Some(0),
+                latency_tokens: 0,
             });
         }
         requests.push(request);
@@ -364,6 +369,97 @@ fn canonical_trace_is_byte_identical_across_schedules() {
         let order = shuffled(&requests, shuffle_seed);
         let (trace, _) = serve_traced(&order, 8);
         assert_eq!(trace, reference, "shuffle {shuffle_seed} changed the canonical trace");
+    }
+}
+
+/// Satellite: `collect` with an id the handle never issued is a *typed*
+/// error ([`TsError::UnknownRequest`]) — and the bad probe still flushes
+/// pending work first, so valid ids submitted before it are executed, not
+/// stranded.
+#[test]
+fn collect_unknown_id_is_typed_and_still_flushes() {
+    let train = series(64, 0.0, 9.0);
+    let mut handle = ServeHandle::new(ServeConfig::with_workers(2));
+    let id = handle.submit(digit_request(train, 4, MuxMethod::ValueInterleave, 5, 2));
+    let err = handle.collect(RequestId(17)).unwrap_err();
+    assert_eq!(err, TsError::UnknownRequest { id: 17 });
+    assert_eq!(
+        handle.outcomes().len(),
+        1,
+        "the unknown-id probe must flush pending work, not strand it"
+    );
+    // The flushed request is collectible without re-running anything.
+    assert!(handle.collect(id).unwrap().forecast.is_ok());
+    // A fresh handle with nothing pending: same typed error, no flush.
+    let mut empty = ServeHandle::new(ServeConfig::default());
+    assert_eq!(empty.collect(RequestId(0)).unwrap_err(), TsError::UnknownRequest { id: 0 });
+}
+
+/// Satellite: deterministic shedding — under a `queue_cap`, the *sets* of
+/// shed and served requests are identical across worker counts and
+/// submission orders (matched by content, not submission index), and the
+/// canonical trace of the overloaded batch is byte-identical too.
+#[test]
+fn shed_and_served_sets_are_schedule_independent() {
+    // 10 requests, capacity 6: priorities cycle so the cut crosses a
+    // priority boundary and must fall back to fingerprint order.
+    let requests: Vec<ForecastRequest> = (0..10u64)
+        .map(|i| {
+            let mut request = digit_request(
+                series(56 + 4 * (i as usize % 3), 0.1 * i as f64, 7.0),
+                4 + (i as usize % 3),
+                MuxMethod::ValueInterleave,
+                3000 + i,
+                2,
+            );
+            request.priority = match i % 3 {
+                0 => Priority::Batch,
+                1 => Priority::Normal,
+                _ => Priority::Interactive,
+            };
+            request
+        })
+        .collect();
+    let config = ServeConfig { queue_cap: Some(6), ..ServeConfig::with_workers(1) };
+
+    // A request's fate, keyed by content fingerprint so it can be compared
+    // across submission orders.
+    let fates = |order: &[ForecastRequest], workers: usize| {
+        let cfg = ServeConfig { workers, ..config };
+        let obs = Arc::new(Observer::logical());
+        let run = serve_all_observed(order, &cfg, obs.clone());
+        let mut fates: Vec<(u64, bool)> = order
+            .iter()
+            .map(multicast_core::ForecastRequest::content_fingerprint)
+            .zip(run.outcomes.iter().map(|o| o.forecast.is_ok()))
+            .collect();
+        fates.sort_unstable();
+        (fates, obs.to_jsonl())
+    };
+
+    let (reference, trace) = fates(&requests, 1);
+    let shed = reference.iter().filter(|(_, served)| !served).count();
+    assert_eq!(shed, 4, "10 requests, capacity 6: exactly 4 shed");
+    // Interactive requests must all survive a cut this shallow.
+    for (request, (_, served)) in requests.iter().zip(requests.iter().map(|r| {
+        let fp = r.content_fingerprint();
+        *reference.iter().find(|(f, _)| *f == fp).unwrap()
+    })) {
+        if request.priority == Priority::Interactive {
+            assert!(served, "interactive request shed while lower classes ran");
+        }
+    }
+
+    for workers in [2usize, 8] {
+        let (f, t) = fates(&requests, workers);
+        assert_eq!(f, reference, "{workers} workers changed who was shed");
+        assert_eq!(t, trace, "{workers} workers changed the overloaded canonical trace");
+    }
+    for shuffle_seed in [5u64, 23] {
+        let order = shuffled(&requests, shuffle_seed);
+        let (f, t) = fates(&order, 8);
+        assert_eq!(f, reference, "shuffle {shuffle_seed} changed who was shed");
+        assert_eq!(t, trace, "shuffle {shuffle_seed} changed the overloaded canonical trace");
     }
 }
 
