@@ -1,131 +1,23 @@
 //! Ablation study (beyond the paper): design choices called out in
-//! `DESIGN.md` §5.
+//! `DESIGN.md` §5, as the `ablation` scenario —
 //!
-//! 1. **Backend family** — every preset (Large / Small / Suffix) × every
-//!    multiplexing scheme on Gas Rate;
-//! 2. **Aggregation rule** — median vs mean over samples (the paper uses
-//!    the median; this quantifies how much that robustness buys);
-//! 3. **Sampler temperature** — accuracy across temperatures.
+//! 1. **Backend family** — every preset × every multiplexing scheme;
+//! 2. **Sampler temperature** — accuracy across temperatures;
+//! 3. **Digit budget** — digits per value vs RMSE and prompt tokens;
+//! 4. **Extended classical grid** — VAR / SES / Holt / Holt-Winters.
+//!
+//! Writes `results/ablation_*.md`. `--fast` runs with one sample.
 
-use mc_baselines::{Holt, HoltWinters, Ses, VarForecaster};
-use mc_bench::report::{fmt_metric, Table};
-use mc_bench::RESULTS_DIR;
-use mc_datasets::PaperDataset;
-use mc_lm::presets::ModelPreset;
-use mc_lm::sampler::SamplerConfig;
-use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
-use mc_tslib::metrics::rmse;
-use mc_tslib::split::holdout_split;
-use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    let samples = if fast { 1 } else { 5 };
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, mc_bench::TEST_FRACTION).expect("split");
-
-    // 1. Backend × mux grid.
-    let mut grid = Table::new(
-        "Ablation A — backend preset x multiplexing (Gas Rate, mean RMSE over dims)",
-        &["Backend", "DI", "VI", "VC"],
-    );
-    for preset in ModelPreset::ALL {
-        let mut row = vec![preset.display_name().to_string()];
-        for mux in MuxMethod::ALL {
-            let cfg = ForecastConfig { samples, preset, ..Default::default() };
-            let mut f = MultiCastForecaster::new(mux, cfg);
-            let fc = f.forecast(&train, test.len()).expect("forecast");
-            let mean_rmse: f64 = (0..2)
-                .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-                .sum::<f64>()
-                / 2.0;
-            row.push(fmt_metric(mean_rmse));
-        }
-        grid.row(row);
-    }
-    grid.emit(RESULTS_DIR, "ablation_backend_mux.md").expect("write");
-
-    // 2. Temperature sweep (VI, Large).
-    let mut temp = Table::new(
-        "Ablation B — sampler temperature (Gas Rate, MultiCast VI, mean RMSE)",
-        &["Temperature", "RMSE"],
-    );
-    for t in [0.2, 0.5, 0.7, 1.0, 1.5] {
-        let cfg = ForecastConfig {
-            samples,
-            sampler: SamplerConfig { temperature: t, ..SamplerConfig::default() },
-            ..Default::default()
-        };
-        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
-        let fc = f.forecast(&train, test.len()).expect("forecast");
-        let mean_rmse: f64 = (0..2)
-            .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-            .sum::<f64>()
-            / 2.0;
-        temp.row(vec![format!("{t}"), fmt_metric(mean_rmse)]);
-    }
-    temp.emit(RESULTS_DIR, "ablation_temperature.md").expect("write");
-
-    // 3. Digit budget sweep (VI, Large).
-    let mut digits = Table::new(
-        "Ablation C — digits per value b (Gas Rate, MultiCast VI, mean RMSE / prompt tokens)",
-        &["b", "RMSE", "Tokens"],
-    );
-    for b in [2u32, 3, 4] {
-        let cfg = ForecastConfig { samples, digits: b, ..Default::default() };
-        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
-        let fc = f.forecast(&train, test.len()).expect("forecast");
-        let mean_rmse: f64 = (0..2)
-            .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-            .sum::<f64>()
-            / 2.0;
-        let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
-        digits.row(vec![b.to_string(), fmt_metric(mean_rmse), tokens.to_string()]);
-    }
-    digits.emit(RESULTS_DIR, "ablation_digits.md").expect("write");
-
-    // 4. Extended classical grid: methods beyond the paper's roster, on
-    // every dataset (mean RMSE across dimensions). Separates "using
-    // multivariate structure helps" (VAR) from "LLMs help" (MultiCast).
-    let mut grid = Table::new(
-        "Ablation E — extended classical comparison (mean RMSE across dimensions)",
-        &["Method", "Gas Rate", "Electricity", "Weather"],
-    );
-    type Entry = (&'static str, Box<dyn Fn() -> Box<dyn MultivariateForecaster>>);
-    let sample_count = samples;
-    let entries: Vec<Entry> = vec![
-        (
-            "MultiCast (VI)",
-            Box::new(move || {
-                Box::new(MultiCastForecaster::new(
-                    MuxMethod::ValueInterleave,
-                    ForecastConfig { samples: sample_count, ..Default::default() },
-                ))
-            }),
-        ),
-        ("VAR (AIC order)", Box::new(|| Box::new(VarForecaster::default()))),
-        ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
-        ("Holt", Box::new(|| Box::new(PerDimension(Holt { alpha: None, beta: None })))),
-        ("Holt-Winters (m=12)", Box::new(|| Box::new(PerDimension(HoltWinters::with_period(12))))),
-    ];
-    for (name, make) in &entries {
-        let mut row = vec![name.to_string()];
-        for ds in PaperDataset::ALL {
-            let series = ds.load();
-            let (train, test) = holdout_split(&series, mc_bench::TEST_FRACTION).expect("split");
-            let cell = match make().forecast(&train, test.len()) {
-                Ok(fc) => {
-                    let mean_rmse: f64 = (0..series.dims())
-                        .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-                        .sum::<f64>()
-                        / series.dims() as f64;
-                    fmt_metric(mean_rmse)
-                }
-                Err(e) => format!("err: {e}"),
-            };
-            row.push(cell);
-        }
-        grid.row(row);
-    }
-    grid.emit(RESULTS_DIR, "ablation_extended.md").expect("write");
+    let mut cli = Cli::from_env();
+    let fast = cli.flag("--fast");
+    cli.finish().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let opts = RunOptions { fast, ..RunOptions::default() };
+    Runner::new(opts).run_kind(ScenarioKind::Ablation).expect("ablation scenario");
 }

@@ -1,153 +1,59 @@
 //! Rolling-origin robustness study (beyond the paper's single split).
 //!
-//! Tables IV–VI evaluate one train/test cut; this binary refits every
-//! method at several cut points (`mc_tslib::backtest`) and reports
-//! mean ± std RMSE per dataset, showing how stable each ranking is.
-//! LSTM is excluded (training per fold dominates runtime without changing
-//! the story); the classical and LLM methods all run.
+//! Tables IV–VI evaluate one train/test cut; this wrapper runs the
+//! `backtest` scenario, which refits every method at several cut points
+//! (`mc_tslib::backtest`) and reports mean ± std RMSE per dataset.
+//! Writes `results/backtest.md` and `results/BENCH_backtest.json`.
 //!
-//! Writes `results/backtest.md`.
-//!
-//! With `--faults`, runs the fault-injection study instead: the MultiCast
-//! pipeline forecasts Gas Rate while a rising fraction of continuations is
-//! deterministically corrupted (plus one guaranteed panicking sample),
-//! measuring how RMSE degrades with the defect rate and how many defects /
-//! retries / fallbacks the robust layer absorbed. Writes
-//! `results/fault_injection.md`. Adding `--metrics` also folds every
-//! sample report into an [`mc_obs::MetricsRegistry`] and prints the
-//! aggregate snapshot (defect taxonomy included) to stdout.
+//! With `--faults`, runs the `fault_injection` scenario instead: the
+//! MultiCast pipeline forecasts Gas Rate while a rising fraction of
+//! continuations is deterministically corrupted (plus one guaranteed
+//! panicking sample). Writes `results/fault_injection.md` and its BENCH
+//! file. `--profile key=value,...` overrides the default chaos knobs
+//! (shared `FaultProfile` grammar); `--metrics` also prints the
+//! aggregate `mc_obs` snapshot.
 
-use mc_baselines::{ArimaForecaster, KalmanForecaster, Ses, Theta, VarForecaster};
-use mc_bench::report::{fmt_metric, Table};
-use mc_bench::{RESULTS_DIR, TEST_FRACTION};
-use mc_datasets::PaperDataset;
-use mc_obs::MetricsRegistry;
-use mc_tslib::backtest::{backtest, BacktestConfig};
-use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
-use mc_tslib::metrics::rmse;
-use mc_tslib::split::holdout_split;
-use multicast_core::robust::{DefectClass, FaultProfile};
-use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind, ScenarioSpec};
+use multicast_core::robust::FaultProfile;
 
-/// RMSE degradation vs injected-defect rate, one forecaster per rate.
-/// The `profile` carries every non-rate chaos knob (seed, panic sample,
-/// latency inflation) in the shared [`FaultProfile`] format; the study
-/// sweeps the rate on top of it.
-fn fault_injection_study(samples: usize, metrics: bool, profile: FaultProfile) {
-    // The study *intends* to panic inside isolated sample threads; the
-    // default hook would spam a backtrace per injected panic.
-    std::panic::set_hook(Box::new(|_| {}));
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-    let mut t = Table::new(
-        "Fault injection — MultiCast (VI) on Gas Rate, deterministic corruption + 1 panicking sample",
-        &["Defect rate", "RMSE (dim mean)", "Valid/Req", "Retries", "Repairs", "Panics", "Outcome"],
-    );
-    let registry = MetricsRegistry::new();
-    for rate_pct in [0u32, 20, 40, 60, 80, 100] {
-        let rate = rate_pct as f64 / 100.0;
-        let source = profile.with_rate(rate).source();
-        let config = ForecastConfig { samples, ..Default::default() };
-        let mut f =
-            MultiCastForecaster::new(MuxMethod::ValueInterleave, config).with_source(source);
-        let row = match f.forecast(&train, test.len()) {
-            Ok(fc) => {
-                let mean_rmse = (0..train.dims())
-                    .map(|d| rmse(test.column(d).unwrap(), fc.column(d).unwrap()).unwrap())
-                    .sum::<f64>()
-                    / train.dims() as f64;
-                let report = f.last_report.as_ref().expect("forecast records a report");
-                report.record_into(&registry);
-                vec![
-                    format!("{rate_pct}%"),
-                    fmt_metric(mean_rmse),
-                    format!("{}/{}", report.valid_samples, report.requested_samples),
-                    report.retries_used.to_string(),
-                    report.repairs_applied.to_string(),
-                    report.defect_count(DefectClass::Panicked).to_string(),
-                    if report.degraded() { "fallback".into() } else { "sampled".into() },
-                ]
-            }
-            Err(e) => vec![
-                format!("{rate_pct}%"),
-                format!("err: {e}"),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-            ],
-        };
-        t.row(row);
-    }
-    t.emit(RESULTS_DIR, "fault_injection.md").expect("write");
-    if metrics {
-        println!("{}", registry.snapshot().to_markdown());
-    }
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
 }
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    let metrics = std::env::args().any(|a| a == "--metrics");
-    let samples = if fast { 1 } else { 5 };
-    if std::env::args().any(|a| a == "--faults") {
-        // `--profile key=value,...` overrides the default chaos knobs
-        // (shared FaultProfile grammar; the swept rate is ignored here).
-        let profile = std::env::args().skip_while(|a| a != "--profile").nth(1).map_or_else(
-            || FaultProfile { seed: 0xFA017, panic_sample: Some(0), ..Default::default() },
-            |spec| FaultProfile::parse(&spec).expect("--profile"),
-        );
-        fault_injection_study(samples.max(3), metrics, profile);
-        return;
-    }
-    let mut t = Table::new(
-        "Backtest — rolling-origin mean ± std RMSE (averaged over dimensions, 4 folds)",
-        &["Method", "Gas Rate", "Electricity", "Weather"],
-    );
-    type Make = Box<dyn Fn() -> Box<dyn MultivariateForecaster>>;
-    let entries: Vec<(&str, Make)> = vec![
-        (
-            "MultiCast (VI)",
-            Box::new(move || {
-                Box::new(MultiCastForecaster::new(
-                    MuxMethod::ValueInterleave,
-                    ForecastConfig { samples, ..Default::default() },
-                ))
-            }),
-        ),
-        (
-            "LLMTIME",
-            Box::new(move || {
-                Box::new(LlmTimeForecaster::new(ForecastConfig { samples, ..Default::default() }))
-            }),
-        ),
-        ("ARIMA", Box::new(|| Box::new(PerDimension(ArimaForecaster::default())))),
-        ("VAR", Box::new(|| Box::new(VarForecaster::default()))),
-        ("Theta", Box::new(|| Box::new(PerDimension(Theta)))),
-        ("Kalman (LLT)", Box::new(|| Box::new(PerDimension(KalmanForecaster)))),
-        ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
-    ];
-    for (name, make) in &entries {
-        let mut row = vec![name.to_string()];
-        for ds in PaperDataset::ALL {
-            let series = ds.load();
-            // 4 folds: start at 60 % of the series, horizon 10 % of it.
-            let initial = (series.len() as f64 * 0.6) as usize;
-            let horizon = (series.len() as f64 * 0.1) as usize;
-            let step = (series.len() - initial - horizon) / 3;
-            let config = BacktestConfig { initial_train: initial, horizon, step };
-            let mut f = make();
-            let cell = match backtest(f.as_mut(), &series, config) {
-                Ok(report) => {
-                    let mean = report.grand_mean();
-                    let spread = report.std_rmse.iter().sum::<f64>() / report.std_rmse.len() as f64;
-                    format!("{} ± {}", fmt_metric(mean), fmt_metric(spread))
-                }
-                Err(e) => format!("err: {e}"),
-            };
-            row.push(cell);
+    let mut cli = Cli::from_env();
+    let fast = cli.flag("--fast");
+    let metrics = cli.flag("--metrics");
+    let faults = cli.flag("--faults");
+    let profile = cli.value("--profile").unwrap_or_else(|e| fail(e));
+    cli.finish().unwrap_or_else(|e| fail(e));
+
+    let mut spec = ScenarioSpec::new(if faults {
+        ScenarioKind::FaultInjection
+    } else {
+        ScenarioKind::Backtest
+    });
+    if faults {
+        // The study *intends* to panic inside isolated sample threads; the
+        // default hook would spam a backtrace per injected panic.
+        std::panic::set_hook(Box::new(|_| {}));
+        if let Some(p) = profile {
+            spec.faults = Some(FaultProfile::parse(&p).unwrap_or_else(|e| fail(e)));
         }
-        t.row(row);
+    } else if profile.is_some() {
+        fail("--profile requires --faults");
     }
-    t.emit(RESULTS_DIR, "backtest.md").expect("write");
+
+    let opts = RunOptions {
+        fast,
+        print_metrics: metrics,
+        bench_dir: Some("results".into()),
+        ..RunOptions::default()
+    };
+    let summary = Runner::new(opts).run(&spec).unwrap_or_else(|e| fail(e));
+    for note in &summary.notes {
+        println!("{note}");
+    }
 }

@@ -1,205 +1,44 @@
 //! Sequential refit vs shared-frozen concurrent serving.
 //!
-//! `R` independent forecast requests against the same history used to mean
-//! `R` full pipeline runs, each re-conditioning its own backend on the full
-//! prompt ([`MultiCastForecaster`] per request). The serve scheduler
-//! ([`serve_all`]) instead deduplicates the frozen context — one prompt
-//! pass serves all `R` requests — and fans the `R x S` sample draws across
-//! a worker pool of forked decode sessions. Forecasts are bit-identical by
-//! construction (checked below, and in `tests/serving.rs`); this
-//! experiment measures the wall-clock difference on the paper's three
-//! datasets at varying request counts and sampling widths.
+//! A thin wrapper over the `concurrent_serving` scenario: `R` sequential
+//! pipeline runs vs one shared frozen context fanned across a worker
+//! pool, bit-identical by construction (the runner asserts it), timed on
+//! the paper's three datasets at varying request counts and sampling
+//! widths. Writes `results/concurrent_serving.md`.
 //!
-//! Writes `results/concurrent_serving.md`.
-//!
-//! With `--trace <path>` (and/or `--metrics`), runs the telemetry study
-//! instead: one representative batch is served three ways — bare
-//! `serve_all`, through a no-op `Recorder` (measuring the instrumentation
-//! overhead when observability is off), and under a recording
-//! `Observer` on the deterministic logical clock. The canonical JSONL
-//! trace goes to `<path>`, `--metrics` prints the metrics snapshot to
-//! stdout, and both measurements land in `results/serving_telemetry.md`.
+//! With `--trace <path>` (and/or `--metrics`), runs the `telemetry`
+//! scenario instead: one representative batch served bare, through a
+//! no-op recorder, and under a recording observer on the logical clock.
+//! The canonical JSONL trace goes to `<path>`, `--metrics` prints the
+//! metrics snapshot, and both measurements land in
+//! `results/serving_telemetry.md`.
 
-use std::fmt::Write as _;
-use std::sync::Arc;
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind};
 
-use mc_bench::report::Table;
-use mc_bench::timing::{format_seconds, timed};
-use mc_bench::{RESULTS_DIR, TEST_FRACTION};
-use mc_datasets::PaperDataset;
-use mc_obs::{NoopRecorder, Observer, Recorder};
-use mc_tslib::forecast::MultivariateForecaster;
-use mc_tslib::split::holdout_split;
-use multicast_core::serve::{serve_all, serve_all_observed, ForecastRequest, ServeConfig};
-use multicast_core::{ForecastConfig, MultiCastForecaster, MuxMethod};
-
-const WORKERS: usize = 8;
-
-/// Best-of-3 wall clock: one-shot timings of millisecond-scale runs are
-/// dominated by scheduler noise; the minimum is the stable estimate.
-fn best_of<T>(mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
-    let mut best = f();
-    for _ in 0..2 {
-        let next = f();
-        if next.1 < best.1 {
-            best = next;
-        }
-    }
-    best
-}
-
-/// The telemetry study: overhead of the recorder seam, plus the traced
-/// run feeding the JSONL export and `results/serving_telemetry.md`.
-fn telemetry(trace_path: Option<&str>, print_metrics: bool) {
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-    let horizon = test.len();
-    let batch: Vec<ForecastRequest> = (0..8usize)
-        .map(|r| {
-            let config =
-                ForecastConfig { samples: 5, seed: 1000 + r as u64, ..ForecastConfig::default() };
-            ForecastRequest::digit(train.clone(), horizon, MuxMethod::ValueInterleave, config)
-        })
-        .collect();
-    let serve_config = ServeConfig::with_workers(WORKERS);
-
-    // Overhead of the recorder seam itself: bare serve_all vs the same
-    // batch through a disabled recorder (one virtual call per probe).
-    // One untimed pass first so dataset/codec warm-up is not charged to
-    // whichever variant happens to run first.
-    serve_all(&batch, &serve_config);
-    let (_, bare) = best_of(|| timed(|| serve_all(&batch, &serve_config)));
-    let noop: Arc<dyn Recorder> = Arc::new(NoopRecorder);
-    let (_, disabled) =
-        best_of(|| timed(|| serve_all_observed(&batch, &serve_config, noop.clone())));
-
-    // The recording run: logical clock, canonical export.
-    let obs = Arc::new(Observer::logical());
-    let (run, traced) = timed(|| serve_all_observed(&batch, &serve_config, obs.clone()));
-    for outcome in &run.outcomes {
-        assert!(outcome.forecast.is_ok(), "telemetry batch request failed");
-    }
-    let jsonl = obs.to_jsonl();
-    if let Some(path) = trace_path {
-        std::fs::write(path, &jsonl).expect("write trace JSONL");
-        println!("wrote {path} ({} events)", jsonl.lines().count());
-    }
-    let snapshot = obs.metrics().snapshot();
-    if print_metrics {
-        println!("{}", snapshot.to_markdown());
-    }
-
-    let mut md = String::new();
-    md.push_str("# Serving telemetry\n\n");
-    let _ = writeln!(
-        md,
-        "One shared-context batch on Gas Rate: 8 requests x 5 samples, {WORKERS} workers.\n"
-    );
-    md.push_str("| serve path | wall clock |\n|---|---:|\n");
-    let _ = writeln!(md, "| `serve_all` (no recorder seam) | {} |", format_seconds(bare));
-    let _ =
-        writeln!(md, "| `serve_all_observed` + `NoopRecorder` | {} |", format_seconds(disabled));
-    let _ = writeln!(
-        md,
-        "| `serve_all_observed` + `Observer` (logical clock) | {} |",
-        format_seconds(traced)
-    );
-    let _ = writeln!(
-        md,
-        "\nNo-op overhead: {:+.1} % (best-of-3; the disabled recorder adds one \
-         virtual call per probe and must stay in the noise). Canonical trace: \
-         {} JSONL events, byte-identical across worker counts and submission \
-         orders (`tests/serving.rs`).\n",
-        (disabled / bare - 1.0) * 100.0,
-        jsonl.lines().count()
-    );
-    md.push_str("## Metrics snapshot (recorded run)\n\n");
-    md.push_str(&snapshot.to_markdown());
-    std::fs::create_dir_all(RESULTS_DIR).expect("results dir");
-    let out = format!("{RESULTS_DIR}/serving_telemetry.md");
-    std::fs::write(&out, md).expect("write telemetry report");
-    println!("wrote {out}");
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = args
-        .iter()
-        .position(|a| a == "--trace")
-        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
-    let metrics = args.iter().any(|a| a == "--metrics");
-    if trace.is_some() || metrics {
-        telemetry(trace.as_deref(), metrics);
-        return;
+    let mut cli = Cli::from_env();
+    let trace = cli.value("--trace").unwrap_or_else(|e| fail(e));
+    let metrics = cli.flag("--metrics");
+    cli.finish().unwrap_or_else(|e| fail(e));
+
+    let kind = if trace.is_some() || metrics {
+        ScenarioKind::Telemetry
+    } else {
+        ScenarioKind::ConcurrentServing
+    };
+    let opts = RunOptions {
+        trace_path: trace.map(Into::into),
+        print_metrics: metrics,
+        ..RunOptions::default()
+    };
+    let summary = Runner::new(opts).run_kind(kind).unwrap_or_else(|e| fail(e));
+    for note in &summary.notes {
+        println!("{note}");
     }
-    let mut table = Table::new(
-        "Concurrent serving (VI): R sequential refits vs one shared frozen context + 8 workers",
-        &["dataset", "R", "S", "sequential refit", "shared serve", "speedup"],
-    );
-    for dataset in PaperDataset::ALL {
-        let series = dataset.load();
-        let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-        let horizon = test.len();
-        for requests in [1usize, 2, 4, 8] {
-            for samples in [5usize, 10] {
-                let configs: Vec<ForecastConfig> = (0..requests)
-                    .map(|r| ForecastConfig {
-                        samples,
-                        seed: 1000 + r as u64,
-                        ..ForecastConfig::default()
-                    })
-                    .collect();
-
-                let (sequential, seq_time) = best_of(|| {
-                    timed(|| {
-                        configs
-                            .iter()
-                            .map(|cfg| {
-                                MultiCastForecaster::new(MuxMethod::ValueInterleave, *cfg)
-                                    .forecast(&train, horizon)
-                                    .expect("sequential forecast")
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                });
-
-                let batch: Vec<ForecastRequest> = configs
-                    .iter()
-                    .map(|cfg| {
-                        ForecastRequest::digit(
-                            train.clone(),
-                            horizon,
-                            MuxMethod::ValueInterleave,
-                            *cfg,
-                        )
-                    })
-                    .collect();
-                let (run, serve_time) =
-                    best_of(|| timed(|| serve_all(&batch, &ServeConfig::with_workers(WORKERS))));
-
-                // The scheduler must not change the numbers, only the clock.
-                assert_eq!(run.contexts.len(), 1, "one history, one frozen context");
-                for (solo, outcome) in sequential.iter().zip(&run.outcomes) {
-                    let served = outcome.forecast.as_ref().expect("served forecast");
-                    for d in 0..solo.dims() {
-                        let (a, b) = (solo.column(d).unwrap(), served.column(d).unwrap());
-                        assert!(
-                            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
-                            "{dataset}: served forecast diverged from sequential"
-                        );
-                    }
-                }
-
-                table.row(vec![
-                    dataset.to_string(),
-                    requests.to_string(),
-                    samples.to_string(),
-                    format_seconds(seq_time),
-                    format_seconds(serve_time),
-                    format!("{:.2}x", seq_time / serve_time),
-                ]);
-            }
-        }
-    }
-    table.emit(RESULTS_DIR, "concurrent_serving.md").expect("write results");
 }

@@ -2,27 +2,25 @@
 //!
 //! Usage: `figures [fig2|fig3|...|fig8]` — no argument renders all.
 
-use std::path::Path;
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind};
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let dir = Path::new(mc_bench::RESULTS_DIR);
-    let samples = 5;
-    let written = match arg.as_deref() {
-        None | Some("all") => mc_bench::figs::all_figures(dir, samples).expect("figures"),
-        Some("fig2") => mc_bench::figs::fig2(dir, samples).expect("fig2"),
-        Some("fig3") => vec![mc_bench::figs::fig3(dir, samples).expect("fig3")],
-        Some("fig4") => vec![mc_bench::figs::fig4(dir, samples).expect("fig4")],
-        Some("fig5") => vec![mc_bench::figs::fig5(dir, samples).expect("fig5")],
-        Some("fig6") => vec![mc_bench::figs::fig6(dir, samples).expect("fig6")],
-        Some("fig7") => vec![mc_bench::figs::fig7(dir, samples).expect("fig7")],
-        Some("fig8") => vec![mc_bench::figs::fig8(dir, samples).expect("fig8")],
-        Some(other) => {
-            eprintln!("unknown figure `{other}` (expected fig2..fig8 or all)");
+    let mut cli = Cli::from_env();
+    let figure = cli.positional();
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    if let Some(f) = figure.as_deref() {
+        if !matches!(f, "all" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8") {
+            eprintln!("unknown figure `{f}` (expected fig2..fig8 or all)");
             std::process::exit(2);
         }
-    };
-    for p in written {
-        println!("wrote {}", p.display());
+    }
+    let runner = Runner::new(RunOptions { figure, ..RunOptions::default() });
+    let summary = runner.run_kind(ScenarioKind::Figures).expect("figures");
+    for note in &summary.notes {
+        println!("{note}");
     }
 }

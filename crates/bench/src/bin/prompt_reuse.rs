@@ -1,57 +1,23 @@
-//! Fit-once vs refit-per-sample: what the `FrozenLm` split buys.
+//! Fit-once vs refit-per-sample: what the `FrozenLm` split buys, as the
+//! `prompt_reuse` scenario.
 //!
-//! The pre-refactor pipeline rebuilt and re-conditioned the backend on the
-//! full prompt for every one of the `S` sampled continuations
-//! ([`run_continuation`] per sample). The engine now fits the backend once
-//! ([`PreparedBackend::fit`]) and draws every sample through a forked
-//! decode session. Both paths produce bit-identical forecasts (see
-//! `tests/equivalence.rs`); this experiment measures the wall-clock
-//! difference on the Gas Rate dataset at the paper's sampling widths.
+//! The pre-refactor pipeline rebuilt and re-conditioned the backend on
+//! the full prompt for every one of the `S` sampled continuations; the
+//! engine now fits the backend once and draws every sample through a
+//! forked decode session. Both paths produce bit-identical forecasts
+//! (see `tests/equivalence.rs`); the scenario measures the wall-clock
+//! difference at the paper's sampling widths.
 //!
 //! Writes `results/prompt_reuse.md`.
 
-use mc_bench::report::Table;
-use mc_bench::timing::{format_seconds, timed};
-use mc_bench::{RESULTS_DIR, TEST_FRACTION};
-use mc_datasets::PaperDataset;
-use mc_tslib::split::holdout_split;
-use multicast_core::codec::{Codec, DigitCodec};
-use multicast_core::engine::PreparedBackend;
-use multicast_core::pipeline::run_continuation;
-use multicast_core::{ForecastConfig, ForecastEngine, MuxMethod};
+use mc_spec::cli::Cli;
+use mc_spec::{Runner, ScenarioKind};
 
 fn main() {
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-    let horizon = test.len();
-    let config = ForecastConfig::default();
-    let codec = DigitCodec::from_config(MuxMethod::ValueInterleave, &config);
-    let fitted = codec.fit(&train).expect("fit codec");
-    let spec = ForecastEngine::new(config).continuation_spec(fitted.as_ref(), horizon);
-
-    let mut table = Table::new(
-        "Prompt reuse on Gas Rate (VI): refit per sample vs fit-once + forked sessions",
-        &["S", "refit per sample", "fit-once", "speedup"],
-    );
-    for samples in [5usize, 10, 20] {
-        let (_, refit) = timed(|| {
-            for i in 0..samples {
-                run_continuation(&spec, config.sampler_for(i)).expect("refit draw");
-            }
-        });
-        let (_, reuse) = timed(|| {
-            let backend = PreparedBackend::fit(&spec).expect("fit backend");
-            let sampler = backend.sampler(spec.separators, spec.max_tokens);
-            for i in 0..samples {
-                sampler.draw(config.sampler_for(i)).expect("session draw");
-            }
-        });
-        table.row(vec![
-            samples.to_string(),
-            format_seconds(refit),
-            format_seconds(reuse),
-            format!("{:.2}x", refit / reuse),
-        ]);
-    }
-    table.emit(RESULTS_DIR, "prompt_reuse.md").expect("write results");
+    let cli = Cli::from_env();
+    cli.finish().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    Runner::default().run_kind(ScenarioKind::PromptReuse).expect("prompt_reuse scenario");
 }

@@ -5,50 +5,29 @@
 //! (useful for smoke-testing the harness; the paper numbers use the
 //! defaults).
 
-use mc_bench::{figs, tables, RESULTS_DIR};
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind, RESULTS_DIR};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let mut cli = Cli::from_env();
+    let fast = cli.flag("--fast");
+    cli.finish().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let samples = if fast { 1 } else { 5 };
 
     println!("# MultiCast reproduction run (samples = {samples})\n");
 
-    tables::table1_datasets().emit(RESULTS_DIR, "table1.md").expect("table1");
-    tables::table2_parameters().emit(RESULTS_DIR, "table2.md").expect("table2");
-    tables::table3_model_comparison(samples)
-        .expect("table3")
-        .emit(RESULTS_DIR, "table3.md")
-        .expect("table3 write");
-    tables::table4_gas_rate(samples)
-        .expect("table4")
-        .emit(RESULTS_DIR, "table4.md")
-        .expect("table4 write");
-    tables::table5_electricity(samples)
-        .expect("table5")
-        .emit(RESULTS_DIR, "table5.md")
-        .expect("table5 write");
-    tables::table6_weather(samples)
-        .expect("table6")
-        .emit(RESULTS_DIR, "table6.md")
-        .expect("table6 write");
-    let sample_sweep: &[usize] = if fast { &[1, 2] } else { &[5, 10, 20] };
-    tables::table7_samples_sweep(sample_sweep)
-        .expect("table7")
-        .emit(RESULTS_DIR, "table7.md")
-        .expect("table7 write");
-    tables::table8_segment_sweep(&[3, 6, 9], samples)
-        .expect("table8")
-        .emit(RESULTS_DIR, "table8.md")
-        .expect("table8 write");
-    tables::table9_alphabet_sweep(&[5, 10, 20], samples)
-        .expect("table9")
-        .emit(RESULTS_DIR, "table9.md")
-        .expect("table9 write");
+    let runner = Runner::new(RunOptions { fast, ..RunOptions::default() });
+    for kind in std::iter::once(1).chain(3..=9).map(ScenarioKind::Table) {
+        runner.run_kind(kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+    }
 
     println!("Rendering figures 2–8…");
-    let written = figs::all_figures(RESULTS_DIR, samples).expect("figures");
-    for p in &written {
-        println!("wrote {}", p.display());
+    let figures = runner.run_kind(ScenarioKind::Figures).expect("figures");
+    for note in &figures.notes {
+        println!("{note}");
     }
     println!("\nAll artifacts are under `{RESULTS_DIR}/`.");
 }

@@ -1,238 +1,60 @@
 //! Chaos harness for the overload-resilient serve scheduler.
 //!
-//! Drives a saturating, fault-injected request load through a
-//! [`ServeHandle`] with every overload knob engaged — admission shedding
-//! (`--queue-cap`), submit backpressure, per-client quotas (profile
-//! `quota=`), per-preset circuit breakers, deadline budgets
-//! (`--deadline-tokens`) and backoff — and reports how the batch
-//! degraded: shed / queue-full / quota / breaker rejection rates,
-//! deadline-expiry (timeout) rates, completion and fallback rates, and
-//! p50/p99 of the per-request generated-token spend (the deterministic
-//! latency proxy: the serve path runs on the logical clock, so token
-//! spend *is* the request's service time).
+//! A thin wrapper over the `serve_chaos` scenario: a saturating,
+//! fault-injected request load through a serve handle with every
+//! overload knob engaged — admission shedding (`--queue-cap`), submit
+//! backpressure, per-client quotas (profile `quota=`), per-preset
+//! circuit breakers, deadline budgets (`--deadline-tokens`) and backoff.
+//! The runner reports how the batch degraded and *asserts* (not just
+//! reports) zero worker stalls and scheduling-independent traces.
 //!
-//! The fault load itself is declarative: `--faults rate=0.4,seed=7,...`
-//! is the shared [`FaultProfile`] grammar, the same format
+//! The fault load is declarative: `--faults rate=0.4,seed=7,...` is the
+//! shared `FaultProfile` grammar, the same format
 //! `backtest_eval --faults --profile ...` and the test-suite drills
 //! parse — one chaos vocabulary across every entry point.
 //!
-//! Two invariants are asserted, not just reported:
-//!
-//! - **Zero worker stalls** — every submitted id collects to a typed
-//!   outcome; a lost settlement would hang the flush and fail the run.
-//! - **Scheduling-independent traces** — the canonical JSONL export of
-//!   the same admitted load is byte-identical across worker counts, chaos
-//!   and all (deterministic shedding + deterministic deadlines).
-//!
-//! Writes `results/serve_chaos.md`. `--fast` shrinks the load for CI.
+//! Writes `results/serve_chaos.md` and `results/BENCH_serve_chaos.json`
+//! (schedule-independent counters and p50/p99 token spends; the file is
+//! byte-identical across worker counts). `--fast` shrinks the load.
 
-use std::sync::Arc;
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind, ScenarioSpec};
+use multicast_core::robust::FaultProfile;
 
-use mc_bench::report::Table;
-use mc_bench::{RESULTS_DIR, TEST_FRACTION};
-use mc_datasets::PaperDataset;
-use mc_obs::Observer;
-use mc_tslib::error::TsError;
-use mc_tslib::split::holdout_split;
-use multicast_core::robust::{DefectClass, FaultProfile};
-use multicast_core::serve::{serve_all_observed, ForecastRequest, ServeConfig, ServeHandle};
-use multicast_core::{BreakerPolicy, ForecastConfig, MuxMethod, Priority};
-
-/// Value at quantile `q` of an ascending-sorted slice (nearest-rank).
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64) * q).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
-fn pct(part: usize, total: usize) -> String {
-    if total == 0 {
-        return "0%".into();
-    }
-    format!("{:.1}%", 100.0 * part as f64 / total as f64)
-}
-
-/// The chaos load: `waves x per_wave` requests over one shared history,
-/// cycling priorities and two clients, every draw filtered through the
-/// fault profile. Deterministic by construction — seeds derive from the
-/// request index alone.
-fn chaos_load(
-    waves: usize,
-    per_wave: usize,
-    profile: FaultProfile,
-    deadline: Option<u64>,
-) -> Vec<Vec<ForecastRequest>> {
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-    let horizon = test.len().min(8);
-    (0..waves)
-        .map(|w| {
-            (0..per_wave)
-                .map(|i| {
-                    let n = w * per_wave + i;
-                    let mut config =
-                        ForecastConfig { samples: 3, seed: 9000 + n as u64, ..Default::default() };
-                    config.robust.deadline_tokens = deadline;
-                    config.robust.backoff_base = 2;
-                    let mut request = ForecastRequest::digit(
-                        train.clone(),
-                        horizon,
-                        MuxMethod::ValueInterleave,
-                        config,
-                    );
-                    // Decorrelate corruption decisions across requests:
-                    // FaultSpec hashes (seed, sample, attempt), so a shared
-                    // seed would corrupt every request identically.
-                    request.source =
-                        FaultProfile { seed: profile.seed.wrapping_add(n as u64), ..profile }
-                            .source();
-                    request.priority = match n % 3 {
-                        0 => Priority::Batch,
-                        1 => Priority::Normal,
-                        _ => Priority::Interactive,
-                    };
-                    request.client = (n % 2) as u32;
-                    request
-                })
-                .collect()
-        })
-        .collect()
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone())
-    };
-    let fast = args.iter().any(|a| a == "--fast");
-    let profile = flag("--faults").map_or_else(
-        || FaultProfile::parse("rate=0.3,seed=77,latency=8,quota=2500").expect("default"),
-        |spec| FaultProfile::parse(&spec).expect("--faults"),
-    );
-    let queue_cap: usize =
-        flag("--queue-cap").map_or(if fast { 3 } else { 6 }, |v| v.parse().expect("--queue-cap"));
-    let deadline: u64 =
-        flag("--deadline-tokens").map_or(240, |v| v.parse().expect("--deadline-tokens"));
-    let workers: usize = flag("--workers").map_or(8, |v| v.parse().expect("--workers"));
-    let (waves, per_wave) = if fast { (2, 5) } else { (3, 8) };
+    let mut cli = Cli::from_env();
+    let fast = cli.flag("--fast");
+    let faults = cli.value("--faults").unwrap_or_else(|e| fail(e));
+    let mut spec = ScenarioSpec::new(ScenarioKind::ServeChaos);
+    if let Some(raw) = faults {
+        spec.faults = Some(FaultProfile::parse(&raw).unwrap_or_else(|e| fail(e)));
+    }
+    if let Some(v) = cli.value("--queue-cap").unwrap_or_else(|e| fail(e)) {
+        spec.serve.queue_cap =
+            Some(v.parse().unwrap_or_else(|e| fail(format!("--queue-cap: {e}"))));
+    }
+    if let Some(v) = cli.value("--deadline-tokens").unwrap_or_else(|e| fail(e)) {
+        spec.robust.deadline_tokens =
+            Some(v.parse().unwrap_or_else(|e| fail(format!("--deadline-tokens: {e}"))));
+    }
+    if let Some(v) = cli.value("--workers").unwrap_or_else(|e| fail(e)) {
+        spec.serve.workers = Some(v.parse().unwrap_or_else(|e| fail(format!("--workers: {e}"))));
+    }
+    cli.finish().unwrap_or_else(|e| fail(e));
 
-    // The injected panics below are intentional; silence their backtraces.
-    if profile.panic_sample.is_some() {
+    // The injected panics are intentional; silence their backtraces.
+    if spec.faults.is_some_and(|f| f.panic_sample.is_some()) {
         std::panic::set_hook(Box::new(|_| {}));
     }
 
-    let config = ServeConfig {
-        workers,
-        queue_cap: Some(queue_cap),
-        submit_cap: Some(queue_cap + 2),
-        quota_tokens: profile.quota_tokens,
-        breaker: Some(BreakerPolicy::default()),
-    };
-    let load = chaos_load(waves, per_wave, profile, Some(deadline));
-    let submitted: usize = load.iter().map(Vec::len).sum();
-
-    let obs = Arc::new(Observer::logical());
-    let mut handle = ServeHandle::with_recorder(config, obs.clone());
-    let mut ids = Vec::with_capacity(submitted);
-    for wave in &load {
-        for request in wave {
-            ids.push(handle.submit(request.clone()));
-        }
-        handle.flush();
+    let opts = RunOptions { fast, bench_dir: Some("results".into()), ..RunOptions::default() };
+    let summary = Runner::new(opts).run(&spec).unwrap_or_else(|e| fail(e));
+    for note in &summary.notes {
+        println!("{note}");
     }
-
-    // Zero worker stalls: every id resolves to a typed outcome. A lost
-    // settlement would have hung flush() before we ever got here; an
-    // unknown id would return a typed error and fail this loop.
-    let outcomes: Vec<_> =
-        ids.iter().map(|&id| handle.collect(id).expect("every submitted id collects")).collect();
-    assert_eq!(outcomes.len(), submitted, "zero worker stalls: all ids resolved");
-
-    let mut shed = 0usize;
-    let mut queue_full = 0usize;
-    let mut quota = 0usize;
-    let mut breaker = 0usize;
-    let mut completed = 0usize;
-    let mut fallbacks = 0usize;
-    let mut expiries = 0usize;
-    let mut spends: Vec<u64> = Vec::new();
-    for outcome in &outcomes {
-        match &outcome.forecast {
-            Ok(_) => {
-                completed += 1;
-                spends.push(outcome.cost.generated_tokens);
-                if let Some(report) = &outcome.report {
-                    if report.degraded() {
-                        fallbacks += 1;
-                    }
-                    expiries += report.defect_count(DefectClass::DeadlineExpired);
-                }
-            }
-            Err(TsError::Overloaded { kind, .. }) => match *kind {
-                "shed" => shed += 1,
-                "queue-full" => queue_full += 1,
-                "quota" => quota += 1,
-                "breaker-open" => breaker += 1,
-                other => panic!("unexpected overload kind `{other}`"),
-            },
-            Err(e) => panic!("chaos run must degrade, not error: {e}"),
-        }
-    }
-    spends.sort_unstable();
-
-    // Scheduling independence under chaos: one admitted wave, canonical
-    // trace byte-identical across worker counts.
-    let reference_wave = &load[0];
-    let trace_at = |w: usize| {
-        let obs = Arc::new(Observer::logical());
-        let cfg = ServeConfig { workers: w, ..config };
-        serve_all_observed(reference_wave, &cfg, obs.clone());
-        obs.to_jsonl()
-    };
-    let reference = trace_at(1);
-    for w in [2usize, workers.max(2)] {
-        assert_eq!(trace_at(w), reference, "{w} workers changed the canonical chaos trace");
-    }
-
-    let mut t = Table::new(
-        format!(
-            "Serve chaos — {submitted} requests ({waves} flushes), faults `{profile}`, \
-             queue cap {queue_cap}, deadline {deadline} tokens, {workers} workers"
-        ),
-        &["outcome", "count", "rate"],
-    );
-    t.row(vec!["completed".into(), completed.to_string(), pct(completed, submitted)]);
-    t.row(vec!["  of which fallback".into(), fallbacks.to_string(), pct(fallbacks, submitted)]);
-    t.row(vec!["shed (admission)".into(), shed.to_string(), pct(shed, submitted)]);
-    t.row(vec!["queue-full (submit)".into(), queue_full.to_string(), pct(queue_full, submitted)]);
-    t.row(vec!["quota-rejected".into(), quota.to_string(), pct(quota, submitted)]);
-    t.row(vec!["breaker-rejected".into(), breaker.to_string(), pct(breaker, submitted)]);
-    t.row(vec!["deadline expiries (samples)".into(), expiries.to_string(), "-".into()]);
-    t.row(vec![
-        "p50 spend (generated tokens)".into(),
-        percentile(&spends, 0.50).to_string(),
-        "-".into(),
-    ]);
-    t.row(vec![
-        "p99 spend (generated tokens)".into(),
-        percentile(&spends, 0.99).to_string(),
-        "-".into(),
-    ]);
-    t.row(vec!["worker stalls".into(), "0".into(), "asserted".into()]);
-    t.row(vec![
-        "trace determinism (1/2/N workers)".into(),
-        format!("{} events", reference.lines().count()),
-        "byte-identical".into(),
-    ]);
-    t.emit(RESULTS_DIR, "serve_chaos.md").expect("write results");
-
-    assert_eq!(
-        completed + shed + queue_full + quota + breaker,
-        submitted,
-        "every request accounted for exactly once"
-    );
 }

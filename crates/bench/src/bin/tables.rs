@@ -1,0 +1,39 @@
+//! Paper tables I–IX, one bin.
+//!
+//! ```text
+//! tables [1-9|all] [--fast]
+//! ```
+//!
+//! No argument (or `all`) regenerates every table; a digit regenerates
+//! just that table. Table 1 also renders Table II (dataset inventory and
+//! parameters travel together).
+
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind};
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cli = Cli::from_env();
+    let fast = cli.flag("--fast");
+    let which = cli.positional();
+    cli.finish().unwrap_or_else(|e| fail(e));
+
+    let kinds: Vec<ScenarioKind> = match which.as_deref() {
+        None | Some("all") => {
+            // Table 1 covers Table 2; the rest follow in paper order.
+            std::iter::once(1).chain(3..=9).map(ScenarioKind::Table).collect()
+        }
+        Some(n) => match n.parse::<u8>() {
+            Ok(n @ 1..=9) => vec![ScenarioKind::Table(n)],
+            _ => fail(format!("unknown table `{n}` (expected 1-9 or all)")),
+        },
+    };
+    let runner = Runner::new(RunOptions { fast, ..RunOptions::default() });
+    for kind in kinds {
+        runner.run_kind(kind).unwrap_or_else(|e| fail(format!("{kind:?}: {e}")));
+    }
+}

@@ -1,118 +1,16 @@
-//! Quantitative evaluation of the future-work tasks (beyond the paper):
-//! the zero-shot imputation / anomaly / change-point machinery of
-//! `mc-tasks`, measured on seeded synthetic workloads with known ground
-//! truth. Writes `results/tasks_eval.md`.
-//!
-//! - **Anomaly detection**: precision/recall over injected spikes on the
-//!   Gas Rate CO2 dimension (a flag within ±1 of an injection counts);
-//! - **Imputation**: RMSE inside masked windows of growing length,
-//!   zero-shot vs linear interpolation;
-//! - **Change points**: localization error on synthetic regime shifts.
+//! Quantitative evaluation of the future-work tasks (beyond the paper),
+//! as the `tasks_eval` scenario: the zero-shot imputation / anomaly /
+//! change-point machinery of `mc-tasks`, measured on seeded synthetic
+//! workloads with known ground truth. Writes `results/tasks_eval_*.md`.
 
-use mc_bench::report::{fmt_metric, Table};
-use mc_bench::RESULTS_DIR;
-use mc_datasets::PaperDataset;
-use mc_tasks::imputation::linear_interpolate;
-use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
+use mc_spec::cli::Cli;
+use mc_spec::{Runner, ScenarioKind};
 
 fn main() {
-    anomaly_eval();
-    imputation_eval();
-    changepoint_eval();
-}
-
-fn anomaly_eval() {
-    let series = PaperDataset::GasRate.load();
-    let base = series.column(1).expect("CO2 dimension").to_vec();
-    let amplitude = {
-        let (mn, mx) = base.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
-        mx - mn
-    };
-    let mut t = Table::new(
-        "Tasks A — zero-shot anomaly detection (Gas Rate CO2, injected spikes)",
-        &["Spike size (x range)", "Injected", "Hits", "Precision", "Recall"],
-    );
-    let injections = [60usize, 120, 200, 260];
-    for &scale in &[0.5, 0.8, 1.2] {
-        let mut xs = base.clone();
-        for (k, &at) in injections.iter().enumerate() {
-            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-            xs[at] += sign * scale * amplitude;
-        }
-        let report = AnomalyDetector::default().detect(&xs).expect("detect");
-        let hit = |at: usize| report.anomalies.iter().any(|&i| (i as i64 - at as i64).abs() <= 1);
-        let hits = injections.iter().filter(|&&at| hit(at)).count();
-        // A flagged index is a true positive if it is within ±1 of any
-        // injection (the point after a spike is legitimately surprising).
-        let tp = report
-            .anomalies
-            .iter()
-            .filter(|&&i| injections.iter().any(|&at| (i as i64 - at as i64).abs() <= 1))
-            .count();
-        let precision = if report.anomalies.is_empty() {
-            1.0
-        } else {
-            tp as f64 / report.anomalies.len() as f64
-        };
-        let recall = hits as f64 / injections.len() as f64;
-        t.row(vec![
-            format!("{scale}"),
-            injections.len().to_string(),
-            hits.to_string(),
-            fmt_metric(precision),
-            fmt_metric(recall),
-        ]);
-    }
-    t.emit(RESULTS_DIR, "tasks_eval_anomaly.md").expect("write");
-}
-
-fn imputation_eval() {
-    let series = PaperDataset::GasRate.load();
-    let truth = series.column(1).expect("CO2 dimension").to_vec();
-    let mut t = Table::new(
-        "Tasks B — zero-shot imputation vs linear interpolation (Gas Rate CO2)",
-        &["Gap length", "Zero-shot RMSE", "Linear RMSE"],
-    );
-    for &gap in &[4usize, 8, 16, 24] {
-        let start = 180;
-        let mut masked = truth.clone();
-        for v in &mut masked[start..start + gap] {
-            *v = f64::NAN;
-        }
-        let imputed = Imputer::default().impute(&masked).expect("impute");
-        let linear = linear_interpolate(&masked);
-        let score = |candidate: &[f64]| -> f64 {
-            let acc: f64 = (start..start + gap).map(|i| (candidate[i] - truth[i]).powi(2)).sum();
-            (acc / gap as f64).sqrt()
-        };
-        t.row(vec![gap.to_string(), fmt_metric(score(&imputed)), fmt_metric(score(&linear))]);
-    }
-    t.emit(RESULTS_DIR, "tasks_eval_imputation.md").expect("write");
-}
-
-fn changepoint_eval() {
-    let mut t = Table::new(
-        "Tasks C — zero-shot change-point localization (synthetic regime shifts)",
-        &["True change at", "Detected", "Localization error"],
-    );
-    for &at in &[80usize, 120, 160] {
-        let n = at + 80;
-        let xs: Vec<f64> = (0..n)
-            .map(|i| {
-                if i < at {
-                    50.0 + 10.0 * (i as f64 * std::f64::consts::PI / 8.0).sin()
-                } else {
-                    25.0 + 4.0 * (i as f64 * std::f64::consts::PI / 3.0).sin()
-                }
-            })
-            .collect();
-        let cps = ChangePointDetector::default().detect(&xs).expect("detect");
-        let (detected, err) = cps
-            .iter()
-            .map(|&c| (c, (c as i64 - at as i64).unsigned_abs() as usize))
-            .min_by_key(|&(_, e)| e)
-            .map_or_else(|| ("—".into(), "missed".into()), |(c, e)| (c.to_string(), e.to_string()));
-        t.row(vec![at.to_string(), detected, err]);
-    }
-    t.emit(RESULTS_DIR, "tasks_eval_changepoint.md").expect("write");
+    let cli = Cli::from_env();
+    cli.finish().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    Runner::default().run_kind(ScenarioKind::TasksEval).expect("tasks_eval scenario");
 }

@@ -1,140 +1,22 @@
-//! Tokenization ablation: digit-level (char) vs subword (BPE) serialization.
+//! Tokenization ablation: digit-level (char) vs subword (BPE)
+//! serialization, as the `tokenization` scenario.
 //!
 //! The LLMTime/MultiCast pipelines *force* one-token-per-digit
 //! serialization; this experiment measures why. The same in-context
 //! backend forecasts the Gas Rate dataset twice — once over char-level
 //! tokens, once over BPE tokens trained on the prompt — with everything
-//! else identical. Reported per variant: RMSE on both dimensions, tokens
-//! consumed, and the token-count variance across same-width values (the
-//! chunking-inconsistency measure).
-//!
-//! Writes `results/ablation_tokenization.md`.
+//! else identical. Writes `results/ablation_tokenization.md` and
+//! `results/BENCH_tokenization.json`.
 
-use mc_bench::report::{fmt_metric, Table};
-use mc_bench::{RESULTS_DIR, TEST_FRACTION};
-use mc_datasets::PaperDataset;
-use mc_lm::bpe::BpeTokenizer;
-use mc_lm::generate::{generate, GenerateOptions};
-use mc_lm::model::observe_all;
-use mc_lm::model::LanguageModel;
-use mc_lm::ngram::NGramLm;
-use mc_lm::sampler::{Sampler, SamplerConfig};
-use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
-use mc_lm::vocab::Vocab;
-use mc_tslib::metrics::rmse;
-use mc_tslib::split::holdout_split;
-use multicast_core::mux::{Multiplexer, ValueInterleave};
-use multicast_core::pipeline::median_aggregate;
-use multicast_core::scaling::FixedDigitScaler;
-
-const DIGITS: u32 = 3;
-const SAMPLES: usize = 5;
+use mc_spec::cli::Cli;
+use mc_spec::{RunOptions, Runner, ScenarioKind};
 
 fn main() {
-    let series = PaperDataset::GasRate.load();
-    let (train, test) = holdout_split(&series, TEST_FRACTION).expect("split");
-    let horizon = test.len();
-    let dims = train.dims();
-
-    let scaler = FixedDigitScaler::fit(train.columns(), DIGITS, 0.15).expect("scaler");
-    let codes: Vec<Vec<u64>> =
-        (0..dims).map(|d| scaler.scale_column(d, train.column(d).unwrap()).unwrap()).collect();
-    let mux = ValueInterleave;
-    let prompt_text = mux.mux(&codes, DIGITS);
-
-    let mut t = Table::new(
-        "Ablation D — digit-level vs BPE tokenization (Gas Rate, MultiCast VI)",
-        &["Tokenizer", "GasRate RMSE", "CO2 RMSE", "Prompt tokens", "Chunking variance"],
-    );
-
-    // --- Char-level (the paper's scheme). ---
-    let char_tok = CharTokenizer::numeric();
-    let (char_rmse, char_tokens) =
-        run_variant(&char_tok, Vocab::numeric().len(), &prompt_text, &scaler, horizon, dims, &test);
-    t.row(vec![
-        "char (one token per digit)".into(),
-        fmt_metric(char_rmse[0]),
-        fmt_metric(char_rmse[1]),
-        char_tokens.to_string(),
-        fmt_metric(chunking_variance(&char_tok, &codes)),
-    ]);
-
-    // --- BPE trained on the prompt itself. ---
-    let bpe = BpeTokenizer::train(Vocab::numeric(), &prompt_text, 48);
-    let (bpe_rmse, bpe_tokens) =
-        run_variant(&bpe, bpe.vocab_size(), &prompt_text, &scaler, horizon, dims, &test);
-    t.row(vec![
-        format!("BPE ({} merges)", bpe.merge_count()),
-        fmt_metric(bpe_rmse[0]),
-        fmt_metric(bpe_rmse[1]),
-        bpe_tokens.to_string(),
-        fmt_metric(chunking_variance(&bpe, &codes)),
-    ]);
-
-    t.emit(RESULTS_DIR, "ablation_tokenization.md").expect("write");
-}
-
-/// Runs the VI forecast pipeline with an arbitrary tokenizer; the decoded
-/// *text* is demultiplexed, so the pipeline is tokenizer-agnostic.
-fn run_variant(
-    tokenizer: &dyn Tokenizer,
-    vocab_size: usize,
-    prompt_text: &str,
-    scaler: &FixedDigitScaler,
-    horizon: usize,
-    dims: usize,
-    test: &mc_tslib::MultivariateSeries,
-) -> (Vec<f64>, u64) {
-    let mux = ValueInterleave;
-    let prompt = tokenizer.encode(prompt_text).expect("prompt encodes");
-    let mut decoded_samples = Vec::with_capacity(SAMPLES);
-    let mut total_tokens = 0u64;
-    for s in 0..SAMPLES {
-        let mut model = NGramLm::new(vocab_size, 10, 0.25, "ablation");
-        observe_all(&mut model, &prompt);
-        let mut sampler = Sampler::new(SamplerConfig {
-            temperature: 0.7,
-            top_k: None,
-            top_p: Some(0.95),
-            seed: s as u64,
-            epsilon: 0.0,
-        });
-        // Token-count budget: BPE tokens spell multiple chars, so stop by
-        // budget and let the lenient demux take the first `horizon` groups.
-        let options = GenerateOptions {
-            max_tokens: horizon * (dims * DIGITS as usize + 1) * 2,
-            stop_token: None,
-            stop_count: 0,
-        };
-        let out = generate(&mut model, &mut sampler, |_| true, &options);
-        let text = tokenizer.decode(&out).expect("generated tokens decode");
-        let code_cols = mux.demux(&text, dims, DIGITS, horizon);
-        let cols: Vec<Vec<f64>> = code_cols
-            .iter()
-            .enumerate()
-            .map(|(d, col)| scaler.descale_column(d, col).unwrap())
-            .collect();
-        decoded_samples.push(cols);
-        total_tokens += model.cost().total_tokens();
-    }
-    let median = median_aggregate(&decoded_samples).expect("uniform sample shapes");
-    let rmses: Vec<f64> =
-        (0..dims).map(|d| rmse(test.column(d).unwrap(), &median[d]).unwrap()).collect();
-    (rmses, total_tokens)
-}
-
-/// Variance of tokens-per-timestamp across the serialized history: zero
-/// for the char scheme (fixed width), positive when BPE chunks values
-/// inconsistently.
-fn chunking_variance(tokenizer: &dyn Tokenizer, codes: &[Vec<u64>]) -> f64 {
-    let mux = ValueInterleave;
-    let n = codes[0].len();
-    let mut lengths = Vec::with_capacity(n);
-    for t in 0..n {
-        let one: Vec<Vec<u64>> = codes.iter().map(|c| vec![c[t]]).collect();
-        let text = mux.mux(&one, DIGITS);
-        lengths.push(tokenizer.encode(&text).expect("encodes").len() as f64);
-    }
-    let mean = lengths.iter().sum::<f64>() / n as f64;
-    lengths.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n as f64
+    let cli = Cli::from_env();
+    cli.finish().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let opts = RunOptions { bench_dir: Some("results".into()), ..RunOptions::default() };
+    Runner::new(opts).run_kind(ScenarioKind::Tokenization).expect("tokenization scenario");
 }

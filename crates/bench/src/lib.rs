@@ -1,35 +1,28 @@
-//! # mc-bench — the reproduction harness
+//! # mc-bench — the reproduction harness bins
 //!
-//! Regenerates every table and figure of the paper's evaluation (§IV).
-//! One binary per artifact plus an umbrella `repro` binary:
+//! Every experiment is a [`mc_spec::ScenarioSpec`] executed by the
+//! [`mc_spec::Runner`]; the binaries in `src/bin/` are thin wrappers
+//! that translate flags into a spec and print the runner's notes:
 //!
-//! | Binary    | Paper artifact |
-//! |-----------|----------------|
-//! | `table1`  | Table I (datasets) + Table II (parameters) |
-//! | `table3`  | Table III (LLaMA2 vs Phi-2 stand-ins) |
-//! | `table4`  | Table IV (Gas Rate RMSE, 6 methods) |
-//! | `table5`  | Table V (Electricity RMSE) |
-//! | `table6`  | Table VI (Weather RMSE) |
-//! | `table7`  | Table VII (sample-count sweep, RMSE + time) |
-//! | `table8`  | Table VIII (SAX segment sweep, RMSE + time) |
-//! | `table9`  | Table IX (SAX alphabet sweep, RMSE + time) |
-//! | `figures` | Figures 2–8 (forecast trajectory SVGs) |
-//! | `ablation`| extra: mux × backend × dataset grid, aggregation rules |
-//! | `repro`   | everything above, writing `results/` |
+//! | Binary               | Scenario(s) |
+//! |----------------------|-------------|
+//! | `scenario`           | any `.spec` file (the generic driver) |
+//! | `tables`             | Tables I–IX (`tables 4`, `tables all`) |
+//! | `figures`            | Figures 2–8 (forecast trajectory SVGs) |
+//! | `repro`              | everything above, writing `results/` |
+//! | `backtest_eval`      | rolling-origin backtest; `--faults` = fault injection |
+//! | `ablation`           | ablations A/B/C/E |
+//! | `tokenization`       | ablation D (char vs BPE) |
+//! | `tasks_eval`         | anomaly / imputation / change-point studies |
+//! | `prompt_reuse`       | fit-once vs refit-per-sample |
+//! | `concurrent_serving` | serve scheduler speedup; `--trace` = telemetry |
+//! | `serve_chaos`        | overload drill with fault injection |
 //!
-//! Shared machinery lives here: the method roster ([`runner`]), timing,
-//! markdown [`report`]ing, and a dependency-free SVG [`plot`]ter.
+//! The experiment machinery itself — grammar, lowering, execution,
+//! `BENCH_*.json` emission — lives in the `mc-spec` crate. The
+//! `no-adhoc-bench` lint keeps these bins declarative: they may not
+//! touch the engine or serve seams directly.
+//!
+//! Criterion microbenchmarks stay under `benches/`.
 
-pub mod figs;
-pub mod plot;
-pub mod report;
-pub mod runner;
-pub mod tables;
-pub mod timing;
-
-/// Holdout fraction used across all experiments (the final 15 % of each
-/// series is forecast, mirroring the paper's tail-forecast setup).
-pub const TEST_FRACTION: f64 = 0.15;
-
-/// Root directory for generated artifacts (created on demand).
-pub const RESULTS_DIR: &str = "results";
+pub use mc_spec::{RESULTS_DIR, TEST_FRACTION};

@@ -1,0 +1,249 @@
+//! Canonical `BENCH_<scenario>.json` emission and the regression gate.
+//!
+//! A [`BenchReport`] is the machine-readable sibling of a scenario's
+//! markdown artifact: a flat, ordered list of named numbers. Every
+//! number in it is **schedule-independent** — accuracy metrics, token
+//! costs, defect/shed/breaker counters, and p50/p99 latencies in
+//! generated tokens on the logical clock. Wall-clock never enters, so
+//! the rendered file is byte-identical across worker counts and
+//! repeated runs (asserted in `tests/parity.rs`).
+//!
+//! [`gate`] implements the `cargo xtask bench-gate` comparison: a
+//! current report regresses against a committed baseline when a
+//! latency/accuracy metric (key starting with `p99` or containing
+//! `rmse`) rises beyond tolerance, a throughput metric (key starting
+//! with `throughput`) falls beyond tolerance, or a baseline metric
+//! disappears.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+use crate::spec::ScenarioKind;
+
+/// Schema version stamped into every file; bump on breaking layout
+/// changes so the gate can refuse to compare across schemas.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// One scenario's machine-readable result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Kind token (`serve_chaos`, `backtest`, ...).
+    pub scenario: String,
+    /// Scenario name — the `BENCH_<name>.json` stem.
+    pub name: String,
+    /// Named numbers, in insertion (schema) order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// An empty report for a scenario.
+    pub fn new(kind: ScenarioKind, name: impl Into<String>) -> Self {
+        Self { scenario: kind.token(), name: name.into(), metrics: Vec::new() }
+    }
+
+    /// Appends one named metric.
+    pub fn push(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// A metric by key, if present.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The file name this report renders to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// The canonical JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::from(BENCH_SCHEMA)),
+            ("scenario".into(), Json::from(self.scenario.as_str())),
+            ("name".into(), Json::from(self.name.as_str())),
+            (
+                "metrics".into(),
+                Json::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+            ),
+        ])
+    }
+
+    /// The canonical textual form (what [`BenchReport::write`] writes).
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a rendered report back.
+    ///
+    /// # Errors
+    /// On malformed JSON, a wrong schema version, or missing fields.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "missing `schema`".to_string())?;
+        if schema != BENCH_SCHEMA as f64 {
+            return Err(format!("unsupported bench schema {schema} (expected {BENCH_SCHEMA})"));
+        }
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        let metrics = match value.get("metrics") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("metric `{k}` is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `metrics` object".into()),
+        };
+        Ok(BenchReport { scenario: field("scenario")?, name: field("name")?, metrics })
+    }
+
+    /// Writes `BENCH_<name>.json` under `dir` (created on demand).
+    ///
+    /// # Errors
+    /// On filesystem errors.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_pretty())?;
+        Ok(path)
+    }
+}
+
+/// How the gate classifies one metric key.
+fn direction(key: &str) -> Option<Direction> {
+    if key.starts_with("p99") || key.contains("rmse") {
+        Some(Direction::LowerIsBetter)
+    } else if key.starts_with("throughput") {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// Compares `current` against `baseline` and returns one message per
+/// regression (empty = gate passes). `tolerance` is fractional: `0.10`
+/// allows 10 % drift. Only gated keys (see [module docs](self)) are
+/// compared; everything else is informational.
+pub fn gate(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if baseline.scenario != current.scenario {
+        regressions.push(format!(
+            "scenario mismatch: baseline `{}` vs current `{}`",
+            baseline.scenario, current.scenario
+        ));
+        return regressions;
+    }
+    for (key, base) in &baseline.metrics {
+        let Some(dir) = direction(key) else { continue };
+        let Some(cur) = current.metric(key) else {
+            regressions.push(format!("{}: gated metric `{key}` disappeared", baseline.name));
+            continue;
+        };
+        let bad = match dir {
+            Direction::LowerIsBetter => cur > base * (1.0 + tolerance),
+            Direction::HigherIsBetter => cur < base * (1.0 - tolerance),
+        };
+        if bad {
+            let verb = match dir {
+                Direction::LowerIsBetter => "rose",
+                Direction::HigherIsBetter => "fell",
+            };
+            regressions.push(format!(
+                "{}: `{key}` {verb} beyond {:.0}% tolerance: baseline {base} → current {cur}",
+                baseline.name,
+                tolerance * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new(ScenarioKind::ServeChaos, "serve_chaos");
+        r.push("completed", 19.0)
+            .push("p99_spend_tokens", 432.0)
+            .push("throughput_tokens_per_event", 12.5)
+            .push("rmse_mean", 2.78);
+        r
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_canonical() {
+        let r = sample();
+        let text = r.to_pretty();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_pretty(), text);
+        assert_eq!(r.file_name(), "BENCH_serve_chaos.json");
+        assert_eq!(r.metric("completed"), Some(19.0));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_shapes() {
+        assert!(BenchReport::parse("{}").is_err());
+        let wrong = sample().to_pretty().replacen("\"schema\": 1", "\"schema\": 99", 1);
+        assert!(BenchReport::parse(&wrong).unwrap_err().contains("schema"));
+        assert!(BenchReport::parse("{\"schema\": 1, \"scenario\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_identical_and_within_tolerance() {
+        let base = sample();
+        assert!(gate(&base, &base, 0.10).is_empty());
+        let mut near = sample();
+        near.metrics = vec![
+            ("p99_spend_tokens".into(), 432.0 * 1.05),
+            ("throughput_tokens_per_event".into(), 12.5 * 0.95),
+            ("rmse_mean".into(), 2.78),
+        ];
+        assert!(gate(&base, &near, 0.10).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_each_regression_direction() {
+        let base = sample();
+        let mut slow = sample();
+        slow.metrics = vec![
+            ("p99_spend_tokens".into(), 432.0 * 1.2),
+            ("throughput_tokens_per_event".into(), 12.5 * 0.8),
+            ("rmse_mean".into(), 2.78 * 1.2),
+        ];
+        let msgs = gate(&base, &slow, 0.10);
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        // Non-gated counters may drift freely.
+        let mut drift = sample();
+        drift.metrics[0].1 = 5.0; // completed
+        assert!(gate(&base, &drift, 0.10).is_empty());
+        // A vanished gated metric is a regression.
+        let mut gone = sample();
+        gone.metrics.retain(|(k, _)| k != "p99_spend_tokens");
+        assert_eq!(gate(&base, &gone, 0.10).len(), 1);
+        // Scenario mismatch refuses to compare.
+        let mut other = sample();
+        other.scenario = "backtest".into();
+        assert_eq!(gate(&base, &other, 0.10).len(), 1);
+    }
+}

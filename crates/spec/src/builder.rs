@@ -1,0 +1,295 @@
+//! Lowering: from a declarative [`ScenarioSpec`] to the concrete
+//! configuration the engine and serve seams consume.
+//!
+//! [`Lowered`] is the full resolved shape of one scenario —
+//! [`ForecastConfig`], serve scheduler knobs, fault profile, load
+//! geometry and sweep axes — after applying three layers in order:
+//! kind-specific defaults (pinned to what the pre-refactor bench bins
+//! hard-coded; the golden-spec tests assert this), then the spec's
+//! explicit overrides, then the `--fast` shrink for CI smoke runs.
+//! Lowering is pure: no engine is constructed and nothing runs here.
+
+use multicast_core::robust::FaultProfile;
+use multicast_core::{BreakerPolicy, ForecastConfig, MuxMethod, ServeConfig};
+
+use mc_datasets::PaperDataset;
+
+use crate::spec::{ScenarioKind, ScenarioSpec};
+
+/// A spec lowered onto the concrete configuration types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// Scenario name (the `BENCH_<name>.json` stem).
+    pub name: String,
+    /// What to run.
+    pub kind: ScenarioKind,
+    /// Primary dataset (grid scenarios such as `backtest` iterate all
+    /// datasets regardless; this is the one single-dataset studies use).
+    pub dataset: PaperDataset,
+    /// Multiplexing strategy for single-mux studies.
+    pub mux: MuxMethod,
+    /// Fully resolved pipeline configuration (samples, digits, seed,
+    /// sampler, robustness policy).
+    pub config: ForecastConfig,
+    /// Serve scheduler shape (serve scenarios only; defaults elsewhere).
+    pub serve: ServeConfig,
+    /// Fault source, when the scenario injects chaos.
+    pub faults: Option<FaultProfile>,
+    /// Flush waves in generated serve load.
+    pub waves: usize,
+    /// Requests per wave in generated serve load.
+    pub per_wave: usize,
+    /// Per-request deadline in generated tokens (serve chaos).
+    pub deadline_tokens: Option<u64>,
+    /// Primary sweep axis (kind-specific; see [`ScenarioSpec::sweep`]).
+    pub sweep: Vec<usize>,
+    /// Secondary sweep axis.
+    pub samples_sweep: Vec<usize>,
+}
+
+impl Lowered {
+    /// Lowers `spec`, applying kind defaults, spec overrides, then the
+    /// `fast` shrink (which only affects knobs the spec left unset).
+    pub fn lower(spec: &ScenarioSpec, fast: bool) -> Lowered {
+        let kind = spec.kind;
+        let samples = spec.samples.unwrap_or(default_samples(kind, fast));
+        // The fault-injection study needs at least 3 samples for the
+        // retry/quorum machinery to be observable (the old bin's
+        // `samples.max(3)`).
+        let samples = if kind == ScenarioKind::FaultInjection { samples.max(3) } else { samples };
+        let mut config = ForecastConfig {
+            samples,
+            seed: spec.seed.unwrap_or(default_seed(kind)),
+            ..ForecastConfig::default()
+        };
+        if let Some(d) = spec.digits {
+            config.digits = d;
+        }
+        if let Some(p) = spec.preset {
+            config.preset = p;
+        }
+        if let Some(t) = spec.temperature {
+            config.sampler.temperature = t;
+        }
+        config.robust.deadline_tokens = spec.robust.deadline_tokens.or(default_deadline(kind));
+        if let Some(r) = spec.robust.retries {
+            config.robust.max_retries = r;
+        }
+        if let Some(m) = spec.robust.min_valid {
+            config.robust.min_valid_samples = m;
+        }
+        config.robust.backoff_base = spec.robust.backoff_base.unwrap_or(default_backoff(kind));
+
+        let queue_cap = spec.serve.queue_cap.or(default_queue_cap(kind, fast));
+        let faults = spec.faults.or_else(|| default_faults(kind));
+        let serve = ServeConfig {
+            workers: spec.serve.workers.unwrap_or(default_workers(kind)),
+            queue_cap,
+            submit_cap: spec.serve.submit_cap.or(queue_cap.map(|c| c + 2)),
+            quota_tokens: faults.and_then(|f| f.quota_tokens),
+            breaker: match spec.serve.breaker {
+                Some(true) | None => default_breaker(kind),
+                Some(false) => None,
+            },
+        };
+        let (waves, per_wave) = default_load(kind, fast);
+        Lowered {
+            name: spec.name.clone(),
+            kind,
+            dataset: spec.dataset.unwrap_or(PaperDataset::GasRate),
+            mux: spec.mux.unwrap_or(MuxMethod::ValueInterleave),
+            config,
+            serve,
+            faults,
+            waves: spec.serve.waves.unwrap_or(waves),
+            per_wave: spec.serve.per_wave.unwrap_or(per_wave),
+            deadline_tokens: config.robust.deadline_tokens,
+            sweep: spec.sweep.clone().unwrap_or_else(|| default_sweep(kind, fast)),
+            samples_sweep: spec
+                .samples_sweep
+                .clone()
+                .unwrap_or_else(|| default_samples_sweep(kind)),
+        }
+    }
+}
+
+fn default_samples(kind: ScenarioKind, fast: bool) -> usize {
+    match kind {
+        // The chaos drill always runs lean: 3 samples per request.
+        ScenarioKind::ServeChaos => 3,
+        // Telemetry's representative batch uses the paper default width.
+        ScenarioKind::Telemetry => 5,
+        _ => {
+            if fast {
+                1
+            } else {
+                5
+            }
+        }
+    }
+}
+
+fn default_seed(kind: ScenarioKind) -> u64 {
+    match kind {
+        // Chaos requests seed from 9000 + request index.
+        ScenarioKind::ServeChaos => 9000,
+        // Serving studies seed requests from 1000 + request index.
+        ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry => 1000,
+        _ => ForecastConfig::default().seed,
+    }
+}
+
+fn default_deadline(kind: ScenarioKind) -> Option<u64> {
+    match kind {
+        ScenarioKind::ServeChaos => Some(240),
+        _ => None,
+    }
+}
+
+fn default_backoff(kind: ScenarioKind) -> u32 {
+    match kind {
+        ScenarioKind::ServeChaos => 2,
+        _ => 0,
+    }
+}
+
+fn default_workers(kind: ScenarioKind) -> usize {
+    match kind {
+        ScenarioKind::ServeChaos | ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry => 8,
+        _ => ServeConfig::default().workers,
+    }
+}
+
+fn default_queue_cap(kind: ScenarioKind, fast: bool) -> Option<usize> {
+    match kind {
+        ScenarioKind::ServeChaos => Some(if fast { 3 } else { 6 }),
+        _ => None,
+    }
+}
+
+fn default_breaker(kind: ScenarioKind) -> Option<BreakerPolicy> {
+    match kind {
+        ScenarioKind::ServeChaos => Some(BreakerPolicy::default()),
+        _ => None,
+    }
+}
+
+fn default_faults(kind: ScenarioKind) -> Option<FaultProfile> {
+    match kind {
+        // `rate=0.3,seed=77,latency=8,quota=2500` in the chaos grammar.
+        ScenarioKind::ServeChaos => Some(FaultProfile {
+            rate: 0.3,
+            seed: 77,
+            panic_sample: None,
+            latency_tokens: 8,
+            quota_tokens: Some(2500),
+        }),
+        ScenarioKind::FaultInjection => {
+            Some(FaultProfile { seed: 0xFA017, panic_sample: Some(0), ..Default::default() })
+        }
+        _ => None,
+    }
+}
+
+fn default_load(kind: ScenarioKind, fast: bool) -> (usize, usize) {
+    match kind {
+        ScenarioKind::ServeChaos => {
+            if fast {
+                (2, 5)
+            } else {
+                (3, 8)
+            }
+        }
+        // Telemetry serves one 8-request batch.
+        ScenarioKind::Telemetry => (1, 8),
+        _ => (1, 1),
+    }
+}
+
+fn default_sweep(kind: ScenarioKind, fast: bool) -> Vec<usize> {
+    match kind {
+        // Table VII / prompt-reuse sweep sampling widths.
+        ScenarioKind::Table(7) | ScenarioKind::PromptReuse => {
+            if fast {
+                vec![1, 2]
+            } else {
+                vec![5, 10, 20]
+            }
+        }
+        // Table VIII sweeps SAX segment lengths.
+        ScenarioKind::Table(8) => vec![3, 6, 9],
+        // Table IX sweeps SAX alphabet sizes.
+        ScenarioKind::Table(9) => vec![5, 10, 20],
+        // Concurrent serving sweeps request counts R.
+        ScenarioKind::ConcurrentServing => vec![1, 2, 4, 8],
+        _ => Vec::new(),
+    }
+}
+
+fn default_samples_sweep(kind: ScenarioKind) -> Vec<usize> {
+    match kind {
+        // Concurrent serving crosses R with sampling widths S.
+        ScenarioKind::ConcurrentServing => vec![5, 10],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_chaos_defaults_match_the_old_bin() {
+        let l = Lowered::lower(&ScenarioSpec::new(ScenarioKind::ServeChaos), false);
+        assert_eq!(l.config.samples, 3);
+        assert_eq!(l.config.seed, 9000);
+        assert_eq!(l.config.robust.deadline_tokens, Some(240));
+        assert_eq!(l.config.robust.backoff_base, 2);
+        assert_eq!(l.serve.workers, 8);
+        assert_eq!(l.serve.queue_cap, Some(6));
+        assert_eq!(l.serve.submit_cap, Some(8));
+        assert_eq!(l.serve.quota_tokens, Some(2500));
+        assert!(l.serve.breaker.is_some());
+        assert_eq!((l.waves, l.per_wave), (3, 8));
+        let f = l.faults.unwrap();
+        assert_eq!((f.rate, f.seed, f.latency_tokens), (0.3, 77, 8));
+    }
+
+    #[test]
+    fn fast_shrinks_only_unset_knobs() {
+        let mut spec = ScenarioSpec::new(ScenarioKind::ServeChaos);
+        let fast = Lowered::lower(&spec, true);
+        assert_eq!(fast.serve.queue_cap, Some(3));
+        assert_eq!((fast.waves, fast.per_wave), (2, 5));
+        spec.serve.queue_cap = Some(9);
+        spec.serve.waves = Some(4);
+        let pinned = Lowered::lower(&spec, true);
+        assert_eq!(pinned.serve.queue_cap, Some(9));
+        assert_eq!(pinned.serve.submit_cap, Some(11));
+        assert_eq!(pinned.waves, 4);
+    }
+
+    #[test]
+    fn fault_injection_keeps_the_three_sample_floor() {
+        let spec = ScenarioSpec::new(ScenarioKind::FaultInjection);
+        assert_eq!(Lowered::lower(&spec, false).config.samples, 5);
+        assert_eq!(Lowered::lower(&spec, true).config.samples, 3);
+        let f = Lowered::lower(&spec, false).faults.unwrap();
+        assert_eq!(f.seed, 0xFA017);
+        assert_eq!(f.panic_sample, Some(0));
+    }
+
+    #[test]
+    fn spec_overrides_beat_kind_defaults() {
+        let mut spec = ScenarioSpec::new(ScenarioKind::Backtest);
+        spec.samples = Some(7);
+        spec.seed = Some(42);
+        spec.temperature = Some(1.5);
+        spec.robust.retries = Some(0);
+        let l = Lowered::lower(&spec, true);
+        assert_eq!(l.config.samples, 7);
+        assert_eq!(l.config.seed, 42);
+        assert_eq!(l.config.sampler.temperature, 1.5);
+        assert_eq!(l.config.robust.max_retries, 0);
+    }
+}

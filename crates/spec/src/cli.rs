@@ -1,0 +1,207 @@
+//! Shared argument parsing for the bench bins.
+//!
+//! Every bin used to hand-roll the same `position(..).map(get(i + 1))`
+//! dance with ad-hoc `expect` panics; this module centralizes it behind
+//! typed errors. A [`Cli`] tracks which arguments were consumed so a bin
+//! can reject typos (`finish`) instead of silently ignoring them.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How argument parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A `--flag` that takes a value appeared last, with nothing after it.
+    MissingValue {
+        /// The flag.
+        flag: String,
+    },
+    /// A value did not parse as the expected type.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// Arguments remained that no flag consumed.
+    Unknown {
+        /// The unrecognized arguments, in order.
+        args: Vec<String>,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            CliError::BadValue { flag, value, message } => {
+                write!(f, "{flag}: bad value `{value}`: {message}")
+            }
+            CliError::Unknown { args } => {
+                write!(f, "unknown argument(s): {}", args.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// A consumed-tracking view over a bin's arguments.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    args: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Cli {
+    /// Wraps an explicit argument list (tests; bins use [`Cli::from_env`]).
+    pub fn new(args: Vec<String>) -> Self {
+        let used = vec![false; args.len()];
+        Self { args, used }
+    }
+
+    /// The process arguments, program name skipped.
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// Consumes a boolean flag: `true` iff `name` is present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let mut found = false;
+        for (i, a) in self.args.iter().enumerate() {
+            if a == name {
+                self.used[i] = true;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Consumes `name <value>`, returning the raw value when present.
+    ///
+    /// # Errors
+    /// [`CliError::MissingValue`] when `name` is the final argument.
+    pub fn value(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        let Some(i) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        self.used[i] = true;
+        match self.args.get(i + 1) {
+            Some(v) => {
+                self.used[i + 1] = true;
+                Ok(Some(v.clone()))
+            }
+            None => Err(CliError::MissingValue { flag: name.to_string() }),
+        }
+    }
+
+    /// Consumes `name <value>` and parses it, falling back to `default`
+    /// when the flag is absent.
+    ///
+    /// # Errors
+    /// [`CliError::MissingValue`] or [`CliError::BadValue`].
+    pub fn parsed_or<T>(&mut self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T: FromStr,
+        T::Err: fmt::Display,
+    {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| CliError::BadValue {
+                flag: name.to_string(),
+                value: raw,
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Consumes and returns the first argument not yet claimed by a flag
+    /// (a positional subcommand such as `figures fig3`).
+    pub fn positional(&mut self) -> Option<String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] {
+                self.used[i] = true;
+                return Some(a.clone());
+            }
+        }
+        None
+    }
+
+    /// Rejects anything no flag consumed.
+    ///
+    /// # Errors
+    /// [`CliError::Unknown`] listing the leftover arguments.
+    pub fn finish(self) -> Result<(), CliError> {
+        let leftover: Vec<String> = self
+            .args
+            .into_iter()
+            .zip(self.used)
+            .filter_map(|(a, used)| (!used).then_some(a))
+            .collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError::Unknown { args: leftover })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::new(args.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn flags_values_and_finish() {
+        let mut c = cli(&["--fast", "--queue-cap", "9", "--faults", "rate=0.5"]);
+        assert!(c.flag("--fast"));
+        assert!(!c.flag("--metrics"));
+        assert_eq!(c.parsed_or("--queue-cap", 6usize).unwrap(), 9);
+        assert_eq!(c.value("--faults").unwrap().as_deref(), Some("rate=0.5"));
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let mut c = cli(&[]);
+        assert_eq!(c.parsed_or("--workers", 8usize).unwrap(), 8);
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_value_is_typed() {
+        let mut c = cli(&["--deadline-tokens"]);
+        let err = c.value("--deadline-tokens").unwrap_err();
+        assert_eq!(err, CliError::MissingValue { flag: "--deadline-tokens".into() });
+        assert_eq!(err.to_string(), "--deadline-tokens needs a value");
+    }
+
+    #[test]
+    fn bad_value_is_typed() {
+        let mut c = cli(&["--workers", "lots"]);
+        let err = c.parsed_or("--workers", 8usize).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { ref flag, .. } if flag == "--workers"));
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        let mut c = cli(&["--fast", "--typo"]);
+        assert!(c.flag("--fast"));
+        let err = c.finish().unwrap_err();
+        assert_eq!(err, CliError::Unknown { args: vec!["--typo".into()] });
+    }
+
+    #[test]
+    fn positional_takes_first_unclaimed() {
+        let mut c = cli(&["fig3", "--fast"]);
+        assert!(c.flag("--fast"));
+        assert_eq!(c.positional().as_deref(), Some("fig3"));
+        assert_eq!(c.positional(), None);
+        c.finish().unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! The low-level scenario-spec document grammar.
+//!
+//! A spec is plain text, one `key = value` pair per line, optionally
+//! grouped under `[section]` headers — a TOML-like surface parsed with
+//! no dependencies. Full-line comments start with `#`; values run to the
+//! end of the line (so embedded commas — e.g. a
+//! [`FaultProfile`](multicast_core::robust::FaultProfile) string — need
+//! no quoting). Duplicate keys within the same section are rejected
+//! here; key *meaning* (including unknown-key rejection) is the
+//! [`spec`](crate::spec) layer's job.
+
+use crate::spec::SpecError;
+
+/// One `key = value` pair with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Enclosing `[section]`, or `None` for top-level pairs.
+    pub section: Option<String>,
+    pub key: String,
+    pub value: String,
+    /// 1-based source line, for error reporting.
+    pub line: usize,
+}
+
+/// A parsed spec document: every pair, in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    pub entries: Vec<Entry>,
+}
+
+impl Document {
+    /// The value of `key` in `section` (`None` = top level), if present.
+    pub fn get(&self, section: Option<&str>, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.section.as_deref() == section && e.key == key)
+    }
+
+    /// Every entry belonging to `section`.
+    pub fn section<'a>(&'a self, section: Option<&'a str>) -> impl Iterator<Item = &'a Entry> {
+        self.entries.iter().filter(move |e| e.section.as_deref() == section)
+    }
+
+    /// Every distinct section name, in first-appearance order.
+    pub fn section_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if let Some(s) = e.section.as_deref() {
+                if !names.contains(&s) {
+                    names.push(s);
+                }
+            }
+        }
+        names
+    }
+}
+
+/// Parses a spec document.
+///
+/// # Errors
+/// [`SpecError::Syntax`] on a line that is neither blank, a comment, a
+/// `[section]` header nor a `key = value` pair; [`SpecError::DuplicateKey`]
+/// when the same key appears twice in one section.
+pub fn parse(text: &str) -> Result<Document, SpecError> {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut section: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = content.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(SpecError::Syntax { line, message: "unterminated [section]".into() });
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SpecError::Syntax {
+                    line,
+                    message: format!("invalid section name `{name}`"),
+                });
+            }
+            section = Some(name.to_string());
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else {
+            return Err(SpecError::Syntax {
+                line,
+                message: format!("`{content}` is not `key = value`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::Syntax { line, message: format!("invalid key `{key}`") });
+        }
+        if entries.iter().any(|e| e.section == section && e.key == key) {
+            return Err(SpecError::DuplicateKey {
+                line,
+                section: section.clone(),
+                key: key.to_string(),
+            });
+        }
+        entries.push(Entry {
+            section: section.clone(),
+            key: key.to_string(),
+            value: value.to_string(),
+            line,
+        });
+    }
+    Ok(Document { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_top_level_and_sections() {
+        let doc = parse("a = 1\n# comment\n[serve]\nworkers = 8\nqueue_cap = 6\n").unwrap();
+        assert_eq!(doc.entries.len(), 3);
+        assert_eq!(doc.get(None, "a").unwrap().value, "1");
+        assert_eq!(doc.get(Some("serve"), "workers").unwrap().value, "8");
+        assert_eq!(doc.section_names(), vec!["serve"]);
+        assert_eq!(doc.section(Some("serve")).count(), 2);
+    }
+
+    #[test]
+    fn values_keep_embedded_punctuation() {
+        let doc = parse("faults = rate=0.3,seed=77,quota=2500\n").unwrap();
+        assert_eq!(doc.get(None, "faults").unwrap().value, "rate=0.3,seed=77,quota=2500");
+    }
+
+    #[test]
+    fn duplicate_keys_are_typed_errors() {
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(matches!(err, SpecError::DuplicateKey { line: 2, .. }), "{err}");
+        // Same key in different sections is fine.
+        assert!(parse("[x]\na = 1\n[y]\na = 2\n").is_ok());
+        // ... but twice in the same section is not.
+        assert!(parse("[x]\na = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("ok = 1\nnot a pair\n").unwrap_err();
+        assert!(matches!(err, SpecError::Syntax { line: 2, .. }), "{err}");
+        assert!(parse("[unterminated\n").is_err());
+        assert!(parse("[]\n").is_err());
+        assert!(parse("bad key! = 1\n").is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! A minimal, dependency-free JSON value: canonical writer + strict
+//! parser.
+//!
+//! `BENCH_*.json` files must be byte-identical across worker counts and
+//! repeated runs, so the writer is canonical by construction: object
+//! members keep insertion order (the [`bencher`](crate::bencher) inserts
+//! them in schema order), arrays keep element order, floats print via
+//! Rust's shortest-round-trip `Display`, and indentation is fixed
+//! (2 spaces, trailing newline). The parser accepts standard JSON and is
+//! used by `cargo xtask bench-gate` to read baselines back.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve member insertion order — canonical
+/// output depends on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Integers up to 2^53 round-trip exactly; the bench
+    /// counters stay far below that.
+    Num(f64),
+    /// A string (the writer escapes `"` `\` and control characters).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical pretty form: 2-space indent, ordered members, trailing
+    /// newline. Deterministic for a given value.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    pad(out, depth + 1);
+                    write_str(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+/// Numbers print integers without a fractional part and everything else
+/// via `Display` — Rust's shortest representation that round-trips, so
+/// the output is deterministic without any formatting heuristics.
+fn write_num(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (standard grammar; `\uXXXX` escapes limited to
+/// the BMP, which covers everything the writer emits).
+///
+/// # Errors
+/// A message naming the byte offset of the first violation.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        s.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                s.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_is_canonical_and_parser_inverts_it() {
+        let value = Json::Obj(vec![
+            ("schema".into(), Json::from(1u64)),
+            ("name".into(), Json::from("serve_chaos")),
+            ("nested".into(), Json::Obj(vec![("p99".into(), Json::from(432u64))])),
+            ("list".into(), Json::Arr(vec![Json::from(1u64), Json::from(2.5f64)])),
+            ("none".into(), Json::Null),
+            ("flag".into(), Json::Bool(true)),
+        ]);
+        let text = value.to_pretty();
+        assert_eq!(parse(&text).unwrap(), value);
+        // Canonical: re-rendering the parse is byte-identical.
+        assert_eq!(parse(&text).unwrap().to_pretty(), text);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn numbers_render_deterministically() {
+        assert_eq!(Json::from(3.0f64).to_pretty(), "3\n");
+        assert_eq!(Json::from(0.1f64).to_pretty(), "0.1\n");
+        assert_eq!(Json::from(12345u64).to_pretty(), "12345\n");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}");
+        let text = s.to_pretty();
+        assert_eq!(parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("123 junk").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("nil").is_err());
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = parse("{\"a\": 1, \"b\": \"x\"}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert!(v.get("c").is_none());
+    }
+}

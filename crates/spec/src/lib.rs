@@ -1,0 +1,59 @@
+//! # mc-spec — the declarative scenario engine
+//!
+//! Every evaluation in the reproduction — the paper's Tables I–IX and
+//! Figures 2–8, plus the prompt-reuse, concurrent-serving, chaos and
+//! fault-injection studies — is described by a [`ScenarioSpec`]: a plain
+//! text document (TOML-like, parsed without dependencies) naming the
+//! dataset, multiplexing strategy, codec, backend preset, robustness
+//! policy, [`FaultProfile`](multicast_core::robust::FaultProfile) and
+//! serve shape of one experiment. The layering is a builder/runner/
+//! bencher split:
+//!
+//! - [`spec`] / [`grammar`] — the declarative surface: parse, validate
+//!   (unknown keys and duplicate fields are typed errors), `Display`
+//!   round-trips;
+//! - [`builder`] — lowers a spec onto the existing engine/serve seams:
+//!   [`ForecastConfig`](multicast_core::ForecastConfig), serve requests,
+//!   [`ServeConfig`](multicast_core::serve::ServeConfig), fault sources;
+//! - [`runner`] — executes a single spec or a grid of them
+//!   deterministically, writing the same `results/*.md` artifacts the
+//!   former hand-rolled bench bins produced;
+//! - [`bencher`] — folds a run into a canonical, schedule-independent
+//!   `BENCH_<scenario>.json` (accuracy metrics, token costs, defect /
+//!   shed / breaker counters, p50/p99 logical-clock latencies) that the
+//!   `cargo xtask bench-gate` regression gate reads.
+//!
+//! The experiment payloads themselves (method roster, table and figure
+//! recipes, markdown reporting, SVG plotting) live in [`roster`],
+//! [`tables`], [`figs`], [`report`] and [`plot`]; the bench bins under
+//! `crates/bench/src/bin/` are thin wrappers that construct or load a
+//! spec and delegate to the runner ([`cli`] holds their shared argument
+//! parsing). The `no-adhoc-bench` invariant lint keeps it that way: only
+//! the runner may touch `ForecastEngine`/`serve_all` in bench-land.
+
+pub mod bencher;
+pub mod builder;
+pub mod cli;
+pub mod figs;
+pub mod grammar;
+pub mod json;
+pub mod plot;
+pub mod report;
+pub mod roster;
+pub mod runner;
+pub mod scenarios;
+pub mod spec;
+pub mod tables;
+pub mod timing;
+
+pub use bencher::BenchReport;
+pub use builder::Lowered;
+pub use runner::{RunError, RunOptions, RunSummary, Runner};
+pub use spec::{ScenarioKind, ScenarioSpec, SpecError};
+
+/// Holdout fraction used across all experiments (the final 15 % of each
+/// series is forecast, mirroring the paper's tail-forecast setup).
+pub const TEST_FRACTION: f64 = 0.15;
+
+/// Root directory for generated artifacts (created on demand).
+pub const RESULTS_DIR: &str = "results";

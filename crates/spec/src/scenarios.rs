@@ -1,0 +1,544 @@
+//! Scenario implementations that drive forecasters directly (no engine
+//! or serve-scheduler seams — those live in [`runner`](crate::runner),
+//! the one module the `no-adhoc-bench` lint sanctions for them).
+//!
+//! Each function here is a faithful port of one pre-refactor bench bin,
+//! taking a [`Lowered`] spec instead of hard-coded constants and
+//! returning typed errors instead of `expect`-crashing. Output parity
+//! with the old bins is asserted in `tests/parity.rs`.
+
+use mc_baselines::{
+    ArimaForecaster, Holt, HoltWinters, KalmanForecaster, Ses, Theta, VarForecaster,
+};
+use mc_datasets::PaperDataset;
+use mc_lm::bpe::BpeTokenizer;
+use mc_lm::generate::{generate, GenerateOptions};
+use mc_lm::model::{observe_all, LanguageModel};
+use mc_lm::ngram::NGramLm;
+use mc_lm::sampler::{Sampler, SamplerConfig};
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
+use mc_lm::vocab::Vocab;
+use mc_obs::MetricsRegistry;
+use mc_tasks::imputation::linear_interpolate;
+use mc_tasks::{AnomalyDetector, ChangePointDetector, Imputer};
+use mc_tslib::backtest::{backtest, BacktestConfig};
+use mc_tslib::forecast::{MultivariateForecaster, PerDimension};
+use mc_tslib::metrics::rmse;
+use mc_tslib::split::holdout_split;
+use multicast_core::mux::{Multiplexer, ValueInterleave};
+use multicast_core::pipeline::median_aggregate;
+use multicast_core::robust::DefectClass;
+use multicast_core::scaling::FixedDigitScaler;
+use multicast_core::{ForecastConfig, LlmTimeForecaster, MultiCastForecaster, MuxMethod};
+
+use crate::bencher::BenchReport;
+use crate::builder::Lowered;
+use crate::report::{fmt_metric, Table};
+use crate::runner::{RunError, RunOptions, RunSummary};
+use crate::TEST_FRACTION;
+
+/// Rolling-origin robustness study (`results/backtest.md`): every method
+/// refit at 4 cut points per dataset, mean ± std RMSE reported.
+pub(crate) fn backtest_study(l: &Lowered, opts: &RunOptions) -> Result<RunSummary, RunError> {
+    let samples = l.config.samples;
+    let mut t = Table::new(
+        "Backtest — rolling-origin mean ± std RMSE (averaged over dimensions, 4 folds)",
+        &["Method", "Gas Rate", "Electricity", "Weather"],
+    );
+    let mut bench = BenchReport::new(l.kind, &l.name);
+    type Make = Box<dyn Fn() -> Box<dyn MultivariateForecaster>>;
+    let entries: Vec<(&str, Make)> = vec![
+        (
+            "MultiCast (VI)",
+            Box::new(move || {
+                Box::new(MultiCastForecaster::new(
+                    MuxMethod::ValueInterleave,
+                    ForecastConfig { samples, ..Default::default() },
+                ))
+            }),
+        ),
+        (
+            "LLMTIME",
+            Box::new(move || {
+                Box::new(LlmTimeForecaster::new(ForecastConfig { samples, ..Default::default() }))
+            }),
+        ),
+        ("ARIMA", Box::new(|| Box::new(PerDimension(ArimaForecaster::default())))),
+        ("VAR", Box::new(|| Box::new(VarForecaster::default()))),
+        ("Theta", Box::new(|| Box::new(PerDimension(Theta)))),
+        ("Kalman (LLT)", Box::new(|| Box::new(PerDimension(KalmanForecaster)))),
+        ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
+    ];
+    for (name, make) in &entries {
+        let mut row = vec![name.to_string()];
+        for ds in PaperDataset::ALL {
+            let series = ds.load();
+            // 4 folds: start at 60 % of the series, horizon 10 % of it.
+            let initial = (series.len() as f64 * 0.6) as usize;
+            let horizon = (series.len() as f64 * 0.1) as usize;
+            let step = (series.len() - initial - horizon) / 3;
+            let config = BacktestConfig { initial_train: initial, horizon, step };
+            let mut f = make();
+            let cell = match backtest(f.as_mut(), &series, config) {
+                Ok(report) => {
+                    let mean = report.grand_mean();
+                    let spread = report.std_rmse.iter().sum::<f64>() / report.std_rmse.len() as f64;
+                    bench.push(format!("rmse_mean/{name}/{ds}"), mean);
+                    bench.push(format!("rmse_std/{name}/{ds}"), spread);
+                    format!("{} ± {}", fmt_metric(mean), fmt_metric(spread))
+                }
+                Err(e) => format!("err: {e}"),
+            };
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    let path = t.emit(&opts.results_dir, "backtest.md")?;
+    RunSummary::of(l, vec![path], Some(bench), opts)
+}
+
+/// RMSE degradation vs injected-defect rate
+/// (`results/fault_injection.md`): one forecaster per rate, deterministic
+/// corruption plus one guaranteed panicking sample.
+pub(crate) fn fault_injection(l: &Lowered, opts: &RunOptions) -> Result<RunSummary, RunError> {
+    let profile =
+        l.faults.ok_or_else(|| RunError::invariant("fault_injection lowers a default profile"))?;
+    let series = l.dataset.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let mut t = Table::new(
+        format!(
+            "Fault injection — {} on {}, deterministic corruption + 1 panicking sample",
+            l.mux.display_name(),
+            l.dataset
+        ),
+        &["Defect rate", "RMSE (dim mean)", "Valid/Req", "Retries", "Repairs", "Panics", "Outcome"],
+    );
+    let mut bench = BenchReport::new(l.kind, &l.name);
+    let registry = MetricsRegistry::new();
+    for rate_pct in [0u32, 20, 40, 60, 80, 100] {
+        let rate = rate_pct as f64 / 100.0;
+        let source = profile.with_rate(rate).source();
+        let config = ForecastConfig { samples: l.config.samples, ..Default::default() };
+        let mut f = MultiCastForecaster::new(l.mux, config).with_source(source);
+        let row = match f.forecast(&train, test.len()) {
+            Ok(fc) => {
+                let mut acc = 0.0;
+                for d in 0..train.dims() {
+                    acc += rmse(test.column(d)?, fc.column(d)?)?;
+                }
+                let mean_rmse = acc / train.dims() as f64;
+                let report = f
+                    .last_report
+                    .as_ref()
+                    .ok_or_else(|| RunError::invariant("forecast records a report"))?;
+                report.record_into(&registry);
+                bench.push(format!("rmse/rate_{rate_pct}"), mean_rmse);
+                bench.push(format!("valid_samples/rate_{rate_pct}"), report.valid_samples as f64);
+                bench.push(format!("retries/rate_{rate_pct}"), report.retries_used as f64);
+                bench.push(format!("repairs/rate_{rate_pct}"), report.repairs_applied as f64);
+                bench.push(
+                    format!("panics/rate_{rate_pct}"),
+                    report.defect_count(DefectClass::Panicked) as f64,
+                );
+                bench.push(
+                    format!("fallback/rate_{rate_pct}"),
+                    if report.degraded() { 1.0 } else { 0.0 },
+                );
+                vec![
+                    format!("{rate_pct}%"),
+                    fmt_metric(mean_rmse),
+                    format!("{}/{}", report.valid_samples, report.requested_samples),
+                    report.retries_used.to_string(),
+                    report.repairs_applied.to_string(),
+                    report.defect_count(DefectClass::Panicked).to_string(),
+                    if report.degraded() { "fallback".into() } else { "sampled".into() },
+                ]
+            }
+            Err(e) => vec![
+                format!("{rate_pct}%"),
+                format!("err: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+        };
+        t.row(row);
+    }
+    let path = t.emit(&opts.results_dir, "fault_injection.md")?;
+    let notes = if opts.print_metrics { vec![registry.snapshot().to_markdown()] } else { vec![] };
+    RunSummary::of(l, vec![path], Some(bench), opts).map(|mut s| {
+        s.notes = notes;
+        s
+    })
+}
+
+/// Ablations A/B/C/E (`results/ablation_*.md`): backend × mux grid,
+/// temperature sweep, digit-budget sweep, extended classical grid.
+pub(crate) fn ablation(l: &Lowered, opts: &RunOptions) -> Result<RunSummary, RunError> {
+    use mc_lm::presets::ModelPreset;
+    let samples = l.config.samples;
+    let series = PaperDataset::GasRate.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let mut artifacts = Vec::new();
+
+    let mean_rmse_2d = |fc: &mc_tslib::MultivariateSeries| -> Result<f64, RunError> {
+        let mut acc = 0.0;
+        for d in 0..2 {
+            acc += rmse(test.column(d)?, fc.column(d)?)?;
+        }
+        Ok(acc / 2.0)
+    };
+
+    // 1. Backend × mux grid.
+    let mut grid = Table::new(
+        "Ablation A — backend preset x multiplexing (Gas Rate, mean RMSE over dims)",
+        &["Backend", "DI", "VI", "VC"],
+    );
+    for preset in ModelPreset::ALL {
+        let mut row = vec![preset.display_name().to_string()];
+        for mux in MuxMethod::ALL {
+            let cfg = ForecastConfig { samples, preset, ..Default::default() };
+            let mut f = MultiCastForecaster::new(mux, cfg);
+            let fc = f.forecast(&train, test.len())?;
+            row.push(fmt_metric(mean_rmse_2d(&fc)?));
+        }
+        grid.row(row);
+    }
+    artifacts.push(grid.emit(&opts.results_dir, "ablation_backend_mux.md")?);
+
+    // 2. Temperature sweep (VI, Large).
+    let mut temp = Table::new(
+        "Ablation B — sampler temperature (Gas Rate, MultiCast VI, mean RMSE)",
+        &["Temperature", "RMSE"],
+    );
+    for t in [0.2, 0.5, 0.7, 1.0, 1.5] {
+        let cfg = ForecastConfig {
+            samples,
+            sampler: SamplerConfig { temperature: t, ..SamplerConfig::default() },
+            ..Default::default()
+        };
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+        let fc = f.forecast(&train, test.len())?;
+        temp.row(vec![format!("{t}"), fmt_metric(mean_rmse_2d(&fc)?)]);
+    }
+    artifacts.push(temp.emit(&opts.results_dir, "ablation_temperature.md")?);
+
+    // 3. Digit budget sweep (VI, Large).
+    let mut digits = Table::new(
+        "Ablation C — digits per value b (Gas Rate, MultiCast VI, mean RMSE / prompt tokens)",
+        &["b", "RMSE", "Tokens"],
+    );
+    for b in [2u32, 3, 4] {
+        let cfg = ForecastConfig { samples, digits: b, ..Default::default() };
+        let mut f = MultiCastForecaster::new(MuxMethod::ValueInterleave, cfg);
+        let fc = f.forecast(&train, test.len())?;
+        let tokens = f.last_cost.map_or(0, |c| c.total_tokens());
+        digits.row(vec![b.to_string(), fmt_metric(mean_rmse_2d(&fc)?), tokens.to_string()]);
+    }
+    artifacts.push(digits.emit(&opts.results_dir, "ablation_digits.md")?);
+
+    // 4. Extended classical grid: methods beyond the paper's roster, on
+    // every dataset (mean RMSE across dimensions).
+    let mut grid = Table::new(
+        "Ablation E — extended classical comparison (mean RMSE across dimensions)",
+        &["Method", "Gas Rate", "Electricity", "Weather"],
+    );
+    type Entry = (&'static str, Box<dyn Fn() -> Box<dyn MultivariateForecaster>>);
+    let sample_count = samples;
+    let entries: Vec<Entry> = vec![
+        (
+            "MultiCast (VI)",
+            Box::new(move || {
+                Box::new(MultiCastForecaster::new(
+                    MuxMethod::ValueInterleave,
+                    ForecastConfig { samples: sample_count, ..Default::default() },
+                ))
+            }),
+        ),
+        ("VAR (AIC order)", Box::new(|| Box::new(VarForecaster::default()))),
+        ("SES", Box::new(|| Box::new(PerDimension(Ses { alpha: None })))),
+        ("Holt", Box::new(|| Box::new(PerDimension(Holt { alpha: None, beta: None })))),
+        ("Holt-Winters (m=12)", Box::new(|| Box::new(PerDimension(HoltWinters::with_period(12))))),
+    ];
+    for (name, make) in &entries {
+        let mut row = vec![name.to_string()];
+        for ds in PaperDataset::ALL {
+            let series = ds.load();
+            let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+            let cell = match make().forecast(&train, test.len()) {
+                Ok(fc) => {
+                    let mut acc = 0.0;
+                    for d in 0..series.dims() {
+                        acc += rmse(test.column(d)?, fc.column(d)?)?;
+                    }
+                    fmt_metric(acc / series.dims() as f64)
+                }
+                Err(e) => format!("err: {e}"),
+            };
+            row.push(cell);
+        }
+        grid.row(row);
+    }
+    artifacts.push(grid.emit(&opts.results_dir, "ablation_extended.md")?);
+    RunSummary::of(l, artifacts, None, opts)
+}
+
+/// Tokenization ablation (`results/ablation_tokenization.md`):
+/// digit-level (char) vs subword (BPE) serialization, everything else
+/// identical.
+pub(crate) fn tokenization(l: &Lowered, opts: &RunOptions) -> Result<RunSummary, RunError> {
+    let digits = l.config.digits;
+    let samples = l.config.samples;
+    let series = l.dataset.load();
+    let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+    let horizon = test.len();
+    let dims = train.dims();
+
+    let scaler = FixedDigitScaler::fit(train.columns(), digits, 0.15)?;
+    let mut codes: Vec<Vec<u64>> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        codes.push(scaler.scale_column(d, train.column(d)?)?);
+    }
+    let mux = ValueInterleave;
+    let prompt_text = mux.mux(&codes, digits);
+
+    let mut t = Table::new(
+        "Ablation D — digit-level vs BPE tokenization (Gas Rate, MultiCast VI)",
+        &["Tokenizer", "GasRate RMSE", "CO2 RMSE", "Prompt tokens", "Chunking variance"],
+    );
+    let mut bench = BenchReport::new(l.kind, &l.name);
+
+    // --- Char-level (the paper's scheme). ---
+    let char_tok = CharTokenizer::numeric();
+    let (char_rmse, char_tokens) = run_variant(
+        &char_tok,
+        Vocab::numeric().len(),
+        &prompt_text,
+        &scaler,
+        horizon,
+        dims,
+        &test,
+        digits,
+        samples,
+    )?;
+    let char_var = chunking_variance(&char_tok, &codes, digits)?;
+    t.row(vec![
+        "char (one token per digit)".into(),
+        fmt_metric(char_rmse[0]),
+        fmt_metric(char_rmse[1]),
+        char_tokens.to_string(),
+        fmt_metric(char_var),
+    ]);
+    bench.push("rmse/char/dim0", char_rmse[0]);
+    bench.push("rmse/char/dim1", char_rmse[1]);
+    bench.push("tokens/char", char_tokens as f64);
+    bench.push("chunking_variance/char", char_var);
+
+    // --- BPE trained on the prompt itself. ---
+    let bpe = BpeTokenizer::train(Vocab::numeric(), &prompt_text, 48);
+    let (bpe_rmse, bpe_tokens) = run_variant(
+        &bpe,
+        bpe.vocab_size(),
+        &prompt_text,
+        &scaler,
+        horizon,
+        dims,
+        &test,
+        digits,
+        samples,
+    )?;
+    let bpe_var = chunking_variance(&bpe, &codes, digits)?;
+    t.row(vec![
+        format!("BPE ({} merges)", bpe.merge_count()),
+        fmt_metric(bpe_rmse[0]),
+        fmt_metric(bpe_rmse[1]),
+        bpe_tokens.to_string(),
+        fmt_metric(bpe_var),
+    ]);
+    bench.push("rmse/bpe/dim0", bpe_rmse[0]);
+    bench.push("rmse/bpe/dim1", bpe_rmse[1]);
+    bench.push("tokens/bpe", bpe_tokens as f64);
+    bench.push("chunking_variance/bpe", bpe_var);
+
+    let path = t.emit(&opts.results_dir, "ablation_tokenization.md")?;
+    RunSummary::of(l, vec![path], Some(bench), opts)
+}
+
+/// Runs the VI forecast pipeline with an arbitrary tokenizer; the decoded
+/// *text* is demultiplexed, so the pipeline is tokenizer-agnostic.
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    tokenizer: &dyn Tokenizer,
+    vocab_size: usize,
+    prompt_text: &str,
+    scaler: &FixedDigitScaler,
+    horizon: usize,
+    dims: usize,
+    test: &mc_tslib::MultivariateSeries,
+    digits: u32,
+    samples: usize,
+) -> Result<(Vec<f64>, u64), RunError> {
+    let mux = ValueInterleave;
+    let prompt = tokenizer.encode(prompt_text)?;
+    let mut decoded_samples = Vec::with_capacity(samples);
+    let mut total_tokens = 0u64;
+    for s in 0..samples {
+        let mut model = NGramLm::new(vocab_size, 10, 0.25, "ablation");
+        observe_all(&mut model, &prompt);
+        let mut sampler = Sampler::new(SamplerConfig {
+            temperature: 0.7,
+            top_k: None,
+            top_p: Some(0.95),
+            seed: s as u64,
+            epsilon: 0.0,
+        });
+        // Token-count budget: BPE tokens spell multiple chars, so stop by
+        // budget and let the lenient demux take the first `horizon` groups.
+        let options = GenerateOptions {
+            max_tokens: horizon * (dims * digits as usize + 1) * 2,
+            stop_token: None,
+            stop_count: 0,
+        };
+        let out = generate(&mut model, &mut sampler, |_| true, &options);
+        let text = tokenizer.decode(&out)?;
+        let code_cols = mux.demux(&text, dims, digits, horizon);
+        let mut cols: Vec<Vec<f64>> = Vec::with_capacity(dims);
+        for (d, col) in code_cols.iter().enumerate() {
+            cols.push(scaler.descale_column(d, col)?);
+        }
+        decoded_samples.push(cols);
+        total_tokens += model.cost().total_tokens();
+    }
+    let median = median_aggregate(&decoded_samples)?;
+    let mut rmses = Vec::with_capacity(dims);
+    for (d, forecast) in median.iter().enumerate().take(dims) {
+        rmses.push(rmse(test.column(d)?, forecast)?);
+    }
+    Ok((rmses, total_tokens))
+}
+
+/// Variance of tokens-per-timestamp across the serialized history: zero
+/// for the char scheme (fixed width), positive when BPE chunks values
+/// inconsistently.
+fn chunking_variance(
+    tokenizer: &dyn Tokenizer,
+    codes: &[Vec<u64>],
+    digits: u32,
+) -> Result<f64, RunError> {
+    let mux = ValueInterleave;
+    let n = codes[0].len();
+    let mut lengths = Vec::with_capacity(n);
+    for t in 0..n {
+        let one: Vec<Vec<u64>> = codes.iter().map(|c| vec![c[t]]).collect();
+        let text = mux.mux(&one, digits);
+        lengths.push(tokenizer.encode(&text)?.len() as f64);
+    }
+    let mean = lengths.iter().sum::<f64>() / n as f64;
+    Ok(lengths.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n as f64)
+}
+
+/// Quantitative evaluation of the future-work tasks
+/// (`results/tasks_eval_*.md`): anomaly detection, imputation and
+/// change-point localization on seeded synthetic workloads.
+pub(crate) fn tasks_eval(l: &Lowered, opts: &RunOptions) -> Result<RunSummary, RunError> {
+    let artifacts = vec![anomaly_eval(opts)?, imputation_eval(opts)?, changepoint_eval(opts)?];
+    RunSummary::of(l, artifacts, None, opts)
+}
+
+fn anomaly_eval(opts: &RunOptions) -> Result<std::path::PathBuf, RunError> {
+    let series = PaperDataset::GasRate.load();
+    let base = series.column(1)?.to_vec();
+    let amplitude = {
+        let (mn, mx) = base.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        mx - mn
+    };
+    let mut t = Table::new(
+        "Tasks A — zero-shot anomaly detection (Gas Rate CO2, injected spikes)",
+        &["Spike size (x range)", "Injected", "Hits", "Precision", "Recall"],
+    );
+    let injections = [60usize, 120, 200, 260];
+    for &scale in &[0.5, 0.8, 1.2] {
+        let mut xs = base.clone();
+        for (k, &at) in injections.iter().enumerate() {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            xs[at] += sign * scale * amplitude;
+        }
+        let report = AnomalyDetector::default().detect(&xs)?;
+        let hit = |at: usize| report.anomalies.iter().any(|&i| (i as i64 - at as i64).abs() <= 1);
+        let hits = injections.iter().filter(|&&at| hit(at)).count();
+        // A flagged index is a true positive if it is within ±1 of any
+        // injection (the point after a spike is legitimately surprising).
+        let tp = report
+            .anomalies
+            .iter()
+            .filter(|&&i| injections.iter().any(|&at| (i as i64 - at as i64).abs() <= 1))
+            .count();
+        let precision = if report.anomalies.is_empty() {
+            1.0
+        } else {
+            tp as f64 / report.anomalies.len() as f64
+        };
+        let recall = hits as f64 / injections.len() as f64;
+        t.row(vec![
+            format!("{scale}"),
+            injections.len().to_string(),
+            hits.to_string(),
+            fmt_metric(precision),
+            fmt_metric(recall),
+        ]);
+    }
+    Ok(t.emit(&opts.results_dir, "tasks_eval_anomaly.md")?)
+}
+
+fn imputation_eval(opts: &RunOptions) -> Result<std::path::PathBuf, RunError> {
+    let series = PaperDataset::GasRate.load();
+    let truth = series.column(1)?.to_vec();
+    let mut t = Table::new(
+        "Tasks B — zero-shot imputation vs linear interpolation (Gas Rate CO2)",
+        &["Gap length", "Zero-shot RMSE", "Linear RMSE"],
+    );
+    for &gap in &[4usize, 8, 16, 24] {
+        let start = 180;
+        let mut masked = truth.clone();
+        for v in &mut masked[start..start + gap] {
+            *v = f64::NAN;
+        }
+        let imputed = Imputer::default().impute(&masked)?;
+        let linear = linear_interpolate(&masked);
+        let score = |candidate: &[f64]| -> f64 {
+            let acc: f64 = (start..start + gap).map(|i| (candidate[i] - truth[i]).powi(2)).sum();
+            (acc / gap as f64).sqrt()
+        };
+        t.row(vec![gap.to_string(), fmt_metric(score(&imputed)), fmt_metric(score(&linear))]);
+    }
+    Ok(t.emit(&opts.results_dir, "tasks_eval_imputation.md")?)
+}
+
+fn changepoint_eval(opts: &RunOptions) -> Result<std::path::PathBuf, RunError> {
+    let mut t = Table::new(
+        "Tasks C — zero-shot change-point localization (synthetic regime shifts)",
+        &["True change at", "Detected", "Localization error"],
+    );
+    for &at in &[80usize, 120, 160] {
+        let n = at + 80;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < at {
+                    50.0 + 10.0 * (i as f64 * std::f64::consts::PI / 8.0).sin()
+                } else {
+                    25.0 + 4.0 * (i as f64 * std::f64::consts::PI / 3.0).sin()
+                }
+            })
+            .collect();
+        let cps = ChangePointDetector::default().detect(&xs)?;
+        let (detected, err) = cps
+            .iter()
+            .map(|&c| (c, (c as i64 - at as i64).unsigned_abs() as usize))
+            .min_by_key(|&(_, e)| e)
+            .map_or_else(|| ("—".into(), "missed".into()), |(c, e)| (c.to_string(), e.to_string()));
+        t.row(vec![at.to_string(), detected, err]);
+    }
+    Ok(t.emit(&opts.results_dir, "tasks_eval_changepoint.md")?)
+}

@@ -1,0 +1,583 @@
+//! [`ScenarioSpec`] — the declarative description of one experiment.
+//!
+//! A spec names *what* to run (the [`ScenarioKind`]) and every knob the
+//! old hand-rolled bench bins used to wire by hand: dataset ×
+//! multiplexing × backend preset × robustness policy × fault profile ×
+//! serve shape, plus the sweep axes of the grid scenarios. Parsing is
+//! strict — unknown keys, unknown sections and duplicate fields are
+//! typed [`SpecError`]s, because a scenario with a silently-dropped knob
+//! measures the wrong thing. `Display` renders the canonical form, and
+//! `parse(display(spec)) == spec` (property-tested).
+
+use std::fmt;
+
+use mc_datasets::PaperDataset;
+use mc_lm::presets::ModelPreset;
+use multicast_core::robust::FaultProfile;
+use multicast_core::MuxMethod;
+
+use crate::grammar::{self, Entry};
+
+/// Typed spec-layer errors (parsing and validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A line that is neither blank, comment, section header nor pair.
+    Syntax { line: usize, message: String },
+    /// The same key twice in one section.
+    DuplicateKey { line: usize, section: Option<String>, key: String },
+    /// A key the schema does not know.
+    UnknownKey { line: usize, section: Option<String>, key: String },
+    /// A `[section]` the schema does not know.
+    UnknownSection { name: String },
+    /// A value that does not parse as its key's type.
+    BadValue { line: usize, key: String, message: String },
+    /// A required key is absent.
+    MissingKey { key: String },
+    /// `scenario =` names no known kind.
+    UnknownScenario { line: usize, name: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let in_section = |s: &Option<String>| match s {
+            Some(name) => format!(" in [{name}]"),
+            None => String::new(),
+        };
+        match self {
+            SpecError::Syntax { line, message } => write!(f, "spec line {line}: {message}"),
+            SpecError::DuplicateKey { line, section, key } => {
+                write!(f, "spec line {line}: duplicate key `{key}`{}", in_section(section))
+            }
+            SpecError::UnknownKey { line, section, key } => {
+                write!(f, "spec line {line}: unknown key `{key}`{}", in_section(section))
+            }
+            SpecError::UnknownSection { name } => write!(f, "spec: unknown section [{name}]"),
+            SpecError::BadValue { line, key, message } => {
+                write!(f, "spec line {line}: bad value for `{key}`: {message}")
+            }
+            SpecError::MissingKey { key } => write!(f, "spec: missing required key `{key}`"),
+            SpecError::UnknownScenario { line, name } => {
+                write!(f, "spec line {line}: unknown scenario `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which experiment a spec describes — one kind per former bench bin
+/// artifact family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Paper table N (`table1` also emits Table II, as the old bin did).
+    Table(u8),
+    /// Figures 2–8 as SVGs.
+    Figures,
+    /// Rolling-origin robustness study (`results/backtest.md`).
+    Backtest,
+    /// Defect-rate sweep under injected faults (`results/fault_injection.md`).
+    FaultInjection,
+    /// Backend × mux / temperature / digit-budget / classical grids.
+    Ablation,
+    /// Digit-level vs BPE serialization (`results/ablation_tokenization.md`).
+    Tokenization,
+    /// Imputation / anomaly / change-point studies (`results/tasks_eval_*.md`).
+    TasksEval,
+    /// Fit-once vs refit-per-sample (`results/prompt_reuse.md`).
+    PromptReuse,
+    /// Sequential refit vs shared-frozen serving (`results/concurrent_serving.md`).
+    ConcurrentServing,
+    /// Recorder-seam overhead + canonical trace (`results/serving_telemetry.md`).
+    Telemetry,
+    /// Saturating fault-injected overload drill (`results/serve_chaos.md`).
+    ServeChaos,
+}
+
+impl ScenarioKind {
+    /// Every kind, in documentation order.
+    pub const ALL: [ScenarioKind; 19] = [
+        ScenarioKind::Table(1),
+        ScenarioKind::Table(2),
+        ScenarioKind::Table(3),
+        ScenarioKind::Table(4),
+        ScenarioKind::Table(5),
+        ScenarioKind::Table(6),
+        ScenarioKind::Table(7),
+        ScenarioKind::Table(8),
+        ScenarioKind::Table(9),
+        ScenarioKind::Figures,
+        ScenarioKind::Backtest,
+        ScenarioKind::FaultInjection,
+        ScenarioKind::Ablation,
+        ScenarioKind::Tokenization,
+        ScenarioKind::TasksEval,
+        ScenarioKind::PromptReuse,
+        ScenarioKind::ConcurrentServing,
+        ScenarioKind::Telemetry,
+        ScenarioKind::ServeChaos,
+    ];
+
+    /// The kind's spec token (`scenario = <token>`).
+    pub fn token(self) -> String {
+        match self {
+            ScenarioKind::Table(n) => format!("table{n}"),
+            ScenarioKind::Figures => "figures".into(),
+            ScenarioKind::Backtest => "backtest".into(),
+            ScenarioKind::FaultInjection => "fault_injection".into(),
+            ScenarioKind::Ablation => "ablation".into(),
+            ScenarioKind::Tokenization => "tokenization".into(),
+            ScenarioKind::TasksEval => "tasks_eval".into(),
+            ScenarioKind::PromptReuse => "prompt_reuse".into(),
+            ScenarioKind::ConcurrentServing => "concurrent_serving".into(),
+            ScenarioKind::Telemetry => "telemetry".into(),
+            ScenarioKind::ServeChaos => "serve_chaos".into(),
+        }
+    }
+
+    /// Parses a spec token back into a kind.
+    pub fn parse(token: &str) -> Option<ScenarioKind> {
+        if let Some(n) = token.strip_prefix("table") {
+            let n: u8 = n.parse().ok()?;
+            return (1..=9).contains(&n).then_some(ScenarioKind::Table(n));
+        }
+        match token {
+            "figures" => Some(ScenarioKind::Figures),
+            "backtest" => Some(ScenarioKind::Backtest),
+            "fault_injection" => Some(ScenarioKind::FaultInjection),
+            "ablation" => Some(ScenarioKind::Ablation),
+            "tokenization" => Some(ScenarioKind::Tokenization),
+            "tasks_eval" => Some(ScenarioKind::TasksEval),
+            "prompt_reuse" => Some(ScenarioKind::PromptReuse),
+            "concurrent_serving" => Some(ScenarioKind::ConcurrentServing),
+            "telemetry" => Some(ScenarioKind::Telemetry),
+            "serve_chaos" => Some(ScenarioKind::ServeChaos),
+            _ => None,
+        }
+    }
+}
+
+/// `[robust]` — overrides over [`RobustPolicy::default`](multicast_core::robust::RobustPolicy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustSpec {
+    /// Retry budget per sample.
+    pub retries: Option<usize>,
+    /// Quorum of valid samples required to aggregate.
+    pub min_valid: Option<usize>,
+    /// Per-request generated-token deadline.
+    pub deadline_tokens: Option<u64>,
+    /// Exponential retry backoff base, in dispatch slots.
+    pub backoff_base: Option<u32>,
+}
+
+/// `[serve]` — the serve shape (scheduler knobs + chaos load geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSpec {
+    /// Worker threads draining the sample-task queue.
+    pub workers: Option<usize>,
+    /// Admission cap per flush (excess shed by priority).
+    pub queue_cap: Option<usize>,
+    /// Hard cap on pending submissions per flush.
+    pub submit_cap: Option<usize>,
+    /// Whether the per-preset circuit breaker is engaged.
+    pub breaker: Option<bool>,
+    /// Flush waves in the generated load.
+    pub waves: Option<usize>,
+    /// Requests per wave in the generated load.
+    pub per_wave: Option<usize>,
+}
+
+/// One declarative scenario. Every field except `kind`/`name` is an
+/// optional override; kind-specific defaults (pinned by the golden-spec
+/// tests) live in [`builder`](crate::builder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// What to run.
+    pub kind: ScenarioKind,
+    /// Scenario name — the `BENCH_<name>.json` stem. Defaults to the
+    /// kind token.
+    pub name: String,
+    /// Dataset under evaluation.
+    pub dataset: Option<PaperDataset>,
+    /// Multiplexing strategy (`di` / `vi` / `vc`).
+    pub mux: Option<MuxMethod>,
+    /// Backend preset.
+    pub preset: Option<ModelPreset>,
+    /// Continuations per forecast.
+    pub samples: Option<usize>,
+    /// Digits per rescaled value.
+    pub digits: Option<u32>,
+    /// Base seed.
+    pub seed: Option<u64>,
+    /// Sampler temperature.
+    pub temperature: Option<f64>,
+    /// Fault profile (the PR 6 chaos grammar, verbatim).
+    pub faults: Option<FaultProfile>,
+    /// Primary sweep axis (kind-specific: sample counts for `table7`,
+    /// segment lengths for `table8`, alphabet sizes for `table9`,
+    /// request counts for `concurrent_serving`).
+    pub sweep: Option<Vec<usize>>,
+    /// Secondary sweep axis (sampling widths for `concurrent_serving`).
+    pub samples_sweep: Option<Vec<usize>>,
+    /// Robustness-policy overrides.
+    pub robust: RobustSpec,
+    /// Serve shape.
+    pub serve: ServeSpec,
+}
+
+impl ScenarioSpec {
+    /// A bare spec of the given kind: every knob at its kind default.
+    pub fn new(kind: ScenarioKind) -> Self {
+        Self {
+            kind,
+            name: kind.token(),
+            dataset: None,
+            mux: None,
+            preset: None,
+            samples: None,
+            digits: None,
+            seed: None,
+            temperature: None,
+            faults: None,
+            sweep: None,
+            samples_sweep: None,
+            robust: RobustSpec::default(),
+            serve: ServeSpec::default(),
+        }
+    }
+
+    /// Parses the textual spec form.
+    ///
+    /// # Errors
+    /// Any [`SpecError`]: syntax, duplicate/unknown keys, unknown
+    /// sections, malformed values, or a missing `scenario` key.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let doc = grammar::parse(text)?;
+        for name in doc.section_names() {
+            if name != "robust" && name != "serve" {
+                return Err(SpecError::UnknownSection { name: name.to_string() });
+            }
+        }
+        let scenario =
+            doc.get(None, "scenario").ok_or(SpecError::MissingKey { key: "scenario".into() })?;
+        let kind = ScenarioKind::parse(&scenario.value).ok_or(SpecError::UnknownScenario {
+            line: scenario.line,
+            name: scenario.value.clone(),
+        })?;
+        let mut spec = ScenarioSpec::new(kind);
+        for entry in doc.section(None) {
+            spec.apply_top(entry)?;
+        }
+        for entry in doc.section(Some("robust")) {
+            spec.apply_robust(entry)?;
+        }
+        for entry in doc.section(Some("serve")) {
+            spec.apply_serve(entry)?;
+        }
+        Ok(spec)
+    }
+
+    fn apply_top(&mut self, e: &Entry) -> Result<(), SpecError> {
+        match e.key.as_str() {
+            "scenario" => {} // consumed above
+            "name" => {
+                if e.value.is_empty()
+                    || !e.value.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    return Err(bad(e, "scenario names are [A-Za-z0-9_]+"));
+                }
+                self.name = e.value.clone();
+            }
+            "dataset" => self.dataset = Some(parse_dataset(e)?),
+            "mux" => self.mux = Some(parse_mux(e)?),
+            "preset" => self.preset = Some(parse_preset(e)?),
+            "samples" => self.samples = Some(num(e)?),
+            "digits" => self.digits = Some(num(e)?),
+            "seed" => self.seed = Some(num(e)?),
+            "temperature" => {
+                let t: f64 = e.value.parse().map_err(|_| bad(e, "not a number"))?;
+                if !t.is_finite() {
+                    return Err(bad(e, "temperature must be finite"));
+                }
+                self.temperature = Some(t);
+            }
+            "faults" => {
+                self.faults =
+                    Some(FaultProfile::parse(&e.value).map_err(|err| SpecError::BadValue {
+                        line: e.line,
+                        key: e.key.clone(),
+                        message: err.to_string(),
+                    })?);
+            }
+            "sweep" => self.sweep = Some(list(e)?),
+            "samples_sweep" => self.samples_sweep = Some(list(e)?),
+            _ => return Err(unknown(e)),
+        }
+        Ok(())
+    }
+
+    fn apply_robust(&mut self, e: &Entry) -> Result<(), SpecError> {
+        match e.key.as_str() {
+            "retries" => self.robust.retries = Some(num(e)?),
+            "min_valid" => self.robust.min_valid = Some(num(e)?),
+            "deadline_tokens" => self.robust.deadline_tokens = Some(num(e)?),
+            "backoff_base" => self.robust.backoff_base = Some(num(e)?),
+            _ => return Err(unknown(e)),
+        }
+        Ok(())
+    }
+
+    fn apply_serve(&mut self, e: &Entry) -> Result<(), SpecError> {
+        match e.key.as_str() {
+            "workers" => self.serve.workers = Some(num(e)?),
+            "queue_cap" => self.serve.queue_cap = Some(num(e)?),
+            "submit_cap" => self.serve.submit_cap = Some(num(e)?),
+            "breaker" => {
+                self.serve.breaker = Some(match e.value.as_str() {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    _ => return Err(bad(e, "expected on/off")),
+                });
+            }
+            "waves" => self.serve.waves = Some(num(e)?),
+            "per_wave" => self.serve.per_wave = Some(num(e)?),
+            _ => return Err(unknown(e)),
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// The canonical textual form: fixed key order, only non-default
+    /// fields, sections last. `ScenarioSpec::parse` inverts it exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario = {}", self.kind.token())?;
+        if self.name != self.kind.token() {
+            writeln!(f, "name = {}", self.name)?;
+        }
+        if let Some(ds) = self.dataset {
+            writeln!(f, "dataset = {}", dataset_token(ds))?;
+        }
+        if let Some(mux) = self.mux {
+            writeln!(f, "mux = {}", mux_token(mux))?;
+        }
+        if let Some(p) = self.preset {
+            writeln!(f, "preset = {}", preset_token(p))?;
+        }
+        if let Some(s) = self.samples {
+            writeln!(f, "samples = {s}")?;
+        }
+        if let Some(d) = self.digits {
+            writeln!(f, "digits = {d}")?;
+        }
+        if let Some(s) = self.seed {
+            writeln!(f, "seed = {s}")?;
+        }
+        if let Some(t) = self.temperature {
+            writeln!(f, "temperature = {t}")?;
+        }
+        if let Some(faults) = &self.faults {
+            writeln!(f, "faults = {faults}")?;
+        }
+        if let Some(sweep) = &self.sweep {
+            writeln!(f, "sweep = {}", join(sweep))?;
+        }
+        if let Some(sweep) = &self.samples_sweep {
+            writeln!(f, "samples_sweep = {}", join(sweep))?;
+        }
+        if self.robust != RobustSpec::default() {
+            writeln!(f, "\n[robust]")?;
+            if let Some(r) = self.robust.retries {
+                writeln!(f, "retries = {r}")?;
+            }
+            if let Some(m) = self.robust.min_valid {
+                writeln!(f, "min_valid = {m}")?;
+            }
+            if let Some(d) = self.robust.deadline_tokens {
+                writeln!(f, "deadline_tokens = {d}")?;
+            }
+            if let Some(b) = self.robust.backoff_base {
+                writeln!(f, "backoff_base = {b}")?;
+            }
+        }
+        if self.serve != ServeSpec::default() {
+            writeln!(f, "\n[serve]")?;
+            if let Some(w) = self.serve.workers {
+                writeln!(f, "workers = {w}")?;
+            }
+            if let Some(q) = self.serve.queue_cap {
+                writeln!(f, "queue_cap = {q}")?;
+            }
+            if let Some(s) = self.serve.submit_cap {
+                writeln!(f, "submit_cap = {s}")?;
+            }
+            if let Some(b) = self.serve.breaker {
+                writeln!(f, "breaker = {}", if b { "on" } else { "off" })?;
+            }
+            if let Some(w) = self.serve.waves {
+                writeln!(f, "waves = {w}")?;
+            }
+            if let Some(p) = self.serve.per_wave {
+                writeln!(f, "per_wave = {p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn bad(e: &Entry, message: &str) -> SpecError {
+    SpecError::BadValue { line: e.line, key: e.key.clone(), message: message.to_string() }
+}
+
+fn unknown(e: &Entry) -> SpecError {
+    SpecError::UnknownKey { line: e.line, section: e.section.clone(), key: e.key.clone() }
+}
+
+fn num<T: std::str::FromStr>(e: &Entry) -> Result<T, SpecError> {
+    e.value.parse().map_err(|_| bad(e, "not a valid number for this key"))
+}
+
+fn list(e: &Entry) -> Result<Vec<usize>, SpecError> {
+    let values: Result<Vec<usize>, _> =
+        e.value.split(',').map(|v| v.trim().parse::<usize>()).collect();
+    let values = values.map_err(|_| bad(e, "expected a comma-separated list of integers"))?;
+    if values.is_empty() {
+        return Err(bad(e, "list must be non-empty"));
+    }
+    Ok(values)
+}
+
+fn join(values: &[usize]) -> String {
+    values.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Spec token for a dataset.
+pub fn dataset_token(ds: PaperDataset) -> &'static str {
+    match ds {
+        PaperDataset::GasRate => "gas_rate",
+        PaperDataset::Electricity => "electricity",
+        PaperDataset::Weather => "weather",
+    }
+}
+
+fn parse_dataset(e: &Entry) -> Result<PaperDataset, SpecError> {
+    match e.value.as_str() {
+        "gas_rate" => Ok(PaperDataset::GasRate),
+        "electricity" => Ok(PaperDataset::Electricity),
+        "weather" => Ok(PaperDataset::Weather),
+        _ => Err(bad(e, "expected gas_rate / electricity / weather")),
+    }
+}
+
+/// Spec token for a multiplexing strategy.
+pub fn mux_token(mux: MuxMethod) -> &'static str {
+    match mux {
+        MuxMethod::DigitInterleave => "di",
+        MuxMethod::ValueInterleave => "vi",
+        MuxMethod::ValueConcat => "vc",
+    }
+}
+
+fn parse_mux(e: &Entry) -> Result<MuxMethod, SpecError> {
+    match e.value.as_str() {
+        "di" => Ok(MuxMethod::DigitInterleave),
+        "vi" => Ok(MuxMethod::ValueInterleave),
+        "vc" => Ok(MuxMethod::ValueConcat),
+        _ => Err(bad(e, "expected di / vi / vc")),
+    }
+}
+
+/// Spec token for a backend preset.
+pub fn preset_token(p: ModelPreset) -> &'static str {
+    match p {
+        ModelPreset::Large => "large",
+        ModelPreset::Small => "small",
+        ModelPreset::Suffix => "suffix",
+        ModelPreset::Ensemble => "ensemble",
+        ModelPreset::Ppm => "ppm",
+    }
+}
+
+fn parse_preset(e: &Entry) -> Result<ModelPreset, SpecError> {
+    match e.value.as_str() {
+        "large" => Ok(ModelPreset::Large),
+        "small" => Ok(ModelPreset::Small),
+        "suffix" => Ok(ModelPreset::Suffix),
+        "ensemble" => Ok(ModelPreset::Ensemble),
+        "ppm" => Ok(ModelPreset::Ppm),
+        _ => Err(bad(e, "expected large / small / suffix / ensemble / ppm")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_parses_with_kind_defaults() {
+        let spec = ScenarioSpec::parse("scenario = serve_chaos\n").unwrap();
+        assert_eq!(spec.kind, ScenarioKind::ServeChaos);
+        assert_eq!(spec.name, "serve_chaos");
+        assert_eq!(spec, ScenarioSpec::new(ScenarioKind::ServeChaos));
+    }
+
+    #[test]
+    fn full_spec_round_trips_through_display() {
+        let text = "scenario = serve_chaos\nname = chaos_smoke\ndataset = gas_rate\nmux = vi\n\
+                    preset = large\nsamples = 3\ndigits = 3\nseed = 9000\ntemperature = 0.7\n\
+                    faults = rate=0.3,seed=77,latency=8,quota=2500\n\n[robust]\nretries = 2\n\
+                    deadline_tokens = 240\nbackoff_base = 2\n\n[serve]\nworkers = 8\n\
+                    queue_cap = 6\nsubmit_cap = 8\nbreaker = on\nwaves = 3\nper_wave = 8\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.faults.unwrap().quota_tokens, Some(2500));
+        assert_eq!(spec.serve.workers, Some(8));
+        assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        let err = ScenarioSpec::parse("scenario = backtest\nbogus = 1\n").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownKey { line: 2, .. }), "{err}");
+        let err = ScenarioSpec::parse("scenario = backtest\n[nope]\nx = 1\n").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownSection { .. }), "{err}");
+        let err = ScenarioSpec::parse("scenario = backtest\n[serve]\nretries = 1\n").unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownKey { section: Some(s), .. } if s == "serve"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_or_unknown_scenario_is_typed() {
+        assert!(matches!(
+            ScenarioSpec::parse("samples = 5\n").unwrap_err(),
+            SpecError::MissingKey { .. }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("scenario = table0\n").unwrap_err(),
+            SpecError::UnknownScenario { .. }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("scenario = warp_drive\n").unwrap_err(),
+            SpecError::UnknownScenario { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_values_are_typed() {
+        let err = ScenarioSpec::parse("scenario = backtest\nsamples = many\n").unwrap_err();
+        assert!(matches!(err, SpecError::BadValue { line: 2, .. }), "{err}");
+        assert!(ScenarioSpec::parse("scenario = backtest\ndataset = mars\n").is_err());
+        assert!(ScenarioSpec::parse("scenario = backtest\nfaults = rate=2.0\n").is_err());
+        assert!(ScenarioSpec::parse("scenario = backtest\nsweep = \n").is_err());
+        assert!(ScenarioSpec::parse("scenario = serve_chaos\n[serve]\nbreaker = maybe\n").is_err());
+    }
+
+    #[test]
+    fn every_kind_token_round_trips() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(&kind.token()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::parse("table10"), None);
+        assert_eq!(ScenarioKind::parse(""), None);
+    }
+}

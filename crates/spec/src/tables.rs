@@ -19,7 +19,7 @@ use multicast_core::{
 };
 
 use crate::report::{fmt_metric, Table};
-use crate::runner::{evaluate_roster, mark_winners, standard_roster};
+use crate::roster::{evaluate_roster, mark_winners, standard_roster};
 use crate::timing::{format_seconds, timed};
 use crate::TEST_FRACTION;
 

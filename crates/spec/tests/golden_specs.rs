@@ -1,0 +1,160 @@
+//! Golden-spec fixtures: every `specs/*.spec` file parses, and its
+//! lowering reproduces exactly what the pre-refactor bench bins
+//! hard-coded — dataset, seeds, sample counts, serve shape, fault
+//! profiles and sweep axes. A drift here means a scenario silently
+//! measures something different from the committed `results/` artifacts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mc_datasets::PaperDataset;
+use mc_spec::{Lowered, ScenarioKind, ScenarioSpec};
+use multicast_core::{ForecastConfig, MuxMethod};
+
+fn specs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = specs_dir().join(format!("{name}.spec"));
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Every former bench bin has exactly one golden spec, the file stem is
+/// the scenario's canonical name, and nothing else lives in `specs/`.
+#[test]
+fn spec_directory_is_complete_and_canonical() {
+    let expected = [
+        "ablation",
+        "backtest",
+        "concurrent_serving",
+        "fault_injection",
+        "figures",
+        "prompt_reuse",
+        "serve_chaos",
+        "table1",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "tasks_eval",
+        "telemetry",
+        "tokenization",
+    ];
+    let mut found: Vec<String> = fs::read_dir(specs_dir())
+        .expect("specs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .map(|p| {
+            assert_eq!(
+                p.extension().and_then(|x| x.to_str()),
+                Some("spec"),
+                "stray file {}",
+                p.display()
+            );
+            p.file_stem().and_then(|s| s.to_str()).expect("utf-8 stem").to_string()
+        })
+        .collect();
+    found.sort();
+    assert_eq!(found, expected);
+    for name in expected {
+        let spec = load(name);
+        assert_eq!(spec.name, name, "{name}.spec must keep the canonical scenario name");
+        assert_eq!(spec.kind.token(), name, "{name}.spec names a different scenario");
+    }
+}
+
+/// The fully-pinned chaos spec lowers to the same shape as the builder's
+/// bare kind defaults — the explicit file documents what the defaults
+/// are, and this test keeps the two from drifting apart.
+#[test]
+fn serve_chaos_spec_pins_the_old_bin_exactly() {
+    let lowered = Lowered::lower(&load("serve_chaos"), false);
+    let defaults = Lowered::lower(&ScenarioSpec::new(ScenarioKind::ServeChaos), false);
+    assert_eq!(lowered, defaults, "specs/serve_chaos.spec drifted from the builder defaults");
+    // And both match the values the pre-refactor serve_chaos bin wired.
+    assert_eq!(lowered.config.samples, 3);
+    assert_eq!(lowered.config.seed, 9000);
+    assert_eq!(lowered.config.robust.deadline_tokens, Some(240));
+    assert_eq!(lowered.config.robust.backoff_base, 2);
+    assert_eq!(lowered.serve.workers, 8);
+    assert_eq!(lowered.serve.queue_cap, Some(6));
+    assert_eq!(lowered.serve.submit_cap, Some(8));
+    assert_eq!(lowered.serve.quota_tokens, Some(2500));
+    assert!(lowered.serve.breaker.is_some());
+    assert_eq!((lowered.waves, lowered.per_wave), (3, 8));
+    let faults = lowered.faults.expect("chaos profile");
+    assert_eq!((faults.rate, faults.seed, faults.latency_tokens), (0.3, 77, 8));
+    assert_eq!(faults.quota_tokens, Some(2500));
+}
+
+#[test]
+fn fault_injection_spec_pins_the_old_bin_exactly() {
+    let spec = load("fault_injection");
+    let lowered = Lowered::lower(&spec, false);
+    assert_eq!(lowered, Lowered::lower(&ScenarioSpec::new(ScenarioKind::FaultInjection), false));
+    assert_eq!(lowered.config.samples, 5, "paper default sampling width");
+    assert_eq!(Lowered::lower(&spec, true).config.samples, 3, "--fast keeps the 3-sample floor");
+    let faults = lowered.faults.expect("fault profile");
+    assert_eq!(faults.seed, 0xFA017);
+    assert_eq!(faults.panic_sample, Some(0));
+    assert_eq!(faults.rate, 0.0, "the scenario sweeps the rate itself");
+}
+
+#[test]
+fn backtest_spec_pins_the_old_bin_exactly() {
+    let lowered = Lowered::lower(&load("backtest"), false);
+    assert_eq!(lowered.config.samples, 5);
+    assert_eq!(lowered.config.seed, ForecastConfig::default().seed);
+    assert_eq!(lowered.config.digits, 3);
+    assert!(lowered.faults.is_none());
+    assert_eq!(lowered.config.robust.deadline_tokens, None);
+    // The old bin's --fast dropped to one sample.
+    assert_eq!(Lowered::lower(&load("backtest"), true).config.samples, 5, "explicit pin wins");
+    assert_eq!(Lowered::lower(&ScenarioSpec::new(ScenarioKind::Backtest), true).config.samples, 1);
+}
+
+#[test]
+fn serving_specs_pin_the_old_bin_exactly() {
+    let serving = Lowered::lower(&load("concurrent_serving"), false);
+    assert_eq!(serving.config.seed, 1000, "requests seed from 1000 + index");
+    assert_eq!(serving.serve.workers, 8);
+    assert_eq!(serving.sweep, vec![1, 2, 4, 8], "request counts R");
+    assert_eq!(serving.samples_sweep, vec![5, 10], "sampling widths S");
+    assert_eq!(serving, Lowered::lower(&ScenarioSpec::new(ScenarioKind::ConcurrentServing), false));
+
+    let telemetry = Lowered::lower(&load("telemetry"), false);
+    assert_eq!(telemetry.config.samples, 5);
+    assert_eq!(telemetry.config.seed, 1000);
+    assert_eq!((telemetry.waves, telemetry.per_wave), (1, 8), "one 8-request batch");
+    assert_eq!(telemetry.serve.workers, 8);
+    assert_eq!(telemetry, Lowered::lower(&ScenarioSpec::new(ScenarioKind::Telemetry), false));
+}
+
+#[test]
+fn sweep_specs_pin_the_old_bins_exactly() {
+    assert_eq!(Lowered::lower(&load("table7"), false).sweep, vec![5, 10, 20]);
+    assert_eq!(Lowered::lower(&load("table8"), false).sweep, vec![3, 6, 9]);
+    assert_eq!(Lowered::lower(&load("table9"), false).sweep, vec![5, 10, 20]);
+    assert_eq!(Lowered::lower(&load("prompt_reuse"), false).sweep, vec![5, 10, 20]);
+    // Unpinned sweeps shrink under --fast; the pinned files do not.
+    assert_eq!(
+        Lowered::lower(&ScenarioSpec::new(ScenarioKind::PromptReuse), true).sweep,
+        vec![1, 2]
+    );
+    assert_eq!(Lowered::lower(&load("prompt_reuse"), true).sweep, vec![5, 10, 20]);
+}
+
+#[test]
+fn single_dataset_specs_default_to_gas_rate_and_vi() {
+    for name in ["tokenization", "ablation", "tasks_eval", "figures", "table1"] {
+        let lowered = Lowered::lower(&load(name), false);
+        assert_eq!(lowered.dataset, PaperDataset::GasRate, "{name}");
+        assert_eq!(lowered.mux, MuxMethod::ValueInterleave, "{name}");
+        assert_eq!(lowered.config.samples, 5, "{name}");
+        assert_eq!(lowered.config, ForecastConfig { samples: 5, ..ForecastConfig::default() });
+    }
+}

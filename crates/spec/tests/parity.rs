@@ -1,0 +1,128 @@
+//! End-to-end parity: the scenario runner reproduces the checked-in
+//! `results/` artifacts the pre-refactor bins produced, byte for byte,
+//! and the chaos BENCH report is schedule-independent — identical at 1,
+//! 2 and 8 workers and across repeats, because every metric derives from
+//! the logical clock, never the scheduler.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mc_spec::{RunOptions, Runner, ScenarioKind, ScenarioSpec};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A fresh per-test scratch directory under the system temp root.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mc-spec-parity-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn committed(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn backtest_runner_matches_checked_in_artifact() {
+    let dir = scratch("backtest");
+    let opts = RunOptions { results_dir: dir.clone(), ..RunOptions::default() };
+    let summary = Runner::new(opts).run_kind(ScenarioKind::Backtest).expect("backtest runs");
+    assert_eq!(summary.artifacts.len(), 1);
+    let fresh = fs::read_to_string(dir.join("backtest.md")).expect("fresh artifact");
+    assert_eq!(
+        fresh,
+        committed("results/backtest.md"),
+        "runner output diverged from the checked-in results/backtest.md"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_chaos_runner_matches_checked_in_artifact() {
+    let dir = scratch("serve-chaos-md");
+    let opts = RunOptions {
+        results_dir: dir.clone(),
+        bench_dir: Some(dir.clone()),
+        ..RunOptions::default()
+    };
+    let summary = Runner::new(opts).run_kind(ScenarioKind::ServeChaos).expect("chaos runs");
+    let fresh = fs::read_to_string(dir.join("serve_chaos.md")).expect("fresh artifact");
+    assert_eq!(
+        fresh,
+        committed("results/serve_chaos.md"),
+        "runner output diverged from the checked-in results/serve_chaos.md"
+    );
+    let bench = summary.bench.expect("chaos emits a BENCH report");
+    assert_eq!(
+        bench.to_pretty(),
+        committed("results/BENCH_serve_chaos.json"),
+        "BENCH report diverged from the checked-in results/BENCH_serve_chaos.json"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance bar for machine-readable gates: the chaos BENCH file is
+/// byte-identical across worker counts and repeats. Every number in it is
+/// logical-clock-derived; a scheduler dependency would surface here.
+#[test]
+fn serve_chaos_bench_is_schedule_independent() {
+    let mut renders: Vec<(usize, String)> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        for repeat in 0..if workers == 8 { 2 } else { 1 } {
+            let dir = scratch(&format!("chaos-w{workers}-r{repeat}"));
+            let mut spec = ScenarioSpec::new(ScenarioKind::ServeChaos);
+            spec.serve.workers = Some(workers);
+            let opts = RunOptions {
+                results_dir: dir.clone(),
+                bench_dir: Some(dir.clone()),
+                ..RunOptions::default()
+            };
+            let summary = Runner::new(opts).run(&spec).expect("chaos runs");
+            let from_summary = summary.bench.expect("BENCH report").to_pretty();
+            let from_disk =
+                fs::read_to_string(dir.join("BENCH_serve_chaos.json")).expect("BENCH on disk");
+            assert_eq!(from_summary, from_disk, "summary and disk BENCH agree");
+            renders.push((workers, from_disk));
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+    let (_, reference) = &renders[0];
+    for (workers, render) in &renders[1..] {
+        assert_eq!(
+            render, reference,
+            "BENCH_serve_chaos.json changed at {workers} workers — a metric leaked \
+             scheduler state"
+        );
+    }
+}
+
+/// The tokenization study's BENCH report is deterministic across repeats
+/// (it has no serve path at all — pure single-threaded decode).
+#[test]
+fn tokenization_bench_is_deterministic_across_repeats() {
+    let mut renders: Vec<String> = Vec::new();
+    for repeat in 0..2 {
+        let dir = scratch(&format!("tok-r{repeat}"));
+        let opts = RunOptions {
+            results_dir: dir.clone(),
+            bench_dir: Some(dir.clone()),
+            ..RunOptions::default()
+        };
+        let summary =
+            Runner::new(opts).run_kind(ScenarioKind::Tokenization).expect("tokenization runs");
+        renders.push(summary.bench.expect("BENCH report").to_pretty());
+        fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(
+        renders[0],
+        committed("results/BENCH_tokenization.json"),
+        "BENCH report diverged from the checked-in results/BENCH_tokenization.json"
+    );
+}

@@ -1,6 +1,6 @@
 //! mc-lint: deny-by-default workspace invariant lints.
 //!
-//! Six rule families over the lexed token stream (see DESIGN.md §8):
+//! Seven rule families over the lexed token stream (see DESIGN.md §8):
 //!
 //! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
@@ -22,6 +22,12 @@
 //!   through the bounded admission path (capacity cap, shed settlement,
 //!   deferred-release backoff), so an ad-hoc queue cannot reintroduce
 //!   the unbounded growth the overload layer exists to prevent.
+//! - **`no-adhoc-bench`** — inside bench-land (`crates/bench/`,
+//!   `crates/spec/`), no direct `ForecastEngine` / `serve_all` /
+//!   `serve_all_observed` / `ServeHandle` access. Experiments go through
+//!   the `mc-spec` runner — the one allowlisted seam — so every bench
+//!   bin stays a thin spec wrapper and its numbers stay comparable.
+//!   Binary targets are **not** exempt: the rule exists for them.
 //! - **`single-construction`** — exactly one construction site for
 //!   `SampleExpectations` (a struct literal) and one definition of
 //!   `continuation_spec` in production code, so the validation contract
@@ -42,6 +48,7 @@ pub enum Rule {
     NoWallclock,
     NoDirectSync,
     NoUnboundedQueue,
+    NoAdhocBench,
     SingleConstruction,
 }
 
@@ -54,6 +61,7 @@ impl Rule {
             Rule::NoWallclock => "no-wallclock",
             Rule::NoDirectSync => "no-direct-sync",
             Rule::NoUnboundedQueue => "no-unbounded-queue",
+            Rule::NoAdhocBench => "no-adhoc-bench",
             Rule::SingleConstruction => "single-construction",
         }
     }
@@ -66,6 +74,7 @@ impl Rule {
             "no-wallclock" => Some(Rule::NoWallclock),
             "no-direct-sync" => Some(Rule::NoDirectSync),
             "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
+            "no-adhoc-bench" => Some(Rule::NoAdhocBench),
             "single-construction" => Some(Rule::SingleConstruction),
             _ => None,
         }
@@ -194,6 +203,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
     let exempt = test_spans(&tokens);
     let mut out = Vec::new();
     let in_bin = path.contains("/bin/") || path.ends_with("/main.rs");
+    let in_bench_land = path.starts_with("crates/bench/") || path.starts_with("crates/spec/");
     for (i, is_exempt) in exempt.iter().enumerate() {
         if *is_exempt {
             continue;
@@ -201,6 +211,9 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         if !in_bin {
             no_unwrap(path, &tokens, i, &mut out);
             no_println(path, &tokens, i, &mut out);
+        }
+        if in_bench_land {
+            no_adhoc_bench(path, &tokens, i, &mut out);
         }
         no_wallclock(path, &tokens, i, &mut out);
         no_direct_sync(path, &tokens, i, &mut out);
@@ -352,6 +365,34 @@ fn no_unbounded_queue(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Viol
             "std::sync::mpsc channel: queues must go through sched::TaskQueue, which the \
              admission layer bounds and the loom suite models"
                 .to_string(),
+        ));
+    }
+}
+
+/// Flags direct engine/serve access in bench-land. The spec runner is
+/// the one sanctioned seam (allowlisted); everything else in
+/// `crates/bench/` and `crates/spec/` — bins very much included —
+/// must describe its experiment as a `ScenarioSpec` instead.
+fn no_adhoc_bench(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    let banned = matches!(
+        t.text.as_str(),
+        "ForecastEngine" | "serve_all" | "serve_all_observed" | "ServeHandle"
+    );
+    if banned {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoAdhocBench,
+            &t.text,
+            format!(
+                "{} accessed directly in bench-land: drive the experiment through the \
+                 mc-spec runner so the scenario stays declarative and gated",
+                t.text
+            ),
         ));
     }
 }
@@ -525,6 +566,24 @@ mod tests {
         let v = lint_file("crates/xtask/src/main.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::NoWallclock);
+    }
+
+    #[test]
+    fn adhoc_bench_applies_only_in_bench_land_and_ignores_bin_exemption() {
+        let src = "fn main() { let e = ForecastEngine::new(c); let _ = serve_all(&b, &s); }";
+        // Bench bins are exactly what the rule polices — no bin exemption.
+        let v = lint_file("crates/bench/src/bin/quick.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["ForecastEngine", "serve_all"]);
+        assert!(v.iter().all(|v| v.rule == Rule::NoAdhocBench));
+        // The spec crate is in scope too (its runner is allowlisted).
+        assert_eq!(lint_file("crates/spec/src/runner.rs", src).len(), 2);
+        // Outside bench-land the engine is fair game.
+        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
+        assert!(lint_file("crates/tasks/src/lib.rs", src).is_empty());
+        // `observe_all` is a different identifier, not a match.
+        let near = "fn main() { observe_all(&mut m, &p); }";
+        assert!(lint_file("crates/spec/src/scenarios.rs", near).is_empty());
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! Subcommands:
 //! - `lint` — run mc-lint over the workspace (see `xtask::run_lint`).
 //!   Exits non-zero on any violation or stale allowlist entry.
+//! - `bench-gate` — compare freshly generated `BENCH_*.json` reports
+//!   against the committed baseline and fail on regressions beyond
+//!   tolerance (default 10 %) in any gated metric (p99 latencies, RMSE,
+//!   throughput). `--baseline DIR` defaults to `results/`; `--current
+//!   DIR` is required; `--tolerance FRAC` overrides the 0.10 default.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -65,17 +70,89 @@ fn lint() -> ExitCode {
     }
 }
 
+/// Loads and parses one `BENCH_*.json`, mapping both error layers into
+/// one message.
+fn load_report(path: &std::path::Path) -> Result<mc_spec::BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    mc_spec::BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn bench_gate(args: Vec<String>) -> ExitCode {
+    let mut cli = mc_spec::cli::Cli::new(args);
+    let run = || -> Result<Vec<String>, String> {
+        let baseline =
+            cli.value("--baseline").map_err(|e| e.to_string())?.unwrap_or_else(|| "results".into());
+        let current = cli
+            .value("--current")
+            .map_err(|e| e.to_string())?
+            .ok_or("bench-gate needs --current <dir> (the freshly generated reports)")?;
+        let tolerance: f64 = cli.parsed_or("--tolerance", 0.10_f64).map_err(|e| e.to_string())?;
+        cli.finish().map_err(|e| e.to_string())?;
+        let baseline_dir = workspace_root().join(baseline);
+        let current_dir = workspace_root().join(current);
+
+        let mut names: Vec<String> = std::fs::read_dir(&baseline_dir)
+            .map_err(|e| format!("read {}: {e}", baseline_dir.display()))?
+            .filter_map(Result::ok)
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            return Err(format!("no BENCH_*.json baselines under {}", baseline_dir.display()));
+        }
+
+        let mut regressions = Vec::new();
+        for name in &names {
+            let base = load_report(&baseline_dir.join(name))?;
+            let current_path = current_dir.join(name);
+            if !current_path.is_file() {
+                regressions.push(format!("{name}: baseline report has no current-run counterpart"));
+                continue;
+            }
+            let cur = load_report(&current_path)?;
+            let found = mc_spec::bencher::gate(&base, &cur, tolerance);
+            if found.is_empty() {
+                println!("bench-gate: {name} ok ({} metrics)", base.metrics.len());
+            }
+            regressions.extend(found);
+        }
+        Ok(regressions)
+    };
+    match run() {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench-gate: all reports within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            for r in &regressions {
+                println!("bench-gate: REGRESSION {r}");
+            }
+            println!("bench-gate: {} regression(s)", regressions.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-gate") => bench_gate(args.collect()),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, bench-gate)");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run mc-lint over the workspace"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint          run mc-lint over the \
+                 workspace\n  bench-gate    compare BENCH_*.json reports against the committed \
+                 baseline"
             );
             ExitCode::FAILURE
         }

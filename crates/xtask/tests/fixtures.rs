@@ -12,6 +12,7 @@ const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
 const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
 const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
 const QUEUE_FIXTURE: &str = include_str!("fixtures/unbounded_queue.rs");
+const ADHOC_FIXTURE: &str = include_str!("fixtures/adhoc_bench.rs");
 
 /// `(rule, symbol, line)` triples, sorted, for compact assertions.
 fn shape(violations: &[Violation]) -> Vec<(&'static str, String, usize)> {
@@ -100,6 +101,35 @@ fn queue_fixture_flags_imports_types_and_constructors_but_not_tests() {
 }
 
 #[test]
+fn adhoc_bench_fixture_flags_bins_in_bench_land_only() {
+    // Under a bench-bin path every direct engine/serve touch is flagged
+    // — the bin exemption that softens no-unwrap/no-println does NOT
+    // apply, because bench bins are exactly what this rule polices.
+    let got = shape(&lint_file("crates/bench/src/bin/adhoc_bench.rs", ADHOC_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-adhoc-bench", "ForecastEngine".to_string(), 7),
+            ("no-adhoc-bench", "ServeHandle".to_string(), 9),
+            ("no-adhoc-bench", "serve_all".to_string(), 10),
+            ("no-adhoc-bench", "serve_all_observed".to_string(), 11),
+        ]
+    );
+    // The spec crate is bench-land too; the same source under the
+    // runner path is what the workspace allowlist entry suppresses.
+    let runner = lint_file("crates/spec/src/runner.rs", ADHOC_FIXTURE);
+    assert_eq!(runner.len(), 4);
+    let allow = Allowlist::parse(
+        "no-adhoc-bench crates/spec/src/runner.rs * -- the runner is the sanctioned seam\n",
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(runner);
+    assert!(kept.is_empty() && stale.is_empty());
+    // Outside bench-land the rule never fires.
+    assert!(lint_file("crates/core/src/serve.rs", ADHOC_FIXTURE).is_empty());
+}
+
+#[test]
 fn dup_fixture_reports_every_extra_construction_site() {
     let sites = construction_sites("tests/fixtures/dup_construction.rs", DUP_FIXTURE);
     let got = shape(&check_construction_counts(&sites));
@@ -173,6 +203,7 @@ fn every_rule_name_round_trips_through_parse() {
         Rule::NoWallclock,
         Rule::NoDirectSync,
         Rule::NoUnboundedQueue,
+        Rule::NoAdhocBench,
         Rule::SingleConstruction,
     ] {
         assert_eq!(Rule::parse(rule.name()), Some(rule));
