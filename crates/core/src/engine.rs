@@ -55,6 +55,23 @@ pub fn spec_fingerprint(spec: &ContinuationSpec) -> u64 {
     for &c in spec.vocab.chars() {
         fp.write_u64(c as u64);
     }
+    fp.write_u64(spec.refit_epoch);
+    fp.finish()
+}
+
+/// Family fingerprint of a continuation spec: every identity component
+/// of [`spec_fingerprint`] *except* the prompt and refit epoch. Two
+/// specs share a family exactly when one's frozen context could be
+/// delta-extended into the other's (same preset, output restriction and
+/// vocabulary, different observation lengths) — the shard/prefix-scan
+/// key of the serve-side context cache.
+pub fn spec_family(spec: &ContinuationSpec) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_str(&spec.allowed_chars);
+    fp.write_str(&format!("{:?}", spec.preset));
+    for &c in spec.vocab.chars() {
+        fp.write_u64(c as u64);
+    }
     fp.finish()
 }
 
@@ -98,6 +115,7 @@ impl ForecastEngine {
             preset: self.config.preset,
             separators,
             max_tokens: self.config.max_tokens(separators, fitted.group_width()),
+            refit_epoch: 0,
         }
     }
 
@@ -255,6 +273,52 @@ impl PreparedBackend {
         Ok(Self { frozen, tokenizer, allowed, separator })
     }
 
+    /// Assembles a backend around an **already fitted** frozen context
+    /// (the serve layer's warm-cache path), replicating exactly the
+    /// tokenizer/mask/separator assembly of [`PreparedBackend::fit`] —
+    /// only the prompt conditioning itself is skipped. The caller is
+    /// responsible for `frozen` actually being the fit of `spec` (the
+    /// cache guarantees this by keying on [`spec_fingerprint`]).
+    ///
+    /// # Errors
+    /// As [`PreparedBackend::fit`], minus prompt encoding (the prompt is
+    /// already conditioned into `frozen`).
+    pub fn from_frozen(frozen: Arc<dyn FrozenLm>, spec: &ContinuationSpec) -> Result<Self> {
+        let tokenizer = CharTokenizer::new(spec.vocab.clone());
+        let separator = spec
+            .vocab
+            .id(',')
+            .ok_or_else(|| pipeline_error("separator", "vocabulary lacks the ',' separator"))?;
+        let allowed = decode_mask(&spec.vocab, &spec.allowed_chars);
+        Ok(Self { frozen, tokenizer, allowed, separator })
+    }
+
+    /// Wraps this backend's frozen context in a [`MeteredLm`] recording
+    /// into `ledger` (see [`PreparedBackend::fit_metered_observed`]).
+    /// The current prompt cost lands in the ledger immediately, so
+    /// metering a warm cached context attributes exactly what metering
+    /// the equivalent fresh fit would — warm and cold serving produce
+    /// identical cost audits.
+    pub fn meter_observed(
+        mut self,
+        ledger: Arc<CostLedger>,
+        recorder: Arc<dyn Recorder>,
+        ctx: u64,
+    ) -> Self {
+        self.frozen = Arc::new(MeteredLm::observed(self.frozen, ledger, recorder, ctx));
+        self
+    }
+
+    /// The frozen context this backend decodes from.
+    ///
+    /// The serve layer calls this *before* [`PreparedBackend::meter_observed`]
+    /// to hand the plain fitted context to the cross-batch cache: the
+    /// cache must store the unwrapped context so a later batch can
+    /// re-meter it into its own ledger.
+    pub fn frozen(&self) -> Arc<dyn FrozenLm> {
+        Arc::clone(&self.frozen)
+    }
+
     /// Like [`PreparedBackend::fit`], but wraps the frozen backend in a
     /// [`MeteredLm`] recording into `ledger`: the prompt cost lands in the
     /// ledger immediately, and every session forked from this backend
@@ -278,9 +342,7 @@ impl PreparedBackend {
         recorder: Arc<dyn Recorder>,
         ctx: u64,
     ) -> Result<Self> {
-        let mut backend = Self::fit(spec)?;
-        backend.frozen = Arc::new(MeteredLm::observed(backend.frozen, ledger, recorder, ctx));
-        Ok(backend)
+        Ok(Self::fit(spec)?.meter_observed(ledger, recorder, ctx))
     }
 
     /// The one-time prompt-conditioning cost (independent of how many

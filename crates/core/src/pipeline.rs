@@ -33,6 +33,12 @@ pub struct ContinuationSpec {
     pub separators: usize,
     /// Hard token cap.
     pub max_tokens: usize,
+    /// Monotone incremental-refit generation of the frozen context this
+    /// spec describes. Freshly built specs are epoch 0; the serve-side
+    /// context cache bumps the epoch each time it delta-extends a cached
+    /// context (`mc-lm::cache`), so a refit context and its pre-refit
+    /// ancestor can never collide in [`crate::engine::spec_fingerprint`].
+    pub refit_epoch: u64,
 }
 
 /// Runs one constrained continuation; returns the generated text and the
@@ -186,6 +192,7 @@ mod tests {
             preset: ModelPreset::Large,
             separators,
             max_tokens: 200,
+            refit_epoch: 0,
         }
     }
 

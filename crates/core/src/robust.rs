@@ -1220,6 +1220,7 @@ mod tests {
             preset: ModelPreset::Large,
             separators,
             max_tokens: 200,
+            refit_epoch: 0,
         }
     }
 

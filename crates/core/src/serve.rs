@@ -15,6 +15,17 @@
 //!   [`PreparedBackend`], fitted exactly once. Different horizons against
 //!   the same history share a context: the stop rule lives in the sampler,
 //!   not the frozen state.
+//! - **Cross-batch context cache** ([`ServeConfig::cache`], DESIGN.md
+//!   §12) — with a cache attached, a [`ServeHandle`] keeps fitted
+//!   contexts warm *across* flushes in a bounded [`mc_lm::LmCache`]: an
+//!   exact spec-fingerprint hit skips the fit entirely, and a prompt that
+//!   strictly extends a cached one is delta-updated in place by
+//!   incremental refit (bit-identical to a from-scratch fit, so warmth
+//!   can never change a forecast). Served contexts stay pinned until the
+//!   flush boundary, so eviction can never free a context a live decode
+//!   session is forked from. All fits route through the single
+//!   [`fit_context`] seam — the `no-direct-fit` lint rule keeps it that
+//!   way.
 //! - **A bounded worker pool** fans `(request, sample, attempt)` tasks
 //!   across `workers` threads. Each task forks a throwaway session off the
 //!   request's context and runs the same
@@ -50,9 +61,11 @@ use mc_sync::{Arc, Mutex};
 use mc_tslib::error::{pipeline_error, Result, TsError};
 use mc_tslib::series::MultivariateSeries;
 
+use mc_lm::cache::{CacheConfig, CacheStats, Found, LmCache};
 use mc_lm::cost::InferenceCost;
 use mc_lm::metered::CostLedger;
 use mc_lm::presets::ModelPreset;
+use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::Vocab;
 
 use mc_obs::{mix, EventKind, Fingerprint, NoopRecorder, Recorder, TraceEvent};
@@ -60,11 +73,12 @@ use mc_sax::encoder::SaxConfig;
 
 use crate::codec::{Codec, DigitCodec, FittedCodec, SaxCodec};
 use crate::config::ForecastConfig;
-use crate::engine::{spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend};
+use crate::engine::{spec_family, spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend};
 use crate::mux::MuxMethod;
 use crate::overload::{
     BreakerPolicy, BreakerTransition, CircuitBreaker, OverloadState, Priority, ServeDefect,
 };
+use crate::pipeline::ContinuationSpec;
 use crate::robust::{
     execute_attempt, record_attempt, virtual_index, AttemptDisposition, AttemptOutcome,
     FallbackPolicy, ForecastReport, RobustProgress, SampleDefect, SampleExpectations, SampleSource,
@@ -208,11 +222,26 @@ pub struct ServeConfig {
     pub quota_tokens: Option<u64>,
     /// Per-preset circuit-breaker policy. `None` disables breaking.
     pub breaker: Option<BreakerPolicy>,
+    /// Cross-batch frozen-context cache shape. `Some` makes a
+    /// [`ServeHandle`] keep fitted contexts warm across flushes (and
+    /// delta-update prefix-extended prompts by incremental refit);
+    /// `None` fits every batch cold. One-shot [`serve_all`] batches get
+    /// a fresh cache per call either way, so only handles observe
+    /// warmth. Forecasts, canonical traces and cost audits are
+    /// byte-identical warm or cold.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 4, queue_cap: None, submit_cap: None, quota_tokens: None, breaker: None }
+        Self {
+            workers: 4,
+            queue_cap: None,
+            submit_cap: None,
+            quota_tokens: None,
+            breaker: None,
+            cache: None,
+        }
     }
 }
 
@@ -307,6 +336,9 @@ struct Context {
     /// Request index charged the prompt pass (first to need the context).
     owner: usize,
     requests: usize,
+    /// The `(family, fingerprint)` pin held in the cross-batch cache,
+    /// released at the flush boundary (`None` when serving cold).
+    pin: Option<(u64, u64)>,
 }
 
 /// A request prepared for scheduling: fitted codec, expectations, and the
@@ -449,6 +481,83 @@ struct Task {
     attempt: usize,
 }
 
+/// What [`fit_context`] resolves a spec to: the metered backend, the
+/// context's trace fingerprint (epoch-qualified when the context was
+/// produced by incremental refit) and the `(family, fingerprint)` cache
+/// pin to release at the flush boundary, if a cache was consulted.
+type FittedContext = (PreparedBackend, u64, Option<(u64, u64)>);
+
+/// The one sanctioned context-fit seam in serve-land: resolves a spec to
+/// a metered backend, consulting the cross-batch cache first when one is
+/// attached. The `no-direct-fit` lint rule bans the fit entry points
+/// everywhere else in this module, so every serve-path fit is forced
+/// through here — where cache reuse, pinning and metering are handled
+/// uniformly.
+fn fit_context(
+    spec: &ContinuationSpec,
+    cache: Option<&LmCache>,
+    ledger: Arc<CostLedger>,
+    obs: &Arc<dyn Recorder>,
+) -> Result<FittedContext> {
+    let ctx_fp = spec_fingerprint(spec);
+    let Some(cache) = cache else {
+        let backend = PreparedBackend::fit_metered_observed(spec, ledger, obs.clone(), ctx_fp)?;
+        return Ok((backend, ctx_fp, None));
+    };
+    let family = spec_family(spec);
+    let tokens = CharTokenizer::new(spec.vocab.clone())
+        .encode(&spec.prompt)
+        .map_err(|e| pipeline_error("encode-prompt", e.to_string()))?;
+    let (frozen, epoch, event) = match cache.acquire(family, ctx_fp, &tokens) {
+        Found::Hit { frozen, epoch } => (frozen, epoch, EventKind::CacheHit),
+        Found::Refit { frozen, epoch, appended } => {
+            (frozen, epoch, EventKind::CacheRefit { appended: appended as u64, epoch })
+        }
+        Found::Miss => {
+            if obs.enabled() {
+                obs.record(TraceEvent { req: 0, ctx: ctx_fp, kind: EventKind::CacheMiss });
+            }
+            let evictions_before = cache.stats().evictions;
+            let fitted = PreparedBackend::fit(spec)?;
+            // Share whichever Arc the cache settled on (a concurrent
+            // duplicate insert keeps the resident entry), so the served
+            // context and the cached one are always the same object.
+            let shared = cache.insert(family, ctx_fp, &tokens, fitted.frozen());
+            let evicted = cache.stats().evictions - evictions_before;
+            if evicted > 0 && obs.enabled() {
+                obs.record(TraceEvent {
+                    req: 0,
+                    ctx: ctx_fp,
+                    kind: EventKind::CacheEvict { evictions: evicted },
+                });
+            }
+            let backend = PreparedBackend::from_frozen(shared, spec)?.meter_observed(
+                ledger,
+                obs.clone(),
+                ctx_fp,
+            );
+            return Ok((backend, ctx_fp, Some((family, ctx_fp))));
+        }
+    };
+    // A refit context is a *different* trace identity from the cold fit
+    // of the same prompt: stamp the entry's monotone epoch into the
+    // fingerprint (epoch 0 — a never-refit exact hit — is the cold
+    // fingerprint, keeping warm reruns byte-identical to cold ones).
+    let eff_fp = if epoch == 0 {
+        ctx_fp
+    } else {
+        let mut stamped = spec.clone();
+        stamped.refit_epoch = epoch;
+        spec_fingerprint(&stamped)
+    };
+    if obs.enabled() {
+        obs.record(TraceEvent { req: 0, ctx: eff_fp, kind: event });
+    }
+    let backend =
+        PreparedBackend::from_frozen(frozen, spec)?.meter_observed(ledger, obs.clone(), eff_fp);
+    Ok((backend, eff_fp, Some((family, ctx_fp))))
+}
+
 /// Fits codecs and contexts for a batch; requests that fail to prepare
 /// (codec or backend fit) become [`Prepared::Failed`] without touching the
 /// others, and admission rejections pass through as
@@ -459,6 +568,7 @@ fn prepare(
     slots: Vec<Admission>,
     config: &ServeConfig,
     overload: &OverloadState,
+    cache: Option<&LmCache>,
     obs: &Arc<dyn Recorder>,
 ) -> (Vec<Prepared>, Vec<(ContextKey, Context)>) {
     let mut contexts: Vec<(ContextKey, Context)> = Vec::new();
@@ -495,14 +605,8 @@ fn prepare(
                     pos
                 }
                 None => {
-                    let ctx_fp = spec_fingerprint(&spec);
                     let ledger = Arc::new(CostLedger::new());
-                    let backend = PreparedBackend::fit_metered_observed(
-                        &spec,
-                        ledger.clone(),
-                        obs.clone(),
-                        ctx_fp,
-                    )?;
+                    let (backend, ctx_fp, pin) = fit_context(&spec, cache, ledger.clone(), obs)?;
                     if obs.enabled() {
                         let prompt = backend.prompt_cost();
                         obs.record(TraceEvent {
@@ -516,7 +620,7 @@ fn prepare(
                     }
                     contexts.push((
                         key,
-                        Context { backend, ledger, fp: ctx_fp, owner: i, requests: 0 },
+                        Context { backend, ledger, fp: ctx_fp, owner: i, requests: 0, pin },
                     ));
                     contexts.len() - 1
                 }
@@ -623,11 +727,12 @@ fn run_batch(
     submissions: Vec<Submission>,
     config: &ServeConfig,
     overload: &OverloadState,
+    cache: Option<&LmCache>,
     base_id: usize,
     obs: &Arc<dyn Recorder>,
 ) -> (Vec<ServeOutcome>, Vec<ContextStats>) {
     let slots = admit(submissions, config, overload, obs.as_ref());
-    let (states, contexts) = prepare(slots, config, overload, obs);
+    let (states, contexts) = prepare(slots, config, overload, cache, obs);
 
     let mut initial = Vec::new();
     let mut outstanding = 0;
@@ -699,6 +804,15 @@ fn run_batch(
                 };
                 obs.record(TraceEvent { req: 0, ctx: 0, kind });
             }
+        }
+    }
+
+    // Flush-boundary pin settlement: every session has completed (the
+    // worker scope joined above), so no fork borrows a cached context
+    // any more — unpin them all, making the entries evictable again.
+    for (_, c) in &contexts {
+        if let (Some(cache), Some((family, fp))) = (cache, c.pin) {
+            cache.release(family, fp);
         }
     }
 
@@ -825,12 +939,13 @@ pub fn serve_all_observed(
     config: &ServeConfig,
     obs: Arc<dyn Recorder>,
 ) -> ServeRun {
-    // One-shot batches get a fresh overload state: quotas and breakers
-    // accumulate across flushes of a [`ServeHandle`], not across
-    // independent `serve_all` calls.
+    // One-shot batches get a fresh overload state and a fresh cache:
+    // quotas, breakers and context warmth accumulate across flushes of a
+    // [`ServeHandle`], not across independent `serve_all` calls.
     let overload = OverloadState::new();
+    let cache = config.cache.map(LmCache::new);
     let submissions = requests.iter().cloned().map(Ok).collect();
-    let (outcomes, contexts) = run_batch(submissions, config, &overload, 0, &obs);
+    let (outcomes, contexts) = run_batch(submissions, config, &overload, cache.as_ref(), 0, &obs);
     ServeRun { outcomes, contexts }
 }
 
@@ -847,6 +962,9 @@ pub struct ServeHandle {
     outcomes: Vec<ServeOutcome>,
     contexts: Vec<ContextStats>,
     overload: OverloadState,
+    /// Cross-batch frozen-context cache ([`ServeConfig::cache`]); lives
+    /// as long as the handle so later flushes reuse earlier fits.
+    cache: Option<LmCache>,
     obs: Arc<dyn Recorder>,
 }
 
@@ -860,6 +978,7 @@ impl ServeHandle {
     /// [`serve_all_observed`]).
     pub fn with_recorder(config: ServeConfig, obs: Arc<dyn Recorder>) -> Self {
         Self {
+            cache: config.cache.map(LmCache::new),
             config,
             pending: Vec::new(),
             outcomes: Vec::new(),
@@ -896,8 +1015,14 @@ impl ServeHandle {
             return;
         }
         let submissions = std::mem::take(&mut self.pending);
-        let (outcomes, contexts) =
-            run_batch(submissions, &self.config, &self.overload, self.outcomes.len(), &self.obs);
+        let (outcomes, contexts) = run_batch(
+            submissions,
+            &self.config,
+            &self.overload,
+            self.cache.as_ref(),
+            self.outcomes.len(),
+            &self.obs,
+        );
         self.outcomes.extend(outcomes);
         self.contexts.extend(contexts);
     }
@@ -930,6 +1055,13 @@ impl ServeHandle {
     /// read-only introspection for reports and tests.
     pub fn overload(&self) -> &OverloadState {
         &self.overload
+    }
+
+    /// Counter snapshot of the cross-batch context cache (`None` when
+    /// [`ServeConfig::cache`] is off). Hit rate here is the bench gate's
+    /// `hit_rate` key.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(LmCache::stats)
     }
 }
 
@@ -1137,5 +1269,137 @@ mod tests {
         let report = outcome.report.as_ref().unwrap();
         assert_eq!(report.valid_samples, 0, "every sample expired");
         assert!(report.degraded(), "seasonal-naive fallback produced the forecast");
+    }
+
+    fn cached_config(workers: usize) -> ServeConfig {
+        ServeConfig { cache: Some(CacheConfig::default()), ..ServeConfig::with_workers(workers) }
+    }
+
+    #[test]
+    fn warm_flush_reuses_the_cached_context() {
+        let mut handle = ServeHandle::new(cached_config(2));
+        let a = handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        handle.flush();
+        // Same history and codec again: the second flush must hit.
+        let b = handle.submit(request(7, MuxMethod::ValueInterleave, 99));
+        handle.flush();
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Warm and cold contexts share one trace fingerprint and both
+        // report the full prompt cost (re-metered per flush).
+        assert_eq!(handle.contexts().len(), 2);
+        assert_eq!(handle.contexts()[0].fingerprint, handle.contexts()[1].fingerprint);
+        assert_eq!(handle.contexts()[0].prompt_cost, handle.contexts()[1].prompt_cost);
+        assert!(handle.collect(a).unwrap().forecast.is_ok());
+        assert!(handle.collect(b).unwrap().forecast.is_ok());
+    }
+
+    #[test]
+    fn warm_forecasts_are_bit_identical_to_cold() {
+        let reqs =
+            vec![request(4, MuxMethod::ValueInterleave, 1), request(6, MuxMethod::ValueConcat, 2)];
+        let cold = serve_all(&reqs, &ServeConfig::with_workers(2));
+        let mut handle = ServeHandle::new(cached_config(3));
+        // Two flushes of the same batch: the second is fully warm.
+        for _ in 0..2 {
+            for r in &reqs {
+                handle.submit(r.clone());
+            }
+            handle.flush();
+        }
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!((stats.misses, stats.hits), (2, 2));
+        for (flush, chunk) in handle.outcomes().chunks(reqs.len()).enumerate() {
+            for (cold_o, warm_o) in cold.outcomes.iter().zip(chunk) {
+                let c = cold_o.forecast.as_ref().unwrap();
+                let w = warm_o.forecast.as_ref().unwrap();
+                for (cc, wc) in c.columns().iter().zip(w.columns()) {
+                    let cb: Vec<u64> = cc.iter().map(|v| v.to_bits()).collect();
+                    let wb: Vec<u64> = wc.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(cb, wb, "flush {flush} diverged from cold serve");
+                }
+                assert_eq!(cold_o.cost, warm_o.cost, "warm attribution must match cold");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_boundary_unpins_every_cached_context() {
+        let mut handle = ServeHandle::new(cached_config(2));
+        handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        handle.submit(request(4, MuxMethod::ValueConcat, 2));
+        handle.flush();
+        assert_eq!(handle.contexts().len(), 2);
+        // Both contexts were pinned during the flush and settled after:
+        // a capacity-1 cache can now evict them for a new insertion.
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!(stats.insertions, 2);
+        let one = ServeConfig {
+            cache: Some(CacheConfig { capacity: 1, shards: 1, ..CacheConfig::default() }),
+            ..ServeConfig::with_workers(2)
+        };
+        let mut tiny = ServeHandle::new(one);
+        tiny.submit(request(4, MuxMethod::ValueInterleave, 1));
+        tiny.submit(request(4, MuxMethod::ValueConcat, 2));
+        tiny.flush();
+        // Within the flush both stayed resident (pinned ≻ capacity);
+        // eviction only happened when the over-capacity insert ran.
+        let s = tiny.cache_stats().unwrap();
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.evictions, 0, "both contexts were pinned during the flush");
+        // An unrelated history is a genuine miss: its insert now finds
+        // both earlier entries unpinned and evicts down to capacity.
+        let fresh = ForecastConfig { samples: 2, seed: 3, ..ForecastConfig::default() };
+        let alt = sinusoids(40, &[(2.0, 7.0, 0.4)]);
+        let alt2: Vec<f64> = alt.iter().map(|&v| 1.0 - v).collect();
+        let train = MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![alt, alt2])
+            .unwrap();
+        tiny.submit(ForecastRequest::digit(train, 4, MuxMethod::ValueInterleave, fresh));
+        tiny.flush();
+        assert!(tiny.cache_stats().unwrap().evictions > 0, "unpinned entries evict after settle");
+    }
+
+    #[test]
+    fn streamed_history_refits_incrementally() {
+        // The same stream, observed longer: the grown prompt strictly
+        // extends the cached one, so the second flush delta-updates the
+        // resident context instead of fitting from scratch.
+        let grown = ForecastConfig { samples: 2, seed: 9, ..ForecastConfig::default() };
+        let long = ForecastRequest::digit(series(52), 4, MuxMethod::ValueInterleave, grown);
+        let mut handle = ServeHandle::new(cached_config(2));
+        handle.submit(request(4, MuxMethod::ValueInterleave, 1));
+        handle.flush();
+        handle.submit(long.clone());
+        handle.flush();
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!(stats.refits, 1, "grown history must delta-update the cached ancestor");
+        assert_eq!(stats.insertions, 1, "no second from-scratch fit");
+        // Bit-identical to a cold fit of the grown history.
+        let cold = serve_all(&[long], &ServeConfig::with_workers(2));
+        let c = cold.outcomes[0].forecast.as_ref().unwrap();
+        let w = handle.outcomes()[1].forecast.as_ref().unwrap();
+        for (cc, wc) in c.columns().iter().zip(w.columns()) {
+            let cb: Vec<u64> = cc.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u64> = wc.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(cb, wb, "refit context diverged from a from-scratch fit");
+        }
+        // The refit context is a distinct trace identity: its epoch is
+        // stamped into the fingerprint, so it matches neither the
+        // ancestor nor the cold fit of the same grown prompt.
+        let fps: Vec<u64> = handle.contexts().iter().map(|c| c.fingerprint).collect();
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(cold.contexts[0].fingerprint, fps[1]);
+    }
+
+    #[test]
+    fn one_shot_serve_all_stays_cold_across_calls() {
+        let reqs = vec![request(4, MuxMethod::ValueInterleave, 1)];
+        let config = cached_config(2);
+        let first = serve_all(&reqs, &config);
+        let second = serve_all(&reqs, &config);
+        // A fresh cache per call: identical context accounting, no warmth.
+        assert_eq!(first.contexts[0].fingerprint, second.contexts[0].fingerprint);
+        assert_eq!(first.contexts[0].prompt_cost, second.contexts[0].prompt_cost);
     }
 }

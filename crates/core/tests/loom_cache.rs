@@ -1,0 +1,215 @@
+//! Bounded-exhaustive model checking of the multi-tenant context cache.
+//!
+//! Runs only under `--cfg loom` (the dedicated CI job):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p multicast-core --test loom_cache --release
+//! ```
+//!
+//! Under that cfg the [`mc_sync`] shim inside `mc-lm` resolves to the
+//! [`mc_loom`] primitives, so the *production* [`LmCache`] shard locks
+//! are explored across thread interleavings. The properties proved here
+//! are the ones `crate::serve::fit_context` relies on:
+//!
+//! - eviction racing a live fork never frees a pinned context;
+//! - incremental refit never mutates a context another tenant is
+//!   decoding from (pin + unique-ownership gate), and whichever path a
+//!   schedule takes, the served distribution is bit-identical to a cold
+//!   fit;
+//! - racing tenants of one spec converge on a single resident context
+//!   with the prompt accounted once;
+//! - the lookup ledger is conserved and pins settle to zero at the
+//!   flush boundary, in every interleaving.
+#![cfg(loom)]
+
+use mc_loom::sync::Arc;
+use mc_loom::{explore, model, thread};
+
+use mc_lm::cache::{CacheConfig, Found, LmCache};
+use mc_lm::model::FrozenLm;
+use mc_lm::presets::{fit_model, ModelPreset};
+use mc_lm::vocab::TokenId;
+
+const VOCAB: usize = 3;
+const FAM: u64 = 5;
+
+fn fit(tokens: &[TokenId]) -> std::sync::Arc<dyn FrozenLm> {
+    std::sync::Arc::from(fit_model(ModelPreset::Small, VOCAB, tokens))
+}
+
+/// First-token distribution a tenant would decode from this context.
+fn first_dist(frozen: &dyn FrozenLm) -> Vec<f64> {
+    let mut p = vec![0.0; VOCAB];
+    frozen.fork().next_distribution(&mut p);
+    p
+}
+
+fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A capacity-1 cache with its only slot pinned (a flush in progress):
+/// a second tenant inserting a different context must run the cache
+/// over capacity rather than evict the pinned entry, and a concurrent
+/// reader of the pinned entry always finds it resident. Once the flush
+/// boundary releases every pin, the next insert settles the cache back
+/// under capacity.
+#[test]
+fn eviction_never_frees_a_pinned_context() {
+    let stats = explore(|| {
+        let cache = Arc::new(LmCache::new(CacheConfig {
+            capacity: 1,
+            shards: 1,
+            ..CacheConfig::default()
+        }));
+        let x_tokens: Vec<TokenId> = vec![0, 1, 0, 1];
+        let y_tokens: Vec<TokenId> = vec![1, 0, 1, 0];
+        let _x = cache.insert(FAM, 1, &x_tokens, fit(&x_tokens));
+
+        let reader = {
+            let cache = Arc::clone(&cache);
+            let x_tokens = x_tokens.clone();
+            thread::spawn(move || {
+                // Mid-flush lookup of the pinned context: must hit.
+                let resident = match cache.acquire(FAM, 1, &x_tokens) {
+                    Found::Hit { frozen, epoch: 0 } => {
+                        first_dist(frozen.as_ref());
+                        cache.release(FAM, 1);
+                        true
+                    }
+                    _ => false,
+                };
+                resident
+            })
+        };
+        let filler = {
+            let cache = Arc::clone(&cache);
+            let y_tokens = y_tokens.clone();
+            thread::spawn(move || {
+                // A second tenant fills the only slot past capacity.
+                cache.insert(FAM, 2, &y_tokens, fit(&y_tokens));
+                cache.release(FAM, 2);
+            })
+        };
+        assert!(reader.join().expect("reader"), "pinned context stayed resident");
+        filler.join().expect("filler");
+
+        assert_eq!(cache.stats().evictions, 0, "nothing evictable while X is pinned");
+        assert_eq!(cache.len(), 2, "over capacity rather than freeing a pinned context");
+
+        // Flush boundary: the batch releases its pin, and the next
+        // insert settles the cache back under capacity.
+        cache.release(FAM, 1);
+        let z_tokens: Vec<TokenId> = vec![2, 2, 2];
+        cache.insert(FAM, 3, &z_tokens, fit(&z_tokens));
+        cache.release(FAM, 3);
+        assert_eq!(cache.len(), 1, "unpinned entries evict at the next insert");
+        assert_eq!(cache.stats().evictions, 2);
+    });
+    assert!(stats.iterations > 1, "expected schedule exploration, got {stats:?}");
+}
+
+/// Two tenants racing the same spec through the miss/insert path
+/// converge on one resident context — whoever inserts second shares the
+/// winner's `Arc` — the lookup ledger accounts both tenants exactly
+/// once, the prompt is costed identically for both, and pins settle to
+/// zero at the flush boundary.
+#[test]
+fn racing_tenants_share_one_context() {
+    let stats = explore(|| {
+        let cache = Arc::new(LmCache::new(CacheConfig::default()));
+        let tokens: Vec<TokenId> = vec![0, 1, 2, 0, 1, 2];
+        let tenant = |cache: Arc<LmCache>, tokens: Vec<TokenId>| {
+            thread::spawn(move || {
+                let frozen = match cache.acquire(FAM, 9, &tokens) {
+                    Found::Hit { frozen, .. } => frozen,
+                    Found::Refit { .. } => panic!("no prefix resident to refit"),
+                    Found::Miss => cache.insert(FAM, 9, &tokens, fit(&tokens)),
+                };
+                first_dist(frozen.as_ref());
+                let cost = frozen.prompt_cost();
+                cache.release(FAM, 9);
+                (frozen, cost)
+            })
+        };
+        let a = tenant(Arc::clone(&cache), tokens.clone());
+        let b = tenant(Arc::clone(&cache), tokens.clone());
+        let (fa, ca) = a.join().expect("tenant A");
+        let (fb, cb) = b.join().expect("tenant B");
+
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2, "both lookups accounted exactly once");
+        assert!(s.misses >= 1, "somebody fit the context");
+        assert_eq!(s.insertions, 1, "duplicate inserts share, not duplicate");
+        assert_eq!(cache.len(), 1, "one resident context");
+        assert!(std::sync::Arc::ptr_eq(&fa, &fb), "both tenants share one context");
+        assert_eq!(ca, cb, "prompt accounted identically for both tenants");
+        assert_eq!(cache.pins(FAM, 9), Some(0), "pins settle at the flush boundary");
+    });
+    assert!(stats.iterations > 1, "expected schedule exploration, got {stats:?}");
+}
+
+/// The refit/fork race: tenant A decodes from the resident prefix
+/// context while tenant B acquires a grown prompt. The pin +
+/// unique-`Arc` gate means B refits in place only once A has fully let
+/// go; otherwise B falls back to a from-scratch fit. Whichever path a
+/// schedule takes, A's in-flight decode serves the prefix fit's exact
+/// bytes and B serves the full fit's exact bytes.
+#[test]
+fn refit_never_mutates_under_an_in_flight_fork() {
+    let prefix: Vec<TokenId> = vec![0, 1, 0];
+    let full: Vec<TokenId> = vec![0, 1, 0, 1, 2];
+    let reference_prefix = bits(&first_dist(fit(&prefix).as_ref()));
+    let reference_full = bits(&first_dist(fit(&full).as_ref()));
+
+    model(move || {
+        let cache = Arc::new(LmCache::new(CacheConfig::default()));
+        let resident = cache.insert(FAM, 1, &prefix, fit(&prefix));
+
+        let reader = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                // Decode from the pinned prefix context, then let go of
+                // both the Arc and the pin (the flush boundary).
+                let p = first_dist(resident.as_ref());
+                drop(resident);
+                cache.release(FAM, 1);
+                p
+            })
+        };
+        let grower = {
+            let cache = Arc::clone(&cache);
+            let full = full.clone();
+            thread::spawn(move || {
+                let (frozen, key) = match cache.acquire(FAM, 2, &full) {
+                    Found::Refit { frozen, epoch, appended } => {
+                        assert_eq!((epoch, appended), (1, 2));
+                        (frozen, 2)
+                    }
+                    Found::Miss => (cache.insert(FAM, 2, &full, fit(&full)), 2),
+                    Found::Hit { .. } => panic!("grown prompt cannot be an exact hit"),
+                };
+                let p = first_dist(frozen.as_ref());
+                cache.release(FAM, key);
+                p
+            })
+        };
+
+        let decoded_prefix = reader.join().expect("reader");
+        let decoded_full = grower.join().expect("grower");
+        assert_eq!(
+            bits(&decoded_prefix),
+            reference_prefix,
+            "an in-flight fork observed a refit mutation"
+        );
+        assert_eq!(
+            bits(&decoded_full),
+            reference_full,
+            "warm refit diverged from a cold fit of the grown prompt"
+        );
+
+        let s = cache.stats();
+        assert_eq!(s.refits + s.misses, 1, "one grown lookup, accounted once");
+        assert_eq!(cache.pins(FAM, 2), Some(0), "pins settle at the flush boundary");
+    });
+}

@@ -163,6 +163,15 @@ impl FrozenLm for ConcreteLm {
             ConcreteLm::Ppm(m) => Box::new(PpmSession::new(m)),
         }
     }
+
+    fn refit_extend(&mut self, tokens: &[TokenId]) -> bool {
+        // The live model observes directly; equivalent to the frozen
+        // backends' replay because fitting *is* observing.
+        for &t in tokens {
+            LanguageModel::observe(self, t, false);
+        }
+        true
+    }
 }
 
 #[cfg(test)]

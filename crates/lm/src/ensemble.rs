@@ -91,6 +91,13 @@ impl FrozenLm for FrozenEnsemble {
     fn fork(&self) -> Box<dyn DecodeSession + '_> {
         Box::new(EnsembleSession::new(self.members.iter().map(|(m, w)| (m.fork(), *w)).collect()))
     }
+
+    fn refit_extend(&mut self, tokens: &[TokenId]) -> bool {
+        // All members must refit or the ensemble state diverges from a
+        // from-scratch fit; the concrete members never fail, so in
+        // practice this is all-or-nothing only against exotic members.
+        self.members.iter_mut().all(|(m, _)| m.refit_extend(tokens))
+    }
 }
 
 /// One sample's decode cursor combining member [`DecodeSession`]s.

@@ -24,6 +24,7 @@
 //! `Small` ↔ Phi-2.
 
 pub mod bpe;
+pub mod cache;
 pub mod concrete;
 pub mod cost;
 pub mod ensemble;
@@ -39,6 +40,7 @@ pub mod tokenizer;
 pub mod vocab;
 
 pub use bpe::BpeTokenizer;
+pub use cache::{CacheConfig, CachePolicy, CacheStats, Found, LmCache, RefitMode};
 pub use concrete::ConcreteLm;
 pub use cost::InferenceCost;
 pub use ensemble::{EnsembleLm, EnsembleSession, FrozenEnsemble};

@@ -73,6 +73,30 @@ pub trait FrozenLm: Send + Sync {
     /// Starts an independent decode cursor on top of the frozen prompt
     /// context.
     fn fork(&self) -> Box<dyn DecodeSession + '_>;
+
+    /// Extends the frozen prompt context with `tokens` in place
+    /// (incremental refit), returning `true` on success.
+    ///
+    /// # Contract
+    ///
+    /// A successful refit must be **bit-identical** to a from-scratch
+    /// fit: after `refit_extend(suffix)` on a model fitted on `prefix`,
+    /// every observable — distributions from forked sessions, sampled
+    /// tokens under a fixed seed, and [`FrozenLm::prompt_cost`] — must
+    /// equal what fitting `prefix ++ suffix` in one pass would produce.
+    /// The concrete backends satisfy this by construction: fitting *is*
+    /// observing tokens one at a time, so replaying the suffix through
+    /// the same observe path lands in the identical state. The refit
+    /// tokens are accounted as prompt tokens (they extend the prompt).
+    ///
+    /// The default returns `false` (refit unsupported); callers must
+    /// fall back to a full fit. Wrappers that cannot uphold the
+    /// bit-identity contract (e.g. metering decorators holding a shared
+    /// inner model) keep the default.
+    fn refit_extend(&mut self, tokens: &[TokenId]) -> bool {
+        let _ = tokens;
+        false
+    }
 }
 
 /// One sample's decode cursor over a [`FrozenLm`].

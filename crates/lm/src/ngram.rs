@@ -110,6 +110,16 @@ impl FrozenLm for FrozenNGram {
     fn fork(&self) -> Box<dyn DecodeSession + '_> {
         Box::new(NGramSession::new(&self.base))
     }
+
+    fn refit_extend(&mut self, tokens: &[TokenId]) -> bool {
+        // Fitting is observing: replaying the suffix through the same
+        // observe path reaches the exact state a from-scratch fit on the
+        // extended prompt would (same counts, history, cost).
+        for &t in tokens {
+            self.base.observe(t, false);
+        }
+        true
+    }
 }
 
 /// One sample's decode cursor over a frozen [`NGramLm`].

@@ -92,6 +92,15 @@ impl FrozenLm for FrozenSuffix {
     fn fork(&self) -> Box<dyn DecodeSession + '_> {
         Box::new(SuffixSession::new(&self.base))
     }
+
+    fn refit_extend(&mut self, tokens: &[TokenId]) -> bool {
+        // Fitting is observing: appending the suffix to the stored
+        // context is exactly the state a from-scratch fit would build.
+        for &t in tokens {
+            self.base.observe(t, false);
+        }
+        true
+    }
 }
 
 /// One sample's decode cursor over a frozen [`SuffixLm`].

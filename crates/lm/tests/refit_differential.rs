@@ -1,0 +1,97 @@
+//! Differential property tests for the incremental-refit contract
+//! ([`FrozenLm::refit_extend`]): for every concrete backend, fitting
+//! `prefix ++ suffix` in one pass and fitting `prefix` then refitting
+//! with `suffix` must be indistinguishable — bit-identical
+//! distributions along a whole decode, identical sampled tokens under a
+//! fixed seed, and identical prompt accounting. This is the correctness
+//! heart of the multi-tenant context cache: a warm refit hit must serve
+//! the same bytes a cold fit would.
+
+use proptest::prelude::*;
+
+use mc_lm::model::FrozenLm;
+use mc_lm::presets::{fit_model, ModelPreset};
+use mc_lm::sampler::{Sampler, SamplerConfig};
+use mc_lm::vocab::TokenId;
+
+/// Decodes `steps` tokens from both models in lockstep, asserting the
+/// distributions agree bit-for-bit and the seeded samplers draw the
+/// same token at every step.
+fn assert_decodes_identically(
+    full: &dyn FrozenLm,
+    refit: &dyn FrozenLm,
+    vocab: usize,
+    steps: usize,
+    seed: u64,
+) {
+    let config = SamplerConfig { seed, ..SamplerConfig::default() };
+    let (mut draw_full, mut draw_refit) = (Sampler::new(config), Sampler::new(config));
+    let (mut a, mut b) = (full.fork(), refit.fork());
+    let (mut pa, mut pb) = (vec![0.0; vocab], vec![0.0; vocab]);
+    for step in 0..steps {
+        a.next_distribution(&mut pa);
+        b.next_distribution(&mut pb);
+        for (i, (x, y)) in pa.iter().zip(&pb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "step {step}, token {i}: refit distribution diverged ({x} vs {y})"
+            );
+        }
+        let ta = draw_full.sample(&pa, |_| true);
+        let tb = draw_refit.sample(&pb, |_| true);
+        assert_eq!(ta, tb, "step {step}: seeded draws diverged");
+        a.observe(ta);
+        b.observe(tb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// fit(prefix ++ suffix) == fit(prefix) + refit_extend(suffix), for
+    /// every preset, at arbitrary split points of arbitrary token
+    /// sequences.
+    #[test]
+    fn refit_extend_is_bit_identical_to_full_fit(
+        preset_idx in 0usize..ModelPreset::ALL.len(),
+        vocab in 2usize..12,
+        raw in prop::collection::vec(0u32..64, 2..80),
+        split_frac in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let preset = ModelPreset::ALL[preset_idx];
+        let tokens: Vec<TokenId> = raw.iter().map(|&t| t as TokenId % vocab as TokenId).collect();
+        // A non-trivial split: both halves non-empty.
+        let split = 1 + ((tokens.len() - 2) as f64 * split_frac) as usize;
+
+        let full = fit_model(preset, vocab, &tokens);
+        let mut refit = fit_model(preset, vocab, &tokens[..split]);
+        prop_assert!(refit.refit_extend(&tokens[split..]), "concrete backends support refit");
+
+        prop_assert_eq!(refit.prompt_cost(), full.prompt_cost(), "refit tokens are prompt tokens");
+        assert_decodes_identically(full.as_ref(), refit.as_ref(), vocab, 24, seed);
+    }
+
+    /// Refitting in several increments lands in the same state as one
+    /// increment (and hence, by the property above, as one full fit).
+    #[test]
+    fn chained_refits_compose(
+        preset_idx in 0usize..ModelPreset::ALL.len(),
+        vocab in 2usize..10,
+        raw in prop::collection::vec(0u32..64, 3..60),
+        seed in 0u64..1_000,
+    ) {
+        let preset = ModelPreset::ALL[preset_idx];
+        let tokens: Vec<TokenId> = raw.iter().map(|&t| t as TokenId % vocab as TokenId).collect();
+        let (a, b) = (tokens.len() / 3, 2 * tokens.len() / 3);
+
+        let full = fit_model(preset, vocab, &tokens);
+        let mut chained = fit_model(preset, vocab, &tokens[..a]);
+        prop_assert!(chained.refit_extend(&tokens[a..b]));
+        prop_assert!(chained.refit_extend(&tokens[b..]));
+
+        prop_assert_eq!(chained.prompt_cost(), full.prompt_cost());
+        assert_decodes_identically(full.as_ref(), chained.as_ref(), vocab, 16, seed);
+    }
+}

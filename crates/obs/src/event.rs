@@ -17,9 +17,11 @@
 //!   order precisely so these events qualify.
 //! - **Scheduler-scoped** events (`queue_wait`, `fit_dedup_hit`,
 //!   `session_cost`, `queue_full`, `breaker_trip`, `breaker_close`,
-//!   `breaker_reject`) depend on which worker ran first or which request
+//!   `breaker_reject`, `cache_hit`, `cache_miss`, `cache_refit`,
+//!   `cache_evict`) depend on which worker ran first or which request
 //!   happened to arrive ahead of its twin (queue-full rejection depends
-//!   on submission order; breaker transitions on outcome arrival). They
+//!   on submission order; breaker transitions on outcome arrival; cache
+//!   outcomes on which flush ran first against a shared handle). They
 //!   feed the metrics registry and the wall-clock (emission-order)
 //!   export only.
 
@@ -194,6 +196,27 @@ pub enum EventKind {
     /// A request was rejected at admission because its backend's breaker
     /// was open.
     BreakerReject,
+    /// A batch's context fit resolved to a frozen context cached by an
+    /// earlier flush (scheduler-scoped: warmth depends on flush history,
+    /// not request content).
+    CacheHit,
+    /// The cross-batch cache had no reusable context and a from-scratch
+    /// fit was paid (scheduler-scoped: the first flush misses, reruns
+    /// hit).
+    CacheMiss,
+    /// A cached context was delta-updated in place to cover a longer
+    /// prompt instead of refitting from scratch.
+    CacheRefit {
+        /// Tokens appended by the incremental refit.
+        appended: u64,
+        /// The context's refit epoch after this delta (monotone).
+        epoch: u64,
+    },
+    /// Unpinned contexts were evicted to make room for an insertion.
+    CacheEvict {
+        /// Entries evicted by this insertion.
+        evictions: u64,
+    },
 }
 
 impl EventKind {
@@ -218,6 +241,10 @@ impl EventKind {
             EventKind::BreakerTrip { .. } => "breaker_trip",
             EventKind::BreakerClose { .. } => "breaker_close",
             EventKind::BreakerReject => "breaker_reject",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheRefit { .. } => "cache_refit",
+            EventKind::CacheEvict { .. } => "cache_evict",
         }
     }
 
@@ -235,6 +262,10 @@ impl EventKind {
                 | EventKind::BreakerTrip { .. }
                 | EventKind::BreakerClose { .. }
                 | EventKind::BreakerReject
+                | EventKind::CacheHit
+                | EventKind::CacheMiss
+                | EventKind::CacheRefit { .. }
+                | EventKind::CacheEvict { .. }
         )
     }
 
@@ -260,7 +291,11 @@ impl EventKind {
             | EventKind::QueueFull
             | EventKind::BreakerTrip { .. }
             | EventKind::BreakerClose { .. }
-            | EventKind::BreakerReject => u8::MAX,
+            | EventKind::BreakerReject
+            | EventKind::CacheHit
+            | EventKind::CacheMiss
+            | EventKind::CacheRefit { .. }
+            | EventKind::CacheEvict { .. } => u8::MAX,
         }
     }
 
@@ -303,6 +338,10 @@ mod tests {
         assert!(!EventKind::BreakerTrip { trips: 1 }.deterministic());
         assert!(!EventKind::BreakerClose { trips: 1 }.deterministic());
         assert!(!EventKind::BreakerReject.deterministic());
+        assert!(!EventKind::CacheHit.deterministic());
+        assert!(!EventKind::CacheMiss.deterministic());
+        assert!(!EventKind::CacheRefit { appended: 4, epoch: 1 }.deterministic());
+        assert!(!EventKind::CacheEvict { evictions: 1 }.deterministic());
         assert!(EventKind::ContextFit { prompt_tokens: 1, work_units: 2 }.deterministic());
         assert!(EventKind::Fallback.deterministic());
         assert!(EventKind::QuorumResolve { valid: 1, required: 1, met: true }.deterministic());

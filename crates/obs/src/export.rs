@@ -110,6 +110,13 @@ fn body(event: &TraceEvent) -> String {
         EventKind::BreakerTrip { trips } | EventKind::BreakerClose { trips } => {
             let _ = write!(s, ",\"trips\":{trips}");
         }
+        EventKind::CacheHit | EventKind::CacheMiss => {}
+        EventKind::CacheRefit { appended, epoch } => {
+            let _ = write!(s, ",\"appended\":{appended},\"epoch\":{epoch}");
+        }
+        EventKind::CacheEvict { evictions } => {
+            let _ = write!(s, ",\"evictions\":{evictions}");
+        }
     }
     s
 }
@@ -207,6 +214,10 @@ mod tests {
             EventKind::BreakerTrip { trips: 1 },
             EventKind::BreakerClose { trips: 1 },
             EventKind::BreakerReject,
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::CacheRefit { appended: 8, epoch: 1 },
+            EventKind::CacheEvict { evictions: 2 },
         ];
         for kind in kinds {
             let line = body(&TraceEvent { req: 0xabc, ctx: 0xdef, kind });

@@ -77,11 +77,19 @@ pub enum Counter {
     BreakerCloses,
     /// Requests rejected at admission while a breaker was open.
     BreakerRejections,
+    /// Context fits served from the cross-batch frozen-context cache.
+    CacheHits,
+    /// Context fits the cache could not serve (from-scratch fit paid).
+    CacheMisses,
+    /// Cached contexts delta-updated in place by incremental refit.
+    CacheRefits,
+    /// Cache entries evicted to make room for insertions.
+    CacheEvictions,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 33] = [
         Counter::Events,
         Counter::QueueWaits,
         Counter::DedupHits,
@@ -111,6 +119,10 @@ impl Counter {
         Counter::BreakerTrips,
         Counter::BreakerCloses,
         Counter::BreakerRejections,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheRefits,
+        Counter::CacheEvictions,
     ];
 
     /// Stable snake_case name for snapshots.
@@ -145,6 +157,10 @@ impl Counter {
             Counter::BreakerTrips => "breaker_trips",
             Counter::BreakerCloses => "breaker_closes",
             Counter::BreakerRejections => "breaker_rejections",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheRefits => "cache_refits",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 }
@@ -329,6 +345,12 @@ impl MetricsRegistry {
             EventKind::BreakerTrip { .. } => self.incr(Counter::BreakerTrips),
             EventKind::BreakerClose { .. } => self.incr(Counter::BreakerCloses),
             EventKind::BreakerReject => self.incr(Counter::BreakerRejections),
+            EventKind::CacheHit => self.incr(Counter::CacheHits),
+            EventKind::CacheMiss => self.incr(Counter::CacheMisses),
+            EventKind::CacheRefit { .. } => self.incr(Counter::CacheRefits),
+            EventKind::CacheEvict { evictions } => {
+                self.add(Counter::CacheEvictions, evictions);
+            }
         }
     }
 
@@ -482,8 +504,12 @@ mod tests {
         reg.record_event(&ev(EventKind::BreakerTrip { trips: 1 }));
         reg.record_event(&ev(EventKind::BreakerClose { trips: 1 }));
         reg.record_event(&ev(EventKind::BreakerReject));
+        reg.record_event(&ev(EventKind::CacheHit));
+        reg.record_event(&ev(EventKind::CacheMiss));
+        reg.record_event(&ev(EventKind::CacheRefit { appended: 12, epoch: 1 }));
+        reg.record_event(&ev(EventKind::CacheEvict { evictions: 3 }));
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("events"), 18);
+        assert_eq!(snap.counter("events"), 22);
         assert_eq!(snap.counter("queue_waits"), 1);
         assert_eq!(snap.counter("fit_dedup_hits"), 1);
         assert_eq!(snap.counter("sessions"), 1);
@@ -506,6 +532,10 @@ mod tests {
         assert_eq!(snap.counter("breaker_trips"), 1);
         assert_eq!(snap.counter("breaker_closes"), 1);
         assert_eq!(snap.counter("breaker_rejections"), 1);
+        assert_eq!(snap.counter("cache_hits"), 1);
+        assert_eq!(snap.counter("cache_misses"), 1);
+        assert_eq!(snap.counter("cache_refits"), 1);
+        assert_eq!(snap.counter("cache_evictions"), 3);
         assert_eq!(reg.queue_wait().count(), 1);
         assert_eq!(reg.attempt_tokens().sum(), 7);
     }

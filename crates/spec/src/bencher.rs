@@ -11,9 +11,9 @@
 //! [`gate`] implements the `cargo xtask bench-gate` comparison: a
 //! current report regresses against a committed baseline when a
 //! latency/accuracy metric (key starting with `p99` or containing
-//! `rmse`) rises beyond tolerance, a throughput metric (key starting
-//! with `throughput`) falls beyond tolerance, or a baseline metric
-//! disappears.
+//! `rmse`) rises beyond tolerance, a throughput or cache-efficiency
+//! metric (key starting with `throughput` or `hit_rate`) falls beyond
+//! tolerance, or a baseline metric disappears.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -126,7 +126,7 @@ impl BenchReport {
 fn direction(key: &str) -> Option<Direction> {
     if key.starts_with("p99") || key.contains("rmse") {
         Some(Direction::LowerIsBetter)
-    } else if key.starts_with("throughput") {
+    } else if key.starts_with("throughput") || key.starts_with("hit_rate") {
         Some(Direction::HigherIsBetter)
     } else {
         None
@@ -186,6 +186,7 @@ mod tests {
         r.push("completed", 19.0)
             .push("p99_spend_tokens", 432.0)
             .push("throughput_tokens_per_event", 12.5)
+            .push("hit_rate", 0.66)
             .push("rmse_mean", 2.78);
         r
     }
@@ -217,6 +218,7 @@ mod tests {
         near.metrics = vec![
             ("p99_spend_tokens".into(), 432.0 * 1.05),
             ("throughput_tokens_per_event".into(), 12.5 * 0.95),
+            ("hit_rate".into(), 0.66 * 0.95),
             ("rmse_mean".into(), 2.78),
         ];
         assert!(gate(&base, &near, 0.10).is_empty());
@@ -229,10 +231,11 @@ mod tests {
         slow.metrics = vec![
             ("p99_spend_tokens".into(), 432.0 * 1.2),
             ("throughput_tokens_per_event".into(), 12.5 * 0.8),
+            ("hit_rate".into(), 0.66 * 0.8),
             ("rmse_mean".into(), 2.78 * 1.2),
         ];
         let msgs = gate(&base, &slow, 0.10);
-        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert_eq!(msgs.len(), 4, "{msgs:?}");
         // Non-gated counters may drift freely.
         let mut drift = sample();
         drift.metrics[0].1 = 5.0; // completed

@@ -13,8 +13,9 @@ use multicast_core::robust::FaultProfile;
 use multicast_core::{BreakerPolicy, ForecastConfig, MuxMethod, ServeConfig};
 
 use mc_datasets::PaperDataset;
+use mc_lm::cache::{CacheConfig, CachePolicy, RefitMode};
 
-use crate::spec::{ScenarioKind, ScenarioSpec};
+use crate::spec::{CachePolicyToken, CacheRefitToken, CacheSpec, ScenarioKind, ScenarioSpec};
 
 /// A spec lowered onto the concrete configuration types.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +92,7 @@ impl Lowered {
                 Some(true) | None => default_breaker(kind),
                 Some(false) => None,
             },
+            cache: lower_cache(&spec.cache, kind),
         };
         let (waves, per_wave) = default_load(kind, fast);
         Lowered {
@@ -111,6 +113,31 @@ impl Lowered {
                 .unwrap_or_else(|| default_samples_sweep(kind)),
         }
     }
+}
+
+/// Resolves the `[cache]` section onto `mc-lm`'s [`CacheConfig`]. The
+/// cache engages for `cache_reuse` scenarios by default, and for any
+/// scenario whose spec sets a `[cache]` key; everything else serves
+/// cold (`None`), matching the pre-cache bins.
+fn lower_cache(spec: &CacheSpec, kind: ScenarioKind) -> Option<CacheConfig> {
+    if kind != ScenarioKind::CacheReuse && *spec == CacheSpec::default() {
+        return None;
+    }
+    let base = CacheConfig::default();
+    Some(CacheConfig {
+        capacity: spec.capacity.unwrap_or(base.capacity),
+        shards: spec.shards.unwrap_or(base.shards),
+        policy: match spec.policy {
+            Some(CachePolicyToken::Lru) => CachePolicy::Lru,
+            Some(CachePolicyToken::Slru) => CachePolicy::Slru,
+            None => base.policy,
+        },
+        refit: match spec.refit {
+            Some(CacheRefitToken::Incremental) => RefitMode::Incremental,
+            Some(CacheRefitToken::Rebuild) => RefitMode::Rebuild,
+            None => base.refit,
+        },
+    })
 }
 
 fn default_samples(kind: ScenarioKind, fast: bool) -> usize {
@@ -134,7 +161,9 @@ fn default_seed(kind: ScenarioKind) -> u64 {
         // Chaos requests seed from 9000 + request index.
         ScenarioKind::ServeChaos => 9000,
         // Serving studies seed requests from 1000 + request index.
-        ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry => 1000,
+        ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry | ScenarioKind::CacheReuse => {
+            1000
+        }
         _ => ForecastConfig::default().seed,
     }
 }
@@ -155,7 +184,10 @@ fn default_backoff(kind: ScenarioKind) -> u32 {
 
 fn default_workers(kind: ScenarioKind) -> usize {
     match kind {
-        ScenarioKind::ServeChaos | ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry => 8,
+        ScenarioKind::ServeChaos
+        | ScenarioKind::ConcurrentServing
+        | ScenarioKind::Telemetry
+        | ScenarioKind::CacheReuse => 8,
         _ => ServeConfig::default().workers,
     }
 }
@@ -202,6 +234,15 @@ fn default_load(kind: ScenarioKind, fast: bool) -> (usize, usize) {
         }
         // Telemetry serves one 8-request batch.
         ScenarioKind::Telemetry => (1, 8),
+        // The cache study needs ≥ 2 waves (so the second is warm) at
+        // R ≥ 8 per wave — the acceptance geometry of the bench gate.
+        ScenarioKind::CacheReuse => {
+            if fast {
+                (2, 8)
+            } else {
+                (3, 8)
+            }
+        }
         _ => (1, 1),
     }
 }
@@ -267,6 +308,27 @@ mod tests {
         assert_eq!(pinned.serve.queue_cap, Some(9));
         assert_eq!(pinned.serve.submit_cap, Some(11));
         assert_eq!(pinned.waves, 4);
+    }
+
+    #[test]
+    fn cache_reuse_defaults_enable_the_cache_at_gate_geometry() {
+        let l = Lowered::lower(&ScenarioSpec::new(ScenarioKind::CacheReuse), false);
+        assert_eq!(l.serve.workers, 8);
+        assert_eq!(l.config.seed, 1000);
+        assert_eq!(l.serve.cache, Some(CacheConfig::default()));
+        assert_eq!((l.waves, l.per_wave), (3, 8));
+        // Fast keeps the gate geometry: ≥ 2 waves of ≥ 8 requests.
+        let fast = Lowered::lower(&ScenarioSpec::new(ScenarioKind::CacheReuse), true);
+        assert_eq!((fast.waves, fast.per_wave), (2, 8));
+        // Other kinds stay cold unless the spec asks for a cache.
+        assert_eq!(
+            Lowered::lower(&ScenarioSpec::new(ScenarioKind::Telemetry), false).serve.cache,
+            None
+        );
+        let mut spec = ScenarioSpec::new(ScenarioKind::Telemetry);
+        spec.cache.capacity = Some(4);
+        let warmed = Lowered::lower(&spec, false);
+        assert_eq!(warmed.serve.cache.unwrap().capacity, 4);
     }
 
     #[test]

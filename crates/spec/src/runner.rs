@@ -5,8 +5,8 @@
 //! ([`Lowered::lower`]) and dispatches on [`ScenarioKind`]. Scenarios
 //! that only drive forecaster traits live in [`scenarios`](crate::scenarios);
 //! the ones that exercise the engine split or the serve scheduler
-//! (prompt reuse, concurrent serving, telemetry, serve chaos) are
-//! implemented here, because the `no-adhoc-bench` lint forbids every
+//! (prompt reuse, concurrent serving, telemetry, serve chaos, cache
+//! reuse) are implemented here, because the `no-adhoc-bench` lint forbids every
 //! other bench module — and every bench *bin* — from naming those seams
 //! directly (see `mc-lint.allow`).
 //!
@@ -20,16 +20,21 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use mc_datasets::generators::sinusoids;
 use mc_datasets::PaperDataset;
+use mc_lm::cache::CacheStats;
 use mc_obs::{NoopRecorder, Observer, Recorder};
 use mc_tslib::error::TsError;
 use mc_tslib::forecast::MultivariateForecaster;
+use mc_tslib::series::MultivariateSeries;
 use mc_tslib::split::holdout_split;
 use multicast_core::codec::{Codec, DigitCodec};
 use multicast_core::engine::PreparedBackend;
 use multicast_core::pipeline::run_continuation;
 use multicast_core::robust::DefectClass;
-use multicast_core::serve::{serve_all, serve_all_observed, ForecastRequest, ServeHandle};
+use multicast_core::serve::{
+    serve_all, serve_all_observed, ForecastRequest, ServeHandle, ServeOutcome,
+};
 use multicast_core::{ForecastConfig, ForecastEngine, MultiCastForecaster, Priority, ServeConfig};
 
 use crate::bencher::BenchReport;
@@ -199,6 +204,7 @@ impl Runner {
             ScenarioKind::ConcurrentServing => self.concurrent_serving(&l),
             ScenarioKind::Telemetry => self.telemetry(&l),
             ScenarioKind::ServeChaos => self.serve_chaos(&l),
+            ScenarioKind::CacheReuse => self.cache_reuse(&l),
         }
     }
 
@@ -663,6 +669,263 @@ impl Runner {
                 "throughput_tokens_per_event",
                 generated_tokens as f64 / (trace_events.max(1)) as f64,
             );
+        RunSummary::of(l, vec![path], Some(bench), &self.opts)
+    }
+
+    /// The cache-reuse study (`results/cache_reuse.md`): the same
+    /// `waves x per_wave` load over one shared history served warm (one
+    /// `ServeHandle`, cross-batch cache on) and cold (cache off), with
+    /// warm-vs-cold bit-identity, canonical-trace determinism across
+    /// worker counts, and an exact hit/miss ledger asserted rather than
+    /// reported. An incremental-refit probe on a grown synthetic history
+    /// closes the loop: the refit context must forecast bit-identically
+    /// to a cold fit of the grown history.
+    fn cache_reuse(&self, l: &Lowered) -> Result<RunSummary, RunError> {
+        let workers = l.serve.workers;
+        let (waves, per_wave) = (l.waves, l.per_wave);
+        let submitted = waves * per_wave;
+        if l.serve.cache.is_none() {
+            return Err(RunError::invariant("cache_reuse lowers a cache config"));
+        }
+
+        let series = l.dataset.load();
+        let (train, test) = holdout_split(&series, TEST_FRACTION)?;
+        let horizon = test.len().min(8);
+        let load: Vec<Vec<ForecastRequest>> = (0..waves)
+            .map(|w| {
+                (0..per_wave)
+                    .map(|i| {
+                        let n = w * per_wave + i;
+                        let mut config = l.config;
+                        config.seed = l.config.seed + n as u64;
+                        ForecastRequest::digit(train.clone(), horizon, l.mux, config)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        struct Pass {
+            outcomes: Vec<ServeOutcome>,
+            trace: String,
+            stats: Option<CacheStats>,
+            seconds: f64,
+        }
+
+        // One pass of the full load through a single handle: warm keeps
+        // the lowered cache, cold serves the identical load with the
+        // cache off. Flush boundaries and workers match, so canonical
+        // traces must agree byte-for-byte (cache events are
+        // scheduler-scoped, and a warm hit re-uses the cold context
+        // fingerprint).
+        let run = |warm: bool, w: usize| -> Result<Pass, RunError> {
+            let obs = Arc::new(Observer::logical());
+            let config =
+                ServeConfig { workers: w, cache: l.serve.cache.filter(|_| warm), ..l.serve };
+            let mut handle = ServeHandle::with_recorder(config, obs.clone());
+            let (ids, seconds) = timed(|| {
+                let mut ids = Vec::with_capacity(submitted);
+                for wave in &load {
+                    for request in wave {
+                        ids.push(handle.submit(request.clone()));
+                    }
+                    handle.flush();
+                }
+                ids
+            });
+            let outcomes =
+                ids.iter().map(|&id| handle.collect(id)).collect::<Result<Vec<_>, _>>().map_err(
+                    |e| RunError::invariant(format!("every submitted id collects: {e}")),
+                )?;
+            Ok(Pass { outcomes, trace: obs.to_jsonl(), stats: handle.cache_stats(), seconds })
+        };
+
+        let mut cold = run(false, workers)?;
+        let mut warm = run(true, workers)?;
+        // Best-of-3 wall clock, as everywhere else; the fast smoke run
+        // keeps one timing sample.
+        if !self.opts.fast {
+            for _ in 0..2 {
+                cold.seconds = cold.seconds.min(run(false, workers)?.seconds);
+                warm.seconds = warm.seconds.min(run(true, workers)?.seconds);
+            }
+        }
+
+        if cold.stats.is_some() {
+            return Err(RunError::invariant("cold run must not build a cache"));
+        }
+        if warm.trace != cold.trace {
+            return Err(RunError::invariant("warm canonical trace diverged from cold"));
+        }
+        for w in [1usize, 2] {
+            if w != workers && run(true, w)?.trace != warm.trace {
+                return Err(RunError::invariant(format!(
+                    "{w} workers changed the warm canonical trace"
+                )));
+            }
+        }
+
+        let mut spends: Vec<u64> = Vec::new();
+        let mut prompt_tokens = 0u64;
+        let mut generated_tokens = 0u64;
+        for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+            let a = c
+                .forecast
+                .as_ref()
+                .map_err(|e| RunError::invariant(format!("cold forecast: {e}")))?;
+            let b = w
+                .forecast
+                .as_ref()
+                .map_err(|e| RunError::invariant(format!("warm forecast: {e}")))?;
+            if c.cost != w.cost {
+                return Err(RunError::invariant("warm cost accounting diverged from cold"));
+            }
+            for d in 0..a.dims() {
+                let (x, y) = (a.column(d)?, b.column(d)?);
+                if !x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()) {
+                    return Err(RunError::invariant("warm forecast diverged from cold"));
+                }
+            }
+            prompt_tokens += w.cost.prompt_tokens;
+            generated_tokens += w.cost.generated_tokens;
+            spends.push(w.cost.generated_tokens);
+        }
+        spends.sort_unstable();
+
+        // Exact ledger: one shared history means one lookup per wave —
+        // the first misses and fits, every later wave hits. Nothing may
+        // have been evicted (the load uses a single context).
+        let stats = warm.stats.expect("warm run exposes cache stats");
+        if (stats.hits, stats.misses, stats.insertions, stats.evictions)
+            != ((waves - 1) as u64, 1, 1, 0)
+        {
+            return Err(RunError::invariant(format!("unexpected cache ledger: {stats:?}")));
+        }
+
+        // Incremental-refit probe. The sinusoid extension keeps each
+        // column's min/max (hence the digit scaling) stable, so the
+        // longer prompt strictly extends the shorter one and the cache
+        // refits the resident context in place instead of refitting
+        // from scratch.
+        let probe = |n: usize| -> Result<ForecastRequest, RunError> {
+            let a = sinusoids(n, &[(1.0, 12.0, 0.0)]);
+            let b: Vec<f64> = a.iter().map(|&v| 4.0 + 0.5 * v).collect();
+            let grown = MultivariateSeries::from_columns(vec!["a".into(), "b".into()], vec![a, b])?;
+            let config = ForecastConfig {
+                samples: l.config.samples,
+                seed: l.config.seed,
+                ..ForecastConfig::default()
+            };
+            Ok(ForecastRequest::digit(grown, 6, l.mux, config))
+        };
+        let mut handle = ServeHandle::with_recorder(l.serve, Arc::new(Observer::logical()));
+        let short = handle.submit(probe(48)?);
+        handle.flush();
+        let grown = handle.submit(probe(52)?);
+        handle.flush();
+        let refit_stats = handle.cache_stats().expect("probe handle exposes cache stats");
+        if (refit_stats.refits, refit_stats.insertions) != (1, 1) {
+            return Err(RunError::invariant(format!(
+                "probe expected one incremental refit: {refit_stats:?}"
+            )));
+        }
+        handle
+            .collect(short)
+            .map_err(|e| RunError::invariant(format!("probe short request: {e}")))?;
+        let warm_grown = handle
+            .collect(grown)
+            .map_err(|e| RunError::invariant(format!("probe grown request: {e}")))?;
+        let cold_grown = serve_all(&[probe(52)?], &ServeConfig { cache: None, ..l.serve });
+        let a = warm_grown
+            .forecast
+            .map_err(|e| RunError::invariant(format!("probe refit forecast: {e}")))?;
+        let b = cold_grown.outcomes[0]
+            .forecast
+            .as_ref()
+            .map_err(|e| RunError::invariant(format!("probe cold forecast: {e}")))?;
+        for d in 0..a.dims() {
+            let (x, y) = (a.column(d)?, b.column(d)?);
+            if !x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()) {
+                return Err(RunError::invariant(
+                    "incremental refit diverged from a cold fit of the grown history",
+                ));
+            }
+        }
+
+        // Fit-normalized throughput: requests served per context fit.
+        // Cold fits once per wave; warm fits once for the whole run.
+        let warm_fits = (stats.misses + stats.refits).max(1);
+        let warm_rpf = submitted as f64 / warm_fits as f64;
+        let cold_rpf = per_wave as f64;
+
+        let mut t = Table::new(
+            format!(
+                "Cache reuse — {waves} x {per_wave} requests over one shared context, \
+                 {workers} workers"
+            ),
+            &["measure", "value", "check"],
+        );
+        t.row(vec![
+            "submitted / completed".into(),
+            format!("{submitted} / {submitted}"),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "cache hits / misses / evictions".into(),
+            format!("{} / {} / {}", stats.hits, stats.misses, stats.evictions),
+            "exact ledger asserted".into(),
+        ]);
+        t.row(vec!["hit rate".into(), format!("{:.3}", stats.hit_rate()), "gated".into()]);
+        t.row(vec!["requests per context fit (cold)".into(), format!("{cold_rpf:.0}"), "-".into()]);
+        t.row(vec!["requests per context fit (warm)".into(), format!("{warm_rpf:.0}"), "-".into()]);
+        t.row(vec![
+            "warm / cold fit throughput".into(),
+            format!("{:.2}x", warm_rpf / cold_rpf),
+            "gated".into(),
+        ]);
+        t.row(vec![
+            "p99 spend (generated tokens)".into(),
+            percentile(&spends, 0.99).to_string(),
+            "gated".into(),
+        ]);
+        t.row(vec![
+            "incremental refits (grown-history probe)".into(),
+            refit_stats.refits.to_string(),
+            "bit-identical to cold fit".into(),
+        ]);
+        t.row(vec![
+            "warm vs cold forecasts & costs".into(),
+            "byte-identical".into(),
+            "asserted".into(),
+        ]);
+        t.row(vec![
+            "trace determinism (1/2/N workers, warm vs cold)".into(),
+            format!("{} events", warm.trace.lines().count()),
+            "byte-identical".into(),
+        ]);
+        t.row(vec![
+            "wall clock cold -> warm".into(),
+            format!("{} -> {}", format_seconds(cold.seconds), format_seconds(warm.seconds)),
+            format!("{:.2}x", cold.seconds / warm.seconds),
+        ]);
+        let path = t.emit(&self.opts.results_dir, "cache_reuse.md")?;
+
+        let mut bench = BenchReport::new(l.kind, &l.name);
+        bench
+            .push("submitted", submitted as f64)
+            .push("completed", submitted as f64)
+            .push("cache_hits", stats.hits as f64)
+            .push("cache_misses", stats.misses as f64)
+            .push("cache_insertions", stats.insertions as f64)
+            .push("cache_evictions", stats.evictions as f64)
+            .push("probe_refits", refit_stats.refits as f64)
+            .push("hit_rate", stats.hit_rate())
+            .push("throughput_requests_per_fit_cold", cold_rpf)
+            .push("throughput_requests_per_fit_warm", warm_rpf)
+            .push("throughput_warm_over_cold", warm_rpf / cold_rpf)
+            .push("p99_spend_tokens", percentile(&spends, 0.99) as f64)
+            .push("prompt_tokens", prompt_tokens as f64)
+            .push("generated_tokens", generated_tokens as f64)
+            .push("trace_events", warm.trace.lines().count() as f64);
         RunSummary::of(l, vec![path], Some(bench), &self.opts)
     }
 }

@@ -91,11 +91,13 @@ pub enum ScenarioKind {
     Telemetry,
     /// Saturating fault-injected overload drill (`results/serve_chaos.md`).
     ServeChaos,
+    /// Warm-vs-cold context-cache sweep (`results/cache_reuse.md`).
+    CacheReuse,
 }
 
 impl ScenarioKind {
     /// Every kind, in documentation order.
-    pub const ALL: [ScenarioKind; 19] = [
+    pub const ALL: [ScenarioKind; 20] = [
         ScenarioKind::Table(1),
         ScenarioKind::Table(2),
         ScenarioKind::Table(3),
@@ -115,6 +117,7 @@ impl ScenarioKind {
         ScenarioKind::ConcurrentServing,
         ScenarioKind::Telemetry,
         ScenarioKind::ServeChaos,
+        ScenarioKind::CacheReuse,
     ];
 
     /// The kind's spec token (`scenario = <token>`).
@@ -131,6 +134,7 @@ impl ScenarioKind {
             ScenarioKind::ConcurrentServing => "concurrent_serving".into(),
             ScenarioKind::Telemetry => "telemetry".into(),
             ScenarioKind::ServeChaos => "serve_chaos".into(),
+            ScenarioKind::CacheReuse => "cache_reuse".into(),
         }
     }
 
@@ -151,6 +155,7 @@ impl ScenarioKind {
             "concurrent_serving" => Some(ScenarioKind::ConcurrentServing),
             "telemetry" => Some(ScenarioKind::Telemetry),
             "serve_chaos" => Some(ScenarioKind::ServeChaos),
+            "cache_reuse" => Some(ScenarioKind::CacheReuse),
             _ => None,
         }
     }
@@ -184,6 +189,39 @@ pub struct ServeSpec {
     pub waves: Option<usize>,
     /// Requests per wave in the generated load.
     pub per_wave: Option<usize>,
+}
+
+/// `[cache]` — the cross-batch frozen-context cache shape
+/// (`ServeConfig::cache` in `multicast-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSpec {
+    /// Maximum resident contexts across all shards.
+    pub capacity: Option<usize>,
+    /// Independent shard locks.
+    pub shards: Option<usize>,
+    /// Eviction policy (`lru` / `slru`).
+    pub policy: Option<CachePolicyToken>,
+    /// Refit behaviour for prefix-extended prompts
+    /// (`incremental` / `rebuild`).
+    pub refit: Option<CacheRefitToken>,
+}
+
+/// Spec token for the cache eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicyToken {
+    /// Plain least-recently-used.
+    Lru,
+    /// Segmented LRU (probationary entries evict first).
+    Slru,
+}
+
+/// Spec token for the cache refit mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheRefitToken {
+    /// Delta-update prefix-extended prompts in place.
+    Incremental,
+    /// Always refit extended prompts from scratch.
+    Rebuild,
 }
 
 /// One declarative scenario. Every field except `kind`/`name` is an
@@ -222,6 +260,8 @@ pub struct ScenarioSpec {
     pub robust: RobustSpec,
     /// Serve shape.
     pub serve: ServeSpec,
+    /// Cross-batch context-cache shape.
+    pub cache: CacheSpec,
 }
 
 impl ScenarioSpec {
@@ -242,6 +282,7 @@ impl ScenarioSpec {
             samples_sweep: None,
             robust: RobustSpec::default(),
             serve: ServeSpec::default(),
+            cache: CacheSpec::default(),
         }
     }
 
@@ -253,7 +294,7 @@ impl ScenarioSpec {
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let doc = grammar::parse(text)?;
         for name in doc.section_names() {
-            if name != "robust" && name != "serve" {
+            if name != "robust" && name != "serve" && name != "cache" {
                 return Err(SpecError::UnknownSection { name: name.to_string() });
             }
         }
@@ -272,6 +313,9 @@ impl ScenarioSpec {
         }
         for entry in doc.section(Some("serve")) {
             spec.apply_serve(entry)?;
+        }
+        for entry in doc.section(Some("cache")) {
+            spec.apply_cache(entry)?;
         }
         Ok(spec)
     }
@@ -340,6 +384,29 @@ impl ScenarioSpec {
             }
             "waves" => self.serve.waves = Some(num(e)?),
             "per_wave" => self.serve.per_wave = Some(num(e)?),
+            _ => return Err(unknown(e)),
+        }
+        Ok(())
+    }
+
+    fn apply_cache(&mut self, e: &Entry) -> Result<(), SpecError> {
+        match e.key.as_str() {
+            "capacity" => self.cache.capacity = Some(num(e)?),
+            "shards" => self.cache.shards = Some(num(e)?),
+            "policy" => {
+                self.cache.policy = Some(match e.value.as_str() {
+                    "lru" => CachePolicyToken::Lru,
+                    "slru" => CachePolicyToken::Slru,
+                    _ => return Err(bad(e, "expected lru / slru")),
+                });
+            }
+            "refit" => {
+                self.cache.refit = Some(match e.value.as_str() {
+                    "incremental" => CacheRefitToken::Incremental,
+                    "rebuild" => CacheRefitToken::Rebuild,
+                    _ => return Err(bad(e, "expected incremental / rebuild")),
+                });
+            }
             _ => return Err(unknown(e)),
         }
         Ok(())
@@ -418,6 +485,29 @@ impl fmt::Display for ScenarioSpec {
             }
             if let Some(p) = self.serve.per_wave {
                 writeln!(f, "per_wave = {p}")?;
+            }
+        }
+        if self.cache != CacheSpec::default() {
+            writeln!(f, "\n[cache]")?;
+            if let Some(c) = self.cache.capacity {
+                writeln!(f, "capacity = {c}")?;
+            }
+            if let Some(s) = self.cache.shards {
+                writeln!(f, "shards = {s}")?;
+            }
+            if let Some(p) = self.cache.policy {
+                let token = match p {
+                    CachePolicyToken::Lru => "lru",
+                    CachePolicyToken::Slru => "slru",
+                };
+                writeln!(f, "policy = {token}")?;
+            }
+            if let Some(r) = self.cache.refit {
+                let token = match r {
+                    CacheRefitToken::Incremental => "incremental",
+                    CacheRefitToken::Rebuild => "rebuild",
+                };
+                writeln!(f, "refit = {token}")?;
             }
         }
         Ok(())
@@ -570,6 +660,31 @@ mod tests {
         assert!(ScenarioSpec::parse("scenario = backtest\nfaults = rate=2.0\n").is_err());
         assert!(ScenarioSpec::parse("scenario = backtest\nsweep = \n").is_err());
         assert!(ScenarioSpec::parse("scenario = serve_chaos\n[serve]\nbreaker = maybe\n").is_err());
+    }
+
+    #[test]
+    fn cache_section_round_trips_through_display() {
+        let text = "scenario = cache_reuse\nseed = 4100\n\n[serve]\nworkers = 8\nwaves = 3\n\
+                    per_wave = 8\n\n[cache]\ncapacity = 16\nshards = 2\npolicy = slru\n\
+                    refit = incremental\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.kind, ScenarioKind::CacheReuse);
+        assert_eq!(spec.cache.capacity, Some(16));
+        assert_eq!(spec.cache.shards, Some(2));
+        assert_eq!(spec.cache.policy, Some(CachePolicyToken::Slru));
+        assert_eq!(spec.cache.refit, Some(CacheRefitToken::Incremental));
+        assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn cache_section_rejects_bad_values() {
+        assert!(ScenarioSpec::parse("scenario = cache_reuse\n[cache]\npolicy = fifo\n").is_err());
+        assert!(ScenarioSpec::parse("scenario = cache_reuse\n[cache]\nrefit = magic\n").is_err());
+        let err = ScenarioSpec::parse("scenario = cache_reuse\n[cache]\nbogus = 1\n").unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownKey { section: Some(s), .. } if s == "cache"),
+            "{err}"
+        );
     }
 
     #[test]

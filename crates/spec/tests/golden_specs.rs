@@ -28,6 +28,7 @@ fn spec_directory_is_complete_and_canonical() {
     let expected = [
         "ablation",
         "backtest",
+        "cache_reuse",
         "concurrent_serving",
         "fault_injection",
         "figures",
@@ -89,6 +90,24 @@ fn serve_chaos_spec_pins_the_old_bin_exactly() {
     let faults = lowered.faults.expect("chaos profile");
     assert_eq!((faults.rate, faults.seed, faults.latency_tokens), (0.3, 77, 8));
     assert_eq!(faults.quota_tokens, Some(2500));
+}
+
+/// The fully-pinned cache spec lowers to the same shape as the
+/// builder's bare kind defaults, and both keep the bench gate's
+/// geometry: at least two waves (so the later ones are warm) of at
+/// least eight requests each.
+#[test]
+fn cache_reuse_spec_pins_the_builder_defaults() {
+    let lowered = Lowered::lower(&load("cache_reuse"), false);
+    let defaults = Lowered::lower(&ScenarioSpec::new(ScenarioKind::CacheReuse), false);
+    assert_eq!(lowered, defaults, "specs/cache_reuse.spec drifted from the builder defaults");
+    assert_eq!(lowered.config.samples, 5);
+    assert_eq!(lowered.config.seed, 1000);
+    assert_eq!(lowered.serve.workers, 8);
+    assert_eq!(lowered.serve.cache, Some(mc_lm::cache::CacheConfig::default()));
+    assert_eq!((lowered.waves, lowered.per_wave), (3, 8));
+    let fast = Lowered::lower(&ScenarioSpec::new(ScenarioKind::CacheReuse), true);
+    assert!(fast.waves >= 2 && fast.per_wave >= 8, "--fast must keep the gate geometry");
 }
 
 #[test]

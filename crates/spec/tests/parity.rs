@@ -102,6 +102,40 @@ fn serve_chaos_bench_is_schedule_independent() {
     }
 }
 
+/// The cache study's BENCH file carries only logical-clock numbers (hit
+/// ledger, fit-normalized throughput, token spends), so it must be
+/// byte-identical across worker counts and repeats — at CI (`--fast`)
+/// scale, which keeps the gate geometry of >= 2 waves x >= 8 requests.
+#[test]
+fn cache_reuse_bench_is_schedule_independent() {
+    let mut renders: Vec<(usize, String)> = Vec::new();
+    for workers in [2usize, 8] {
+        for repeat in 0..if workers == 8 { 2 } else { 1 } {
+            let dir = scratch(&format!("cache-w{workers}-r{repeat}"));
+            let mut spec = ScenarioSpec::new(ScenarioKind::CacheReuse);
+            spec.serve.workers = Some(workers);
+            let opts = RunOptions { results_dir: dir.clone(), fast: true, ..RunOptions::default() };
+            let summary = Runner::new(opts).run(&spec).expect("cache reuse runs");
+            let bench = summary.bench.expect("cache reuse emits a BENCH report");
+            assert!(bench.metric("hit_rate").unwrap_or(0.0) > 0.0, "warm waves must hit");
+            assert!(
+                bench.metric("throughput_warm_over_cold").unwrap_or(0.0) >= 2.0,
+                "warm serving must at least double fit-normalized throughput"
+            );
+            renders.push((workers, bench.to_pretty()));
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+    let (_, reference) = &renders[0];
+    for (workers, render) in &renders[1..] {
+        assert_eq!(
+            render, reference,
+            "BENCH_cache_reuse.json changed at {workers} workers — a metric leaked \
+             scheduler state"
+        );
+    }
+}
+
 /// The tokenization study's BENCH report is deterministic across repeats
 /// (it has no serve path at all — pure single-threaded decode).
 #[test]

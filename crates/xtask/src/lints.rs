@@ -1,6 +1,6 @@
 //! mc-lint: deny-by-default workspace invariant lints.
 //!
-//! Seven rule families over the lexed token stream (see DESIGN.md §8):
+//! Eight rule families over the lexed token stream (see DESIGN.md §8):
 //!
 //! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
@@ -28,6 +28,14 @@
 //!   the `mc-spec` runner — the one allowlisted seam — so every bench
 //!   bin stays a thin spec wrapper and its numbers stay comparable.
 //!   Binary targets are **not** exempt: the rule exists for them.
+//! - **`no-direct-fit`** — inside serve-land (`crates/core/src/serve.rs`,
+//!   `sched.rs`, `overload.rs`), no direct context-fit entry points:
+//!   `PreparedBackend::fit` / `fit_metered` / `fit_metered_observed` /
+//!   `from_frozen` / `meter_observed` / `fit_model`. The serve path must
+//!   fit every context through the one `fit_context` seam (allowlisted),
+//!   where the cross-batch cache, pin accounting and cost metering are
+//!   applied uniformly — a direct fit would silently bypass cache reuse
+//!   and break the warm-equals-cold trace identity.
 //! - **`single-construction`** — exactly one construction site for
 //!   `SampleExpectations` (a struct literal) and one definition of
 //!   `continuation_spec` in production code, so the validation contract
@@ -49,6 +57,7 @@ pub enum Rule {
     NoDirectSync,
     NoUnboundedQueue,
     NoAdhocBench,
+    NoDirectFit,
     SingleConstruction,
 }
 
@@ -62,6 +71,7 @@ impl Rule {
             Rule::NoDirectSync => "no-direct-sync",
             Rule::NoUnboundedQueue => "no-unbounded-queue",
             Rule::NoAdhocBench => "no-adhoc-bench",
+            Rule::NoDirectFit => "no-direct-fit",
             Rule::SingleConstruction => "single-construction",
         }
     }
@@ -75,6 +85,7 @@ impl Rule {
             "no-direct-sync" => Some(Rule::NoDirectSync),
             "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
             "no-adhoc-bench" => Some(Rule::NoAdhocBench),
+            "no-direct-fit" => Some(Rule::NoDirectFit),
             "single-construction" => Some(Rule::SingleConstruction),
             _ => None,
         }
@@ -204,6 +215,10 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let in_bin = path.contains("/bin/") || path.ends_with("/main.rs");
     let in_bench_land = path.starts_with("crates/bench/") || path.starts_with("crates/spec/");
+    let in_serve_land =
+        ["crates/core/src/serve", "crates/core/src/sched", "crates/core/src/overload"]
+            .iter()
+            .any(|p| path.starts_with(p));
     for (i, is_exempt) in exempt.iter().enumerate() {
         if *is_exempt {
             continue;
@@ -214,6 +229,9 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
         if in_bench_land {
             no_adhoc_bench(path, &tokens, i, &mut out);
+        }
+        if in_serve_land {
+            no_direct_fit(path, &tokens, i, &mut out);
         }
         no_wallclock(path, &tokens, i, &mut out);
         no_direct_sync(path, &tokens, i, &mut out);
@@ -393,6 +411,54 @@ fn no_adhoc_bench(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violatio
                  mc-spec runner so the scenario stays declarative and gated",
                 t.text
             ),
+        ));
+    }
+}
+
+/// Flags direct context-fit entry points in serve-land: the metered fit
+/// constructors (`fit_metered_observed`, `fit_metered`, `from_frozen`,
+/// `meter_observed`, `fit_model`) and the qualified `PreparedBackend::fit`
+/// path. The `fit_context` seam is the one allowlisted caller; every
+/// other serve-path fit must route through it so cache reuse, pinning
+/// and cost metering cannot be bypassed. The bare identifier `fit` is
+/// deliberately not matched — codec fits (`codec.fit(..)`) are a
+/// different, uncached contract.
+fn no_direct_fit(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
+    let t = &tokens[i];
+    if t.kind != Kind::Ident {
+        return;
+    }
+    let banned = matches!(
+        t.text.as_str(),
+        "fit_metered_observed" | "fit_metered" | "from_frozen" | "meter_observed" | "fit_model"
+    );
+    if banned {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoDirectFit,
+            &t.text,
+            format!(
+                "{} called directly in serve-land: every serve-path context fit must go \
+                 through the fit_context seam so the cross-batch cache and cost metering \
+                 cannot be bypassed",
+                t.text
+            ),
+        ));
+    } else if t.text == "PreparedBackend"
+        && next_is_punct(tokens, i, ':')
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident("fit"))
+    {
+        out.push(violation(
+            path,
+            t,
+            Rule::NoDirectFit,
+            "PreparedBackend::fit",
+            "PreparedBackend::fit called directly in serve-land: every serve-path context \
+             fit must go through the fit_context seam so the cross-batch cache and cost \
+             metering cannot be bypassed"
+                .to_string(),
         ));
     }
 }
@@ -584,6 +650,27 @@ mod tests {
         // `observe_all` is a different identifier, not a match.
         let near = "fn main() { observe_all(&mut m, &p); }";
         assert!(lint_file("crates/spec/src/scenarios.rs", near).is_empty());
+    }
+
+    #[test]
+    fn direct_fit_applies_only_in_serve_land_and_spares_codec_fits() {
+        let src = "fn f() { let b = PreparedBackend::fit(&spec); let m = b.meter_observed(l, o, 7); let c = codec.fit(&train); }";
+        let v = lint_file("crates/core/src/serve.rs", src);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["PreparedBackend::fit", "meter_observed"]);
+        assert!(v.iter().all(|v| v.rule == Rule::NoDirectFit));
+        // sched.rs and overload.rs are serve-land too.
+        assert_eq!(lint_file("crates/core/src/sched.rs", src).len(), 2);
+        assert_eq!(lint_file("crates/core/src/overload.rs", src).len(), 2);
+        // Outside serve-land the engine's own constructors are fair game.
+        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
+        assert!(lint_file("crates/lm/src/presets.rs", "fn g() { fit_model(p, v, &t); }").is_empty());
+        // `PreparedBackend::fit_metered_observed` flags once (the metered
+        // constructor), not twice — `fit` must be the exact method name.
+        let metered = "fn h() { PreparedBackend::fit_metered_observed(&s, l, o, 1); }";
+        let v = lint_file("crates/core/src/serve.rs", metered);
+        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
+        assert_eq!(symbols, vec!["fit_metered_observed"]);
     }
 
     #[test]

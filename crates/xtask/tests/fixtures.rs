@@ -13,6 +13,7 @@ const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
 const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
 const QUEUE_FIXTURE: &str = include_str!("fixtures/unbounded_queue.rs");
 const ADHOC_FIXTURE: &str = include_str!("fixtures/adhoc_bench.rs");
+const DIRECT_FIT_FIXTURE: &str = include_str!("fixtures/direct_fit.rs");
 
 /// `(rule, symbol, line)` triples, sorted, for compact assertions.
 fn shape(violations: &[Violation]) -> Vec<(&'static str, String, usize)> {
@@ -130,6 +131,38 @@ fn adhoc_bench_fixture_flags_bins_in_bench_land_only() {
 }
 
 #[test]
+fn direct_fit_fixture_flags_serve_land_only() {
+    // Under the serve.rs path every raw fit entry point is flagged; the
+    // codec fit on line 12 and the test-span fits are not.
+    let got = shape(&lint_file("crates/core/src/serve.rs", DIRECT_FIT_FIXTURE));
+    assert_eq!(
+        got,
+        vec![
+            ("no-direct-fit", "PreparedBackend::fit".to_string(), 8),
+            ("no-direct-fit", "fit_metered_observed".to_string(), 9),
+            ("no-direct-fit", "fit_model".to_string(), 11),
+            ("no-direct-fit", "from_frozen".to_string(), 10),
+            ("no-direct-fit", "meter_observed".to_string(), 10),
+        ]
+    );
+    // The workspace allowlist suppresses the sanctioned fit_context seam
+    // per symbol, exactly like the real serve.rs entries.
+    let allow = Allowlist::parse(
+        "no-direct-fit crates/core/src/serve.rs PreparedBackend::fit -- fit_context seam\n\
+         no-direct-fit crates/core/src/serve.rs fit_metered_observed -- fit_context seam\n\
+         no-direct-fit crates/core/src/serve.rs from_frozen -- fit_context seam\n\
+         no-direct-fit crates/core/src/serve.rs meter_observed -- fit_context seam\n\
+         no-direct-fit crates/core/src/serve.rs fit_model -- fit_context seam\n",
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(lint_file("crates/core/src/serve.rs", DIRECT_FIT_FIXTURE));
+    assert!(kept.is_empty() && stale.is_empty());
+    // Outside serve-land the engine's own constructors never fire.
+    assert!(lint_file("crates/core/src/engine.rs", DIRECT_FIT_FIXTURE).is_empty());
+    assert!(lint_file("crates/lm/src/presets.rs", DIRECT_FIT_FIXTURE).is_empty());
+}
+
+#[test]
 fn dup_fixture_reports_every_extra_construction_site() {
     let sites = construction_sites("tests/fixtures/dup_construction.rs", DUP_FIXTURE);
     let got = shape(&check_construction_counts(&sites));
@@ -204,6 +237,7 @@ fn every_rule_name_round_trips_through_parse() {
         Rule::NoDirectSync,
         Rule::NoUnboundedQueue,
         Rule::NoAdhocBench,
+        Rule::NoDirectFit,
         Rule::SingleConstruction,
     ] {
         assert_eq!(Rule::parse(rule.name()), Some(rule));

@@ -72,6 +72,7 @@ fn reference_multicast(
         preset: cfg.preset,
         separators,
         max_tokens: cfg.max_tokens(separators, payload),
+        refit_epoch: 0,
     };
     let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
         mux.demux(text, dims, cfg.digits, horizon)
@@ -248,6 +249,7 @@ fn sax_is_bit_identical_for_both_alphabets() {
             preset: cfg.base.preset,
             separators: segments,
             max_tokens: cfg.base.max_tokens(segments, dims),
+            refit_epoch: 0,
         };
         let decode = |text: &str| -> Result<Vec<Vec<f64>>> {
             let words = sax_demux_symbols(text, dims, cfg.sax.alphabet, segments);

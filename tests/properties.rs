@@ -445,6 +445,7 @@ proptest! {
             preset: ModelPreset::Large,
             separators,
             max_tokens: 120,
+            refit_epoch: 0,
         };
         let cfg = SamplerConfig { seed, temperature, ..SamplerConfig::default() };
         let (text, _) = run_continuation(&spec, cfg).unwrap();
@@ -464,5 +465,64 @@ proptest! {
                 "constrained sampling emitted a charset defect: {:?} in {:?}", defect, text
             );
         }
+    }
+
+    /// The cache's incremental-refit path is differentially equivalent
+    /// to a from-scratch fit: inserting a prefix-fitted context and then
+    /// acquiring with a grown prompt must resolve as a refit whose
+    /// forked sessions emit bit-identical distributions — and draw
+    /// identical seeded tokens — to a model fitted on the full prompt
+    /// in one pass.
+    #[test]
+    fn cache_refit_is_bit_identical_to_full_fit(
+        preset_idx in 0usize..multicast_suite::lm::ModelPreset::ALL.len(),
+        vocab in 2usize..10,
+        raw in prop::collection::vec(0u32..64, 2..60),
+        split_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use multicast_suite::lm::cache::{CacheConfig, Found, LmCache};
+        use multicast_suite::lm::{fit_model, ModelPreset, TokenId};
+
+        let preset = ModelPreset::ALL[preset_idx];
+        let tokens: Vec<TokenId> = raw.iter().map(|&t| t as TokenId % vocab as TokenId).collect();
+        let split = 1 + ((tokens.len() - 2) as f64 * split_frac) as usize;
+        let (family, fp_prefix, fp_full) = (42u64, 7u64, 8u64);
+
+        let cache = LmCache::new(CacheConfig::default());
+        let resident: std::sync::Arc<dyn multicast_suite::lm::FrozenLm> =
+            std::sync::Arc::from(fit_model(preset, vocab, &tokens[..split]));
+        cache.insert(family, fp_prefix, &tokens[..split], resident);
+        cache.release(family, fp_prefix);
+
+        let (frozen, epoch, appended) = match cache.acquire(family, fp_full, &tokens) {
+            Found::Refit { frozen, epoch, appended } => (frozen, epoch, appended),
+            Found::Hit { .. } => return Err(TestCaseError::Fail("exact hit, expected refit".into())),
+            Found::Miss => return Err(TestCaseError::Fail("miss, expected refit".into())),
+        };
+        prop_assert_eq!(epoch, 1);
+        prop_assert_eq!(appended, tokens.len() - split);
+
+        let full = fit_model(preset, vocab, &tokens);
+        prop_assert_eq!(frozen.prompt_cost(), full.prompt_cost());
+        let cfg = SamplerConfig { seed, ..SamplerConfig::default() };
+        let (mut draw_a, mut draw_b) = (Sampler::new(cfg), Sampler::new(cfg));
+        let (mut a, mut b) = (full.fork(), frozen.fork());
+        let (mut pa, mut pb) = (vec![0.0; vocab], vec![0.0; vocab]);
+        for _ in 0..16 {
+            a.next_distribution(&mut pa);
+            b.next_distribution(&mut pb);
+            prop_assert!(
+                pa.iter().zip(&pb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "cache refit distribution diverged from a full fit"
+            );
+            let (ta, tb) = (draw_a.sample(&pa, |_| true), draw_b.sample(&pb, |_| true));
+            prop_assert_eq!(ta, tb);
+            a.observe(ta);
+            b.observe(tb);
+        }
+        drop((a, b));
+        cache.release(family, fp_full);
+        prop_assert_eq!(cache.stats().refits, 1);
     }
 }

@@ -463,6 +463,106 @@ fn shed_and_served_sets_are_schedule_independent() {
     }
 }
 
+/// Tentpole: the cross-batch context cache never changes the bytes. A
+/// three-wave load of mixed histories — contexts shared both within and
+/// across flushes — is served through one warm `ServeHandle` (cache on)
+/// and cold (cache off), across worker counts and shuffled submission
+/// orders. Forecasts and per-request costs must be bit-identical
+/// everywhere, the canonical trace must not move, and the warm handle
+/// must actually hit its cache (one miss per distinct prompt, hits for
+/// every later wave).
+#[test]
+fn warm_cache_serving_is_bit_identical_to_cold_across_schedules() {
+    use mc_lm::cache::CacheConfig;
+
+    let train_a = series(72, 0.0, 10.0);
+    let train_b = series(64, 0.5, 3.0);
+    // Unique seeds key outcomes across shuffled submission orders.
+    let waves: Vec<Vec<ForecastRequest>> = (0..3)
+        .map(|w| {
+            vec![
+                digit_request(train_a.clone(), 5, MuxMethod::ValueInterleave, 10 + w, 2),
+                digit_request(train_a.clone(), 7, MuxMethod::ValueInterleave, 20 + w, 3),
+                digit_request(train_b.clone(), 4, MuxMethod::ValueInterleave, 30 + w, 2),
+            ]
+        })
+        .collect();
+
+    // Serves every wave through one handle (flush per wave) and returns
+    // outcomes keyed by request seed, the canonical trace, and stats.
+    let run = |cache: bool, workers: usize, shuffle: Option<u64>| {
+        let obs = Arc::new(Observer::logical());
+        let config = ServeConfig {
+            workers,
+            cache: if cache { Some(CacheConfig::default()) } else { None },
+            ..ServeConfig::default()
+        };
+        let mut handle = ServeHandle::with_recorder(config, obs.clone());
+        let mut ids = Vec::new();
+        for wave in &waves {
+            let order = match shuffle {
+                Some(seed) => shuffled(wave, seed),
+                None => wave.clone(),
+            };
+            for request in &order {
+                ids.push((request.config.seed, handle.submit(request.clone())));
+            }
+            handle.flush();
+        }
+        let mut outcomes: Vec<(u64, MultivariateSeries, mc_lm::cost::InferenceCost)> = ids
+            .into_iter()
+            .map(|(seed, id)| {
+                let outcome = handle.collect(id).expect("submitted id collects");
+                (seed, outcome.forecast.expect("warm/cold load never errors"), outcome.cost)
+            })
+            .collect();
+        outcomes.sort_by_key(|&(seed, ..)| seed);
+        (outcomes, obs.to_jsonl(), handle.cache_stats())
+    };
+
+    let (cold, cold_trace, cold_stats) = run(false, 4, None);
+    assert!(cold_stats.is_none(), "cache off means no stats");
+    let (warm, warm_trace, warm_stats) = run(true, 4, None);
+
+    // The warm handle really was warm: two distinct prompts fit once
+    // each, every later wave hit, nothing was evicted.
+    let stats = warm_stats.expect("cache on exposes stats");
+    assert_eq!(
+        (stats.misses, stats.hits, stats.insertions, stats.evictions),
+        (2, 4, 2, 0),
+        "2 prompts x 3 waves: one miss each, hits for the rest"
+    );
+
+    assert_eq!(warm_trace, cold_trace, "the cache leaked into the canonical trace");
+    for ((sa, fa, ca), (sb, fb, cb)) in cold.iter().zip(&warm) {
+        assert_eq!(sa, sb);
+        assert_bit_identical(fa, fb, &format!("warm vs cold, seed {sa}"));
+        assert_eq!(ca, cb, "warm cost accounting diverged from cold, seed {sa}");
+    }
+
+    // And neither worker count nor submission order moves any byte,
+    // warm or cold.
+    for workers in [1usize, 8] {
+        for cache in [false, true] {
+            let (outcomes, trace, _) = run(cache, workers, None);
+            assert_eq!(trace, cold_trace, "{workers} workers, cache {cache}: trace moved");
+            for ((sa, fa, ca), (sb, fb, cb)) in cold.iter().zip(&outcomes) {
+                assert_eq!(sa, sb);
+                assert_bit_identical(fa, fb, &format!("{workers} workers, cache {cache}"));
+                assert_eq!(ca, cb, "{workers} workers, cache {cache}: cost moved, seed {sa}");
+            }
+        }
+    }
+    for shuffle_seed in [3u64, 17] {
+        let (outcomes, trace, _) = run(true, 4, Some(shuffle_seed));
+        assert_eq!(trace, cold_trace, "shuffle {shuffle_seed} moved the warm trace");
+        for ((sa, fa, _), (sb, fb, _)) in cold.iter().zip(&outcomes) {
+            assert_eq!(sa, sb);
+            assert_bit_identical(fa, fb, &format!("warm shuffle {shuffle_seed}"));
+        }
+    }
+}
+
 /// Context sharing is what the scheduler exists for: requests with the
 /// same history and codec — regardless of horizon — must share one frozen
 /// context, and requests with different prompts must not.
