@@ -35,6 +35,7 @@ fn spec_directory_is_complete_and_canonical() {
         "prompt_reuse",
         "serve_chaos",
         "table1",
+        "table2",
         "table3",
         "table4",
         "table5",

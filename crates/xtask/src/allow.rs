@@ -1,8 +1,11 @@
-//! The mc-lint allowlist: explicit, justified suppressions.
+//! The mc-lint / mc-analyze allowlist: explicit, justified suppressions.
 //!
-//! mc-lint is deny-by-default; the only way to keep a violation is an
-//! entry here, and every entry must carry a written justification. The
-//! committed allowlist lives at the workspace root (`mc-lint.allow`).
+//! Both checkers are deny-by-default; the only way to keep a finding is
+//! an entry here, and every entry must carry a written justification.
+//! The committed allowlist lives at the workspace root
+//! (`mc-lint.allow`) and is shared: lint rules and analyze rules use
+//! the same grammar and the same file, each run applying only the
+//! entries whose rule is in its own scope.
 //!
 //! Format, one entry per line (blank lines and `#` comments ignored):
 //!
@@ -10,20 +13,45 @@
 //! <rule> <path-prefix> <symbol|*> -- <justification>
 //! ```
 //!
-//! - `rule`: a rule name from [`crate::lints::Rule`].
+//! - `rule`: a rule name from [`crate::lints::RULE_NAMES`] or
+//!   [`crate::analyze::RULE_NAMES`].
 //! - `path-prefix`: workspace-relative; the entry covers every linted
 //!   file under it (a file path covers exactly that file).
 //! - `symbol`: the matched symbol (`expect`, `Instant::now`, ...) or `*`.
 //! - The justification is mandatory — an entry without `--` text is a
-//!   parse error, and an entry that suppresses nothing is itself an
-//!   error, so the allowlist can only shrink stale.
+//!   parse error, and an in-scope entry that suppresses nothing is
+//!   itself an error, so the allowlist can only shrink stale.
+//!   By convention the justification ends with `-- since PR<n>`
+//!   provenance (the first `--` still delimits the justification).
 
-use crate::lints::{Rule, Violation};
+/// Anything the allowlist can suppress: lint violations and analyze
+/// findings both expose the three matched dimensions.
+pub trait Suppressible {
+    /// The rule name, as written in allowlist entries.
+    fn rule_name(&self) -> &str;
+    /// Workspace-relative path of the finding.
+    fn path(&self) -> &str;
+    /// The matched symbol.
+    fn symbol(&self) -> &str;
+}
+
+impl Suppressible for crate::lints::Violation {
+    fn rule_name(&self) -> &str {
+        self.rule.name()
+    }
+    fn path(&self) -> &str {
+        &self.path
+    }
+    fn symbol(&self) -> &str {
+        &self.symbol
+    }
+}
 
 /// One parsed allowlist line.
 #[derive(Debug, Clone)]
 pub struct Entry {
-    pub rule: Rule,
+    /// Rule name, validated against the known-rule set at parse time.
+    pub rule: String,
     pub path_prefix: String,
     /// Symbol to match, or `None` for `*`.
     pub symbol: Option<String>,
@@ -33,27 +61,29 @@ pub struct Entry {
 }
 
 impl Entry {
-    fn covers(&self, v: &Violation) -> bool {
-        self.rule == v.rule
-            && v.path.starts_with(&self.path_prefix)
-            && self.symbol.as_ref().is_none_or(|s| *s == v.symbol)
+    fn covers<T: Suppressible>(&self, v: &T) -> bool {
+        self.rule == v.rule_name()
+            && v.path().starts_with(&self.path_prefix)
+            && self.symbol.as_ref().is_none_or(|s| *s == v.symbol())
     }
 }
 
-/// A parsed allowlist plus per-entry use counts.
+/// A parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     pub entries: Vec<Entry>,
 }
 
 impl Allowlist {
-    /// Parses the allowlist text.
+    /// Parses the allowlist text, validating rule names against
+    /// `known_rules` (the union of lint and analyze rule names, so one
+    /// shared file serves both runs).
     ///
     /// # Errors
     /// On an unknown rule name, a malformed line, or a missing
     /// justification — a suppression nobody can read the reason for is
     /// worse than the violation it hides.
-    pub fn parse(text: &str) -> Result<Allowlist, String> {
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Allowlist, String> {
         let mut entries = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -75,10 +105,11 @@ impl Allowlist {
                     fields.len()
                 ));
             };
-            let rule = Rule::parse(rule)
-                .ok_or_else(|| format!("allowlist line {line}: unknown rule `{rule}`"))?;
+            if !known_rules.contains(&rule) {
+                return Err(format!("allowlist line {line}: unknown rule `{rule}`"));
+            }
             entries.push(Entry {
-                rule,
+                rule: rule.to_string(),
                 path_prefix: path_prefix.to_string(),
                 symbol: (symbol != "*").then(|| symbol.to_string()),
                 justification: justification.to_string(),
@@ -88,15 +119,25 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// Splits `violations` into kept ones and a list of unused-entry
-    /// errors. Every violation covered by some entry is suppressed;
-    /// every entry that covered nothing is reported.
-    pub fn apply(&self, violations: Vec<Violation>) -> (Vec<Violation>, Vec<String>) {
-        let mut used = vec![false; self.entries.len()];
+    /// The entries whose rule is one of `scope`.
+    pub fn in_scope(&self, scope: &[&str]) -> usize {
+        self.entries.iter().filter(|e| scope.contains(&e.rule.as_str())).count()
+    }
+
+    /// Splits `items` into kept ones and a list of unused-entry errors,
+    /// considering only entries whose rule is in `scope` — a shared
+    /// allowlist must not report lint entries stale during an analyze
+    /// run or vice versa. Every item covered by an in-scope entry is
+    /// suppressed; every in-scope entry that covered nothing is
+    /// reported.
+    pub fn apply<T: Suppressible>(&self, items: Vec<T>, scope: &[&str]) -> (Vec<T>, Vec<String>) {
+        let in_scope: Vec<&Entry> =
+            self.entries.iter().filter(|e| scope.contains(&e.rule.as_str())).collect();
+        let mut used = vec![false; in_scope.len()];
         let mut kept = Vec::new();
-        for v in violations {
+        for v in items {
             let mut suppressed = false;
-            for (e, flag) in self.entries.iter().zip(used.iter_mut()) {
+            for (e, flag) in in_scope.iter().zip(used.iter_mut()) {
                 if e.covers(&v) {
                     *flag = true;
                     suppressed = true;
@@ -106,8 +147,7 @@ impl Allowlist {
                 kept.push(v);
             }
         }
-        let stale = self
-            .entries
+        let stale = in_scope
             .iter()
             .zip(&used)
             .filter(|(_, used)| !**used)
@@ -115,7 +155,7 @@ impl Allowlist {
                 format!(
                     "allowlist line {}: entry `{} {} {}` suppresses nothing — remove it",
                     e.line,
-                    e.rule.name(),
+                    e.rule,
                     e.path_prefix,
                     e.symbol.as_deref().unwrap_or("*"),
                 )
@@ -128,6 +168,9 @@ impl Allowlist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lints::{Rule, Violation};
+
+    const RULES: [&str; 3] = ["no-unwrap", "no-wallclock", "lock-order"];
 
     fn violation(rule: Rule, path: &str, symbol: &str) -> Violation {
         Violation {
@@ -141,12 +184,19 @@ mod tests {
 
     #[test]
     fn parse_rejects_missing_justification_and_unknown_rules() {
-        assert!(Allowlist::parse("no-unwrap crates/x expect").is_err());
-        assert!(Allowlist::parse("no-unwrap crates/x expect --   ").is_err());
-        assert!(Allowlist::parse("no-such-rule crates/x * -- why").is_err());
-        assert!(Allowlist::parse("no-unwrap crates/x -- too few fields").is_err());
-        let ok = Allowlist::parse("# comment\n\nno-unwrap crates/x expect -- reason\n");
+        assert!(Allowlist::parse("no-unwrap crates/x expect", &RULES).is_err());
+        assert!(Allowlist::parse("no-unwrap crates/x expect --   ", &RULES).is_err());
+        assert!(Allowlist::parse("no-such-rule crates/x * -- why", &RULES).is_err());
+        assert!(Allowlist::parse("no-unwrap crates/x -- too few fields", &RULES).is_err());
+        let ok = Allowlist::parse("# comment\n\nno-unwrap crates/x expect -- reason\n", &RULES);
         assert_eq!(ok.expect("parses").entries.len(), 1);
+    }
+
+    #[test]
+    fn provenance_suffix_stays_inside_the_justification() {
+        let allow = Allowlist::parse("no-unwrap crates/x expect -- reason -- since PR4\n", &RULES)
+            .expect("parses");
+        assert_eq!(allow.entries[0].justification, "reason -- since PR4");
     }
 
     #[test]
@@ -154,16 +204,42 @@ mod tests {
         let allow = Allowlist::parse(
             "no-unwrap crates/demo/src expect -- demo reason\n\
              no-wallclock crates/never * -- never matches\n",
+            &RULES,
         )
         .expect("parses");
-        let (kept, stale) = allow.apply(vec![
-            violation(Rule::NoUnwrap, "crates/demo/src/lib.rs", "expect"),
-            violation(Rule::NoUnwrap, "crates/demo/src/lib.rs", "unwrap"),
-            violation(Rule::NoUnwrap, "crates/other/src/lib.rs", "expect"),
-        ]);
+        let (kept, stale) = allow.apply(
+            vec![
+                violation(Rule::NoUnwrap, "crates/demo/src/lib.rs", "expect"),
+                violation(Rule::NoUnwrap, "crates/demo/src/lib.rs", "unwrap"),
+                violation(Rule::NoUnwrap, "crates/other/src/lib.rs", "expect"),
+            ],
+            &RULES,
+        );
         let kept: Vec<&str> = kept.iter().map(|v| v.path.as_str()).collect();
         assert_eq!(kept, vec!["crates/demo/src/lib.rs", "crates/other/src/lib.rs"]);
         assert_eq!(stale.len(), 1);
         assert!(stale[0].contains("no-wallclock"), "{stale:?}");
+    }
+
+    #[test]
+    fn out_of_scope_entries_neither_suppress_nor_go_stale() {
+        let allow = Allowlist::parse(
+            "no-unwrap crates/demo/src expect -- lint-scoped\n\
+             lock-order crates/core/src * -- analyze-scoped\n",
+            &RULES,
+        )
+        .expect("parses");
+        // A lint run: the analyze entry is invisible.
+        let (kept, stale) = allow.apply(
+            vec![violation(Rule::NoUnwrap, "crates/demo/src/lib.rs", "expect")],
+            &["no-unwrap", "no-wallclock"],
+        );
+        assert!(kept.is_empty() && stale.is_empty(), "{stale:?}");
+        assert_eq!(allow.in_scope(&["no-unwrap", "no-wallclock"]), 1);
+        assert_eq!(allow.in_scope(&["lock-order"]), 1);
+        // An analyze run over nothing: only the analyze entry goes stale.
+        let (_, stale) = allow.apply(Vec::<Violation>::new(), &["lock-order"]);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("lock-order"), "{stale:?}");
     }
 }

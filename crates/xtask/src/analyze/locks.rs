@@ -1,0 +1,788 @@
+//! Lock-order analysis over the structural tree.
+//!
+//! Static companion to the loom suite: loom vouches for the schedules
+//! its test files construct; this pass vouches that the *shape* of the
+//! locking code cannot deadlock by ordering, everywhere, all the time.
+//!
+//! The pass:
+//! 1. builds a **registry** of mutex-backed fields (`name: Mutex<..>`,
+//!    possibly behind containers like `Vec<Mutex<..>>`) — each field is
+//!    one lock identity `Struct.field`;
+//! 2. resolves **accessor functions** (`fn shard(&self, ..) -> &Mutex<..>`
+//!    returning a registry field) so `self.shard(f).lock()` attributes
+//!    to the field it exposes;
+//! 3. finds every **acquisition site** — `.lock(` outside test spans —
+//!    and resolves its receiver: the identifier before the dot, the
+//!    accessor behind a call, or (for closure locals like
+//!    `|s| s.lock()`) a statement-backward scan;
+//! 4. approximates **held ranges** from guard scopes: a `let`-bound
+//!    guard (`let g = x.lock().expect(..);`, optionally shortened by an
+//!    explicit `drop(g)`) is held to the end of its block; a chained
+//!    temporary (`x.lock().expect(..).method(..)`) to the end of its
+//!    statement;
+//! 5. derives **held-while-acquiring edges** — intra-function overlaps
+//!    plus one-step inter-procedural edges through calls to
+//!    lock-acquiring functions — and fails on cycles and on same-lock
+//!    reacquisition while held;
+//! 6. checks the **shim seam**: every file acquiring a lock must import
+//!    `mc_sync` (the sync-shim and loom crates, which *are* the seam,
+//!    are exempt), and every acquisition must resolve to a registered
+//!    lock.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::tree::{all_items, Item, ItemKind};
+use super::{Finding, SourceFile, Workspace};
+use crate::lexer::{Kind, Token};
+
+/// One lock acquisition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    /// Lock identity `Struct.field`, or `?` when unresolvable.
+    pub lock: String,
+    /// Enclosing function.
+    pub in_fn: String,
+}
+
+/// One held-while-acquiring edge in the acquisition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub held: String,
+    pub acquired: String,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// The lock pass's full output; `sites` is public so coverage can be
+/// asserted against an independent count.
+#[derive(Debug, Default)]
+pub struct LockReport {
+    pub sites: Vec<LockSite>,
+    pub edges: Vec<LockEdge>,
+    pub findings: Vec<Finding>,
+}
+
+/// Crates that *are* the locking seam: they wrap the primitives, so
+/// their internal lock use is the sanctioned implementation.
+fn is_seam_crate(path: &str) -> bool {
+    path.starts_with("crates/sync-shim/") || path.starts_with("crates/loom/")
+}
+
+/// Runs the pass over the whole workspace.
+pub fn check(ws: &Workspace) -> LockReport {
+    let files: Vec<&SourceFile> = ws.files.iter().filter(|f| !is_seam_crate(&f.path)).collect();
+    let registry = mutex_registry(&files);
+    let accessors = accessor_map(&files, &registry);
+
+    let mut report = LockReport::default();
+    // fn name -> locks it acquires (for one-step inter-procedural edges).
+    let mut fn_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // Per-site held range, kept parallel to report.sites.
+    let mut held: Vec<(usize, usize, usize)> = Vec::new(); // (file idx, site tok, held end tok)
+
+    for (fi, file) in files.iter().enumerate() {
+        let imports_shim = file.tokens.iter().any(|t| t.is_ident("mc_sync"));
+        for f in functions(&file.tree) {
+            let Some((b0, b1)) = f.body else { continue };
+            for i in b0..b1 {
+                if file.test_mask[i] || !is_lock_call(&file.tokens, i) {
+                    continue;
+                }
+                let t = &file.tokens[i];
+                let lock = resolve_receiver(file, i, b0, &registry, &accessors);
+                let lock_name = match &lock {
+                    Some(l) => l.clone(),
+                    None => {
+                        report.findings.push(Finding {
+                            path: file.path.clone(),
+                            line: t.line,
+                            col: t.col,
+                            rule: "lock-order",
+                            symbol: "lock".to_string(),
+                            message: format!(
+                                "cannot resolve which lock `{}` acquires — the receiver is \
+                                 not a registered Mutex field or accessor",
+                                context(&file.tokens, i)
+                            ),
+                        });
+                        "?".to_string()
+                    }
+                };
+                if !imports_shim {
+                    report.findings.push(Finding {
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        rule: "lock-seam",
+                        symbol: lock_name.clone(),
+                        message: format!(
+                            "lock `{lock_name}` acquired in a file that does not import the \
+                             mc-sync shim — this acquisition is invisible to the loom model \
+                             checker"
+                        ),
+                    });
+                }
+                let held_end = held_range_end(&file.tokens, i, b1);
+                held.push((fi, i, held_end));
+                if lock_name != "?" {
+                    fn_locks.entry(f.name.clone()).or_default().insert(lock_name.clone());
+                }
+                report.sites.push(LockSite {
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    lock: lock_name,
+                    in_fn: f.name.clone(),
+                });
+            }
+        }
+    }
+
+    derive_edges(&files, &fn_locks, &held, &mut report);
+    find_cycles(&mut report);
+    report
+}
+
+/// Is token `i` the `lock` of a `.lock(` method call?
+fn is_lock_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].is_ident("lock")
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// A short source-shaped excerpt around a site, for messages.
+fn context(tokens: &[Token], i: usize) -> String {
+    let lo = i.saturating_sub(4);
+    let texts: Vec<&str> = tokens[lo..=i]
+        .iter()
+        .map(|t| if t.text.is_empty() { "_" } else { t.text.as_str() })
+        .collect();
+    format!("{}(", texts.join(""))
+}
+
+/// Every `fn` item in the tree, at any nesting depth.
+fn functions(tree: &[Item]) -> Vec<&Item> {
+    all_items(tree).into_iter().filter(|i| i.kind == ItemKind::Fn && !i.cfg_test).collect()
+}
+
+/// Lock registry: mutex-backed struct fields, `field name -> lock ids`.
+///
+/// A field registers when its type (the tokens between `:` and the
+/// field-separating `,` at depth zero) mentions `Mutex` — which covers
+/// both `Mutex<T>` and containers like `Vec<Mutex<T>>`.
+fn mutex_registry(files: &[&SourceFile]) -> BTreeMap<String, Vec<(String, String)>> {
+    let mut registry: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for file in files {
+        for item in all_items(&file.tree) {
+            if item.kind != ItemKind::Struct || item.cfg_test {
+                continue;
+            }
+            let Some((b0, b1)) = item.body else { continue };
+            let mut i = b0;
+            let mut depth = 0i32;
+            let mut field: Option<String> = None;
+            let mut field_has_mutex = false;
+            while i < b1 {
+                let t = &file.tokens[i];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')')
+                    || t.is_punct(']')
+                    || t.is_punct('}')
+                    || (t.is_punct('>') && !file.tokens[i - 1].is_punct('-'))
+                {
+                    depth -= 1;
+                } else if depth == 0
+                    && t.kind == Kind::Ident
+                    && file.tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && !file.tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    // Commit any previous field, start this one.
+                    field = Some(t.text.clone());
+                    field_has_mutex = false;
+                } else if t.is_ident("Mutex") {
+                    field_has_mutex = true;
+                }
+                let at_separator = depth == 0 && t.is_punct(',');
+                if (at_separator || i + 1 == b1) && field_has_mutex {
+                    if let Some(name) = field.take() {
+                        let id = format!("{}.{}", item.name, name);
+                        registry.entry(name).or_default().push((file.path.clone(), id));
+                        field_has_mutex = false;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    registry
+}
+
+/// Accessor map: functions whose signature returns `&Mutex<..>` and
+/// whose body names exactly one registered field — `fn name -> lock id`.
+fn accessor_map(
+    files: &[&SourceFile],
+    registry: &BTreeMap<String, Vec<(String, String)>>,
+) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for file in files {
+        for f in functions(&file.tree) {
+            let Some((b0, b1)) = f.body else { continue };
+            let header = &file.tokens[f.start..b0];
+            // `-> &Mutex<..>` or `-> &'a Mutex<..>` (the lexer splits a
+            // lifetime into a Lifetime token plus its identifier).
+            let returns_mutex_ref =
+                header.windows(2).any(|w| w[0].is_punct('&') && w[1].is_ident("Mutex"))
+                    || header.windows(4).any(|w| {
+                        w[0].is_punct('&')
+                            && w[1].kind == Kind::Lifetime
+                            && w[2].kind == Kind::Ident
+                            && w[3].is_ident("Mutex")
+                    });
+            if !returns_mutex_ref {
+                continue;
+            }
+            let named: BTreeSet<&str> = file.tokens[b0..b1]
+                .iter()
+                .filter(|t| t.kind == Kind::Ident && registry.contains_key(&t.text))
+                .map(|t| t.text.as_str())
+                .collect();
+            if let [field] = named.iter().copied().collect::<Vec<_>>()[..] {
+                if let Some(lock) = lookup(registry, field, &file.path) {
+                    out.insert(f.name.clone(), lock);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves a registered field to its lock id, preferring a same-file
+/// definition, else requiring a globally unique one.
+fn lookup(
+    registry: &BTreeMap<String, Vec<(String, String)>>,
+    field: &str,
+    path: &str,
+) -> Option<String> {
+    let defs = registry.get(field)?;
+    if let Some((_, lock)) = defs.iter().find(|(p, _)| p == path) {
+        return Some(lock.clone());
+    }
+    match defs.as_slice() {
+        [(_, lock)] => Some(lock.clone()),
+        _ => None,
+    }
+}
+
+/// Resolves the lock behind the `.lock(` at token `i`.
+fn resolve_receiver(
+    file: &SourceFile,
+    i: usize,
+    body_start: usize,
+    registry: &BTreeMap<String, Vec<(String, String)>>,
+    accessors: &BTreeMap<String, String>,
+) -> Option<String> {
+    // `recv.lock()` — identifier directly before the dot.
+    if i >= 2 {
+        let r = &file.tokens[i - 2];
+        if r.kind == Kind::Ident {
+            if let Some(lock) = lookup(registry, &r.text, &file.path) {
+                return Some(lock);
+            }
+        }
+        // `self.accessor(args).lock()` — call result before the dot.
+        if r.is_punct(')') {
+            if let Some(open) = matching_back(&file.tokens, i - 2, body_start) {
+                if open > 0 {
+                    let callee = &file.tokens[open - 1];
+                    if callee.kind == Kind::Ident {
+                        if let Some(lock) = accessors.get(&callee.text) {
+                            return Some(lock.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Closure locals and other indirections: scan the statement
+    // backwards for the nearest registered field or accessor.
+    let mut k = i;
+    while k > body_start {
+        k -= 1;
+        let t = &file.tokens[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.kind == Kind::Ident {
+            if let Some(lock) = lookup(registry, &t.text, &file.path) {
+                return Some(lock);
+            }
+            if let Some(lock) = accessors.get(&t.text) {
+                return Some(lock.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn matching_back(tokens: &[Token], close: usize, floor: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close + 1;
+    while j > floor {
+        j -= 1;
+        if tokens[j].is_punct(')') {
+            depth += 1;
+        } else if tokens[j].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Token index one past where the guard acquired at `i` stops being
+/// held (exclusive bound, capped at the fn body end `b1`).
+fn held_range_end(tokens: &[Token], i: usize, b1: usize) -> usize {
+    // Consume the `.lock(..)` call, then any `.expect(..)` / `.unwrap()`
+    // chain — those forward the guard; anything else consumes it.
+    let Some(mut j) = matching_fwd(tokens, i + 1, b1) else { return b1 };
+    while tokens.get(j + 1).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(j + 2).is_some_and(|t| t.is_ident("expect") || t.is_ident("unwrap"))
+        && tokens.get(j + 3).is_some_and(|t| t.is_punct('('))
+    {
+        match matching_fwd(tokens, j + 3, b1) {
+            Some(close) => j = close,
+            None => return b1,
+        }
+    }
+    let after_guard = j + 1;
+
+    // Statement start: just past the previous `;`, `{` or `}`.
+    let mut s = i;
+    while s > 0 {
+        let t = &tokens[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let is_let = tokens.get(s).is_some_and(|t| t.is_ident("let"));
+
+    if is_let && tokens.get(after_guard).is_some_and(|t| t.is_punct(';')) {
+        // `let g = x.lock().expect(..);` — held to the end of the
+        // enclosing block, or to an explicit `drop(g)`.
+        let mut g = s + 1;
+        if tokens.get(g).is_some_and(|t| t.is_ident("mut")) {
+            g += 1;
+        }
+        let guard = tokens.get(g).filter(|t| t.kind == Kind::Ident).map(|t| t.text.clone());
+        let block_end = enclosing_block_end(tokens, i, b1);
+        if let Some(guard) = guard {
+            let mut k = after_guard;
+            while k + 3 < block_end {
+                if tokens[k].is_ident("drop")
+                    && tokens[k + 1].is_punct('(')
+                    && tokens[k + 2].is_ident(&guard)
+                    && tokens[k + 3].is_punct(')')
+                {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        return block_end;
+    }
+    if tokens.get(after_guard).is_some_and(|t| t.is_punct(';') || t.is_punct('.')) {
+        // Chained temporary (or bare statement): held to the end of the
+        // statement — the next `;` at bracket depth zero.
+        let mut depth = 0i32;
+        let mut k = after_guard;
+        while k < b1 {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                return k + 1;
+            }
+            k += 1;
+        }
+        return b1;
+    }
+    // Guard used in an unrecognized position (match scrutinee, argument,
+    // ...): be conservative — held to the end of the enclosing block.
+    enclosing_block_end(tokens, i, b1)
+}
+
+/// Index of the `}` closing the innermost block containing `i`
+/// (exclusive-bound semantics: the returned index is the `}` itself),
+/// capped at `b1`.
+fn enclosing_block_end(tokens: &[Token], i: usize, b1: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = i;
+    while k < b1 {
+        let t = &tokens[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    b1
+}
+
+/// Index of the `)` matching the `(` at `open` (forward), capped at `b1`.
+fn matching_fwd(tokens: &[Token], open: usize, b1: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < b1.min(tokens.len()) {
+        if tokens[k].is_punct('(') {
+            depth += 1;
+        } else if tokens[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Derives held-while-acquiring edges: intra-function overlaps, plus
+/// one-step inter-procedural edges through calls to functions that
+/// acquire locks themselves.
+fn derive_edges(
+    files: &[&SourceFile],
+    fn_locks: &BTreeMap<String, BTreeSet<String>>,
+    held: &[(usize, usize, usize)],
+    report: &mut LockReport,
+) {
+    let sites = report.sites.clone();
+    let mut seen: BTreeSet<(String, String, String, usize)> = BTreeSet::new();
+    for (a, &(fa, ia, ea)) in held.iter().enumerate() {
+        let sa = &sites[a];
+        if sa.lock == "?" {
+            continue;
+        }
+        // Intra-function: another site acquired inside a's held range.
+        for (b, &(fb, ib, _)) in held.iter().enumerate() {
+            if a == b || fa != fb || sites[b].in_fn != sa.in_fn {
+                continue;
+            }
+            if ib > ia && ib < ea {
+                let sb = &sites[b];
+                if sb.lock == "?" {
+                    continue;
+                }
+                if sb.lock == sa.lock {
+                    report.findings.push(Finding {
+                        path: sb.path.clone(),
+                        line: sb.line,
+                        col: sb.col,
+                        rule: "lock-order",
+                        symbol: sb.lock.clone(),
+                        message: format!(
+                            "lock `{}` re-acquired while already held in `{}` — \
+                             self-deadlock with the shim's non-reentrant mutex",
+                            sb.lock, sb.in_fn
+                        ),
+                    });
+                } else if seen.insert((sa.lock.clone(), sb.lock.clone(), sb.path.clone(), sb.line))
+                {
+                    report.edges.push(LockEdge {
+                        held: sa.lock.clone(),
+                        acquired: sb.lock.clone(),
+                        path: sb.path.clone(),
+                        line: sb.line,
+                        col: sb.col,
+                    });
+                }
+            }
+        }
+        // One-step inter-procedural: a call to a lock-acquiring fn
+        // inside a's held range.
+        let file = files[fa];
+        for k in ia..ea.min(file.tokens.len()) {
+            let t = &file.tokens[k];
+            if t.kind != Kind::Ident
+                || t.text == "lock"
+                || t.text == sa.in_fn
+                || !file.tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            // A method call counts only on `self` — `other.len()` must
+            // not be confused with an unrelated lock-acquiring `fn len`.
+            if k >= 2 && file.tokens[k - 1].is_punct('.') && !file.tokens[k - 2].is_ident("self") {
+                continue;
+            }
+            if let Some(locks) = fn_locks.get(&t.text) {
+                for acquired in locks {
+                    if *acquired == sa.lock {
+                        report.findings.push(Finding {
+                            path: file.path.clone(),
+                            line: t.line,
+                            col: t.col,
+                            rule: "lock-order",
+                            symbol: acquired.clone(),
+                            message: format!(
+                                "call to `{}` re-acquires lock `{}` already held in `{}`",
+                                t.text, acquired, sa.in_fn
+                            ),
+                        });
+                    } else if seen.insert((
+                        sa.lock.clone(),
+                        acquired.clone(),
+                        file.path.clone(),
+                        t.line,
+                    )) {
+                        report.edges.push(LockEdge {
+                            held: sa.lock.clone(),
+                            acquired: acquired.clone(),
+                            path: file.path.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reports every elementary cycle class in the acquisition graph (each
+/// cycle reported once, anchored at one of its edges).
+fn find_cycles(report: &mut LockReport) {
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in &report.edges {
+        adj.entry(e.held.as_str()).or_default().push(e);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut on_path: Vec<&str> = vec![start];
+        dfs(start, start, &adj, &mut on_path, &mut reported, &mut findings);
+    }
+    report.findings.extend(findings);
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a LockEdge>>,
+    on_path: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(edges) = adj.get(node) else { return };
+    for e in edges {
+        let next = e.acquired.as_str();
+        if next == start {
+            // Closed a cycle back to the start.
+            let mut cycle: Vec<String> = on_path.iter().map(|s| (*s).to_string()).collect();
+            cycle.push(start.to_string());
+            let mut key = cycle.clone();
+            key.sort();
+            key.dedup();
+            if reported.insert(key) {
+                findings.push(Finding {
+                    path: e.path.clone(),
+                    line: e.line,
+                    col: e.col,
+                    rule: "lock-order",
+                    symbol: e.acquired.clone(),
+                    message: format!(
+                        "lock acquisition cycle: {} — two threads interleaving these \
+                         acquisitions deadlock",
+                        cycle.join(" -> ")
+                    ),
+                });
+            }
+            continue;
+        }
+        if on_path.contains(&next) {
+            continue; // cycle not through `start`; found from its own start node
+        }
+        on_path.push(next);
+        dfs(next, start, adj, on_path, reported, findings);
+        on_path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            files.iter().map(|(p, s)| ((*p).to_string(), (*s).to_string())).collect(),
+        )
+    }
+
+    const TWO_LOCKS: &str = r#"
+        use mc_sync::Mutex;
+        pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+        impl S {
+            fn ab(&self) {
+                let ga = self.a.lock().expect("a");
+                let gb = self.b.lock().expect("b");
+                drop(gb);
+                drop(ga);
+            }
+        }
+    "#;
+
+    #[test]
+    fn let_bound_guards_produce_ordered_edges() {
+        let report = check(&ws(&[("crates/core/src/serve.rs", TWO_LOCKS)]));
+        assert_eq!(report.sites.len(), 2);
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(
+            (report.edges[0].held.as_str(), report.edges[0].acquired.as_str()),
+            ("S.a", "S.b")
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn opposite_orders_in_two_functions_form_a_cycle() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ab(&self) {
+                    let ga = self.a.lock().expect("a");
+                    let gb = self.b.lock().expect("b");
+                }
+                fn ba(&self) {
+                    let gb = self.b.lock().expect("b");
+                    let ga = self.a.lock().expect("a");
+                }
+            }
+        "#;
+        let report = check(&ws(&[("crates/core/src/serve.rs", src)]));
+        assert_eq!(report.edges.len(), 2);
+        let cycles: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.message.contains("cycle")).collect();
+        assert_eq!(cycles.len(), 1, "{:?}", report.findings);
+        assert!(cycles[0].message.contains("S.a") && cycles[0].message.contains("S.b"));
+    }
+
+    #[test]
+    fn chained_temporaries_release_at_statement_end() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct S { a: Mutex<Vec<u32>> }
+            impl S {
+                fn twice(&self) -> usize {
+                    let n = self.a.lock().expect("a").len();
+                    let m = self.a.lock().expect("a").len();
+                    n + m
+                }
+            }
+        "#;
+        let report = check(&ws(&[("crates/core/src/serve.rs", src)]));
+        assert_eq!(report.sites.len(), 2);
+        assert!(report.findings.is_empty(), "temporaries must not overlap: {:?}", report.findings);
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_flagged() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct S { a: Mutex<u32> }
+            impl S {
+                fn nested(&self) {
+                    let g = self.a.lock().expect("a");
+                    let h = self.a.lock().expect("a");
+                }
+            }
+        "#;
+        let report = check(&ws(&[("crates/core/src/serve.rs", src)]));
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "lock-order");
+        assert!(report.findings[0].message.contains("re-acquired"));
+        assert_eq!(report.findings[0].line, 7);
+    }
+
+    #[test]
+    fn accessor_calls_and_closure_locals_resolve_to_the_field() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct C { shards: Vec<Mutex<u32>> }
+            impl C {
+                fn shard(&self, i: usize) -> &Mutex<u32> { &self.shards[i] }
+                fn get(&self, i: usize) -> u32 {
+                    *self.shard(i).lock().expect("shard")
+                }
+                fn total(&self) -> u32 {
+                    self.shards.iter().map(|s| *s.lock().expect("shard")).sum()
+                }
+            }
+        "#;
+        let report = check(&ws(&[("crates/lm/src/cache.rs", src)]));
+        assert_eq!(report.sites.len(), 2);
+        assert!(report.sites.iter().all(|s| s.lock == "C.shards"), "{:?}", report.sites);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn missing_shim_import_is_a_seam_finding_with_a_precise_span() {
+        let src = "pub struct S { a: std::sync::Mutex<u32> }\nimpl S {\n    fn f(&self) { let g = self.a.lock().expect(\"a\"); }\n}";
+        let report = check(&ws(&[("crates/core/src/rogue.rs", src)]));
+        let seams: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == "lock-seam").collect();
+        assert_eq!(seams.len(), 1);
+        assert_eq!((seams[0].line, seams[0].col), (3, 34));
+    }
+
+    #[test]
+    fn interprocedural_edges_cross_one_call_step() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            fn inner(s: &S) { let g = s.b.lock().expect("b"); }
+            fn outer(s: &S) {
+                let g = s.a.lock().expect("a");
+                inner(s);
+            }
+        "#;
+        let report = check(&ws(&[("crates/core/src/serve.rs", src)]));
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(
+            (report.edges[0].held.as_str(), report.edges[0].acquired.as_str()),
+            ("S.a", "S.b")
+        );
+    }
+
+    #[test]
+    fn test_spans_and_seam_crates_are_exempt() {
+        let src = r#"
+            use mc_sync::Mutex;
+            pub struct S { a: Mutex<u32> }
+            #[cfg(test)]
+            mod tests {
+                fn t(s: &super::S) { let g = s.a.lock().expect("a"); }
+            }
+        "#;
+        let report = check(&ws(&[("crates/core/src/serve.rs", src)]));
+        assert!(report.sites.is_empty());
+        let shim = "pub struct M; impl M { pub fn lock(&self) {} fn f(&self) { self.lock(); } }";
+        let report = check(&ws(&[("crates/sync-shim/src/lib.rs", shim)]));
+        assert!(report.sites.is_empty() && report.findings.is_empty());
+    }
+}

@@ -1,9 +1,12 @@
-//! A minimal Rust lexer, sufficient for token-level lint rules.
+//! A minimal Rust lexer, sufficient for token-level lint rules and the
+//! structural passes in [`crate::analyze`].
 //!
 //! Produces identifiers, punctuation, literals and lifetimes with line
-//! numbers; comments (line, nested block, doc) are dropped and string /
-//! char contents are opaque, so downstream rules can never match inside
-//! text. This is deliberately not a full parser: the lint rules in
+//! and column numbers; comments (line, nested block, doc) are dropped.
+//! [`lex`] keeps string / char contents opaque so downstream rules can
+//! never match inside text; [`lex_full`] preserves literal text for
+//! passes that must read string contents (e.g. counter-name mirrors).
+//! This is deliberately not a full parser: the lint rules in
 //! [`crate::lints`] work on token patterns plus brace matching, which a
 //! hand lexer models faithfully without a syntax-tree dependency.
 
@@ -12,22 +15,26 @@
 pub enum Kind {
     /// Identifier or keyword (raw identifiers lose their `r#` prefix).
     Ident,
-    /// A single punctuation character (`.` `:` `{` `!` ...).
-    Punct,
-    /// String, raw-string, byte-string or char literal (content opaque).
+    /// String, raw-string, byte-string, C-string or char literal.
+    ///
+    /// Content is opaque under [`lex`], preserved under [`lex_full`].
     Literal,
     /// Numeric literal.
     Number,
     /// `'lifetime` (distinguished from char literals).
     Lifetime,
+    /// A single punctuation character (`.` `:` `{` `!` ...).
+    Punct,
 }
 
-/// One lexed token: kind, text and the 1-based line it starts on.
+/// One lexed token: kind, text, and the 1-based line and byte column it
+/// starts on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub kind: Kind,
     pub text: String,
     pub line: usize,
+    pub col: usize,
 }
 
 impl Token {
@@ -46,6 +53,7 @@ struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
     line: usize,
+    col: usize,
 }
 
 impl Cursor<'_> {
@@ -58,6 +66,9 @@ impl Cursor<'_> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(b)
     }
@@ -75,16 +86,37 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
-/// Lexes `src`, dropping comments and whitespace.
+/// Lexes `src`, dropping comments and whitespace; literal contents are
+/// blanked so token-pattern rules can never match inside text.
 ///
 /// Unterminated strings/comments end the token stream at end of input
 /// rather than erroring: lints run on code that already compiles, so
 /// recovery precision is not worth the complexity.
 pub fn lex(src: &str) -> Vec<Token> {
-    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    lex_impl(src, false)
+}
+
+/// Like [`lex`] but string/char literals keep their source text
+/// (including quotes and any `r#`/`b`/`c` prefix). Structural passes
+/// that compare string contents against symbol tables use this variant.
+pub fn lex_full(src: &str) -> Vec<Token> {
+    lex_impl(src, true)
+}
+
+fn lex_impl(src: &str, keep_literal_text: bool) -> Vec<Token> {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
     let mut out = Vec::new();
     while let Some(b) = cur.peek(0) {
         let line = cur.line;
+        let col = cur.col;
+        let start = cur.pos;
+        let literal_text = |cur: &Cursor<'_>| {
+            if keep_literal_text {
+                src[start..cur.pos].to_string()
+            } else {
+                String::new()
+            }
+        };
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
@@ -101,13 +133,14 @@ pub fn lex(src: &str) -> Vec<Token> {
                 // Raw identifier r#ident — strip the prefix.
                 cur.bump();
                 cur.bump();
-                out.push(lex_ident(&mut cur, line));
+                out.push(lex_ident(&mut cur, line, col));
             }
-            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+            b'r' | b'b' | b'c' if starts_prefixed_string(&cur) => {
                 lex_string_like(&mut cur);
-                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                let text = literal_text(&cur);
+                out.push(Token { kind: Kind::Literal, text, line, col });
             }
-            _ if is_ident_start(b) => out.push(lex_ident(&mut cur, line)),
+            _ if is_ident_start(b) => out.push(lex_ident(&mut cur, line, col)),
             b'0'..=b'9' => {
                 let mut text = String::new();
                 while let Some(c) = cur.peek(0) {
@@ -119,29 +152,31 @@ pub fn lex(src: &str) -> Vec<Token> {
                         break;
                     }
                 }
-                out.push(Token { kind: Kind::Number, text, line });
+                out.push(Token { kind: Kind::Number, text, line, col });
             }
             b'"' => {
                 lex_quoted(&mut cur, b'"');
-                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                let text = literal_text(&cur);
+                out.push(Token { kind: Kind::Literal, text, line, col });
             }
             b'\'' => {
                 if lex_char_or_lifetime(&mut cur) {
-                    out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                    let text = literal_text(&cur);
+                    out.push(Token { kind: Kind::Literal, text, line, col });
                 } else {
-                    out.push(Token { kind: Kind::Lifetime, text: String::new(), line });
+                    out.push(Token { kind: Kind::Lifetime, text: String::new(), line, col });
                 }
             }
             _ => {
                 cur.bump();
-                out.push(Token { kind: Kind::Punct, text: (b as char).to_string(), line });
+                out.push(Token { kind: Kind::Punct, text: (b as char).to_string(), line, col });
             }
         }
     }
     out
 }
 
-fn lex_ident(cur: &mut Cursor<'_>, line: usize) -> Token {
+fn lex_ident(cur: &mut Cursor<'_>, line: usize, col: usize) -> Token {
     let mut text = String::new();
     while let Some(c) = cur.peek(0) {
         if is_ident_continue(c) {
@@ -150,7 +185,7 @@ fn lex_ident(cur: &mut Cursor<'_>, line: usize) -> Token {
             break;
         }
     }
-    Token { kind: Kind::Ident, text, line }
+    Token { kind: Kind::Ident, text, line, col }
 }
 
 fn skip_block_comment(cur: &mut Cursor<'_>) {
@@ -172,22 +207,25 @@ fn skip_block_comment(cur: &mut Cursor<'_>) {
     }
 }
 
-/// Is the cursor at `r"`, `r#`, `b"`, `b'`, `br"` or `br#`?
-fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+/// Is the cursor at a prefixed string literal? Covers raw (`r"`, `r#`),
+/// byte (`b"`, `b'`, `br"`, `br#`) and C-string (`c"`, `cr"`, `cr#`)
+/// forms. Plain identifiers like `crate` or `broken` do not match
+/// because the prefix must be immediately followed by `"`, `'` or `#`.
+fn starts_prefixed_string(cur: &Cursor<'_>) -> bool {
     let rest = &cur.src[cur.pos..];
-    [&b"r\""[..], b"r#\"", b"r##", b"b\"", b"b'", b"br\"", b"br#"]
+    [&b"r\""[..], b"r#\"", b"r##", b"b\"", b"b'", b"br\"", b"br#", b"c\"", b"cr\"", b"cr#"]
         .iter()
         .any(|p| rest.starts_with(p))
 }
 
-/// Consumes a raw/byte string (or byte char) starting at `r`/`b`.
+/// Consumes a raw/byte/C string (or byte char) starting at `r`/`b`/`c`.
 fn lex_string_like(cur: &mut Cursor<'_>) {
     let mut raw = false;
     while let Some(c) = cur.peek(0) {
         if c == b'r' {
             raw = true;
             cur.bump();
-        } else if c == b'b' {
+        } else if c == b'b' || c == b'c' {
             cur.bump();
         } else {
             break;
@@ -299,5 +337,70 @@ mod tests {
         let toks = lex("a\nb\n  c");
         let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn columns_are_one_based_and_reset_per_line() {
+        let toks = lex("ab cd\n  ef('x')");
+        let spans: Vec<(usize, usize, &str)> =
+            toks.iter().map(|t| (t.line, t.col, t.text.as_str())).collect();
+        assert_eq!(
+            spans,
+            vec![
+                (1, 1, "ab"),
+                (1, 4, "cd"),
+                (2, 3, "ef"),
+                (2, 5, "("),
+                (2, 6, ""), // the 'x' char literal, opaque under lex()
+                (2, 9, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_at_matching_hashes() {
+        // The inner "# must not close an r##-string.
+        let src = r####"let s = r##"one "# two"##; tail"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "tail"]);
+        let literals = lex(src).into_iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn byte_chars_honor_escapes() {
+        let toks = lex(r"let b = b'\''; done");
+        assert_eq!(idents(r"let b = b'\''; done"), vec!["let", "b", "done"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn c_string_literals_are_single_opaque_tokens() {
+        // c"…" and cr#"…"# are literals, not a `c` ident plus a string;
+        // `crate` must still lex as an identifier.
+        let src = r###"let a = c"null\0"; let b = cr#"raw "c" str"#; crate::x"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "crate", "x"]);
+        let literals = lex(src).into_iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn lex_full_preserves_literal_text() {
+        let src = r#"emit("cache_hit", 'x', b"raw")"#;
+        let lits: Vec<String> =
+            lex_full(src).into_iter().filter(|t| t.kind == Kind::Literal).map(|t| t.text).collect();
+        assert_eq!(lits, vec!["\"cache_hit\"", "'x'", "b\"raw\""]);
+        // The opaque variant still blanks them.
+        assert!(lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Literal)
+            .all(|t| t.text.is_empty()));
+    }
+
+    #[test]
+    fn underscore_lifetime_is_a_lifetime() {
+        let toks = lex("fn f(x: &'_ str) {}");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Lifetime).count(), 1);
     }
 }

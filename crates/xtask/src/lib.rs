@@ -1,12 +1,17 @@
 //! Workspace automation library behind the `cargo xtask` binary.
 //!
-//! The only task so far is **mc-lint** ([`run_lint`]): a deny-by-default
-//! invariant linter over the workspace sources. Rules live in [`lints`],
-//! suppression (with mandatory justifications) in [`allow`], and the
-//! token stream both work on comes from [`lexer`]. DESIGN.md §8
-//! describes how this layer fits next to clippy and the loom suite.
+//! Two checkers share this crate: **mc-lint** ([`run_lint`]), a
+//! deny-by-default invariant linter over the flat token stream, and
+//! **mc-analyze** ([`analyze::run_analyze`]), the structural analysis
+//! layer (item tree + symbol index + lock-order and drift passes).
+//! Lint rules live in [`lints`], analysis passes in [`analyze`],
+//! suppression (with mandatory justifications, one shared file) in
+//! [`allow`], and the token stream everything works on comes from
+//! [`lexer`]. DESIGN.md §8 and §13 describe how these layers fit next
+//! to clippy and the loom suite.
 
 pub mod allow;
+pub mod analyze;
 pub mod lexer;
 pub mod lints;
 
@@ -14,7 +19,17 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use allow::Allowlist;
-use lints::{check_construction_counts, construction_sites, lint_file, Site, Violation};
+use lints::{lint_file, Violation};
+
+/// Every rule name either checker can report — the validation set for
+/// the shared allowlist, so a lint run does not reject an
+/// analyze-scoped entry as unknown (or vice versa).
+pub fn known_rules() -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    rules.extend(lints::RULE_NAMES);
+    rules.extend(analyze::RULE_NAMES);
+    rules
+}
 
 /// Everything one lint run produced.
 #[derive(Debug)]
@@ -88,20 +103,17 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 /// On a malformed allowlist or unreadable sources — configuration
 /// problems, as opposed to the violations reported in the result.
 pub fn run_lint(root: &Path, allowlist_text: &str) -> Result<LintReport, String> {
-    let allowlist = Allowlist::parse(allowlist_text)?;
+    let allowlist = Allowlist::parse(allowlist_text, &known_rules())?;
     let files = collect_sources(root)?;
     let mut violations = Vec::new();
-    let mut sites: Vec<Site> = Vec::new();
     for path in &files {
         let rel = path.strip_prefix(root).unwrap_or(path);
         let rel = rel.to_string_lossy().replace('\\', "/");
         let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
         violations.extend(lint_file(&rel, &src));
-        sites.extend(construction_sites(&rel, &src));
     }
-    violations.extend(check_construction_counts(&sites));
-    let (mut kept, errors) = allowlist.apply(violations);
+    let (mut kept, errors) = allowlist.apply(violations, &lints::RULE_NAMES);
     kept.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    let suppressions_in_use = allowlist.entries.len() - errors.len();
+    let suppressions_in_use = allowlist.in_scope(&lints::RULE_NAMES) - errors.len();
     Ok(LintReport { files: files.len(), violations: kept, errors, suppressions_in_use })
 }

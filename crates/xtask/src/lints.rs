@@ -1,6 +1,6 @@
 //! mc-lint: deny-by-default workspace invariant lints.
 //!
-//! Eight rule families over the lexed token stream (see DESIGN.md §8):
+//! Six rule families over the lexed token stream (see DESIGN.md §8):
 //!
 //! - **`no-unwrap`** — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!   library code. Test spans (`#[cfg(test)]` items, `#[test]` functions)
@@ -28,18 +28,12 @@
 //!   the `mc-spec` runner — the one allowlisted seam — so every bench
 //!   bin stays a thin spec wrapper and its numbers stay comparable.
 //!   Binary targets are **not** exempt: the rule exists for them.
-//! - **`no-direct-fit`** — inside serve-land (`crates/core/src/serve.rs`,
-//!   `sched.rs`, `overload.rs`), no direct context-fit entry points:
-//!   `PreparedBackend::fit` / `fit_metered` / `fit_metered_observed` /
-//!   `from_frozen` / `meter_observed` / `fit_model`. The serve path must
-//!   fit every context through the one `fit_context` seam (allowlisted),
-//!   where the cross-batch cache, pin accounting and cost metering are
-//!   applied uniformly — a direct fit would silently bypass cache reuse
-//!   and break the warm-equals-cold trace identity.
-//! - **`single-construction`** — exactly one construction site for
-//!   `SampleExpectations` (a struct literal) and one definition of
-//!   `continuation_spec` in production code, so the validation contract
-//!   and the prompt recipe cannot silently fork.
+//!
+//! The two scope-sensitive rules that used to live here —
+//! `no-direct-fit` and `single-construction` — migrated onto the
+//! structural item tree in [`crate::analyze::rules`] (DESIGN.md §13),
+//! where "inside the sanctioned seam" is a function body instead of an
+//! allowlist entry.
 //!
 //! Rules report violations; suppression and its justification live in
 //! the allowlist file ([`crate::allow`]), never in the rules.
@@ -47,6 +41,17 @@
 use std::fmt;
 
 use crate::lexer::{lex, Kind, Token};
+
+/// Lint rule names, for reports and allowlist scoping (the analyze
+/// layer has its own set in [`crate::analyze::RULE_NAMES`]).
+pub const RULE_NAMES: [&str; 6] = [
+    "no-unwrap",
+    "no-println",
+    "no-wallclock",
+    "no-direct-sync",
+    "no-unbounded-queue",
+    "no-adhoc-bench",
+];
 
 /// Rule families, used for reporting and allowlist matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,8 +62,6 @@ pub enum Rule {
     NoDirectSync,
     NoUnboundedQueue,
     NoAdhocBench,
-    NoDirectFit,
-    SingleConstruction,
 }
 
 impl Rule {
@@ -71,23 +74,6 @@ impl Rule {
             Rule::NoDirectSync => "no-direct-sync",
             Rule::NoUnboundedQueue => "no-unbounded-queue",
             Rule::NoAdhocBench => "no-adhoc-bench",
-            Rule::NoDirectFit => "no-direct-fit",
-            Rule::SingleConstruction => "single-construction",
-        }
-    }
-
-    /// Parses an allowlist rule name.
-    pub fn parse(s: &str) -> Option<Rule> {
-        match s {
-            "no-unwrap" => Some(Rule::NoUnwrap),
-            "no-println" => Some(Rule::NoPrintln),
-            "no-wallclock" => Some(Rule::NoWallclock),
-            "no-direct-sync" => Some(Rule::NoDirectSync),
-            "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
-            "no-adhoc-bench" => Some(Rule::NoAdhocBench),
-            "no-direct-fit" => Some(Rule::NoDirectFit),
-            "single-construction" => Some(Rule::SingleConstruction),
-            _ => None,
         }
     }
 }
@@ -116,8 +102,9 @@ impl fmt::Display for Violation {
 /// Returns one flag per token. The scan is structural, not syntactic: an
 /// exempting attribute skips over any further attributes, then exempts
 /// the next item — either up to its matching close brace or through a
-/// terminating `;` (for `mod tests;` forms).
-fn test_spans(tokens: &[Token]) -> Vec<bool> {
+/// terminating `;` (for `mod tests;` forms). Public because the analyze
+/// layer applies the same exemption to its full-fidelity token streams.
+pub fn test_spans(tokens: &[Token]) -> Vec<bool> {
     let mut exempt = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -207,18 +194,13 @@ fn violation(path: &str, t: &Token, rule: Rule, symbol: &str, message: String) -
 /// Runs every file-local rule over one source file.
 ///
 /// `path` is the workspace-relative label used in reports and allowlist
-/// matching. Cross-file rules (`single-construction`) are aggregated by
-/// [`construction_sites`] + [`check_construction_counts`].
+/// matching.
 pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
     let tokens = lex(src);
     let exempt = test_spans(&tokens);
     let mut out = Vec::new();
     let in_bin = path.contains("/bin/") || path.ends_with("/main.rs");
     let in_bench_land = path.starts_with("crates/bench/") || path.starts_with("crates/spec/");
-    let in_serve_land =
-        ["crates/core/src/serve", "crates/core/src/sched", "crates/core/src/overload"]
-            .iter()
-            .any(|p| path.starts_with(p));
     for (i, is_exempt) in exempt.iter().enumerate() {
         if *is_exempt {
             continue;
@@ -229,9 +211,6 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
         if in_bench_land {
             no_adhoc_bench(path, &tokens, i, &mut out);
-        }
-        if in_serve_land {
-            no_direct_fit(path, &tokens, i, &mut out);
         }
         no_wallclock(path, &tokens, i, &mut out);
         no_direct_sync(path, &tokens, i, &mut out);
@@ -415,130 +394,6 @@ fn no_adhoc_bench(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violatio
     }
 }
 
-/// Flags direct context-fit entry points in serve-land: the metered fit
-/// constructors (`fit_metered_observed`, `fit_metered`, `from_frozen`,
-/// `meter_observed`, `fit_model`) and the qualified `PreparedBackend::fit`
-/// path. The `fit_context` seam is the one allowlisted caller; every
-/// other serve-path fit must route through it so cache reuse, pinning
-/// and cost metering cannot be bypassed. The bare identifier `fit` is
-/// deliberately not matched — codec fits (`codec.fit(..)`) are a
-/// different, uncached contract.
-fn no_direct_fit(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Violation>) {
-    let t = &tokens[i];
-    if t.kind != Kind::Ident {
-        return;
-    }
-    let banned = matches!(
-        t.text.as_str(),
-        "fit_metered_observed" | "fit_metered" | "from_frozen" | "meter_observed" | "fit_model"
-    );
-    if banned {
-        out.push(violation(
-            path,
-            t,
-            Rule::NoDirectFit,
-            &t.text,
-            format!(
-                "{} called directly in serve-land: every serve-path context fit must go \
-                 through the fit_context seam so the cross-batch cache and cost metering \
-                 cannot be bypassed",
-                t.text
-            ),
-        ));
-    } else if t.text == "PreparedBackend"
-        && next_is_punct(tokens, i, ':')
-        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
-        && tokens.get(i + 3).is_some_and(|t| t.is_ident("fit"))
-    {
-        out.push(violation(
-            path,
-            t,
-            Rule::NoDirectFit,
-            "PreparedBackend::fit",
-            "PreparedBackend::fit called directly in serve-land: every serve-path context \
-             fit must go through the fit_context seam so the cross-batch cache and cost \
-             metering cannot be bypassed"
-                .to_string(),
-        ));
-    }
-}
-
-/// A cross-file construction site found by [`construction_sites`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Site {
-    pub path: String,
-    pub line: usize,
-    /// `SampleExpectations` or `continuation_spec`.
-    pub what: String,
-}
-
-/// Finds production construction sites in one file: struct-literal uses
-/// of `SampleExpectations` and `fn continuation_spec` definitions
-/// (test spans excluded; the struct's own `struct`/`impl` headers are
-/// not construction).
-pub fn construction_sites(path: &str, src: &str) -> Vec<Site> {
-    let tokens = lex(src);
-    let exempt = test_spans(&tokens);
-    let mut out = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if exempt[i] || t.kind != Kind::Ident {
-            continue;
-        }
-        // Type positions that precede a `{` without constructing: the
-        // struct's own definition, impl headers, and return types whose
-        // fn body brace follows immediately.
-        let type_pos = i > 0
-            && (tokens[i - 1].is_ident("struct")
-                || tokens[i - 1].is_ident("impl")
-                || tokens[i - 1].is_ident("for")
-                || (i > 1 && tokens[i - 1].is_punct('>') && tokens[i - 2].is_punct('-')));
-        let struct_ctor =
-            t.text == "SampleExpectations" && next_is_punct(&tokens, i, '{') && !type_pos;
-        let spec_fn = t.text == "continuation_spec" && i > 0 && tokens[i - 1].is_ident("fn");
-        if struct_ctor || spec_fn {
-            out.push(Site { path: path.to_string(), line: t.line, what: t.text.clone() });
-        }
-    }
-    out
-}
-
-/// Enforces the exactly-one rule over the aggregated sites: duplicates
-/// are violations at every extra site, absence is reported against the
-/// workspace itself (line 0).
-pub fn check_construction_counts(sites: &[Site]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for what in ["SampleExpectations", "continuation_spec"] {
-        let of_kind: Vec<&Site> = sites.iter().filter(|s| s.what == what).collect();
-        match of_kind.len() {
-            1 => {}
-            0 => out.push(Violation {
-                path: "<workspace>".to_string(),
-                line: 0,
-                rule: Rule::SingleConstruction,
-                symbol: what.to_string(),
-                message: format!("no production construction site of {what} found"),
-            }),
-            _ => {
-                for s in of_kind {
-                    out.push(Violation {
-                        path: s.path.clone(),
-                        line: s.line,
-                        rule: Rule::SingleConstruction,
-                        symbol: what.to_string(),
-                        message: format!(
-                            "{} constructed in {} places; the contract must have exactly one \
-                             production construction site",
-                            what,
-                            sites.iter().filter(|x| x.what == what).count()
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,28 +457,6 @@ mod tests {
     }
 
     #[test]
-    fn construction_counting_distinguishes_definition_from_use() {
-        let a = construction_sites(
-            "a.rs",
-            "pub struct SampleExpectations { x: u32 }\nfn mk() -> SampleExpectations { SampleExpectations { x: 1 } }",
-        );
-        assert_eq!(a.len(), 1);
-        assert_eq!(a[0].line, 2);
-        let ok = check_construction_counts(&[
-            a[0].clone(),
-            Site { path: "b.rs".into(), line: 9, what: "continuation_spec".into() },
-        ]);
-        assert!(ok.is_empty(), "{ok:?}");
-        let dup = check_construction_counts(&[
-            a[0].clone(),
-            a[0].clone(),
-            Site { path: "b.rs".into(), line: 9, what: "continuation_spec".into() },
-        ]);
-        assert_eq!(dup.len(), 2);
-        assert!(dup.iter().all(|v| v.rule == Rule::SingleConstruction));
-    }
-
-    #[test]
     fn bins_are_exempt_from_unwrap_but_not_determinism() {
         let src = "fn main() { foo().unwrap(); println!(\"x\"); let _ = thread_rng(); }";
         let v = lint_file("src/bin/tool.rs", src);
@@ -650,27 +483,6 @@ mod tests {
         // `observe_all` is a different identifier, not a match.
         let near = "fn main() { observe_all(&mut m, &p); }";
         assert!(lint_file("crates/spec/src/scenarios.rs", near).is_empty());
-    }
-
-    #[test]
-    fn direct_fit_applies_only_in_serve_land_and_spares_codec_fits() {
-        let src = "fn f() { let b = PreparedBackend::fit(&spec); let m = b.meter_observed(l, o, 7); let c = codec.fit(&train); }";
-        let v = lint_file("crates/core/src/serve.rs", src);
-        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
-        assert_eq!(symbols, vec!["PreparedBackend::fit", "meter_observed"]);
-        assert!(v.iter().all(|v| v.rule == Rule::NoDirectFit));
-        // sched.rs and overload.rs are serve-land too.
-        assert_eq!(lint_file("crates/core/src/sched.rs", src).len(), 2);
-        assert_eq!(lint_file("crates/core/src/overload.rs", src).len(), 2);
-        // Outside serve-land the engine's own constructors are fair game.
-        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
-        assert!(lint_file("crates/lm/src/presets.rs", "fn g() { fit_model(p, v, &t); }").is_empty());
-        // `PreparedBackend::fit_metered_observed` flags once (the metered
-        // constructor), not twice — `fit` must be the exact method name.
-        let metered = "fn h() { PreparedBackend::fit_metered_observed(&s, l, o, 1); }";
-        let v = lint_file("crates/core/src/serve.rs", metered);
-        let symbols: Vec<&str> = v.iter().map(|v| v.symbol.as_str()).collect();
-        assert_eq!(symbols, vec!["fit_metered_observed"]);
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! Subcommands:
 //! - `lint` — run mc-lint over the workspace (see `xtask::run_lint`).
 //!   Exits non-zero on any violation or stale allowlist entry.
+//! - `analyze` — run mc-analyze, the structural analysis layer (see
+//!   `xtask::analyze::run_analyze`): lock-order and seam checks,
+//!   exhaustiveness-drift passes, allowlist staleness, and the
+//!   tree-based `no-direct-fit` / `single-construction` rules. Same
+//!   deny-by-default contract and allowlist file as `lint`;
+//!   `--report PATH` additionally writes a machine-readable JSON
+//!   findings report.
 //! - `bench-gate` — compare freshly generated `BENCH_*.json` reports
 //!   against the committed baseline and fail on regressions beyond
 //!   tolerance (default 10 %) in any gated metric (p99 latencies, RMSE,
@@ -63,6 +70,69 @@ fn lint() -> ExitCode {
             "mc-lint: {} violation(s), {} stale allowlist entr{} — fix the code or add a \
              justified entry to mc-lint.allow",
             report.violations.len(),
+            report.errors.len(),
+            if report.errors.len() == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn analyze(args: Vec<String>) -> ExitCode {
+    let mut cli = mc_spec::cli::Cli::new(args);
+    let report_path = match cli.value("--report").map_err(|e| e.to_string()).and_then(|p| {
+        cli.finish().map_err(|e| e.to_string())?;
+        Ok(p)
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mc-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = workspace_root();
+    let allow_path = root.join("mc-lint.allow");
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("mc-analyze: cannot read {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match xtask::analyze::run_analyze(&root, &allowlist) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mc-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = report_path {
+        let path = root.join(path);
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("mc-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for e in &report.errors {
+        println!("{e}");
+    }
+    if report.clean() {
+        println!(
+            "mc-analyze: {} files clean ({} lock sites covered, {} allowlist entr{} in use)",
+            report.files,
+            report.lock_sites,
+            report.suppressions_in_use,
+            if report.suppressions_in_use == 1 { "y" } else { "ies" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "mc-analyze: {} finding(s), {} stale allowlist entr{} — fix the code or add a \
+             justified entry to mc-lint.allow",
+            report.findings.len(),
             report.errors.len(),
             if report.errors.len() == 1 { "y" } else { "ies" }
         );
@@ -143,16 +213,18 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("analyze") => analyze(args.collect()),
         Some("bench-gate") => bench_gate(args.collect()),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint, bench-gate)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, analyze, bench-gate)");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
                 "usage: cargo xtask <task>\n\ntasks:\n  lint          run mc-lint over the \
-                 workspace\n  bench-gate    compare BENCH_*.json reports against the committed \
-                 baseline"
+                 workspace\n  analyze       run mc-analyze (lock order, drift, allowlist \
+                 staleness) [--report PATH]\n  bench-gate    compare BENCH_*.json reports \
+                 against the committed baseline"
             );
             ExitCode::FAILURE
         }

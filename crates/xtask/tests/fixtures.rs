@@ -1,19 +1,23 @@
 //! mc-lint end-to-end: every fixture under `tests/fixtures/` is a
 //! known-bad snippet, and these tests pin down exactly what each rule
 //! flags, what the test-span exemption skips, and how the allowlist
-//! suppresses (or goes stale).
+//! suppresses (or goes stale). The structural rules (`no-direct-fit`,
+//! `single-construction`, lock order, drift) are exercised end-to-end
+//! in `tests/analyze.rs`.
 
 use xtask::allow::Allowlist;
-use xtask::lints::{check_construction_counts, construction_sites, lint_file, Rule, Violation};
+use xtask::lints::{lint_file, Violation, RULE_NAMES};
 
 const UNWRAP_FIXTURE: &str = include_str!("fixtures/unwrap_in_lib.rs");
 const PRINTLN_FIXTURE: &str = include_str!("fixtures/println_in_lib.rs");
 const WALLCLOCK_FIXTURE: &str = include_str!("fixtures/wallclock.rs");
 const SYNC_FIXTURE: &str = include_str!("fixtures/direct_sync.rs");
-const DUP_FIXTURE: &str = include_str!("fixtures/dup_construction.rs");
 const QUEUE_FIXTURE: &str = include_str!("fixtures/unbounded_queue.rs");
 const ADHOC_FIXTURE: &str = include_str!("fixtures/adhoc_bench.rs");
-const DIRECT_FIT_FIXTURE: &str = include_str!("fixtures/direct_fit.rs");
+
+fn known() -> Vec<&'static str> {
+    xtask::known_rules()
+}
 
 /// `(rule, symbol, line)` triples, sorted, for compact assertions.
 fn shape(violations: &[Violation]) -> Vec<(&'static str, String, usize)> {
@@ -95,9 +99,11 @@ fn queue_fixture_flags_imports_types_and_constructors_but_not_tests() {
     let allow = Allowlist::parse(
         "no-unbounded-queue tests/fixtures/unbounded_queue.rs VecDeque -- fixture exercise\n\
          no-unbounded-queue tests/fixtures/unbounded_queue.rs mpsc -- fixture exercise\n",
+        &known(),
     )
     .unwrap();
-    let (kept, stale) = allow.apply(lint_file("tests/fixtures/unbounded_queue.rs", QUEUE_FIXTURE));
+    let (kept, stale) =
+        allow.apply(lint_file("tests/fixtures/unbounded_queue.rs", QUEUE_FIXTURE), &RULE_NAMES);
     assert!(kept.is_empty() && stale.is_empty());
 }
 
@@ -122,59 +128,13 @@ fn adhoc_bench_fixture_flags_bins_in_bench_land_only() {
     assert_eq!(runner.len(), 4);
     let allow = Allowlist::parse(
         "no-adhoc-bench crates/spec/src/runner.rs * -- the runner is the sanctioned seam\n",
+        &known(),
     )
     .unwrap();
-    let (kept, stale) = allow.apply(runner);
+    let (kept, stale) = allow.apply(runner, &RULE_NAMES);
     assert!(kept.is_empty() && stale.is_empty());
     // Outside bench-land the rule never fires.
     assert!(lint_file("crates/core/src/serve.rs", ADHOC_FIXTURE).is_empty());
-}
-
-#[test]
-fn direct_fit_fixture_flags_serve_land_only() {
-    // Under the serve.rs path every raw fit entry point is flagged; the
-    // codec fit on line 12 and the test-span fits are not.
-    let got = shape(&lint_file("crates/core/src/serve.rs", DIRECT_FIT_FIXTURE));
-    assert_eq!(
-        got,
-        vec![
-            ("no-direct-fit", "PreparedBackend::fit".to_string(), 8),
-            ("no-direct-fit", "fit_metered_observed".to_string(), 9),
-            ("no-direct-fit", "fit_model".to_string(), 11),
-            ("no-direct-fit", "from_frozen".to_string(), 10),
-            ("no-direct-fit", "meter_observed".to_string(), 10),
-        ]
-    );
-    // The workspace allowlist suppresses the sanctioned fit_context seam
-    // per symbol, exactly like the real serve.rs entries.
-    let allow = Allowlist::parse(
-        "no-direct-fit crates/core/src/serve.rs PreparedBackend::fit -- fit_context seam\n\
-         no-direct-fit crates/core/src/serve.rs fit_metered_observed -- fit_context seam\n\
-         no-direct-fit crates/core/src/serve.rs from_frozen -- fit_context seam\n\
-         no-direct-fit crates/core/src/serve.rs meter_observed -- fit_context seam\n\
-         no-direct-fit crates/core/src/serve.rs fit_model -- fit_context seam\n",
-    )
-    .unwrap();
-    let (kept, stale) = allow.apply(lint_file("crates/core/src/serve.rs", DIRECT_FIT_FIXTURE));
-    assert!(kept.is_empty() && stale.is_empty());
-    // Outside serve-land the engine's own constructors never fire.
-    assert!(lint_file("crates/core/src/engine.rs", DIRECT_FIT_FIXTURE).is_empty());
-    assert!(lint_file("crates/lm/src/presets.rs", DIRECT_FIT_FIXTURE).is_empty());
-}
-
-#[test]
-fn dup_fixture_reports_every_extra_construction_site() {
-    let sites = construction_sites("tests/fixtures/dup_construction.rs", DUP_FIXTURE);
-    let got = shape(&check_construction_counts(&sites));
-    assert_eq!(
-        got,
-        vec![
-            ("single-construction", "SampleExpectations".to_string(), 10),
-            ("single-construction", "SampleExpectations".to_string(), 16),
-            ("single-construction", "continuation_spec".to_string(), 19),
-            ("single-construction", "continuation_spec".to_string(), 25),
-        ]
-    );
 }
 
 #[test]
@@ -187,22 +147,28 @@ fn allowlist_suppresses_exactly_what_it_names() {
     let allow = Allowlist::parse(
         "no-unwrap tests/fixtures/unwrap_in_lib.rs unwrap -- fixture exercise\n\
          no-unwrap tests/fixtures/unwrap_in_lib.rs expect -- fixture exercise\n",
+        &known(),
     )
     .unwrap();
-    let (kept, stale) = allow.apply(violations.clone());
+    let (kept, stale) = allow.apply(violations.clone(), &RULE_NAMES);
     assert!(stale.is_empty());
     assert_eq!(shape(&kept), vec![("no-unwrap", "panic".to_string(), 13)]);
 
     // A wildcard symbol with a path prefix suppresses the whole family.
-    let allow = Allowlist::parse("no-unwrap tests/fixtures * -- fixtures are known-bad\n").unwrap();
-    let (kept, stale) = allow.apply(violations.clone());
+    let allow =
+        Allowlist::parse("no-unwrap tests/fixtures * -- fixtures are known-bad\n", &known())
+            .unwrap();
+    let (kept, stale) = allow.apply(violations.clone(), &RULE_NAMES);
     assert!(kept.is_empty() && stale.is_empty());
 
     // The rule must match, not just the path: a no-wallclock entry
     // suppresses nothing here and is reported stale.
-    let allow =
-        Allowlist::parse("no-wallclock tests/fixtures/unwrap_in_lib.rs * -- wrong rule\n").unwrap();
-    let (kept, stale) = allow.apply(violations);
+    let allow = Allowlist::parse(
+        "no-wallclock tests/fixtures/unwrap_in_lib.rs * -- wrong rule\n",
+        &known(),
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(violations, &RULE_NAMES);
     assert_eq!(kept.len(), 4);
     assert_eq!(stale.len(), 1);
     assert!(stale[0].contains("no-wallclock"), "stale message names the entry: {}", stale[0]);
@@ -210,37 +176,41 @@ fn allowlist_suppresses_exactly_what_it_names() {
 
 #[test]
 fn stale_entries_fail_even_when_everything_else_is_clean() {
-    let allow =
-        Allowlist::parse("no-direct-sync crates/nonexistent * -- covers nothing at all\n").unwrap();
-    let (kept, stale) = allow.apply(Vec::new());
+    let allow = Allowlist::parse(
+        "no-direct-sync crates/nonexistent * -- covers nothing at all\n",
+        &known(),
+    )
+    .unwrap();
+    let (kept, stale) = allow.apply(Vec::<Violation>::new(), &RULE_NAMES);
     assert!(kept.is_empty());
     assert_eq!(stale.len(), 1);
 }
 
 #[test]
 fn allowlist_rejects_missing_or_empty_justification() {
-    assert!(Allowlist::parse("no-unwrap crates/foo *\n").is_err());
-    assert!(Allowlist::parse("no-unwrap crates/foo * --\n").is_err());
-    assert!(Allowlist::parse("no-such-rule crates/foo * -- why\n").is_err());
+    assert!(Allowlist::parse("no-unwrap crates/foo *\n", &known()).is_err());
+    assert!(Allowlist::parse("no-unwrap crates/foo * --\n", &known()).is_err());
+    assert!(Allowlist::parse("no-such-rule crates/foo * -- why\n", &known()).is_err());
     // Comments and blank lines are fine.
-    let allow = Allowlist::parse("# header\n\nno-unwrap crates/foo bar -- reason\n").unwrap();
-    let (_, stale) = allow.apply(Vec::new());
+    let allow =
+        Allowlist::parse("# header\n\nno-unwrap crates/foo bar -- reason\n", &known()).unwrap();
+    let (_, stale) = allow.apply(Vec::<Violation>::new(), &RULE_NAMES);
     assert_eq!(stale.len(), 1);
 }
 
 #[test]
-fn every_rule_name_round_trips_through_parse() {
-    for rule in [
-        Rule::NoUnwrap,
-        Rule::NoPrintln,
-        Rule::NoWallclock,
-        Rule::NoDirectSync,
-        Rule::NoUnboundedQueue,
-        Rule::NoAdhocBench,
-        Rule::NoDirectFit,
-        Rule::SingleConstruction,
-    ] {
-        assert_eq!(Rule::parse(rule.name()), Some(rule));
+fn every_known_rule_name_is_accepted_and_unique() {
+    let rules = known();
+    // Lint and analyze scopes must not collide: an entry's rule name
+    // decides which run owns it.
+    let mut sorted = rules.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), rules.len(), "duplicate rule name across scopes: {rules:?}");
+    for rule in &rules {
+        let line = format!("{rule} crates/foo * -- exercising every rule name\n");
+        assert!(Allowlist::parse(&line, &rules).is_ok(), "rule {rule} rejected");
     }
-    assert_eq!(Rule::parse("no-such-rule"), None);
+    assert!(xtask::lints::RULE_NAMES.iter().all(|r| rules.contains(r)));
+    assert!(xtask::analyze::RULE_NAMES.iter().all(|r| rules.contains(r)));
 }

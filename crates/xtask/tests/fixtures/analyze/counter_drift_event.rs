@@ -1,0 +1,8 @@
+//! Seeded counter drift, mc-obs side: the names table is missing
+//! "shape" and DEFECT_CLASSES still says 1 — the counter array no
+//! longer mirrors the DefectClass taxonomy. Analyzed by
+//! tests/analyze.rs; never compiled.
+
+pub const DEFECT_CLASSES: usize = 1;
+
+pub const DEFECT_CLASS_NAMES: [&str; DEFECT_CLASSES] = ["truncated"];

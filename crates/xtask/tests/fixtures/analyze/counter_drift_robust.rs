@@ -1,0 +1,17 @@
+//! Seeded counter drift, mc-core side: `DefectClass::Shape` produces the
+//! name "shape", which the obs-side fixture's DEFECT_CLASS_NAMES table
+//! does not mirror. Analyzed by tests/analyze.rs; never compiled.
+
+pub enum DefectClass {
+    Truncated,
+    Shape,
+}
+
+impl DefectClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectClass::Truncated => "truncated",
+            DefectClass::Shape => "shape",
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded lock-order cycle: `ab` and `ba` acquire the same two locks in
+//! opposite orders — the analyzer must fail with a cycle finding at the
+//! reversed acquisition. Analyzed under a synthetic serve-land path by
+//! tests/analyze.rs; never compiled.
+
+use mc_sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn ab(&self) {
+        let ga = self.a.lock().expect("a");
+        let gb = self.b.lock().expect("b");
+        let _ = (&ga, &gb);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock().expect("b");
+        let ga = self.a.lock().expect("a");
+        let _ = (&ga, &gb);
+    }
+}

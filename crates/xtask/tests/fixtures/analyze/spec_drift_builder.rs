@@ -1,0 +1,7 @@
+//! Seeded spec-key drift, builder side: lowers only `seed`; the spec
+//! fixture's `dead_knob` field is never read here. Analyzed by
+//! tests/analyze.rs; never compiled.
+
+pub fn lower(spec: &ScenarioSpec) -> Lowered {
+    Lowered { seed: spec.seed }
+}

@@ -1,0 +1,14 @@
+//! Seeded spec-key drift, grammar side: the `dead_knob` key assigns a
+//! field the builder fixture never reads — a silently dead knob.
+//! Analyzed by tests/analyze.rs; never compiled.
+
+impl ScenarioSpec {
+    fn apply_top(&mut self, key: &str, v: &str) -> Result<(), SpecError> {
+        match key {
+            "seed" => self.seed = parse(v)?,
+            "dead_knob" => self.dead_knob = parse(v)?,
+            _ => return Err(SpecError::UnknownKey),
+        }
+        Ok(())
+    }
+}
