@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! scenario <file.spec>... [--fast] [--results-dir DIR] [--bench-dir DIR]
-//!          [--figure figN] [--trace PATH] [--metrics]
+//!          [--figure figN] [--trace PATH] [--spans PATH] [--metrics]
 //! ```
 //!
 //! Each file is parsed as a [`ScenarioSpec`] (unknown keys, duplicate
 //! keys and malformed values are typed errors), lowered onto the
 //! engine/serve seams and executed. `--bench-dir` additionally writes
-//! the scenario's canonical `BENCH_<name>.json` there.
+//! the scenario's canonical `BENCH_<name>.json` there; `--trace` exports
+//! the telemetry scenario's canonical JSONL trace and `--spans` the
+//! latency audit's Chrome trace-event (Perfetto) JSON — they are
+//! different formats, so pointing both at one path is a typed conflict.
 
-use mc_spec::cli::Cli;
+use mc_spec::cli::{Cli, CliError};
 use mc_spec::{RunOptions, Runner, ScenarioSpec};
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -27,6 +30,16 @@ fn main() {
     let bench_dir = cli.value("--bench-dir").unwrap_or_else(|e| fail(e));
     let figure = cli.value("--figure").unwrap_or_else(|e| fail(e));
     let trace = cli.value("--trace").unwrap_or_else(|e| fail(e));
+    let spans = cli.value("--spans").unwrap_or_else(|e| fail(e));
+    if let (Some(t), Some(s)) = (&trace, &spans) {
+        if t == s {
+            fail(CliError::conflict(
+                "--trace",
+                "--spans",
+                format!("both would write `{t}` (JSONL trace vs Chrome trace-event JSON)"),
+            ));
+        }
+    }
     let mut files = Vec::new();
     while let Some(p) = cli.positional() {
         files.push(p);
@@ -42,6 +55,7 @@ fn main() {
         bench_dir: bench_dir.map(Into::into),
         figure,
         trace_path: trace.map(Into::into),
+        spans_path: spans.map(Into::into),
         print_metrics,
     });
     for file in files {

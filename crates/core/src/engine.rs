@@ -30,7 +30,9 @@ use mc_lm::sampler::{Sampler, SamplerConfig};
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::{TokenId, Vocab};
 
-use mc_obs::{EventKind, Fingerprint, NoopRecorder, Recorder, TraceEvent};
+use mc_obs::{
+    point_span, EventKind, Fingerprint, NoopRecorder, Recorder, SpanGuard, SpanKind, TraceEvent,
+};
 
 use crate::codec::{Codec, FittedCodec};
 use crate::config::ForecastConfig;
@@ -156,7 +158,12 @@ impl ForecastEngine {
         let cfg = self.config;
         let spec = self.continuation_spec(fitted, horizon);
         let ctx = spec_fingerprint(&spec);
-        let backend = PreparedBackend::fit(&spec)?;
+        let backend = {
+            // The `context_fit` span is keyed by the context fingerprint
+            // (its own root lane), mirroring the ctx-keyed fit event.
+            let _fit_span = SpanGuard::open(obs, ctx, SpanKind::ContextFit);
+            PreparedBackend::fit(&spec)?
+        };
         if obs.enabled() {
             let prompt = backend.prompt_cost();
             obs.record(TraceEvent {
@@ -190,6 +197,7 @@ impl ForecastEngine {
                     met: run.quorum_met,
                 },
             });
+            point_span(obs, req, SpanKind::Quorum);
         }
         Ok(EngineRun::new(run, self.config, backend.prompt_cost()))
     }

@@ -32,7 +32,8 @@ use mc_baselines::fallback::FallbackForecaster;
 use mc_lm::cost::InferenceCost;
 use mc_lm::sampler::SamplerConfig;
 use mc_obs::{
-    AttemptClass, Counter, EventKind, MetricsRegistry, NoopRecorder, Recorder, TraceEvent,
+    point_span, AttemptClass, Counter, EventKind, MetricsRegistry, NoopRecorder, Recorder,
+    SpanGuard, SpanKind, TraceEvent,
 };
 
 use crate::pipeline::{run_continuation, ContinuationSpec};
@@ -756,6 +757,47 @@ pub fn execute_attempt(
     }
 }
 
+/// [`execute_attempt`] wrapped in causal spans: an `attempt(sample, n)`
+/// span covers the whole unit and a nested `draw` span covers the
+/// backend decode inside it. Span ids are pure functions of the
+/// request fingerprint and coordinates, so the span multiset is
+/// schedule-invariant like the attempt events themselves. Both guards
+/// close via `Drop`, which runs during the `catch_unwind` unwind inside
+/// `execute_attempt` — a panicking draw still closes its spans. Results
+/// are identical to the unobserved path.
+pub fn execute_attempt_observed(
+    scope: TraceScope<'_>,
+    source: SampleSource,
+    (sample, attempt): (usize, usize),
+    expect: &SampleExpectations,
+    budget: Option<u64>,
+    draw: impl FnOnce(Option<u64>) -> Result<(String, InferenceCost)>,
+    decode: impl FnOnce(&str) -> Result<Vec<Vec<f64>>>,
+) -> AttemptOutcome {
+    let coords = (sample as u32, attempt as u32);
+    let _attempt_span = SpanGuard::open(
+        scope.obs,
+        scope.req,
+        SpanKind::Attempt { sample: coords.0, attempt: coords.1 },
+    );
+    execute_attempt(
+        source,
+        sample,
+        attempt,
+        expect,
+        budget,
+        move |effective| {
+            let _draw_span = SpanGuard::open(
+                scope.obs,
+                scope.req,
+                SpanKind::Draw { sample: coords.0, attempt: coords.1 },
+            );
+            draw(effective)
+        },
+        decode,
+    )
+}
+
 /// A recorder plus the request/context trace keys its events are tagged
 /// with — bundled so observed entry points stay at a sane arity.
 #[derive(Clone, Copy)]
@@ -1129,10 +1171,10 @@ where
                 let expect = &*expect;
                 s.spawn(move || {
                     let vi = virtual_index(samples, i, attempt);
-                    *slot = Some(execute_attempt(
+                    *slot = Some(execute_attempt_observed(
+                        scope,
                         source,
-                        i,
-                        attempt,
+                        (i, attempt),
                         expect,
                         budget,
                         |b| draw(vi, b),
@@ -1155,6 +1197,11 @@ where
                         ctx: scope.ctx,
                         kind: EventKind::Retry { sample: i as u32, attempt: attempt as u32 },
                     });
+                    point_span(
+                        scope.obs,
+                        scope.req,
+                        SpanKind::Retry { sample: i as u32, attempt: attempt as u32 },
+                    );
                 }
                 next.push((i, attempt));
             }

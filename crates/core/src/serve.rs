@@ -68,7 +68,10 @@ use mc_lm::presets::ModelPreset;
 use mc_lm::tokenizer::{CharTokenizer, Tokenizer};
 use mc_lm::vocab::Vocab;
 
-use mc_obs::{mix, EventKind, Fingerprint, NoopRecorder, Recorder, TraceEvent};
+use mc_obs::{
+    mix, point_span, EventKind, Fingerprint, NoopRecorder, Recorder, SpanEvent, SpanKind,
+    TraceEvent,
+};
 use mc_sax::encoder::SaxConfig;
 
 use crate::codec::{Codec, DigitCodec, FittedCodec, SaxCodec};
@@ -76,12 +79,14 @@ use crate::config::ForecastConfig;
 use crate::engine::{spec_family, spec_fingerprint, EngineRun, ForecastEngine, PreparedBackend};
 use crate::mux::MuxMethod;
 use crate::overload::{
-    BreakerPolicy, BreakerTransition, CircuitBreaker, OverloadState, Priority, ServeDefect,
+    record_shed, BreakerPolicy, BreakerTransition, CircuitBreaker, OverloadState, Priority,
+    ServeDefect,
 };
 use crate::pipeline::ContinuationSpec;
 use crate::robust::{
-    execute_attempt, record_attempt, virtual_index, AttemptDisposition, AttemptOutcome,
+    execute_attempt_observed, record_attempt, virtual_index, AttemptDisposition, AttemptOutcome,
     FallbackPolicy, ForecastReport, RobustProgress, SampleDefect, SampleExpectations, SampleSource,
+    TraceScope,
 };
 use crate::sched::TaskQueue;
 
@@ -363,7 +368,9 @@ struct RequestState {
 
 enum Prepared {
     Ready(Box<RequestState>),
-    Failed(TsError),
+    /// Preparation failed (codec or fit); carries the request's trace
+    /// fingerprint so [`finalize`] can close its `request` span.
+    Failed(TsError, u64),
     /// Rejected before preparation by the overload layer (admission
     /// shed, quota, breaker) or at submit time (queue full).
     Rejected(ServeDefect),
@@ -460,13 +467,7 @@ fn admit(
             for &(i, _, fp) in &survivors[cap..] {
                 let Admission::Run(request, _) = &slots[i] else { unreachable!() };
                 let priority = request.priority;
-                if obs.enabled() {
-                    obs.record(TraceEvent {
-                        req: fp,
-                        ctx: 0,
-                        kind: EventKind::Shed { priority: priority.rank() },
-                    });
-                }
+                record_shed(obs, fp, priority);
                 slots[i] = Admission::Reject(ServeDefect::Shed { priority });
             }
         }
@@ -508,7 +509,8 @@ fn fit_context(
     let tokens = CharTokenizer::new(spec.vocab.clone())
         .encode(&spec.prompt)
         .map_err(|e| pipeline_error("encode-prompt", e.to_string()))?;
-    let (frozen, epoch, event) = match cache.acquire(family, ctx_fp, &tokens) {
+    let (frozen, epoch, event) = match cache.acquire_observed(family, ctx_fp, &tokens, obs.as_ref())
+    {
         Found::Hit { frozen, epoch } => (frozen, epoch, EventKind::CacheHit),
         Found::Refit { frozen, epoch, appended } => {
             (frozen, epoch, EventKind::CacheRefit { appended: appended as u64, epoch })
@@ -582,6 +584,14 @@ fn prepare(
             }
         };
         let request = &*request;
+        // The `request` span covers prepare → finalize for every admitted
+        // request. Its id is a pure function of the occurrence-mixed
+        // content fingerprint, so the canonical span multiset is invariant
+        // across submission orders and worker counts; rejected slots never
+        // open one (they get a zero-length `shed` span at admission).
+        if obs.enabled() {
+            obs.span(SpanEvent::open(fp, SpanKind::Request));
+        }
         let prepared = (|| -> Result<Box<RequestState>> {
             let engine = ForecastEngine::with_source(request.config, request.source);
             let codec = request.codec.build(&request.config);
@@ -606,8 +616,18 @@ fn prepare(
                 }
                 None => {
                     let ledger = Arc::new(CostLedger::new());
+                    // The context fingerprint is only known once the fit
+                    // resolves, so the `context_fit` span opens
+                    // *retroactively*: stamp (t, wall) before the fit and
+                    // backdate the open to them afterwards. A failed fit
+                    // emits nothing — no orphaned open half.
+                    let fit_start = obs.now();
+                    let fit_wall = obs.wall();
                     let (backend, ctx_fp, pin) = fit_context(&spec, cache, ledger.clone(), obs)?;
                     if obs.enabled() {
+                        let open = SpanEvent::open(ctx_fp, SpanKind::ContextFit);
+                        obs.span_at(open, fit_start, fit_wall);
+                        obs.span(SpanEvent::close(ctx_fp, SpanKind::ContextFit));
                         let prompt = backend.prompt_cost();
                         obs.record(TraceEvent {
                             req: 0,
@@ -649,7 +669,7 @@ fn prepare(
         })();
         states.push(match prepared {
             Ok(state) => Prepared::Ready(state),
-            Err(e) => Prepared::Failed(e),
+            Err(e) => Prepared::Failed(e, fp),
         });
     }
     (states, contexts)
@@ -675,10 +695,11 @@ fn run_task(
     let vi = virtual_index(st.samples, task.sample, task.attempt);
     let sampler_config = st.request.config.sampler_for(vi);
     let budget = st.progress.lock().expect("request lock").remaining_budget(task.sample);
-    let outcome = execute_attempt(
+    let scope = TraceScope { obs, req: st.fp, ctx: st.ctx_fp };
+    let outcome = execute_attempt_observed(
+        scope,
         st.request.source,
-        task.sample,
-        task.attempt,
+        (task.sample, task.attempt),
         &st.expect,
         budget,
         |b| sampler.draw_budgeted(sampler_config, b),
@@ -700,6 +721,11 @@ fn run_task(
                     ctx: st.ctx_fp,
                     kind: EventKind::Retry { sample: task.sample as u32, attempt: attempt as u32 },
                 });
+                point_span(
+                    obs,
+                    st.fp,
+                    SpanKind::Retry { sample: task.sample as u32, attempt: attempt as u32 },
+                );
             }
             let delay = st.request.config.robust.backoff_delay(attempt);
             if delay > 0 {
@@ -713,6 +739,11 @@ fn run_task(
                             delay: delay as u32,
                         },
                     });
+                    point_span(
+                        obs,
+                        st.fp,
+                        SpanKind::Backoff { sample: task.sample as u32, attempt: attempt as u32 },
+                    );
                 }
                 queue.push_deferred(Task { attempt, ..task }, delay);
             } else {
@@ -771,7 +802,7 @@ fn run_batch(
         .iter()
         .map(|prep| match prep {
             Prepared::Ready(st) => Some(st.request.client),
-            Prepared::Failed(_) | Prepared::Rejected(_) => None,
+            Prepared::Failed(..) | Prepared::Rejected(_) => None,
         })
         .collect();
     let outcomes: Vec<ServeOutcome> = states
@@ -843,7 +874,12 @@ fn finalize(
 ) -> ServeOutcome {
     let id = RequestId(base_id + index);
     let st = match prep {
-        Prepared::Failed(e) => {
+        Prepared::Failed(e, fp) => {
+            // The request span opened at prepare time; a failed
+            // preparation still closes it.
+            if obs.enabled() {
+                obs.span(SpanEvent::close(fp, SpanKind::Request));
+            }
             return ServeOutcome {
                 id,
                 forecast: Err(e),
@@ -870,7 +906,7 @@ fn finalize(
         if ctx.owner == index { ctx.backend.prompt_cost() } else { InferenceCost::default() };
     let progress = st.progress.into_inner().expect("request lock");
     let generated = progress.cost();
-    match progress.finish() {
+    let outcome = match progress.finish() {
         Ok(run) => {
             if obs.enabled() {
                 let required = st.request.config.robust.required_valid(st.samples);
@@ -883,6 +919,7 @@ fn finalize(
                         met: run.quorum_met,
                     },
                 });
+                point_span(obs, st.fp, SpanKind::Quorum);
                 if !run.quorum_met
                     && st.request.config.robust.fallback == FallbackPolicy::SeasonalNaive
                 {
@@ -891,6 +928,7 @@ fn finalize(
                         ctx: st.ctx_fp,
                         kind: EventKind::Fallback,
                     });
+                    point_span(obs, st.fp, SpanKind::Fallback);
                 }
             }
             let engine_run = EngineRun::new(run, st.request.config, cost);
@@ -915,7 +953,11 @@ fn finalize(
             cost.absorb(generated);
             ServeOutcome { id, forecast: Err(e), report: None, cost, context: Some(st.context) }
         }
+    };
+    if obs.enabled() {
+        obs.span(SpanEvent::close(st.fp, SpanKind::Request));
     }
+    outcome
 }
 
 /// Serves a batch of requests over `config.workers` threads and shared,

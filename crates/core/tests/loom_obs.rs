@@ -18,7 +18,8 @@ use mc_loom::sync::Arc;
 use mc_loom::{explore, model, thread};
 
 use mc_obs::{
-    Clock, Counter, EventKind, LogicalClock, MetricsRegistry, Observer, Recorder, TraceEvent,
+    pair_spans, Clock, Counter, EventKind, LogicalClock, MetricsRegistry, Observer, Recorder,
+    SpanGuard, SpanKind, TraceEvent,
 };
 
 /// Racing `fetch_add`s on the registry's counters, defect slots and a
@@ -108,5 +109,55 @@ fn observer_conserves_concurrent_events() {
         stamps.sort_unstable();
         stamps.dedup();
         assert_eq!(stamps.len(), 4, "logical stamps never collide");
+    });
+}
+
+/// Span-pairing safety under contention: two racing emitters, each
+/// opening and closing nested spans through RAII [`SpanGuard`]s (one of
+/// them unwinding out of a panicking closure), leave a buffer in which no
+/// span is orphaned or double-closed, in every interleaving — and the
+/// per-kind open counters agree with the buffer.
+#[test]
+fn racing_span_guards_never_orphan_or_double_close() {
+    model(|| {
+        let obs = Arc::new(Observer::logical());
+        let workers: Vec<_> = (0..2u64)
+            .map(|i| {
+                let obs = Arc::clone(&obs);
+                thread::spawn(move || {
+                    let inner = {
+                        let _attempt = SpanGuard::open(
+                            obs.as_ref(),
+                            i,
+                            SpanKind::Attempt { sample: i as u32, attempt: 0 },
+                        );
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _draw = SpanGuard::open(
+                                obs.as_ref(),
+                                i,
+                                SpanKind::Draw { sample: i as u32, attempt: 0 },
+                            );
+                            if i == 1 {
+                                panic!("rigged draw");
+                            }
+                        }))
+                    };
+                    assert_eq!(inner.is_err(), i == 1, "exactly worker 1 unwinds");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 8, "2 workers x (attempt + draw) x (open + close)");
+        let paired = pair_spans(&spans).expect("no orphaned or double-closed span");
+        assert_eq!(paired.len(), 4);
+        for p in &paired {
+            assert!(p.close_t > p.open_t, "closes stamp after opens");
+        }
+        let metrics = obs.metrics();
+        assert_eq!(metrics.span_open_count(&SpanKind::Attempt { sample: 0, attempt: 0 }), 2);
+        assert_eq!(metrics.span_open_count(&SpanKind::Draw { sample: 0, attempt: 0 }), 2);
     });
 }

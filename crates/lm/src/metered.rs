@@ -16,7 +16,7 @@
 use mc_sync::atomic::{AtomicU64, Ordering};
 use mc_sync::Arc;
 
-use mc_obs::{EventKind, NoopRecorder, Recorder, TraceEvent};
+use mc_obs::{mix, EventKind, NoopRecorder, Recorder, SpanEvent, SpanKind, TraceEvent};
 
 use crate::cost::InferenceCost;
 use crate::model::{DecodeSession, FrozenLm};
@@ -123,11 +123,23 @@ impl FrozenLm for MeteredLm {
     }
 
     fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        // A `session` span covers the fork-to-drop life of the cursor.
+        // Drop order is scheduler-dependent, so the id is minted from a
+        // logical tick (sidecar lane, never canonical); the close half is
+        // emitted in Drop, which runs even during unwinding.
+        let span = if self.recorder.enabled() {
+            let id = mix(self.recorder.now(), SpanKind::Session.index() as u64);
+            self.recorder.span(SpanEvent::open_with_id(id, self.ctx, SpanKind::Session));
+            Some(id)
+        } else {
+            None
+        };
         Box::new(MeteredSession {
             inner: self.inner.fork(),
             ledger: &self.ledger,
             recorder: self.recorder.as_ref(),
             ctx: self.ctx,
+            span,
         })
     }
 }
@@ -138,6 +150,7 @@ struct MeteredSession<'a> {
     ledger: &'a CostLedger,
     recorder: &'a dyn Recorder,
     ctx: u64,
+    span: Option<u64>,
 }
 
 impl DecodeSession for MeteredSession<'_> {
@@ -171,6 +184,9 @@ impl Drop for MeteredSession<'_> {
                     work_units: cost.work_units,
                 },
             });
+        }
+        if let Some(id) = self.span {
+            self.recorder.span(SpanEvent::close_with_id(id, self.ctx, SpanKind::Session));
         }
     }
 }

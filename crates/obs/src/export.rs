@@ -19,6 +19,7 @@ use std::fmt::Write;
 
 use crate::event::{EventKind, TraceEvent};
 use crate::record::{ClockMode, Stamped};
+use crate::span::{SpanEvent, SpanPhase, StampedSpan};
 
 /// Renders buffered events as JSONL in the given mode.
 pub fn to_jsonl(events: &[Stamped], mode: ClockMode) -> String {
@@ -116,6 +117,87 @@ fn body(event: &TraceEvent) -> String {
         }
         EventKind::CacheEvict { evictions } => {
             let _ = write!(s, ",\"evictions\":{evictions}");
+        }
+    }
+    s
+}
+
+/// Renders buffered span halves as JSONL in the given mode.
+///
+/// - **Canonical** ([`ClockMode::Logical`]) — scheduler-scoped kinds are
+///   dropped, the rest are sorted by `(scope fingerprint, pipeline rank,
+///   sample, attempt, phase, id)` and `t` is re-stamped as the canonical
+///   index; the wall sidecar stamp is omitted. Deterministic span ids
+///   are pure content functions ([`crate::span::span_id`]), so the
+///   result is byte-identical across worker counts and submission
+///   orders.
+/// - **Emission order** ([`ClockMode::Wall`]) — every half, in buffer
+///   order, with both stamps (`t` and `wall`).
+pub fn spans_to_jsonl(spans: &[StampedSpan], mode: ClockMode) -> String {
+    match mode {
+        ClockMode::Logical => canonical_spans(spans),
+        ClockMode::Wall => emission_order_spans(spans),
+    }
+}
+
+fn canonical_spans(spans: &[StampedSpan]) -> String {
+    let mut rows: Vec<(u64, u8, u32, u32, u8, u64, String)> = spans
+        .iter()
+        .filter(|s| s.span.kind.deterministic())
+        .map(|s| {
+            let (sample, attempt) = s.span.kind.coords();
+            let phase = match s.span.phase {
+                SpanPhase::Open => 0,
+                SpanPhase::Close => 1,
+            };
+            (s.span.req, s.span.kind.rank(), sample, attempt, phase, s.span.id, span_body(&s.span))
+        })
+        .collect();
+    rows.sort();
+    let mut out = String::new();
+    for (i, (.., line)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "{{\"t\":{i},{line}}}");
+    }
+    out
+}
+
+fn emission_order_spans(spans: &[StampedSpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = writeln!(out, "{{\"t\":{},\"wall\":{},{}}}", s.t, s.wall, span_body(&s.span));
+    }
+    out
+}
+
+/// The span's JSON fields after the stamps (no surrounding braces).
+/// One arm per [`SpanKind`](crate::span::SpanKind) — the `span-drift`
+/// analyzer pass holds this exhaustive against the enum.
+fn span_body(span: &SpanEvent) -> String {
+    use crate::span::SpanKind;
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "\"id\":\"{:016x}\",\"parent\":\"{:016x}\",\"req\":\"{:016x}\",\"kind\":\"{}\",\"phase\":\"{}\"",
+        span.id,
+        span.parent,
+        span.req,
+        span.kind.name(),
+        span.phase.name()
+    );
+    match span.kind {
+        SpanKind::Request
+        | SpanKind::ContextFit
+        | SpanKind::Quorum
+        | SpanKind::Fallback
+        | SpanKind::Shed
+        | SpanKind::QueueWait
+        | SpanKind::CacheLookup
+        | SpanKind::Session => {}
+        SpanKind::Attempt { sample, attempt }
+        | SpanKind::Draw { sample, attempt }
+        | SpanKind::Retry { sample, attempt }
+        | SpanKind::Backoff { sample, attempt } => {
+            let _ = write!(s, ",\"sample\":{sample},\"attempt\":{attempt}");
         }
     }
     s
@@ -230,5 +312,86 @@ mod tests {
             kind: EventKind::Defect { sample: 1, attempt: 2, class: 4, fatal: true },
         });
         assert!(defect.contains("\"class\":4,\"fatal\":true"), "{defect}");
+    }
+
+    mod spans {
+        use super::super::*;
+        use crate::span::SpanKind;
+
+        fn half(t: u64, span: SpanEvent) -> StampedSpan {
+            StampedSpan { t, wall: t * 7, span }
+        }
+
+        #[test]
+        fn canonical_drops_scheduler_scoped_spans_and_restamps() {
+            let halves = vec![
+                half(4, SpanEvent::open_with_id(9, 0, SpanKind::QueueWait)),
+                half(5, SpanEvent::close_with_id(9, 0, SpanKind::QueueWait)),
+                half(6, SpanEvent::open(2, SpanKind::Request)),
+                half(8, SpanEvent::close(2, SpanKind::Request)),
+            ];
+            let jsonl = spans_to_jsonl(&halves, ClockMode::Logical);
+            let lines: Vec<&str> = jsonl.lines().collect();
+            assert_eq!(lines.len(), 2, "queue_wait halves are excluded: {jsonl}");
+            assert!(lines[0].starts_with("{\"t\":0,"), "{jsonl}");
+            assert!(lines[0].contains("\"phase\":\"open\""), "{jsonl}");
+            assert!(lines[1].contains("\"phase\":\"close\""), "{jsonl}");
+            assert!(!jsonl.contains("\"wall\""), "canonical omits the sidecar stamp");
+        }
+
+        #[test]
+        fn canonical_spans_are_invariant_to_emission_order() {
+            let attempt = SpanKind::Attempt { sample: 1, attempt: 0 };
+            let a = vec![
+                half(0, SpanEvent::open(3, SpanKind::Request)),
+                half(1, SpanEvent::open(3, attempt)),
+                half(2, SpanEvent::close(3, attempt)),
+                half(3, SpanEvent::close(3, SpanKind::Request)),
+            ];
+            let mut b = a.clone();
+            b.reverse();
+            for (i, s) in b.iter_mut().enumerate() {
+                s.t = 50 + i as u64;
+                s.wall = 5000 + i as u64;
+            }
+            assert_eq!(
+                spans_to_jsonl(&a, ClockMode::Logical),
+                spans_to_jsonl(&b, ClockMode::Logical)
+            );
+        }
+
+        #[test]
+        fn emission_order_keeps_both_stamps() {
+            let halves = vec![half(3, SpanEvent::open(1, SpanKind::Quorum))];
+            let jsonl = spans_to_jsonl(&halves, ClockMode::Wall);
+            assert!(jsonl.starts_with("{\"t\":3,\"wall\":21,"), "{jsonl}");
+            assert!(jsonl.contains("\"kind\":\"quorum\""), "{jsonl}");
+        }
+
+        #[test]
+        fn every_span_kind_renders_its_payload() {
+            let kinds = [
+                SpanKind::Request,
+                SpanKind::ContextFit,
+                SpanKind::Attempt { sample: 1, attempt: 2 },
+                SpanKind::Draw { sample: 1, attempt: 2 },
+                SpanKind::Retry { sample: 1, attempt: 2 },
+                SpanKind::Backoff { sample: 1, attempt: 2 },
+                SpanKind::Quorum,
+                SpanKind::Fallback,
+                SpanKind::Shed,
+                SpanKind::QueueWait,
+                SpanKind::CacheLookup,
+                SpanKind::Session,
+            ];
+            for kind in kinds {
+                let line = span_body(&SpanEvent::open(0xabc, kind));
+                assert!(line.contains(&format!("\"kind\":\"{}\"", kind.name())), "{line}");
+                assert!(line.contains("\"req\":\"0000000000000abc\""), "{line}");
+                if kind.coords() != (0, 0) {
+                    assert!(line.contains("\"sample\":1,\"attempt\":2"), "{line}");
+                }
+            }
+        }
     }
 }

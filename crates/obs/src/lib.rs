@@ -45,15 +45,33 @@
 //!    the latter feed the metrics registry and appear only in wall-clock
 //!    (emission-order) exports.
 
+//! ## Spans
+//!
+//! On top of the flat event stream, [`span`] adds causal *intervals*:
+//! parent-linked [`SpanEvent`](span::SpanEvent) open/close pairs
+//! (request → context_fit / attempt → draw / retry / backoff / quorum /
+//! fallback, plus scheduler-scoped queue_wait / cache_lookup / session
+//! lanes) with the same two determinism classes as events and
+//! dual-clock stamps. [`span::pair_spans`] / [`span::build_trees`] /
+//! [`span::blame`] / [`span::critical_path`] reconstruct per-request
+//! trees and attribute end-to-end latency to stages;
+//! [`span::chrome_trace`] renders Perfetto-loadable JSON.
+
 pub mod clock;
 pub mod event;
 pub mod export;
 pub mod fingerprint;
 pub mod metrics;
 pub mod record;
+pub mod span;
 
 pub use clock::{Clock, LogicalClock, WallClock};
 pub use event::{AttemptClass, EventKind, TraceEvent, DEFECT_CLASSES, DEFECT_CLASS_NAMES};
 pub use fingerprint::{mix, Fingerprint};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use record::{ClockMode, NoopRecorder, Observer, Recorder, Stamped};
+pub use span::{
+    blame, build_trees, chrome_trace, critical_path, pair_spans, parent_of, point_span, span_id,
+    PairedSpan, SpanError, SpanEvent, SpanGuard, SpanKind, SpanNode, SpanPhase, SpanTree,
+    StampedSpan, SPAN_KINDS,
+};

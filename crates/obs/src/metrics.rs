@@ -15,6 +15,7 @@
 use mc_sync::atomic::{AtomicU64, Ordering};
 
 use crate::event::{AttemptClass, EventKind, TraceEvent, DEFECT_CLASSES, DEFECT_CLASS_NAMES};
+use crate::span::{SpanEvent, SpanKind, SpanPhase, SPAN_KINDS};
 
 /// Every counter the registry tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,11 +86,15 @@ pub enum Counter {
     CacheRefits,
     /// Cache entries evicted to make room for insertions.
     CacheEvictions,
+    /// Span open halves recorded (any kind).
+    SpanOpens,
+    /// Span close halves recorded (any kind).
+    SpanCloses,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 35] = [
         Counter::Events,
         Counter::QueueWaits,
         Counter::DedupHits,
@@ -123,6 +128,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheRefits,
         Counter::CacheEvictions,
+        Counter::SpanOpens,
+        Counter::SpanCloses,
     ];
 
     /// Stable snake_case name for snapshots.
@@ -161,6 +168,8 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::CacheRefits => "cache_refits",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::SpanOpens => "span_opens",
+            Counter::SpanCloses => "span_closes",
         }
     }
 }
@@ -228,6 +237,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::ALL.len()],
     defects: [AtomicU64; DEFECT_CLASSES],
+    span_opens: [AtomicU64; SPAN_KINDS],
     queue_wait: Histogram,
     attempt_tokens: Histogram,
 }
@@ -238,6 +248,7 @@ impl MetricsRegistry {
         Self {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             defects: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_opens: std::array::from_fn(|_| AtomicU64::new(0)),
             // Queue waits in clock units (ticks or nanoseconds): decade
             // buckets cover sub-microsecond dequeues through second-long
             // stalls.
@@ -354,11 +365,52 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds one span half into the counters: open/close totals plus a
+    /// per-kind open count. This is the single routing table from the
+    /// span vocabulary to metrics — one arm per [`SpanKind`] variant, so
+    /// the `span-drift` analyzer pass can hold it exhaustive against
+    /// the enum; [`crate::record::Observer`] calls it for every span.
+    pub fn record_span(&self, span: &SpanEvent) {
+        match span.phase {
+            SpanPhase::Open => self.incr(Counter::SpanOpens),
+            SpanPhase::Close => {
+                self.incr(Counter::SpanCloses);
+                return;
+            }
+        }
+        let slot = match span.kind {
+            SpanKind::Request => 0,
+            SpanKind::ContextFit => 1,
+            SpanKind::Attempt { .. } => 2,
+            SpanKind::Draw { .. } => 3,
+            SpanKind::Retry { .. } => 4,
+            SpanKind::Backoff { .. } => 5,
+            SpanKind::Quorum => 6,
+            SpanKind::Fallback => 7,
+            SpanKind::Shed => 8,
+            SpanKind::QueueWait => 9,
+            SpanKind::CacheLookup => 10,
+            SpanKind::Session => 11,
+        };
+        debug_assert_eq!(slot, span.kind.index(), "routing table mirrors SpanKind::index");
+        self.span_opens[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spans of one kind opened so far.
+    pub fn span_open_count(&self, kind: &SpanKind) -> u64 {
+        self.span_opens[kind.index()].load(Ordering::Relaxed)
+    }
+
     /// A plain-data copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).collect(),
             defects: std::array::from_fn(|i| self.defects[i].load(Ordering::Relaxed)),
+            spans: SpanKind::NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| (name, self.span_opens[i].load(Ordering::Relaxed)))
+                .collect(),
             histograms: vec![
                 HistogramSnapshot::of("queue_wait", &self.queue_wait),
                 HistogramSnapshot::of("attempt_tokens", &self.attempt_tokens),
@@ -401,6 +453,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Per-class defect counts, in taxonomy order.
     pub defects: [u64; DEFECT_CLASSES],
+    /// `(name, opens)` per span kind, in [`SpanKind::NAMES`] order.
+    pub spans: Vec<(&'static str, u64)>,
     /// Histogram snapshots.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -423,6 +477,10 @@ impl MetricsSnapshot {
         md.push_str("\n| defect class | count |\n|---|---:|\n");
         for (name, count) in DEFECT_CLASS_NAMES.iter().zip(self.defects) {
             let _ = writeln!(md, "| {name} | {count} |");
+        }
+        md.push_str("\n| span kind | opens |\n|---|---:|\n");
+        for &(name, opens) in &self.spans {
+            let _ = writeln!(md, "| {name} | {opens} |");
         }
         for h in &self.histograms {
             let _ = write!(
@@ -473,6 +531,65 @@ mod tests {
         assert_eq!(buckets[1], 1);
         assert_eq!(buckets[2], 1, "3 lands in the ≤4 bucket");
         assert_eq!(buckets[BUCKETS - 1], 1, "200 overflows");
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_and_exports_cleanly() {
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot();
+        for h in &snap.histograms {
+            assert_eq!(h.count, 0);
+            assert_eq!(h.sum, 0);
+            assert_eq!(h.buckets, [0; BUCKETS]);
+        }
+        let md = snap.to_markdown();
+        assert!(md.contains("`queue_wait` histogram (count 0, sum 0):"), "{md}");
+        assert!(md.contains("`attempt_tokens` histogram (count 0, sum 0):"), "{md}");
+        assert_eq!(md.matches("| overflow | 0 |").count(), 2, "{md}");
+    }
+
+    #[test]
+    fn top_bucket_saturation_lands_in_overflow_without_wrapping() {
+        let h = Histogram::new([1, 2, 4, 8, 16, 32, 64, 128]);
+        h.observe(128);
+        h.observe(129);
+        h.observe(u64::MAX);
+        let buckets = h.buckets();
+        assert_eq!(buckets[BUCKETS - 2], 1, "exactly-on-bound stays finite");
+        assert_eq!(buckets[BUCKETS - 1], 2, "above-bound saturates into overflow");
+        assert_eq!(h.count(), 3);
+        assert_eq!(
+            h.sum(),
+            128u64.wrapping_add(129).wrapping_add(u64::MAX),
+            "sum wraps, by design"
+        );
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_across_worker_interleavings() {
+        // The same observation multiset must produce byte-identical
+        // snapshots no matter how many mc-sync workers raced to record
+        // it or how the scheduler interleaved them.
+        let snapshot_with = |workers: usize| {
+            let reg = MetricsRegistry::new();
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let reg = &reg;
+                    scope.spawn(move || {
+                        for i in (w..240).step_by(workers) {
+                            reg.queue_wait().observe((i as u64 % 6) * 30);
+                            reg.incr(Counter::Attempts);
+                            reg.record_span(&SpanEvent::open(i as u64, SpanKind::Quorum));
+                        }
+                    });
+                }
+            });
+            reg.snapshot()
+        };
+        let reference = snapshot_with(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(snapshot_with(workers), reference, "workers={workers}");
+        }
     }
 
     #[test]
@@ -541,6 +658,39 @@ mod tests {
     }
 
     #[test]
+    fn span_routing_covers_every_kind() {
+        let reg = MetricsRegistry::new();
+        let kinds = [
+            SpanKind::Request,
+            SpanKind::ContextFit,
+            SpanKind::Attempt { sample: 0, attempt: 0 },
+            SpanKind::Draw { sample: 0, attempt: 0 },
+            SpanKind::Retry { sample: 0, attempt: 1 },
+            SpanKind::Backoff { sample: 0, attempt: 1 },
+            SpanKind::Quorum,
+            SpanKind::Fallback,
+            SpanKind::Shed,
+            SpanKind::QueueWait,
+            SpanKind::CacheLookup,
+            SpanKind::Session,
+        ];
+        assert_eq!(kinds.len(), SPAN_KINDS);
+        for kind in kinds {
+            reg.record_span(&SpanEvent::open(9, kind));
+            reg.record_span(&SpanEvent::close(9, kind));
+        }
+        reg.record_span(&SpanEvent::open(10, SpanKind::Request));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("span_opens"), SPAN_KINDS as u64 + 1);
+        assert_eq!(snap.counter("span_closes"), SPAN_KINDS as u64);
+        assert_eq!(reg.span_open_count(&SpanKind::Request), 2);
+        assert_eq!(reg.span_open_count(&SpanKind::Session), 1);
+        assert_eq!(snap.spans.len(), SPAN_KINDS);
+        assert_eq!(snap.spans[0], ("request", 2));
+        assert_eq!(snap.counter("events"), 0, "spans do not inflate the event counter");
+    }
+
+    #[test]
     fn registry_is_thread_safe() {
         let reg = MetricsRegistry::new();
         std::thread::scope(|scope| {
@@ -571,6 +721,9 @@ mod tests {
         }
         for name in DEFECT_CLASS_NAMES {
             assert!(md.contains(name), "missing defect class {name}");
+        }
+        for name in SpanKind::NAMES {
+            assert!(md.contains(name), "missing span kind {name}");
         }
         assert!(md.contains("| fallbacks | 1 |"));
         assert!(md.contains("queue_wait"));

@@ -20,6 +20,7 @@ use crate::clock::{Clock, LogicalClock, WallClock};
 use crate::event::TraceEvent;
 use crate::export;
 use crate::metrics::MetricsRegistry;
+use crate::span::{SpanEvent, StampedSpan};
 
 /// A sink for trace events. Implementations must be cheap when disabled:
 /// emitters consult [`Recorder::enabled`] before doing any per-event
@@ -33,8 +34,26 @@ pub trait Recorder: Send + Sync {
     /// Emitters use deltas of this for duration-style events.
     fn now(&self) -> u64;
 
+    /// A wall-clock sidecar reading (elapsed nanos; 0 for recorders
+    /// without one). Emitters capture this *before* a blocking section
+    /// so a retroactive span open carries the true pre-wait stamp.
+    fn wall(&self) -> u64 {
+        0
+    }
+
     /// Accepts one event.
     fn record(&self, event: TraceEvent);
+
+    /// Accepts one span half, stamping it with both clocks now. The
+    /// default drops it, so plain recorders (and [`NoopRecorder`]) are
+    /// span-oblivious for free.
+    fn span(&self, _span: SpanEvent) {}
+
+    /// Accepts one span half with caller-supplied stamps — the
+    /// retroactive-open path: a worker that blocked on a queue reads
+    /// `now()`/`wall()` before waiting and back-dates the `queue_wait`
+    /// open to them once it knows the wait actually produced work.
+    fn span_at(&self, _span: SpanEvent, _t: u64, _wall: u64) {}
 }
 
 /// The default recorder: drops everything, costs nothing.
@@ -80,9 +99,16 @@ enum ClockSource {
 }
 
 /// A recording sink: clock-stamped event buffer plus metrics registry.
+///
+/// Spans are dual-clock stamped: `t` from the observer's own clock (the
+/// determinism contract), `wall` from a sidecar [`WallClock`] started at
+/// construction (real durations for humans; dropped from canonical
+/// exports).
 pub struct Observer {
     clock: ClockSource,
+    sidecar: WallClock,
     buf: Mutex<Vec<Stamped>>,
+    spans: Mutex<Vec<StampedSpan>>,
     metrics: MetricsRegistry,
 }
 
@@ -92,7 +118,9 @@ impl Observer {
     pub fn logical() -> Self {
         Self {
             clock: ClockSource::Logical(LogicalClock::new()),
+            sidecar: WallClock::start(),
             buf: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -102,7 +130,9 @@ impl Observer {
     pub fn wall() -> Self {
         Self {
             clock: ClockSource::Wall(WallClock::start()),
+            sidecar: WallClock::start(),
             buf: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -132,6 +162,19 @@ impl Observer {
     pub fn to_jsonl(&self) -> String {
         export::to_jsonl(&self.events(), self.mode())
     }
+
+    /// A copy of every span half recorded so far, in emission order.
+    pub fn spans(&self) -> Vec<StampedSpan> {
+        self.spans.lock().expect("span buffer lock").clone()
+    }
+
+    /// The span JSONL export: canonical (deterministic kinds, sorted by
+    /// content key, re-stamped) in [`ClockMode::Logical`],
+    /// emission-order with both stamps in [`ClockMode::Wall`]. See
+    /// [`crate::export::spans_to_jsonl`].
+    pub fn spans_to_jsonl(&self) -> String {
+        export::spans_to_jsonl(&self.spans(), self.mode())
+    }
 }
 
 impl Recorder for Observer {
@@ -146,10 +189,25 @@ impl Recorder for Observer {
         }
     }
 
+    fn wall(&self) -> u64 {
+        self.sidecar.now()
+    }
+
     fn record(&self, event: TraceEvent) {
         let t = self.now();
         self.metrics.record_event(&event);
         self.buf.lock().expect("trace buffer lock").push(Stamped { t, event });
+    }
+
+    fn span(&self, span: SpanEvent) {
+        let t = self.now();
+        let wall = self.sidecar.now();
+        self.span_at(span, t, wall);
+    }
+
+    fn span_at(&self, span: SpanEvent, t: u64, wall: u64) {
+        self.metrics.record_span(&span);
+        self.spans.lock().expect("span buffer lock").push(StampedSpan { t, wall, span });
     }
 }
 
@@ -210,5 +268,47 @@ mod tests {
         assert_eq!(obs.mode(), ClockMode::Wall);
         obs.record(TraceEvent { req: 0, ctx: 0, kind: EventKind::Fallback });
         assert_eq!(obs.events().len(), 1);
+    }
+
+    #[test]
+    fn observer_dual_stamps_spans_and_counts_them() {
+        use crate::span::{SpanGuard, SpanKind, SpanPhase};
+        let obs = Observer::logical();
+        {
+            let _req = SpanGuard::open(&obs, 7, SpanKind::Request);
+            let _quorum = SpanGuard::open(&obs, 7, SpanKind::Quorum);
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 4, "two opens, two closes");
+        assert_eq!(spans[0].span.phase, SpanPhase::Open);
+        assert_eq!(spans[3].span.phase, SpanPhase::Close);
+        assert_eq!(spans[3].span.kind, SpanKind::Request, "guards close in reverse order");
+        assert!(spans[0].t < spans[3].t, "logical stamps are ordered");
+        assert!(spans[0].wall <= spans[3].wall, "wall sidecar is monotone");
+        assert_eq!(obs.metrics().get(Counter::SpanOpens), 2);
+        assert_eq!(obs.metrics().get(Counter::SpanCloses), 2);
+        assert_eq!(obs.metrics().get(Counter::Events), 0, "spans are not events");
+    }
+
+    #[test]
+    fn span_at_backdates_the_open_half() {
+        use crate::span::{SpanEvent, SpanKind};
+        let obs = Observer::logical();
+        let (t0, w0) = (obs.now(), obs.wall());
+        let id = crate::fingerprint::mix(t0, 0x51);
+        obs.span_at(SpanEvent::open_with_id(id, 0, SpanKind::QueueWait), t0, w0);
+        obs.span(SpanEvent::close_with_id(id, 0, SpanKind::QueueWait));
+        let spans = obs.spans();
+        assert_eq!(spans[0].t, t0, "open carries the pre-wait stamp");
+        assert!(spans[1].t > t0);
+    }
+
+    #[test]
+    fn noop_recorder_ignores_spans() {
+        use crate::span::{point_span, SpanKind};
+        let noop = NoopRecorder;
+        assert_eq!(noop.wall(), 0);
+        point_span(&noop, 1, SpanKind::Fallback);
+        noop.span(crate::span::SpanEvent::open(1, SpanKind::Request));
     }
 }

@@ -124,7 +124,7 @@ impl BenchReport {
 
 /// How the gate classifies one metric key.
 fn direction(key: &str) -> Option<Direction> {
-    if key.starts_with("p99") || key.contains("rmse") {
+    if key.starts_with("p99") || key.starts_with("p50") || key.contains("rmse") {
         Some(Direction::LowerIsBetter)
     } else if key.starts_with("throughput") || key.starts_with("hit_rate") {
         Some(Direction::HigherIsBetter)

@@ -46,6 +46,11 @@ pub struct Lowered {
     pub sweep: Vec<usize>,
     /// Secondary sweep axis.
     pub samples_sweep: Vec<usize>,
+    /// Audited requests in the latency-audit reference wave.
+    pub audit_requests: usize,
+    /// Tolerance on the blame-partition invariant
+    /// (`|Σ blame − end-to-end| / end-to-end`).
+    pub blame_tolerance: f64,
 }
 
 impl Lowered {
@@ -111,6 +116,8 @@ impl Lowered {
                 .samples_sweep
                 .clone()
                 .unwrap_or_else(|| default_samples_sweep(kind)),
+            audit_requests: spec.latency.requests.unwrap_or(default_audit_requests(kind, fast)),
+            blame_tolerance: spec.latency.tolerance.unwrap_or(0.01),
         }
     }
 }
@@ -144,8 +151,10 @@ fn default_samples(kind: ScenarioKind, fast: bool) -> usize {
     match kind {
         // The chaos drill always runs lean: 3 samples per request.
         ScenarioKind::ServeChaos => 3,
-        // Telemetry's representative batch uses the paper default width.
-        ScenarioKind::Telemetry => 5,
+        // Telemetry's representative batch uses the paper default width,
+        // and the latency audit pins it so the gated percentiles are
+        // scale-independent of `--fast`.
+        ScenarioKind::Telemetry | ScenarioKind::LatencyAudit => 5,
         _ => {
             if fast {
                 1
@@ -161,9 +170,10 @@ fn default_seed(kind: ScenarioKind) -> u64 {
         // Chaos requests seed from 9000 + request index.
         ScenarioKind::ServeChaos => 9000,
         // Serving studies seed requests from 1000 + request index.
-        ScenarioKind::ConcurrentServing | ScenarioKind::Telemetry | ScenarioKind::CacheReuse => {
-            1000
-        }
+        ScenarioKind::ConcurrentServing
+        | ScenarioKind::Telemetry
+        | ScenarioKind::CacheReuse
+        | ScenarioKind::LatencyAudit => 1000,
         _ => ForecastConfig::default().seed,
     }
 }
@@ -177,7 +187,9 @@ fn default_deadline(kind: ScenarioKind) -> Option<u64> {
 
 fn default_backoff(kind: ScenarioKind) -> u32 {
     match kind {
-        ScenarioKind::ServeChaos => 2,
+        // The audit keeps chaos backoff so Retry/Backoff spans appear in
+        // the blame table.
+        ScenarioKind::ServeChaos | ScenarioKind::LatencyAudit => 2,
         _ => 0,
     }
 }
@@ -187,7 +199,8 @@ fn default_workers(kind: ScenarioKind) -> usize {
         ScenarioKind::ServeChaos
         | ScenarioKind::ConcurrentServing
         | ScenarioKind::Telemetry
-        | ScenarioKind::CacheReuse => 8,
+        | ScenarioKind::CacheReuse
+        | ScenarioKind::LatencyAudit => 8,
         _ => ServeConfig::default().workers,
     }
 }
@@ -219,6 +232,16 @@ fn default_faults(kind: ScenarioKind) -> Option<FaultProfile> {
         ScenarioKind::FaultInjection => {
             Some(FaultProfile { seed: 0xFA017, panic_sample: Some(0), ..Default::default() })
         }
+        // A gentler profile than the chaos drill: enough retries and
+        // latency faults to populate every blame stage, no quota so the
+        // audited wave is never starved mid-flight.
+        ScenarioKind::LatencyAudit => Some(FaultProfile {
+            rate: 0.25,
+            seed: 77,
+            panic_sample: None,
+            latency_tokens: 4,
+            quota_tokens: None,
+        }),
         _ => None,
     }
 }
@@ -264,6 +287,13 @@ fn default_sweep(kind: ScenarioKind, fast: bool) -> Vec<usize> {
         // Concurrent serving sweeps request counts R.
         ScenarioKind::ConcurrentServing => vec![1, 2, 4, 8],
         _ => Vec::new(),
+    }
+}
+
+fn default_audit_requests(kind: ScenarioKind, fast: bool) -> usize {
+    match kind {
+        ScenarioKind::LatencyAudit if fast => 5,
+        _ => 8,
     }
 }
 
@@ -339,6 +369,33 @@ mod tests {
         let f = Lowered::lower(&spec, false).faults.unwrap();
         assert_eq!(f.seed, 0xFA017);
         assert_eq!(f.panic_sample, Some(0));
+    }
+
+    #[test]
+    fn latency_audit_defaults_pin_the_gated_geometry() {
+        let l = Lowered::lower(&ScenarioSpec::new(ScenarioKind::LatencyAudit), false);
+        assert_eq!(l.config.samples, 5);
+        assert_eq!(l.config.seed, 1000);
+        assert_eq!(l.config.robust.backoff_base, 2);
+        assert_eq!(l.serve.workers, 8);
+        assert_eq!(l.serve.quota_tokens, None);
+        assert_eq!(l.audit_requests, 8);
+        assert_eq!(l.blame_tolerance, 0.01);
+        let f = l.faults.unwrap();
+        assert_eq!((f.rate, f.seed, f.latency_tokens), (0.25, 77, 4));
+        assert_eq!(f.quota_tokens, None);
+        // Fast shrinks the wave but samples stay pinned so the span
+        // tree per request keeps its full shape.
+        let fast = Lowered::lower(&ScenarioSpec::new(ScenarioKind::LatencyAudit), true);
+        assert_eq!(fast.config.samples, 5);
+        assert_eq!(fast.audit_requests, 5);
+        // Spec overrides beat the audit defaults.
+        let mut spec = ScenarioSpec::new(ScenarioKind::LatencyAudit);
+        spec.latency.requests = Some(3);
+        spec.latency.tolerance = Some(0.05);
+        let pinned = Lowered::lower(&spec, true);
+        assert_eq!(pinned.audit_requests, 3);
+        assert_eq!(pinned.blame_tolerance, 0.05);
     }
 
     #[test]

@@ -30,6 +30,26 @@ pub enum CliError {
         /// The unrecognized arguments, in order.
         args: Vec<String>,
     },
+    /// Two flags were combined in a way the bin cannot honor.
+    Conflict {
+        /// The first flag.
+        a: String,
+        /// The second flag.
+        b: String,
+        /// Why they clash.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// A typed two-flag conflict.
+    pub fn conflict(
+        a: impl Into<String>,
+        b: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        CliError::Conflict { a: a.into(), b: b.into(), message: message.into() }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -41,6 +61,9 @@ impl fmt::Display for CliError {
             }
             CliError::Unknown { args } => {
                 write!(f, "unknown argument(s): {}", args.join(", "))
+            }
+            CliError::Conflict { a, b, message } => {
+                write!(f, "{a} conflicts with {b}: {message}")
             }
         }
     }
@@ -194,6 +217,20 @@ mod tests {
         assert!(c.flag("--fast"));
         let err = c.finish().unwrap_err();
         assert_eq!(err, CliError::Unknown { args: vec!["--typo".into()] });
+    }
+
+    #[test]
+    fn conflict_is_typed_and_displays_both_flags() {
+        let err = CliError::conflict("--trace", "--spans", "both name out.json");
+        assert_eq!(
+            err,
+            CliError::Conflict {
+                a: "--trace".into(),
+                b: "--spans".into(),
+                message: "both name out.json".into()
+            }
+        );
+        assert_eq!(err.to_string(), "--trace conflicts with --spans: both name out.json");
     }
 
     #[test]

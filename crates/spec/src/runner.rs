@@ -23,7 +23,10 @@ use std::sync::Arc;
 use mc_datasets::generators::sinusoids;
 use mc_datasets::PaperDataset;
 use mc_lm::cache::CacheStats;
-use mc_obs::{NoopRecorder, Observer, Recorder};
+use mc_obs::{
+    blame, build_trees, chrome_trace, critical_path, pair_spans, NoopRecorder, Observer, Recorder,
+    SpanKind, SpanNode, SpanTree,
+};
 use mc_tslib::error::TsError;
 use mc_tslib::forecast::MultivariateForecaster;
 use mc_tslib::series::MultivariateSeries;
@@ -121,6 +124,9 @@ pub struct RunOptions {
     pub figure: Option<String>,
     /// Telemetry scenario: export the canonical JSONL trace here.
     pub trace_path: Option<PathBuf>,
+    /// Latency-audit scenario: export the Chrome trace-event JSON
+    /// (Perfetto-loadable) here.
+    pub spans_path: Option<PathBuf>,
     /// Fold sample reports / observer metrics into a printed snapshot
     /// (returned via [`RunSummary::notes`]).
     pub print_metrics: bool,
@@ -134,6 +140,7 @@ impl Default for RunOptions {
             bench_dir: None,
             figure: None,
             trace_path: None,
+            spans_path: None,
             print_metrics: false,
         }
     }
@@ -205,6 +212,7 @@ impl Runner {
             ScenarioKind::Telemetry => self.telemetry(&l),
             ScenarioKind::ServeChaos => self.serve_chaos(&l),
             ScenarioKind::CacheReuse => self.cache_reuse(&l),
+            ScenarioKind::LatencyAudit => self.latency_audit(&l),
         }
     }
 
@@ -495,6 +503,35 @@ impl Runner {
         );
         md.push_str("## Metrics snapshot (recorded run)\n\n");
         md.push_str(&snapshot.to_markdown());
+
+        // Span-tree view from a single-worker reference run of the same
+        // batch: one worker's schedule is total, so the tree shape and
+        // its logical ticks are deterministic and the committed doc is
+        // reproducible.
+        let ref_obs = Arc::new(Observer::logical());
+        serve_all_observed(&batch, &ServeConfig::with_workers(1), ref_obs.clone());
+        let paired = pair_spans(&ref_obs.spans())
+            .map_err(|e| RunError::invariant(format!("telemetry span pairing: {e}")))?;
+        let trees = build_trees(&paired);
+        let first = trees
+            .iter()
+            .find(|t| t.root.span.kind == SpanKind::Request)
+            .ok_or_else(|| RunError::invariant("telemetry batch emits a request span"))?;
+        md.push_str("\n## Span tree (request 0, single-worker reference)\n\n");
+        md.push_str(
+            "Causal spans reconstructed from the same batch on one worker \
+             (`pair_spans` + `build_trees`); durations are logical ticks.\n\n",
+        );
+        render_span_tree(&first.root, 0, &mut md);
+        let blamed = blame(first);
+        let parts: Vec<String> =
+            blamed.iter().map(|(name, ticks)| format!("`{name}` {ticks}")).collect();
+        let _ = writeln!(
+            md,
+            "\nStage blame (ticks, partitions the root exactly): {}. See \
+             `results/latency_audit.md` for the gated percentile study.",
+            parts.join(", ")
+        );
         std::fs::create_dir_all(&self.opts.results_dir)?;
         let out = self.opts.results_dir.join("serving_telemetry.md");
         std::fs::write(&out, md)?;
@@ -592,22 +629,45 @@ impl Runner {
         spends.sort_unstable();
 
         // Scheduling independence under chaos: one admitted wave, canonical
-        // trace byte-identical across worker counts.
+        // event and span traces byte-identical across worker counts.
         let reference_wave = &load[0];
-        let trace_at = |w: usize| {
+        let observe_at = |w: usize| {
             let obs = Arc::new(Observer::logical());
             let cfg = ServeConfig { workers: w, ..config };
             serve_all_observed(reference_wave, &cfg, obs.clone());
-            obs.to_jsonl()
+            obs
         };
-        let reference = trace_at(1);
+        let reference_obs = observe_at(1);
+        let reference = reference_obs.to_jsonl();
+        let reference_spans = reference_obs.spans_to_jsonl();
         for w in [2usize, workers.max(2)] {
-            if trace_at(w) != reference {
+            let other = observe_at(w);
+            if other.to_jsonl() != reference {
                 return Err(RunError::invariant(format!(
                     "{w} workers changed the canonical chaos trace"
                 )));
             }
+            if other.spans_to_jsonl() != reference_spans {
+                return Err(RunError::invariant(format!(
+                    "{w} workers changed the canonical span trace"
+                )));
+            }
         }
+
+        // Queue-wait attribution from the single-worker reference run: the
+        // uncovered root segments of each admitted request's span tree are
+        // exactly the time it spent queued or scheduled (see
+        // [`mc_obs::blame`]). One worker's schedule is total, so these
+        // ticks are deterministic and independent of the configured
+        // worker count.
+        let paired = pair_spans(&reference_obs.spans())
+            .map_err(|e| RunError::invariant(format!("chaos span pairing: {e}")))?;
+        let mut queue_waits: Vec<u64> = build_trees(&paired)
+            .iter()
+            .filter(|t| t.root.span.kind == SpanKind::Request)
+            .map(|t| blame(t).iter().filter(|&&(n, _)| n == "queue_wait").map(|&(_, d)| d).sum())
+            .collect();
+        queue_waits.sort_unstable();
 
         let mut t = Table::new(
             format!(
@@ -637,6 +697,16 @@ impl Runner {
             percentile(&spends, 0.99).to_string(),
             "-".into(),
         ]);
+        t.row(vec![
+            "p50 queue wait (ticks, 1-worker reference)".into(),
+            percentile(&queue_waits, 0.50).to_string(),
+            "gated".into(),
+        ]);
+        t.row(vec![
+            "p99 queue wait (ticks, 1-worker reference)".into(),
+            percentile(&queue_waits, 0.99).to_string(),
+            "gated".into(),
+        ]);
         t.row(vec!["worker stalls".into(), "0".into(), "asserted".into()]);
         t.row(vec![
             "trace determinism (1/2/N workers)".into(),
@@ -662,6 +732,8 @@ impl Runner {
             .push("deadline_expiries", expiries as f64)
             .push("p50_spend_tokens", percentile(&spends, 0.50) as f64)
             .push("p99_spend_tokens", percentile(&spends, 0.99) as f64)
+            .push("p50_queue_wait_ticks", percentile(&queue_waits, 0.50) as f64)
+            .push("p99_queue_wait_ticks", percentile(&queue_waits, 0.99) as f64)
             .push("prompt_tokens", prompt_tokens as f64)
             .push("generated_tokens", generated_tokens as f64)
             .push("trace_events", trace_events as f64)
@@ -927,6 +999,214 @@ impl Runner {
             .push("generated_tokens", generated_tokens as f64)
             .push("trace_events", warm.trace.lines().count() as f64);
         RunSummary::of(l, vec![path], Some(bench), &self.opts)
+    }
+
+    /// The latency audit (`results/latency_audit.md`): causal span trees
+    /// from a pinned single-worker reference run of one fault-injected
+    /// wave, per-stage blame percentiles gated in
+    /// `BENCH_latency_audit.json`, the critical path and span tree of
+    /// the slowest request, and an optional Perfetto trace export
+    /// (`--spans`). The blame partition is exact by construction
+    /// ([`mc_obs::blame`]); the lowered tolerance guards the
+    /// aggregation arithmetic.
+    fn latency_audit(&self, l: &Lowered) -> Result<RunSummary, RunError> {
+        use std::fmt::Write as _;
+        let profile =
+            l.faults.ok_or_else(|| RunError::invariant("latency_audit lowers a fault profile"))?;
+        let requests = l.audit_requests;
+        if requests == 0 {
+            return Err(RunError::invariant("latency_audit needs at least one request"));
+        }
+        // The audited load is one chaos wave: same shared history, same
+        // priority/client cycling, same decorrelated fault seeds.
+        let mut shaped = l.clone();
+        shaped.waves = 1;
+        shaped.per_wave = requests;
+        let load = chaos_load(&shaped, profile).into_iter().next().unwrap_or_default();
+        if load.len() != requests {
+            return Err(RunError::invariant("audit load construction failed"));
+        }
+
+        // Every gated number comes from a pinned single-worker run: on
+        // one worker the schedule is total, so logical ticks are
+        // deterministic and independent of the configured worker count.
+        let observe_at = |w: usize| {
+            let obs = Arc::new(Observer::logical());
+            let cfg = ServeConfig { workers: w, ..l.serve };
+            let run = serve_all_observed(&load, &cfg, obs.clone());
+            (run, obs)
+        };
+        let (run, obs) = observe_at(1);
+        for outcome in &run.outcomes {
+            if let Err(e) = &outcome.forecast {
+                return Err(RunError::invariant(format!("audited request failed: {e}")));
+            }
+        }
+
+        // The canonical span export must be byte-identical at any worker
+        // count (the span-layer analogue of the chaos drill's event
+        // trace determinism).
+        let reference = obs.spans_to_jsonl();
+        for w in [2usize, l.serve.workers.max(2)] {
+            let (_, other) = observe_at(w);
+            if other.spans_to_jsonl() != reference {
+                return Err(RunError::invariant(format!(
+                    "{w} workers changed the canonical span trace"
+                )));
+            }
+        }
+
+        let paired = pair_spans(&obs.spans())
+            .map_err(|e| RunError::invariant(format!("audit span pairing: {e}")))?;
+        let trees = build_trees(&paired);
+        let audited: Vec<&SpanTree> =
+            trees.iter().filter(|t| t.root.span.kind == SpanKind::Request).collect();
+        if audited.len() != requests {
+            return Err(RunError::invariant(format!(
+                "expected {requests} request trees, found {}",
+                audited.len()
+            )));
+        }
+
+        // Per-request blame. Every request contributes to every stage
+        // (absent stages as 0) so each percentile is over `requests`
+        // values.
+        let totals: Vec<u64> = audited.iter().map(|t| t.root.span.ticks()).collect();
+        let per_request: Vec<Vec<(&'static str, u64)>> = audited.iter().map(|t| blame(t)).collect();
+        let mut stage_names: Vec<&'static str> =
+            per_request.iter().flatten().map(|&(n, _)| n).collect();
+        stage_names.sort_unstable();
+        stage_names.dedup();
+        let stages: Vec<(&'static str, Vec<u64>)> = stage_names
+            .iter()
+            .map(|&name| {
+                let mut vals: Vec<u64> = per_request
+                    .iter()
+                    .map(|parts| parts.iter().find(|&&(n, _)| n == name).map_or(0, |&(_, d)| d))
+                    .collect();
+                vals.sort_unstable();
+                (name, vals)
+            })
+            .collect();
+        let grand_total: u64 = totals.iter().sum();
+        let stage_sum: u64 = stages.iter().flat_map(|(_, v)| v.iter()).sum();
+        let fraction_sum = stage_sum as f64 / grand_total.max(1) as f64;
+        if (fraction_sum - 1.0).abs() > l.blame_tolerance {
+            return Err(RunError::invariant(format!(
+                "blame fractions sum to {fraction_sum:.4} (tolerance {})",
+                l.blame_tolerance
+            )));
+        }
+        let mut sorted_totals = totals.clone();
+        sorted_totals.sort_unstable();
+        let slowest = audited
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, t)| (t.root.span.ticks(), std::cmp::Reverse(i)))
+            .map(|(i, t)| (i, *t))
+            .expect("at least one audited request");
+
+        let mut notes = Vec::new();
+        if let Some(path) = &self.opts.spans_path {
+            let trace = chrome_trace(&paired);
+            std::fs::write(path, &trace)?;
+            notes.push(format!("wrote {} ({} spans)", path.display(), paired.len()));
+        }
+
+        let workers = l.serve.workers;
+        let mut md = String::new();
+        md.push_str("# Latency audit\n\n");
+        let _ = writeln!(
+            md,
+            "One fault-injected wave on Gas Rate: {requests} requests x {} samples, faults \
+             `{profile}`, served on a pinned single worker so every tick below is \
+             deterministic. The canonical span export is asserted byte-identical at 1, 2 \
+             and {workers} workers before anything is measured.\n",
+            l.config.samples
+        );
+        md.push_str("## Stage blame\n\n");
+        md.push_str(
+            "Each request's end-to-end interval is partitioned at every span boundary and \
+             each segment is blamed on the deepest covering span; uncovered segments are \
+             queue/scheduler time (`queue_wait`). The partition is exact, so the blame \
+             column sums to 100 %.\n\n",
+        );
+        md.push_str("| stage | total ticks | blame | p50 ticks | p99 ticks |\n");
+        md.push_str("|---|---:|---:|---:|---:|\n");
+        for (name, vals) in &stages {
+            let sum: u64 = vals.iter().sum();
+            let _ = writeln!(
+                md,
+                "| `{name}` | {sum} | {:.1}% | {} | {} |",
+                100.0 * sum as f64 / grand_total.max(1) as f64,
+                percentile(vals, 0.50),
+                percentile(vals, 0.99),
+            );
+        }
+        let _ = writeln!(
+            md,
+            "| **end-to-end** | {grand_total} | 100.0% | {} | {} |",
+            percentile(&sorted_totals, 0.50),
+            percentile(&sorted_totals, 0.99),
+        );
+        let _ = writeln!(
+            md,
+            "\n## Critical path (slowest request, #{})\n\nThe chain of spans that bounded \
+             completion — from the root, repeatedly the latest-closing child:\n",
+            slowest.0
+        );
+        for span in critical_path(slowest.1) {
+            let _ = writeln!(md, "- `{}` — {} ticks", span.kind.name(), span.ticks());
+        }
+        md.push_str("\n## Span tree (slowest request)\n\n");
+        render_span_tree(&slowest.1.root, 0, &mut md);
+        let _ = writeln!(
+            md,
+            "\n{} paired spans over the wave; blame partition drift {:.4} (tolerance {}). \
+             Run `mc-scenario specs/latency_audit.spec --spans trace.json` for a \
+             Perfetto-loadable view of the same wave.",
+            paired.len(),
+            (fraction_sum - 1.0).abs(),
+            l.blame_tolerance
+        );
+        std::fs::create_dir_all(&self.opts.results_dir)?;
+        let out = self.opts.results_dir.join("latency_audit.md");
+        std::fs::write(&out, md)?;
+        notes.push(format!("wrote {}", out.display()));
+
+        let mut bench = BenchReport::new(l.kind, &l.name);
+        bench
+            .push("submitted", requests as f64)
+            .push("completed", requests as f64)
+            .push("paired_spans", paired.len() as f64)
+            .push("p50_total_ticks", percentile(&sorted_totals, 0.50) as f64)
+            .push("p99_total_ticks", percentile(&sorted_totals, 0.99) as f64);
+        for (name, vals) in &stages {
+            let sum: u64 = vals.iter().sum();
+            bench
+                .push(format!("p50_stage_{name}_ticks"), percentile(vals, 0.50) as f64)
+                .push(format!("p99_stage_{name}_ticks"), percentile(vals, 0.99) as f64)
+                .push(format!("blame_fraction_{name}"), sum as f64 / grand_total.max(1) as f64);
+        }
+        let mut summary = RunSummary::of(l, vec![out], Some(bench), &self.opts)?;
+        summary.notes = notes;
+        Ok(summary)
+    }
+}
+
+/// Renders one span tree as an indented markdown list (durations on the
+/// observer clock).
+fn render_span_tree(node: &SpanNode, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{}- `{}` — {} ticks",
+        "  ".repeat(depth),
+        node.span.kind.name(),
+        node.span.ticks()
+    );
+    for child in &node.children {
+        render_span_tree(child, depth + 1, out);
     }
 }
 

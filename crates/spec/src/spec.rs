@@ -93,11 +93,14 @@ pub enum ScenarioKind {
     ServeChaos,
     /// Warm-vs-cold context-cache sweep (`results/cache_reuse.md`).
     CacheReuse,
+    /// Causal-span latency audit: per-stage blame + critical path
+    /// (`results/latency_audit.md`).
+    LatencyAudit,
 }
 
 impl ScenarioKind {
     /// Every kind, in documentation order.
-    pub const ALL: [ScenarioKind; 20] = [
+    pub const ALL: [ScenarioKind; 21] = [
         ScenarioKind::Table(1),
         ScenarioKind::Table(2),
         ScenarioKind::Table(3),
@@ -118,6 +121,7 @@ impl ScenarioKind {
         ScenarioKind::Telemetry,
         ScenarioKind::ServeChaos,
         ScenarioKind::CacheReuse,
+        ScenarioKind::LatencyAudit,
     ];
 
     /// The kind's spec token (`scenario = <token>`).
@@ -135,6 +139,7 @@ impl ScenarioKind {
             ScenarioKind::Telemetry => "telemetry".into(),
             ScenarioKind::ServeChaos => "serve_chaos".into(),
             ScenarioKind::CacheReuse => "cache_reuse".into(),
+            ScenarioKind::LatencyAudit => "latency_audit".into(),
         }
     }
 
@@ -156,6 +161,7 @@ impl ScenarioKind {
             "telemetry" => Some(ScenarioKind::Telemetry),
             "serve_chaos" => Some(ScenarioKind::ServeChaos),
             "cache_reuse" => Some(ScenarioKind::CacheReuse),
+            "latency_audit" => Some(ScenarioKind::LatencyAudit),
             _ => None,
         }
     }
@@ -215,6 +221,17 @@ pub enum CachePolicyToken {
     Slru,
 }
 
+/// `[latency]` — the latency-audit shape (causal-span blame study).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySpec {
+    /// Audited requests in the reference wave.
+    pub requests: Option<usize>,
+    /// Tolerance on `|Σ blame − end-to-end| / end-to-end` (the
+    /// critical-path partition invariant; blame is exact by
+    /// construction, so this guards the aggregation arithmetic).
+    pub tolerance: Option<f64>,
+}
+
 /// Spec token for the cache refit mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheRefitToken {
@@ -262,6 +279,8 @@ pub struct ScenarioSpec {
     pub serve: ServeSpec,
     /// Cross-batch context-cache shape.
     pub cache: CacheSpec,
+    /// Latency-audit shape.
+    pub latency: LatencySpec,
 }
 
 impl ScenarioSpec {
@@ -283,6 +302,7 @@ impl ScenarioSpec {
             robust: RobustSpec::default(),
             serve: ServeSpec::default(),
             cache: CacheSpec::default(),
+            latency: LatencySpec::default(),
         }
     }
 
@@ -294,7 +314,7 @@ impl ScenarioSpec {
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let doc = grammar::parse(text)?;
         for name in doc.section_names() {
-            if name != "robust" && name != "serve" && name != "cache" {
+            if name != "robust" && name != "serve" && name != "cache" && name != "latency" {
                 return Err(SpecError::UnknownSection { name: name.to_string() });
             }
         }
@@ -316,6 +336,9 @@ impl ScenarioSpec {
         }
         for entry in doc.section(Some("cache")) {
             spec.apply_cache(entry)?;
+        }
+        for entry in doc.section(Some("latency")) {
+            spec.apply_latency(entry)?;
         }
         Ok(spec)
     }
@@ -406,6 +429,21 @@ impl ScenarioSpec {
                     "rebuild" => CacheRefitToken::Rebuild,
                     _ => return Err(bad(e, "expected incremental / rebuild")),
                 });
+            }
+            _ => return Err(unknown(e)),
+        }
+        Ok(())
+    }
+
+    fn apply_latency(&mut self, e: &Entry) -> Result<(), SpecError> {
+        match e.key.as_str() {
+            "requests" => self.latency.requests = Some(num(e)?),
+            "tolerance" => {
+                let t: f64 = e.value.parse().map_err(|_| bad(e, "not a number"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(bad(e, "tolerance must be a finite non-negative number"));
+                }
+                self.latency.tolerance = Some(t);
             }
             _ => return Err(unknown(e)),
         }
@@ -508,6 +546,15 @@ impl fmt::Display for ScenarioSpec {
                     CacheRefitToken::Rebuild => "rebuild",
                 };
                 writeln!(f, "refit = {token}")?;
+            }
+        }
+        if self.latency != LatencySpec::default() {
+            writeln!(f, "\n[latency]")?;
+            if let Some(r) = self.latency.requests {
+                writeln!(f, "requests = {r}")?;
+            }
+            if let Some(t) = self.latency.tolerance {
+                writeln!(f, "tolerance = {t}")?;
             }
         }
         Ok(())
@@ -683,6 +730,33 @@ mod tests {
         let err = ScenarioSpec::parse("scenario = cache_reuse\n[cache]\nbogus = 1\n").unwrap_err();
         assert!(
             matches!(&err, SpecError::UnknownKey { section: Some(s), .. } if s == "cache"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn latency_section_round_trips_through_display() {
+        let text = "scenario = latency_audit\nseed = 1000\n\n[latency]\nrequests = 6\n\
+                    tolerance = 0.02\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.kind, ScenarioKind::LatencyAudit);
+        assert_eq!(spec.latency.requests, Some(6));
+        assert_eq!(spec.latency.tolerance, Some(0.02));
+        assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn latency_section_rejects_bad_values() {
+        assert!(
+            ScenarioSpec::parse("scenario = latency_audit\n[latency]\ntolerance = -1\n").is_err()
+        );
+        assert!(
+            ScenarioSpec::parse("scenario = latency_audit\n[latency]\ntolerance = inf\n").is_err()
+        );
+        let err =
+            ScenarioSpec::parse("scenario = latency_audit\n[latency]\nbogus = 1\n").unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownKey { section: Some(s), .. } if s == "latency"),
             "{err}"
         );
     }

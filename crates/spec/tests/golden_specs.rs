@@ -32,6 +32,7 @@ fn spec_directory_is_complete_and_canonical() {
         "concurrent_serving",
         "fault_injection",
         "figures",
+        "latency_audit",
         "prompt_reuse",
         "serve_chaos",
         "table1",
@@ -109,6 +110,33 @@ fn cache_reuse_spec_pins_the_builder_defaults() {
     assert_eq!((lowered.waves, lowered.per_wave), (3, 8));
     let fast = Lowered::lower(&ScenarioSpec::new(ScenarioKind::CacheReuse), true);
     assert!(fast.waves >= 2 && fast.per_wave >= 8, "--fast must keep the gate geometry");
+}
+
+/// The fully-pinned latency-audit spec lowers to the same shape as the
+/// builder's bare kind defaults: the audited wave's geometry is what
+/// the gated `BENCH_latency_audit.json` percentiles were measured at.
+#[test]
+fn latency_audit_spec_pins_the_builder_defaults() {
+    let lowered = Lowered::lower(&load("latency_audit"), false);
+    let defaults = Lowered::lower(&ScenarioSpec::new(ScenarioKind::LatencyAudit), false);
+    assert_eq!(lowered, defaults, "specs/latency_audit.spec drifted from the builder defaults");
+    assert_eq!(lowered.config.samples, 5);
+    assert_eq!(lowered.config.seed, 1000);
+    assert_eq!(lowered.config.robust.backoff_base, 2);
+    assert_eq!(lowered.serve.workers, 8);
+    assert_eq!(lowered.serve.quota_tokens, None, "no quota: the audited wave must complete");
+    assert_eq!(lowered.audit_requests, 8);
+    assert_eq!(lowered.blame_tolerance, 0.01);
+    let faults = lowered.faults.expect("audit fault profile");
+    assert_eq!((faults.rate, faults.seed, faults.latency_tokens), (0.25, 77, 4));
+    assert_eq!(faults.quota_tokens, None);
+    // The pinned file keeps the gate geometry under --fast; the bare
+    // kind shrinks.
+    assert_eq!(Lowered::lower(&load("latency_audit"), true).audit_requests, 8);
+    assert_eq!(
+        Lowered::lower(&ScenarioSpec::new(ScenarioKind::LatencyAudit), true).audit_requests,
+        5
+    );
 }
 
 #[test]

@@ -48,6 +48,7 @@ proptest! {
         robust in (0usize..8, 1usize..8, 1u64..600, 0u32..6),
         serve in (1usize..16, 1usize..32, 1usize..40, 1usize..6, 1usize..20),
         breaker_on in any::<bool>(),
+        latency in (1usize..32, 0u64..200),
     ) {
         let mut spec = ScenarioSpec::new(ScenarioKind::ALL[kind_idx]);
         let bit = |i: u32| mask & (1 << i) != 0;
@@ -75,6 +76,9 @@ proptest! {
         if bit(18) { spec.serve.breaker = Some(breaker_on); }
         if bit(19) { spec.serve.waves = Some(serve.3); }
         if bit(20) { spec.serve.per_wave = Some(serve.4); }
+        if bit(21) { spec.latency.requests = Some(latency.0); }
+        // Permille keeps the f64 round-trip exact through `Display`.
+        if bit(22) { spec.latency.tolerance = Some(latency.1 as f64 / 1000.0); }
 
         let text = spec.to_string();
         let parsed = match ScenarioSpec::parse(&text) {

@@ -23,6 +23,7 @@ use crate::lexer::{Kind, Token};
 /// Where the cross-file contracts live.
 pub const ROBUST_RS: &str = "crates/core/src/robust.rs";
 pub const EVENT_RS: &str = "crates/obs/src/event.rs";
+pub const SPAN_RS: &str = "crates/obs/src/span.rs";
 pub const EXPORT_RS: &str = "crates/obs/src/export.rs";
 pub const METRICS_RS: &str = "crates/obs/src/metrics.rs";
 pub const SPEC_RS: &str = "crates/spec/src/spec.rs";
@@ -146,6 +147,30 @@ fn qualified_followers(
         {
             if let Some(v) = tokens.get(i + 3).filter(|t| t.kind == Kind::Ident) {
                 out.insert(v.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// All `Enum::Variant` follower idents in a token range, with the span
+/// of each first occurrence (for findings that point at the arm itself).
+fn qualified_followers_spanned(
+    tokens: &[Token],
+    range: (usize, usize),
+    enum_name: &str,
+) -> Vec<(String, usize, usize)> {
+    let mut out: Vec<(String, usize, usize)> = Vec::new();
+    let (b0, b1) = range;
+    for i in b0..b1 {
+        if tokens[i].is_ident(enum_name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = tokens.get(i + 3).filter(|t| t.kind == Kind::Ident) {
+                if !out.iter().any(|(n, _, _)| n == &v.text) {
+                    out.push((v.text.clone(), v.line, v.col));
+                }
             }
         }
     }
@@ -331,6 +356,76 @@ pub fn event_drift(ws: &Workspace) -> Vec<Finding> {
                     message: format!("EventKind::{v} is not handled by {place}"),
                 });
             }
+        }
+    }
+    out
+}
+
+/// Every `SpanKind` variant must be rendered by the canonical span
+/// export (`export.rs::span_body`) and folded into the per-kind span
+/// counters (`metrics.rs::record_span`) — and in reverse: an arm in
+/// either function naming a variant the enum no longer has is a stale
+/// slot that silently misattributes latency.
+pub fn span_drift(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(span) = ws.file(SPAN_RS) else {
+        return vec![missing_contract_file("span-drift", SPAN_RS)];
+    };
+    let Some(export) = ws.file(EXPORT_RS) else {
+        return vec![missing_contract_file("span-drift", EXPORT_RS)];
+    };
+    let Some(metrics) = ws.file(METRICS_RS) else {
+        return vec![missing_contract_file("span-drift", METRICS_RS)];
+    };
+    let Some(variants) = enum_variants(span, "SpanKind") else {
+        return vec![missing_contract_file("span-drift", "enum SpanKind")];
+    };
+    let handled_in = |file: &SourceFile, fn_name: &str| -> Option<Vec<(String, usize, usize)>> {
+        let f = find_fn(file, fn_name)?;
+        Some(qualified_followers_spanned(&file.tokens, f.body?, "SpanKind"))
+    };
+    let Some(exported) = handled_in(export, "span_body") else {
+        return vec![missing_contract_file("span-drift", "export.rs fn span_body")];
+    };
+    let Some(recorded) = handled_in(metrics, "record_span") else {
+        return vec![missing_contract_file("span-drift", "metrics.rs fn record_span")];
+    };
+    for (v, line, col) in &variants {
+        for (handled, place) in [
+            (&exported, "canonical span export (export.rs span_body())"),
+            (&recorded, "span metrics (metrics.rs record_span())"),
+        ] {
+            if !handled.iter().any(|(n, _, _)| n == v) {
+                out.push(Finding {
+                    path: span.path.clone(),
+                    line: *line,
+                    col: *col,
+                    rule: "span-drift",
+                    symbol: v.clone(),
+                    message: format!("SpanKind::{v} is not handled by {place}"),
+                });
+            }
+        }
+    }
+    let variant_names: BTreeSet<&str> = variants.iter().map(|(v, _, _)| v.as_str()).collect();
+    for (file, handled, place) in
+        [(export, &exported, "span_body"), (metrics, &recorded, "record_span")]
+    {
+        for (n, line, col) in handled {
+            if variant_names.contains(n.as_str()) {
+                continue;
+            }
+            out.push(Finding {
+                path: file.path.clone(),
+                line: *line,
+                col: *col,
+                rule: "span-drift",
+                symbol: n.clone(),
+                message: format!(
+                    "{place}() handles SpanKind::{n}, which the enum no longer declares — a \
+                     stale arm that misattributes spans"
+                ),
+            });
         }
     }
     out

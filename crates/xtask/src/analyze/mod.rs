@@ -42,11 +42,12 @@ use crate::lexer::{lex_full, Token};
 use crate::lints;
 
 /// Analyze rule names, for reports and allowlist scoping.
-pub const RULE_NAMES: [&str; 9] = [
+pub const RULE_NAMES: [&str; 10] = [
     "lock-order",
     "lock-seam",
     "counter-drift",
     "event-drift",
+    "span-drift",
     "spec-drift",
     "scenario-drift",
     "stale-allow",
@@ -230,6 +231,7 @@ pub fn run_passes(
     let mut findings = lock_report.findings;
     findings.extend(drift::counter_drift(ws));
     findings.extend(drift::event_drift(ws));
+    findings.extend(drift::span_drift(ws));
     findings.extend(drift::spec_drift(ws));
     findings.extend(drift::scenario_drift(ws, artifacts));
     findings.extend(stale::check(&idx, allowlist));

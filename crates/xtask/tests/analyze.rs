@@ -17,6 +17,9 @@ const COUNTER_ROBUST: &str = include_str!("fixtures/analyze/counter_drift_robust
 const COUNTER_EVENT: &str = include_str!("fixtures/analyze/counter_drift_event.rs");
 const SPEC_SPEC: &str = include_str!("fixtures/analyze/spec_drift_spec.rs");
 const SPEC_BUILDER: &str = include_str!("fixtures/analyze/spec_drift_builder.rs");
+const SPAN_SPAN: &str = include_str!("fixtures/analyze/span_drift_span.rs");
+const SPAN_EXPORT: &str = include_str!("fixtures/analyze/span_drift_export.rs");
+const SPAN_METRICS: &str = include_str!("fixtures/analyze/span_drift_metrics.rs");
 const DIRECT_FIT: &str = include_str!("fixtures/direct_fit.rs");
 const DUP: &str = include_str!("fixtures/dup_construction.rs");
 
@@ -43,8 +46,8 @@ fn the_committed_workspace_is_clean() {
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert!(report.clean(), "{:?}", report.findings);
     assert!(report.files >= 100, "only {} files analyzed", report.files);
-    assert_eq!(report.lock_sites, 18, "lock inventory moved; update DESIGN.md §13");
-    assert!(report.to_json().contains("\"lock_sites\":18"), "{}", report.to_json());
+    assert_eq!(report.lock_sites, 20, "lock inventory moved; update DESIGN.md §13");
+    assert!(report.to_json().contains("\"lock_sites\":20"), "{}", report.to_json());
 }
 
 #[test]
@@ -82,7 +85,7 @@ fn lock_pass_covers_every_acquisition_site_in_serve_land() {
         covered += reported;
     }
     assert_eq!(covered, 16, "serve-land acquisition count moved; re-audit lock order");
-    assert_eq!(report.sites.len(), 18, "workspace-wide site count (incl. obs/record.rs)");
+    assert_eq!(report.sites.len(), 20, "workspace-wide site count (incl. obs/record.rs)");
 }
 
 #[test]
@@ -146,6 +149,42 @@ fn seeded_counter_drift_fails_on_both_sides_of_the_mirror() {
         "{}",
         missing.message
     );
+}
+
+#[test]
+fn seeded_span_drift_fails_on_both_directions_of_the_contract() {
+    let w = ws(&[
+        (drift::SPAN_RS, SPAN_SPAN),
+        (drift::EXPORT_RS, SPAN_EXPORT),
+        (drift::METRICS_RS, SPAN_METRICS),
+    ]);
+    let findings = drift::span_drift(&w);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "span-drift"));
+
+    // Forward: the export half never renders QueueWait — the finding
+    // points at the enum variant that lost its coverage.
+    let missing = findings.iter().find(|f| f.symbol == "QueueWait").unwrap();
+    assert_eq!(
+        (missing.path.as_str(), missing.line, missing.col),
+        (drift::SPAN_RS, 10, col(SPAN_SPAN, 10, "QueueWait")),
+    );
+    assert!(
+        missing.message.contains("not handled by canonical span export"),
+        "{}",
+        missing.message
+    );
+
+    // Reverse: the stale Probe arm fails at the arm itself.
+    let stale = findings.iter().find(|f| f.symbol == "Probe").unwrap();
+    assert_eq!(
+        (stale.path.as_str(), stale.line, stale.col),
+        (drift::EXPORT_RS, 10, col(SPAN_EXPORT, 10, "Probe")),
+    );
+    assert!(stale.message.contains("the enum no longer declares"), "{}", stale.message);
+
+    // The clean half (metrics) contributes nothing.
+    assert!(findings.iter().all(|f| f.path != drift::METRICS_RS), "{findings:?}");
 }
 
 #[test]

@@ -1,0 +1,12 @@
+//! Seeded span drift, export side: `span_body` never renders
+//! `SpanKind::QueueWait`, and still matches a `SpanKind::Probe` the
+//! enum no longer declares. Analyzed by tests/analyze.rs; never
+//! compiled.
+
+fn span_body(kind: SpanKind) -> String {
+    match kind {
+        SpanKind::Request => "request".to_string(),
+        SpanKind::Attempt => "attempt".to_string(),
+        SpanKind::Probe => "probe".to_string(),
+    }
+}

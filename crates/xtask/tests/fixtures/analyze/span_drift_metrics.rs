@@ -1,0 +1,11 @@
+//! Seeded span drift, metrics side: `record_span` is the clean half of
+//! the contract — every enum variant folded into a counter, no stale
+//! arms. Analyzed by tests/analyze.rs; never compiled.
+
+fn record_span(&mut self, kind: SpanKind) {
+    match kind {
+        SpanKind::Request => self.requests += 1,
+        SpanKind::Attempt => self.attempts += 1,
+        SpanKind::QueueWait => self.queue_waits += 1,
+    }
+}

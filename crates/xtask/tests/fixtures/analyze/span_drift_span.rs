@@ -1,0 +1,11 @@
+//! Seeded span drift, enum side: a three-variant `SpanKind` taxonomy.
+//! The export fixture forgets `QueueWait` and keeps a stale `Probe`
+//! arm; the metrics fixture is clean. Analyzed by tests/analyze.rs;
+//! never compiled.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    Request,
+    Attempt,
+    QueueWait,
+}

@@ -372,6 +372,53 @@ fn canonical_trace_is_byte_identical_across_schedules() {
     }
 }
 
+/// Tentpole acceptance: the canonical *span* export — like the event
+/// trace above — is byte-identical across worker counts and submission
+/// orders, and every span half pairs cleanly (no orphaned opens, no
+/// double closes), rigged faults and a panicking draw included.
+#[test]
+fn canonical_span_export_is_byte_identical_across_schedules() {
+    use mc_obs::pair_spans;
+    let requests = stress_batch();
+    let serve_spanned = |order: &[ForecastRequest], workers: usize| {
+        let obs = Arc::new(Observer::logical());
+        serve_all_observed(order, &ServeConfig::with_workers(workers), obs.clone());
+        (obs.spans_to_jsonl(), obs.spans())
+    };
+
+    let (reference, spans) = serve_spanned(&requests, 1);
+    assert!(!reference.is_empty(), "the stress batch must produce spans");
+    for line in reference.lines() {
+        assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "span JSONL row: {line}");
+        assert!(!line.contains("\"wall\""), "canonical spans must not leak wall stamps: {line}");
+    }
+    // Every span half pairs: no orphaned open, no double close — even
+    // with request 19's rigged panic unwinding through a draw.
+    let paired = pair_spans(&spans).expect("1-worker span stream pairs cleanly");
+    assert_eq!(paired.len() * 2, spans.len(), "every half belongs to exactly one pair");
+    // The whole serve-path vocabulary shows up in one stress batch.
+    for kind in
+        ["request", "context_fit", "attempt", "draw", "retry", "quorum", "queue_wait", "session"]
+    {
+        assert!(
+            paired.iter().any(|p| p.kind.name() == kind),
+            "stress batch must emit at least one {kind} span"
+        );
+    }
+
+    for workers in [2usize, 4, 8] {
+        let (jsonl, spans) = serve_spanned(&requests, workers);
+        assert_eq!(jsonl, reference, "{workers} workers changed the canonical span export");
+        pair_spans(&spans).expect("span stream pairs at any pool width");
+    }
+    for shuffle_seed in [3u64, 11] {
+        let order = shuffled(&requests, shuffle_seed);
+        let (jsonl, spans) = serve_spanned(&order, 8);
+        assert_eq!(jsonl, reference, "shuffle {shuffle_seed} changed the canonical span export");
+        pair_spans(&spans).expect("span stream pairs under shuffled submission");
+    }
+}
+
 /// Satellite: `collect` with an id the handle never issued is a *typed*
 /// error ([`TsError::UnknownRequest`]) — and the bad probe still flushes
 /// pending work first, so valid ids submitted before it are executed, not
